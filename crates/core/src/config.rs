@@ -1,0 +1,245 @@
+//! Scenario configuration: the settable knobs of the system.
+//!
+//! The paper's Figure 2 (right) calls privacy guarantees and reputation
+//! power "the two main settable aspects"; [`ScenarioConfig`] exposes them
+//! (disclosure level, mechanism, anonymization) plus the applicative
+//! context (population mix, policy strictness, selection policy).
+
+use serde::{Deserialize, Serialize};
+use tsn_reputation::{AnonymizationConfig, DisclosurePolicy, MechanismKind, PopulationConfig, SelectionPolicy};
+
+/// How strict the users' privacy policies are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyProfile {
+    /// Everyone runs permissive policies.
+    Permissive,
+    /// Everyone runs strict (friends-only, high-trust) policies.
+    Strict,
+    /// Users split between the two (privacy preferences are individual —
+    /// paper Section 2.3).
+    Mixed,
+}
+
+impl PolicyProfile {
+    /// All profiles, for sweeps.
+    pub const ALL: [PolicyProfile; 3] =
+        [PolicyProfile::Permissive, PolicyProfile::Mixed, PolicyProfile::Strict];
+
+    /// Label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyProfile::Permissive => "permissive",
+            PolicyProfile::Strict => "strict",
+            PolicyProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Fraction of users on strict policies.
+    pub fn strict_fraction(self) -> f64 {
+        match self {
+            PolicyProfile::Permissive => 0.0,
+            PolicyProfile::Mixed => 0.5,
+            PolicyProfile::Strict => 1.0,
+        }
+    }
+}
+
+/// Full configuration of one scenario run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Population size.
+    pub nodes: usize,
+    /// Rounds of the interaction loop.
+    pub rounds: usize,
+    /// Interactions each user initiates per round.
+    pub interactions_per_node: usize,
+    /// Reputation mechanism.
+    pub mechanism: MechanismKind,
+    /// Disclosure ladder level `0..=4` (the paper's "quantity of shared
+    /// information" knob; see [`DisclosurePolicy::ladder`]).
+    pub disclosure_level: usize,
+    /// Extra anonymization layer, if any.
+    pub anonymization: Option<AnonymizationConfig>,
+    /// Partner selection policy.
+    pub selection: SelectionPolicy,
+    /// Users' privacy-policy strictness profile.
+    pub policy_profile: PolicyProfile,
+    /// Behaviour mix of the population.
+    pub population: PopulationConfig,
+    /// Mean privacy concern of users (individual concerns jitter around
+    /// it).
+    pub privacy_concern_mean: f64,
+    /// Whether users adapt their personal disclosure to their current
+    /// trust (the Section-3 loop "the less a user trusts … the less she
+    /// discloses"). Disable for open-loop sweeps.
+    pub adaptive_disclosure: bool,
+    /// Rounds between mechanism refreshes.
+    pub refresh_every: usize,
+    /// Pre-trusted seed peers for EigenTrust.
+    pub pretrusted: usize,
+    /// Watts–Strogatz mean degree (even).
+    pub graph_degree: usize,
+    /// Watts–Strogatz rewiring probability.
+    pub graph_beta: f64,
+    /// Probability a malicious recipient leaks granted data per grant.
+    pub leak_probability: f64,
+    /// Availability churn: probability each user is offline in a given
+    /// round (0 disables churn). Offline users neither consume nor serve.
+    pub churn_offline: f64,
+    /// Weight of the *consumer-role* satisfaction in a user's overall
+    /// satisfaction; the rest is the provider-role satisfaction (ref [17]
+    /// models participants in both roles). Must be in `[0, 1]`.
+    pub consumer_role_weight: f64,
+    /// Ballot-stuffing amplification: when the rater identity is *not*
+    /// disclosed, nothing ties reports to a rater, so a lying rater can
+    /// submit this many copies of each false report (the classic
+    /// ballot-stuffing / badmouthing attack that anonymity enables and
+    /// identity-based rate limiting prevents). 1 disables the attack.
+    pub ballot_stuffing_factor: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            nodes: 100,
+            rounds: 30,
+            interactions_per_node: 2,
+            mechanism: MechanismKind::EigenTrust,
+            disclosure_level: 4,
+            anonymization: None,
+            selection: SelectionPolicy::Proportional { sharpness: 2.0 },
+            policy_profile: PolicyProfile::Mixed,
+            population: PopulationConfig::with_malicious(0.2),
+            privacy_concern_mean: 0.5,
+            adaptive_disclosure: false,
+            refresh_every: 5,
+            pretrusted: 3,
+            graph_degree: 8,
+            graph_beta: 0.1,
+            leak_probability: 0.3,
+            churn_offline: 0.0,
+            consumer_role_weight: 0.75,
+            ballot_stuffing_factor: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// The disclosure policy this configuration induces.
+    pub fn disclosure_policy(&self) -> DisclosurePolicy {
+        DisclosurePolicy::ladder(self.disclosure_level)
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 4 {
+            return Err("need at least 4 nodes".into());
+        }
+        if self.rounds == 0 || self.interactions_per_node == 0 {
+            return Err("rounds and interactions_per_node must be positive".into());
+        }
+        if self.disclosure_level >= DisclosurePolicy::LADDER_LEVELS {
+            return Err(format!(
+                "disclosure_level must be < {}",
+                DisclosurePolicy::LADDER_LEVELS
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.privacy_concern_mean) {
+            return Err("privacy_concern_mean must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.leak_probability) {
+            return Err("leak_probability must be in [0,1]".into());
+        }
+        if self.refresh_every == 0 {
+            return Err("refresh_every must be positive".into());
+        }
+        if self.ballot_stuffing_factor == 0 {
+            return Err("ballot_stuffing_factor must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.churn_offline) {
+            return Err("churn_offline must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.consumer_role_weight) {
+            return Err("consumer_role_weight must be in [0,1]".into());
+        }
+        if self.graph_degree % 2 != 0 || self.graph_degree == 0 || self.graph_degree >= self.nodes {
+            return Err("graph_degree must be even, positive and < nodes".into());
+        }
+        if !(0.0..=1.0).contains(&self.graph_beta) {
+            return Err("graph_beta must be in [0,1]".into());
+        }
+        self.population.validate()?;
+        if let Some(a) = &self.anonymization {
+            a.validate()?;
+        }
+        Ok(())
+    }
+
+    /// A small, fast configuration for tests and doc examples.
+    pub fn small() -> Self {
+        ScenarioConfig { nodes: 40, rounds: 10, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ScenarioConfig::default().validate().is_ok());
+        assert!(ScenarioConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn disclosure_policy_follows_level() {
+        let mut c = ScenarioConfig::default();
+        c.disclosure_level = 0;
+        assert_eq!(c.disclosure_policy(), DisclosurePolicy::minimal());
+        c.disclosure_level = 4;
+        assert_eq!(c.disclosure_policy(), DisclosurePolicy::full());
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let mut c = ScenarioConfig::default();
+        c.nodes = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.disclosure_level = 5;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.privacy_concern_mean = 2.0;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.leak_probability = -0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.graph_degree = 101;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::default();
+        c.rounds = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn policy_profiles() {
+        assert_eq!(PolicyProfile::Permissive.strict_fraction(), 0.0);
+        assert_eq!(PolicyProfile::Mixed.strict_fraction(), 0.5);
+        assert_eq!(PolicyProfile::Strict.strict_fraction(), 1.0);
+        assert_eq!(PolicyProfile::ALL.len(), 3);
+        assert_eq!(PolicyProfile::Mixed.label(), "mixed");
+    }
+}

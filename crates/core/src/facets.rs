@@ -1,0 +1,213 @@
+//! The three facet scores and their weights.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The measured facet scores, each in `[0, 1]`.
+///
+/// * `privacy` — "satisfaction in terms of privacy guarantees": weighted
+///   mix of non-disclosure, PP-respect rate and the OECD audit
+///   (computed by [`tsn_privacy::PrivacyFacetInputs`]);
+/// * `reputation` — "satisfaction of the reputation mechanism in terms of
+///   power": consistency with reality, reliability, efficiency
+///   (computed by [`tsn_reputation::accuracy::evaluate`]);
+/// * `satisfaction` — "global users' satisfaction": fairness-discounted
+///   mean of long-run participant satisfaction
+///   (computed by [`tsn_satisfaction::GlobalSatisfaction`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FacetScores {
+    /// Privacy facet.
+    pub privacy: f64,
+    /// Reputation facet.
+    pub reputation: f64,
+    /// Satisfaction facet.
+    pub satisfaction: f64,
+}
+
+impl FacetScores {
+    /// Creates validated facet scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the out-of-range facet.
+    pub fn new(privacy: f64, reputation: f64, satisfaction: f64) -> Result<Self, String> {
+        let scores = FacetScores { privacy, reputation, satisfaction };
+        scores.validate()?;
+        Ok(scores)
+    }
+
+    /// Validates that every facet is in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the out-of-range facet.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in self.iter() {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("facet {name} must be in [0,1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates `(name, value)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> {
+        [
+            ("privacy", self.privacy),
+            ("reputation", self.reputation),
+            ("satisfaction", self.satisfaction),
+        ]
+        .into_iter()
+    }
+
+    /// The lowest facet — the binding constraint on trust under
+    /// complementary aggregation.
+    pub fn weakest(&self) -> (&'static str, f64) {
+        self.iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("facets are finite"))
+            .expect("three facets exist")
+    }
+
+    /// Whether each facet clears its threshold — the membership test of
+    /// the paper's Figure 2 (left) Venn regions.
+    pub fn meets(&self, thresholds: &FacetScores) -> bool {
+        self.privacy >= thresholds.privacy
+            && self.reputation >= thresholds.reputation
+            && self.satisfaction >= thresholds.satisfaction
+    }
+}
+
+impl fmt::Display for FacetScores {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy={:.3} reputation={:.3} satisfaction={:.3}",
+            self.privacy, self.reputation, self.satisfaction
+        )
+    }
+}
+
+/// Relative importance of the facets in the combined trust metric.
+///
+/// The paper leaves the weighting to the "applicative context"; weights
+/// here are free non-negative reals, normalized at use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FacetWeights {
+    /// Weight of the privacy facet.
+    pub privacy: f64,
+    /// Weight of the reputation facet.
+    pub reputation: f64,
+    /// Weight of the satisfaction facet.
+    pub satisfaction: f64,
+}
+
+impl Default for FacetWeights {
+    /// Equal weights: the paper presents the facets as co-equal.
+    fn default() -> Self {
+        FacetWeights { privacy: 1.0, reputation: 1.0, satisfaction: 1.0 }
+    }
+}
+
+impl FacetWeights {
+    /// Validates weights: finite, non-negative, not all zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, w) in [
+            ("privacy", self.privacy),
+            ("reputation", self.reputation),
+            ("satisfaction", self.satisfaction),
+        ] {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(format!("weight {name} must be finite and non-negative"));
+            }
+        }
+        if self.total() <= 0.0 {
+            return Err("at least one weight must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Sum of weights.
+    pub fn total(&self) -> f64 {
+        self.privacy + self.reputation + self.satisfaction
+    }
+
+    /// Normalized copy summing to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are invalid.
+    pub fn normalized(&self) -> FacetWeights {
+        if let Err(e) = self.validate() {
+            panic!("invalid facet weights: {e}");
+        }
+        let t = self.total();
+        FacetWeights {
+            privacy: self.privacy / t,
+            reputation: self.reputation / t,
+            satisfaction: self.satisfaction / t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_ranges() {
+        assert!(FacetScores::new(0.5, 0.5, 0.5).is_ok());
+        let e = FacetScores::new(1.5, 0.5, 0.5).unwrap_err();
+        assert!(e.contains("privacy"));
+        let e = FacetScores::new(0.5, -0.1, 0.5).unwrap_err();
+        assert!(e.contains("reputation"));
+    }
+
+    #[test]
+    fn weakest_finds_binding_facet() {
+        let f = FacetScores::new(0.9, 0.2, 0.7).unwrap();
+        assert_eq!(f.weakest(), ("reputation", 0.2));
+    }
+
+    #[test]
+    fn meets_is_conjunctive() {
+        let f = FacetScores::new(0.8, 0.7, 0.6).unwrap();
+        let t = FacetScores::new(0.5, 0.5, 0.5).unwrap();
+        assert!(f.meets(&t));
+        let high = FacetScores::new(0.5, 0.5, 0.65).unwrap();
+        assert!(!f.meets(&FacetScores::new(0.9, 0.0, 0.0).unwrap()));
+        assert!(high.meets(&FacetScores::new(0.5, 0.5, 0.6).unwrap()));
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let w = FacetWeights { privacy: 2.0, reputation: 1.0, satisfaction: 1.0 }.normalized();
+        assert!((w.privacy - 0.5).abs() < 1e-12);
+        assert!((w.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_validation() {
+        assert!(FacetWeights { privacy: 0.0, reputation: 0.0, satisfaction: 0.0 }
+            .validate()
+            .is_err());
+        assert!(FacetWeights { privacy: -1.0, ..Default::default() }.validate().is_err());
+        assert!(FacetWeights::default().validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let f = FacetScores::new(0.5, 0.25, 1.0).unwrap();
+        assert_eq!(f.to_string(), "privacy=0.500 reputation=0.250 satisfaction=1.000");
+    }
+
+    #[test]
+    fn iter_order_is_stable() {
+        let f = FacetScores::new(0.1, 0.2, 0.3).unwrap();
+        let names: Vec<&str> = f.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["privacy", "reputation", "satisfaction"]);
+    }
+}

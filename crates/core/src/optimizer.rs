@@ -1,0 +1,342 @@
+//! Searching the settings space — the paper's "main aim".
+//!
+//! Section 4: "the main aim of our study is to find a method to obtain
+//! the right settings in order to maximize the user' trust towards the
+//! system", and Figure 2 (left) frames the target as **Area A**, the
+//! intersection where all three facets clear their guarantees.
+//!
+//! [`Optimizer::sweep`] evaluates a grid over the settable dimensions
+//! (mechanism × disclosure level × policy profile × selection), then
+//! [`Optimizer::area_report`] classifies every evaluated point into the
+//! seven Venn regions of Figure 2 (left), and [`Optimizer::best`] returns
+//! the trust-maximizing configuration (optionally under facet-threshold
+//! constraints).
+
+use crate::config::{PolicyProfile, ScenarioConfig};
+use crate::facets::FacetScores;
+use crate::scenario::run_scenario;
+use crate::trust::TrustMetric;
+use serde::{Deserialize, Serialize};
+use tsn_reputation::{MechanismKind, SelectionPolicy};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// Mechanism used.
+    pub mechanism: MechanismKind,
+    /// Disclosure ladder level.
+    pub disclosure_level: usize,
+    /// Policy profile.
+    pub policy_profile: PolicyProfile,
+    /// Selection policy label.
+    pub selection: String,
+    /// Measured facets.
+    pub facets: FacetScores,
+    /// Trust under the sweep's metric.
+    pub trust: f64,
+}
+
+/// The sweep output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Every evaluated point.
+    pub points: Vec<ConfigPoint>,
+}
+
+/// Figure 2 (left): how many points satisfy each facet region and their
+/// intersections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Thresholds defining the regions.
+    pub thresholds: FacetScores,
+    /// Points meeting the privacy guarantee.
+    pub privacy_region: usize,
+    /// Points meeting the reputation guarantee.
+    pub reputation_region: usize,
+    /// Points meeting the satisfaction guarantee.
+    pub satisfaction_region: usize,
+    /// Points meeting privacy ∧ reputation.
+    pub privacy_and_reputation: usize,
+    /// Points meeting privacy ∧ satisfaction.
+    pub privacy_and_satisfaction: usize,
+    /// Points meeting reputation ∧ satisfaction.
+    pub reputation_and_satisfaction: usize,
+    /// **Area A**: points meeting all three guarantees.
+    pub area_a: usize,
+    /// Total points evaluated.
+    pub total: usize,
+}
+
+/// The optimizer: owns a base configuration and a trust metric.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    base: ScenarioConfig,
+    metric: TrustMetric,
+    /// Seeds averaged per point (Monte-Carlo smoothing).
+    pub seeds_per_point: u64,
+}
+
+/// The optimizer's answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptimizerResult {
+    /// The winning point.
+    pub best: ConfigPoint,
+    /// Whether the winner also clears the given thresholds (lies in
+    /// Area A).
+    pub in_area_a: bool,
+}
+
+impl Optimizer {
+    /// Creates an optimizer sweeping around `base` with `metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the base configuration is invalid.
+    pub fn new(base: ScenarioConfig, metric: TrustMetric) -> Result<Self, String> {
+        base.validate()?;
+        Ok(Optimizer { base, metric, seeds_per_point: 2 })
+    }
+
+    /// The grid: mechanisms × disclosure levels × policy profiles.
+    /// Selection is fixed to the base's policy (it is a response-block
+    /// choice, not a privacy/reputation dial; the A-ablations sweep it
+    /// separately).
+    pub fn sweep(&self) -> SweepOutcome {
+        let mechanisms = [
+            MechanismKind::None,
+            MechanismKind::Beta,
+            MechanismKind::EigenTrust,
+            MechanismKind::PowerTrust,
+            MechanismKind::TrustMe,
+        ];
+        let mut points = Vec::new();
+        for &mechanism in &mechanisms {
+            for disclosure_level in 0..5 {
+                for &policy_profile in &PolicyProfile::ALL {
+                    let point = self.evaluate(mechanism, disclosure_level, policy_profile, self.base.selection);
+                    points.push(point);
+                }
+            }
+        }
+        SweepOutcome { points }
+    }
+
+    /// Evaluates one grid point, averaging facets over
+    /// [`Optimizer::seeds_per_point`] seeds.
+    pub fn evaluate(
+        &self,
+        mechanism: MechanismKind,
+        disclosure_level: usize,
+        policy_profile: PolicyProfile,
+        selection: SelectionPolicy,
+    ) -> ConfigPoint {
+        let mut acc = (0.0, 0.0, 0.0);
+        for i in 0..self.seeds_per_point {
+            let mut config = self.base.clone();
+            config.mechanism = mechanism;
+            config.disclosure_level = disclosure_level;
+            config.policy_profile = policy_profile;
+            config.selection = selection;
+            config.seed = self.base.seed.wrapping_add(i * 7919);
+            let outcome = run_scenario(config).expect("sweep configs derive from a valid base");
+            acc.0 += outcome.facets.privacy;
+            acc.1 += outcome.facets.reputation;
+            acc.2 += outcome.facets.satisfaction;
+        }
+        let k = self.seeds_per_point as f64;
+        let facets = FacetScores {
+            privacy: acc.0 / k,
+            reputation: acc.1 / k,
+            satisfaction: acc.2 / k,
+        };
+        ConfigPoint {
+            mechanism,
+            disclosure_level,
+            policy_profile,
+            selection: selection.label().to_owned(),
+            facets,
+            trust: self.metric.trust(&facets),
+        }
+    }
+
+    /// Classifies sweep points into the Figure-2 (left) regions.
+    pub fn area_report(&self, sweep: &SweepOutcome, thresholds: FacetScores) -> AreaReport {
+        let meets = |f: &FacetScores, p: bool, r: bool, s: bool| {
+            (!p || f.privacy >= thresholds.privacy)
+                && (!r || f.reputation >= thresholds.reputation)
+                && (!s || f.satisfaction >= thresholds.satisfaction)
+        };
+        let count = |p: bool, r: bool, s: bool| {
+            sweep.points.iter().filter(|pt| meets(&pt.facets, p, r, s)).count()
+        };
+        AreaReport {
+            thresholds,
+            privacy_region: count(true, false, false),
+            reputation_region: count(false, true, false),
+            satisfaction_region: count(false, false, true),
+            privacy_and_reputation: count(true, true, false),
+            privacy_and_satisfaction: count(true, false, true),
+            reputation_and_satisfaction: count(false, true, true),
+            area_a: count(true, true, true),
+            total: sweep.points.len(),
+        }
+    }
+
+    /// The trust-maximizing point of a sweep; with `thresholds`, only
+    /// points clearing them qualify (falling back to the unconstrained
+    /// best when Area A is empty, flagged by `in_area_a = false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    pub fn best(&self, sweep: &SweepOutcome, thresholds: Option<FacetScores>) -> OptimizerResult {
+        assert!(!sweep.points.is_empty(), "sweep must not be empty");
+        let by_trust = |a: &&ConfigPoint, b: &&ConfigPoint| {
+            a.trust.partial_cmp(&b.trust).expect("trust is finite")
+        };
+        if let Some(t) = thresholds {
+            if let Some(best) = sweep
+                .points
+                .iter()
+                .filter(|p| p.facets.meets(&t))
+                .max_by(by_trust)
+            {
+                return OptimizerResult { best: best.clone(), in_area_a: true };
+            }
+        }
+        let best = sweep.points.iter().max_by(by_trust).expect("non-empty");
+        OptimizerResult { best: best.clone(), in_area_a: false }
+    }
+
+    /// Greedy hill-climb from a starting point over the two ordinal dials
+    /// (disclosure level, policy profile), keeping mechanism fixed.
+    /// Returns the local optimum. Used to refine the sweep winner.
+    pub fn hill_climb(&self, start: &ConfigPoint) -> ConfigPoint {
+        let profiles = PolicyProfile::ALL;
+        let profile_idx = |p: PolicyProfile| profiles.iter().position(|&q| q == p).expect("known profile");
+        let mut current = start.clone();
+        loop {
+            let mut improved = false;
+            let mut candidates = Vec::new();
+            if current.disclosure_level > 0 {
+                candidates.push((current.disclosure_level - 1, current.policy_profile));
+            }
+            if current.disclosure_level < 4 {
+                candidates.push((current.disclosure_level + 1, current.policy_profile));
+            }
+            let pi = profile_idx(current.policy_profile);
+            if pi > 0 {
+                candidates.push((current.disclosure_level, profiles[pi - 1]));
+            }
+            if pi + 1 < profiles.len() {
+                candidates.push((current.disclosure_level, profiles[pi + 1]));
+            }
+            for (level, profile) in candidates {
+                let cand = self.evaluate(current.mechanism, level, profile, self.base.selection);
+                if cand.trust > current.trust + 1e-9 {
+                    current = cand;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return current;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_base() -> ScenarioConfig {
+        ScenarioConfig { nodes: 24, rounds: 6, graph_degree: 4, ..ScenarioConfig::default() }
+    }
+
+    fn optimizer() -> Optimizer {
+        let mut o = Optimizer::new(tiny_base(), TrustMetric::default()).unwrap();
+        o.seeds_per_point = 1;
+        o
+    }
+
+    #[test]
+    fn evaluate_produces_bounded_point() {
+        let o = optimizer();
+        let p = o.evaluate(
+            MechanismKind::Beta,
+            2,
+            PolicyProfile::Mixed,
+            SelectionPolicy::Best,
+        );
+        assert!(p.facets.validate().is_ok());
+        assert!((0.0..=1.0).contains(&p.trust));
+        assert_eq!(p.disclosure_level, 2);
+        assert_eq!(p.selection, "best");
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let o = optimizer();
+        let sweep = o.sweep();
+        assert_eq!(sweep.points.len(), 5 * 5 * 3);
+    }
+
+    #[test]
+    fn area_report_counts_nest() {
+        let o = optimizer();
+        let sweep = o.sweep();
+        let report = o.area_report(
+            &sweep,
+            FacetScores::new(0.4, 0.4, 0.3).unwrap(),
+        );
+        // Intersections can never exceed their constituent regions.
+        assert!(report.area_a <= report.privacy_and_reputation);
+        assert!(report.area_a <= report.privacy_and_satisfaction);
+        assert!(report.area_a <= report.reputation_and_satisfaction);
+        assert!(report.privacy_and_reputation <= report.privacy_region);
+        assert!(report.privacy_and_reputation <= report.reputation_region);
+        assert_eq!(report.total, 75);
+    }
+
+    #[test]
+    fn best_respects_thresholds_when_satisfiable() {
+        let o = optimizer();
+        let sweep = o.sweep();
+        let loose = FacetScores::new(0.1, 0.1, 0.1).unwrap();
+        let result = o.best(&sweep, Some(loose));
+        assert!(result.in_area_a);
+        assert!(result.best.facets.meets(&loose));
+        // Unconstrained best has at least as much trust.
+        let unconstrained = o.best(&sweep, None);
+        assert!(unconstrained.best.trust >= result.best.trust - 1e-12);
+    }
+
+    #[test]
+    fn impossible_thresholds_fall_back() {
+        let o = optimizer();
+        let sweep = o.sweep();
+        let impossible = FacetScores::new(1.0, 1.0, 1.0).unwrap();
+        let result = o.best(&sweep, Some(impossible));
+        assert!(!result.in_area_a);
+    }
+
+    #[test]
+    fn hill_climb_never_decreases_trust() {
+        let o = optimizer();
+        let start = o.evaluate(
+            MechanismKind::EigenTrust,
+            4,
+            PolicyProfile::Strict,
+            SelectionPolicy::Best,
+        );
+        let refined = o.hill_climb(&start);
+        assert!(refined.trust >= start.trust);
+    }
+
+    #[test]
+    fn invalid_base_rejected() {
+        let mut bad = tiny_base();
+        bad.nodes = 2;
+        assert!(Optimizer::new(bad, TrustMetric::default()).is_err());
+    }
+}

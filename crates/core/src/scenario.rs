@@ -1,0 +1,852 @@
+//! The end-to-end decentralized social-network scenario.
+//!
+//! This is the system the paper argues for, assembled from every
+//! substrate: users on a small-world social graph publish and request
+//! content under *privacy policies*, a *reputation mechanism* scores
+//! providers from (policy-filtered) feedback, and every participant's
+//! *satisfaction* is tracked long-run. The scenario measures the three
+//! facets and the resulting trust — and, when `adaptive_disclosure` is
+//! on, closes the Section-3 loop "the less a user trusts towards the
+//! system, the less she discloses information".
+//!
+//! Privacy-relevant flows modelled per interaction:
+//!
+//! 1. **Content access** — the consumer requests the provider's content;
+//!    the PriServ-style [`Enforcer`] checks the provider's policy
+//!    (friends-only, minimal trust level…). Grants are logged in the
+//!    [`DisclosureLedger`]; a malicious *consumer* then leaks the granted
+//!    data with `leak_probability` (breach cause: `MaliciousUser`).
+//! 2. **Feedback reporting** — the system *requires* the configured
+//!    disclosure level for a report to be accepted; users whose
+//!    willingness has eroded below it opt out of feedback entirely,
+//!    while anonymous levels leave lying raters free to ballot-stuff.
+//! 3. **Behaviour metadata** — the system observes every request at its
+//!    collection level; collection beyond what a user's own policy
+//!    tolerates is a *system-caused* breach (cause: `System`), kept
+//!    apart from user-caused leaks — the paper's footnote-2 distinction.
+
+use crate::config::ScenarioConfig;
+use crate::facets::FacetScores;
+use crate::trust::TrustMetric;
+use serde::{Deserialize, Serialize};
+use tsn_graph::{generators, Graph, InterestProfile, InterestSpace};
+use tsn_privacy::{
+    AccessDecision, AccessRequest, BreachCause, DisclosureLedger, Enforcer, Operation,
+    PrivacyFacetInputs, PrivacyPolicy, Purpose, SystemPrivacyProfile,
+};
+use tsn_privacy::enforcement::RequestContext;
+use tsn_privacy::oecd::OecdAudit;
+use tsn_privacy::policy::DataCategory;
+use tsn_reputation::{
+    accuracy, Anonymized, DisclosurePolicy, MechanismKind, Population, PowerReport,
+    ReputationMechanism,
+};
+use tsn_satisfaction::{
+    AdequacyModel, AllocationTracker, ConsumerIntentions, GlobalSatisfaction, InteractionAspects,
+    ProviderIntentions, SatisfactionTracker,
+};
+use tsn_simnet::{NodeId, SimRng, SimTime};
+
+/// Per-round measurements (the time series behind Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundSample {
+    /// Round index.
+    pub round: usize,
+    /// Mean long-run satisfaction across users.
+    pub mean_satisfaction: f64,
+    /// Mean per-user trust estimate.
+    pub mean_trust: f64,
+    /// Ledger respect rate so far.
+    pub respect_rate: f64,
+    /// Mechanism consistency with ground truth (Spearman mapped to
+    /// `[0, 1]`).
+    pub consistency: f64,
+    /// Mean effective disclosure exposure users are willing to provide.
+    pub mean_willingness: f64,
+    /// Interaction success rate this round.
+    pub success_rate: f64,
+    /// Feedback reports filed this round.
+    pub reports_filed: u64,
+}
+
+/// Everything a scenario run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The measured global facets.
+    pub facets: FacetScores,
+    /// Global trust toward the system (default metric).
+    pub global_trust: f64,
+    /// Per-user trust toward the system.
+    pub per_user_trust: Vec<f64>,
+    /// Per-user long-run satisfaction.
+    pub per_user_satisfaction: Vec<f64>,
+    /// Per-user policy-respect rate over their own data.
+    pub per_user_respect: Vec<f64>,
+    /// Mechanism power detail.
+    pub power: PowerReport,
+    /// Satisfaction aggregate detail.
+    pub satisfaction: GlobalSatisfaction,
+    /// Policy-respect rate measured by the ledger.
+    pub respect_rate: f64,
+    /// Breaches caused by malicious users.
+    pub user_breaches: usize,
+    /// Breaches caused by the system (over-sharing).
+    pub system_breaches: usize,
+    /// OECD audit overall score.
+    pub oecd_score: f64,
+    /// Mean effective disclosure exposure at the end of the run.
+    pub mean_willingness: f64,
+    /// Fraction of content requests denied by privacy enforcement.
+    pub denial_rate: f64,
+    /// Total interactions attempted.
+    pub interactions: u64,
+    /// Total protocol messages.
+    pub messages: u64,
+    /// Per-round time series.
+    pub samples: Vec<RoundSample>,
+}
+
+impl ScenarioOutcome {
+    /// Extracts a named series from the samples (for correlation
+    /// analysis). Recognized: `satisfaction`, `trust`, `respect`,
+    /// `consistency`, `willingness`, `success`, `reports`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown series name.
+    pub fn series(&self, name: &str) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|s| match name {
+                "satisfaction" => s.mean_satisfaction,
+                "trust" => s.mean_trust,
+                "respect" => s.respect_rate,
+                "consistency" => s.consistency,
+                "willingness" => s.mean_willingness,
+                "success" => s.success_rate,
+                "reports" => s.reports_filed as f64,
+                other => panic!("unknown series {other}"),
+            })
+            .collect()
+    }
+}
+
+struct UserState {
+    intentions: ConsumerIntentions,
+    provider_intentions: ProviderIntentions,
+    policy: PrivacyPolicy,
+    satisfaction: SatisfactionTracker,
+    provider_satisfaction: SatisfactionTracker,
+    load_this_round: u32,
+    allocation: AllocationTracker,
+    /// Disclosure ladder level the user is willing to feed the
+    /// reputation system.
+    willingness_level: usize,
+    /// Whether a privacy breach hit this user's data in the current round.
+    breached_this_round: bool,
+}
+
+/// The assembled scenario, ready to run.
+pub struct Scenario {
+    config: ScenarioConfig,
+    graph: Graph,
+    population: Population,
+    mechanism: Box<dyn ReputationMechanism>,
+    users: Vec<UserState>,
+    ledger: DisclosureLedger,
+    enforcer: Enforcer,
+    adequacy: AdequacyModel,
+    metric: TrustMetric,
+    rng: SimRng,
+    /// Max exposure each user's own policy tolerates in the feedback
+    /// pipeline.
+    policy_exposure_cap: Vec<f64>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("nodes", &self.config.nodes)
+            .field("mechanism", &self.config.mechanism)
+            .field("disclosure_level", &self.config.disclosure_level)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Builds the scenario from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the configuration is invalid.
+    pub fn new(config: ScenarioConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let mut graph_rng = rng.fork(1);
+        let graph =
+            generators::watts_strogatz(config.nodes, config.graph_degree, config.graph_beta, &mut graph_rng)
+                .map_err(|e| e.to_string())?;
+        let mut pop_rng = rng.fork(2);
+        let population = Population::new(config.nodes, config.population.clone(), &mut pop_rng);
+
+        let base: Box<dyn ReputationMechanism> =
+            if config.mechanism == MechanismKind::EigenTrust && config.pretrusted > 0 {
+                let pretrusted: Vec<NodeId> = (0..config.nodes)
+                    .map(NodeId::from_index)
+                    .filter(|&n| !population.is_adversarial(n))
+                    .take(config.pretrusted)
+                    .collect();
+                Box::new(tsn_reputation::EigenTrust::new(
+                    config.nodes,
+                    tsn_reputation::EigenTrustConfig { pretrusted, ..Default::default() },
+                ))
+            } else {
+                tsn_reputation::mechanism::build_mechanism(config.mechanism, config.nodes)
+            };
+        let mechanism: Box<dyn ReputationMechanism> = match config.anonymization {
+            Some(anon) => Box::new(Anonymized::new(base, anon, rng.fork(3))),
+            None => base,
+        };
+
+        let mut user_rng = rng.fork(4);
+        let space = InterestSpace::new(8);
+        let profiles: Vec<InterestProfile> =
+            (0..config.nodes).map(|_| space.sample_profile(2.0, &mut user_rng)).collect();
+        let strict_cut = (config.policy_profile.strict_fraction() * config.nodes as f64).round() as usize;
+        let mut strict_flags: Vec<bool> =
+            (0..config.nodes).map(|i| i < strict_cut).collect();
+        user_rng.shuffle(&mut strict_flags);
+
+        let mut users = Vec::with_capacity(config.nodes);
+        let mut policy_exposure_cap = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let me = NodeId::from_index(i);
+            let my_topic = profiles[i].dominant_topic();
+            // Preferred providers: neighbours sharing the dominant topic
+            // (falling back to all neighbours when none does).
+            let mut preferred: Vec<NodeId> = graph
+                .neighbors(me)
+                .iter()
+                .copied()
+                .filter(|n| profiles[n.index()].dominant_topic() == my_topic)
+                .collect();
+            if preferred.is_empty() {
+                preferred = graph.neighbors(me).to_vec();
+            }
+            let concern =
+                (config.privacy_concern_mean + user_rng.gen_normal(0.0, 0.2)).clamp(0.0, 1.0);
+            let intentions = ConsumerIntentions::new(preferred, 0.6, concern)
+                .expect("intention parameters are in range");
+            let strict = strict_flags[i];
+            let policy = if strict {
+                PrivacyPolicy::strict(DataCategory::Content)
+            } else {
+                PrivacyPolicy::permissive(DataCategory::Content)
+            };
+            // Strict users tolerate at most ladder level 2 (no topic, no
+            // identity) of *behaviour-metadata collection*; permissive
+            // users accept everything. Collection beyond the cap is a
+            // system-caused breach.
+            let cap_level = if strict { 2 } else { 4 };
+            policy_exposure_cap.push(DisclosurePolicy::ladder(cap_level).exposure());
+            // Provider capacity per round varies per user (ref [17]:
+            // providers intend to treat a bounded load).
+            let capacity = user_rng.gen_range(3..9u32);
+            users.push(UserState {
+                intentions,
+                provider_intentions: ProviderIntentions::new([], capacity)
+                    .expect("capacity is positive"),
+                policy,
+                satisfaction: SatisfactionTracker::default(),
+                provider_satisfaction: SatisfactionTracker::default(),
+                load_this_round: 0,
+                allocation: AllocationTracker::default(),
+                // Users initially comply with the system's required
+                // feedback-disclosure level; distrust erodes this
+                // willingness when `adaptive_disclosure` is on.
+                willingness_level: config.disclosure_level,
+                breached_this_round: false,
+            });
+        }
+
+        Ok(Scenario {
+            config,
+            graph,
+            population,
+            mechanism,
+            users,
+            ledger: DisclosureLedger::new(),
+            enforcer: Enforcer::new(),
+            adequacy: AdequacyModel::default(),
+            metric: TrustMetric::default(),
+            rng,
+            policy_exposure_cap,
+        })
+    }
+
+    /// The configuration of this scenario.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    fn oecd_profile(&self) -> SystemPrivacyProfile {
+        SystemPrivacyProfile {
+            collection_fraction: self.config.disclosure_policy().exposure(),
+            purposes_declared: true,
+            purpose_respect_rate: self.ledger.respect_rate(),
+            data_quality_controls: true,
+            safeguards_active: self.config.anonymization.is_some() || self.config.disclosure_level <= 1,
+            policies_published: true,
+            user_controls: true,
+            breaches_attributed: true,
+        }
+    }
+
+    fn mean_willingness(&self) -> f64 {
+        self.users
+            .iter()
+            .map(|u| DisclosurePolicy::ladder(u.willingness_level).exposure())
+            .sum::<f64>()
+            / self.users.len() as f64
+    }
+
+    fn per_user_trust(&self, reputation_facet: f64, oecd: f64) -> Vec<f64> {
+        self.users
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let me = NodeId::from_index(i);
+                let inputs = PrivacyFacetInputs {
+                    exposure: DisclosurePolicy::ladder(u.willingness_level).exposure(),
+                    respect_rate: self.ledger.respect_rate_for(me),
+                    oecd_score: oecd,
+                };
+                let w_c = self.config.consumer_role_weight;
+                let facets = FacetScores {
+                    privacy: inputs.facet().facet,
+                    reputation: reputation_facet,
+                    satisfaction: w_c * u.satisfaction.satisfaction()
+                        + (1.0 - w_c) * u.provider_satisfaction.satisfaction(),
+                };
+                self.metric.trust(&facets)
+            })
+            .collect()
+    }
+
+    fn measure_power(&mut self, iterations: usize) -> PowerReport {
+        let n = self.config.nodes;
+        let adversarial: Vec<bool> =
+            (0..n).map(|i| self.population.is_adversarial(NodeId::from_index(i))).collect();
+        let truth = self.population.true_qualities();
+        accuracy::evaluate(self.mechanism.as_ref(), &truth, &adversarial, iterations)
+    }
+
+    /// Runs the configured number of rounds and returns the outcome.
+    pub fn run(&mut self) -> ScenarioOutcome {
+        let n = self.config.nodes;
+        let mut samples = Vec::with_capacity(self.config.rounds);
+        let mut interactions = 0u64;
+        let mut messages = 0u64;
+        let mut denials = 0u64;
+        let mut requests = 0u64;
+        let mut refresh_iterations = 0usize;
+        let mut now = SimTime::ZERO;
+
+        for round in 0..self.config.rounds {
+            for u in &mut self.users {
+                u.breached_this_round = false;
+                u.load_this_round = 0;
+            }
+            // Availability churn: some users are offline this round.
+            let offline: Vec<bool> = (0..n)
+                .map(|_| self.config.churn_offline > 0.0 && self.rng.gen_bool(self.config.churn_offline))
+                .collect();
+            let mut round_ok = 0u64;
+            let mut round_tried = 0u64;
+            let mut round_reports = 0u64;
+
+            for consumer_idx in 0..n {
+                if offline[consumer_idx] {
+                    continue;
+                }
+                let consumer = NodeId::from_index(consumer_idx);
+                for _ in 0..self.config.interactions_per_node {
+                    let candidates: Vec<NodeId> = self
+                        .graph
+                        .neighbors(consumer)
+                        .iter()
+                        .copied()
+                        .filter(|p| !offline[p.index()])
+                        .collect();
+                    let mech = &self.mechanism;
+                    let Some(provider) = self
+                        .config
+                        .selection
+                        .select(&candidates, |c| mech.score(c), &mut self.rng)
+                    else {
+                        continue;
+                    };
+                    requests += 1;
+                    messages += 1; // content request
+
+                    // --- Flow 1: content access under the provider's PP.
+                    let request = AccessRequest {
+                        requester: consumer,
+                        owner: provider,
+                        operation: Operation::Read,
+                        purpose: Purpose::Social,
+                    };
+                    let ctx = RequestContext {
+                        social_distance: Some(1), // candidates are neighbours
+                        requester_trust: self.mechanism.score(consumer),
+                    };
+                    let decision =
+                        self.enforcer.decide(&request, &self.users[provider.index()].policy, &ctx);
+
+                    let intended = self.users[consumer_idx].intentions.intends(provider);
+                    self.users[consumer_idx].allocation.observe(intended);
+
+                    let outcome_quality;
+                    if decision.is_granted() {
+                        let anonymized = decision == AccessDecision::GrantAnonymized;
+                        self.ledger.record_disclosure(
+                            now,
+                            provider,
+                            consumer,
+                            DataCategory::Content,
+                            Purpose::Social,
+                            anonymized,
+                        );
+                        let outcome = self.population.interact(provider, consumer, &mut self.rng);
+                        self.users[provider.index()].load_this_round += 1;
+                        interactions += 1;
+                        messages += 1; // content response
+                        round_tried += 1;
+                        if outcome.is_success() {
+                            round_ok += 1;
+                        }
+                        outcome_quality = outcome.value();
+
+                        // Malicious consumers leak what they were granted.
+                        if self.population.is_adversarial(consumer)
+                            && self.rng.gen_bool(self.config.leak_probability)
+                        {
+                            self.ledger.record_breach(
+                                now,
+                                provider,
+                                consumer,
+                                DataCategory::Content,
+                                Purpose::Social,
+                                BreachCause::MaliciousUser,
+                            );
+                            self.users[provider.index()].breached_this_round = true;
+                        }
+
+                        // --- Flow 2: feedback. The system *requires* the
+                        // configured disclosure level to accept a report;
+                        // users unwilling to meet it opt out ("the less a
+                        // user trusts towards the system, the less she
+                        // discloses information"). Adversaries always
+                        // comply — influence is their goal.
+                        let willing = self.users[consumer_idx].willingness_level;
+                        let adversarial_rater = self.population.is_adversarial(consumer);
+                        if adversarial_rater || willing >= self.config.disclosure_level {
+                            let report =
+                                self.population.feedback(consumer, provider, outcome, now, None);
+                            let effective = self.config.disclosure_policy();
+                            let view = effective.view(&report);
+                            // Ballot stuffing: without a disclosed rater
+                            // identity, nothing rate-limits a lying rater,
+                            // so false reports arrive amplified; every
+                            // extra disclosed field improves duplicate
+                            // detection, and identity eliminates the
+                            // attack entirely.
+                            let copies = if !effective.rater_identity && adversarial_rater {
+                                self.config
+                                    .ballot_stuffing_factor
+                                    .saturating_sub(self.config.disclosure_level)
+                                    .max(1)
+                            } else {
+                                1
+                            };
+                            for _ in 0..copies {
+                                self.mechanism.record(&view);
+                            }
+                            round_reports += copies as u64;
+                            messages += (self.mechanism.overhead_per_report() * copies) as u64;
+                        }
+
+                    } else {
+                        denials += 1;
+                        round_tried += 1;
+                        outcome_quality = 0.0; // the consumer got nothing
+                    }
+
+                    // Behaviour metadata: the system observes the request
+                    // at its configured collection level whether or not it
+                    // was granted or feedback was filed. Collection beyond
+                    // what the user's own policy tolerates is a
+                    // *system-caused* breach (the paper's footnote-2
+                    // category).
+                    let system_exposure = self.config.disclosure_policy().exposure();
+                    if system_exposure > self.policy_exposure_cap[consumer_idx] + 1e-9 {
+                        self.ledger.record_breach(
+                            now,
+                            consumer,
+                            provider, // the counterparty observes the over-shared fields
+                            DataCategory::Behavior,
+                            Purpose::Reputation,
+                            BreachCause::System,
+                        );
+                        self.users[consumer_idx].breached_this_round = true;
+                    } else {
+                        self.ledger.record_disclosure(
+                            now,
+                            consumer,
+                            provider,
+                            DataCategory::Behavior,
+                            Purpose::Reputation,
+                            self.config.disclosure_level <= 1,
+                        );
+                    }
+
+                    let aspects = InteractionAspects {
+                        provider,
+                        outcome_quality,
+                        privacy_respected: !self.users[consumer_idx].breached_this_round,
+                    };
+                    let adequacy =
+                        self.adequacy.adequacy(&self.users[consumer_idx].intentions, &aspects);
+                    self.users[consumer_idx].satisfaction.observe(adequacy);
+                }
+            }
+
+            // Provider-role adequacy: did the system keep each provider's
+            // load within intentions? Offline providers observe nothing.
+            for (i, u) in self.users.iter_mut().enumerate() {
+                if !offline[i] {
+                    let adequacy = u.provider_intentions.load_adequacy(u.load_this_round);
+                    u.provider_satisfaction.observe(adequacy);
+                }
+            }
+
+            if (round + 1) % self.config.refresh_every == 0 {
+                refresh_iterations += self.mechanism.refresh();
+            }
+
+            // --- Round sample + adaptive disclosure (the Section-3 loop).
+            let power_now = self.measure_power(refresh_iterations);
+            let oecd = OecdAudit::evaluate(&self.oecd_profile()).overall();
+            let trust_now = self.per_user_trust(power_now.power(&Default::default()), oecd);
+            let mean_trust = trust_now.iter().sum::<f64>() / trust_now.len() as f64;
+            if self.config.adaptive_disclosure {
+                for (i, u) in self.users.iter_mut().enumerate() {
+                    if trust_now[i] < 0.4 && u.willingness_level > 0 {
+                        u.willingness_level -= 1;
+                    } else if trust_now[i] > 0.7 && u.willingness_level < self.config.disclosure_level {
+                        u.willingness_level += 1;
+                    }
+                }
+            }
+            samples.push(RoundSample {
+                round,
+                mean_satisfaction: self
+                    .users
+                    .iter()
+                    .map(|u| u.satisfaction.satisfaction())
+                    .sum::<f64>()
+                    / n as f64,
+                mean_trust,
+                respect_rate: self.ledger.respect_rate(),
+                consistency: power_now.consistency,
+                mean_willingness: self.mean_willingness(),
+                success_rate: if round_tried == 0 {
+                    0.0
+                } else {
+                    round_ok as f64 / round_tried as f64
+                },
+                reports_filed: round_reports,
+            });
+            now = now + tsn_simnet::SimDuration::from_secs(3600);
+        }
+
+        refresh_iterations += self.mechanism.refresh();
+        let power = self.measure_power(refresh_iterations);
+        let oecd = OecdAudit::evaluate(&self.oecd_profile()).overall();
+
+        let w_c = self.config.consumer_role_weight;
+        let satisfaction_values: Vec<f64> = self
+            .users
+            .iter()
+            .map(|u| {
+                w_c * u.satisfaction.satisfaction()
+                    + (1.0 - w_c) * u.provider_satisfaction.satisfaction()
+            })
+            .collect();
+        let satisfaction = GlobalSatisfaction::from_values(&satisfaction_values)
+            .expect("population is non-empty");
+
+        let privacy_inputs = PrivacyFacetInputs {
+            exposure: self.mean_willingness().min(self.config.disclosure_policy().exposure()),
+            respect_rate: self.ledger.respect_rate(),
+            oecd_score: oecd,
+        };
+        let facets = FacetScores {
+            privacy: privacy_inputs.facet().facet,
+            reputation: power.power(&Default::default()),
+            satisfaction: satisfaction.fairness_discounted(),
+        };
+        let global_trust = self.metric.trust(&facets);
+        let per_user_trust = self.per_user_trust(facets.reputation, oecd);
+        let per_user_respect: Vec<f64> = (0..n)
+            .map(|i| self.ledger.respect_rate_for(NodeId::from_index(i)))
+            .collect();
+
+        ScenarioOutcome {
+            facets,
+            global_trust,
+            per_user_trust,
+            per_user_satisfaction: satisfaction_values.clone(),
+            per_user_respect,
+            power,
+            satisfaction,
+            respect_rate: self.ledger.respect_rate(),
+            user_breaches: self.ledger.breach_count(Some(BreachCause::MaliciousUser)),
+            system_breaches: self.ledger.breach_count(Some(BreachCause::System)),
+            oecd_score: oecd,
+            mean_willingness: self.mean_willingness(),
+            denial_rate: if requests == 0 { 0.0 } else { denials as f64 / requests as f64 },
+            interactions,
+            messages,
+            samples,
+        }
+    }
+}
+
+/// Builds and runs a scenario in one call.
+///
+/// # Errors
+///
+/// Returns a message when the configuration is invalid.
+pub fn run_scenario(config: ScenarioConfig) -> Result<ScenarioOutcome, String> {
+    Ok(Scenario::new(config)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyProfile;
+    use tsn_reputation::PopulationConfig;
+
+    fn small(seed: u64) -> ScenarioConfig {
+        ScenarioConfig { seed, ..ScenarioConfig::small() }
+    }
+
+    #[test]
+    fn outcome_fields_are_bounded() {
+        let o = run_scenario(small(1)).unwrap();
+        for (name, v) in o.facets.iter() {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+        }
+        assert!((0.0..=1.0).contains(&o.global_trust));
+        assert!((0.0..=1.0).contains(&o.respect_rate));
+        assert!((0.0..=1.0).contains(&o.denial_rate));
+        assert_eq!(o.per_user_trust.len(), 40);
+        assert!(o.per_user_trust.iter().all(|t| (0.0..=1.0).contains(t)));
+        assert_eq!(o.samples.len(), 10);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run_scenario(small(7)).unwrap();
+        let b = run_scenario(small(7)).unwrap();
+        assert_eq!(a.global_trust, b.global_trust);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.per_user_trust, b.per_user_trust);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(small(1)).unwrap();
+        let b = run_scenario(small(2)).unwrap();
+        assert_ne!(a.global_trust, b.global_trust);
+    }
+
+    #[test]
+    fn full_disclosure_exposes_more_than_minimal() {
+        let mut lo = small(3);
+        lo.disclosure_level = 0;
+        let mut hi = small(3);
+        hi.disclosure_level = 4;
+        let lo_out = run_scenario(lo).unwrap();
+        let hi_out = run_scenario(hi).unwrap();
+        assert!(
+            lo_out.facets.privacy > hi_out.facets.privacy,
+            "less disclosure → better privacy facet: {} vs {}",
+            lo_out.facets.privacy,
+            hi_out.facets.privacy
+        );
+    }
+
+    #[test]
+    fn disclosure_raises_reputation_power() {
+        // The antagonistic coupling of Figure 2: averaged over seeds.
+        let mean_rep = |level: usize| {
+            (0..4)
+                .map(|s| {
+                    let mut c = small(20 + s);
+                    c.disclosure_level = level;
+                    c.population = PopulationConfig::with_malicious(0.3);
+                    c.rounds = 15;
+                    run_scenario(c).unwrap().facets.reputation
+                })
+                .sum::<f64>()
+                / 4.0
+        };
+        let low = mean_rep(0);
+        let high = mean_rep(4);
+        assert!(high > low, "more shared info → more power: {high} vs {low}");
+    }
+
+    #[test]
+    fn system_breaches_occur_only_when_oversharing() {
+        let mut strict_low = small(5);
+        strict_low.policy_profile = PolicyProfile::Strict;
+        strict_low.disclosure_level = 2;
+        let o = run_scenario(strict_low).unwrap();
+        assert_eq!(o.system_breaches, 0, "level 2 within strict cap");
+
+        let mut strict_high = small(5);
+        strict_high.policy_profile = PolicyProfile::Strict;
+        strict_high.disclosure_level = 4;
+        let o = run_scenario(strict_high).unwrap();
+        assert!(o.system_breaches > 0, "level 4 over-shares for strict users");
+    }
+
+    #[test]
+    fn malicious_population_causes_user_breaches() {
+        let mut c = small(6);
+        c.population = PopulationConfig::with_malicious(0.4);
+        c.leak_probability = 0.5;
+        let o = run_scenario(c).unwrap();
+        assert!(o.user_breaches > 0);
+
+        let mut honest = small(6);
+        honest.population = PopulationConfig::with_malicious(0.0);
+        honest.leak_probability = 0.5;
+        let o = run_scenario(honest).unwrap();
+        assert_eq!(o.user_breaches, 0, "no adversaries, no leaks");
+    }
+
+    #[test]
+    fn strict_policies_cause_denials() {
+        let mut strict = small(8);
+        strict.policy_profile = PolicyProfile::Strict;
+        let o = run_scenario(strict).unwrap();
+        assert!(o.denial_rate > 0.0);
+
+        let mut permissive = small(8);
+        permissive.policy_profile = PolicyProfile::Permissive;
+        let o2 = run_scenario(permissive).unwrap();
+        assert!(o2.denial_rate < o.denial_rate);
+    }
+
+    #[test]
+    fn adaptive_disclosure_reacts_to_low_trust() {
+        // A hostile, over-sharing system should push adaptive users to
+        // retract disclosure relative to the open-loop run.
+        let hostile = |adaptive: bool, seed: u64| {
+            let mut c = small(seed);
+            c.population = PopulationConfig::with_malicious(0.5);
+            c.disclosure_level = 4;
+            c.leak_probability = 0.8;
+            c.adaptive_disclosure = adaptive;
+            c.rounds = 20;
+            run_scenario(c).unwrap().mean_willingness
+        };
+        let adaptive = (0..3).map(|s| hostile(true, 30 + s)).sum::<f64>() / 3.0;
+        let open_loop = (0..3).map(|s| hostile(false, 30 + s)).sum::<f64>() / 3.0;
+        assert!(
+            adaptive < open_loop,
+            "distrusting users retract disclosure: {adaptive} vs {open_loop}"
+        );
+    }
+
+    #[test]
+    fn series_extraction() {
+        let o = run_scenario(small(9)).unwrap();
+        assert_eq!(o.series("trust").len(), o.samples.len());
+        assert_eq!(o.series("satisfaction").len(), o.samples.len());
+        assert_eq!(o.series("reports").len(), o.samples.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown series")]
+    fn unknown_series_panics() {
+        let o = run_scenario(small(9)).unwrap();
+        let _ = o.series("nope");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut c = ScenarioConfig::default();
+        c.disclosure_level = 9;
+        assert!(Scenario::new(c).is_err());
+        let mut c = ScenarioConfig::default();
+        c.churn_offline = 1.5;
+        assert!(Scenario::new(c).is_err());
+        let mut c = ScenarioConfig::default();
+        c.consumer_role_weight = -0.1;
+        assert!(Scenario::new(c).is_err());
+    }
+
+    #[test]
+    fn churn_reduces_interactions_but_stays_sound() {
+        let mut stable = small(40);
+        stable.rounds = 12;
+        let stable_out = run_scenario(stable).unwrap();
+        let mut churny = small(40);
+        churny.rounds = 12;
+        churny.churn_offline = 0.4;
+        let churny_out = run_scenario(churny).unwrap();
+        assert!(churny_out.interactions < stable_out.interactions);
+        assert!(churny_out.facets.validate().is_ok());
+        assert!((0.0..=1.0).contains(&churny_out.global_trust));
+    }
+
+    #[test]
+    fn full_churn_is_a_degenerate_but_safe_run() {
+        let mut c = small(41);
+        c.churn_offline = 1.0;
+        let o = run_scenario(c).unwrap();
+        assert_eq!(o.interactions, 0);
+        assert_eq!(o.denial_rate, 0.0);
+        assert!(o.facets.validate().is_ok());
+    }
+
+    #[test]
+    fn greedy_selection_overloads_providers() {
+        // Best-only selection concentrates load on top-scored providers,
+        // hurting provider-role satisfaction relative to random spread.
+        let provider_side = |selection: tsn_reputation::SelectionPolicy, seed: u64| {
+            let mut c = small(seed);
+            c.rounds = 15;
+            c.interactions_per_node = 4;
+            c.consumer_role_weight = 0.0; // isolate the provider role
+            c.selection = selection;
+            run_scenario(c).unwrap().facets.satisfaction
+        };
+        let spread = (0..3)
+            .map(|s| provider_side(tsn_reputation::SelectionPolicy::Random, 60 + s))
+            .sum::<f64>()
+            / 3.0;
+        let greedy = (0..3)
+            .map(|s| provider_side(tsn_reputation::SelectionPolicy::Best, 60 + s))
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            greedy < spread,
+            "greedy selection must overload winners: {greedy} vs {spread}"
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Compact undirected graph keyed by [`NodeId`].
+
+use serde::{Deserialize, Serialize};
+use tsn_simnet::NodeId;
+
+/// An undirected simple graph (no self-loops, no parallel edges) over a
+/// dense node range `0..n`.
+///
+/// Adjacency lists are kept sorted, which makes `has_edge` a binary search
+/// and iteration deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId::from_index(self.adj.len() - 1)
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// Returns `true` if the edge was new. Self-loops are rejected with a
+    /// panic because every generator in this crate is specified on simple
+    /// graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(a.index() < self.adj.len(), "node {a} out of range");
+        assert!(b.index() < self.adj.len(), "node {b} out of range");
+        match self.adj[a.index()].binary_search(&b) {
+            Ok(_) => false,
+            Err(pos_a) => {
+                self.adj[a.index()].insert(pos_a, b);
+                let pos_b = self.adj[b.index()]
+                    .binary_search(&a)
+                    .expect_err("edge must be symmetric-absent");
+                self.adj[b.index()].insert(pos_b, a);
+                self.edge_count += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes the undirected edge `{a, b}`. Returns `true` if it existed.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        if a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+            return false;
+        }
+        match self.adj[a.index()].binary_search(&b) {
+            Ok(pos_a) => {
+                self.adj[a.index()].remove(pos_a);
+                let pos_b = self.adj[b.index()]
+                    .binary_search(&a)
+                    .expect("edge must be symmetric-present");
+                self.adj[b.index()].remove(pos_b);
+                self.edge_count -= 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        a.index() < self.adj.len() && self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Sorted neighbours of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// Iterator over all edges, each reported once with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.adj[a.index()]
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Breadth-first distances from `source`; `None` for unreachable nodes.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source.index()] = Some(0);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()].expect("visited nodes have a distance");
+            for &v in &self.adj[u.index()] {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected components as a label per node (labels are the smallest
+    /// node index in each component).
+    pub fn components(&self) -> Vec<u32> {
+        let mut label = vec![u32::MAX; self.adj.len()];
+        for s in 0..self.adj.len() {
+            if label[s] != u32::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            label[s] = s as u32;
+            while let Some(u) = stack.pop() {
+                for &v in &self.adj[u] {
+                    if label[v.index()] == u32::MAX {
+                        label[v.index()] = s as u32;
+                        stack.push(v.index());
+                    }
+                }
+            }
+        }
+        label
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let labels = self.components();
+        let mut uniq: Vec<u32> = labels;
+        uniq.sort_unstable();
+        uniq.dedup();
+        uniq.len()
+    }
+
+    /// Whether the graph is connected (vacuously true when empty).
+    pub fn is_connected(&self) -> bool {
+        self.node_count() == 0 || self.component_count() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::with_nodes(3);
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(1), NodeId(0)), "parallel edge rejected");
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(1), NodeId(1));
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(g.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let d = g.bfs_distances(NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        let d = g.bfs_distances(NodeId(0));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        assert_eq!(g.component_count(), 3); // {0,1}, {2,3}, {4}
+        assert!(!g.is_connected());
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Graph::with_nodes(0).is_connected());
+        assert!(Graph::with_nodes(1).is_connected());
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Graph::with_nodes(1);
+        let n = g.add_node();
+        assert_eq!(n, NodeId(1));
+        assert_eq!(g.node_count(), 2);
+        g.add_edge(NodeId(0), n);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+}

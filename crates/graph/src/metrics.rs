@@ -1,0 +1,291 @@
+//! Structural measurements on social graphs.
+
+use crate::graph::Graph;
+use tsn_simnet::{NodeId, SimRng};
+
+/// Degree of every node, indexed by node.
+pub fn degree_sequence(g: &Graph) -> Vec<usize> {
+    g.nodes().map(|v| g.degree(v)).collect()
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let degrees = degree_sequence(g);
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for d in degrees {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Mean degree (0 for the empty graph).
+pub fn mean_degree(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / g.node_count() as f64
+    }
+}
+
+/// Local clustering coefficient of one node: fraction of neighbour pairs
+/// that are themselves connected. Zero for degree < 2.
+pub fn local_clustering(g: &Graph, node: NodeId) -> f64 {
+    let neigh = g.neighbors(node);
+    let k = neigh.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if g.has_edge(neigh[i], neigh[j]) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (k * (k - 1) / 2) as f64
+}
+
+/// Average of local clustering coefficients (Watts–Strogatz definition).
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    g.nodes().map(|v| local_clustering(g, v)).sum::<f64>() / g.node_count() as f64
+}
+
+/// Average shortest-path length over reachable pairs, estimated by BFS
+/// from `samples` random sources (exact when `samples >= n`).
+///
+/// Returns `None` when the graph has no reachable pair.
+pub fn average_path_length(g: &Graph, samples: usize, rng: &mut SimRng) -> Option<f64> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let sources: Vec<NodeId> = if samples >= n {
+        g.nodes().collect()
+    } else {
+        let mut all: Vec<NodeId> = g.nodes().collect();
+        rng.shuffle(&mut all);
+        all.truncate(samples.max(1));
+        all
+    };
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for s in sources {
+        for (i, d) in g.bfs_distances(s).into_iter().enumerate() {
+            if let Some(d) = d {
+                if i != s.index() {
+                    total += u64::from(d);
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total as f64 / pairs as f64)
+    }
+}
+
+/// Graph diameter (longest shortest path) over the sampled sources; exact
+/// when `samples >= n`. `None` for graphs with no reachable pair.
+pub fn diameter(g: &Graph, samples: usize, rng: &mut SimRng) -> Option<u32> {
+    let n = g.node_count();
+    if n < 2 {
+        return None;
+    }
+    let sources: Vec<NodeId> = if samples >= n {
+        g.nodes().collect()
+    } else {
+        let mut all: Vec<NodeId> = g.nodes().collect();
+        rng.shuffle(&mut all);
+        all.truncate(samples.max(1));
+        all
+    };
+    let mut best: Option<u32> = None;
+    for s in sources {
+        for d in g.bfs_distances(s).into_iter().flatten() {
+            best = Some(best.map_or(d, |b| b.max(d)));
+        }
+    }
+    best.filter(|&d| d > 0)
+}
+
+/// Degree assortativity (Pearson correlation of degrees across edges).
+/// `None` when the graph has no edges or degrees are constant.
+pub fn degree_assortativity(g: &Graph) -> Option<f64> {
+    if g.edge_count() == 0 {
+        return None;
+    }
+    let mut xs = Vec::with_capacity(g.edge_count() * 2);
+    let mut ys = Vec::with_capacity(g.edge_count() * 2);
+    for (a, b) in g.edges() {
+        let da = g.degree(a) as f64;
+        let db = g.degree(b) as f64;
+        // Count each edge in both orientations to symmetrize.
+        xs.push(da);
+        ys.push(db);
+        xs.push(db);
+        ys.push(da);
+    }
+    pearson(&xs, &ys)
+}
+
+/// Pearson correlation of two equally long samples; `None` when undefined
+/// (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        None
+    } else {
+        Some(cov / (vx.sqrt() * vy.sqrt()))
+    }
+}
+
+/// Spearman rank correlation; `None` when undefined. Ties receive average
+/// ranks (midrank method).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rx = midranks(xs);
+    let ry = midranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn midranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_metrics_on_star() {
+        // Star K_{1,4}: hub degree 4, leaves degree 1.
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId::from_index(i));
+        }
+        assert_eq!(degree_sequence(&g), vec![4, 1, 1, 1, 1]);
+        assert_eq!(degree_histogram(&g), vec![0, 4, 0, 0, 1]);
+        assert!((mean_degree(&g) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_triangle_and_star() {
+        let g = generators::complete(3);
+        assert_eq!(average_clustering(&g), 1.0);
+        let mut star = Graph::with_nodes(4);
+        for i in 1..4 {
+            star.add_edge(NodeId(0), NodeId::from_index(i));
+        }
+        assert_eq!(average_clustering(&star), 0.0);
+    }
+
+    #[test]
+    fn path_length_of_ring() {
+        let g = generators::ring(6).unwrap();
+        let mut rng = SimRng::seed_from_u64(0);
+        // Ring C6: distances 1,1,2,2,3 from each node → mean 1.8.
+        let apl = average_path_length(&g, 100, &mut rng).unwrap();
+        assert!((apl - 1.8).abs() < 1e-12);
+        assert_eq!(diameter(&g, 100, &mut rng), Some(3));
+    }
+
+    #[test]
+    fn path_length_none_when_isolated() {
+        let g = Graph::with_nodes(3);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert_eq!(average_path_length(&g, 10, &mut rng), None);
+        assert_eq!(diameter(&g, 10, &mut rng), None);
+    }
+
+    #[test]
+    fn small_world_properties() {
+        // The defining claim of Watts–Strogatz: at moderate beta the graph
+        // keeps lattice-like clustering but gains random-like path lengths.
+        let mut rng = SimRng::seed_from_u64(1);
+        let n = 400;
+        let lattice = generators::watts_strogatz(n, 8, 0.0, &mut rng).unwrap();
+        let sw = generators::watts_strogatz(n, 8, 0.1, &mut rng).unwrap();
+        let cc_lattice = average_clustering(&lattice);
+        let cc_sw = average_clustering(&sw);
+        let apl_lattice = average_path_length(&lattice, 50, &mut rng).unwrap();
+        let apl_sw = average_path_length(&sw, 50, &mut rng).unwrap();
+        assert!(cc_sw > 0.5 * cc_lattice, "clustering survives rewiring");
+        assert!(apl_sw < 0.5 * apl_lattice, "paths shorten dramatically");
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None, "zero variance");
+        assert_eq!(pearson(&[1.0], &[2.0]), None, "too short");
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None, "length mismatch");
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear relation: Spearman 1, Pearson < 1.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_of_star_is_negative() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId::from_index(i));
+        }
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r < -0.9, "stars are disassortative, got {r}");
+        assert_eq!(degree_assortativity(&Graph::with_nodes(3)), None);
+    }
+}

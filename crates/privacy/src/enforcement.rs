@@ -1,0 +1,321 @@
+//! The PriServ-like access-decision engine (paper ref [12]).
+//!
+//! PriServ exposes *publish* / *request* functions that honour the data
+//! owner's PPs — in particular access purpose, operations and authorized
+//! users. [`Enforcer::decide`] evaluates an [`AccessRequest`] against the
+//! owner's [`PrivacyPolicy`] plus ambient context (social distance, the
+//! requester's trust level) and returns a fully explained decision.
+
+use crate::policy::{AccessCondition, Operation, PrivacyPolicy, Purpose};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tsn_simnet::NodeId;
+
+/// A request to access one item of personal data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessRequest {
+    /// Who asks.
+    pub requester: NodeId,
+    /// Whose data.
+    pub owner: NodeId,
+    /// What they want to do.
+    pub operation: Operation,
+    /// Why.
+    pub purpose: Purpose,
+}
+
+/// Why a request was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenialReason {
+    /// Requester not in the authorized set.
+    NotAuthorized,
+    /// Operation not allowed by the policy.
+    OperationNotAllowed,
+    /// Purpose not allowed by the policy.
+    PurposeNotAllowed,
+    /// A condition failed (friends-only / hop limit).
+    ConditionFailed,
+    /// Requester's trust level below the policy minimum.
+    InsufficientTrust,
+}
+
+impl fmt::Display for DenialReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DenialReason::NotAuthorized => "requester not authorized",
+            DenialReason::OperationNotAllowed => "operation not allowed",
+            DenialReason::PurposeNotAllowed => "purpose not allowed",
+            DenialReason::ConditionFailed => "access condition failed",
+            DenialReason::InsufficientTrust => "insufficient trust level",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The outcome of evaluating a request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessDecision {
+    /// Access granted as requested.
+    Grant,
+    /// Access granted but the data must be anonymized first
+    /// (the `AnonymizedOnly` condition).
+    GrantAnonymized,
+    /// Denied, with the first failing check.
+    Deny(DenialReason),
+}
+
+impl AccessDecision {
+    /// Whether any form of access was granted.
+    pub fn is_granted(&self) -> bool {
+        matches!(self, AccessDecision::Grant | AccessDecision::GrantAnonymized)
+    }
+}
+
+/// Ambient context the enforcer needs beyond the request itself.
+///
+/// Kept as a struct of closures' results rather than trait objects so the
+/// engine stays trivially testable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestContext {
+    /// Social-graph distance between requester and owner (`None` =
+    /// unreachable).
+    pub social_distance: Option<u32>,
+    /// The owner's trust toward the requester, in `[0, 1]`.
+    pub requester_trust: f64,
+}
+
+/// The decision engine. Stateless; per-decision statistics live in the
+/// caller's [`crate::ledger::DisclosureLedger`].
+///
+/// ```
+/// use tsn_privacy::enforcement::RequestContext;
+/// use tsn_privacy::{AccessRequest, DataCategory, Enforcer, Operation, PrivacyPolicy, Purpose};
+/// use tsn_simnet::NodeId;
+///
+/// let policy = PrivacyPolicy::strict(DataCategory::Content);
+/// let request = AccessRequest {
+///     requester: NodeId(1),
+///     owner: NodeId(0),
+///     operation: Operation::Read,
+///     purpose: Purpose::Social,
+/// };
+/// let friend = RequestContext { social_distance: Some(1), requester_trust: 0.9 };
+/// assert!(Enforcer::new().decide(&request, &policy, &friend).is_granted());
+/// let stranger = RequestContext { social_distance: Some(3), requester_trust: 0.9 };
+/// assert!(!Enforcer::new().decide(&request, &policy, &stranger).is_granted());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Enforcer;
+
+impl Enforcer {
+    /// Creates an enforcer.
+    pub fn new() -> Self {
+        Enforcer
+    }
+
+    /// Evaluates `request` against `policy` in `context`.
+    ///
+    /// Checks run in a fixed order (authorization, operation, purpose,
+    /// conditions, trust) and report the *first* failure, matching how
+    /// PriServ's lookup pipeline short-circuits.
+    pub fn decide(
+        &self,
+        request: &AccessRequest,
+        policy: &PrivacyPolicy,
+        context: &RequestContext,
+    ) -> AccessDecision {
+        // Owners always access their own data.
+        if request.requester == request.owner {
+            return AccessDecision::Grant;
+        }
+        if let Some(authorized) = &policy.authorized_users {
+            if !authorized.contains(&request.requester) {
+                return AccessDecision::Deny(DenialReason::NotAuthorized);
+            }
+        }
+        if !policy.operations.contains(&request.operation) {
+            return AccessDecision::Deny(DenialReason::OperationNotAllowed);
+        }
+        if !policy.purposes.contains(&request.purpose) {
+            return AccessDecision::Deny(DenialReason::PurposeNotAllowed);
+        }
+        let mut anonymize = false;
+        for condition in &policy.conditions {
+            match condition {
+                AccessCondition::FriendsOnly => {
+                    if context.social_distance != Some(1) {
+                        return AccessDecision::Deny(DenialReason::ConditionFailed);
+                    }
+                }
+                AccessCondition::WithinHops(h) => match context.social_distance {
+                    Some(d) if d <= *h => {}
+                    _ => return AccessDecision::Deny(DenialReason::ConditionFailed),
+                },
+                AccessCondition::AnonymizedOnly => anonymize = true,
+            }
+        }
+        if context.requester_trust < policy.min_trust_level {
+            return AccessDecision::Deny(DenialReason::InsufficientTrust);
+        }
+        if anonymize {
+            AccessDecision::GrantAnonymized
+        } else {
+            AccessDecision::Grant
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DataCategory, PrivacyPolicy};
+    use tsn_simnet::SimDuration;
+
+    fn request(op: Operation, purpose: Purpose) -> AccessRequest {
+        AccessRequest { requester: NodeId(1), owner: NodeId(0), operation: op, purpose }
+    }
+
+    fn ctx(distance: Option<u32>, trust: f64) -> RequestContext {
+        RequestContext { social_distance: distance, requester_trust: trust }
+    }
+
+    #[test]
+    fn permissive_policy_grants_read() {
+        let policy = PrivacyPolicy::permissive(DataCategory::Content);
+        let d = Enforcer::new().decide(
+            &request(Operation::Read, Purpose::Social),
+            &policy,
+            &ctx(Some(3), 0.0),
+        );
+        assert_eq!(d, AccessDecision::Grant);
+        assert!(d.is_granted());
+    }
+
+    #[test]
+    fn owner_always_accesses_own_data() {
+        let policy = PrivacyPolicy::strict(DataCategory::Location);
+        let own = AccessRequest {
+            requester: NodeId(0),
+            owner: NodeId(0),
+            operation: Operation::Share,
+            purpose: Purpose::Commercial,
+        };
+        assert_eq!(Enforcer::new().decide(&own, &policy, &ctx(None, 0.0)), AccessDecision::Grant);
+    }
+
+    #[test]
+    fn unauthorized_user_denied_first() {
+        let policy = PrivacyPolicy::builder(DataCategory::Profile)
+            .authorize_users([NodeId(9)])
+            .allow_operations([Operation::Read])
+            .allow_purposes([Purpose::Social])
+            .build()
+            .unwrap();
+        let d = Enforcer::new().decide(
+            &request(Operation::Read, Purpose::Social),
+            &policy,
+            &ctx(Some(1), 1.0),
+        );
+        assert_eq!(d, AccessDecision::Deny(DenialReason::NotAuthorized));
+    }
+
+    #[test]
+    fn operation_and_purpose_checks() {
+        let policy = PrivacyPolicy::builder(DataCategory::Content)
+            .allow_operations([Operation::Read])
+            .allow_purposes([Purpose::Social])
+            .build()
+            .unwrap();
+        let e = Enforcer::new();
+        assert_eq!(
+            e.decide(&request(Operation::Share, Purpose::Social), &policy, &ctx(Some(1), 1.0)),
+            AccessDecision::Deny(DenialReason::OperationNotAllowed)
+        );
+        assert_eq!(
+            e.decide(&request(Operation::Read, Purpose::Commercial), &policy, &ctx(Some(1), 1.0)),
+            AccessDecision::Deny(DenialReason::PurposeNotAllowed)
+        );
+    }
+
+    #[test]
+    fn friends_only_requires_distance_one() {
+        let policy = PrivacyPolicy::strict(DataCategory::Content);
+        let e = Enforcer::new();
+        let r = request(Operation::Read, Purpose::Social);
+        assert_eq!(
+            e.decide(&r, &policy, &ctx(Some(2), 1.0)),
+            AccessDecision::Deny(DenialReason::ConditionFailed)
+        );
+        assert_eq!(
+            e.decide(&r, &policy, &ctx(None, 1.0)),
+            AccessDecision::Deny(DenialReason::ConditionFailed)
+        );
+        assert_eq!(e.decide(&r, &policy, &ctx(Some(1), 1.0)), AccessDecision::Grant);
+    }
+
+    #[test]
+    fn hop_limit_condition() {
+        let policy = PrivacyPolicy::builder(DataCategory::Contacts)
+            .allow_operations([Operation::Read])
+            .allow_purposes([Purpose::Social])
+            .condition(AccessCondition::WithinHops(2))
+            .build()
+            .unwrap();
+        let e = Enforcer::new();
+        let r = request(Operation::Read, Purpose::Social);
+        assert!(e.decide(&r, &policy, &ctx(Some(2), 1.0)).is_granted());
+        assert!(!e.decide(&r, &policy, &ctx(Some(3), 1.0)).is_granted());
+    }
+
+    #[test]
+    fn trust_threshold_enforced() {
+        let policy = PrivacyPolicy::strict(DataCategory::Content);
+        let e = Enforcer::new();
+        let r = request(Operation::Read, Purpose::Social);
+        assert_eq!(
+            e.decide(&r, &policy, &ctx(Some(1), 0.69)),
+            AccessDecision::Deny(DenialReason::InsufficientTrust)
+        );
+        assert_eq!(e.decide(&r, &policy, &ctx(Some(1), 0.71)), AccessDecision::Grant);
+    }
+
+    #[test]
+    fn anonymized_only_downgrades_grant() {
+        let policy = PrivacyPolicy::builder(DataCategory::Behavior)
+            .allow_operations([Operation::Aggregate])
+            .allow_purposes([Purpose::Reputation])
+            .condition(AccessCondition::AnonymizedOnly)
+            .build()
+            .unwrap();
+        let d = Enforcer::new().decide(
+            &request(Operation::Aggregate, Purpose::Reputation),
+            &policy,
+            &ctx(Some(4), 0.5),
+        );
+        assert_eq!(d, AccessDecision::GrantAnonymized);
+        assert!(d.is_granted());
+    }
+
+    #[test]
+    fn denial_reasons_display() {
+        assert_eq!(DenialReason::InsufficientTrust.to_string(), "insufficient trust level");
+    }
+
+    #[test]
+    fn first_failure_wins() {
+        // Both operation and trust fail; operation is reported (earlier).
+        let policy = PrivacyPolicy::builder(DataCategory::Content)
+            .allow_operations([Operation::Read])
+            .allow_purposes([Purpose::Social])
+            .min_trust_level(0.9)
+            .retention(SimDuration::from_secs(60))
+            .build()
+            .unwrap();
+        let d = Enforcer::new().decide(
+            &request(Operation::Share, Purpose::Social),
+            &policy,
+            &ctx(Some(1), 0.0),
+        );
+        assert_eq!(d, AccessDecision::Deny(DenialReason::OperationNotAllowed));
+    }
+}

@@ -1,0 +1,150 @@
+//! From ledger + policies + audit to the scalar *privacy facet*.
+//!
+//! The paper (Section 4) defines the privacy axis as "the satisfaction in
+//! terms of privacy guarantees which can be the amount of information that
+//! it is not necessary to share within the system or the respect of PPs".
+//! [`PrivacyFacetInputs`] carries those two measured quantities plus the
+//! OECD audit score; [`ExposureReport::facet`] combines them.
+
+use serde::{Deserialize, Serialize};
+
+/// The three measured inputs of the privacy facet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyFacetInputs {
+    /// Normalized information exposure in `[0, 1]` (0 = nothing shared):
+    /// the disclosure policy's `exposure()` or a ledger-derived
+    /// equivalent.
+    pub exposure: f64,
+    /// Measured PP-respect rate in `[0, 1]` from the ledger.
+    pub respect_rate: f64,
+    /// OECD audit overall score in `[0, 1]`.
+    pub oecd_score: f64,
+}
+
+/// Weights for the three inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExposureWeights {
+    /// Weight of (1 − exposure) — "information not shared".
+    pub non_disclosure: f64,
+    /// Weight of the PP-respect rate.
+    pub respect: f64,
+    /// Weight of the OECD audit.
+    pub audit: f64,
+}
+
+impl Default for ExposureWeights {
+    fn default() -> Self {
+        // The paper names non-disclosure and PP respect as the two primary
+        // readings; the audit is a structural backstop.
+        ExposureWeights { non_disclosure: 0.4, respect: 0.4, audit: 0.2 }
+    }
+}
+
+/// The privacy facet and its decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExposureReport {
+    /// The inputs that produced this report.
+    pub inputs: PrivacyFacetInputs,
+    /// The combined facet in `[0, 1]`.
+    pub facet: f64,
+}
+
+impl PrivacyFacetInputs {
+    /// Validates field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("exposure", self.exposure),
+            ("respect_rate", self.respect_rate),
+            ("oecd_score", self.oecd_score),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the facet under `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are invalid or weights are all zero.
+    pub fn facet_with(&self, weights: &ExposureWeights) -> ExposureReport {
+        if let Err(e) = self.validate() {
+            panic!("invalid privacy facet inputs: {e}");
+        }
+        let total = weights.non_disclosure + weights.respect + weights.audit;
+        assert!(total > 0.0, "weights must not all be zero");
+        let facet = (weights.non_disclosure * (1.0 - self.exposure)
+            + weights.respect * self.respect_rate
+            + weights.audit * self.oecd_score)
+            / total;
+        ExposureReport { inputs: *self, facet }
+    }
+
+    /// Computes the facet under default weights.
+    pub fn facet(&self) -> ExposureReport {
+        self.facet_with(&ExposureWeights::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_privacy_scores_one() {
+        let r = PrivacyFacetInputs { exposure: 0.0, respect_rate: 1.0, oecd_score: 1.0 }.facet();
+        assert_eq!(r.facet, 1.0);
+    }
+
+    #[test]
+    fn total_exposure_with_breaches_scores_zero() {
+        let r = PrivacyFacetInputs { exposure: 1.0, respect_rate: 0.0, oecd_score: 0.0 }.facet();
+        assert_eq!(r.facet, 0.0);
+    }
+
+    #[test]
+    fn facet_decreases_with_exposure() {
+        let f = |e: f64| {
+            PrivacyFacetInputs { exposure: e, respect_rate: 0.9, oecd_score: 0.8 }.facet().facet
+        };
+        assert!(f(0.0) > f(0.5));
+        assert!(f(0.5) > f(1.0));
+    }
+
+    #[test]
+    fn facet_increases_with_respect() {
+        let f = |r: f64| {
+            PrivacyFacetInputs { exposure: 0.5, respect_rate: r, oecd_score: 0.8 }.facet().facet
+        };
+        assert!(f(1.0) > f(0.5));
+    }
+
+    #[test]
+    fn custom_weights_reweight() {
+        let inputs = PrivacyFacetInputs { exposure: 1.0, respect_rate: 1.0, oecd_score: 0.0 };
+        let only_respect = ExposureWeights { non_disclosure: 0.0, respect: 1.0, audit: 0.0 };
+        assert_eq!(inputs.facet_with(&only_respect).facet, 1.0);
+        let only_disclosure = ExposureWeights { non_disclosure: 1.0, respect: 0.0, audit: 0.0 };
+        assert_eq!(inputs.facet_with(&only_disclosure).facet, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid privacy facet inputs")]
+    fn invalid_inputs_panic() {
+        let _ = PrivacyFacetInputs { exposure: 2.0, respect_rate: 0.5, oecd_score: 0.5 }.facet();
+    }
+
+    #[test]
+    fn validation_messages_name_the_field() {
+        let e = PrivacyFacetInputs { exposure: 0.5, respect_rate: 1.5, oecd_score: 0.5 }
+            .validate()
+            .unwrap_err();
+        assert!(e.contains("respect_rate"));
+    }
+}

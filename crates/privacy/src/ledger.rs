@@ -1,0 +1,259 @@
+//! The disclosure ledger: accounting for every personal-data flow.
+//!
+//! The paper's privacy facet is *measured*, not assumed: "privacy concerns
+//! the respect of individual PPs". The ledger records every disclosure
+//! (and every breach), so per-user and system-wide respect rates are exact
+//! counts. Footnote 2 of the paper insists breaches by malicious users
+//! and breaches by the system itself "should not be treated in the same
+//! manner" — [`BreachCause`] keeps them apart.
+
+use crate::policy::{DataCategory, Purpose};
+use serde::{Deserialize, Serialize};
+use tsn_simnet::{NodeId, SimTime};
+
+/// Who is to blame for a breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BreachCause {
+    /// A malicious *user* leaked data they were granted.
+    MaliciousUser,
+    /// The *system* violated a policy (bug, misconfiguration, over-sharing
+    /// by the reputation pipeline).
+    System,
+}
+
+/// One recorded data flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisclosureRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// Whose data flowed.
+    pub owner: NodeId,
+    /// Who received it.
+    pub recipient: NodeId,
+    /// What category of data.
+    pub category: DataCategory,
+    /// Declared purpose of the flow.
+    pub purpose: Purpose,
+    /// Whether the flow complied with the owner's policy. Non-compliant
+    /// flows are *breaches*.
+    pub compliant: bool,
+    /// Cause, for breaches.
+    pub breach_cause: Option<BreachCause>,
+    /// Whether the data was anonymized before flowing.
+    pub anonymized: bool,
+}
+
+/// Append-only ledger of disclosures, with per-owner aggregation.
+///
+/// ```
+/// use tsn_privacy::{BreachCause, DataCategory, DisclosureLedger, Purpose};
+/// use tsn_simnet::{NodeId, SimTime};
+///
+/// let mut ledger = DisclosureLedger::new();
+/// ledger.record_disclosure(SimTime::ZERO, NodeId(0), NodeId(1), DataCategory::Content, Purpose::Social, false);
+/// ledger.record_breach(SimTime::ZERO, NodeId(0), NodeId(2), DataCategory::Content, Purpose::Social, BreachCause::MaliciousUser);
+/// assert_eq!(ledger.respect_rate(), 0.5);
+/// assert_eq!(ledger.breach_count(Some(BreachCause::System)), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DisclosureLedger {
+    records: Vec<DisclosureRecord>,
+}
+
+impl DisclosureLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a compliant disclosure.
+    pub fn record_disclosure(
+        &mut self,
+        at: SimTime,
+        owner: NodeId,
+        recipient: NodeId,
+        category: DataCategory,
+        purpose: Purpose,
+        anonymized: bool,
+    ) {
+        self.records.push(DisclosureRecord {
+            at,
+            owner,
+            recipient,
+            category,
+            purpose,
+            compliant: true,
+            breach_cause: None,
+            anonymized,
+        });
+    }
+
+    /// Records a breach.
+    pub fn record_breach(
+        &mut self,
+        at: SimTime,
+        owner: NodeId,
+        recipient: NodeId,
+        category: DataCategory,
+        purpose: Purpose,
+        cause: BreachCause,
+    ) {
+        self.records.push(DisclosureRecord {
+            at,
+            owner,
+            recipient,
+            category,
+            purpose,
+            compliant: false,
+            breach_cause: Some(cause),
+            anonymized: false,
+        });
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[DisclosureRecord] {
+        &self.records
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of breaches, optionally filtered by cause.
+    pub fn breach_count(&self, cause: Option<BreachCause>) -> usize {
+        self.records
+            .iter()
+            .filter(|r| !r.compliant && (cause.is_none() || r.breach_cause == cause))
+            .count()
+    }
+
+    /// System-wide policy-respect rate: compliant / total. An empty
+    /// ledger counts as fully respected (no flow, no violation).
+    pub fn respect_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        let compliant = self.records.iter().filter(|r| r.compliant).count();
+        compliant as f64 / self.records.len() as f64
+    }
+
+    /// Policy-respect rate for one owner's data.
+    pub fn respect_rate_for(&self, owner: NodeId) -> f64 {
+        let mine: Vec<&DisclosureRecord> =
+            self.records.iter().filter(|r| r.owner == owner).collect();
+        if mine.is_empty() {
+            return 1.0;
+        }
+        mine.iter().filter(|r| r.compliant).count() as f64 / mine.len() as f64
+    }
+
+    /// Sensitivity-weighted exposure of one owner: Σ sensitivity(category)
+    /// over their non-anonymized disclosed records (anonymized flows count
+    /// 25 %). Unnormalized; see [`crate::exposure`] for the facet mapping.
+    pub fn exposure_for(&self, owner: NodeId) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.owner == owner)
+            .map(|r| r.category.sensitivity() * if r.anonymized { 0.25 } else { 1.0 })
+            .sum()
+    }
+
+    /// Total sensitivity-weighted exposure across all owners.
+    pub fn total_exposure(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.category.sensitivity() * if r.anonymized { 0.25 } else { 1.0 })
+            .sum()
+    }
+
+    /// Records concerning one owner.
+    pub fn records_for(&self, owner: NodeId) -> impl Iterator<Item = &DisclosureRecord> {
+        self.records.iter().filter(move |r| r.owner == owner)
+    }
+
+    /// Drops records older than `horizon` (retention enforcement on the
+    /// ledger itself). Returns how many were purged.
+    pub fn purge_before(&mut self, horizon: SimTime) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| r.at >= horizon);
+        before - self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_ledger_is_fully_respected() {
+        let l = DisclosureLedger::new();
+        assert_eq!(l.respect_rate(), 1.0);
+        assert_eq!(l.respect_rate_for(NodeId(0)), 1.0);
+        assert!(l.is_empty());
+        assert_eq!(l.total_exposure(), 0.0);
+    }
+
+    #[test]
+    fn respect_rate_counts_breaches() {
+        let mut l = DisclosureLedger::new();
+        l.record_disclosure(t(1), NodeId(0), NodeId(1), DataCategory::Content, Purpose::Social, false);
+        l.record_disclosure(t(2), NodeId(0), NodeId(2), DataCategory::Content, Purpose::Social, false);
+        l.record_breach(t(3), NodeId(0), NodeId(3), DataCategory::Content, Purpose::Commercial, BreachCause::System);
+        assert!((l.respect_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(l.breach_count(None), 1);
+        assert_eq!(l.breach_count(Some(BreachCause::System)), 1);
+        assert_eq!(l.breach_count(Some(BreachCause::MaliciousUser)), 0);
+    }
+
+    #[test]
+    fn per_owner_rates_are_independent() {
+        let mut l = DisclosureLedger::new();
+        l.record_disclosure(t(1), NodeId(0), NodeId(9), DataCategory::Profile, Purpose::Social, false);
+        l.record_breach(t(2), NodeId(1), NodeId(9), DataCategory::Profile, Purpose::Social, BreachCause::MaliciousUser);
+        assert_eq!(l.respect_rate_for(NodeId(0)), 1.0);
+        assert_eq!(l.respect_rate_for(NodeId(1)), 0.0);
+        assert_eq!(l.respect_rate_for(NodeId(7)), 1.0, "no data, no violation");
+    }
+
+    #[test]
+    fn exposure_weights_sensitivity_and_anonymization() {
+        let mut l = DisclosureLedger::new();
+        l.record_disclosure(t(1), NodeId(0), NodeId(1), DataCategory::Location, Purpose::Social, false);
+        l.record_disclosure(t(2), NodeId(0), NodeId(1), DataCategory::Location, Purpose::Social, true);
+        let expected = 1.0 + 0.25;
+        assert!((l.exposure_for(NodeId(0)) - expected).abs() < 1e-12);
+        assert!((l.total_exposure() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purge_enforces_retention() {
+        let mut l = DisclosureLedger::new();
+        for s in 0..10 {
+            l.record_disclosure(t(s), NodeId(0), NodeId(1), DataCategory::Content, Purpose::Social, false);
+        }
+        let purged = l.purge_before(t(5));
+        assert_eq!(purged, 5);
+        assert_eq!(l.len(), 5);
+        assert!(l.records().iter().all(|r| r.at >= t(5)));
+    }
+
+    #[test]
+    fn records_for_filters_by_owner() {
+        let mut l = DisclosureLedger::new();
+        l.record_disclosure(t(1), NodeId(0), NodeId(1), DataCategory::Content, Purpose::Social, false);
+        l.record_disclosure(t(2), NodeId(1), NodeId(0), DataCategory::Content, Purpose::Social, false);
+        assert_eq!(l.records_for(NodeId(0)).count(), 1);
+        assert_eq!(l.records_for(NodeId(1)).count(), 1);
+        assert_eq!(l.records_for(NodeId(2)).count(), 0);
+    }
+}

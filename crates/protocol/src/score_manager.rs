@@ -1,0 +1,362 @@
+//! DHT-style score managers — EigenTrust/PowerTrust's distribution
+//! strategy as a protocol.
+//!
+//! Each subject's evidence lives at `k` deterministic *manager replicas*
+//! (in a real deployment, the k DHT nodes closest to `hash(subject)`).
+//! Raters send reports to all replicas; a consumer queries the replicas
+//! and averages the answers it receives. Replication hides individual
+//! manager crashes; losing every replica of a subject loses its history.
+
+use crate::host::{ProtocolCosts, RoundDriver};
+use std::collections::HashMap;
+use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration};
+
+/// Manager-protocol parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ManagerConfig {
+    /// Replicas per subject.
+    pub replicas: usize,
+    /// Length of one protocol round.
+    pub round_length: SimDuration,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig { replicas: 3, round_length: SimDuration::from_millis(100) }
+    }
+}
+
+/// Estimate quality snapshot (see [`ManagerNetwork::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ManagerReport {
+    /// Mean absolute error of answered queries vs the oracle.
+    pub mean_error: f64,
+    /// Fraction of queries that received at least one answer.
+    pub answer_rate: f64,
+    /// Protocol costs so far.
+    pub costs: ProtocolCosts,
+}
+
+/// Per-manager storage for one subject: evidence accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct Shard {
+    sum: f64,
+    count: f64,
+}
+
+/// The score-manager protocol instance.
+#[derive(Debug)]
+pub struct ManagerNetwork {
+    config: ManagerConfig,
+    driver: RoundDriver,
+    n: usize,
+    /// `stores[manager][subject] -> shard`.
+    stores: Vec<HashMap<u32, Shard>>,
+    /// Outbound work queued by the application between rounds.
+    pending: Vec<(NodeId, NodeId, Payload)>,
+    /// Collected answers: (requester, subject) → scores received.
+    answers: HashMap<(u32, u32), Vec<f64>>,
+    /// Queries issued: (requester, subject).
+    queries_issued: u64,
+    /// Ground truth totals per subject.
+    truth: Vec<(f64, f64)>,
+}
+
+impl ManagerNetwork {
+    /// Builds the protocol over an `n`-node network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas` is zero or exceeds the node count.
+    pub fn new(network: Network, config: ManagerConfig) -> Self {
+        let n = network.node_count();
+        assert!(config.replicas > 0, "replicas must be positive");
+        assert!(config.replicas <= n, "more replicas than nodes");
+        ManagerNetwork {
+            config,
+            driver: RoundDriver::new(network, config.round_length),
+            n,
+            stores: vec![HashMap::new(); n],
+            pending: Vec::new(),
+            answers: HashMap::new(),
+            queries_issued: 0,
+            truth: vec![(0.0, 0.0); n],
+        }
+    }
+
+    /// The deterministic manager replica set of `subject`.
+    ///
+    /// A splitmix-style hash spreads subjects across the id space; the
+    /// `k` replicas are consecutive offsets, matching "k closest nodes"
+    /// in a real DHT.
+    pub fn managers(&self, subject: NodeId) -> Vec<NodeId> {
+        let mut x = (u64::from(subject.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 31;
+        let base = (x % self.n as u64) as usize;
+        (0..self.config.replicas)
+            .map(|k| NodeId::from_index((base + k * 7 + k) % self.n))
+            .collect()
+    }
+
+    /// Queues a report from `rater` about `subject`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `[0, 1]`.
+    pub fn submit_report(&mut self, rater: NodeId, subject: NodeId, value: f64) {
+        assert!((0.0..=1.0).contains(&value), "value must be in [0,1]");
+        self.truth[subject.index()].0 += value;
+        self.truth[subject.index()].1 += 1.0;
+        for manager in self.managers(subject) {
+            self.pending.push((
+                rater,
+                manager,
+                Payload::record("mgr.report", vec![f64::from(subject.0), value]),
+            ));
+        }
+    }
+
+    /// Queues a score query from `requester` about `subject`.
+    pub fn submit_query(&mut self, requester: NodeId, subject: NodeId) {
+        self.queries_issued += 1;
+        for manager in self.managers(subject) {
+            self.pending.push((
+                requester,
+                manager,
+                Payload::record("mgr.query", vec![f64::from(subject.0)]),
+            ));
+        }
+    }
+
+    /// Executes one protocol round: flushes queued application traffic,
+    /// then processes whatever arrived (reports stored, queries answered,
+    /// answers collected).
+    pub fn round(&mut self) {
+        let ManagerNetwork { driver, stores, pending, answers, .. } = self;
+        let mut outbox: HashMap<NodeId, Vec<(NodeId, Payload)>> = HashMap::new();
+        for (from, to, payload) in pending.drain(..) {
+            outbox.entry(from).or_default().push((to, payload));
+        }
+        driver.round(|node, inbox| {
+            let mut sends = outbox.remove(&node).unwrap_or_default();
+            for envelope in inbox {
+                match classify(&envelope) {
+                    Some(Msg::Report { subject, value }) => {
+                        let shard = stores[node.index()].entry(subject).or_default();
+                        shard.sum += value;
+                        shard.count += 1.0;
+                    }
+                    Some(Msg::Query { subject }) => {
+                        let shard =
+                            stores[node.index()].get(&subject).copied().unwrap_or_default();
+                        let score = (shard.sum + 1.0) / (shard.count + 2.0);
+                        sends.push((
+                            envelope.from,
+                            Payload::record("mgr.answer", vec![f64::from(subject), score]),
+                        ));
+                    }
+                    Some(Msg::Answer { subject, score }) => {
+                        answers.entry((node.0, subject)).or_default().push(score);
+                    }
+                    None => {}
+                }
+            }
+            sends
+        });
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// The answer `requester` holds about `subject`: the mean of replica
+    /// answers, or `None` if nothing arrived (yet).
+    pub fn answer(&self, requester: NodeId, subject: NodeId) -> Option<f64> {
+        self.answers.get(&(requester.0, subject.0)).map(|scores| {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        })
+    }
+
+    /// The oracle score a centralized aggregator would hold.
+    pub fn oracle(&self, subject: NodeId) -> f64 {
+        let (sum, count) = self.truth[subject.index()];
+        (sum + 1.0) / (count + 2.0)
+    }
+
+    /// Quality snapshot across all collected answers.
+    pub fn report(&self) -> ManagerReport {
+        let mut total_error = 0.0;
+        let mut answered_subjects = 0u64;
+        for (&(_, subject), scores) in &self.answers {
+            let mean_answer = scores.iter().sum::<f64>() / scores.len() as f64;
+            total_error += (mean_answer - self.oracle(NodeId(subject))).abs();
+            answered_subjects += 1;
+        }
+        ManagerReport {
+            mean_error: if answered_subjects == 0 {
+                0.0
+            } else {
+                total_error / answered_subjects as f64
+            },
+            answer_rate: if self.queries_issued == 0 {
+                0.0
+            } else {
+                answered_subjects as f64 / self.queries_issued as f64
+            },
+            costs: self.driver.costs(),
+        }
+    }
+
+    /// Mutable network access (crash injection).
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.driver.network_mut()
+    }
+}
+
+enum Msg {
+    Report { subject: u32, value: f64 },
+    Query { subject: u32 },
+    Answer { subject: u32, score: f64 },
+}
+
+fn classify(envelope: &Envelope) -> Option<Msg> {
+    match &envelope.payload {
+        Payload::Record { tag, fields } => match (tag.as_str(), fields.as_slice()) {
+            ("mgr.report", [subject, value]) => {
+                Some(Msg::Report { subject: *subject as u32, value: *value })
+            }
+            ("mgr.query", [subject]) => Some(Msg::Query { subject: *subject as u32 }),
+            ("mgr.answer", [subject, score]) => {
+                Some(Msg::Answer { subject: *subject as u32, score: *score })
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsn_simnet::{latency::ConstantLatency, BernoulliLoss, NetworkConfig, NoLoss, SimRng};
+
+    fn build(n: usize, replicas: usize, loss: f64, seed: u64) -> ManagerNetwork {
+        let config = NetworkConfig {
+            latency: Box::new(ConstantLatency(SimDuration::from_millis(10))),
+            loss: if loss > 0.0 { Box::new(BernoulliLoss::new(loss)) } else { Box::new(NoLoss) },
+        };
+        let mut network = Network::new(config, SimRng::seed_from_u64(seed));
+        for _ in 0..n {
+            network.add_node();
+        }
+        ManagerNetwork::new(network, ManagerConfig { replicas, ..Default::default() })
+    }
+
+    #[test]
+    fn managers_are_deterministic_distinct_and_replicated() {
+        let m = build(20, 3, 0.0, 0);
+        for subject in 0..20u32 {
+            let a = m.managers(NodeId(subject));
+            let b = m.managers(NodeId(subject));
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 3);
+            let mut dedup = a.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replicas must be distinct: {a:?}");
+        }
+    }
+
+    #[test]
+    fn report_query_answer_matches_oracle() {
+        let mut m = build(20, 3, 0.0, 1);
+        for _ in 0..5 {
+            m.submit_report(NodeId(1), NodeId(7), 0.8);
+        }
+        m.round(); // reports travel
+        m.round(); // reports stored
+        m.submit_query(NodeId(2), NodeId(7));
+        m.run(3); // query travels, is answered, answer returns
+        let answer = m.answer(NodeId(2), NodeId(7)).expect("answer arrived");
+        let oracle = m.oracle(NodeId(7));
+        assert!((answer - oracle).abs() < 1e-9, "answer {answer} vs oracle {oracle}");
+        assert!((oracle - (0.8 * 5.0 + 1.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanswered_query_returns_none_then_some() {
+        let mut m = build(10, 2, 0.0, 2);
+        m.submit_query(NodeId(0), NodeId(5));
+        assert_eq!(m.answer(NodeId(0), NodeId(5)), None);
+        m.run(3);
+        assert!(m.answer(NodeId(0), NodeId(5)).is_some());
+    }
+
+    #[test]
+    fn replica_crash_is_tolerated() {
+        let mut m = build(20, 3, 0.0, 3);
+        for _ in 0..4 {
+            m.submit_report(NodeId(0), NodeId(9), 1.0);
+        }
+        m.run(2);
+        // Kill one replica of subject 9.
+        let victim = m.managers(NodeId(9))[0];
+        m.network_mut().set_alive(victim, false);
+        m.submit_query(NodeId(1), NodeId(9));
+        m.run(3);
+        let answer = m.answer(NodeId(1), NodeId(9)).expect("remaining replicas answer");
+        assert!(answer > 0.5, "evidence survives a replica crash: {answer}");
+    }
+
+    #[test]
+    fn losing_all_replicas_loses_history() {
+        let mut m = build(20, 2, 0.0, 4);
+        for _ in 0..6 {
+            m.submit_report(NodeId(0), NodeId(3), 1.0);
+        }
+        m.run(2);
+        for replica in m.managers(NodeId(3)) {
+            m.network_mut().set_alive(replica, false);
+        }
+        m.submit_query(NodeId(1), NodeId(3));
+        m.run(4);
+        assert_eq!(m.answer(NodeId(1), NodeId(3)), None, "no replica left to answer");
+        let report = m.report();
+        assert!(report.answer_rate < 1.0);
+    }
+
+    #[test]
+    fn loss_reduces_answer_rate() {
+        let run = |loss: f64| {
+            let mut m = build(30, 2, loss, 5);
+            for s in 0..30u32 {
+                m.submit_report(NodeId((s + 1) % 30), NodeId(s), 0.7);
+            }
+            m.run(2);
+            for s in 0..30u32 {
+                m.submit_query(NodeId((s + 2) % 30), NodeId(s));
+            }
+            m.run(4);
+            m.report().answer_rate
+        };
+        assert!(run(0.5) < run(0.0), "loss must cost answers");
+        assert_eq!(run(0.0), 1.0);
+    }
+
+    #[test]
+    fn costs_count_replica_fanout() {
+        let mut m = build(10, 3, 0.0, 6);
+        m.submit_report(NodeId(0), NodeId(1), 0.5);
+        m.round();
+        assert_eq!(m.report().costs.messages, 3, "one report → replicas messages");
+    }
+
+    #[test]
+    #[should_panic(expected = "more replicas than nodes")]
+    fn too_many_replicas_panics() {
+        let _ = build(2, 3, 0.0, 7);
+    }
+}

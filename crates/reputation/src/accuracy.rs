@@ -1,0 +1,262 @@
+//! Measuring mechanism *power* — the paper's Reputation axis.
+//!
+//! Figure 2 (right) of the paper labels the reputation axis "satisfaction
+//! of the reputation mechanism in terms of power as reliability,
+//! efficiency and most of all, consistency with the reality". This module
+//! makes those three words measurable:
+//!
+//! * **consistency** — Spearman rank correlation between mechanism scores
+//!   and ground-truth provider quality (mapped to `[0, 1]`), plus RMSE;
+//! * **reliability** — how well the mechanism separates adversarial from
+//!   honest nodes (balanced detection accuracy at the optimal threshold);
+//! * **efficiency** — inverse cost: refresh iterations and per-report
+//!   message overhead, mapped through `1 / (1 + cost)`.
+
+use crate::mechanism::ReputationMechanism;
+use serde::{Deserialize, Serialize};
+use tsn_simnet::NodeId;
+
+/// Weights for combining the three power components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MechanismPower {
+    /// Weight of consistency-with-reality (the paper: "most of all").
+    pub consistency_weight: f64,
+    /// Weight of reliability (adversary detection).
+    pub reliability_weight: f64,
+    /// Weight of efficiency (message/iteration cost).
+    pub efficiency_weight: f64,
+}
+
+impl Default for MechanismPower {
+    fn default() -> Self {
+        // "most of all, consistency with the reality"
+        MechanismPower { consistency_weight: 0.5, reliability_weight: 0.3, efficiency_weight: 0.2 }
+    }
+}
+
+/// The measured power of a mechanism against a ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Spearman rank correlation with true quality, mapped to `[0, 1]`.
+    pub consistency: f64,
+    /// Root-mean-square error between scores and true qualities.
+    pub rmse: f64,
+    /// Balanced accuracy of adversary detection at the best threshold.
+    pub reliability: f64,
+    /// Efficiency in `[0, 1]` (1 = free).
+    pub efficiency: f64,
+    /// Refresh iterations observed.
+    pub iterations: usize,
+    /// Per-report message overhead.
+    pub overhead_per_report: usize,
+}
+
+impl PowerReport {
+    /// The combined power score in `[0, 1]` under `weights`.
+    pub fn power(&self, weights: &MechanismPower) -> f64 {
+        let total = weights.consistency_weight + weights.reliability_weight + weights.efficiency_weight;
+        assert!(total > 0.0, "power weights must not all be zero");
+        (weights.consistency_weight * self.consistency
+            + weights.reliability_weight * self.reliability
+            + weights.efficiency_weight * self.efficiency)
+            / total
+    }
+}
+
+/// Evaluates `mechanism` against ground truth.
+///
+/// `true_quality[i]` is the real success probability of node `i`;
+/// `adversarial[i]` says whether node `i` is an adversary. `iterations` is
+/// the refresh cost the caller observed.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ from the mechanism's node count.
+pub fn evaluate(
+    mechanism: &dyn ReputationMechanism,
+    true_quality: &[f64],
+    adversarial: &[bool],
+    iterations: usize,
+) -> PowerReport {
+    let n = mechanism.len();
+    assert_eq!(true_quality.len(), n, "quality vector length mismatch");
+    assert_eq!(adversarial.len(), n, "adversarial vector length mismatch");
+    let scores: Vec<f64> = (0..n).map(|i| mechanism.score(NodeId::from_index(i))).collect();
+
+    // Consistency: Spearman mapped from [-1, 1] to [0, 1]; an undefined
+    // correlation (constant scores) counts as zero consistency.
+    let consistency = tsn_graph::metrics::spearman(&scores, true_quality)
+        .map(|r| (r + 1.0) / 2.0)
+        .unwrap_or(0.5);
+
+    let rmse = if n == 0 {
+        0.0
+    } else {
+        (scores
+            .iter()
+            .zip(true_quality)
+            .map(|(s, q)| (s - q).powi(2))
+            .sum::<f64>()
+            / n as f64)
+            .sqrt()
+    };
+
+    let reliability = balanced_detection_accuracy(&scores, adversarial);
+
+    let cost = iterations as f64 / 100.0 + mechanism.overhead_per_report() as f64 / 10.0;
+    let efficiency = 1.0 / (1.0 + cost);
+
+    PowerReport {
+        consistency,
+        rmse,
+        reliability,
+        efficiency,
+        iterations,
+        overhead_per_report: mechanism.overhead_per_report(),
+    }
+}
+
+/// Balanced accuracy `(TPR + TNR) / 2` of classifying adversaries as the
+/// low-score class, maximized over all score thresholds. 0.5 means chance.
+pub fn balanced_detection_accuracy(scores: &[f64], adversarial: &[bool]) -> f64 {
+    let positives = adversarial.iter().filter(|&&a| a).count();
+    let negatives = adversarial.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5; // degenerate: nothing to separate
+    }
+    // Candidate thresholds: each distinct score.
+    let mut thresholds: Vec<f64> = scores.to_vec();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.dedup();
+    let mut best: f64 = 0.5;
+    for &t in &thresholds {
+        let mut tp = 0usize; // adversary flagged (score <= t)
+        let mut tn = 0usize; // honest passed (score > t)
+        for (s, &adv) in scores.iter().zip(adversarial) {
+            if adv && *s <= t {
+                tp += 1;
+            }
+            if !adv && *s > t {
+                tn += 1;
+            }
+        }
+        let bal = (tp as f64 / positives as f64 + tn as f64 / negatives as f64) / 2.0;
+        best = best.max(bal);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beta::BetaReputation;
+    use crate::gathering::{DisclosurePolicy, FeedbackReport};
+    use crate::mechanism::{InteractionOutcome, NoReputation};
+    use tsn_simnet::SimTime;
+
+    fn trained_beta() -> BetaReputation {
+        let mut m = BetaReputation::new(4).without_credibility_weighting();
+        let full = DisclosurePolicy::full();
+        // Nodes 0,1 good; 2,3 bad.
+        for _ in 0..20 {
+            for good in [0u32, 1] {
+                m.record(&full.view(&FeedbackReport {
+                    rater: NodeId(3 - good),
+                    ratee: NodeId(good),
+                    outcome: InteractionOutcome::Success { quality: 1.0 },
+                    topic: None,
+                    at: SimTime::ZERO,
+                }));
+            }
+            for bad in [2u32, 3] {
+                m.record(&full.view(&FeedbackReport {
+                    rater: NodeId(bad - 2),
+                    ratee: NodeId(bad),
+                    outcome: InteractionOutcome::Failure,
+                    topic: None,
+                    at: SimTime::ZERO,
+                }));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_mechanism_scores_high_power() {
+        let m = trained_beta();
+        let truth = [0.9, 0.9, 0.1, 0.1];
+        let adv = [false, false, true, true];
+        let report = evaluate(&m, &truth, &adv, 0);
+        assert!(report.consistency > 0.9, "consistency {}", report.consistency);
+        assert_eq!(report.reliability, 1.0);
+        assert!(report.rmse < 0.2, "rmse {}", report.rmse);
+        assert!(report.power(&MechanismPower::default()) > 0.8);
+    }
+
+    #[test]
+    fn blind_mechanism_scores_chance() {
+        let m = NoReputation::new(4);
+        let truth = [0.9, 0.9, 0.1, 0.1];
+        let adv = [false, false, true, true];
+        let report = evaluate(&m, &truth, &adv, 0);
+        assert_eq!(report.consistency, 0.5, "constant scores → undefined → 0.5");
+        assert_eq!(report.reliability, 0.5);
+    }
+
+    #[test]
+    fn detection_accuracy_perfect_separation() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let adv = [false, false, true, true];
+        assert_eq!(balanced_detection_accuracy(&scores, &adv), 1.0);
+    }
+
+    #[test]
+    fn detection_accuracy_inverted_scores_is_poor() {
+        // Mechanism fooled: adversaries have HIGH scores. Flagging by low
+        // score then fails; balanced accuracy stays at chance (0.5 floor).
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let adv = [false, false, true, true];
+        let acc = balanced_detection_accuracy(&scores, &adv);
+        assert!((0.4..=0.6).contains(&acc), "acc {acc}");
+    }
+
+    #[test]
+    fn detection_degenerate_populations() {
+        assert_eq!(balanced_detection_accuracy(&[0.5, 0.6], &[false, false]), 0.5);
+        assert_eq!(balanced_detection_accuracy(&[0.5, 0.6], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn efficiency_decreases_with_cost() {
+        let m = trained_beta();
+        let truth = [0.9, 0.9, 0.1, 0.1];
+        let adv = [false, false, true, true];
+        let cheap = evaluate(&m, &truth, &adv, 0);
+        let costly = evaluate(&m, &truth, &adv, 500);
+        assert!(cheap.efficiency > costly.efficiency);
+    }
+
+    #[test]
+    fn power_weights_normalize() {
+        let report = PowerReport {
+            consistency: 1.0,
+            rmse: 0.0,
+            reliability: 0.0,
+            efficiency: 0.0,
+            iterations: 0,
+            overhead_per_report: 0,
+        };
+        let only_consistency =
+            MechanismPower { consistency_weight: 2.0, reliability_weight: 0.0, efficiency_weight: 0.0 };
+        assert_eq!(report.power(&only_consistency), 1.0);
+        let balanced = MechanismPower::default();
+        assert!((report.power(&balanced) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let m = NoReputation::new(3);
+        let _ = evaluate(&m, &[0.5; 2], &[false; 3], 0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Adversary models — the behaviour vocabulary of Marti & Garcia-Molina's
+//! taxonomy (paper ref [15]) used across every experiment.
+//!
+//! A [`Population`] assigns each node a [`BehaviorClass`] and a
+//! ground-truth service quality; it answers the two questions every
+//! reputation experiment asks:
+//!
+//! * what *actually happens* when a consumer interacts with a provider
+//!   ([`Population::interact`]);
+//! * what the rater *reports* about it ([`Population::feedback`]),
+//!   including lies and collusion.
+
+use crate::gathering::FeedbackReport;
+use crate::mechanism::InteractionOutcome;
+use serde::{Deserialize, Serialize};
+use tsn_simnet::{NodeId, SimRng, SimTime};
+
+/// How a node behaves as a provider and as a rater.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BehaviorClass {
+    /// Serves well; reports truthfully.
+    Honest,
+    /// Serves badly; lies in feedback (inverts outcomes) and praises
+    /// fellow malicious nodes.
+    Malicious,
+    /// Free-rider: often refuses service, but reports truthfully.
+    Selfish,
+    /// Behaves honestly for its first `switch_after` interactions as a
+    /// provider, then turns malicious (the classic traitor / milker).
+    Traitor {
+        /// Interactions served honestly before the betrayal.
+        switch_after: u64,
+    },
+    /// Malicious node that periodically re-enters under a fresh identity
+    /// (the identity churn itself is driven by `tsn-simnet`'s churn).
+    Whitewasher,
+    /// Member of collusion ring `ring`: serves outsiders badly, praises
+    /// ring members unconditionally, badmouths outsiders.
+    Colluder {
+        /// Ring identifier; members of the same ring collude.
+        ring: u16,
+    },
+}
+
+impl BehaviorClass {
+    /// Whether the node's *service* is adversarial right now (after
+    /// `served` interactions as provider).
+    pub fn is_adversarial_provider(self, served: u64) -> bool {
+        match self {
+            BehaviorClass::Honest | BehaviorClass::Selfish => false,
+            BehaviorClass::Malicious | BehaviorClass::Whitewasher | BehaviorClass::Colluder { .. } => true,
+            BehaviorClass::Traitor { switch_after } => served >= switch_after,
+        }
+    }
+
+    /// Whether the node lies when rating (after `served` provider
+    /// interactions, relevant for traitors).
+    pub fn lies_in_feedback(self, served: u64) -> bool {
+        self.is_adversarial_provider(served)
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BehaviorClass::Honest => "honest",
+            BehaviorClass::Malicious => "malicious",
+            BehaviorClass::Selfish => "selfish",
+            BehaviorClass::Traitor { .. } => "traitor",
+            BehaviorClass::Whitewasher => "whitewasher",
+            BehaviorClass::Colluder { .. } => "colluder",
+        }
+    }
+}
+
+/// Mix of behaviour classes for building a [`Population`]. Fractions must
+/// sum to at most 1; the remainder is honest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Fraction of plainly malicious nodes.
+    pub malicious: f64,
+    /// Fraction of selfish (free-riding) nodes.
+    pub selfish: f64,
+    /// Fraction of traitors.
+    pub traitor: f64,
+    /// Interactions a traitor serves honestly before switching.
+    pub traitor_switch_after: u64,
+    /// Fraction of whitewashers.
+    pub whitewasher: f64,
+    /// Fraction of colluders (split into rings of `ring_size`).
+    pub colluder: f64,
+    /// Colluder ring size.
+    pub ring_size: usize,
+    /// Mean service quality of honest providers.
+    pub honest_quality: f64,
+    /// Success probability of adversarial providers.
+    pub adversarial_quality: f64,
+    /// Probability a selfish node refuses service.
+    pub selfish_refusal: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            malicious: 0.0,
+            selfish: 0.0,
+            traitor: 0.0,
+            traitor_switch_after: 20,
+            whitewasher: 0.0,
+            colluder: 0.0,
+            ring_size: 5,
+            honest_quality: 0.9,
+            adversarial_quality: 0.1,
+            selfish_refusal: 0.6,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A population with only a malicious fraction — the standard
+    /// EigenTrust-style threat sweep.
+    pub fn with_malicious(fraction: f64) -> Self {
+        PopulationConfig { malicious: fraction, ..Default::default() }
+    }
+
+    /// Validates fractions and qualities.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        let fractions = [self.malicious, self.selfish, self.traitor, self.whitewasher, self.colluder];
+        for f in fractions {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("fraction {f} not in [0,1]"));
+            }
+        }
+        let total: f64 = fractions.iter().sum();
+        if total > 1.0 + 1e-9 {
+            return Err(format!("fractions sum to {total} > 1"));
+        }
+        for q in [self.honest_quality, self.adversarial_quality, self.selfish_refusal] {
+            if !(0.0..=1.0).contains(&q) {
+                return Err(format!("probability {q} not in [0,1]"));
+            }
+        }
+        if self.ring_size == 0 {
+            return Err("ring_size must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The total adversarial fraction (nodes that serve badly at some
+    /// point).
+    pub fn adversarial_fraction(&self) -> f64 {
+        self.malicious + self.traitor + self.whitewasher + self.colluder
+    }
+}
+
+/// A concrete node population: classes, ground-truth qualities, counters.
+///
+/// ```
+/// use tsn_reputation::{Population, PopulationConfig};
+/// use tsn_simnet::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let pop = Population::new(10, PopulationConfig::with_malicious(0.3), &mut rng);
+/// assert_eq!(pop.adversarial_nodes().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    classes: Vec<BehaviorClass>,
+    /// Ground-truth success quality of each node *as provider today*.
+    base_quality: Vec<f64>,
+    /// Interactions each node has served as provider.
+    served: Vec<u64>,
+    config: PopulationConfig,
+}
+
+impl Population {
+    /// Builds a population of `n` nodes with deterministically shuffled
+    /// class assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(n: usize, config: PopulationConfig, rng: &mut SimRng) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid population config: {e}");
+        }
+        let count = |f: f64| (f * n as f64).round() as usize;
+        let mut classes = Vec::with_capacity(n);
+        let n_colluders = count(config.colluder);
+        for i in 0..n_colluders {
+            classes.push(BehaviorClass::Colluder { ring: (i / config.ring_size) as u16 });
+        }
+        for _ in 0..count(config.malicious) {
+            classes.push(BehaviorClass::Malicious);
+        }
+        for _ in 0..count(config.selfish) {
+            classes.push(BehaviorClass::Selfish);
+        }
+        for _ in 0..count(config.traitor) {
+            classes.push(BehaviorClass::Traitor { switch_after: config.traitor_switch_after });
+        }
+        for _ in 0..count(config.whitewasher) {
+            classes.push(BehaviorClass::Whitewasher);
+        }
+        while classes.len() < n {
+            classes.push(BehaviorClass::Honest);
+        }
+        classes.truncate(n);
+        rng.shuffle(&mut classes);
+        let base_quality = classes
+            .iter()
+            .map(|c| match c {
+                BehaviorClass::Honest | BehaviorClass::Traitor { .. } => {
+                    // Per-node quality jitter around the honest mean.
+                    (config.honest_quality + rng.gen_normal(0.0, 0.05)).clamp(0.0, 1.0)
+                }
+                BehaviorClass::Selfish => config.honest_quality * (1.0 - config.selfish_refusal),
+                _ => config.adversarial_quality,
+            })
+            .collect();
+        Population { classes, base_quality, served: vec![0; n], config }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Behaviour class of `node`.
+    pub fn class(&self, node: NodeId) -> BehaviorClass {
+        self.classes[node.index()]
+    }
+
+    /// The configuration used to build this population.
+    pub fn config(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// Current ground-truth quality of `node` as provider: the probability
+    /// an interaction with it succeeds *right now* (traitors degrade after
+    /// their switch point).
+    pub fn true_quality(&self, node: NodeId) -> f64 {
+        let i = node.index();
+        match self.classes[i] {
+            BehaviorClass::Traitor { switch_after } if self.served[i] >= switch_after => {
+                self.config.adversarial_quality
+            }
+            _ => self.base_quality[i],
+        }
+    }
+
+    /// Whether `node` is adversarial *as of now*.
+    pub fn is_adversarial(&self, node: NodeId) -> bool {
+        self.classes[node.index()].is_adversarial_provider(self.served[node.index()])
+    }
+
+    /// Simulates one interaction where `provider` serves `consumer`.
+    pub fn interact(&mut self, provider: NodeId, _consumer: NodeId, rng: &mut SimRng) -> InteractionOutcome {
+        let q = self.true_quality(provider);
+        self.served[provider.index()] += 1;
+        if rng.gen_bool(q) {
+            // Experienced quality jitters below the ceiling.
+            let quality = (q + rng.gen_normal(0.0, 0.05)).clamp(0.1, 1.0);
+            InteractionOutcome::Success { quality }
+        } else {
+            InteractionOutcome::Failure
+        }
+    }
+
+    /// Produces the feedback `rater` files about `ratee` after `actual`
+    /// happened — applying the rater's lying strategy.
+    pub fn feedback(
+        &self,
+        rater: NodeId,
+        ratee: NodeId,
+        actual: InteractionOutcome,
+        at: SimTime,
+        topic: Option<usize>,
+    ) -> FeedbackReport {
+        let rater_class = self.classes[rater.index()];
+        let reported = match rater_class {
+            BehaviorClass::Colluder { ring } => {
+                match self.classes[ratee.index()] {
+                    // Unconditional praise inside the ring.
+                    BehaviorClass::Colluder { ring: r2 } if r2 == ring => {
+                        InteractionOutcome::Success { quality: 1.0 }
+                    }
+                    // Badmouth everyone else.
+                    _ => InteractionOutcome::Failure,
+                }
+            }
+            _ if rater_class.lies_in_feedback(self.served[rater.index()]) => {
+                // Invert the truth.
+                match actual {
+                    InteractionOutcome::Success { .. } => InteractionOutcome::Failure,
+                    InteractionOutcome::Failure => InteractionOutcome::Success { quality: 1.0 },
+                }
+            }
+            _ => actual,
+        };
+        FeedbackReport { rater, ratee, outcome: reported, topic, at }
+    }
+
+    /// Per-node ground-truth qualities (the "reality" a mechanism's
+    /// consistency is judged against).
+    pub fn true_qualities(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.true_quality(NodeId::from_index(i))).collect()
+    }
+
+    /// Indices of currently adversarial nodes.
+    pub fn adversarial_nodes(&self) -> Vec<NodeId> {
+        (0..self.len())
+            .map(NodeId::from_index)
+            .filter(|&n| self.is_adversarial(n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_match_fractions() {
+        let config = PopulationConfig {
+            malicious: 0.2,
+            selfish: 0.1,
+            colluder: 0.1,
+            ring_size: 5,
+            ..Default::default()
+        };
+        let mut rng = SimRng::seed_from_u64(0);
+        let pop = Population::new(100, config, &mut rng);
+        let count = |label: &str| {
+            (0..100)
+                .filter(|&i| pop.class(NodeId(i)).label() == label)
+                .count()
+        };
+        assert_eq!(count("malicious"), 20);
+        assert_eq!(count("selfish"), 10);
+        assert_eq!(count("colluder"), 10);
+        assert_eq!(count("honest"), 60);
+    }
+
+    #[test]
+    fn honest_nodes_mostly_succeed_malicious_mostly_fail() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let pop0 = Population::new(10, PopulationConfig::with_malicious(0.5), &mut rng);
+        let mut pop = pop0;
+        let mut honest_ok = 0;
+        let mut bad_ok = 0;
+        let honest: Vec<NodeId> =
+            (0..10).map(NodeId::from_index).filter(|&n| !pop.is_adversarial(n)).collect();
+        let bad: Vec<NodeId> =
+            (0..10).map(NodeId::from_index).filter(|&n| pop.is_adversarial(n)).collect();
+        for _ in 0..200 {
+            if pop.interact(honest[0], NodeId(9), &mut rng).is_success() {
+                honest_ok += 1;
+            }
+            if pop.interact(bad[0], NodeId(9), &mut rng).is_success() {
+                bad_ok += 1;
+            }
+        }
+        assert!(honest_ok > 150, "honest ok {honest_ok}");
+        assert!(bad_ok < 50, "bad ok {bad_ok}");
+    }
+
+    #[test]
+    fn traitor_switches_after_threshold() {
+        let config = PopulationConfig { traitor: 1.0, traitor_switch_after: 5, ..Default::default() };
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut pop = Population::new(1, config, &mut rng);
+        let t = NodeId(0);
+        assert!(!pop.is_adversarial(t));
+        let q_before = pop.true_quality(t);
+        for _ in 0..5 {
+            pop.interact(t, t, &mut rng);
+        }
+        assert!(pop.is_adversarial(t));
+        assert!(pop.true_quality(t) < q_before);
+    }
+
+    #[test]
+    fn malicious_raters_invert_feedback() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let pop = Population::new(2, PopulationConfig::with_malicious(0.5), &mut rng);
+        let (liar, honest): (NodeId, NodeId) = if pop.is_adversarial(NodeId(0)) {
+            (NodeId(0), NodeId(1))
+        } else {
+            (NodeId(1), NodeId(0))
+        };
+        let actual = InteractionOutcome::Success { quality: 1.0 };
+        let lie = pop.feedback(liar, honest, actual, SimTime::ZERO, None);
+        assert_eq!(lie.outcome, InteractionOutcome::Failure);
+        let truth = pop.feedback(honest, liar, actual, SimTime::ZERO, None);
+        assert_eq!(truth.outcome, actual);
+    }
+
+    #[test]
+    fn colluders_praise_ring_and_badmouth_outside() {
+        let config = PopulationConfig { colluder: 0.5, ring_size: 2, ..Default::default() };
+        let mut rng = SimRng::seed_from_u64(4);
+        let pop = Population::new(8, config, &mut rng);
+        let colluders: Vec<NodeId> = (0..8)
+            .map(NodeId::from_index)
+            .filter(|&n| matches!(pop.class(n), BehaviorClass::Colluder { .. }))
+            .collect();
+        let honest = (0..8)
+            .map(NodeId::from_index)
+            .find(|&n| matches!(pop.class(n), BehaviorClass::Honest))
+            .unwrap();
+        // Find two colluders in the same ring.
+        let (a, b) = colluders
+            .iter()
+            .flat_map(|&a| colluders.iter().map(move |&b| (a, b)))
+            .find(|&(a, b)| {
+                a != b
+                    && matches!(
+                        (pop.class(a), pop.class(b)),
+                        (BehaviorClass::Colluder { ring: r1 }, BehaviorClass::Colluder { ring: r2 }) if r1 == r2
+                    )
+            })
+            .expect("a ring of size 2 exists");
+        let fail = InteractionOutcome::Failure;
+        let praise = pop.feedback(a, b, fail, SimTime::ZERO, None);
+        assert!(praise.outcome.is_success(), "ring members praise each other");
+        let smear = pop.feedback(a, honest, InteractionOutcome::Success { quality: 1.0 }, SimTime::ZERO, None);
+        assert_eq!(smear.outcome, InteractionOutcome::Failure, "outsiders get badmouthed");
+    }
+
+    #[test]
+    fn selfish_nodes_report_truthfully_but_serve_poorly() {
+        let config = PopulationConfig { selfish: 1.0, ..Default::default() };
+        let mut rng = SimRng::seed_from_u64(5);
+        let pop = Population::new(2, config, &mut rng);
+        let actual = InteractionOutcome::Success { quality: 0.9 };
+        let fb = pop.feedback(NodeId(0), NodeId(1), actual, SimTime::ZERO, None);
+        assert_eq!(fb.outcome, actual);
+        assert!(pop.true_quality(NodeId(0)) < 0.5);
+        assert!(!pop.is_adversarial(NodeId(0)), "selfish ≠ adversarial provider");
+    }
+
+    #[test]
+    fn validation_rejects_oversubscription() {
+        let config = PopulationConfig { malicious: 0.7, selfish: 0.5, ..Default::default() };
+        assert!(config.validate().is_err());
+        assert!(PopulationConfig::default().validate().is_ok());
+        assert_eq!(PopulationConfig::with_malicious(0.3).adversarial_fraction(), 0.3);
+    }
+
+    #[test]
+    fn true_qualities_and_adversarial_nodes_consistent() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let pop = Population::new(50, PopulationConfig::with_malicious(0.4), &mut rng);
+        let qualities = pop.true_qualities();
+        for n in pop.adversarial_nodes() {
+            assert!(qualities[n.index()] <= 0.2);
+        }
+        assert_eq!(pop.adversarial_nodes().len(), 20);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut rng = SimRng::seed_from_u64(7);
+            Population::new(30, PopulationConfig::with_malicious(0.3), &mut rng).true_qualities()
+        };
+        assert_eq!(build(), build());
+    }
+}

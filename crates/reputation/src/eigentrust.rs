@@ -1,0 +1,481 @@
+//! EigenTrust (Kamvar, Schlosser, Garcia-Molina — WWW 2003), the paper's
+//! reference [13].
+//!
+//! Each peer `i` accumulates a local trust value `s_ij` for every partner
+//! `j` (satisfactory minus unsatisfactory transactions). Normalized local
+//! trust `c_ij = max(s_ij, 0) / Σ_j max(s_ij, 0)` forms a stochastic
+//! matrix; the global trust vector is the stationary distribution of a
+//! random walk that teleports to *pre-trusted peers* with probability
+//! `alpha`:
+//!
+//! ```text
+//! t ← (1 − α) Cᵀ t + α p
+//! ```
+//!
+//! **Anonymized degradation.** When the disclosure policy hides rater
+//! identities, `C` cannot be built; such reports fall into a per-ratee
+//! anonymous pool and the final score blends the eigenvector with the
+//! pool average, weighted by the share of identified reports. Hiding
+//! identities therefore smoothly reduces EigenTrust toward a plain mean —
+//! precisely the reputation-power loss the paper's Figure 2 plots.
+
+use crate::gathering::ReportView;
+use crate::mechanism::{MechanismKind, ReputationMechanism};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tsn_simnet::NodeId;
+
+/// EigenTrust parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EigenTrustConfig {
+    /// Teleport probability toward pre-trusted peers (the paper's `a`).
+    pub alpha: f64,
+    /// Convergence threshold on the L1 change between iterations.
+    pub epsilon: f64,
+    /// Iteration cap per [`ReputationMechanism::refresh`].
+    pub max_iterations: usize,
+    /// Pre-trusted peers. Empty means "uniform prior over all peers",
+    /// which is the paper's fallback when no pre-trust exists.
+    pub pretrusted: Vec<NodeId>,
+}
+
+impl Default for EigenTrustConfig {
+    fn default() -> Self {
+        EigenTrustConfig { alpha: 0.15, epsilon: 1e-9, max_iterations: 200, pretrusted: Vec::new() }
+    }
+}
+
+impl EigenTrustConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err("alpha must be in [0,1]".into());
+        }
+        if self.epsilon <= 0.0 {
+            return Err("epsilon must be positive".into());
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The EigenTrust mechanism.
+#[derive(Debug, Clone)]
+pub struct EigenTrust {
+    config: EigenTrustConfig,
+    n: usize,
+    /// Sparse local trust state: (rater, ratee) → (s_ij, value sum, count).
+    /// `s_ij` (satisfactory − unsatisfactory) feeds the C matrix; the
+    /// value mean feeds the trust-weighted opinion aggregation.
+    local: HashMap<(u32, u32), (f64, f64, u64)>,
+    /// Per-ratee anonymous pool: (sum of values, count).
+    anon: Vec<(f64, u64)>,
+    /// Count of identified vs anonymous reports, for blending.
+    identified_reports: u64,
+    anonymous_reports: u64,
+    /// Cached global trust vector (a distribution over nodes).
+    global: Vec<f64>,
+    /// Cached trust-weighted opinion per node: (weighted value sum, weight).
+    opinion: Vec<(f64, f64)>,
+    dirty: bool,
+    last_iterations: usize,
+}
+
+impl EigenTrust {
+    /// Creates an instance for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(n: usize, config: EigenTrustConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid EigenTrust config: {e}");
+        }
+        EigenTrust {
+            config,
+            n,
+            local: HashMap::new(),
+            anon: vec![(0.0, 0); n],
+            identified_reports: 0,
+            anonymous_reports: 0,
+            global: vec![1.0 / n.max(1) as f64; n],
+            opinion: vec![(0.0, 0.0); n],
+            dirty: true,
+            last_iterations: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EigenTrustConfig {
+        &self.config
+    }
+
+    /// The raw global trust distribution (sums to 1). Prefer
+    /// [`ReputationMechanism::score`] for `[0, 1]`-comparable values.
+    pub fn global_trust(&mut self) -> &[f64] {
+        if self.dirty {
+            self.power_iterate();
+        }
+        &self.global
+    }
+
+    /// Iterations used by the most recent refresh.
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    fn prior(&self) -> Vec<f64> {
+        if self.config.pretrusted.is_empty() {
+            vec![1.0 / self.n.max(1) as f64; self.n]
+        } else {
+            let mut p = vec![0.0; self.n];
+            let share = 1.0 / self.config.pretrusted.len() as f64;
+            for &node in &self.config.pretrusted {
+                if node.index() < self.n {
+                    p[node.index()] += share;
+                }
+            }
+            p
+        }
+    }
+
+    fn power_iterate(&mut self) {
+        let n = self.n;
+        if n == 0 {
+            self.dirty = false;
+            self.last_iterations = 0;
+            return;
+        }
+        let p = self.prior();
+        // Build row-normalized C lazily: rows[i] = Vec<(j, c_ij)>.
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut row_sum = vec![0.0; n];
+        for (&(i, j), &(s, _, _)) in &self.local {
+            let s = s.max(0.0);
+            if s > 0.0 {
+                rows[i as usize].push((j as usize, s));
+                row_sum[i as usize] += s;
+            }
+        }
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (_, v) in row.iter_mut() {
+                *v /= row_sum[i];
+            }
+        }
+        let alpha = self.config.alpha;
+        let mut t = p.clone();
+        let mut iterations = 0;
+        for _ in 0..self.config.max_iterations {
+            iterations += 1;
+            let mut next = vec![0.0; n];
+            // tᵀ C  (walk forward along trust edges)
+            for (i, row) in rows.iter().enumerate() {
+                if row.is_empty() {
+                    // Dangling rater: treat its mass as teleporting to the prior.
+                    for (k, next_k) in next.iter_mut().enumerate() {
+                        *next_k += t[i] * p[k];
+                    }
+                } else {
+                    for &(j, c) in row {
+                        next[j] += t[i] * c;
+                    }
+                }
+            }
+            for k in 0..n {
+                next[k] = (1.0 - alpha) * next[k] + alpha * p[k];
+            }
+            let delta: f64 = next.iter().zip(&t).map(|(a, b)| (a - b).abs()).sum();
+            t = next;
+            if delta < self.config.epsilon {
+                break;
+            }
+        }
+        self.global = t;
+        // Cache the trust-weighted opinion aggregation for O(1) scoring.
+        self.opinion = vec![(0.0, 0.0); n];
+        for (&(i, j), &(_, value_sum, count)) in &self.local {
+            if count == 0 {
+                continue;
+            }
+            // Floor on rater weight so fresh raters are heard faintly.
+            let w = self.global[i as usize].max(1e-6);
+            let slot = &mut self.opinion[j as usize];
+            slot.0 += w * (value_sum / count as f64);
+            slot.1 += w;
+        }
+        self.dirty = false;
+        self.last_iterations = iterations;
+    }
+
+    fn blend_weight(&self) -> f64 {
+        let total = self.identified_reports + self.anonymous_reports;
+        if total == 0 {
+            1.0
+        } else {
+            self.identified_reports as f64 / total as f64
+        }
+    }
+}
+
+impl ReputationMechanism for EigenTrust {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::EigenTrust
+    }
+
+    fn resize(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+            self.anon.resize(n, (0.0, 0));
+            self.opinion.resize(n, (0.0, 0.0));
+            self.global = vec![1.0 / n as f64; n];
+            self.dirty = true;
+        }
+    }
+
+    fn record(&mut self, report: &ReportView) {
+        let ratee = report.ratee.0;
+        debug_assert!((ratee as usize) < self.n, "ratee out of range");
+        match report.rater {
+            Some(rater) if rater != report.ratee => {
+                // s_ij += value for success, −1 for failure (paper: sat − unsat).
+                let delta = if report.success { report.value() } else { -1.0 };
+                let entry = self.local.entry((rater.0, ratee)).or_insert((0.0, 0.0, 0));
+                entry.0 += delta;
+                entry.1 += report.value();
+                entry.2 += 1;
+                self.identified_reports += 1;
+            }
+            Some(_) => { /* self-rating is ignored */ }
+            None => {
+                let entry = &mut self.anon[ratee as usize];
+                entry.0 += report.value();
+                entry.1 += 1;
+                self.anonymous_reports += 1;
+            }
+        }
+        self.dirty = true;
+    }
+
+    fn refresh(&mut self) -> usize {
+        self.power_iterate();
+        self.last_iterations
+    }
+
+    fn score(&self, node: NodeId) -> f64 {
+        if node.index() >= self.n {
+            return 0.5;
+        }
+        // EigenTrust aggregation step: the system's opinion about j is the
+        // global-trust-weighted mean of local opinions — colluders with no
+        // trust mass cannot move the score, while the value stays a
+        // `[0, 1]` quality estimate. (Cached by `power_iterate`.)
+        let (weighted, weight) = self.opinion[node.index()];
+        let identified = if weight > 0.0 { weighted / weight } else { 0.5 };
+        let w = self.blend_weight();
+        let (sum, count) = self.anon[node.index()];
+        let anon_mean = if count > 0 { sum / count as f64 } else { 0.5 };
+        w * identified + (1.0 - w) * anon_mean
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn overhead_per_report(&self) -> usize {
+        // Distributed EigenTrust: report to the ratee's score managers
+        // (CAN-based DHT, typically a handful of replicas).
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gathering::{DisclosurePolicy, FeedbackReport};
+    use crate::mechanism::InteractionOutcome;
+    use tsn_simnet::SimTime;
+
+    fn feed(m: &mut EigenTrust, rater: u32, ratee: u32, good: bool, policy: &DisclosurePolicy) {
+        let report = FeedbackReport {
+            rater: NodeId(rater),
+            ratee: NodeId(ratee),
+            outcome: if good {
+                InteractionOutcome::Success { quality: 1.0 }
+            } else {
+                InteractionOutcome::Failure
+            },
+            topic: None,
+            at: SimTime::ZERO,
+        };
+        m.record(&policy.view(&report));
+    }
+
+    #[test]
+    fn good_nodes_outrank_bad_nodes() {
+        let mut m = EigenTrust::new(4, EigenTrustConfig::default());
+        let full = DisclosurePolicy::full();
+        // 0 and 1 praise each other and node 2; everyone reports node 3 bad.
+        for _ in 0..5 {
+            feed(&mut m, 0, 1, true, &full);
+            feed(&mut m, 1, 0, true, &full);
+            feed(&mut m, 0, 2, true, &full);
+            feed(&mut m, 1, 3, false, &full);
+            feed(&mut m, 0, 3, false, &full);
+        }
+        m.refresh();
+        assert!(m.score(NodeId(0)) > m.score(NodeId(3)));
+        assert!(m.score(NodeId(1)) > m.score(NodeId(3)));
+        assert!(m.score(NodeId(2)) > m.score(NodeId(3)));
+    }
+
+    #[test]
+    fn global_trust_is_a_distribution() {
+        let mut m = EigenTrust::new(5, EigenTrustConfig::default());
+        let full = DisclosurePolicy::full();
+        for r in 0..5u32 {
+            for e in 0..5u32 {
+                if r != e {
+                    feed(&mut m, r, e, e % 2 == 0, &full);
+                }
+            }
+        }
+        let t = m.global_trust();
+        let sum: f64 = t.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "eigenvector sums to 1, got {sum}");
+        assert!(t.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pretrusted_peers_get_teleport_mass() {
+        let config = EigenTrustConfig { pretrusted: vec![NodeId(0)], ..Default::default() };
+        let mut m = EigenTrust::new(3, config);
+        // No reports at all: stationary distribution = prior = all mass on 0.
+        m.refresh();
+        let t = m.global_trust().to_vec();
+        assert!(t[0] > t[1] && t[0] > t[2], "teleport mass concentrates on the seed: {t:?}");
+    }
+
+    #[test]
+    fn pretrusted_weighting_discounts_colluders() {
+        // Colluders 2 and 3 praise each other massively; the pretrusted
+        // seed 0 rates 1 well and 3 badly. With identity-aware weighting,
+        // 1 must outrank 3 despite 3 receiving more praise volume.
+        let config = EigenTrustConfig { pretrusted: vec![NodeId(0)], ..Default::default() };
+        let mut m = EigenTrust::new(4, config);
+        let full = DisclosurePolicy::full();
+        for _ in 0..3 {
+            feed(&mut m, 0, 1, true, &full);
+            feed(&mut m, 0, 3, false, &full);
+        }
+        for _ in 0..20 {
+            feed(&mut m, 2, 3, true, &full);
+            feed(&mut m, 3, 2, true, &full);
+        }
+        m.refresh();
+        assert!(
+            m.score(NodeId(1)) > m.score(NodeId(3)),
+            "seed-endorsed node must outrank collusion ring: {} vs {}",
+            m.score(NodeId(1)),
+            m.score(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn self_ratings_are_ignored() {
+        let mut m = EigenTrust::new(3, EigenTrustConfig::default());
+        let full = DisclosurePolicy::full();
+        for _ in 0..10 {
+            feed(&mut m, 2, 2, true, &full);
+        }
+        m.refresh();
+        // Node 2 gained nothing: uniform prior persists.
+        let s: Vec<f64> = (0..3).map(|i| m.score(NodeId(i))).collect();
+        assert!((s[0] - s[2]).abs() < 1e-9, "self-praise must not help: {s:?}");
+    }
+
+    #[test]
+    fn anonymous_reports_still_inform_scores() {
+        let mut m = EigenTrust::new(3, EigenTrustConfig::default());
+        let anon = DisclosurePolicy::minimal();
+        for _ in 0..10 {
+            feed(&mut m, 0, 1, true, &anon);
+            feed(&mut m, 0, 2, false, &anon);
+        }
+        m.refresh();
+        assert!(
+            m.score(NodeId(1)) > m.score(NodeId(2)),
+            "anonymous pool should still separate good from bad"
+        );
+    }
+
+    #[test]
+    fn anonymization_degrades_separation() {
+        // With identities, collusion-resistant eigenvector scoring gives a
+        // crisper separation than the anonymous mean under mixed feedback.
+        let run = |policy: DisclosurePolicy| {
+            let mut m = EigenTrust::new(4, EigenTrustConfig::default());
+            for _ in 0..10 {
+                feed(&mut m, 0, 1, true, &policy);
+                feed(&mut m, 1, 0, true, &policy);
+                feed(&mut m, 2, 3, true, &policy); // liar boosts liar
+                feed(&mut m, 0, 3, false, &policy);
+                feed(&mut m, 1, 3, false, &policy);
+            }
+            m.refresh();
+            m.score(NodeId(0)) - m.score(NodeId(3))
+        };
+        let with_ids = run(DisclosurePolicy::full());
+        let without_ids = run(DisclosurePolicy::minimal());
+        assert!(
+            with_ids > without_ids,
+            "identity-aware separation {with_ids} should beat anonymous {without_ids}"
+        );
+    }
+
+    #[test]
+    fn refresh_reports_iterations_and_converges() {
+        let mut m = EigenTrust::new(10, EigenTrustConfig::default());
+        let full = DisclosurePolicy::full();
+        for r in 0..10u32 {
+            feed(&mut m, r, (r + 1) % 10, true, &full);
+        }
+        let iters = m.refresh();
+        assert!(iters > 0 && iters <= 200);
+        assert_eq!(iters, m.last_iterations());
+    }
+
+    #[test]
+    fn empty_mechanism_scores_prior() {
+        let mut m = EigenTrust::new(3, EigenTrustConfig::default());
+        m.refresh();
+        // Uniform eigenvector: max-normalized score = 1 for everyone.
+        let s = m.score(NodeId(0));
+        assert!(s > 0.0 && s <= 1.0);
+        assert_eq!(m.score(NodeId(99)), 0.5, "out-of-range nodes get the prior");
+    }
+
+    #[test]
+    fn resize_grows_tracking() {
+        let mut m = EigenTrust::new(2, EigenTrustConfig::default());
+        m.resize(5);
+        assert_eq!(m.len(), 5);
+        let full = DisclosurePolicy::full();
+        feed(&mut m, 4, 3, true, &full);
+        m.refresh();
+        assert!(m.score(NodeId(3)) > 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(EigenTrustConfig { alpha: 1.5, ..Default::default() }.validate().is_err());
+        assert!(EigenTrustConfig { epsilon: 0.0, ..Default::default() }.validate().is_err());
+        assert!(EigenTrustConfig { max_iterations: 0, ..Default::default() }.validate().is_err());
+        assert!(EigenTrustConfig::default().validate().is_ok());
+    }
+}

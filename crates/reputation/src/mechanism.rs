@@ -1,0 +1,280 @@
+//! The common interface of all reputation mechanisms.
+
+use crate::gathering::ReportView;
+use serde::{Deserialize, Serialize};
+use tsn_simnet::NodeId;
+
+/// The outcome of one interaction, as experienced by the consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InteractionOutcome {
+    /// The provider delivered satisfactorily; `quality` in `[0, 1]` is the
+    /// experienced quality (1 = perfect).
+    Success {
+        /// Experienced quality of the service.
+        quality: f64,
+    },
+    /// The provider failed, cheated or served corrupted content.
+    Failure,
+}
+
+impl InteractionOutcome {
+    /// Scalar value of the outcome in `[0, 1]` (failures are 0).
+    pub fn value(self) -> f64 {
+        match self {
+            InteractionOutcome::Success { quality } => quality.clamp(0.0, 1.0),
+            InteractionOutcome::Failure => 0.0,
+        }
+    }
+
+    /// Whether the interaction succeeded.
+    pub fn is_success(self) -> bool {
+        matches!(self, InteractionOutcome::Success { .. })
+    }
+}
+
+/// Which mechanism a configuration selects; used by `tsn-core` configs
+/// and experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// No reputation at all (baseline: random partner choice).
+    None,
+    /// Bayesian Beta reputation.
+    Beta,
+    /// EigenTrust (Kamvar et al., WWW 2003).
+    EigenTrust,
+    /// PowerTrust (Zhou & Hwang, TPDS 2007).
+    PowerTrust,
+    /// TrustMe-style anonymous trust-holders (Singh & Liu, P2P 2003).
+    TrustMe,
+}
+
+impl MechanismKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [MechanismKind; 5] = [
+        MechanismKind::None,
+        MechanismKind::Beta,
+        MechanismKind::EigenTrust,
+        MechanismKind::PowerTrust,
+        MechanismKind::TrustMe,
+    ];
+
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MechanismKind::None => "none",
+            MechanismKind::Beta => "beta",
+            MechanismKind::EigenTrust => "eigentrust",
+            MechanismKind::PowerTrust => "powertrust",
+            MechanismKind::TrustMe => "trustme",
+        }
+    }
+}
+
+impl std::fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A reputation mechanism: consumes (possibly anonymized) feedback report
+/// views and produces global scores in `[0, 1]`.
+///
+/// Implementations must tolerate missing report fields — an anonymized
+/// view may hide the rater identity or the outcome detail; mechanisms
+/// degrade gracefully (that degradation *is* the reputation/privacy
+/// trade-off the paper studies).
+pub trait ReputationMechanism: std::fmt::Debug {
+    /// Identifies the mechanism in reports.
+    fn kind(&self) -> MechanismKind;
+
+    /// Ensures the mechanism tracks at least `n` nodes.
+    fn resize(&mut self, n: usize);
+
+    /// Ingests one feedback report view.
+    fn record(&mut self, report: &ReportView);
+
+    /// Recomputes global scores (may be a no-op for incremental
+    /// mechanisms). Returns the number of internal iterations performed,
+    /// for efficiency accounting.
+    fn refresh(&mut self) -> usize;
+
+    /// Global score of `node` in `[0, 1]`. Nodes never rated return the
+    /// mechanism's prior.
+    fn score(&self, node: NodeId) -> f64;
+
+    /// Number of tracked nodes.
+    fn len(&self) -> usize;
+
+    /// Whether no nodes are tracked.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All scores, indexed by node.
+    fn scores(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.score(NodeId::from_index(i))).collect()
+    }
+
+    /// Nodes sorted by descending score (ties by ascending id, so the
+    /// ranking is deterministic).
+    fn ranking(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.len()).map(NodeId::from_index).collect();
+        nodes.sort_by(|&a, &b| {
+            self.score(b)
+                .partial_cmp(&self.score(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        nodes
+    }
+
+    /// Messages this mechanism would send per recorded report in a real
+    /// deployment (overhead accounting; 0 for purely local mechanisms).
+    fn overhead_per_report(&self) -> usize {
+        0
+    }
+}
+
+impl ReputationMechanism for Box<dyn ReputationMechanism> {
+    fn kind(&self) -> MechanismKind {
+        (**self).kind()
+    }
+    fn resize(&mut self, n: usize) {
+        (**self).resize(n);
+    }
+    fn record(&mut self, report: &ReportView) {
+        (**self).record(report);
+    }
+    fn refresh(&mut self) -> usize {
+        (**self).refresh()
+    }
+    fn score(&self, node: NodeId) -> f64 {
+        (**self).score(node)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn overhead_per_report(&self) -> usize {
+        (**self).overhead_per_report()
+    }
+}
+
+/// A trivial mechanism that scores everyone with the same prior; the
+/// `MechanismKind::None` baseline.
+#[derive(Debug, Clone)]
+pub struct NoReputation {
+    n: usize,
+    prior: f64,
+}
+
+impl NoReputation {
+    /// Creates the baseline with a 0.5 prior.
+    pub fn new(n: usize) -> Self {
+        NoReputation { n, prior: 0.5 }
+    }
+}
+
+impl ReputationMechanism for NoReputation {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::None
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.n = self.n.max(n);
+    }
+
+    fn record(&mut self, _report: &ReportView) {}
+
+    fn refresh(&mut self) -> usize {
+        0
+    }
+
+    fn score(&self, _node: NodeId) -> f64 {
+        self.prior
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+/// Constructs a boxed mechanism of the given kind with default parameters
+/// for an `n`-node population.
+pub fn build_mechanism(kind: MechanismKind, n: usize) -> Box<dyn ReputationMechanism> {
+    match kind {
+        MechanismKind::None => Box::new(NoReputation::new(n)),
+        MechanismKind::Beta => Box::new(crate::beta::BetaReputation::new(n)),
+        MechanismKind::EigenTrust => {
+            Box::new(crate::eigentrust::EigenTrust::new(n, crate::eigentrust::EigenTrustConfig::default()))
+        }
+        MechanismKind::PowerTrust => {
+            Box::new(crate::powertrust::PowerTrust::new(n, crate::powertrust::PowerTrustConfig::default()))
+        }
+        MechanismKind::TrustMe => {
+            Box::new(crate::trustme::TrustMe::new(n, crate::trustme::TrustMeConfig::default()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gathering::{DisclosurePolicy, FeedbackReport};
+    use tsn_simnet::SimTime;
+
+    #[test]
+    fn outcome_values() {
+        assert_eq!(InteractionOutcome::Failure.value(), 0.0);
+        assert_eq!(InteractionOutcome::Success { quality: 0.8 }.value(), 0.8);
+        assert_eq!(InteractionOutcome::Success { quality: 7.0 }.value(), 1.0, "clamped");
+        assert!(InteractionOutcome::Success { quality: 0.1 }.is_success());
+        assert!(!InteractionOutcome::Failure.is_success());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(MechanismKind::EigenTrust.to_string(), "eigentrust");
+        assert_eq!(MechanismKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn no_reputation_scores_prior() {
+        let mut m = NoReputation::new(3);
+        let report = FeedbackReport {
+            rater: NodeId(0),
+            ratee: NodeId(1),
+            outcome: InteractionOutcome::Failure,
+            topic: None,
+            at: SimTime::ZERO,
+        };
+        m.record(&DisclosurePolicy::full().view(&report));
+        m.refresh();
+        assert_eq!(m.score(NodeId(1)), 0.5);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_ties() {
+        let m = NoReputation::new(4);
+        assert_eq!(m.ranking(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn build_mechanism_matches_kind() {
+        for kind in MechanismKind::ALL {
+            let m = build_mechanism(kind, 10);
+            assert_eq!(m.kind(), kind);
+            assert_eq!(m.len(), 10);
+        }
+    }
+
+    #[test]
+    fn resize_only_grows() {
+        let mut m = NoReputation::new(5);
+        m.resize(3);
+        assert_eq!(m.len(), 5);
+        m.resize(8);
+        assert_eq!(m.len(), 8);
+    }
+}

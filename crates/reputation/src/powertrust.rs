@@ -1,0 +1,407 @@
+//! PowerTrust (Zhou & Hwang — IEEE TPDS 2007), the paper's ref [24].
+//!
+//! PowerTrust observes that feedback in real P2P systems follows a
+//! power law, and exploits it: a small set of *power nodes* — the most
+//! reputable peers — are given extra weight when aggregating local trust
+//! (the "look-ahead random walk" / LRW aggregation). We reproduce that
+//! structure:
+//!
+//! 1. local trust `r_ij` = mean value of `i`'s reports about `j`;
+//! 2. global reputation `v` = stationary vector of the row-normalized
+//!    local-trust matrix (random walk), computed by power iteration;
+//! 3. the top-`m` nodes by `v` become power nodes; the walk re-runs with
+//!    a teleport that lands on power nodes with probability `theta`,
+//!    boosting the influence of their (presumably reliable) opinions.
+//!
+//! Anonymized reports (no rater id) fall into a per-ratee pool blended in
+//! the same way as [`crate::eigentrust`].
+
+use crate::gathering::ReportView;
+use crate::mechanism::{MechanismKind, ReputationMechanism};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tsn_simnet::NodeId;
+
+/// PowerTrust parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrustConfig {
+    /// Number of power nodes (the paper's `m`); clamped to the population.
+    pub power_nodes: usize,
+    /// Teleport probability toward power nodes in the second pass.
+    pub theta: f64,
+    /// Convergence threshold (L1).
+    pub epsilon: f64,
+    /// Iteration cap per pass.
+    pub max_iterations: usize,
+}
+
+impl Default for PowerTrustConfig {
+    fn default() -> Self {
+        PowerTrustConfig { power_nodes: 5, theta: 0.15, epsilon: 1e-9, max_iterations: 200 }
+    }
+}
+
+impl PowerTrustConfig {
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.power_nodes == 0 {
+            return Err("power_nodes must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err("theta must be in [0,1]".into());
+        }
+        if self.epsilon <= 0.0 {
+            return Err("epsilon must be positive".into());
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The PowerTrust mechanism.
+#[derive(Debug, Clone)]
+pub struct PowerTrust {
+    config: PowerTrustConfig,
+    n: usize,
+    /// (rater, ratee) → (sum of values, count).
+    local: HashMap<(u32, u32), (f64, u64)>,
+    anon: Vec<(f64, u64)>,
+    identified_reports: u64,
+    anonymous_reports: u64,
+    global: Vec<f64>,
+    /// Cached walk-weighted opinion per node: (weighted value sum, weight).
+    opinion: Vec<(f64, f64)>,
+    power_set: Vec<NodeId>,
+    dirty: bool,
+    last_iterations: usize,
+}
+
+impl PowerTrust {
+    /// Creates an instance for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(n: usize, config: PowerTrustConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid PowerTrust config: {e}");
+        }
+        PowerTrust {
+            config,
+            n,
+            local: HashMap::new(),
+            anon: vec![(0.0, 0); n],
+            identified_reports: 0,
+            anonymous_reports: 0,
+            global: vec![1.0 / n.max(1) as f64; n],
+            opinion: vec![(0.0, 0.0); n],
+            power_set: Vec::new(),
+            dirty: true,
+            last_iterations: 0,
+        }
+    }
+
+    /// The power nodes elected by the latest refresh.
+    pub fn power_nodes(&mut self) -> &[NodeId] {
+        if self.dirty {
+            self.recompute();
+        }
+        &self.power_set
+    }
+
+    /// Iterations used by the most recent refresh (both passes).
+    pub fn last_iterations(&self) -> usize {
+        self.last_iterations
+    }
+
+    fn rows(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
+        let mut row_sum = vec![0.0; self.n];
+        for (&(i, j), &(sum, count)) in &self.local {
+            if count == 0 {
+                continue;
+            }
+            let mean = sum / count as f64;
+            if mean > 0.0 {
+                rows[i as usize].push((j as usize, mean));
+                row_sum[i as usize] += mean;
+            }
+        }
+        for (i, row) in rows.iter_mut().enumerate() {
+            for (_, v) in row.iter_mut() {
+                *v /= row_sum[i];
+            }
+        }
+        rows
+    }
+
+    fn walk(&self, rows: &[Vec<(usize, f64)>], teleport: &[f64], damping: f64) -> (Vec<f64>, usize) {
+        let n = self.n;
+        let mut v = teleport.to_vec();
+        let mut iterations = 0;
+        for _ in 0..self.config.max_iterations {
+            iterations += 1;
+            let mut next = vec![0.0; n];
+            for (i, row) in rows.iter().enumerate() {
+                if row.is_empty() {
+                    for (k, next_k) in next.iter_mut().enumerate() {
+                        *next_k += v[i] * teleport[k];
+                    }
+                } else {
+                    for &(j, c) in row {
+                        next[j] += v[i] * c;
+                    }
+                }
+            }
+            for k in 0..n {
+                next[k] = (1.0 - damping) * next[k] + damping * teleport[k];
+            }
+            let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            if delta < self.config.epsilon {
+                break;
+            }
+        }
+        (v, iterations)
+    }
+
+    fn recompute(&mut self) {
+        if self.n == 0 {
+            self.dirty = false;
+            self.last_iterations = 0;
+            return;
+        }
+        let rows = self.rows();
+        let uniform = vec![1.0 / self.n as f64; self.n];
+        // Pass 1: plain random walk elects power nodes.
+        let (v1, it1) = self.walk(&rows, &uniform, self.config.theta);
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by(|&a, &b| v1[b].partial_cmp(&v1[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+        let m = self.config.power_nodes.min(self.n);
+        self.power_set = order[..m].iter().map(|&i| NodeId::from_index(i)).collect();
+        // Pass 2: teleport lands on power nodes, boosting their influence.
+        let mut teleport = vec![0.0; self.n];
+        for p in &self.power_set {
+            teleport[p.index()] = 1.0 / m as f64;
+        }
+        let (v2, it2) = self.walk(&rows, &teleport, self.config.theta);
+        self.global = v2;
+        // Cache the walk-weighted opinion aggregation: power nodes carry
+        // the most weight when scoring others (the LRW aggregation).
+        self.opinion = vec![(0.0, 0.0); self.n];
+        for (&(i, j), &(sum, count)) in &self.local {
+            if count == 0 {
+                continue;
+            }
+            let w = self.global[i as usize].max(1e-6);
+            let slot = &mut self.opinion[j as usize];
+            slot.0 += w * (sum / count as f64);
+            slot.1 += w;
+        }
+        self.dirty = false;
+        self.last_iterations = it1 + it2;
+    }
+
+    fn blend_weight(&self) -> f64 {
+        let total = self.identified_reports + self.anonymous_reports;
+        if total == 0 {
+            1.0
+        } else {
+            self.identified_reports as f64 / total as f64
+        }
+    }
+}
+
+impl ReputationMechanism for PowerTrust {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::PowerTrust
+    }
+
+    fn resize(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+            self.anon.resize(n, (0.0, 0));
+            self.opinion.resize(n, (0.0, 0.0));
+            self.global = vec![1.0 / n as f64; n];
+            self.dirty = true;
+        }
+    }
+
+    fn record(&mut self, report: &ReportView) {
+        let ratee = report.ratee.0;
+        debug_assert!((ratee as usize) < self.n, "ratee out of range");
+        match report.rater {
+            Some(rater) if rater != report.ratee => {
+                let entry = self.local.entry((rater.0, ratee)).or_insert((0.0, 0));
+                entry.0 += report.value();
+                entry.1 += 1;
+                self.identified_reports += 1;
+            }
+            Some(_) => {}
+            None => {
+                let entry = &mut self.anon[ratee as usize];
+                entry.0 += report.value();
+                entry.1 += 1;
+                self.anonymous_reports += 1;
+            }
+        }
+        self.dirty = true;
+    }
+
+    fn refresh(&mut self) -> usize {
+        self.recompute();
+        self.last_iterations
+    }
+
+    fn score(&self, node: NodeId) -> f64 {
+        if node.index() >= self.n {
+            return 0.5;
+        }
+        let (weighted, weight) = self.opinion[node.index()];
+        let identified = if weight > 0.0 { weighted / weight } else { 0.5 };
+        let w = self.blend_weight();
+        let (sum, count) = self.anon[node.index()];
+        let anon_mean = if count > 0 { sum / count as f64 } else { 0.5 };
+        w * identified + (1.0 - w) * anon_mean
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn overhead_per_report(&self) -> usize {
+        // Report to score manager + LRW lookahead exchange.
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gathering::{DisclosurePolicy, FeedbackReport};
+    use crate::mechanism::InteractionOutcome;
+    use tsn_simnet::SimTime;
+
+    fn feed(m: &mut PowerTrust, rater: u32, ratee: u32, good: bool) {
+        let report = FeedbackReport {
+            rater: NodeId(rater),
+            ratee: NodeId(ratee),
+            outcome: if good {
+                InteractionOutcome::Success { quality: 1.0 }
+            } else {
+                InteractionOutcome::Failure
+            },
+            topic: None,
+            at: SimTime::ZERO,
+        };
+        m.record(&DisclosurePolicy::full().view(&report));
+    }
+
+    fn star_population(m: &mut PowerTrust, n: u32, good: &[u32]) {
+        for r in 0..n {
+            for e in 0..n {
+                if r != e {
+                    feed(m, r, e, good.contains(&e));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn good_nodes_score_higher() {
+        let mut m = PowerTrust::new(6, PowerTrustConfig { power_nodes: 2, ..Default::default() });
+        star_population(&mut m, 6, &[0, 1]);
+        m.refresh();
+        for good in [0u32, 1] {
+            for bad in [2u32, 3, 4, 5] {
+                assert!(
+                    m.score(NodeId(good)) > m.score(NodeId(bad)),
+                    "good {good} must outrank bad {bad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_nodes_are_the_top_scorers() {
+        let mut m = PowerTrust::new(6, PowerTrustConfig { power_nodes: 2, ..Default::default() });
+        star_population(&mut m, 6, &[0, 1]);
+        m.refresh();
+        let powers: Vec<u32> = m.power_nodes().iter().map(|p| p.0).collect();
+        assert_eq!(powers.len(), 2);
+        assert!(powers.contains(&0) && powers.contains(&1), "power nodes {powers:?}");
+    }
+
+    #[test]
+    fn power_node_count_clamps_to_population() {
+        let mut m = PowerTrust::new(3, PowerTrustConfig { power_nodes: 10, ..Default::default() });
+        feed(&mut m, 0, 1, true);
+        m.refresh();
+        assert_eq!(m.power_nodes().len(), 3);
+    }
+
+    #[test]
+    fn anonymous_pool_still_separates() {
+        let mut m = PowerTrust::new(3, PowerTrustConfig::default());
+        let anon = DisclosurePolicy::minimal();
+        for _ in 0..10 {
+            let good = FeedbackReport {
+                rater: NodeId(0),
+                ratee: NodeId(1),
+                outcome: InteractionOutcome::Success { quality: 1.0 },
+                topic: None,
+                at: SimTime::ZERO,
+            };
+            let bad = FeedbackReport { ratee: NodeId(2), outcome: InteractionOutcome::Failure, ..good };
+            m.record(&anon.view(&good));
+            m.record(&anon.view(&bad));
+        }
+        m.refresh();
+        assert!(m.score(NodeId(1)) > m.score(NodeId(2)));
+    }
+
+    #[test]
+    fn refresh_counts_both_passes() {
+        let mut m = PowerTrust::new(4, PowerTrustConfig::default());
+        feed(&mut m, 0, 1, true);
+        let iters = m.refresh();
+        assert!(iters >= 2, "two walk passes, got {iters}");
+    }
+
+    #[test]
+    fn self_reports_ignored() {
+        let mut m = PowerTrust::new(3, PowerTrustConfig::default());
+        for _ in 0..5 {
+            feed(&mut m, 1, 1, true);
+        }
+        m.refresh();
+        let scores: Vec<f64> = (0..3).map(|i| m.score(NodeId(i))).collect();
+        assert!((scores[0] - scores[1]).abs() < 1e-9, "{scores:?}");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PowerTrustConfig { power_nodes: 0, ..Default::default() }.validate().is_err());
+        assert!(PowerTrustConfig { theta: -0.1, ..Default::default() }.validate().is_err());
+        assert!(PowerTrustConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_same_reports() {
+        let mut a = PowerTrust::new(5, PowerTrustConfig::default());
+        let mut b = PowerTrust::new(5, PowerTrustConfig::default());
+        for m in [&mut a, &mut b] {
+            star_population(m, 5, &[0]);
+            m.refresh();
+        }
+        for i in 0..5 {
+            assert_eq!(a.score(NodeId(i)), b.score(NodeId(i)));
+        }
+    }
+}

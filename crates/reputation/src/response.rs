@@ -1,0 +1,229 @@
+//! Response — the third taxonomy block: acting on scores when choosing an
+//! interaction partner.
+
+use serde::{Deserialize, Serialize};
+use tsn_simnet::{NodeId, SimRng};
+
+/// Partner-selection policy applied to a candidate set with known scores.
+///
+/// ```
+/// use tsn_reputation::SelectionPolicy;
+/// use tsn_simnet::{NodeId, SimRng};
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let candidates = [NodeId(0), NodeId(1)];
+/// let best = SelectionPolicy::Best
+///     .select(&candidates, |n| if n.0 == 1 { 0.9 } else { 0.1 }, &mut rng)
+///     .expect("candidates are non-empty");
+/// assert_eq!(best, NodeId(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Uniform choice — ignores reputation entirely (the `None` baseline).
+    Random,
+    /// Always the highest-scored candidate (ties → lowest id).
+    Best,
+    /// Probability proportional to `score^sharpness`; `sharpness` = 1 is
+    /// plain score-proportional, higher values approach `Best`, 0 is
+    /// `Random`. Keeps exploration alive, which reputation systems need to
+    /// discover newcomers.
+    Proportional {
+        /// Exponent applied to scores before normalization.
+        sharpness: f64,
+    },
+    /// Uniform choice among candidates with `score >= threshold`; falls
+    /// back to the best-scored candidate when none qualifies.
+    Threshold {
+        /// Minimum acceptable score.
+        threshold: f64,
+    },
+}
+
+impl SelectionPolicy {
+    /// Standard policy set used in sweeps.
+    pub const SWEEP: [SelectionPolicy; 4] = [
+        SelectionPolicy::Random,
+        SelectionPolicy::Best,
+        SelectionPolicy::Proportional { sharpness: 2.0 },
+        SelectionPolicy::Threshold { threshold: 0.5 },
+    ];
+
+    /// Short label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SelectionPolicy::Random => "random",
+            SelectionPolicy::Best => "best",
+            SelectionPolicy::Proportional { .. } => "proportional",
+            SelectionPolicy::Threshold { .. } => "threshold",
+        }
+    }
+
+    /// Picks one provider among `candidates`, whose reputation is given by
+    /// `score(candidate)`. Returns `None` when `candidates` is empty.
+    pub fn select(
+        self,
+        candidates: &[NodeId],
+        mut score: impl FnMut(NodeId) -> f64,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            SelectionPolicy::Random => rng.choose(candidates).copied(),
+            SelectionPolicy::Best => candidates
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    score(a)
+                        .partial_cmp(&score(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Prefer the lower id on ties (max_by keeps the last
+                        // maximal element, so compare ids in reverse).
+                        .then(b.cmp(&a))
+                }),
+            SelectionPolicy::Proportional { sharpness } => {
+                let weights: Vec<f64> = candidates
+                    .iter()
+                    .map(|&c| score(c).max(0.0).powf(sharpness.max(0.0)))
+                    .collect();
+                match rng.choose_weighted_index(&weights) {
+                    Some(i) => Some(candidates[i]),
+                    // All-zero scores: fall back to uniform.
+                    None => rng.choose(candidates).copied(),
+                }
+            }
+            SelectionPolicy::Threshold { threshold } => {
+                let qualified: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| score(c) >= threshold)
+                    .collect();
+                if qualified.is_empty() {
+                    SelectionPolicy::Best.select(candidates, score, rng)
+                } else {
+                    rng.choose(&qualified).copied()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let mut rng = SimRng::seed_from_u64(0);
+        for policy in SelectionPolicy::SWEEP {
+            assert_eq!(policy.select(&[], |_| 1.0, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn best_picks_highest_score() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let cands = nodes(4);
+        let chosen = SelectionPolicy::Best
+            .select(&cands, |n| [0.2, 0.9, 0.5, 0.7][n.index()], &mut rng)
+            .unwrap();
+        assert_eq!(chosen, NodeId(1));
+    }
+
+    #[test]
+    fn best_breaks_ties_by_lowest_id() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let chosen = SelectionPolicy::Best.select(&nodes(3), |_| 0.5, &mut rng).unwrap();
+        assert_eq!(chosen, NodeId(0));
+    }
+
+    #[test]
+    fn random_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let cands = nodes(4);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            let c = SelectionPolicy::Random.select(&cands, |_| 0.0, &mut rng).unwrap();
+            counts[c.index()] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 8000.0 - 0.25).abs() < 0.03, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn proportional_follows_scores() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let cands = nodes(2);
+        let mut high = 0usize;
+        for _ in 0..10_000 {
+            let c = SelectionPolicy::Proportional { sharpness: 1.0 }
+                .select(&cands, |n| if n.0 == 0 { 0.25 } else { 0.75 }, &mut rng)
+                .unwrap();
+            if c.0 == 1 {
+                high += 1;
+            }
+        }
+        let rate = high as f64 / 10_000.0;
+        assert!((rate - 0.75).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn proportional_sharpness_concentrates() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let cands = nodes(2);
+        let pick_rate = |sharpness: f64, rng: &mut SimRng| {
+            let mut high = 0usize;
+            for _ in 0..5000 {
+                let c = SelectionPolicy::Proportional { sharpness }
+                    .select(&cands, |n| if n.0 == 0 { 0.4 } else { 0.6 }, rng)
+                    .unwrap();
+                if c.0 == 1 {
+                    high += 1;
+                }
+            }
+            high as f64 / 5000.0
+        };
+        let soft = pick_rate(1.0, &mut rng);
+        let sharp = pick_rate(8.0, &mut rng);
+        assert!(sharp > soft, "sharper exponent favours the better node more: {sharp} vs {soft}");
+    }
+
+    #[test]
+    fn proportional_all_zero_scores_falls_back_to_uniform() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let c = SelectionPolicy::Proportional { sharpness: 2.0 }
+            .select(&nodes(3), |_| 0.0, &mut rng);
+        assert!(c.is_some());
+    }
+
+    #[test]
+    fn threshold_filters_and_falls_back() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let cands = nodes(3);
+        // Only node 2 qualifies.
+        for _ in 0..20 {
+            let c = SelectionPolicy::Threshold { threshold: 0.6 }
+                .select(&cands, |n| [0.1, 0.5, 0.8][n.index()], &mut rng)
+                .unwrap();
+            assert_eq!(c, NodeId(2));
+        }
+        // Nobody qualifies → best.
+        let c = SelectionPolicy::Threshold { threshold: 0.99 }
+            .select(&cands, |n| [0.1, 0.5, 0.8][n.index()], &mut rng)
+            .unwrap();
+        assert_eq!(c, NodeId(2));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SelectionPolicy::Random.label(), "random");
+        assert_eq!(SelectionPolicy::Threshold { threshold: 0.1 }.label(), "threshold");
+        assert_eq!(SelectionPolicy::SWEEP.len(), 4);
+    }
+}

@@ -1,0 +1,381 @@
+//! The standard interaction loop used by reputation experiments.
+//!
+//! A [`Testbed`] wires together a social graph, a behaviour
+//! [`Population`], a [`ReputationMechanism`] behind a [`DisclosurePolicy`]
+//! and a [`SelectionPolicy`], then runs rounds of consumer→provider
+//! interactions. It produces both aggregate outcomes (success rates,
+//! message counts) and the mechanism's measured [`PowerReport`] — the raw
+//! material for the A1/A2 ablations and, via `tsn-core`, for every
+//! figure of the paper.
+
+use crate::accuracy::{self, PowerReport};
+use crate::anonymous::{Anonymized, AnonymizationConfig};
+use crate::attack::{Population, PopulationConfig};
+use crate::gathering::DisclosurePolicy;
+use crate::mechanism::{build_mechanism, MechanismKind, ReputationMechanism};
+use crate::response::SelectionPolicy;
+use serde::{Deserialize, Serialize};
+use tsn_graph::{generators, Graph};
+use tsn_simnet::{NodeId, SimRng, SimTime};
+
+/// Full testbed configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestbedConfig {
+    /// Population size.
+    pub nodes: usize,
+    /// Rounds of interactions.
+    pub rounds: usize,
+    /// Interactions initiated per node per round.
+    pub interactions_per_node: usize,
+    /// Behaviour mix.
+    pub population: PopulationConfig,
+    /// Scoring mechanism.
+    pub mechanism: MechanismKind,
+    /// Which report fields reach the mechanism.
+    pub disclosure: DisclosurePolicy,
+    /// Extra anonymization layer, if any.
+    pub anonymization: Option<AnonymizationConfig>,
+    /// Partner selection.
+    pub selection: SelectionPolicy,
+    /// Rounds between mechanism refreshes.
+    pub refresh_every: usize,
+    /// Number of pre-trusted seed peers (EigenTrust only): that many
+    /// known-honest nodes anchor the teleport vector, exactly as in the
+    /// EigenTrust paper's evaluation. Ignored by other mechanisms.
+    pub pretrusted: usize,
+    /// Watts–Strogatz mean degree of the social graph (even).
+    pub graph_degree: usize,
+    /// Watts–Strogatz rewiring probability.
+    pub graph_beta: f64,
+    /// Random seed: `(seed, config)` fully reproduces a run.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            nodes: 100,
+            rounds: 30,
+            interactions_per_node: 2,
+            population: PopulationConfig::default(),
+            mechanism: MechanismKind::EigenTrust,
+            disclosure: DisclosurePolicy::full(),
+            anonymization: None,
+            selection: SelectionPolicy::Proportional { sharpness: 2.0 },
+            refresh_every: 5,
+            pretrusted: 3,
+            graph_degree: 8,
+            graph_beta: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 3 {
+            return Err("need at least 3 nodes".into());
+        }
+        if self.rounds == 0 || self.interactions_per_node == 0 {
+            return Err("rounds and interactions_per_node must be positive".into());
+        }
+        if self.refresh_every == 0 {
+            return Err("refresh_every must be positive".into());
+        }
+        if self.graph_degree % 2 != 0 || self.graph_degree == 0 || self.graph_degree >= self.nodes {
+            return Err("graph_degree must be even, positive and < nodes".into());
+        }
+        self.population.validate()?;
+        if let Some(a) = &self.anonymization {
+            a.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate result of one testbed run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TestbedSummary {
+    /// Fraction of all interactions that succeeded.
+    pub success_rate: f64,
+    /// Success rate experienced by honest consumers only — the headline
+    /// number of the EigenTrust-style evaluation.
+    pub honest_success_rate: f64,
+    /// Measured mechanism power.
+    pub power: PowerReport,
+    /// Total interactions executed.
+    pub interactions: u64,
+    /// Total protocol messages (interactions + reporting overhead).
+    pub messages: u64,
+    /// Per-node success fraction as consumer (NaN-free; nodes that never
+    /// consumed get 0.5).
+    pub per_node_success: Vec<f64>,
+    /// Ground-truth qualities at the end of the run.
+    pub true_qualities: Vec<f64>,
+    /// Refresh iterations accumulated.
+    pub refresh_iterations: usize,
+}
+
+/// The testbed.
+#[derive(Debug)]
+pub struct Testbed {
+    config: TestbedConfig,
+    graph: Graph,
+    population: Population,
+    mechanism: Box<dyn ReputationMechanism>,
+    rng: SimRng,
+}
+
+impl Testbed {
+    /// Builds the testbed (graph, population, mechanism) from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is invalid.
+    pub fn new(config: TestbedConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let mut graph_rng = rng.fork(1);
+        let graph = generators::watts_strogatz(config.nodes, config.graph_degree, config.graph_beta, &mut graph_rng)
+            .map_err(|e| e.to_string())?;
+        let mut pop_rng = rng.fork(2);
+        let population = Population::new(config.nodes, config.population.clone(), &mut pop_rng);
+        let base: Box<dyn ReputationMechanism> =
+            if config.mechanism == MechanismKind::EigenTrust && config.pretrusted > 0 {
+                // Anchor the teleport vector on known-honest seeds, as the
+                // EigenTrust evaluation does.
+                let pretrusted: Vec<NodeId> = (0..config.nodes)
+                    .map(NodeId::from_index)
+                    .filter(|&n| !population.is_adversarial(n))
+                    .take(config.pretrusted)
+                    .collect();
+                Box::new(crate::eigentrust::EigenTrust::new(
+                    config.nodes,
+                    crate::eigentrust::EigenTrustConfig { pretrusted, ..Default::default() },
+                ))
+            } else {
+                build_mechanism(config.mechanism, config.nodes)
+            };
+        let mechanism: Box<dyn ReputationMechanism> = match config.anonymization {
+            Some(anon) => Box::new(Anonymized::new(base, anon, rng.fork(3))),
+            None => base,
+        };
+        Ok(Testbed { config, graph, population, mechanism, rng })
+    }
+
+    /// The underlying social graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The behaviour population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Runs the full configured number of rounds and summarizes.
+    pub fn run(&mut self) -> TestbedSummary {
+        let n = self.config.nodes;
+        let mut ok = vec![0u64; n];
+        let mut tried = vec![0u64; n];
+        let mut interactions = 0u64;
+        let mut messages = 0u64;
+        let mut refresh_iterations = 0usize;
+        let mut now = SimTime::ZERO;
+        for round in 0..self.config.rounds {
+            for consumer_idx in 0..n {
+                let consumer = NodeId::from_index(consumer_idx);
+                for _ in 0..self.config.interactions_per_node {
+                    let candidates = self.graph.neighbors(consumer);
+                    let mech = &self.mechanism;
+                    let Some(provider) = self
+                        .config
+                        .selection
+                        .select(candidates, |c| mech.score(c), &mut self.rng)
+                    else {
+                        continue;
+                    };
+                    let outcome = self.population.interact(provider, consumer, &mut self.rng);
+                    interactions += 1;
+                    messages += 2; // request + response
+                    tried[consumer_idx] += 1;
+                    if outcome.is_success() {
+                        ok[consumer_idx] += 1;
+                    }
+                    let report = self.population.feedback(consumer, provider, outcome, now, None);
+                    let view = self.config.disclosure.view(&report);
+                    self.mechanism.record(&view);
+                    messages += self.mechanism.overhead_per_report() as u64;
+                }
+            }
+            if (round + 1) % self.config.refresh_every == 0 {
+                refresh_iterations += self.mechanism.refresh();
+            }
+            now = now + tsn_simnet::SimDuration::from_secs(60);
+        }
+        refresh_iterations += self.mechanism.refresh();
+
+        let adversarial: Vec<bool> =
+            (0..n).map(|i| self.population.is_adversarial(NodeId::from_index(i))).collect();
+        let true_qualities = self.population.true_qualities();
+        let power = accuracy::evaluate(
+            self.mechanism.as_ref(),
+            &true_qualities,
+            &adversarial,
+            refresh_iterations,
+        );
+
+        let per_node_success: Vec<f64> = (0..n)
+            .map(|i| if tried[i] == 0 { 0.5 } else { ok[i] as f64 / tried[i] as f64 })
+            .collect();
+        let total_ok: u64 = ok.iter().sum();
+        let total_tried: u64 = tried.iter().sum();
+        let (mut honest_ok, mut honest_tried) = (0u64, 0u64);
+        for i in 0..n {
+            if !adversarial[i] {
+                honest_ok += ok[i];
+                honest_tried += tried[i];
+            }
+        }
+        TestbedSummary {
+            success_rate: if total_tried == 0 { 0.0 } else { total_ok as f64 / total_tried as f64 },
+            honest_success_rate: if honest_tried == 0 {
+                0.0
+            } else {
+                honest_ok as f64 / honest_tried as f64
+            },
+            power,
+            interactions,
+            messages,
+            per_node_success,
+            true_qualities,
+            refresh_iterations,
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+///
+/// # Errors
+///
+/// Returns an error when the configuration is invalid.
+pub fn run_testbed(config: TestbedConfig) -> Result<TestbedSummary, String> {
+    Ok(Testbed::new(config)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mechanism: MechanismKind, malicious: f64, seed: u64) -> TestbedConfig {
+        TestbedConfig {
+            nodes: 60,
+            rounds: 15,
+            interactions_per_node: 2,
+            population: PopulationConfig::with_malicious(malicious),
+            mechanism,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_honest_population_mostly_succeeds() {
+        let summary = run_testbed(quick(MechanismKind::Beta, 0.0, 1)).unwrap();
+        assert!(summary.success_rate > 0.8, "success {}", summary.success_rate);
+        assert_eq!(summary.interactions, 60 * 15 * 2);
+    }
+
+    #[test]
+    fn reputation_beats_no_reputation_under_attack() {
+        // Averaged over seeds to keep the assertion robust to one lucky
+        // random-selection run.
+        let mean = |mech: MechanismKind, selection: SelectionPolicy| {
+            (0..3)
+                .map(|seed| {
+                    let mut cfg = quick(mech, 0.4, 100 + seed);
+                    cfg.selection = selection;
+                    cfg.rounds = 25;
+                    run_testbed(cfg).unwrap().honest_success_rate
+                })
+                .sum::<f64>()
+                / 3.0
+        };
+        let with = mean(MechanismKind::EigenTrust, SelectionPolicy::Proportional { sharpness: 2.0 });
+        let without = mean(MechanismKind::None, SelectionPolicy::Random);
+        assert!(
+            with > without + 0.03,
+            "eigentrust {with} vs none {without}"
+        );
+    }
+
+    #[test]
+    fn mechanism_power_is_measured() {
+        let summary = run_testbed(quick(MechanismKind::Beta, 0.3, 3)).unwrap();
+        assert!(summary.power.consistency > 0.7, "consistency {}", summary.power.consistency);
+        assert!(summary.power.reliability > 0.7, "reliability {}", summary.power.reliability);
+    }
+
+    #[test]
+    fn anonymization_reduces_power() {
+        let clean = run_testbed(quick(MechanismKind::Beta, 0.3, 4)).unwrap();
+        let mut anon_cfg = quick(MechanismKind::Beta, 0.3, 4);
+        anon_cfg.anonymization =
+            Some(AnonymizationConfig { strip_probability: 1.0, flip_probability: 0.3 });
+        let anon = run_testbed(anon_cfg).unwrap();
+        assert!(
+            clean.power.consistency > anon.power.consistency,
+            "clean {} vs anonymized {}",
+            clean.power.consistency,
+            anon.power.consistency
+        );
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = run_testbed(quick(MechanismKind::PowerTrust, 0.3, 5)).unwrap();
+        let b = run_testbed(quick(MechanismKind::PowerTrust, 0.3, 5)).unwrap();
+        assert_eq!(a.success_rate, b.success_rate);
+        assert_eq!(a.power.consistency, b.power.consistency);
+        assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_testbed(quick(MechanismKind::Beta, 0.3, 6)).unwrap();
+        let b = run_testbed(quick(MechanismKind::Beta, 0.3, 7)).unwrap();
+        assert_ne!(a.success_rate, b.success_rate);
+    }
+
+    #[test]
+    fn message_accounting_includes_overhead() {
+        let summary = run_testbed(quick(MechanismKind::TrustMe, 0.0, 8)).unwrap();
+        // TrustMe: 2 transport + (holders+1)=4 overhead per interaction.
+        assert_eq!(summary.messages, summary.interactions * 6);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = TestbedConfig::default();
+        c.nodes = 2;
+        assert!(Testbed::new(c).is_err());
+        let mut c = TestbedConfig::default();
+        c.graph_degree = 7;
+        assert!(Testbed::new(c).is_err());
+        let mut c = TestbedConfig::default();
+        c.rounds = 0;
+        assert!(Testbed::new(c).is_err());
+    }
+
+    #[test]
+    fn per_node_success_is_populated() {
+        let summary = run_testbed(quick(MechanismKind::Beta, 0.2, 9)).unwrap();
+        assert_eq!(summary.per_node_success.len(), 60);
+        assert!(summary.per_node_success.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Global satisfaction: aggregating per-participant satisfaction.
+//!
+//! The paper's Figure 2 plots *global* satisfaction; Section 3 notes a
+//! user's perception "can be influenced only by its local vision of the
+//! system, or by a global one". The global view must not hide individual
+//! misery behind a mean, so fairness measures ride along.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated satisfaction statistics over a population.
+///
+/// ```
+/// use tsn_satisfaction::GlobalSatisfaction;
+///
+/// let g = GlobalSatisfaction::from_values(&[1.0, 1.0, 0.0, 0.0]).expect("non-empty");
+/// assert_eq!(g.mean, 0.5);
+/// assert!(g.fairness_discounted() < g.mean, "inequality is discounted");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalSatisfaction {
+    /// Arithmetic mean satisfaction.
+    pub mean: f64,
+    /// Minimum individual satisfaction.
+    pub min: f64,
+    /// Jain fairness index in `(0, 1]` (1 = perfectly even).
+    pub jain_index: f64,
+    /// Gini coefficient in `[0, 1)` (0 = perfectly even).
+    pub gini: f64,
+    /// Population size.
+    pub population: usize,
+}
+
+impl GlobalSatisfaction {
+    /// Computes aggregates from individual satisfaction values (each in
+    /// `[0, 1]`).
+    ///
+    /// Returns `None` for an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `[0, 1]`.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        assert!(
+            values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "satisfaction values must be in [0,1]"
+        );
+        let n = values.len() as f64;
+        let sum: f64 = values.iter().sum();
+        let mean = sum / n;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+        let jain_index = if sum_sq == 0.0 { 1.0 } else { sum * sum / (n * sum_sq) };
+        let gini = gini_coefficient(values);
+        Some(GlobalSatisfaction { mean, min, jain_index, gini, population: values.len() })
+    }
+
+    /// A fairness-discounted global score: `mean × jain`. This is the
+    /// value `tsn-core` uses as the satisfaction facet, so a system that
+    /// satisfies half its users perfectly and ignores the rest does not
+    /// score like one satisfying everyone at 0.5.
+    pub fn fairness_discounted(&self) -> f64 {
+        self.mean * self.jain_index
+    }
+}
+
+/// Gini coefficient of non-negative values (0 = perfect equality).
+pub fn gini_coefficient(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = values.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // Gini = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n, with i starting at 1.
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_population_is_perfectly_fair() {
+        let g = GlobalSatisfaction::from_values(&[0.7; 10]).unwrap();
+        assert!((g.mean - 0.7).abs() < 1e-12);
+        assert_eq!(g.min, 0.7);
+        assert!((g.jain_index - 1.0).abs() < 1e-12);
+        assert!(g.gini.abs() < 1e-12);
+        assert_eq!(g.population, 10);
+        assert!((g.fairness_discounted() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_is_none() {
+        assert_eq!(GlobalSatisfaction::from_values(&[]), None);
+    }
+
+    #[test]
+    fn skewed_population_scores_unfair() {
+        // Half blissful, half miserable.
+        let values: Vec<f64> = (0..10).map(|i| if i < 5 { 1.0 } else { 0.0 }).collect();
+        let g = GlobalSatisfaction::from_values(&values).unwrap();
+        assert!((g.mean - 0.5).abs() < 1e-12);
+        assert_eq!(g.min, 0.0);
+        assert!((g.jain_index - 0.5).abs() < 1e-12);
+        assert!((g.gini - 0.5).abs() < 1e-12);
+        // Fairness discount bites: 0.5 × 0.5 = 0.25 < 0.5.
+        assert!((g.fairness_discounted() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_half_satisfaction_beats_skewed_same_mean() {
+        let even = GlobalSatisfaction::from_values(&[0.5; 10]).unwrap();
+        let skewed =
+            GlobalSatisfaction::from_values(&(0..10).map(|i| if i < 5 { 1.0 } else { 0.0 }).collect::<Vec<_>>())
+                .unwrap();
+        assert!((even.mean - skewed.mean).abs() < 1e-12);
+        assert!(even.fairness_discounted() > skewed.fairness_discounted());
+    }
+
+    #[test]
+    fn gini_known_values() {
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0.0, 0.0]), 0.0);
+        assert!(gini_coefficient(&[1.0, 1.0, 1.0]).abs() < 1e-12);
+        // One person has everything, n=4: Gini = (n-1)/n = 0.75.
+        let g = gini_coefficient(&[0.0, 0.0, 0.0, 1.0]);
+        assert!((g - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_population() {
+        let g = GlobalSatisfaction::from_values(&[0.0, 0.0]).unwrap();
+        assert_eq!(g.mean, 0.0);
+        assert_eq!(g.jain_index, 1.0, "equal misery is still 'fair'");
+        assert_eq!(g.fairness_discounted(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn out_of_range_values_panic() {
+        let _ = GlobalSatisfaction::from_values(&[0.5, 1.5]);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        // Jain ∈ [1/n, 1].
+        let worst = GlobalSatisfaction::from_values(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((worst.jain_index - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Long-run satisfaction and allocation satisfaction (ref [17]).
+
+use serde::{Deserialize, Serialize};
+
+/// Long-run satisfaction: an exponentially weighted average of adequacy.
+///
+/// Ref [17]'s satisfaction is "a long run notion evaluating the capacity
+/// of the system to follow the intentions of each participant". The EWMA
+/// keeps it long-run (one bad interaction moves it by at most
+/// `learning_rate`) while staying responsive to sustained change.
+///
+/// ```
+/// use tsn_satisfaction::SatisfactionTracker;
+///
+/// let mut tracker = SatisfactionTracker::default();
+/// for _ in 0..30 {
+///     tracker.observe(0.9);
+/// }
+/// tracker.observe(0.0); // one bad day is forgiven
+/// assert!(tracker.satisfaction() > 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SatisfactionTracker {
+    value: f64,
+    learning_rate: f64,
+    observations: u64,
+}
+
+impl SatisfactionTracker {
+    /// Creates a tracker starting at the neutral prior 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not in `(0, 1]`.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(
+            learning_rate > 0.0 && learning_rate <= 1.0,
+            "learning rate must be in (0,1]"
+        );
+        SatisfactionTracker { value: 0.5, learning_rate, observations: 0 }
+    }
+
+    /// Records the adequacy of one interaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adequacy` is not in `[0, 1]`.
+    pub fn observe(&mut self, adequacy: f64) {
+        assert!((0.0..=1.0).contains(&adequacy), "adequacy must be in [0,1]");
+        self.value += self.learning_rate * (adequacy - self.value);
+        self.observations += 1;
+    }
+
+    /// Current satisfaction in `[0, 1]`.
+    pub fn satisfaction(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of interactions observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Whether the participant would plausibly *leave* the system:
+    /// satisfied participants stay ("they may decide whether to stay or to
+    /// leave the system based on it"). The threshold is the caller's
+    /// churn model; this is a convenience comparator.
+    pub fn would_leave(&self, threshold: f64) -> bool {
+        self.observations > 0 && self.value < threshold
+    }
+}
+
+impl Default for SatisfactionTracker {
+    /// Learning rate 0.1: roughly a 10-interaction memory half-life.
+    fn default() -> Self {
+        SatisfactionTracker::new(0.1)
+    }
+}
+
+/// Allocation satisfaction: the fraction of allocations that matched the
+/// participant's intentions, over a sliding window.
+///
+/// Ref [17] separates *satisfaction* (with outcomes) from *allocation
+/// satisfaction* (with the allocation decisions themselves): a consumer
+/// is allocation-satisfied when "in general she receives answers from the
+/// providers she prefers".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationTracker {
+    window: Vec<bool>,
+    capacity: usize,
+    cursor: usize,
+    filled: bool,
+}
+
+impl AllocationTracker {
+    /// Creates a tracker over a window of `capacity` allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        AllocationTracker { window: vec![false; capacity], capacity, cursor: 0, filled: false }
+    }
+
+    /// Records whether an allocation was intended.
+    pub fn observe(&mut self, intended: bool) {
+        self.window[self.cursor] = intended;
+        self.cursor = (self.cursor + 1) % self.capacity;
+        if self.cursor == 0 {
+            self.filled = true;
+        }
+    }
+
+    /// Number of allocations currently in the window.
+    pub fn len(&self) -> usize {
+        if self.filled {
+            self.capacity
+        } else {
+            self.cursor
+        }
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocation satisfaction in `[0, 1]`; 0.5 (neutral) before any
+    /// observation.
+    pub fn allocation_satisfaction(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            return 0.5;
+        }
+        let hits = self.window[..if self.filled { self.capacity } else { self.cursor }]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        hits as f64 / n as f64
+    }
+}
+
+impl Default for AllocationTracker {
+    /// A 50-allocation window.
+    fn default() -> Self {
+        AllocationTracker::new(50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_starts_neutral() {
+        let t = SatisfactionTracker::default();
+        assert_eq!(t.satisfaction(), 0.5);
+        assert_eq!(t.observations(), 0);
+    }
+
+    #[test]
+    fn sustained_good_experience_converges_up() {
+        let mut t = SatisfactionTracker::new(0.1);
+        for _ in 0..100 {
+            t.observe(0.95);
+        }
+        assert!(t.satisfaction() > 0.9);
+        assert_eq!(t.observations(), 100);
+    }
+
+    #[test]
+    fn sustained_bad_experience_converges_down() {
+        let mut t = SatisfactionTracker::new(0.1);
+        for _ in 0..100 {
+            t.observe(0.05);
+        }
+        assert!(t.satisfaction() < 0.1);
+    }
+
+    #[test]
+    fn one_bad_interaction_is_forgiven() {
+        // The long-run property ref [17] insists on.
+        let mut t = SatisfactionTracker::new(0.1);
+        for _ in 0..50 {
+            t.observe(0.9);
+        }
+        let before = t.satisfaction();
+        t.observe(0.0);
+        let after = t.satisfaction();
+        assert!(before - after < 0.1, "single failure must not crater satisfaction");
+        assert!(after > 0.7);
+    }
+
+    #[test]
+    fn higher_learning_rate_reacts_faster() {
+        let mut slow = SatisfactionTracker::new(0.05);
+        let mut fast = SatisfactionTracker::new(0.5);
+        for _ in 0..5 {
+            slow.observe(1.0);
+            fast.observe(1.0);
+        }
+        assert!(fast.satisfaction() > slow.satisfaction());
+    }
+
+    #[test]
+    fn would_leave_requires_observations() {
+        let t = SatisfactionTracker::default();
+        assert!(!t.would_leave(0.9), "no experience yet → no churn decision");
+        let mut t = SatisfactionTracker::new(0.5);
+        t.observe(0.0);
+        assert!(t.would_leave(0.4));
+        assert!(!t.would_leave(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "adequacy must be in [0,1]")]
+    fn out_of_range_adequacy_panics() {
+        SatisfactionTracker::default().observe(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn zero_learning_rate_panics() {
+        let _ = SatisfactionTracker::new(0.0);
+    }
+
+    #[test]
+    fn allocation_tracker_window() {
+        let mut a = AllocationTracker::new(4);
+        assert_eq!(a.allocation_satisfaction(), 0.5, "neutral before data");
+        assert!(a.is_empty());
+        a.observe(true);
+        a.observe(true);
+        a.observe(false);
+        assert_eq!(a.len(), 3);
+        assert!((a.allocation_satisfaction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_tracker_slides() {
+        let mut a = AllocationTracker::new(3);
+        for _ in 0..3 {
+            a.observe(false);
+        }
+        assert_eq!(a.allocation_satisfaction(), 0.0);
+        // Three intended allocations push the misses out of the window.
+        for _ in 0..3 {
+            a.observe(true);
+        }
+        assert_eq!(a.allocation_satisfaction(), 1.0);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity")]
+    fn zero_window_panics() {
+        let _ = AllocationTracker::new(0);
+    }
+}

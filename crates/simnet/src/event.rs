@@ -1,0 +1,233 @@
+//! The event queue at the heart of the discrete-event simulator.
+//!
+//! Events are closures scheduled at a [`SimTime`]. The queue pops them in
+//! chronological order; ties are broken by insertion order ([`EventId`]),
+//! which makes execution fully deterministic.
+
+use crate::sim::Simulation;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Monotonically increasing identifier assigned at scheduling time.
+///
+/// Besides identifying events (e.g. for cancellation), it serves as the
+/// deterministic tie-breaker between events scheduled for the same instant:
+/// earlier-scheduled events run first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+/// The action executed when an event fires.
+///
+/// Boxed `FnOnce` rather than a trait object with named impls: experiments
+/// schedule thousands of heterogeneous one-shot actions and closures capture
+/// their context directly.
+pub type Event = Box<dyn FnOnce(&mut Simulation)>;
+
+/// An event together with its firing time and identity.
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Scheduling identity (also the tie-breaker).
+    pub id: EventId,
+    /// The action to run.
+    pub action: Event,
+}
+
+impl std::fmt::Debug for ScheduledEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScheduledEvent")
+            .field("at", &self.at)
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Min-heap wrapper: earliest time first, then lowest id.
+struct HeapEntry(ScheduledEvent);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.id == other.0.id
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need the earliest event on top.
+        other
+            .0
+            .at
+            .cmp(&self.0.at)
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+/// A deterministic priority queue of [`ScheduledEvent`]s.
+///
+/// ```
+/// use tsn_simnet::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(2), Box::new(|_| {}));
+/// q.schedule(SimTime::from_millis(1), Box::new(|_| {}));
+/// assert_eq!(q.peek_time(), Some(SimTime::from_millis(1)));
+/// ```
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `action` to fire at `at`. Returns the event's id, usable
+    /// with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, action: Event) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(HeapEntry(ScheduledEvent { at, id, action }));
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry is dropped when it reaches the top of
+    /// the heap. Returns `true` if the id had been issued by this queue and
+    /// was not already cancelled (firing state is not tracked; cancelling an
+    /// already-fired event is a no-op at pop time).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 < self.next_id {
+            self.cancelled.insert(id)
+        } else {
+            false
+        }
+    }
+
+    /// Time of the next (non-cancelled) event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.0.at)
+    }
+
+    /// Pops the next event in chronological order.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Number of pending (possibly cancelled-but-unpopped) events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.0.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> Event {
+        Box::new(|_| {})
+    }
+
+    #[test]
+    fn pops_in_chronological_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), noop());
+        q.schedule(SimTime::from_millis(10), noop());
+        q.schedule(SimTime::from_millis(20), noop());
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.at.as_millis())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        let a = q.schedule(t, noop());
+        let b = q.schedule(t, noop());
+        let c = q.schedule(t, noop());
+        let ids: Vec<EventId> = std::iter::from_fn(|| q.pop().map(|e| e.id)).collect();
+        assert_eq!(ids, vec![a, b, c]);
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), noop());
+        q.schedule(SimTime::from_millis(2), noop());
+        assert!(q.cancel(id));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.pop().unwrap().at, SimTime::from_millis(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_returns_false() {
+        let mut q = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn double_cancel_returns_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_millis(1), noop());
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, noop());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), noop());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert!(q.pop().is_some());
+    }
+}

@@ -1,0 +1,122 @@
+//! # tsn-simnet — deterministic discrete-event simulator for P2P networks
+//!
+//! This crate is the *substrate* on which the `tsn` reproduction of
+//! "Trust your Social Network According to Satisfaction, Reputation and
+//! Privacy" (Busnel, Serrano-Alvarado, Lamarre, 2010) runs. The paper argues
+//! for fully decentralized social networks; since no live deployment is
+//! available, every experiment in the repository executes on this simulator.
+//!
+//! The simulator is:
+//!
+//! * **discrete-event** — a virtual clock ([`SimTime`]) advances from event
+//!   to event through a priority queue ([`EventQueue`]);
+//! * **deterministic** — all randomness flows through a seedable
+//!   [`SimRng`] (ChaCha-based), so a `(seed, config)` pair reproduces a run
+//!   bit-for-bit;
+//! * **message-passing** — nodes ([`NodeId`]) exchange [`Envelope`]s through
+//!   a [`Network`] that applies a pluggable [`LatencyModel`] and
+//!   [`LossModel`];
+//! * **churn-aware** — the [`churn`] module drives joins, leaves, crashes
+//!   and whitewashing re-joins, the lifecycle vocabulary of the reputation
+//!   literature the paper builds on.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tsn_simnet::{Simulation, SimDuration, SimTime, SimRng, NodeId};
+//!
+//! let mut sim = Simulation::new(SimRng::seed_from_u64(42));
+//! let a = sim.add_node();
+//! let b = sim.add_node();
+//! sim.schedule_in(SimDuration::from_millis(5), move |sim| {
+//!     sim.network_mut().send(a, b, "hello".into());
+//! });
+//! let report = sim.run_until(SimTime::from_secs(1));
+//! assert!(report.events_processed >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod event;
+pub mod latency;
+pub mod message;
+pub mod metrics;
+pub mod network;
+pub mod partition;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+pub use churn::{ChurnConfig, ChurnEvent, ChurnProcess, NodeLifecycle};
+pub use event::{Event, EventId, EventQueue, ScheduledEvent};
+pub use latency::{
+    BernoulliLoss, ConstantLatency, LatencyModel, LossModel, NoLoss, UniformLatency, WanLatency,
+};
+pub use message::{Envelope, MessageId, Payload};
+pub use metrics::{Counter, Histogram, MetricSet};
+pub use network::{DeliveryOutcome, Network, NetworkConfig, NetworkStats};
+pub use partition::{GroupMap, PartitionedLoss, RegionalLatency};
+pub use rng::SimRng;
+pub use sim::{RunReport, Simulation, StopCondition};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+
+/// Identifier of a simulated node (participant / peer).
+///
+/// `NodeId`s are dense indices handed out by [`Simulation::add_node`] (or by
+/// higher layers that manage their own populations); they index directly
+/// into per-node vectors throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(NodeId::from(17u32), id);
+        assert_eq!(id.to_string(), "n17");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5), NodeId(5));
+    }
+}

@@ -1,0 +1,211 @@
+//! Network partitions and regional topologies.
+//!
+//! Decentralized social networks run across administrative and
+//! geographic boundaries; partitions (and the slow links around them)
+//! are the failure mode that distinguishes a deployment from a LAN
+//! demo. [`PartitionedLoss`] drops cross-group traffic entirely
+//! (a clean split) or probabilistically (a lossy border);
+//! [`RegionalLatency`] makes cross-region links slower than local ones.
+
+use crate::latency::{LatencyModel, LossModel};
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use crate::NodeId;
+
+/// Group assignment used by the partition-aware models.
+///
+/// Nodes map to a group id; unassigned nodes (index beyond the vector)
+/// fall into group 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupMap {
+    groups: Vec<u16>,
+}
+
+impl GroupMap {
+    /// Builds a map from explicit assignments.
+    pub fn new(groups: Vec<u16>) -> Self {
+        GroupMap { groups }
+    }
+
+    /// Splits `n` nodes into `k` contiguous, equally sized groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        assert!(k > 0, "need at least one group");
+        let size = n.div_ceil(k);
+        GroupMap { groups: (0..n).map(|i| (i / size) as u16).collect() }
+    }
+
+    /// The group of a node.
+    pub fn group(&self, node: NodeId) -> u16 {
+        self.groups.get(node.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether two nodes share a group.
+    pub fn same_group(&self, a: NodeId, b: NodeId) -> bool {
+        self.group(a) == self.group(b)
+    }
+
+    /// Number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Drops cross-group messages with a configurable probability
+/// (1.0 = full partition).
+#[derive(Debug, Clone)]
+pub struct PartitionedLoss {
+    map: GroupMap,
+    /// Loss probability for cross-group messages.
+    pub cross_loss: f64,
+    /// Loss probability for intra-group messages.
+    pub intra_loss: f64,
+}
+
+impl PartitionedLoss {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(map: GroupMap, cross_loss: f64, intra_loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cross_loss), "cross_loss must be in [0,1]");
+        assert!((0.0..=1.0).contains(&intra_loss), "intra_loss must be in [0,1]");
+        PartitionedLoss { map, cross_loss, intra_loss }
+    }
+
+    /// A clean split: cross-group traffic never arrives.
+    pub fn full_partition(map: GroupMap) -> Self {
+        PartitionedLoss::new(map, 1.0, 0.0)
+    }
+}
+
+impl LossModel for PartitionedLoss {
+    fn is_lost(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> bool {
+        let p = if self.map.same_group(from, to) { self.intra_loss } else { self.cross_loss };
+        rng.gen_bool(p)
+    }
+}
+
+/// Constant latency that differs within vs across regions.
+#[derive(Debug, Clone)]
+pub struct RegionalLatency {
+    map: GroupMap,
+    /// Delay within a region.
+    pub intra: SimDuration,
+    /// Delay across regions.
+    pub inter: SimDuration,
+}
+
+impl RegionalLatency {
+    /// Creates the model.
+    pub fn new(map: GroupMap, intra: SimDuration, inter: SimDuration) -> Self {
+        RegionalLatency { map, intra, inter }
+    }
+}
+
+impl LatencyModel for RegionalLatency {
+    fn delay(&self, from: NodeId, to: NodeId, _rng: &mut SimRng) -> SimDuration {
+        if self.map.same_group(from, to) {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, NetworkConfig};
+    use crate::time::SimTime;
+
+    #[test]
+    fn contiguous_groups_split_evenly() {
+        let map = GroupMap::contiguous(10, 2);
+        assert_eq!(map.group(NodeId(0)), 0);
+        assert_eq!(map.group(NodeId(4)), 0);
+        assert_eq!(map.group(NodeId(5)), 1);
+        assert_eq!(map.group(NodeId(9)), 1);
+        assert!(map.same_group(NodeId(0), NodeId(4)));
+        assert!(!map.same_group(NodeId(4), NodeId(5)));
+        assert_eq!(map.len(), 10);
+    }
+
+    #[test]
+    fn unassigned_nodes_default_to_group_zero() {
+        let map = GroupMap::new(vec![1, 1]);
+        assert_eq!(map.group(NodeId(7)), 0);
+    }
+
+    #[test]
+    fn full_partition_blocks_cross_traffic_only() {
+        let map = GroupMap::contiguous(4, 2);
+        let model = PartitionedLoss::full_partition(map);
+        let mut rng = SimRng::seed_from_u64(0);
+        assert!(model.is_lost(NodeId(0), NodeId(2), &mut rng), "cross-group always lost");
+        assert!(!model.is_lost(NodeId(0), NodeId(1), &mut rng), "intra-group never lost");
+    }
+
+    #[test]
+    fn partial_border_loss_matches_probability() {
+        let map = GroupMap::contiguous(4, 2);
+        let model = PartitionedLoss::new(map, 0.3, 0.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let lost = (0..10_000)
+            .filter(|_| model.is_lost(NodeId(0), NodeId(3), &mut rng))
+            .count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "border loss {rate}");
+    }
+
+    #[test]
+    fn regional_latency_differs() {
+        let map = GroupMap::contiguous(4, 2);
+        let model = RegionalLatency::new(
+            map,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(80),
+        );
+        let mut rng = SimRng::seed_from_u64(2);
+        assert_eq!(model.delay(NodeId(0), NodeId(1), &mut rng), SimDuration::from_millis(5));
+        assert_eq!(model.delay(NodeId(1), NodeId(2), &mut rng), SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn partitioned_network_end_to_end() {
+        let map = GroupMap::contiguous(4, 2);
+        let config = NetworkConfig {
+            latency: Box::new(RegionalLatency::new(
+                map.clone(),
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(1),
+            )),
+            loss: Box::new(PartitionedLoss::full_partition(map)),
+        };
+        let mut net = Network::new(config, SimRng::seed_from_u64(3));
+        for _ in 0..4 {
+            net.add_node();
+        }
+        net.send(NodeId(0), NodeId(1), "local".into());
+        net.send(NodeId(0), NodeId(3), "remote".into());
+        net.advance_to(SimTime::from_secs(1));
+        assert_eq!(net.inbox_len(NodeId(1)), 1);
+        assert_eq!(net.inbox_len(NodeId(3)), 0);
+        assert_eq!(net.stats().dropped.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross_loss")]
+    fn invalid_probability_panics() {
+        let _ = PartitionedLoss::new(GroupMap::contiguous(2, 1), 1.5, 0.0);
+    }
+}

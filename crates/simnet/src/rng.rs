@@ -1,0 +1,259 @@
+//! Deterministic randomness for simulations.
+//!
+//! All stochastic choices in the workspace flow through [`SimRng`], a thin
+//! newtype over ChaCha8. ChaCha has a stability guarantee across versions
+//! (unlike `rand::rngs::StdRng`, whose algorithm may change), which is what
+//! makes `(seed, config)` a complete description of an experiment run.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Seedable, reproducible random number generator.
+///
+/// ```
+/// use tsn_simnet::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng(ChaCha8Rng);
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng(ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Each subsystem (network, churn, behaviour models, …) receives its own
+    /// fork, so adding randomness consumption to one subsystem does not
+    /// perturb the stream seen by another — runs stay comparable across
+    /// code changes.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        // Mix the label into a fresh seed drawn from this stream.
+        let base = self.0.next_u64();
+        SimRng::seed_from_u64(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform sample from a range, e.g. `rng.gen_range(0..10)`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.0.gen_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.0.gen_bool(p)
+    }
+
+    /// Standard-normal sample via Box–Muller (avoids a dependency on
+    /// `rand_distr` for the one distribution the simulator needs).
+    pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - self.gen_f64();
+        let u2 = self.gen_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Exponential sample with the given rate (`rate > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn gen_exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.gen_f64();
+        -u.ln() / rate
+    }
+
+    /// Pareto sample (heavy-tailed; used for power-law session lengths and
+    /// content popularity). `shape > 0`, `scale > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` or `scale` is not strictly positive.
+    pub fn gen_pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(shape > 0.0 && scale > 0.0, "pareto parameters must be positive");
+        let u = 1.0 - self.gen_f64();
+        scale / u.powf(1.0 / shape)
+    }
+
+    /// Chooses one element of a non-empty slice uniformly.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.gen_range(0..items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Samples an index from a weight vector (weights need not be
+    /// normalized; non-finite or negative weights count as zero).
+    ///
+    /// Returns `None` when all weights are zero or the slice is empty.
+    pub fn choose_weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let clean = |w: f64| if w.is_finite() && w > 0.0 { w } else { 0.0 };
+        let total: f64 = weights.iter().copied().map(clean).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.gen_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = clean(w);
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point round-off: fall back to the last positive weight.
+        weights.iter().rposition(|&w| clean(w) > 0.0)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seed_from_u64(9);
+        let mut root2 = SimRng::seed_from_u64(9);
+        let mut f1 = root1.fork(1);
+        let mut f2 = root2.fork(1);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let mut g1 = root1.fork(2);
+        assert_ne!(f1.next_u64(), g1.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        // Out-of-range probabilities are clamped, not panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_normal(3.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "sample mean {mean} too far from 3.0");
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_exp(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "sample mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn pareto_respects_scale_floor() {
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(rng.gen_pareto(1.5, 2.0) >= 1.5);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_follows_weights() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.choose_weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio {ratio} too far from 3");
+    }
+
+    #[test]
+    fn weighted_choice_degenerate_cases() {
+        let mut rng = SimRng::seed_from_u64(9);
+        assert_eq!(rng.choose_weighted_index(&[]), None);
+        assert_eq!(rng.choose_weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(rng.choose_weighted_index(&[f64::NAN, 0.0]), None);
+        assert_eq!(rng.choose_weighted_index(&[0.0, 5.0]), Some(1));
+    }
+
+    #[test]
+    fn choose_handles_empty_and_singleton() {
+        let mut rng = SimRng::seed_from_u64(10);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

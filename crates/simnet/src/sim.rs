@@ -1,0 +1,398 @@
+//! The simulation driver: merges the event queue and network deliveries
+//! into one deterministic virtual-time execution.
+
+use crate::event::{Event, EventId, EventQueue};
+use crate::metrics::MetricSet;
+use crate::network::{Network, NetworkConfig};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceLog;
+use crate::NodeId;
+
+/// When a [`Simulation::run`] call stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Stop once virtual time would exceed this instant.
+    At(SimTime),
+    /// Stop when no events or in-flight messages remain.
+    Idle,
+    /// Stop after processing this many events (safety valve for
+    /// self-rescheduling workloads).
+    MaxEvents(u64),
+}
+
+/// Summary of one `run` invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Events executed.
+    pub events_processed: u64,
+    /// Messages moved into mailboxes during the run.
+    pub messages_delivered: u64,
+    /// Virtual time when the run stopped.
+    pub end_time: SimTime,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Owns the clock, the [`EventQueue`], the [`Network`], a [`MetricSet`] and
+/// a [`TraceLog`]. See the crate-level docs for an end-to-end example.
+pub struct Simulation {
+    now: SimTime,
+    queue: EventQueue,
+    rng: SimRng,
+    network: Network,
+    metrics: MetricSet,
+    trace: TraceLog,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("nodes", &self.network.node_count())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation with default (benign LAN) transport.
+    pub fn new(mut rng: SimRng) -> Self {
+        let net_rng = rng.fork(0x6e65_7477); // "netw"
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng,
+            network: Network::new(NetworkConfig::default(), net_rng),
+            metrics: MetricSet::new(),
+            trace: TraceLog::disabled(),
+        }
+    }
+
+    /// Creates a simulation with an explicit transport configuration.
+    pub fn with_network(mut rng: SimRng, config: NetworkConfig) -> Self {
+        let net_rng = rng.fork(0x6e65_7477);
+        Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            rng,
+            network: Network::new(config, net_rng),
+            metrics: MetricSet::new(),
+            trace: TraceLog::disabled(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Registers a node with the network.
+    pub fn add_node(&mut self) -> NodeId {
+        self.network.add_node()
+    }
+
+    /// The simulation's RNG (fork it for subsystem streams).
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The network, e.g. to send messages or drain inboxes.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Read-only network access.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Metrics collected during the run.
+    pub fn metrics(&self) -> &MetricSet {
+        &self.metrics
+    }
+
+    /// Mutable metrics access for event handlers.
+    pub fn metrics_mut(&mut self) -> &mut MetricSet {
+        &mut self.metrics
+    }
+
+    /// The trace log (disabled by default; see [`TraceLog::enabled`]).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// Replaces the trace log (e.g. with an enabled one).
+    pub fn set_trace(&mut self, trace: TraceLog) {
+        self.trace = trace;
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Simulation) + 'static) -> EventId {
+        assert!(at >= self.now, "cannot schedule in the past ({at} < {})", self.now);
+        self.queue.schedule(at, Box::new(action) as Event)
+    }
+
+    /// Schedules `action` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, action: impl FnOnce(&mut Simulation) + 'static) -> EventId {
+        let at = self.now + delay;
+        self.queue.schedule(at, Box::new(action) as Event)
+    }
+
+    /// Cancels a scheduled event. Returns `true` if it was pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Executes the next step (the earlier of the next event and the next
+    /// network delivery). Returns `false` when nothing remains.
+    pub fn step(&mut self) -> bool {
+        let next_event = self.queue.peek_time();
+        let next_delivery = self.network.next_delivery_time();
+        let next = match (next_event, next_delivery) {
+            (None, None) => return false,
+            (Some(e), None) => e,
+            (None, Some(d)) => d,
+            (Some(e), Some(d)) => e.min(d),
+        };
+        self.now = next;
+        self.network.advance_to(next);
+        // Run *all* events at this instant that were already due; events an
+        // action schedules for the same instant run in the same pass (they
+        // get larger EventIds, hence later in the tie order).
+        while let Some(t) = self.queue.peek_time() {
+            if t > self.now {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            (ev.action)(self);
+        }
+        true
+    }
+
+    /// Runs until the stop condition is met. Returns a [`RunReport`].
+    pub fn run(&mut self, stop: StopCondition) -> RunReport {
+        let delivered_before = self.network.stats().delivered.value();
+        let mut events = 0u64;
+        loop {
+            match stop {
+                StopCondition::At(t) => {
+                    let next_event = self.queue.peek_time();
+                    let next_delivery = self.network.next_delivery_time();
+                    let next = match (next_event, next_delivery) {
+                        (None, None) => break,
+                        (Some(e), None) => e,
+                        (None, Some(d)) => d,
+                        (Some(e), Some(d)) => e.min(d),
+                    };
+                    if next > t {
+                        break;
+                    }
+                }
+                StopCondition::Idle => {}
+                StopCondition::MaxEvents(max) => {
+                    if events >= max {
+                        break;
+                    }
+                }
+            }
+            let before = self.queue.len();
+            if !self.step() {
+                break;
+            }
+            // Count events actually executed this step.
+            events += (before.saturating_sub(self.queue.len())).max(1) as u64;
+        }
+        if let StopCondition::At(t) = stop {
+            // Advance the clock to the horizon so repeated runs compose.
+            if self.now < t {
+                self.now = t;
+                self.network.advance_to(t);
+            }
+        }
+        RunReport {
+            events_processed: events,
+            messages_delivered: self.network.stats().delivered.value() - delivered_before,
+            end_time: self.now,
+        }
+    }
+
+    /// Convenience: `run(StopCondition::At(t))`.
+    pub fn run_until(&mut self, t: SimTime) -> RunReport {
+        self.run(StopCondition::At(t))
+    }
+
+    /// Convenience: `run(StopCondition::Idle)`.
+    pub fn run_to_idle(&mut self) -> RunReport {
+        self.run(StopCondition::Idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn sim() -> Simulation {
+        Simulation::new(SimRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn events_fire_in_order_and_advance_clock() {
+        let mut sim = sim();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for ms in [30u64, 10, 20] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_millis(ms), move |s| {
+                log.borrow_mut().push(s.now().as_millis());
+            });
+        }
+        let report = sim.run_to_idle();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(report.events_processed, 3);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_and_advances_clock() {
+        let mut sim = sim();
+        let fired = Rc::new(RefCell::new(0));
+        let f = Rc::clone(&fired);
+        sim.schedule_at(SimTime::from_secs(10), move |_| {
+            *f.borrow_mut() += 1;
+        });
+        let report = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*fired.borrow(), 0);
+        assert_eq!(report.end_time, SimTime::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        sim.run_until(SimTime::from_secs(11));
+        assert_eq!(*fired.borrow(), 1);
+    }
+
+    #[test]
+    fn events_can_reschedule_themselves() {
+        // A periodic task that reschedules until a counter hits 5.
+        fn tick(sim: &mut Simulation, count: Rc<RefCell<u32>>) {
+            *count.borrow_mut() += 1;
+            if *count.borrow() < 5 {
+                let c = Rc::clone(&count);
+                sim.schedule_in(SimDuration::from_millis(100), move |s| tick(s, c));
+            }
+        }
+        let mut sim = sim();
+        let count = Rc::new(RefCell::new(0u32));
+        let c = Rc::clone(&count);
+        sim.schedule_at(SimTime::ZERO, move |s| tick(s, c));
+        sim.run_to_idle();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_millis(400));
+    }
+
+    #[test]
+    fn max_events_stop_condition_bounds_work() {
+        fn forever(sim: &mut Simulation) {
+            sim.schedule_in(SimDuration::from_millis(1), forever);
+        }
+        let mut sim = sim();
+        sim.schedule_at(SimTime::ZERO, forever);
+        let report = sim.run(StopCondition::MaxEvents(100));
+        assert!(report.events_processed >= 100 && report.events_processed < 110);
+    }
+
+    #[test]
+    fn message_send_and_receive_through_sim() {
+        let mut sim = sim();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.schedule_at(SimTime::from_millis(5), move |s| {
+            s.network_mut().send(a, b, "ping".into());
+        });
+        let report = sim.run_to_idle();
+        assert_eq!(report.messages_delivered, 1);
+        let inbox = sim.network_mut().take_inbox(b);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].sent_at, SimTime::from_millis(5));
+        // default LAN latency = 10ms
+        assert_eq!(sim.now(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn deliveries_and_events_interleave_chronologically() {
+        let mut sim = sim();
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = Rc::clone(&log);
+        // Send at t=0; arrives at t=10ms.
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            s.network_mut().send(a, b, "m".into());
+        });
+        // Event at t=5ms should observe an empty mailbox...
+        let l2 = Rc::clone(&log);
+        sim.schedule_at(SimTime::from_millis(5), move |s| {
+            l2.borrow_mut().push(("at5", s.network().inbox_len(b)));
+        });
+        // ...and an event at t=12ms should observe the delivered message.
+        sim.schedule_at(SimTime::from_millis(12), move |s| {
+            l1.borrow_mut().push(("at12", s.network().inbox_len(b)));
+        });
+        sim.run_to_idle();
+        assert_eq!(*log.borrow(), vec![("at5", 0), ("at12", 1)]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = sim();
+        let fired = Rc::new(RefCell::new(false));
+        let f = Rc::clone(&fired);
+        let id = sim.schedule_at(SimTime::from_millis(1), move |_| {
+            *f.borrow_mut() = true;
+        });
+        assert!(sim.cancel(id));
+        sim.run_to_idle();
+        assert!(!*fired.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = sim();
+        sim.schedule_at(SimTime::from_secs(5), |_| {});
+        sim.run_to_idle();
+        sim.schedule_at(SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        fn run_one(seed: u64) -> (u64, u64) {
+            let mut sim = Simulation::new(SimRng::seed_from_u64(seed));
+            let nodes: Vec<_> = (0..10).map(|_| sim.add_node()).collect();
+            for i in 0..50u64 {
+                let nodes = nodes.clone();
+                sim.schedule_at(SimTime::from_millis(i * 7), move |s| {
+                    let from = nodes[s.rng_mut().gen_range(0..nodes.len())];
+                    let to = nodes[s.rng_mut().gen_range(0..nodes.len())];
+                    if from != to {
+                        s.network_mut().send(from, to, "x".into());
+                    }
+                });
+            }
+            let r = sim.run_to_idle();
+            (r.events_processed, sim.network().stats().delivered.value())
+        }
+        assert_eq!(run_one(77), run_one(77));
+    }
+
+    #[test]
+    fn metrics_accessible_from_handlers() {
+        let mut sim = sim();
+        sim.schedule_at(SimTime::ZERO, |s| s.metrics_mut().incr("custom.event"));
+        sim.run_to_idle();
+        assert_eq!(sim.metrics().counter("custom.event"), 1);
+    }
+}

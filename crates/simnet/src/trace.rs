@@ -1,0 +1,173 @@
+//! Bounded trace log for debugging and experiment post-mortems.
+
+use crate::time::SimTime;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The category of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A message was sent.
+    MessageSent,
+    /// A message was delivered.
+    MessageDelivered,
+    /// A node lifecycle change.
+    Lifecycle,
+    /// An interaction between participants (application-level).
+    Interaction,
+    /// A privacy-relevant disclosure.
+    Disclosure,
+    /// Anything else.
+    Custom,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// Category.
+    pub kind: TraceKind,
+    /// Primary subject.
+    pub node: Option<NodeId>,
+    /// Secondary subject (e.g. message recipient).
+    pub peer: Option<NodeId>,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded, optionally disabled, append-only log.
+///
+/// Disabled logs drop records with near-zero cost so production-sized runs
+/// pay nothing for tracing they do not use.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A log that records up to `capacity` events, evicting the oldest.
+    pub fn enabled(capacity: usize) -> Self {
+        TraceLog { enabled: true, capacity: capacity.max(1), events: VecDeque::new(), dropped: 0 }
+    }
+
+    /// A log that records nothing.
+    pub fn disabled() -> Self {
+        TraceLog::default()
+    }
+
+    /// Whether this log records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when disabled).
+    pub fn push(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Convenience: record a custom event.
+    pub fn note(&mut self, at: SimTime, detail: impl Into<String>) {
+        self.push(TraceEvent { at, kind: TraceKind::Custom, node: None, peer: None, detail: detail.into() });
+    }
+
+    /// Records currently held (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records of a given kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::from_millis(ms), kind, node: None, peer: None, detail: String::new() }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.push(ev(1, TraceKind::Custom));
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::enabled(10);
+        log.push(ev(1, TraceKind::MessageSent));
+        log.push(ev(2, TraceKind::MessageDelivered));
+        let times: Vec<u64> = log.events().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = TraceLog::enabled(3);
+        for i in 0..5 {
+            log.push(ev(i, TraceKind::Custom));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let times: Vec<u64> = log.events().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut log = TraceLog::enabled(10);
+        log.push(ev(1, TraceKind::Interaction));
+        log.push(ev(2, TraceKind::Disclosure));
+        log.push(ev(3, TraceKind::Interaction));
+        assert_eq!(log.of_kind(TraceKind::Interaction).count(), 2);
+        assert_eq!(log.of_kind(TraceKind::Lifecycle).count(), 0);
+    }
+
+    #[test]
+    fn note_is_custom() {
+        let mut log = TraceLog::enabled(4);
+        log.note(SimTime::from_millis(7), "hello");
+        assert_eq!(log.of_kind(TraceKind::Custom).count(), 1);
+        assert_eq!(log.events().next().unwrap().detail, "hello");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut log = TraceLog::enabled(0);
+        log.push(ev(1, TraceKind::Custom));
+        log.push(ev(2, TraceKind::Custom));
+        assert_eq!(log.len(), 1);
+    }
+}

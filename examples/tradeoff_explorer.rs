@@ -1,0 +1,74 @@
+//! Trade-off explorer: walk the disclosure ladder and watch the paper's
+//! Figure-2 antagonism live, then let the optimizer find "Area A".
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example tradeoff_explorer
+//! ```
+
+use tsn::core::{FacetScores, Optimizer, ScenarioConfig, TrustMetric};
+use tsn::core::scenario::run_scenario;
+
+fn main() {
+    println!("disclosure ladder sweep (EigenTrust, mixed policies, 20% malicious)\n");
+    println!("level  shared-info  privacy  reputation  satisfaction  trust");
+    for level in 0..5 {
+        // Average over a few seeds per level.
+        let (mut p, mut r, mut s, mut t, mut e) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let seeds = 3;
+        for seed in 0..seeds {
+            let mut config = ScenarioConfig::default();
+            config.nodes = 80;
+            config.rounds = 20;
+            config.disclosure_level = level;
+            config.seed = 500 + seed;
+            let outcome = run_scenario(config.clone()).expect("valid config");
+            p += outcome.facets.privacy;
+            r += outcome.facets.reputation;
+            s += outcome.facets.satisfaction;
+            t += outcome.global_trust;
+            e += config.disclosure_policy().exposure();
+        }
+        let k = seeds as f64;
+        println!(
+            "{level:>5}  {:>11.2}  {:>7.3}  {:>10.3}  {:>12.3}  {:>5.3}",
+            e / k,
+            p / k,
+            r / k,
+            s / k,
+            t / k
+        );
+    }
+
+    println!("\nsearching for Area A (all facets >= threshold)...");
+    let base = ScenarioConfig {
+        nodes: 60,
+        rounds: 12,
+        ..ScenarioConfig::default()
+    };
+    let mut optimizer =
+        Optimizer::new(base, TrustMetric::default()).expect("valid base configuration");
+    optimizer.seeds_per_point = 1;
+    let sweep = optimizer.sweep();
+    let thresholds = FacetScores::new(0.5, 0.55, 0.35).expect("valid thresholds");
+    let report = optimizer.area_report(&sweep, thresholds);
+    println!(
+        "  regions: privacy {} / reputation {} / satisfaction {} of {} configs",
+        report.privacy_region, report.reputation_region, report.satisfaction_region, report.total
+    );
+    println!("  Area A (all three): {} configs", report.area_a);
+
+    let best = optimizer.best(&sweep, Some(thresholds));
+    println!(
+        "\n  best configuration{}:",
+        if best.in_area_a { " (inside Area A)" } else { " (Area A empty — unconstrained)" }
+    );
+    println!(
+        "    mechanism={} disclosure={} policies={} -> {}  trust={:.3}",
+        best.best.mechanism,
+        best.best.disclosure_level,
+        best.best.policy_profile.label(),
+        best.best.facets,
+        best.best.trust
+    );
+}

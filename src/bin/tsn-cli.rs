@@ -1,0 +1,222 @@
+//! `tsn-cli` — run scenarios, sweeps and the analytic dynamics from the
+//! command line (plain `std::env` parsing; no extra dependencies).
+//!
+//! ```text
+//! tsn-cli scenario [--nodes N] [--rounds R] [--seed S] [--mechanism M]
+//!                  [--disclosure 0..4] [--malicious F] [--policies P]
+//!                  [--churn F] [--adaptive] [--json]
+//! tsn-cli sweep    [--nodes N] [--rounds R] [--seed S] [--json]
+//! tsn-cli dynamics [--honest F] [--eta F]
+//! ```
+
+use std::process::ExitCode;
+use tsn::core::dynamics::{DynamicsConfig, DynamicsState, InteractionDynamics};
+use tsn::core::scenario::run_scenario;
+use tsn::core::{FacetScores, Optimizer, PolicyProfile, ScenarioConfig, TrustMetric};
+use tsn::reputation::{MechanismKind, PopulationConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: tsn-cli <scenario|sweep|dynamics> [flags]  (see --help)");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "scenario" => cmd_scenario(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "dynamics" => cmd_dynamics(&args[1..]),
+        "--help" | "help" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "tsn-cli — Trust your Social Network, from the command line
+
+commands:
+  scenario   run one end-to-end scenario and print the facets and trust
+  sweep      grid-sweep mechanisms x disclosure x policies; report Area A
+  dynamics   iterate the Section-3 analytic dynamics to its fixed point
+
+common flags:
+  --nodes N --rounds R --seed S --json
+scenario flags:
+  --mechanism none|beta|eigentrust|powertrust|trustme
+  --disclosure 0..4   --malicious 0.0..1.0
+  --policies permissive|mixed|strict   --churn 0.0..1.0   --adaptive
+dynamics flags:
+  --honest 0.0..1.0   --eta 0.0..1.0"
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--flag`s.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for {key}")),
+        }
+    }
+}
+
+fn parse_mechanism(raw: &str) -> Result<MechanismKind, String> {
+    MechanismKind::ALL
+        .into_iter()
+        .find(|m| m.name() == raw)
+        .ok_or_else(|| format!("unknown mechanism '{raw}'"))
+}
+
+fn parse_policies(raw: &str) -> Result<PolicyProfile, String> {
+    PolicyProfile::ALL
+        .into_iter()
+        .find(|p| p.label() == raw)
+        .ok_or_else(|| format!("unknown policy profile '{raw}'"))
+}
+
+fn scenario_config(flags: &Flags) -> Result<ScenarioConfig, String> {
+    let mut config = ScenarioConfig::default();
+    config.nodes = flags.parse("--nodes", config.nodes)?;
+    config.rounds = flags.parse("--rounds", config.rounds)?;
+    config.seed = flags.parse("--seed", config.seed)?;
+    config.disclosure_level = flags.parse("--disclosure", config.disclosure_level)?;
+    config.churn_offline = flags.parse("--churn", config.churn_offline)?;
+    config.adaptive_disclosure = flags.has("--adaptive");
+    if let Some(raw) = flags.get("--mechanism") {
+        config.mechanism = parse_mechanism(raw)?;
+    }
+    if let Some(raw) = flags.get("--policies") {
+        config.policy_profile = parse_policies(raw)?;
+    }
+    let malicious = flags.parse("--malicious", 0.2)?;
+    config.population = PopulationConfig::with_malicious(malicious);
+    config.validate()?;
+    Ok(config)
+}
+
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let config = scenario_config(&flags)?;
+    let outcome = run_scenario(config.clone())?;
+    if flags.has("--json") {
+        let line = serde_json::json!({
+            "config": {
+                "nodes": config.nodes,
+                "rounds": config.rounds,
+                "seed": config.seed,
+                "mechanism": config.mechanism.name(),
+                "disclosure_level": config.disclosure_level,
+                "policies": config.policy_profile.label(),
+            },
+            "facets": outcome.facets,
+            "global_trust": outcome.global_trust,
+            "respect_rate": outcome.respect_rate,
+            "user_breaches": outcome.user_breaches,
+            "system_breaches": outcome.system_breaches,
+            "denial_rate": outcome.denial_rate,
+            "interactions": outcome.interactions,
+            "messages": outcome.messages,
+        });
+        println!("{line}");
+    } else {
+        println!(
+            "scenario: {} users, {} rounds, mechanism={}, disclosure={}, policies={}",
+            config.nodes,
+            config.rounds,
+            config.mechanism.name(),
+            config.disclosure_level,
+            config.policy_profile.label()
+        );
+        println!("  facets: {}", outcome.facets);
+        println!("  global trust      = {:.3}", outcome.global_trust);
+        println!("  respect rate      = {:.3}", outcome.respect_rate);
+        println!(
+            "  breaches          = {} user-caused, {} system-caused",
+            outcome.user_breaches, outcome.system_breaches
+        );
+        println!("  denial rate       = {:.3}", outcome.denial_rate);
+        println!("  interactions      = {}", outcome.interactions);
+        println!("  messages          = {}", outcome.messages);
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let mut base = ScenarioConfig::default();
+    base.nodes = flags.parse("--nodes", 48usize)?;
+    base.rounds = flags.parse("--rounds", 10usize)?;
+    base.seed = flags.parse("--seed", base.seed)?;
+    base.graph_degree = base.graph_degree.min(base.nodes.saturating_sub(2)) & !1;
+    let mut optimizer = Optimizer::new(base, TrustMetric::default())?;
+    optimizer.seeds_per_point = 1;
+    let sweep = optimizer.sweep();
+    let thresholds = FacetScores::new(0.5, 0.55, 0.35)?;
+    let report = optimizer.area_report(&sweep, thresholds);
+    let best = optimizer.best(&sweep, Some(thresholds));
+    if flags.has("--json") {
+        println!(
+            "{}",
+            serde_json::json!({ "area": report, "best": best.best, "in_area_a": best.in_area_a })
+        );
+    } else {
+        println!(
+            "sweep of {} configs: Area A holds {} ({}%)",
+            report.total,
+            report.area_a,
+            (100 * report.area_a) / report.total.max(1)
+        );
+        println!(
+            "best: mechanism={} disclosure={} policies={} trust={:.3}{}",
+            best.best.mechanism.name(),
+            best.best.disclosure_level,
+            best.best.policy_profile.label(),
+            best.best.trust,
+            if best.in_area_a { " (inside Area A)" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dynamics(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let mut config = DynamicsConfig::default();
+    config.honest_fraction = flags.parse("--honest", config.honest_fraction)?;
+    config.eta = flags.parse("--eta", config.eta)?;
+    config.validate()?;
+    let dynamics = InteractionDynamics::new(config);
+    let (state, steps) = dynamics.fixed_point(DynamicsState::neutral(), 1e-10, 100_000);
+    println!("fixed point after {steps} steps (honest_fraction={}):", config.honest_fraction);
+    println!("  trust                 = {:.4}", state.trust);
+    println!("  satisfaction          = {:.4}", state.satisfaction);
+    println!("  reputation efficiency = {:.4}", state.reputation_efficiency);
+    println!("  disclosure            = {:.4}", state.disclosure);
+    println!("  privacy               = {:.4}", state.privacy);
+    Ok(())
+}

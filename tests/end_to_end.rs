@@ -1,0 +1,130 @@
+//! Cross-crate integration: the full pipeline from substrates to trust.
+
+use tsn::core::scenario::run_scenario;
+use tsn::core::{Optimizer, ScenarioConfig, TrustMetric};
+use tsn::graph::{generators, metrics};
+use tsn::reputation::{testbed::run_testbed, MechanismKind, PopulationConfig, TestbedConfig};
+use tsn::simnet::{SimRng, SimTime, Simulation};
+
+fn small(seed: u64) -> ScenarioConfig {
+    ScenarioConfig { nodes: 40, rounds: 10, seed, ..ScenarioConfig::default() }
+}
+
+#[test]
+fn simulator_graph_and_scenario_compose() {
+    // The simulator drives events; the graph provides structure; the
+    // scenario uses both (indirectly). Smoke the full chain.
+    let mut sim = Simulation::new(SimRng::seed_from_u64(1));
+    let a = sim.add_node();
+    let b = sim.add_node();
+    sim.schedule_at(SimTime::from_millis(1), move |s| {
+        s.network_mut().send(a, b, "hello".into());
+    });
+    let report = sim.run_to_idle();
+    assert_eq!(report.messages_delivered, 1);
+
+    let mut rng = SimRng::seed_from_u64(2);
+    let g = generators::barabasi_albert(200, 3, &mut rng).unwrap();
+    assert!(g.is_connected());
+    assert!(metrics::average_path_length(&g, 30, &mut rng).unwrap() < 4.0);
+
+    let outcome = run_scenario(small(3)).unwrap();
+    assert!(outcome.interactions > 0);
+    assert!(outcome.messages > outcome.interactions);
+}
+
+#[test]
+fn scenario_outcome_is_fully_reproducible() {
+    let a = run_scenario(small(11)).unwrap();
+    let b = run_scenario(small(11)).unwrap();
+    assert_eq!(a.global_trust, b.global_trust);
+    assert_eq!(a.per_user_trust, b.per_user_trust);
+    assert_eq!(a.user_breaches, b.user_breaches);
+    assert_eq!(a.system_breaches, b.system_breaches);
+    assert_eq!(a.samples.len(), b.samples.len());
+    for (sa, sb) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(sa, sb);
+    }
+}
+
+#[test]
+fn testbed_and_scenario_agree_on_mechanism_quality() {
+    // Both drivers should agree that reputation helps under attack.
+    let testbed = run_testbed(TestbedConfig {
+        nodes: 60,
+        rounds: 20,
+        population: PopulationConfig::with_malicious(0.3),
+        mechanism: MechanismKind::Beta,
+        seed: 4,
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(testbed.power.consistency > 0.6);
+
+    let mut config = small(4);
+    config.mechanism = MechanismKind::Beta;
+    config.population = PopulationConfig::with_malicious(0.3);
+    let scenario = run_scenario(config).unwrap();
+    assert!(scenario.facets.reputation > 0.5);
+}
+
+#[test]
+fn optimizer_finds_trust_improving_settings() {
+    let base = ScenarioConfig { nodes: 24, rounds: 6, graph_degree: 4, ..ScenarioConfig::default() };
+    let mut optimizer = Optimizer::new(base.clone(), TrustMetric::default()).unwrap();
+    optimizer.seeds_per_point = 1;
+    let sweep = optimizer.sweep();
+    let best = optimizer.best(&sweep, None);
+    // The optimum must be at least as good as the base point itself.
+    let base_point = optimizer.evaluate(
+        base.mechanism,
+        base.disclosure_level,
+        base.policy_profile,
+        base.selection,
+    );
+    assert!(best.best.trust >= base_point.trust - 1e-9);
+}
+
+#[test]
+fn facade_prelude_reexports_work() {
+    use tsn::prelude::*;
+    let config = ScenarioConfig::small();
+    let mut scenario = Scenario::new(config).unwrap();
+    let outcome = scenario.run();
+    let metric = TrustMetric::default();
+    let recomputed = metric.trust(&outcome.facets);
+    assert!((recomputed - outcome.global_trust).abs() < 1e-12);
+}
+
+#[test]
+fn churn_module_composes_with_lifecycle() {
+    use tsn::simnet::{ChurnConfig, ChurnEvent, ChurnProcess, NodeLifecycle, SimDuration};
+    let config = ChurnConfig {
+        mean_session: SimDuration::from_secs(100),
+        mean_downtime: SimDuration::from_secs(50),
+        whitewash_probability: 1.0,
+        crash_fraction: 0.0,
+    };
+    let mut process = ChurnProcess::new(config, SimRng::seed_from_u64(5));
+    let mut lifecycle = NodeLifecycle::new();
+    let mut next_id = 10u32;
+    lifecycle.register(tsn::simnet::NodeId(0));
+
+    let (_, departure) = process.next_departure(tsn::simnet::NodeId(0));
+    lifecycle.apply(departure);
+    assert!(!lifecycle.is_online(tsn::simnet::NodeId(0)));
+
+    let (_, ret) = process.next_return(tsn::simnet::NodeId(0), || {
+        let id = tsn::simnet::NodeId(next_id);
+        next_id += 1;
+        id
+    });
+    lifecycle.apply(ret);
+    match ret {
+        ChurnEvent::Whitewash(old, new) => {
+            assert_eq!(lifecycle.root_identity(new), old);
+            assert!(lifecycle.is_online(new));
+        }
+        other => panic!("whitewash_probability = 1.0 must whitewash, got {other:?}"),
+    }
+}

@@ -1,0 +1,205 @@
+//! The paper's qualitative claims, verified end-to-end at test scale.
+//! (The `tsn-bench` binaries regenerate the same artefacts at full scale;
+//! these tests pin the *signs* so regressions are caught by `cargo test`.)
+
+use tsn::core::dynamics::{DynamicsConfig, DynamicsState, InteractionDynamics};
+use tsn::core::scenario::run_scenario;
+use tsn::core::{FacetScores, Optimizer, ScenarioConfig, TrustMetric};
+use tsn::graph::metrics::spearman;
+use tsn::reputation::PopulationConfig;
+
+fn base(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        nodes: 50,
+        rounds: 14,
+        seed,
+        population: PopulationConfig::with_malicious(0.25),
+        ..ScenarioConfig::default()
+    }
+}
+
+fn mean<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Figure 1: satisfaction and trust co-move (positive link).
+#[test]
+fn fig1_satisfaction_trust_link_is_positive() {
+    // Across random configurations, mean satisfaction and mean trust
+    // correlate positively.
+    let mut sats = Vec::new();
+    let mut trusts = Vec::new();
+    for seed in 0..8 {
+        let mut c = base(100 + seed);
+        c.disclosure_level = (seed % 5) as usize;
+        c.population = PopulationConfig::with_malicious(0.1 * (seed % 4) as f64);
+        let o = run_scenario(c).unwrap();
+        sats.push(o.facets.satisfaction);
+        trusts.push(o.global_trust);
+    }
+    let rho = spearman(&sats, &trusts).unwrap();
+    assert!(rho > 0.5, "satisfaction↔trust Spearman {rho}");
+}
+
+/// Figure 2 (right), claim 1: privacy facet decreases with shared info.
+#[test]
+fn fig2_privacy_decreases_with_disclosure() {
+    let facet = |level: usize| {
+        mean((0..3).map(|s| {
+            let mut c = base(200 + s);
+            c.disclosure_level = level;
+            run_scenario(c).unwrap().facets.privacy
+        }))
+    };
+    let lo = facet(0);
+    let mid = facet(2);
+    let hi = facet(4);
+    assert!(lo > mid && mid > hi, "privacy must fall along the ladder: {lo} {mid} {hi}");
+}
+
+/// Figure 2 (right), claim 2: reputation power increases with shared info.
+#[test]
+fn fig2_reputation_increases_with_disclosure() {
+    let facet = |level: usize| {
+        mean((0..4).map(|s| {
+            let mut c = base(300 + s);
+            c.disclosure_level = level;
+            run_scenario(c).unwrap().facets.reputation
+        }))
+    };
+    let lo = facet(0);
+    let hi = facet(4);
+    assert!(hi > lo + 0.05, "reputation power must rise with disclosure: {lo} -> {hi}");
+}
+
+/// Figure 2 (right), claim 3: the same global satisfaction is reachable
+/// from different settings.
+#[test]
+fn fig2_iso_satisfaction_from_multiple_settings() {
+    // Sweep the grid; look for two far-apart configs with near-equal
+    // satisfaction facet.
+    let mut points = Vec::new();
+    for level in 0..5usize {
+        for mech_i in 0..2 {
+            let mut c = base(400);
+            c.disclosure_level = level;
+            c.mechanism = if mech_i == 0 {
+                tsn::reputation::MechanismKind::Beta
+            } else {
+                tsn::reputation::MechanismKind::EigenTrust
+            };
+            let o = run_scenario(c).unwrap();
+            points.push((level, mech_i, o.facets.satisfaction));
+        }
+    }
+    let found = points.iter().any(|&(l1, m1, s1)| {
+        points
+            .iter()
+            .any(|&(l2, m2, s2)| (l1 as i32 - l2 as i32).abs() >= 2 && (m1 != m2 || l1 != l2) && (s1 - s2).abs() < 0.05)
+    });
+    assert!(found, "no iso-satisfaction pair found in {points:?}");
+}
+
+/// Figure 2 (left): Area A is non-empty but a strict subset.
+#[test]
+fn fig2_area_a_nonempty_strict_subset() {
+    let base_cfg =
+        ScenarioConfig { nodes: 24, rounds: 6, graph_degree: 4, ..ScenarioConfig::default() };
+    let mut optimizer = Optimizer::new(base_cfg, TrustMetric::default()).unwrap();
+    optimizer.seeds_per_point = 1;
+    let sweep = optimizer.sweep();
+    let report = optimizer.area_report(&sweep, FacetScores::new(0.5, 0.55, 0.3).unwrap());
+    assert!(report.area_a > 0, "Area A must be reachable");
+    assert!(report.area_a < report.total, "Area A must exclude some configs");
+    assert!(report.area_a <= report.privacy_region.min(report.reputation_region));
+}
+
+/// E4: an efficient mechanism judging the majority untrustworthy leaves
+/// trust low even though feedback volume persists.
+#[test]
+fn e4_hostile_majority_low_trust_despite_feedback() {
+    let mut hostile = base(500);
+    hostile.population = PopulationConfig::with_malicious(0.7);
+    hostile.disclosure_level = 4;
+    hostile.rounds = 16;
+    let o = run_scenario(hostile).unwrap();
+    // Feedback volume persists to the last round...
+    assert!(o.samples.last().unwrap().reports_filed > 0);
+    // ...yet satisfaction (and hence trust) is depressed relative to an
+    // honest world.
+    let mut honest = base(500);
+    honest.population = PopulationConfig::with_malicious(0.0);
+    honest.disclosure_level = 4;
+    honest.rounds = 16;
+    let o_honest = run_scenario(honest).unwrap();
+    assert!(
+        o.global_trust < o_honest.global_trust - 0.05,
+        "hostile {} vs honest {}",
+        o.global_trust,
+        o_honest.global_trust
+    );
+}
+
+/// E5: less trust → less disclosure (adaptive users retract willingness).
+#[test]
+fn e5_distrust_reduces_disclosure() {
+    let run = |adaptive: bool| {
+        mean((0..3).map(|s| {
+            let mut c = base(600 + s);
+            c.population = PopulationConfig::with_malicious(0.5);
+            c.leak_probability = 0.8;
+            c.disclosure_level = 4;
+            c.adaptive_disclosure = adaptive;
+            c.rounds = 18;
+            run_scenario(c).unwrap().mean_willingness
+        }))
+    };
+    assert!(run(true) < run(false), "adaptive distrust must retract disclosure");
+}
+
+/// The analytic dynamics reproduce every Figure-1 edge sign.
+#[test]
+fn dynamics_edge_signs() {
+    let d = InteractionDynamics::default();
+    let s = DynamicsState::neutral();
+    for (src, dst) in [
+        ("satisfaction", "trust"),
+        ("reputation", "trust"),
+        ("reputation", "satisfaction"),
+        ("disclosure", "reputation"),
+        ("trust", "disclosure"),
+        ("privacy", "satisfaction"),
+    ] {
+        assert!(d.coupling_sign(&s, src, dst) > 0.0, "{src}->{dst} must be positive");
+    }
+    assert!(d.coupling_sign(&s, "disclosure", "privacy") < 0.0);
+}
+
+/// The analytic system converges from every corner of the state space.
+#[test]
+fn dynamics_global_convergence() {
+    let d = InteractionDynamics::new(DynamicsConfig::default());
+    let corners = [0.0, 1.0];
+    let mut fixed_points = Vec::new();
+    for &t in &corners {
+        for &s in &corners {
+            for &r in &corners {
+                let start = DynamicsState {
+                    trust: t,
+                    satisfaction: s,
+                    reputation_efficiency: r,
+                    disclosure: 1.0 - t,
+                    privacy: 1.0 - s,
+                };
+                let (fp, steps) = d.fixed_point(start, 1e-9, 20_000);
+                assert!(steps < 20_000, "must converge from {start:?}");
+                fixed_points.push(fp);
+            }
+        }
+    }
+    // All corners converge to the same attractor.
+    for fp in &fixed_points[1..] {
+        assert!(fp.distance(&fixed_points[0]) < 1e-6, "unique attractor expected");
+    }
+}

@@ -1,0 +1,312 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use proptest::prelude::*;
+use tsn::core::{Aggregator, FacetScores, FacetWeights, TrustMetric};
+use tsn::graph::{generators, metrics, Graph};
+use tsn::privacy::enforcement::RequestContext;
+use tsn::privacy::{AccessRequest, DataCategory, Enforcer, Operation, PrivacyPolicy, Purpose};
+use tsn::reputation::{
+    BetaReputation, DisclosurePolicy, FeedbackReport, InteractionOutcome, ReputationMechanism,
+    SelectionPolicy,
+};
+use tsn::satisfaction::aggregate::{gini_coefficient, GlobalSatisfaction};
+use tsn::satisfaction::SatisfactionTracker;
+use tsn::simnet::{NodeId, SimRng, SimTime};
+
+fn facet() -> impl Strategy<Value = f64> {
+    0.0..=1.0f64
+}
+
+proptest! {
+    /// Trust is always in [0,1] and monotone in each facet, for every
+    /// aggregator.
+    #[test]
+    fn trust_metric_bounded_and_monotone(
+        p in facet(), r in facet(), s in facet(),
+        bump in 0.01..0.5f64,
+        agg_idx in 0usize..4,
+    ) {
+        let aggregator = [
+            Aggregator::Arithmetic,
+            Aggregator::Geometric,
+            Aggregator::Minimum,
+            Aggregator::PowerMean(2.0),
+        ][agg_idx];
+        let metric = TrustMetric::new(FacetWeights::default(), aggregator).unwrap();
+        let facets = FacetScores::new(p, r, s).unwrap();
+        let t = metric.trust(&facets);
+        prop_assert!((0.0..=1.0).contains(&t));
+        // Monotone: bumping any facet never lowers trust.
+        let bumped = FacetScores::new((p + bump).min(1.0), r, s).unwrap();
+        prop_assert!(metric.trust(&bumped) >= t - 1e-12);
+        let bumped = FacetScores::new(p, (r + bump).min(1.0), s).unwrap();
+        prop_assert!(metric.trust(&bumped) >= t - 1e-12);
+        let bumped = FacetScores::new(p, r, (s + bump).min(1.0)).unwrap();
+        prop_assert!(metric.trust(&bumped) >= t - 1e-12);
+    }
+
+    /// Geometric trust never exceeds arithmetic trust (AM–GM).
+    #[test]
+    fn am_gm_inequality(p in facet(), r in facet(), s in facet()) {
+        let facets = FacetScores::new(p, r, s).unwrap();
+        let geo = TrustMetric::new(FacetWeights::default(), Aggregator::Geometric).unwrap();
+        let ari = TrustMetric::new(FacetWeights::default(), Aggregator::Arithmetic).unwrap();
+        prop_assert!(geo.trust(&facets) <= ari.trust(&facets) + 1e-12);
+        // And the minimum lower-bounds the geometric mean.
+        let min = TrustMetric::new(FacetWeights::default(), Aggregator::Minimum).unwrap();
+        prop_assert!(min.trust(&facets) <= geo.trust(&facets) + 1e-12);
+    }
+
+    /// The disclosure ladder's exposure is strictly monotone and the view
+    /// never reveals a field the policy withholds.
+    #[test]
+    fn disclosure_ladder_monotone_and_sound(
+        level in 0usize..5,
+        rater in 0u32..100,
+        ratee in 0u32..100,
+        quality in facet(),
+    ) {
+        let policy = DisclosurePolicy::ladder(level);
+        if level > 0 {
+            prop_assert!(policy.exposure() > DisclosurePolicy::ladder(level - 1).exposure());
+        }
+        let report = FeedbackReport {
+            rater: NodeId(rater),
+            ratee: NodeId(ratee),
+            outcome: InteractionOutcome::Success { quality },
+            topic: Some(3),
+            at: SimTime::from_secs(9),
+        };
+        let view = policy.view(&report);
+        prop_assert_eq!(view.rater.is_some(), policy.rater_identity);
+        prop_assert_eq!(view.quality.is_some(), policy.outcome_detail);
+        prop_assert_eq!(view.topic.is_some(), policy.topic);
+        prop_assert_eq!(view.at.is_some(), policy.timestamp);
+        prop_assert_eq!(view.ratee, NodeId(ratee));
+    }
+
+    /// Beta reputation scores stay in (0,1) and respond in the right
+    /// direction to feedback.
+    #[test]
+    fn beta_scores_bounded_and_directional(
+        good in 0u32..40,
+        bad in 0u32..40,
+    ) {
+        let mut m = BetaReputation::new(2).without_credibility_weighting();
+        let full = DisclosurePolicy::full();
+        for _ in 0..good {
+            m.record(&full.view(&FeedbackReport {
+                rater: NodeId(0), ratee: NodeId(1),
+                outcome: InteractionOutcome::Success { quality: 1.0 },
+                topic: None, at: SimTime::ZERO,
+            }));
+        }
+        for _ in 0..bad {
+            m.record(&full.view(&FeedbackReport {
+                rater: NodeId(0), ratee: NodeId(1),
+                outcome: InteractionOutcome::Failure,
+                topic: None, at: SimTime::ZERO,
+            }));
+        }
+        let s = m.score(NodeId(1));
+        prop_assert!(s > 0.0 && s < 1.0);
+        // Exact posterior mean.
+        let expected = (good as f64 + 1.0) / ((good + bad) as f64 + 2.0);
+        prop_assert!((s - expected).abs() < 1e-9);
+    }
+
+    /// Selection policies always pick a member of the candidate set.
+    #[test]
+    fn selection_always_picks_a_candidate(
+        seed in 0u64..1000,
+        k in 1usize..20,
+        policy_idx in 0usize..4,
+    ) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let candidates: Vec<NodeId> = (0..k as u32).map(NodeId).collect();
+        let policy = SelectionPolicy::SWEEP[policy_idx];
+        let chosen = policy
+            .select(&candidates, |n| (n.0 as f64 + 1.0) / (k as f64 + 1.0), &mut rng)
+            .unwrap();
+        prop_assert!(candidates.contains(&chosen));
+    }
+
+    /// Graph generators produce simple graphs with consistent degree
+    /// accounting, and BFS distances satisfy the triangle property along
+    /// edges.
+    #[test]
+    fn graph_invariants(seed in 0u64..500, n in 10usize..60, m in 1usize..4) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n, m, &mut rng).unwrap();
+        // Handshake lemma.
+        let degree_sum: usize = metrics::degree_sequence(&g).iter().sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        // No self-loops, symmetric adjacency.
+        for v in g.nodes() {
+            prop_assert!(!g.has_edge(v, v));
+            for &u in g.neighbors(v) {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+        // BFS: adjacent nodes' distances differ by at most 1.
+        let dist = g.bfs_distances(NodeId(0));
+        for (a, b) in g.edges() {
+            if let (Some(da), Some(db)) = (dist[a.index()], dist[b.index()]) {
+                prop_assert!(da.abs_diff(db) <= 1);
+            }
+        }
+    }
+
+    /// Watts–Strogatz keeps the edge count invariant under rewiring.
+    #[test]
+    fn ws_rewiring_preserves_edges(seed in 0u64..200, beta in 0.0..1.0f64) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let g = generators::watts_strogatz(40, 6, beta, &mut rng).unwrap();
+        prop_assert_eq!(g.edge_count(), 40 * 6 / 2);
+        prop_assert!(g.nodes().all(|v| g.degree(v) < 40));
+    }
+
+    /// Satisfaction trackers remain in [0,1] under arbitrary inputs and
+    /// converge toward sustained adequacy.
+    #[test]
+    fn satisfaction_tracker_bounded(
+        adequacies in prop::collection::vec(0.0..=1.0f64, 1..200),
+        rate in 0.01..1.0f64,
+    ) {
+        let mut t = SatisfactionTracker::new(rate);
+        for &a in &adequacies {
+            t.observe(a);
+            prop_assert!((0.0..=1.0).contains(&t.satisfaction()));
+        }
+        prop_assert_eq!(t.observations(), adequacies.len() as u64);
+    }
+
+    /// Gini is in [0,1) and zero for constant populations; Jain in
+    /// (0,1]; fairness discount never exceeds the mean.
+    #[test]
+    fn fairness_measures_bounded(values in prop::collection::vec(0.0..=1.0f64, 1..100)) {
+        let gini = gini_coefficient(&values);
+        prop_assert!((0.0..1.0).contains(&gini) || gini.abs() < 1e-9);
+        let g = GlobalSatisfaction::from_values(&values).unwrap();
+        prop_assert!(g.jain_index > 0.0 && g.jain_index <= 1.0 + 1e-12);
+        prop_assert!(g.fairness_discounted() <= g.mean + 1e-12);
+        prop_assert!(g.min <= g.mean + 1e-12);
+    }
+
+    /// Enforcement soundness: a grant implies every policy clause was
+    /// satisfied.
+    #[test]
+    fn enforcement_grants_are_sound(
+        distance in prop::option::of(1u32..6),
+        trust in facet(),
+        min_trust in facet(),
+        friends_only in any::<bool>(),
+    ) {
+        let mut builder = PrivacyPolicy::builder(DataCategory::Content)
+            .allow_operations([Operation::Read])
+            .allow_purposes([Purpose::Social])
+            .min_trust_level(min_trust);
+        if friends_only {
+            builder = builder.condition(tsn::privacy::AccessCondition::FriendsOnly);
+        }
+        let policy = builder.build().unwrap();
+        let request = AccessRequest {
+            requester: NodeId(1),
+            owner: NodeId(0),
+            operation: Operation::Read,
+            purpose: Purpose::Social,
+        };
+        let ctx = RequestContext { social_distance: distance, requester_trust: trust };
+        let decision = Enforcer::new().decide(&request, &policy, &ctx);
+        if decision.is_granted() {
+            prop_assert!(trust >= min_trust);
+            if friends_only {
+                prop_assert_eq!(distance, Some(1));
+            }
+        }
+    }
+
+    /// Deterministic replay: the same seed gives the same RNG stream
+    /// through fork trees.
+    #[test]
+    fn rng_fork_determinism(seed in any::<u64>(), label in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        let mut fa = a.fork(label);
+        let mut fb = b.fork(label);
+        for _ in 0..8 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    /// Power-mean trust always lies between the weakest and strongest
+    /// facet (generalized-mean bounds).
+    #[test]
+    fn power_mean_respects_bounds(
+        p in facet(), r in facet(), s in facet(),
+        exponent in prop::sample::select(vec![-4.0, -1.0, 0.5, 1.0, 3.0]),
+    ) {
+        let facets = FacetScores::new(p, r, s).unwrap();
+        let metric =
+            TrustMetric::new(FacetWeights::default(), Aggregator::PowerMean(exponent)).unwrap();
+        let t = metric.trust(&facets);
+        let lo = p.min(r).min(s);
+        let hi = p.max(r).max(s);
+        prop_assert!(t >= lo - 1e-9, "trust {t} below min facet {lo}");
+        prop_assert!(t <= hi + 1e-9, "trust {t} above max facet {hi}");
+    }
+
+    /// Contiguous group maps partition the node range completely and
+    /// evenly (sizes differ by at most one... by construction, by at most
+    /// the remainder block).
+    #[test]
+    fn group_map_partitions_everything(n in 1usize..200, k in 1usize..10) {
+        use tsn::simnet::GroupMap;
+        let map = GroupMap::contiguous(n, k);
+        prop_assert_eq!(map.len(), n);
+        for i in 0..n {
+            let g = map.group(NodeId::from_index(i));
+            prop_assert!(usize::from(g) < k.min(n).max(1) + 1);
+        }
+        // Same-group is an equivalence relation on assigned nodes.
+        for i in 0..n.min(20) {
+            let a = NodeId::from_index(i);
+            prop_assert!(map.same_group(a, a));
+        }
+    }
+
+    /// Retention compliance rate is always in [0, 1] and total resolved
+    /// copies are conserved.
+    #[test]
+    fn retention_accounting_conserves(
+        grants in 1usize..30,
+        delete_at in 0u64..200,
+        retention_secs in 1u64..100,
+    ) {
+        use tsn::privacy::RetentionTracker;
+        use tsn::privacy::{DataCategory, PrivacyPolicy};
+        use tsn::simnet::{SimDuration, SimTime};
+        let policy = PrivacyPolicy::builder(DataCategory::Content)
+            .retention(SimDuration::from_secs(retention_secs))
+            .build()
+            .unwrap();
+        let mut tracker = RetentionTracker::new();
+        for holder in 0..grants {
+            tracker.grant(
+                NodeId(0),
+                NodeId::from_index(holder + 1),
+                &policy,
+                SimTime::ZERO,
+            );
+        }
+        prop_assert_eq!(tracker.live_copies(), grants);
+        // Half the holders delete; the rest are swept.
+        for holder in 0..grants / 2 {
+            tracker.delete(NodeId::from_index(holder + 1), NodeId(0), SimTime::from_secs(delete_at));
+        }
+        tracker.sweep_expired(SimTime::from_secs(500), |_| false);
+        prop_assert_eq!(tracker.live_copies(), 0);
+        let rate = tracker.compliance_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+}
