@@ -1,7 +1,9 @@
-//! Criterion bench: EigenTrust power-iteration convergence at scale, and
-//! the per-report ingestion cost of every mechanism.
+//! Bench: EigenTrust power-iteration convergence at scale, and the
+//! per-report ingestion cost of every mechanism.
+//!
+//! Run: `cargo bench -p tsn-bench --bench eigentrust`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsn_bench::harness::Bench;
 use tsn_reputation::mechanism::build_mechanism;
 use tsn_reputation::{
     DisclosurePolicy, EigenTrust, EigenTrustConfig, FeedbackReport, InteractionOutcome,
@@ -22,7 +24,9 @@ fn random_reports(n: usize, count: usize, seed: u64) -> Vec<FeedbackReport> {
                 rater,
                 ratee,
                 outcome: if rng.gen_bool(0.7) {
-                    InteractionOutcome::Success { quality: rng.gen_f64() }
+                    InteractionOutcome::Success {
+                        quality: rng.gen_f64(),
+                    }
                 } else {
                     InteractionOutcome::Failure
                 },
@@ -33,47 +37,37 @@ fn random_reports(n: usize, count: usize, seed: u64) -> Vec<FeedbackReport> {
         .collect()
 }
 
-fn bench_refresh(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eigentrust_refresh");
+fn main() {
     let policy = DisclosurePolicy::full();
-    for &n in &[100usize, 500, 1000] {
+
+    let bench = Bench::new("eigentrust_refresh").samples(10);
+    for n in [100usize, 500, 1000] {
         let reports = random_reports(n, n * 20, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut base = EigenTrust::new(n, EigenTrustConfig::default());
-            for r in &reports {
-                base.record(&policy.view(r));
-            }
-            b.iter_batched(
-                || base.clone(),
-                |mut m| m.refresh(),
-                criterion::BatchSize::LargeInput,
-            );
+        let mut base = EigenTrust::new(n, EigenTrustConfig::default());
+        for r in &reports {
+            base.record(&policy.view(r));
+        }
+        bench.run(&format!("{n}_nodes"), || {
+            let mut m = base.clone();
+            m.refresh()
         });
     }
-    group.finish();
-}
 
-fn bench_record(c: &mut Criterion) {
-    let mut group = c.benchmark_group("record_1k_reports");
+    let bench = Bench::new("record_1k_reports").samples(10);
     let n = 500;
-    let policy = DisclosurePolicy::full();
     let reports = random_reports(n, 1000, 8);
-    for kind in [MechanismKind::Beta, MechanismKind::EigenTrust, MechanismKind::PowerTrust, MechanismKind::TrustMe] {
-        group.bench_function(kind.name(), |b| {
-            b.iter_batched(
-                || build_mechanism(kind, n),
-                |mut m| {
-                    for r in &reports {
-                        m.record(&policy.view(r));
-                    }
-                    m
-                },
-                criterion::BatchSize::LargeInput,
-            );
+    for kind in [
+        MechanismKind::Beta,
+        MechanismKind::EigenTrust,
+        MechanismKind::PowerTrust,
+        MechanismKind::TrustMe,
+    ] {
+        bench.run(kind.name(), || {
+            let mut m = build_mechanism(kind, n);
+            for r in &reports {
+                m.record(&policy.view(r));
+            }
+            m
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_refresh, bench_record);
-criterion_main!(benches);

@@ -1,14 +1,16 @@
-//! Criterion bench: PriServ-style access-decision latency and ledger
-//! accounting cost — the per-request privacy overhead a deployment pays.
+//! Bench: PriServ-style access-decision latency and ledger accounting
+//! cost — the per-request privacy overhead a deployment pays.
+//!
+//! Run: `cargo bench -p tsn-bench --bench enforcement`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tsn_bench::harness::Bench;
 use tsn_privacy::enforcement::RequestContext;
 use tsn_privacy::{
     AccessRequest, DataCategory, DisclosureLedger, Enforcer, Operation, PrivacyPolicy, Purpose,
 };
 use tsn_simnet::{NodeId, SimTime};
 
-fn bench_decisions(c: &mut Criterion) {
+fn main() {
     let enforcer = Enforcer::new();
     let strict = PrivacyPolicy::strict(DataCategory::Content);
     let permissive = PrivacyPolicy::permissive(DataCategory::Content);
@@ -18,22 +20,35 @@ fn bench_decisions(c: &mut Criterion) {
         operation: Operation::Read,
         purpose: Purpose::Social,
     };
-    let ctx = RequestContext { social_distance: Some(1), requester_trust: 0.8 };
-    c.bench_function("decide_strict_grant", |b| {
-        b.iter(|| enforcer.decide(&request, &strict, &ctx));
-    });
-    let far = RequestContext { social_distance: Some(4), requester_trust: 0.2 };
-    c.bench_function("decide_strict_deny", |b| {
-        b.iter(|| enforcer.decide(&request, &strict, &far));
-    });
-    c.bench_function("decide_permissive", |b| {
-        b.iter(|| enforcer.decide(&request, &permissive, &ctx));
-    });
-}
+    let near = RequestContext {
+        social_distance: Some(1),
+        requester_trust: 0.8,
+    };
+    let far = RequestContext {
+        social_distance: Some(4),
+        requester_trust: 0.2,
+    };
 
-fn bench_ledger(c: &mut Criterion) {
-    c.bench_function("ledger_10k_records_respect_rate", |b| {
-        b.iter(|| {
+    let bench = Bench::new("decide").samples(20);
+    bench.run("strict_grant_x10k", || {
+        (0..10_000)
+            .filter(|_| enforcer.decide(&request, &strict, &near).is_granted())
+            .count()
+    });
+    bench.run("strict_deny_x10k", || {
+        (0..10_000)
+            .filter(|_| enforcer.decide(&request, &strict, &far).is_granted())
+            .count()
+    });
+    bench.run("permissive_x10k", || {
+        (0..10_000)
+            .filter(|_| enforcer.decide(&request, &permissive, &near).is_granted())
+            .count()
+    });
+
+    Bench::new("ledger")
+        .samples(10)
+        .run("10k_records_respect_rate", || {
             let mut ledger = DisclosureLedger::new();
             for i in 0..10_000u64 {
                 ledger.record_disclosure(
@@ -47,8 +62,4 @@ fn bench_ledger(c: &mut Criterion) {
             }
             ledger.respect_rate()
         });
-    });
 }
-
-criterion_group!(benches, bench_decisions, bench_ledger);
-criterion_main!(benches);

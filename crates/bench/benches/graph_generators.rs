@@ -1,41 +1,30 @@
-//! Criterion bench: social-graph generator throughput and metric cost.
+//! Bench: social-graph generator throughput and metric cost.
+//!
+//! Run: `cargo bench -p tsn-bench --bench graph_generators`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsn_bench::harness::Bench;
 use tsn_graph::{generators, metrics};
 use tsn_simnet::SimRng;
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generators");
-    for &n in &[100usize, 500, 1000] {
-        group.bench_with_input(BenchmarkId::new("watts_strogatz", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rng = SimRng::seed_from_u64(1);
-                generators::watts_strogatz(n, 8, 0.1, &mut rng).unwrap()
-            });
+fn main() {
+    let bench = Bench::new("generators").samples(10);
+    for n in [100usize, 500, 1000] {
+        bench.run(&format!("watts_strogatz_{n}"), || {
+            let mut rng = SimRng::seed_from_u64(1);
+            generators::watts_strogatz(n, 8, 0.1, &mut rng).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rng = SimRng::seed_from_u64(1);
-                generators::barabasi_albert(n, 3, &mut rng).unwrap()
-            });
+        bench.run(&format!("barabasi_albert_{n}"), || {
+            let mut rng = SimRng::seed_from_u64(1);
+            generators::barabasi_albert(n, 3, &mut rng).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_metrics(c: &mut Criterion) {
     let mut rng = SimRng::seed_from_u64(2);
     let g = generators::watts_strogatz(500, 8, 0.1, &mut rng).unwrap();
-    c.bench_function("average_clustering_500", |b| {
-        b.iter(|| metrics::average_clustering(&g));
-    });
-    c.bench_function("average_path_length_500_s20", |b| {
-        b.iter(|| {
-            let mut rng = SimRng::seed_from_u64(3);
-            metrics::average_path_length(&g, 20, &mut rng)
-        });
+    let bench = Bench::new("metrics").samples(10);
+    bench.run("average_clustering_500", || metrics::average_clustering(&g));
+    bench.run("average_path_length_500_s20", || {
+        let mut rng = SimRng::seed_from_u64(3);
+        metrics::average_path_length(&g, 20, &mut rng)
     });
 }
-
-criterion_group!(benches, bench_generators, bench_metrics);
-criterion_main!(benches);

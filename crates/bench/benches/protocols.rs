@@ -1,6 +1,8 @@
-//! Criterion bench: decentralized-protocol round throughput.
+//! Bench: decentralized-protocol round throughput.
+//!
+//! Run: `cargo bench -p tsn-bench --bench protocols`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsn_bench::harness::Bench;
 use tsn_graph::generators;
 use tsn_protocol::{GossipConfig, GossipNetwork, ManagerConfig, ManagerNetwork};
 use tsn_simnet::{Network, NetworkConfig, NodeId, SimRng};
@@ -15,7 +17,10 @@ fn gossip_instance(n: usize) -> GossipNetwork {
     let mut gossip = GossipNetwork::new(
         graph,
         network,
-        GossipConfig { subjects: n, ..Default::default() },
+        GossipConfig {
+            subjects: n,
+            ..Default::default()
+        },
         rng.fork(2),
     );
     for i in 0..n {
@@ -24,46 +29,33 @@ fn gossip_instance(n: usize) -> GossipNetwork {
     gossip
 }
 
-fn bench_gossip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gossip_20_rounds");
-    group.sample_size(10);
-    for &n in &[50usize, 100, 200] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut gossip = gossip_instance(n);
-                gossip.run(20);
-                gossip.report().mean_error
-            });
+fn main() {
+    let bench = Bench::new("gossip_20_rounds").samples(10);
+    for n in [50usize, 100, 200] {
+        bench.run(&format!("{n}_nodes"), || {
+            let mut gossip = gossip_instance(n);
+            gossip.run(20);
+            gossip.report().mean_error
         });
     }
-    group.finish();
-}
 
-fn bench_managers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("manager_report_query_cycle");
-    group.sample_size(10);
-    for &n in &[50usize, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut network = Network::new(NetworkConfig::default(), SimRng::seed_from_u64(2));
-                for _ in 0..n {
-                    network.add_node();
-                }
-                let mut managers = ManagerNetwork::new(network, ManagerConfig::default());
-                for i in 0..n as u32 {
-                    managers.submit_report(NodeId(i), NodeId((i + 1) % n as u32), 0.7);
-                }
-                managers.run(2);
-                for i in 0..n as u32 {
-                    managers.submit_query(NodeId(i), NodeId((i + 2) % n as u32));
-                }
-                managers.run(3);
-                managers.report().answer_rate
-            });
+    let bench = Bench::new("manager_report_query_cycle").samples(10);
+    for n in [50usize, 100] {
+        bench.run(&format!("{n}_nodes"), || {
+            let mut network = Network::new(NetworkConfig::default(), SimRng::seed_from_u64(2));
+            for _ in 0..n {
+                network.add_node();
+            }
+            let mut managers = ManagerNetwork::new(network, ManagerConfig::default());
+            for i in 0..n as u32 {
+                managers.submit_report(NodeId(i), NodeId((i + 1) % n as u32), 0.7);
+            }
+            managers.run(2);
+            for i in 0..n as u32 {
+                managers.submit_query(NodeId(i), NodeId((i + 2) % n as u32));
+            }
+            managers.run(3);
+            managers.report().answer_rate
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_gossip, bench_managers);
-criterion_main!(benches);

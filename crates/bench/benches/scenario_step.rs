@@ -1,55 +1,47 @@
-//! Criterion bench: end-to-end scenario throughput (the engine behind
-//! every figure) and the simulator event loop.
+//! Bench: end-to-end scenario throughput (the engine behind every
+//! figure) and the simulator event loop.
+//!
+//! Run: `cargo bench -p tsn-bench --bench scenario_step`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tsn_core::scenario::run_scenario;
-use tsn_core::ScenarioConfig;
+use tsn_bench::harness::Bench;
+use tsn_core::runner::ScenarioBuilder;
 use tsn_simnet::{SimDuration, SimRng, SimTime, Simulation};
 
-fn bench_scenario(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scenario_run");
-    group.sample_size(10);
-    for &nodes in &[50usize, 100] {
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
-            b.iter(|| {
-                let mut config = ScenarioConfig::default();
-                config.nodes = nodes;
-                config.rounds = 10;
-                run_scenario(config).unwrap()
-            });
+fn main() {
+    let bench = Bench::new("scenario_run").samples(10);
+    for nodes in [50usize, 100] {
+        bench.run(&format!("{nodes}_nodes"), || {
+            ScenarioBuilder::new()
+                .nodes(nodes)
+                .rounds(10)
+                .run()
+                .unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_simulator(c: &mut Criterion) {
-    c.bench_function("simnet_10k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(SimRng::seed_from_u64(1));
-            let nodes: Vec<_> = (0..100).map(|_| sim.add_node()).collect();
-            for i in 0..10_000u64 {
-                let from = nodes[(i % 100) as usize];
-                let to = nodes[((i + 1) % 100) as usize];
-                sim.schedule_at(SimTime::from_micros(i), move |s| {
-                    s.network_mut().send(from, to, "x".into());
+    let bench = Bench::new("simnet").samples(10);
+    bench.run("10k_events", || {
+        let mut sim = Simulation::new(SimRng::seed_from_u64(1));
+        let nodes: Vec<_> = (0..100).map(|_| sim.add_node()).collect();
+        for i in 0..10_000u64 {
+            let from = nodes[(i % 100) as usize];
+            let to = nodes[((i + 1) % 100) as usize];
+            sim.schedule_at(SimTime::from_micros(i), move |s| {
+                s.network_mut().send(from, to, "x".into());
+            });
+        }
+        sim.run_to_idle()
+    });
+    bench.run("self_rescheduling_chain", || {
+        fn tick(sim: &mut Simulation, remaining: u32) {
+            if remaining > 0 {
+                sim.schedule_in(SimDuration::from_micros(10), move |s| {
+                    tick(s, remaining - 1)
                 });
             }
-            sim.run_to_idle()
-        });
-    });
-    c.bench_function("simnet_self_rescheduling_chain", |b| {
-        b.iter(|| {
-            fn tick(sim: &mut Simulation, remaining: u32) {
-                if remaining > 0 {
-                    sim.schedule_in(SimDuration::from_micros(10), move |s| tick(s, remaining - 1));
-                }
-            }
-            let mut sim = Simulation::new(SimRng::seed_from_u64(2));
-            sim.schedule_at(SimTime::ZERO, |s| tick(s, 5_000));
-            sim.run_to_idle()
-        });
+        }
+        let mut sim = Simulation::new(SimRng::seed_from_u64(2));
+        sim.schedule_at(SimTime::ZERO, |s| tick(s, 5_000));
+        sim.run_to_idle()
     });
 }
-
-criterion_group!(benches, bench_scenario, bench_simulator);
-criterion_main!(benches);

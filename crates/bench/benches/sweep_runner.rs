@@ -1,0 +1,43 @@
+//! Bench: serial vs parallel `SweepRunner` over a fixed grid — the
+//! anchor for the experiment pipeline's wall-clock trajectory. The
+//! parallel/serial ratio is the headline number: it should approach
+//! the core count for CPU-bound grids.
+//!
+//! Run: `cargo bench -p tsn-bench --bench sweep_runner`
+
+use tsn_bench::harness::Bench;
+use tsn_core::runner::{ScenarioBuilder, SweepGrid, SweepRunner};
+
+fn grid() -> SweepGrid {
+    SweepGrid::over(ScenarioBuilder::new().nodes(40).rounds(8))
+        .all_mechanisms()
+        .all_profiles()
+        .seeds([1, 2])
+}
+
+fn main() {
+    let grid = grid();
+    println!("grid: {} cells\n", grid.len());
+
+    let bench = Bench::new("sweep_runner").samples(5).warmup(1);
+    let serial = bench.run("serial", || SweepRunner::serial().run(&grid).unwrap());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parallel = bench.run(&format!("parallel_{threads}t"), || {
+        SweepRunner::parallel().run(&grid).unwrap()
+    });
+
+    let speedup = serial.median.as_secs_f64() / parallel.median.as_secs_f64().max(1e-9);
+    println!("\nspeedup (serial / parallel median): {speedup:.2}x on {threads} threads");
+
+    // Guard: the two modes must agree bit-for-bit, or the numbers above
+    // are comparing different work.
+    let a = SweepRunner::serial().run(&grid).unwrap();
+    let b = SweepRunner::parallel().run(&grid).unwrap();
+    assert_eq!(
+        a, b,
+        "serial and parallel sweeps must produce identical reports"
+    );
+    println!("determinism check: serial == parallel report ✓");
+}

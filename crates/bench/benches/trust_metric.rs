@@ -1,31 +1,33 @@
-//! Criterion bench: trust-metric evaluation and dynamics fixed-point
-//! cost (both sit on the hot path of the optimizer sweep).
+//! Bench: trust-metric evaluation and dynamics fixed-point cost (both
+//! sit on the hot path of the optimizer sweep).
+//!
+//! Run: `cargo bench -p tsn-bench --bench trust_metric`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tsn_bench::harness::Bench;
 use tsn_core::dynamics::{DynamicsState, InteractionDynamics};
 use tsn_core::{Aggregator, FacetScores, FacetWeights, TrustMetric};
 
-fn bench_metric(c: &mut Criterion) {
+fn main() {
     let facets: Vec<FacetScores> = (0..1000)
         .map(|i| {
             let x = (i as f64 * 0.001) % 1.0;
             FacetScores::new(x, (x * 7.0) % 1.0, (x * 13.0) % 1.0).unwrap()
         })
         .collect();
-    for aggregator in [Aggregator::Arithmetic, Aggregator::Geometric, Aggregator::PowerMean(2.0)] {
+    let bench = Bench::new("trust_1k").samples(20);
+    for aggregator in [
+        Aggregator::Arithmetic,
+        Aggregator::Geometric,
+        Aggregator::PowerMean(2.0),
+    ] {
         let metric = TrustMetric::new(FacetWeights::default(), aggregator).unwrap();
-        c.bench_function(&format!("trust_1k_{}", aggregator.label()), |b| {
-            b.iter(|| facets.iter().map(|f| metric.trust(f)).sum::<f64>());
+        bench.run(&aggregator.label(), || {
+            facets.iter().map(|f| metric.trust(f)).sum::<f64>()
         });
     }
-}
 
-fn bench_dynamics(c: &mut Criterion) {
     let dynamics = InteractionDynamics::default();
-    c.bench_function("dynamics_fixed_point", |b| {
-        b.iter(|| dynamics.fixed_point(DynamicsState::neutral(), 1e-9, 10_000));
+    Bench::new("dynamics").samples(20).run("fixed_point", || {
+        dynamics.fixed_point(DynamicsState::neutral(), 1e-9, 10_000)
     });
 }
-
-criterion_group!(benches, bench_metric, bench_dynamics);
-criterion_main!(benches);

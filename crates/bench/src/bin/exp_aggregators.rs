@@ -11,10 +11,12 @@ use tsn_core::report::{ExperimentRow, ExperimentTable};
 use tsn_core::{Aggregator, FacetScores, FacetWeights, Optimizer, TrustMetric};
 
 fn main() {
-    let mut base = experiment_base(0xA3);
-    base.nodes = 48;
-    base.rounds = 10;
-    base.graph_degree = 6;
+    let base = experiment_base(0xA3)
+        .nodes(48)
+        .rounds(10)
+        .graph(6, 0.1)
+        .build()
+        .expect("valid base");
 
     let aggregators = [
         Aggregator::Arithmetic,
@@ -27,7 +29,13 @@ fn main() {
     let mut table = ExperimentTable::new(
         "A3",
         "optimizer winner per aggregator",
-        ["disclosure", "privacy", "reputation", "satisfaction", "trust"],
+        [
+            "disclosure",
+            "privacy",
+            "reputation",
+            "satisfaction",
+            "trust",
+        ],
     );
 
     let mut winners = Vec::new();

@@ -33,8 +33,7 @@ fn run_whitewash(
     let mut graph_rng = rng.fork(1);
     let graph = generators::watts_strogatz(n, 8, 0.1, &mut graph_rng).expect("valid parameters");
     let mut pop_rng = rng.fork(2);
-    let mut population =
-        Population::new(n, PopulationConfig::with_malicious(0.3), &mut pop_rng);
+    let mut population = Population::new(n, PopulationConfig::with_malicious(0.3), &mut pop_rng);
 
     // identity[slot] = the NodeId the mechanism currently knows this slot as.
     let mut identity: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
@@ -49,9 +48,9 @@ fn run_whitewash(
         // Whitewash: adversarial slots take fresh identities periodically.
         if let Some(every) = whitewash_every {
             if round > 0 && round % every == 0 {
-                for slot in 0..n {
+                for (slot, id) in identity.iter_mut().enumerate().take(n) {
                     if population.is_adversarial(NodeId::from_index(slot)) {
-                        identity[slot] = NodeId::from_index(next_id);
+                        *id = NodeId::from_index(next_id);
                         next_id += 1;
                         mechanism.resize(next_id);
                     }
@@ -77,7 +76,10 @@ fn run_whitewash(
             else {
                 continue;
             };
-            let provider_slot = candidates[current_ids.iter().position(|&c| c == chosen_id).expect("chosen from list")];
+            let provider_slot = candidates[current_ids
+                .iter()
+                .position(|&c| c == chosen_id)
+                .expect("chosen from list")];
             let provider = NodeId::from_index(provider_slot);
             let outcome = population.interact(provider, consumer, &mut rng);
             tried += 1;
@@ -89,8 +91,7 @@ fn run_whitewash(
             if population.is_adversarial(consumer) {
                 tried -= 1; // honest-consumer metric only
             }
-            let mut report =
-                population.feedback(consumer, provider, outcome, SimTime::ZERO, None);
+            let mut report = population.feedback(consumer, provider, outcome, SimTime::ZERO, None);
             // Reports are filed under *current* identities.
             report.rater = identity[consumer_slot];
             report.ratee = identity[provider_slot];
@@ -106,18 +107,30 @@ fn run_whitewash(
         .map(|s| mechanism.score(identity[s]))
         .collect();
     (
-        if tried == 0 { 0.0 } else { ok as f64 / tried as f64 },
+        if tried == 0 {
+            0.0
+        } else {
+            ok as f64 / tried as f64
+        },
         mean(adv_scores),
     )
 }
 
 fn main() {
     let seeds = 3;
-    let mechanisms = [MechanismKind::Beta, MechanismKind::EigenTrust, MechanismKind::PowerTrust];
+    let mechanisms = [
+        MechanismKind::Beta,
+        MechanismKind::EigenTrust,
+        MechanismKind::PowerTrust,
+    ];
 
     // --- Whitewashing sweep.
-    let periods: [(&str, Option<usize>); 4] =
-        [("never", None), ("every10", Some(10)), ("every5", Some(5)), ("every2", Some(2))];
+    let periods: [(&str, Option<usize>); 4] = [
+        ("never", None),
+        ("every10", Some(10)),
+        ("every5", Some(5)),
+        ("every2", Some(2)),
+    ];
     let mut t1 = ExperimentTable::new(
         "A2a",
         "honest success rate vs whitewash frequency (30% adversaries)",
@@ -156,9 +169,7 @@ fn main() {
     for &mechanism in &mechanisms {
         let cells: Vec<f64> = offline
             .iter()
-            .map(|&frac| {
-                mean((0..seeds).map(|s| run_whitewash(mechanism, None, frac, 6000 + s).0))
-            })
+            .map(|&frac| mean((0..seeds).map(|s| run_whitewash(mechanism, None, frac, 6000 + s).0)))
             .collect();
         t3.push(ExperimentRow::new(mechanism.name(), cells));
     }

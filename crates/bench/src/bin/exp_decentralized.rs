@@ -25,7 +25,11 @@ const ROUNDS: usize = 40;
 fn network(n: usize, loss: f64, seed: u64) -> Network {
     let config = NetworkConfig {
         latency: Box::new(ConstantLatency(SimDuration::from_millis(10))),
-        loss: if loss > 0.0 { Box::new(BernoulliLoss::new(loss)) } else { Box::new(NoLoss) },
+        loss: if loss > 0.0 {
+            Box::new(BernoulliLoss::new(loss))
+        } else {
+            Box::new(NoLoss)
+        },
     };
     let mut net = Network::new(config, SimRng::seed_from_u64(seed));
     for _ in 0..n {
@@ -42,7 +46,7 @@ fn observations(seed: u64) -> Vec<(NodeId, usize, f64)> {
         .map(|_| {
             let observer = NodeId(rng.gen_range(0..N as u32));
             let subject = rng.gen_range(0..N);
-            let truth = if subject % 3 == 0 { 0.2 } else { 0.9 };
+            let truth = if subject.is_multiple_of(3) { 0.2 } else { 0.9 };
             let value = (truth + rng.gen_normal(0.0, 0.05)).clamp(0.0, 1.0);
             (observer, subject, value)
         })
@@ -55,7 +59,10 @@ fn run_gossip(loss: f64, seed: u64) -> (f64, u64, u64) {
     let mut gossip = GossipNetwork::new(
         graph,
         network(N, loss, seed ^ 0xAAAA),
-        GossipConfig { subjects: N, ..Default::default() },
+        GossipConfig {
+            subjects: N,
+            ..Default::default()
+        },
         rng.fork(1),
     );
     for (observer, subject, value) in observations(seed ^ 0x55) {
@@ -82,7 +89,12 @@ fn run_managers(loss: f64, seed: u64) -> (f64, f64, u64, u64) {
     }
     managers.run(4);
     let report = managers.report();
-    (report.mean_error, report.answer_rate, report.costs.messages, report.costs.bytes)
+    (
+        report.mean_error,
+        report.answer_rate,
+        report.costs.messages,
+        report.costs.bytes,
+    )
 }
 
 fn main() {
@@ -108,7 +120,10 @@ fn main() {
     }
     error_table.push(ExperimentRow::new("gossip(push-sum)", gossip_err.clone()));
     error_table.push(ExperimentRow::new("score-managers", manager_err.clone()));
-    error_table.push(ExperimentRow::new("centralized-oracle", vec![0.0; losses.len()]));
+    error_table.push(ExperimentRow::new(
+        "centralized-oracle",
+        vec![0.0; losses.len()],
+    ));
     emit(&error_table);
 
     let (_, g_msgs, g_bytes) = run_gossip(0.0, 800);
@@ -132,7 +147,10 @@ fn main() {
     );
     rate_table.push(ExperimentRow::new(
         "answer_rate",
-        losses.iter().map(|&l| mean((0..seeds).map(|s| run_managers(l, 900 + s).1))).collect(),
+        losses
+            .iter()
+            .map(|&l| mean((0..seeds).map(|s| run_managers(l, 900 + s).1)))
+            .collect(),
     ));
     emit(&rate_table);
 
@@ -147,8 +165,16 @@ fn main() {
         manager_err[0],
         pass(clean_ok)
     );
-    println!("check loss degrades gossip ({:.4} -> {:.4}): {}", gossip_err[0], gossip_err[3], pass(degrades));
-    println!("check decentralization costs messages ({g_msgs} / {m_msgs}): {}", pass(costly));
+    println!(
+        "check loss degrades gossip ({:.4} -> {:.4}): {}",
+        gossip_err[0],
+        gossip_err[3],
+        pass(degrades)
+    );
+    println!(
+        "check decentralization costs messages ({g_msgs} / {m_msgs}): {}",
+        pass(costly)
+    );
     println!("note: manager answer rate at loss=0 is {answer_rate:.3}");
     println!(
         "\nA4 reproduction: {}",

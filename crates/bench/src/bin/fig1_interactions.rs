@@ -16,9 +16,9 @@
 use tsn_bench::{emit, experiment_base};
 use tsn_core::dynamics::{DynamicsState, InteractionDynamics};
 use tsn_core::report::{ExperimentRow, ExperimentTable};
-use tsn_core::scenario::run_scenario;
+use tsn_core::runner::DisclosureLevel;
 use tsn_graph::metrics::spearman;
-use tsn_reputation::{MechanismKind, PopulationConfig};
+use tsn_reputation::MechanismKind;
 use tsn_simnet::SimRng;
 
 fn main() {
@@ -31,16 +31,24 @@ fn main() {
     let mut trust = Vec::new();
     let mut respect = Vec::new();
     for i in 0..runs {
-        let mut c = experiment_base(9000 + i);
-        c.nodes = 60;
-        c.rounds = 15;
-        c.disclosure_level = rng.gen_range(0..5usize);
-        c.mechanism = *rng
-            .choose(&[MechanismKind::Beta, MechanismKind::EigenTrust, MechanismKind::PowerTrust])
-            .expect("non-empty");
-        c.population = PopulationConfig::with_malicious(rng.gen_range(0..35u32) as f64 / 100.0);
-        c.leak_probability = rng.gen_f64() * 0.5;
-        let o = run_scenario(c).expect("valid config");
+        let o = experiment_base(9000 + i)
+            .nodes(60)
+            .rounds(15)
+            .disclosure(
+                DisclosureLevel::from_index(rng.gen_range(0..5usize)).expect("index in range"),
+            )
+            .mechanism(
+                *rng.choose(&[
+                    MechanismKind::Beta,
+                    MechanismKind::EigenTrust,
+                    MechanismKind::PowerTrust,
+                ])
+                .expect("non-empty"),
+            )
+            .malicious_fraction(rng.gen_range(0..35u32) as f64 / 100.0)
+            .leak_probability(rng.gen_f64() * 0.5)
+            .run()
+            .expect("valid config");
         privacy.push(o.facets.privacy);
         reputation.push(o.facets.reputation);
         satisfaction.push(o.facets.satisfaction);
@@ -60,7 +68,11 @@ fn main() {
 
     table.push(ExperimentRow::new(
         "satisfaction<->trust",
-        vec![rho(&satisfaction, &trust), couple("satisfaction", "trust"), 1.0],
+        vec![
+            rho(&satisfaction, &trust),
+            couple("satisfaction", "trust"),
+            1.0,
+        ],
     ));
     table.push(ExperimentRow::new(
         "reputation<->trust",
@@ -68,15 +80,27 @@ fn main() {
     ));
     table.push(ExperimentRow::new(
         "reputation<->satisfaction",
-        vec![rho(&reputation, &satisfaction), couple("reputation", "satisfaction"), 1.0],
+        vec![
+            rho(&reputation, &satisfaction),
+            couple("reputation", "satisfaction"),
+            1.0,
+        ],
     ));
     table.push(ExperimentRow::new(
         "privacy(respect)<->satisfaction",
-        vec![rho(&respect, &satisfaction), couple("privacy", "satisfaction"), 1.0],
+        vec![
+            rho(&respect, &satisfaction),
+            couple("privacy", "satisfaction"),
+            1.0,
+        ],
     ));
     table.push(ExperimentRow::new(
         "privacy<->trust",
-        vec![rho(&privacy, &trust), couple("privacy", "satisfaction"), 1.0],
+        vec![
+            rho(&privacy, &trust),
+            couple("privacy", "satisfaction"),
+            1.0,
+        ],
     ));
     emit(&table);
 
@@ -84,12 +108,18 @@ fn main() {
     let checks = [
         ("satisfaction<->trust", rho(&satisfaction, &trust)),
         ("reputation<->trust", rho(&reputation, &trust)),
-        ("privacy(respect)<->satisfaction", rho(&respect, &satisfaction)),
+        (
+            "privacy(respect)<->satisfaction",
+            rho(&respect, &satisfaction),
+        ),
     ];
     let mut ok = true;
     for (name, value) in checks {
         let pass = value > 0.0;
-        println!("check {name}: spearman {value:+.3} -> {}", if pass { "PASS" } else { "FAIL" });
+        println!(
+            "check {name}: spearman {value:+.3} -> {}",
+            if pass { "PASS" } else { "FAIL" }
+        );
         ok &= pass;
     }
     println!("\nF1 reproduction: {}", if ok { "PASS" } else { "FAIL" });

@@ -9,9 +9,11 @@ use tsn_core::report::{ExperimentRow, ExperimentTable};
 use tsn_core::{FacetScores, Optimizer, TrustMetric};
 
 fn main() {
-    let mut base = experiment_base(0xF2);
-    base.nodes = 60;
-    base.rounds = 12;
+    let base = experiment_base(0xF2)
+        .nodes(60)
+        .rounds(12)
+        .build()
+        .expect("valid base");
     let mut optimizer = Optimizer::new(base, TrustMetric::default()).expect("valid base");
     optimizer.seeds_per_point = 2;
     println!("sweeping 5 mechanisms x 5 disclosure levels x 3 policy profiles...");
@@ -32,16 +34,26 @@ fn main() {
         ("satisfaction_region", report.satisfaction_region),
         ("privacy&reputation", report.privacy_and_reputation),
         ("privacy&satisfaction", report.privacy_and_satisfaction),
-        ("reputation&satisfaction", report.reputation_and_satisfaction),
+        (
+            "reputation&satisfaction",
+            report.reputation_and_satisfaction,
+        ),
         ("AREA_A(all three)", report.area_a),
         ("total", report.total),
     ] {
-        table.push(ExperimentRow::new(label, vec![count as f64, count as f64 / total]));
+        table.push(ExperimentRow::new(
+            label,
+            vec![count as f64, count as f64 / total],
+        ));
     }
     emit(&table);
 
     // Representative Area-A configurations and the overall winner.
-    let mut in_a: Vec<_> = sweep.points.iter().filter(|p| p.facets.meets(&thresholds)).collect();
+    let mut in_a: Vec<_> = sweep
+        .points
+        .iter()
+        .filter(|p| p.facets.meets(&thresholds))
+        .collect();
     in_a.sort_by(|a, b| b.trust.partial_cmp(&a.trust).expect("finite"));
     println!("top Area-A configurations:");
     for p in in_a.iter().take(5) {

@@ -5,53 +5,63 @@
 //!
 //! Run: `cargo run --release -p tsn-bench --bin fig2_right_tradeoff`
 
-use tsn_bench::{emit, experiment_base, mean};
+use tsn_bench::{emit, experiment_base};
 use tsn_core::report::{ExperimentRow, ExperimentTable};
-use tsn_core::scenario::run_scenario;
-use tsn_reputation::{DisclosurePolicy, MechanismKind};
+use tsn_core::runner::{DisclosureLevel, SweepGrid, SweepRunner};
+use tsn_reputation::MechanismKind;
 
 fn main() {
-    let seeds = 4;
-    let mechanisms =
-        [MechanismKind::Beta, MechanismKind::EigenTrust, MechanismKind::PowerTrust];
+    // One declarative grid replaces the hand-rolled triple loop: the
+    // full disclosure ladder × three mechanisms × four seeds, executed
+    // across all cores with per-cell deterministic seeding.
+    let grid = SweepGrid::over(experiment_base(7000).nodes(80).rounds(20))
+        .disclosures(DisclosureLevel::ALL)
+        .mechanisms([
+            MechanismKind::Beta,
+            MechanismKind::EigenTrust,
+            MechanismKind::PowerTrust,
+        ])
+        .seeds((0..4).map(|s| 7000 + s));
+    println!("sweeping {} cells...", grid.len());
+    let report = SweepRunner::parallel().run(&grid).expect("valid grid");
 
     let mut table = ExperimentTable::new(
         "F2R",
         "Figure 2 (right): disclosure ladder vs the three facets (mean over mechanisms & seeds)",
-        ["shared_info", "privacy", "reputation", "satisfaction", "trust"],
+        [
+            "shared_info",
+            "privacy",
+            "reputation",
+            "satisfaction",
+            "trust",
+        ],
     );
 
-    let mut rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
-    for level in 0..5usize {
-        let mut p = Vec::new();
-        let mut r = Vec::new();
-        let mut s = Vec::new();
-        let mut t = Vec::new();
-        for &mechanism in &mechanisms {
-            for seed in 0..seeds {
-                let mut c = experiment_base(7000 + seed);
-                c.nodes = 80;
-                c.rounds = 20;
-                c.disclosure_level = level;
-                c.mechanism = mechanism;
-                let o = run_scenario(c).expect("valid config");
-                p.push(o.facets.privacy);
-                r.push(o.facets.reputation);
-                s.push(o.facets.satisfaction);
-                t.push(o.global_trust);
-            }
-        }
-        let row =
-            (level, mean(p.clone()), mean(r.clone()), mean(s.clone()), mean(t.clone()));
-        rows.push(row);
+    // (level, privacy, reputation, satisfaction, trust) per ladder rung.
+    let rows: Vec<(usize, f64, f64, f64, f64)> = report
+        .mean_by(|c| c.cell.disclosure.index())
+        .into_iter()
+        .map(|(level, facets, trust)| {
+            (
+                level,
+                facets.privacy,
+                facets.reputation,
+                facets.satisfaction,
+                trust,
+            )
+        })
+        .collect();
+    for &(level, p, r, s, t) in &rows {
         table.push(ExperimentRow::new(
             format!("level={level}"),
             vec![
-                DisclosurePolicy::ladder(level).exposure(),
-                row.1,
-                row.2,
-                row.3,
-                row.4,
+                DisclosureLevel::from_index(level)
+                    .expect("grid level")
+                    .exposure(),
+                p,
+                r,
+                s,
+                t,
             ],
         ));
     }
@@ -80,9 +90,18 @@ fn main() {
         .expect("rows")
         .0;
 
-    println!("check (a) privacy monotonically decreasing: {}", pass(privacy_monotone));
-    println!("check (b) reputation power rises with disclosure: {}", pass(reputation_rises));
-    println!("check (c) iso-satisfaction from distant settings: {}", pass(iso));
+    println!(
+        "check (a) privacy monotonically decreasing: {}",
+        pass(privacy_monotone)
+    );
+    println!(
+        "check (b) reputation power rises with disclosure: {}",
+        pass(reputation_rises)
+    );
+    println!(
+        "check (c) iso-satisfaction from distant settings: {}",
+        pass(iso)
+    );
     println!(
         "check (d) antagonism: privacy peaks at level {best_privacy}, reputation at level {best_reputation}: {}",
         pass(best_privacy != best_reputation)

@@ -1,0 +1,103 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The container this workspace builds in has no access to crates.io,
+//! so `criterion` is not available; this harness keeps the same
+//! shape — named benchmarks, warm-up, repeated timed runs, median/min
+//! statistics — at a fraction of the rigor, which is enough to anchor
+//! relative performance across PRs. Bench targets set `harness = false`
+//! and call [`Bench::run`] from `main`.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported `black_box`, so bench code reads like the criterion
+/// idiom.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// A named group of benchmarks sharing warm-up/measurement settings.
+pub struct Bench {
+    group: String,
+    warmup_iters: u32,
+    sample_count: u32,
+}
+
+impl Bench {
+    /// Creates a group with default settings (3 warm-up iterations,
+    /// 10 samples).
+    pub fn new(group: impl Into<String>) -> Self {
+        Bench {
+            group: group.into(),
+            warmup_iters: 3,
+            sample_count: 10,
+        }
+    }
+
+    /// Overrides the number of measured samples.
+    pub fn samples(mut self, count: u32) -> Self {
+        self.sample_count = count.max(1);
+        self
+    }
+
+    /// Overrides the number of warm-up iterations.
+    pub fn warmup(mut self, iters: u32) -> Self {
+        self.warmup_iters = iters;
+        self
+    }
+
+    /// Times `f` (one call = one sample) and prints
+    /// `group/name  median  min  max`.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+        for _ in 0..self.warmup_iters {
+            std_black_box(f());
+        }
+        let mut samples: Vec<Duration> = (0..self.sample_count)
+            .map(|_| {
+                let start = Instant::now();
+                std_black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        let result = BenchResult {
+            name: format!("{}/{name}", self.group),
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            max: *samples.last().expect("at least one sample"),
+        };
+        println!(
+            "{:<44} median {:>12?}  min {:>12?}  max {:>12?}",
+            result.name, result.median, result.min, result.max
+        );
+        result
+    }
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` label.
+    pub name: String,
+    /// Median sample.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_something() {
+        let result = Bench::new("test")
+            .samples(3)
+            .warmup(1)
+            .run("spin", || (0..1000u64).map(black_box).sum::<u64>());
+        assert!(result.min <= result.median && result.median <= result.max);
+        assert_eq!(result.name, "test/spin");
+    }
+}

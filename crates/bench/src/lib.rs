@@ -1,22 +1,18 @@
 //! Shared helpers for the experiment binaries that regenerate the
 //! paper's figures (see DESIGN.md §5 for the experiment index and
-//! EXPERIMENTS.md for recorded paper-vs-measured outcomes).
+//! EXPERIMENTS.md for recorded paper-vs-measured outcomes), plus the
+//! dependency-free micro-benchmark harness used by `benches/`.
 
 use tsn_core::report::ExperimentTable;
-use tsn_core::ScenarioConfig;
-use tsn_reputation::PopulationConfig;
+use tsn_core::runner::ScenarioBuilder;
 
-/// The standard experiment-scale scenario base: 100 users, 25 rounds.
-/// Every binary derives from this so results are comparable across
-/// experiments.
-pub fn experiment_base(seed: u64) -> ScenarioConfig {
-    ScenarioConfig {
-        nodes: 100,
-        rounds: 25,
-        population: PopulationConfig::with_malicious(0.25),
-        seed,
-        ..ScenarioConfig::default()
-    }
+pub mod harness;
+
+/// The standard experiment-scale scenario base: 100 users, 25 rounds,
+/// 25% malicious. Every binary derives from this so results are
+/// comparable across experiments.
+pub fn experiment_base(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::experiment(seed)
 }
 
 /// Prints a table to stdout in both human and JSON form, the contract
@@ -40,7 +36,7 @@ mod tests {
 
     #[test]
     fn base_is_valid() {
-        assert!(experiment_base(1).validate().is_ok());
+        assert!(experiment_base(1).build().is_ok());
     }
 
     #[test]

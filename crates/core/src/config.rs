@@ -5,11 +5,13 @@
 //! (disclosure level, mechanism, anonymization) plus the applicative
 //! context (population mix, policy strictness, selection policy).
 
-use serde::{Deserialize, Serialize};
-use tsn_reputation::{AnonymizationConfig, DisclosurePolicy, MechanismKind, PopulationConfig, SelectionPolicy};
+use crate::runner::ValidationError;
+use tsn_reputation::{
+    AnonymizationConfig, DisclosurePolicy, MechanismKind, PopulationConfig, SelectionPolicy,
+};
 
 /// How strict the users' privacy policies are.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PolicyProfile {
     /// Everyone runs permissive policies.
     Permissive,
@@ -22,8 +24,11 @@ pub enum PolicyProfile {
 
 impl PolicyProfile {
     /// All profiles, for sweeps.
-    pub const ALL: [PolicyProfile; 3] =
-        [PolicyProfile::Permissive, PolicyProfile::Mixed, PolicyProfile::Strict];
+    pub const ALL: [PolicyProfile; 3] = [
+        PolicyProfile::Permissive,
+        PolicyProfile::Mixed,
+        PolicyProfile::Strict,
+    ];
 
     /// Label for experiment tables.
     pub fn label(self) -> &'static str {
@@ -45,7 +50,7 @@ impl PolicyProfile {
 }
 
 /// Full configuration of one scenario run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioConfig {
     /// Population size.
     pub nodes: usize,
@@ -137,54 +142,82 @@ impl ScenarioConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`ValidationError`] naming the first invalid field.
+    pub fn validate(&self) -> Result<(), ValidationError> {
         if self.nodes < 4 {
-            return Err("need at least 4 nodes".into());
+            return Err(ValidationError::new("nodes", "need at least 4 nodes"));
         }
-        if self.rounds == 0 || self.interactions_per_node == 0 {
-            return Err("rounds and interactions_per_node must be positive".into());
+        if self.rounds == 0 {
+            return Err(ValidationError::new("rounds", "must be positive"));
+        }
+        if self.interactions_per_node == 0 {
+            return Err(ValidationError::new(
+                "interactions_per_node",
+                "must be positive",
+            ));
         }
         if self.disclosure_level >= DisclosurePolicy::LADDER_LEVELS {
-            return Err(format!(
-                "disclosure_level must be < {}",
-                DisclosurePolicy::LADDER_LEVELS
+            return Err(ValidationError::new(
+                "disclosure_level",
+                format!("must be < {}", DisclosurePolicy::LADDER_LEVELS),
             ));
         }
         if !(0.0..=1.0).contains(&self.privacy_concern_mean) {
-            return Err("privacy_concern_mean must be in [0,1]".into());
+            return Err(ValidationError::new(
+                "privacy_concern_mean",
+                "must be in [0,1]",
+            ));
         }
         if !(0.0..=1.0).contains(&self.leak_probability) {
-            return Err("leak_probability must be in [0,1]".into());
+            return Err(ValidationError::new("leak_probability", "must be in [0,1]"));
         }
         if self.refresh_every == 0 {
-            return Err("refresh_every must be positive".into());
+            return Err(ValidationError::new("refresh_every", "must be positive"));
         }
         if self.ballot_stuffing_factor == 0 {
-            return Err("ballot_stuffing_factor must be at least 1".into());
+            return Err(ValidationError::new(
+                "ballot_stuffing_factor",
+                "must be at least 1",
+            ));
         }
         if !(0.0..=1.0).contains(&self.churn_offline) {
-            return Err("churn_offline must be in [0,1]".into());
+            return Err(ValidationError::new("churn_offline", "must be in [0,1]"));
         }
         if !(0.0..=1.0).contains(&self.consumer_role_weight) {
-            return Err("consumer_role_weight must be in [0,1]".into());
+            return Err(ValidationError::new(
+                "consumer_role_weight",
+                "must be in [0,1]",
+            ));
         }
-        if self.graph_degree % 2 != 0 || self.graph_degree == 0 || self.graph_degree >= self.nodes {
-            return Err("graph_degree must be even, positive and < nodes".into());
+        if !self.graph_degree.is_multiple_of(2)
+            || self.graph_degree == 0
+            || self.graph_degree >= self.nodes
+        {
+            return Err(ValidationError::new(
+                "graph_degree",
+                "must be even, positive and < nodes",
+            ));
         }
         if !(0.0..=1.0).contains(&self.graph_beta) {
-            return Err("graph_beta must be in [0,1]".into());
+            return Err(ValidationError::new("graph_beta", "must be in [0,1]"));
         }
-        self.population.validate()?;
+        self.population
+            .validate()
+            .map_err(|m| ValidationError::new("population", m))?;
         if let Some(a) = &self.anonymization {
-            a.validate()?;
+            a.validate()
+                .map_err(|m| ValidationError::new("anonymization", m))?;
         }
         Ok(())
     }
 
     /// A small, fast configuration for tests and doc examples.
     pub fn small() -> Self {
-        ScenarioConfig { nodes: 40, rounds: 10, ..Default::default() }
+        ScenarioConfig {
+            nodes: 40,
+            rounds: 10,
+            ..Default::default()
+        }
     }
 }
 
@@ -200,38 +233,49 @@ mod tests {
 
     #[test]
     fn disclosure_policy_follows_level() {
-        let mut c = ScenarioConfig::default();
-        c.disclosure_level = 0;
+        let c = ScenarioConfig {
+            disclosure_level: 0,
+            ..Default::default()
+        };
         assert_eq!(c.disclosure_policy(), DisclosurePolicy::minimal());
-        c.disclosure_level = 4;
+        let c = ScenarioConfig {
+            disclosure_level: 4,
+            ..Default::default()
+        };
         assert_eq!(c.disclosure_policy(), DisclosurePolicy::full());
     }
 
     #[test]
     fn validation_catches_each_field() {
-        let mut c = ScenarioConfig::default();
-        c.nodes = 3;
-        assert!(c.validate().is_err());
-
-        let mut c = ScenarioConfig::default();
-        c.disclosure_level = 5;
-        assert!(c.validate().is_err());
-
-        let mut c = ScenarioConfig::default();
-        c.privacy_concern_mean = 2.0;
-        assert!(c.validate().is_err());
-
-        let mut c = ScenarioConfig::default();
-        c.leak_probability = -0.5;
-        assert!(c.validate().is_err());
-
-        let mut c = ScenarioConfig::default();
-        c.graph_degree = 101;
-        assert!(c.validate().is_err());
-
-        let mut c = ScenarioConfig::default();
-        c.rounds = 0;
-        assert!(c.validate().is_err());
+        let cases = [
+            ScenarioConfig {
+                nodes: 3,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                disclosure_level: 5,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                privacy_concern_mean: 2.0,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                leak_probability: -0.5,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                graph_degree: 101,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                rounds: 0,
+                ..Default::default()
+            },
+        ];
+        for (i, c) in cases.iter().enumerate() {
+            assert!(c.validate().is_err(), "case {i} must be rejected");
+        }
     }
 
     #[test]

@@ -21,10 +21,8 @@
 //! power only builds trust to the extent the verdict about the population
 //! is positive.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the coupled system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicsConfig {
     /// Adaptation rate `η` in `(0, 1]`.
     pub eta: f64,
@@ -85,7 +83,7 @@ impl DynamicsConfig {
 }
 
 /// The five coupled state variables, each in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynamicsState {
     /// Trust toward the system.
     pub trust: f64,
@@ -178,7 +176,8 @@ impl InteractionDynamics {
         // Interaction quality improves with mechanism efficiency (better
         // partner selection): from 60 % of the honest ceiling (random
         // choice) to 100 % (perfect avoidance of bad partners).
-        let quality = c.base_quality * c.honest_fraction * (0.6 + 0.4 * state.reputation_efficiency);
+        let quality =
+            c.base_quality * c.honest_fraction * (0.6 + 0.4 * state.reputation_efficiency);
         let target_satisfaction = 0.75 * quality + 0.25 * state.privacy;
         let target_trust =
             (c.kappa_s * state.satisfaction + c.kappa_r * verdict) / (c.kappa_s + c.kappa_r);
@@ -223,8 +222,7 @@ impl InteractionDynamics {
             "trust" => perturbed.trust = (perturbed.trust + delta).min(1.0),
             "satisfaction" => perturbed.satisfaction = (perturbed.satisfaction + delta).min(1.0),
             "reputation" => {
-                perturbed.reputation_efficiency =
-                    (perturbed.reputation_efficiency + delta).min(1.0)
+                perturbed.reputation_efficiency = (perturbed.reputation_efficiency + delta).min(1.0)
             }
             "disclosure" => perturbed.disclosure = (perturbed.disclosure + delta).min(1.0),
             "privacy" => perturbed.privacy = (perturbed.privacy + delta).min(1.0),
@@ -268,7 +266,13 @@ mod tests {
     fn fixed_point_is_interior_for_defaults() {
         let d = InteractionDynamics::default();
         let (s, _) = d.fixed_point(DynamicsState::neutral(), 1e-10, 10_000);
-        for v in [s.trust, s.satisfaction, s.reputation_efficiency, s.disclosure, s.privacy] {
+        for v in [
+            s.trust,
+            s.satisfaction,
+            s.reputation_efficiency,
+            s.disclosure,
+            s.privacy,
+        ] {
             assert!(v > 0.05 && v < 1.0, "interior fixed point, got {s:?}");
         }
     }
@@ -316,12 +320,19 @@ mod tests {
             honest_fraction: 0.2,
             ..Default::default()
         });
-        let s = DynamicsState { reputation_efficiency: 0.95, ..DynamicsState::neutral() };
+        let s = DynamicsState {
+            reputation_efficiency: 0.95,
+            ..DynamicsState::neutral()
+        };
         // With high efficiency, reputation → trust turns NEGATIVE: the
         // verdict (0.2-honest world) is worse than agnosticism.
         assert!(hostile.coupling_sign(&s, "reputation", "trust") < 0.0);
         let (fp, _) = hostile.fixed_point(s, 1e-9, 10_000);
-        assert!(fp.trust < 0.5, "hostile verdict suppresses trust: {}", fp.trust);
+        assert!(
+            fp.trust < 0.5,
+            "hostile verdict suppresses trust: {}",
+            fp.trust
+        );
     }
 
     #[test]
@@ -338,16 +349,33 @@ mod tests {
             boosted = d.step(&boosted);
             base = d.step(&base);
         }
-        assert!(boosted.satisfaction > base.satisfaction, "trust feeds back into satisfaction");
+        assert!(
+            boosted.satisfaction > base.satisfaction,
+            "trust feeds back into satisfaction"
+        );
     }
 
     #[test]
     fn config_validation() {
-        assert!(DynamicsConfig { eta: 0.0, ..Default::default() }.validate().is_err());
-        assert!(DynamicsConfig { honest_fraction: 1.5, ..Default::default() }.validate().is_err());
-        assert!(DynamicsConfig { kappa_s: 0.0, kappa_r: 0.0, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(DynamicsConfig {
+            eta: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DynamicsConfig {
+            honest_fraction: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DynamicsConfig {
+            kappa_s: 0.0,
+            kappa_r: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(DynamicsConfig::default().validate().is_ok());
     }
 
@@ -360,7 +388,10 @@ mod tests {
 
     #[test]
     fn states_stay_in_bounds() {
-        let d = InteractionDynamics::new(DynamicsConfig { eta: 1.0, ..Default::default() });
+        let d = InteractionDynamics::new(DynamicsConfig {
+            eta: 1.0,
+            ..Default::default()
+        });
         let mut s = DynamicsState {
             trust: 1.0,
             satisfaction: 0.0,
@@ -370,7 +401,13 @@ mod tests {
         };
         for _ in 0..100 {
             s = d.step(&s);
-            for v in [s.trust, s.satisfaction, s.reputation_efficiency, s.disclosure, s.privacy] {
+            for v in [
+                s.trust,
+                s.satisfaction,
+                s.reputation_efficiency,
+                s.disclosure,
+                s.privacy,
+            ] {
                 assert!((0.0..=1.0).contains(&v));
             }
         }

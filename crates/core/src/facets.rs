@@ -1,6 +1,5 @@
 //! The three facet scores and their weights.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The measured facet scores, each in `[0, 1]`.
@@ -14,7 +13,7 @@ use std::fmt;
 /// * `satisfaction` — "global users' satisfaction": fairness-discounted
 ///   mean of long-run participant satisfaction
 ///   (computed by [`tsn_satisfaction::GlobalSatisfaction`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FacetScores {
     /// Privacy facet.
     pub privacy: f64,
@@ -31,7 +30,11 @@ impl FacetScores {
     ///
     /// Returns a message naming the out-of-range facet.
     pub fn new(privacy: f64, reputation: f64, satisfaction: f64) -> Result<Self, String> {
-        let scores = FacetScores { privacy, reputation, satisfaction };
+        let scores = FacetScores {
+            privacy,
+            reputation,
+            satisfaction,
+        };
         scores.validate()?;
         Ok(scores)
     }
@@ -91,7 +94,7 @@ impl fmt::Display for FacetScores {
 ///
 /// The paper leaves the weighting to the "applicative context"; weights
 /// here are free non-negative reals, normalized at use.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FacetWeights {
     /// Weight of the privacy facet.
     pub privacy: f64,
@@ -104,7 +107,11 @@ pub struct FacetWeights {
 impl Default for FacetWeights {
     /// Equal weights: the paper presents the facets as co-equal.
     fn default() -> Self {
-        FacetWeights { privacy: 1.0, reputation: 1.0, satisfaction: 1.0 }
+        FacetWeights {
+            privacy: 1.0,
+            reputation: 1.0,
+            satisfaction: 1.0,
+        }
     }
 }
 
@@ -184,24 +191,41 @@ mod tests {
 
     #[test]
     fn weights_normalize() {
-        let w = FacetWeights { privacy: 2.0, reputation: 1.0, satisfaction: 1.0 }.normalized();
+        let w = FacetWeights {
+            privacy: 2.0,
+            reputation: 1.0,
+            satisfaction: 1.0,
+        }
+        .normalized();
         assert!((w.privacy - 0.5).abs() < 1e-12);
         assert!((w.total() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn weights_validation() {
-        assert!(FacetWeights { privacy: 0.0, reputation: 0.0, satisfaction: 0.0 }
-            .validate()
-            .is_err());
-        assert!(FacetWeights { privacy: -1.0, ..Default::default() }.validate().is_err());
+        assert!(FacetWeights {
+            privacy: 0.0,
+            reputation: 0.0,
+            satisfaction: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(FacetWeights {
+            privacy: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(FacetWeights::default().validate().is_ok());
     }
 
     #[test]
     fn display_is_compact() {
         let f = FacetScores::new(0.5, 0.25, 1.0).unwrap();
-        assert_eq!(f.to_string(), "privacy=0.500 reputation=0.250 satisfaction=1.000");
+        assert_eq!(
+            f.to_string(),
+            "privacy=0.500 reputation=0.250 satisfaction=1.000"
+        );
     }
 
     #[test]

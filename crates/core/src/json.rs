@@ -1,0 +1,188 @@
+//! A minimal JSON document model and writer.
+//!
+//! The workspace builds without external dependencies, so the handful of
+//! machine-readable outputs (experiment tables, sweep reports, the CLI's
+//! `--json` mode) share this tiny emitter instead of a serialization
+//! framework. Only what the emitters need is implemented: construction
+//! and rendering, not parsing.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also the rendering of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A floating-point number; NaN and infinities render as `null`.
+    F64(f64),
+    /// An unsigned integer (exact, unlike `F64` beyond 2^53).
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object.
+    pub fn object(fields: impl IntoIterator<Item = (impl Into<String>, JsonValue)>) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Convenience constructor for an array.
+    pub fn array(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+/// Escapes a string into a JSON string literal (with quotes).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number (or `null` when non-finite, which
+/// JSON cannot represent).
+pub fn format_f64(v: f64) -> String {
+    // Normalize -0.0 so emitters never print a signed zero.
+    let v = if v == 0.0 { 0.0 } else { v };
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trip representation and is
+        // always a valid JSON number for finite values.
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::F64(v) => f.write_str(&format_f64(*v)),
+            JsonValue::U64(v) => write!(f, "{v}"),
+            JsonValue::Str(s) => f.write_str(&escape_str(s)),
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{value}", escape_str(key))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(JsonValue::from(true).to_string(), "true");
+        assert_eq!(JsonValue::from(1.5f64).to_string(), "1.5");
+        assert_eq!(JsonValue::from(3u64).to_string(), "3");
+        assert_eq!(JsonValue::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::from(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escape_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_render() {
+        let v = JsonValue::object([
+            ("xs", JsonValue::array([1.0.into(), 2.0.into()])),
+            ("name", "demo".into()),
+        ]);
+        assert_eq!(v.to_string(), "{\"xs\":[1.0,2.0],\"name\":\"demo\"}");
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        assert_eq!(format_f64(0.1), "0.1");
+        assert_eq!(format_f64(1.0), "1.0");
+        assert_eq!(format_f64(-0.0), "0.0");
+    }
+}

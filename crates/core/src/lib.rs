@@ -43,8 +43,10 @@
 pub mod config;
 pub mod dynamics;
 pub mod facets;
+pub mod json;
 pub mod optimizer;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod trust;
 
@@ -53,6 +55,10 @@ pub use dynamics::{DynamicsConfig, DynamicsState, InteractionDynamics};
 pub use facets::{FacetScores, FacetWeights};
 pub use optimizer::{AreaReport, ConfigPoint, Optimizer, OptimizerResult, SweepOutcome};
 pub use report::{ExperimentRow, ExperimentTable};
+pub use runner::{
+    DisclosureLevel, Observer, ScenarioBuilder, SweepGrid, SweepReport, SweepRunner,
+    ValidationError,
+};
 pub use scenario::{RoundSample, Scenario, ScenarioOutcome};
 pub use trust::{Aggregator, TrustMetric, TrustReport};
 pub use tsn_simnet::NodeId;

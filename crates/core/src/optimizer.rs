@@ -14,13 +14,13 @@
 
 use crate::config::{PolicyProfile, ScenarioConfig};
 use crate::facets::FacetScores;
+use crate::runner::{ScenarioBuilder, SweepGrid, SweepRunner, ValidationError};
 use crate::scenario::run_scenario;
 use crate::trust::TrustMetric;
-use serde::{Deserialize, Serialize};
 use tsn_reputation::{MechanismKind, SelectionPolicy};
 
 /// One evaluated configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConfigPoint {
     /// Mechanism used.
     pub mechanism: MechanismKind,
@@ -37,7 +37,7 @@ pub struct ConfigPoint {
 }
 
 /// The sweep output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepOutcome {
     /// Every evaluated point.
     pub points: Vec<ConfigPoint>,
@@ -45,7 +45,7 @@ pub struct SweepOutcome {
 
 /// Figure 2 (left): how many points satisfy each facet region and their
 /// intersections.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreaReport {
     /// Thresholds defining the regions.
     pub thresholds: FacetScores,
@@ -77,7 +77,7 @@ pub struct Optimizer {
 }
 
 /// The optimizer's answer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OptimizerResult {
     /// The winning point.
     pub best: ConfigPoint,
@@ -91,33 +91,64 @@ impl Optimizer {
     ///
     /// # Errors
     ///
-    /// Returns a message when the base configuration is invalid.
-    pub fn new(base: ScenarioConfig, metric: TrustMetric) -> Result<Self, String> {
+    /// Returns a [`ValidationError`] when the base configuration is
+    /// invalid.
+    pub fn new(base: ScenarioConfig, metric: TrustMetric) -> Result<Self, ValidationError> {
         base.validate()?;
-        Ok(Optimizer { base, metric, seeds_per_point: 2 })
+        Ok(Optimizer {
+            base,
+            metric,
+            seeds_per_point: 2,
+        })
     }
 
-    /// The grid: mechanisms × disclosure levels × policy profiles.
-    /// Selection is fixed to the base's policy (it is a response-block
-    /// choice, not a privacy/reputation dial; the A-ablations sweep it
-    /// separately).
+    /// The seeds each grid point is averaged over. A `seeds_per_point`
+    /// of 0 is treated as 1 — the field is public and averaging over
+    /// zero runs is never meaningful.
+    fn point_seeds(&self) -> Vec<u64> {
+        (0..self.seeds_per_point.max(1))
+            .map(|i| self.base.seed.wrapping_add(i * 7919))
+            .collect()
+    }
+
+    /// The grid: mechanisms × disclosure levels × policy profiles,
+    /// executed in parallel by a [`SweepRunner`]. Selection is fixed to
+    /// the base's policy (it is a response-block choice, not a
+    /// privacy/reputation dial; the A-ablations sweep it separately).
     pub fn sweep(&self) -> SweepOutcome {
-        let mechanisms = [
-            MechanismKind::None,
-            MechanismKind::Beta,
-            MechanismKind::EigenTrust,
-            MechanismKind::PowerTrust,
-            MechanismKind::TrustMe,
-        ];
-        let mut points = Vec::new();
-        for &mechanism in &mechanisms {
-            for disclosure_level in 0..5 {
-                for &policy_profile in &PolicyProfile::ALL {
-                    let point = self.evaluate(mechanism, disclosure_level, policy_profile, self.base.selection);
-                    points.push(point);
+        let seeds = self.point_seeds();
+        let grid = SweepGrid::over(ScenarioBuilder::from_config(self.base.clone()))
+            .all_mechanisms()
+            .all_disclosures()
+            .all_profiles()
+            .seeds(seeds.iter().copied());
+        let report = SweepRunner::parallel()
+            .run(&grid)
+            .expect("base validated in Optimizer::new");
+        // Seeds are the innermost grid dimension: consecutive chunks of
+        // `seeds.len()` cells are the Monte-Carlo repetitions of one
+        // point, in the original (mechanism, disclosure, profile) order.
+        let points = report
+            .cells
+            .chunks(seeds.len())
+            .map(|chunk| {
+                let k = chunk.len() as f64;
+                let facets = FacetScores {
+                    privacy: chunk.iter().map(|c| c.facets.privacy).sum::<f64>() / k,
+                    reputation: chunk.iter().map(|c| c.facets.reputation).sum::<f64>() / k,
+                    satisfaction: chunk.iter().map(|c| c.facets.satisfaction).sum::<f64>() / k,
+                };
+                let first = &chunk[0].cell;
+                ConfigPoint {
+                    mechanism: first.mechanism,
+                    disclosure_level: first.disclosure.index(),
+                    policy_profile: first.profile,
+                    selection: self.base.selection.label().to_owned(),
+                    facets,
+                    trust: self.metric.trust(&facets),
                 }
-            }
-        }
+            })
+            .collect();
         SweepOutcome { points }
     }
 
@@ -131,19 +162,19 @@ impl Optimizer {
         selection: SelectionPolicy,
     ) -> ConfigPoint {
         let mut acc = (0.0, 0.0, 0.0);
-        for i in 0..self.seeds_per_point {
-            let mut config = self.base.clone();
+        let seeds = self.point_seeds();
+        for (mut config, seed) in std::iter::repeat_with(|| self.base.clone()).zip(&seeds) {
             config.mechanism = mechanism;
             config.disclosure_level = disclosure_level;
             config.policy_profile = policy_profile;
             config.selection = selection;
-            config.seed = self.base.seed.wrapping_add(i * 7919);
+            config.seed = *seed;
             let outcome = run_scenario(config).expect("sweep configs derive from a valid base");
             acc.0 += outcome.facets.privacy;
             acc.1 += outcome.facets.reputation;
             acc.2 += outcome.facets.satisfaction;
         }
-        let k = self.seeds_per_point as f64;
+        let k = seeds.len() as f64;
         let facets = FacetScores {
             privacy: acc.0 / k,
             reputation: acc.1 / k,
@@ -167,7 +198,11 @@ impl Optimizer {
                 && (!s || f.satisfaction >= thresholds.satisfaction)
         };
         let count = |p: bool, r: bool, s: bool| {
-            sweep.points.iter().filter(|pt| meets(&pt.facets, p, r, s)).count()
+            sweep
+                .points
+                .iter()
+                .filter(|pt| meets(&pt.facets, p, r, s))
+                .count()
         };
         AreaReport {
             thresholds,
@@ -201,11 +236,17 @@ impl Optimizer {
                 .filter(|p| p.facets.meets(&t))
                 .max_by(by_trust)
             {
-                return OptimizerResult { best: best.clone(), in_area_a: true };
+                return OptimizerResult {
+                    best: best.clone(),
+                    in_area_a: true,
+                };
             }
         }
         let best = sweep.points.iter().max_by(by_trust).expect("non-empty");
-        OptimizerResult { best: best.clone(), in_area_a: false }
+        OptimizerResult {
+            best: best.clone(),
+            in_area_a: false,
+        }
     }
 
     /// Greedy hill-climb from a starting point over the two ordinal dials
@@ -213,7 +254,12 @@ impl Optimizer {
     /// Returns the local optimum. Used to refine the sweep winner.
     pub fn hill_climb(&self, start: &ConfigPoint) -> ConfigPoint {
         let profiles = PolicyProfile::ALL;
-        let profile_idx = |p: PolicyProfile| profiles.iter().position(|&q| q == p).expect("known profile");
+        let profile_idx = |p: PolicyProfile| {
+            profiles
+                .iter()
+                .position(|&q| q == p)
+                .expect("known profile")
+        };
         let mut current = start.clone();
         loop {
             let mut improved = false;
@@ -250,7 +296,12 @@ mod tests {
     use super::*;
 
     fn tiny_base() -> ScenarioConfig {
-        ScenarioConfig { nodes: 24, rounds: 6, graph_degree: 4, ..ScenarioConfig::default() }
+        ScenarioConfig {
+            nodes: 24,
+            rounds: 6,
+            graph_degree: 4,
+            ..ScenarioConfig::default()
+        }
     }
 
     fn optimizer() -> Optimizer {
@@ -285,10 +336,7 @@ mod tests {
     fn area_report_counts_nest() {
         let o = optimizer();
         let sweep = o.sweep();
-        let report = o.area_report(
-            &sweep,
-            FacetScores::new(0.4, 0.4, 0.3).unwrap(),
-        );
+        let report = o.area_report(&sweep, FacetScores::new(0.4, 0.4, 0.3).unwrap());
         // Intersections can never exceed their constituent regions.
         assert!(report.area_a <= report.privacy_and_reputation);
         assert!(report.area_a <= report.privacy_and_satisfaction);
@@ -331,6 +379,14 @@ mod tests {
         );
         let refined = o.hill_climb(&start);
         assert!(refined.trust >= start.trust);
+    }
+
+    #[test]
+    fn zero_seeds_per_point_is_clamped_not_panicking() {
+        let mut o = optimizer();
+        o.seeds_per_point = 0;
+        let sweep = o.sweep();
+        assert_eq!(sweep.points.len(), 5 * 5 * 3);
     }
 
     #[test]

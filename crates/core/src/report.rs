@@ -3,10 +3,10 @@
 //! consistent, machine-checkable format (and EXPERIMENTS.md quotes them
 //! verbatim).
 
-use serde::{Deserialize, Serialize};
+use crate::json::JsonValue;
 
 /// One labelled row of numeric cells.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRow {
     /// Row label (e.g. `"eigentrust"`, `"level=3"`).
     pub label: String,
@@ -17,12 +17,15 @@ pub struct ExperimentRow {
 impl ExperimentRow {
     /// Creates a row.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
-        ExperimentRow { label: label.into(), values }
+        ExperimentRow {
+            label: label.into(),
+            values,
+        }
     }
 }
 
 /// A titled table with column headers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentTable {
     /// Experiment id (e.g. `"F2R"`).
     pub id: String,
@@ -100,12 +103,28 @@ impl ExperimentTable {
     }
 
     /// Renders as a JSON line (for machine consumption next to the text).
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialization fails (it cannot for this type).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("table serializes")
+        JsonValue::object([
+            ("id", JsonValue::str(&self.id)),
+            ("title", JsonValue::str(&self.title)),
+            (
+                "columns",
+                JsonValue::array(self.columns.iter().map(JsonValue::str)),
+            ),
+            (
+                "rows",
+                JsonValue::array(self.rows.iter().map(|row| {
+                    JsonValue::object([
+                        ("label", JsonValue::str(&row.label)),
+                        (
+                            "values",
+                            JsonValue::array(row.values.iter().map(|&v| JsonValue::F64(v))),
+                        ),
+                    ])
+                })),
+            ),
+        ])
+        .to_string()
     }
 
     /// Column index by header name.
@@ -119,7 +138,9 @@ impl ExperimentTable {
     ///
     /// Panics if the column does not exist.
     pub fn column(&self, name: &str) -> Vec<f64> {
-        let i = self.column_index(name).unwrap_or_else(|| panic!("no column {name}"));
+        let i = self
+            .column_index(name)
+            .unwrap_or_else(|| panic!("no column {name}"));
         self.rows.iter().map(|r| r.values[i]).collect()
     }
 }
@@ -161,9 +182,11 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip() {
+    fn json_shape_is_stable() {
         let t = table();
-        let parsed: ExperimentTable = serde_json::from_str(&t.to_json()).unwrap();
-        assert_eq!(parsed, t);
+        assert_eq!(
+            t.to_json(),
+            "{\"id\":\"T1\",\"title\":\"demo\",\"columns\":[\"alpha\",\"beta\"],\"rows\":[{\"label\":\"row1\",\"values\":[1.0,2.0]},{\"label\":\"row2\",\"values\":[3.0,4.0]}]}"
+        );
     }
 }

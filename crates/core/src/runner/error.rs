@@ -1,0 +1,51 @@
+//! Typed configuration errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected configuration: which knob was wrong and why.
+///
+/// Every path that turns knobs into a runnable scenario —
+/// [`ScenarioBuilder::build`](crate::runner::ScenarioBuilder::build),
+/// [`ScenarioConfig::validate`](crate::ScenarioConfig::validate),
+/// [`SweepGrid`](crate::runner::SweepGrid) expansion — reports failures
+/// through this type instead of a bare string, so callers can match on
+/// the offending field and tooling can surface it next to the right
+/// flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// The configuration field that failed validation.
+    pub field: &'static str,
+    /// Human-readable explanation of the constraint that was violated.
+    pub message: String,
+}
+
+impl ValidationError {
+    /// Creates an error for `field`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        ValidationError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.field, self.message)
+    }
+}
+
+impl Error for ValidationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field() {
+        let e = ValidationError::new("nodes", "need at least 4 nodes");
+        assert_eq!(e.to_string(), "invalid nodes: need at least 4 nodes");
+        assert_eq!(e.field, "nodes");
+    }
+}

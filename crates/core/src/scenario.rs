@@ -27,16 +27,16 @@
 
 use crate::config::ScenarioConfig;
 use crate::facets::FacetScores;
+use crate::runner::{Observer, ValidationError};
 use crate::trust::TrustMetric;
-use serde::{Deserialize, Serialize};
 use tsn_graph::{generators, Graph, InterestProfile, InterestSpace};
+use tsn_privacy::enforcement::RequestContext;
+use tsn_privacy::oecd::OecdAudit;
+use tsn_privacy::policy::DataCategory;
 use tsn_privacy::{
     AccessDecision, AccessRequest, BreachCause, DisclosureLedger, Enforcer, Operation,
     PrivacyFacetInputs, PrivacyPolicy, Purpose, SystemPrivacyProfile,
 };
-use tsn_privacy::enforcement::RequestContext;
-use tsn_privacy::oecd::OecdAudit;
-use tsn_privacy::policy::DataCategory;
 use tsn_reputation::{
     accuracy, Anonymized, DisclosurePolicy, MechanismKind, Population, PowerReport,
     ReputationMechanism,
@@ -48,7 +48,7 @@ use tsn_satisfaction::{
 use tsn_simnet::{NodeId, SimRng, SimTime};
 
 /// Per-round measurements (the time series behind Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundSample {
     /// Round index.
     pub round: usize,
@@ -70,7 +70,7 @@ pub struct RoundSample {
 }
 
 /// Everything a scenario run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
     /// The measured global facets.
     pub facets: FacetScores,
@@ -106,28 +106,47 @@ pub struct ScenarioOutcome {
     pub samples: Vec<RoundSample>,
 }
 
+impl RoundSample {
+    /// The recognized series names, in the order of the struct fields.
+    pub const SERIES_NAMES: [&'static str; 7] = [
+        "satisfaction",
+        "trust",
+        "respect",
+        "consistency",
+        "willingness",
+        "success",
+        "reports",
+    ];
+
+    /// Extracts one named measurement, or `None` for an unknown name.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        match name {
+            "satisfaction" => Some(self.mean_satisfaction),
+            "trust" => Some(self.mean_trust),
+            "respect" => Some(self.respect_rate),
+            "consistency" => Some(self.consistency),
+            "willingness" => Some(self.mean_willingness),
+            "success" => Some(self.success_rate),
+            "reports" => Some(self.reports_filed as f64),
+            _ => None,
+        }
+    }
+}
+
 impl ScenarioOutcome {
     /// Extracts a named series from the samples (for correlation
-    /// analysis). Recognized: `satisfaction`, `trust`, `respect`,
-    /// `consistency`, `willingness`, `success`, `reports`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown series name.
-    pub fn series(&self, name: &str) -> Vec<f64> {
-        self.samples
-            .iter()
-            .map(|s| match name {
-                "satisfaction" => s.mean_satisfaction,
-                "trust" => s.mean_trust,
-                "respect" => s.respect_rate,
-                "consistency" => s.consistency,
-                "willingness" => s.mean_willingness,
-                "success" => s.success_rate,
-                "reports" => s.reports_filed as f64,
-                other => panic!("unknown series {other}"),
-            })
-            .collect()
+    /// analysis). Recognized names are [`RoundSample::SERIES_NAMES`];
+    /// an unknown name returns `None` instead of panicking.
+    pub fn series(&self, name: &str) -> Option<Vec<f64>> {
+        if !RoundSample::SERIES_NAMES.contains(&name) {
+            return None;
+        }
+        Some(
+            self.samples
+                .iter()
+                .map(|s| s.field(name).expect("name checked against SERIES_NAMES"))
+                .collect(),
+        )
     }
 }
 
@@ -178,14 +197,18 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns a message when the configuration is invalid.
-    pub fn new(config: ScenarioConfig) -> Result<Self, String> {
+    /// Returns a [`ValidationError`] when the configuration is invalid.
+    pub fn new(config: ScenarioConfig) -> Result<Self, ValidationError> {
         config.validate()?;
         let mut rng = SimRng::seed_from_u64(config.seed);
         let mut graph_rng = rng.fork(1);
-        let graph =
-            generators::watts_strogatz(config.nodes, config.graph_degree, config.graph_beta, &mut graph_rng)
-                .map_err(|e| e.to_string())?;
+        let graph = generators::watts_strogatz(
+            config.nodes,
+            config.graph_degree,
+            config.graph_beta,
+            &mut graph_rng,
+        )
+        .map_err(|e| ValidationError::new("graph_degree", e.to_string()))?;
         let mut pop_rng = rng.fork(2);
         let population = Population::new(config.nodes, config.population.clone(), &mut pop_rng);
 
@@ -198,7 +221,10 @@ impl Scenario {
                     .collect();
                 Box::new(tsn_reputation::EigenTrust::new(
                     config.nodes,
-                    tsn_reputation::EigenTrustConfig { pretrusted, ..Default::default() },
+                    tsn_reputation::EigenTrustConfig {
+                        pretrusted,
+                        ..Default::default()
+                    },
                 ))
             } else {
                 tsn_reputation::mechanism::build_mechanism(config.mechanism, config.nodes)
@@ -210,11 +236,12 @@ impl Scenario {
 
         let mut user_rng = rng.fork(4);
         let space = InterestSpace::new(8);
-        let profiles: Vec<InterestProfile> =
-            (0..config.nodes).map(|_| space.sample_profile(2.0, &mut user_rng)).collect();
-        let strict_cut = (config.policy_profile.strict_fraction() * config.nodes as f64).round() as usize;
-        let mut strict_flags: Vec<bool> =
-            (0..config.nodes).map(|i| i < strict_cut).collect();
+        let profiles: Vec<InterestProfile> = (0..config.nodes)
+            .map(|_| space.sample_profile(2.0, &mut user_rng))
+            .collect();
+        let strict_cut =
+            (config.policy_profile.strict_fraction() * config.nodes as f64).round() as usize;
+        let mut strict_flags: Vec<bool> = (0..config.nodes).map(|i| i < strict_cut).collect();
         user_rng.shuffle(&mut strict_flags);
 
         let mut users = Vec::with_capacity(config.nodes);
@@ -295,7 +322,8 @@ impl Scenario {
             purposes_declared: true,
             purpose_respect_rate: self.ledger.respect_rate(),
             data_quality_controls: true,
-            safeguards_active: self.config.anonymization.is_some() || self.config.disclosure_level <= 1,
+            safeguards_active: self.config.anonymization.is_some()
+                || self.config.disclosure_level <= 1,
             policies_published: true,
             user_controls: true,
             breaches_attributed: true,
@@ -335,14 +363,25 @@ impl Scenario {
 
     fn measure_power(&mut self, iterations: usize) -> PowerReport {
         let n = self.config.nodes;
-        let adversarial: Vec<bool> =
-            (0..n).map(|i| self.population.is_adversarial(NodeId::from_index(i))).collect();
+        let adversarial: Vec<bool> = (0..n)
+            .map(|i| self.population.is_adversarial(NodeId::from_index(i)))
+            .collect();
         let truth = self.population.true_qualities();
         accuracy::evaluate(self.mechanism.as_ref(), &truth, &adversarial, iterations)
     }
 
     /// Runs the configured number of rounds and returns the outcome.
     pub fn run(&mut self) -> ScenarioOutcome {
+        self.run_observed(&mut [])
+    }
+
+    /// Runs the scenario, invoking every [`Observer`] at start, after
+    /// each round and at completion. Observers only watch: the outcome
+    /// is identical to [`Scenario::run`].
+    pub fn run_observed(&mut self, observers: &mut [&mut dyn Observer]) -> ScenarioOutcome {
+        for observer in observers.iter_mut() {
+            observer.on_start(&self.config);
+        }
         let n = self.config.nodes;
         let mut samples = Vec::with_capacity(self.config.rounds);
         let mut interactions = 0u64;
@@ -359,7 +398,9 @@ impl Scenario {
             }
             // Availability churn: some users are offline this round.
             let offline: Vec<bool> = (0..n)
-                .map(|_| self.config.churn_offline > 0.0 && self.rng.gen_bool(self.config.churn_offline))
+                .map(|_| {
+                    self.config.churn_offline > 0.0 && self.rng.gen_bool(self.config.churn_offline)
+                })
                 .collect();
             let mut round_ok = 0u64;
             let mut round_tried = 0u64;
@@ -379,10 +420,10 @@ impl Scenario {
                         .filter(|p| !offline[p.index()])
                         .collect();
                     let mech = &self.mechanism;
-                    let Some(provider) = self
-                        .config
-                        .selection
-                        .select(&candidates, |c| mech.score(c), &mut self.rng)
+                    let Some(provider) =
+                        self.config
+                            .selection
+                            .select(&candidates, |c| mech.score(c), &mut self.rng)
                     else {
                         continue;
                     };
@@ -401,7 +442,8 @@ impl Scenario {
                         requester_trust: self.mechanism.score(consumer),
                     };
                     let decision =
-                        self.enforcer.decide(&request, &self.users[provider.index()].policy, &ctx);
+                        self.enforcer
+                            .decide(&request, &self.users[provider.index()].policy, &ctx);
 
                     let intended = self.users[consumer_idx].intentions.intends(provider);
                     self.users[consumer_idx].allocation.observe(intended);
@@ -451,8 +493,9 @@ impl Scenario {
                         let willing = self.users[consumer_idx].willingness_level;
                         let adversarial_rater = self.population.is_adversarial(consumer);
                         if adversarial_rater || willing >= self.config.disclosure_level {
-                            let report =
-                                self.population.feedback(consumer, provider, outcome, now, None);
+                            let report = self
+                                .population
+                                .feedback(consumer, provider, outcome, now, None);
                             let effective = self.config.disclosure_policy();
                             let view = effective.view(&report);
                             // Ballot stuffing: without a disclosed rater
@@ -475,7 +518,6 @@ impl Scenario {
                             round_reports += copies as u64;
                             messages += (self.mechanism.overhead_per_report() * copies) as u64;
                         }
-
                     } else {
                         denials += 1;
                         round_tried += 1;
@@ -515,8 +557,9 @@ impl Scenario {
                         outcome_quality,
                         privacy_respected: !self.users[consumer_idx].breached_this_round,
                     };
-                    let adequacy =
-                        self.adequacy.adequacy(&self.users[consumer_idx].intentions, &aspects);
+                    let adequacy = self
+                        .adequacy
+                        .adequacy(&self.users[consumer_idx].intentions, &aspects);
                     self.users[consumer_idx].satisfaction.observe(adequacy);
                 }
             }
@@ -543,12 +586,14 @@ impl Scenario {
                 for (i, u) in self.users.iter_mut().enumerate() {
                     if trust_now[i] < 0.4 && u.willingness_level > 0 {
                         u.willingness_level -= 1;
-                    } else if trust_now[i] > 0.7 && u.willingness_level < self.config.disclosure_level {
+                    } else if trust_now[i] > 0.7
+                        && u.willingness_level < self.config.disclosure_level
+                    {
                         u.willingness_level += 1;
                     }
                 }
             }
-            samples.push(RoundSample {
+            let sample = RoundSample {
                 round,
                 mean_satisfaction: self
                     .users
@@ -566,8 +611,12 @@ impl Scenario {
                     round_ok as f64 / round_tried as f64
                 },
                 reports_filed: round_reports,
-            });
-            now = now + tsn_simnet::SimDuration::from_secs(3600);
+            };
+            for observer in observers.iter_mut() {
+                observer.on_round(&sample);
+            }
+            samples.push(sample);
+            now += tsn_simnet::SimDuration::from_secs(3600);
         }
 
         refresh_iterations += self.mechanism.refresh();
@@ -583,11 +632,13 @@ impl Scenario {
                     + (1.0 - w_c) * u.provider_satisfaction.satisfaction()
             })
             .collect();
-        let satisfaction = GlobalSatisfaction::from_values(&satisfaction_values)
-            .expect("population is non-empty");
+        let satisfaction =
+            GlobalSatisfaction::from_values(&satisfaction_values).expect("population is non-empty");
 
         let privacy_inputs = PrivacyFacetInputs {
-            exposure: self.mean_willingness().min(self.config.disclosure_policy().exposure()),
+            exposure: self
+                .mean_willingness()
+                .min(self.config.disclosure_policy().exposure()),
             respect_rate: self.ledger.respect_rate(),
             oecd_score: oecd,
         };
@@ -602,7 +653,7 @@ impl Scenario {
             .map(|i| self.ledger.respect_rate_for(NodeId::from_index(i)))
             .collect();
 
-        ScenarioOutcome {
+        let outcome = ScenarioOutcome {
             facets,
             global_trust,
             per_user_trust,
@@ -615,11 +666,19 @@ impl Scenario {
             system_breaches: self.ledger.breach_count(Some(BreachCause::System)),
             oecd_score: oecd,
             mean_willingness: self.mean_willingness(),
-            denial_rate: if requests == 0 { 0.0 } else { denials as f64 / requests as f64 },
+            denial_rate: if requests == 0 {
+                0.0
+            } else {
+                denials as f64 / requests as f64
+            },
             interactions,
             messages,
             samples,
+        };
+        for observer in observers.iter_mut() {
+            observer.on_finish(&outcome);
         }
+        outcome
     }
 }
 
@@ -627,8 +686,8 @@ impl Scenario {
 ///
 /// # Errors
 ///
-/// Returns a message when the configuration is invalid.
-pub fn run_scenario(config: ScenarioConfig) -> Result<ScenarioOutcome, String> {
+/// Returns a [`ValidationError`] when the configuration is invalid.
+pub fn run_scenario(config: ScenarioConfig) -> Result<ScenarioOutcome, ValidationError> {
     Ok(Scenario::new(config)?.run())
 }
 
@@ -639,7 +698,10 @@ mod tests {
     use tsn_reputation::PopulationConfig;
 
     fn small(seed: u64) -> ScenarioConfig {
-        ScenarioConfig { seed, ..ScenarioConfig::small() }
+        ScenarioConfig {
+            seed,
+            ..ScenarioConfig::small()
+        }
     }
 
     #[test]
@@ -720,7 +782,10 @@ mod tests {
         strict_high.policy_profile = PolicyProfile::Strict;
         strict_high.disclosure_level = 4;
         let o = run_scenario(strict_high).unwrap();
-        assert!(o.system_breaches > 0, "level 4 over-shares for strict users");
+        assert!(
+            o.system_breaches > 0,
+            "level 4 over-shares for strict users"
+        );
     }
 
     #[test]
@@ -775,29 +840,37 @@ mod tests {
     #[test]
     fn series_extraction() {
         let o = run_scenario(small(9)).unwrap();
-        assert_eq!(o.series("trust").len(), o.samples.len());
-        assert_eq!(o.series("satisfaction").len(), o.samples.len());
-        assert_eq!(o.series("reports").len(), o.samples.len());
+        for name in RoundSample::SERIES_NAMES {
+            assert_eq!(o.series(name).expect("known name").len(), o.samples.len());
+        }
     }
 
     #[test]
-    #[should_panic(expected = "unknown series")]
-    fn unknown_series_panics() {
+    fn unknown_series_is_none_not_panic() {
         let o = run_scenario(small(9)).unwrap();
-        let _ = o.series("nope");
+        assert_eq!(o.series("nope"), None);
+        assert_eq!(o.samples[0].field("nope"), None);
     }
 
     #[test]
     fn invalid_config_rejected() {
-        let mut c = ScenarioConfig::default();
-        c.disclosure_level = 9;
-        assert!(Scenario::new(c).is_err());
-        let mut c = ScenarioConfig::default();
-        c.churn_offline = 1.5;
-        assert!(Scenario::new(c).is_err());
-        let mut c = ScenarioConfig::default();
-        c.consumer_role_weight = -0.1;
-        assert!(Scenario::new(c).is_err());
+        let cases = [
+            ScenarioConfig {
+                disclosure_level: 9,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                churn_offline: 1.5,
+                ..Default::default()
+            },
+            ScenarioConfig {
+                consumer_role_weight: -0.1,
+                ..Default::default()
+            },
+        ];
+        for c in cases {
+            assert!(Scenario::new(c).is_err());
+        }
     }
 
     #[test]

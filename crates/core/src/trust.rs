@@ -13,14 +13,14 @@
 //! for the A3 ablation.
 
 use crate::facets::{FacetScores, FacetWeights};
-use serde::{Deserialize, Serialize};
 
 /// How facet scores combine into one trust value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Aggregator {
     /// Weighted arithmetic mean — facets are substitutes.
     Arithmetic,
     /// Weighted geometric mean — facets are complements (default).
+    #[default]
     Geometric,
     /// The minimum facet — strictest complementarity (Rawlsian).
     Minimum,
@@ -30,12 +30,6 @@ pub enum Aggregator {
         /// The exponent; must be non-zero and finite.
         f64,
     ),
-}
-
-impl Default for Aggregator {
-    fn default() -> Self {
-        Aggregator::Geometric
-    }
 }
 
 impl Aggregator {
@@ -62,7 +56,7 @@ impl Aggregator {
 /// assert_eq!(metric.trust(&collapsed), 0.0); // facets are complements
 /// # Ok::<(), String>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrustMetric {
     /// Facet weights.
     pub weights: FacetWeights,
@@ -72,7 +66,10 @@ pub struct TrustMetric {
 
 impl Default for TrustMetric {
     fn default() -> Self {
-        TrustMetric { weights: FacetWeights::default(), aggregator: Aggregator::Geometric }
+        TrustMetric {
+            weights: FacetWeights::default(),
+            aggregator: Aggregator::Geometric,
+        }
     }
 }
 
@@ -90,7 +87,10 @@ impl TrustMetric {
                 return Err("power-mean exponent must be non-zero and finite".into());
             }
         }
-        Ok(TrustMetric { weights, aggregator })
+        Ok(TrustMetric {
+            weights,
+            aggregator,
+        })
     }
 
     /// Trust toward the system given facet scores, in `[0, 1]`.
@@ -139,7 +139,7 @@ impl TrustMetric {
 }
 
 /// Per-user and global trust, as produced by a scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrustReport {
     /// Facets measured globally.
     pub facets: FacetScores,
@@ -167,7 +167,10 @@ impl TrustReport {
         if self.per_user_trust.is_empty() {
             return 0.0;
         }
-        self.per_user_trust.iter().filter(|&&t| t >= threshold).count() as f64
+        self.per_user_trust
+            .iter()
+            .filter(|&&t| t >= threshold)
+            .count() as f64
             / self.per_user_trust.len() as f64
     }
 }
@@ -191,7 +194,10 @@ mod tests {
         let m = TrustMetric::default();
         assert_eq!(m.trust(&f(0.0, 1.0, 1.0)), 0.0);
         let arith = TrustMetric::new(FacetWeights::default(), Aggregator::Arithmetic).unwrap();
-        assert!(arith.trust(&f(0.0, 1.0, 1.0)) > 0.6, "arithmetic tolerates a zero");
+        assert!(
+            arith.trust(&f(0.0, 1.0, 1.0)) > 0.6,
+            "arithmetic tolerates a zero"
+        );
     }
 
     #[test]
@@ -208,7 +214,11 @@ mod tests {
 
     #[test]
     fn minimum_ignores_zero_weight_facets() {
-        let w = FacetWeights { privacy: 0.0, reputation: 1.0, satisfaction: 1.0 };
+        let w = FacetWeights {
+            privacy: 0.0,
+            reputation: 1.0,
+            satisfaction: 1.0,
+        };
         let m = TrustMetric::new(w, Aggregator::Minimum).unwrap();
         assert_eq!(m.trust(&f(0.0, 0.8, 0.6)), 0.6);
     }
@@ -222,7 +232,10 @@ mod tests {
         let t_arith = arith.trust(&facets);
         let t_geo = geo.trust(&facets);
         let t_half = p_half.trust(&facets);
-        assert!(t_geo < t_half && t_half < t_arith, "{t_geo} < {t_half} < {t_arith}");
+        assert!(
+            t_geo < t_half && t_half < t_arith,
+            "{t_geo} < {t_half} < {t_arith}"
+        );
     }
 
     #[test]
@@ -252,7 +265,11 @@ mod tests {
     #[test]
     fn weights_shift_the_outcome() {
         let privacy_heavy = TrustMetric::new(
-            FacetWeights { privacy: 10.0, reputation: 1.0, satisfaction: 1.0 },
+            FacetWeights {
+                privacy: 10.0,
+                reputation: 1.0,
+                satisfaction: 1.0,
+            },
             Aggregator::Arithmetic,
         )
         .unwrap();
@@ -265,7 +282,11 @@ mod tests {
     fn invalid_configs_rejected() {
         assert!(TrustMetric::new(FacetWeights::default(), Aggregator::PowerMean(0.0)).is_err());
         assert!(TrustMetric::new(
-            FacetWeights { privacy: -1.0, reputation: 1.0, satisfaction: 1.0 },
+            FacetWeights {
+                privacy: -1.0,
+                reputation: 1.0,
+                satisfaction: 1.0
+            },
             Aggregator::Geometric
         )
         .is_err());

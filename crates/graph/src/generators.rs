@@ -52,11 +52,16 @@ pub fn erdos_renyi(n: usize, p: f64, rng: &mut SimRng) -> Result<Graph, Generato
 ///
 /// Returns an error if `k` is odd, `k >= n`, `n < 3`, or `beta` is not in
 /// `[0, 1]`.
-pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut SimRng) -> Result<Graph, GeneratorError> {
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut SimRng,
+) -> Result<Graph, GeneratorError> {
     if n < 3 {
         return Err(err("watts_strogatz requires n >= 3"));
     }
-    if k % 2 != 0 || k == 0 {
+    if !k.is_multiple_of(2) || k == 0 {
         return Err(err(format!("k = {k} must be even and positive")));
     }
     if k >= n {
@@ -164,8 +169,10 @@ pub fn planted_communities(
     if communities == 0 {
         return Err(err("communities must be positive"));
     }
-    if n % communities != 0 {
-        return Err(err(format!("n = {n} not divisible by {communities} communities")));
+    if !n.is_multiple_of(communities) {
+        return Err(err(format!(
+            "n = {n} not divisible by {communities} communities"
+        )));
     }
     for p in [p_in, p_out] {
         if !(0.0..=1.0).contains(&p) {
@@ -177,7 +184,11 @@ pub fn planted_communities(
     let mut g = Graph::with_nodes(n);
     for a in 0..n {
         for b in (a + 1)..n {
-            let p = if membership[a] == membership[b] { p_in } else { p_out };
+            let p = if membership[a] == membership[b] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.gen_bool(p) {
                 g.add_edge(NodeId::from_index(a), NodeId::from_index(b));
             }
@@ -314,7 +325,10 @@ mod tests {
     #[test]
     fn planted_communities_validates() {
         let mut rng = SimRng::seed_from_u64(9);
-        assert!(planted_communities(10, 3, 0.5, 0.1, &mut rng).is_err(), "not divisible");
+        assert!(
+            planted_communities(10, 3, 0.5, 0.1, &mut rng).is_err(),
+            "not divisible"
+        );
         assert!(planted_communities(10, 0, 0.5, 0.1, &mut rng).is_err());
         assert!(planted_communities(10, 2, 1.5, 0.1, &mut rng).is_err());
     }

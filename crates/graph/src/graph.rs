@@ -1,6 +1,5 @@
 //! Compact undirected graph keyed by [`NodeId`].
 
-use serde::{Deserialize, Serialize};
 use tsn_simnet::NodeId;
 
 /// An undirected simple graph (no self-loops, no parallel edges) over a
@@ -8,7 +7,7 @@ use tsn_simnet::NodeId;
 ///
 /// Adjacency lists are kept sorted, which makes `has_edge` a binary search
 /// and iteration deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Graph {
     adj: Vec<Vec<NodeId>>,
     edge_count: usize,
@@ -17,7 +16,10 @@ pub struct Graph {
 impl Graph {
     /// An empty graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Number of nodes.

@@ -7,11 +7,10 @@
 //! vector too, so "the user got what she wanted" becomes a cosine
 //! similarity.
 
-use serde::{Deserialize, Serialize};
 use tsn_simnet::SimRng;
 
 /// The topic space shared by all profiles in one simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InterestSpace {
     /// Number of topics.
     pub topics: usize,
@@ -43,7 +42,7 @@ impl InterestSpace {
 }
 
 /// A normalized interest vector (sums to 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterestProfile {
     weights: Vec<f64>,
 }
@@ -63,7 +62,9 @@ impl InterestProfile {
         );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "at least one weight must be positive");
-        InterestProfile { weights: weights.into_iter().map(|w| w / total).collect() }
+        InterestProfile {
+            weights: weights.into_iter().map(|w| w / total).collect(),
+        }
     }
 
     /// A profile entirely focused on one topic.
@@ -81,7 +82,9 @@ impl InterestProfile {
     /// The uniform profile.
     pub fn uniform(topics: usize) -> Self {
         assert!(topics > 0);
-        InterestProfile { weights: vec![1.0 / topics as f64; topics] }
+        InterestProfile {
+            weights: vec![1.0 / topics as f64; topics],
+        }
     }
 
     /// The normalized weights.
@@ -101,8 +104,17 @@ impl InterestProfile {
     ///
     /// Panics if the spaces differ.
     pub fn similarity(&self, other: &InterestProfile) -> f64 {
-        assert_eq!(self.topics(), other.topics(), "profiles live in different spaces");
-        let dot: f64 = self.weights.iter().zip(&other.weights).map(|(a, b)| a * b).sum();
+        assert_eq!(
+            self.topics(),
+            other.topics(),
+            "profiles live in different spaces"
+        );
+        let dot: f64 = self
+            .weights
+            .iter()
+            .zip(&other.weights)
+            .map(|(a, b)| a * b)
+            .sum();
         let na: f64 = self.weights.iter().map(|a| a * a).sum::<f64>().sqrt();
         let nb: f64 = other.weights.iter().map(|b| b * b).sum::<f64>().sqrt();
         if na == 0.0 || nb == 0.0 {
@@ -199,11 +211,17 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(6);
         let n = 200;
         let avg_entropy = |c: f64, rng: &mut SimRng| {
-            (0..n).map(|_| space.sample_profile(c, rng).entropy()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| space.sample_profile(c, rng).entropy())
+                .sum::<f64>()
+                / n as f64
         };
         let diffuse = avg_entropy(0.0, &mut rng);
         let sharp = avg_entropy(5.0, &mut rng);
-        assert!(sharp < diffuse, "higher concentration → lower entropy ({sharp} vs {diffuse})");
+        assert!(
+            sharp < diffuse,
+            "higher concentration → lower entropy ({sharp} vs {diffuse})"
+        );
     }
 
     #[test]

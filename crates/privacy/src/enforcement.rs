@@ -7,12 +7,11 @@
 //! requester's trust level) and returns a fully explained decision.
 
 use crate::policy::{AccessCondition, Operation, PrivacyPolicy, Purpose};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use tsn_simnet::NodeId;
 
 /// A request to access one item of personal data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessRequest {
     /// Who asks.
     pub requester: NodeId,
@@ -25,7 +24,7 @@ pub struct AccessRequest {
 }
 
 /// Why a request was denied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DenialReason {
     /// Requester not in the authorized set.
     NotAuthorized,
@@ -53,7 +52,7 @@ impl fmt::Display for DenialReason {
 }
 
 /// The outcome of evaluating a request.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessDecision {
     /// Access granted as requested.
     Grant,
@@ -67,7 +66,10 @@ pub enum AccessDecision {
 impl AccessDecision {
     /// Whether any form of access was granted.
     pub fn is_granted(&self) -> bool {
-        matches!(self, AccessDecision::Grant | AccessDecision::GrantAnonymized)
+        matches!(
+            self,
+            AccessDecision::Grant | AccessDecision::GrantAnonymized
+        )
     }
 }
 
@@ -75,7 +77,7 @@ impl AccessDecision {
 ///
 /// Kept as a struct of closures' results rather than trait objects so the
 /// engine stays trivially testable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestContext {
     /// Social-graph distance between requester and owner (`None` =
     /// unreachable).
@@ -172,11 +174,19 @@ mod tests {
     use tsn_simnet::SimDuration;
 
     fn request(op: Operation, purpose: Purpose) -> AccessRequest {
-        AccessRequest { requester: NodeId(1), owner: NodeId(0), operation: op, purpose }
+        AccessRequest {
+            requester: NodeId(1),
+            owner: NodeId(0),
+            operation: op,
+            purpose,
+        }
     }
 
     fn ctx(distance: Option<u32>, trust: f64) -> RequestContext {
-        RequestContext { social_distance: distance, requester_trust: trust }
+        RequestContext {
+            social_distance: distance,
+            requester_trust: trust,
+        }
     }
 
     #[test]
@@ -200,7 +210,10 @@ mod tests {
             operation: Operation::Share,
             purpose: Purpose::Commercial,
         };
-        assert_eq!(Enforcer::new().decide(&own, &policy, &ctx(None, 0.0)), AccessDecision::Grant);
+        assert_eq!(
+            Enforcer::new().decide(&own, &policy, &ctx(None, 0.0)),
+            AccessDecision::Grant
+        );
     }
 
     #[test]
@@ -228,11 +241,19 @@ mod tests {
             .unwrap();
         let e = Enforcer::new();
         assert_eq!(
-            e.decide(&request(Operation::Share, Purpose::Social), &policy, &ctx(Some(1), 1.0)),
+            e.decide(
+                &request(Operation::Share, Purpose::Social),
+                &policy,
+                &ctx(Some(1), 1.0)
+            ),
             AccessDecision::Deny(DenialReason::OperationNotAllowed)
         );
         assert_eq!(
-            e.decide(&request(Operation::Read, Purpose::Commercial), &policy, &ctx(Some(1), 1.0)),
+            e.decide(
+                &request(Operation::Read, Purpose::Commercial),
+                &policy,
+                &ctx(Some(1), 1.0)
+            ),
             AccessDecision::Deny(DenialReason::PurposeNotAllowed)
         );
     }
@@ -250,7 +271,10 @@ mod tests {
             e.decide(&r, &policy, &ctx(None, 1.0)),
             AccessDecision::Deny(DenialReason::ConditionFailed)
         );
-        assert_eq!(e.decide(&r, &policy, &ctx(Some(1), 1.0)), AccessDecision::Grant);
+        assert_eq!(
+            e.decide(&r, &policy, &ctx(Some(1), 1.0)),
+            AccessDecision::Grant
+        );
     }
 
     #[test]
@@ -276,7 +300,10 @@ mod tests {
             e.decide(&r, &policy, &ctx(Some(1), 0.69)),
             AccessDecision::Deny(DenialReason::InsufficientTrust)
         );
-        assert_eq!(e.decide(&r, &policy, &ctx(Some(1), 0.71)), AccessDecision::Grant);
+        assert_eq!(
+            e.decide(&r, &policy, &ctx(Some(1), 0.71)),
+            AccessDecision::Grant
+        );
     }
 
     #[test]
@@ -298,7 +325,10 @@ mod tests {
 
     #[test]
     fn denial_reasons_display() {
-        assert_eq!(DenialReason::InsufficientTrust.to_string(), "insufficient trust level");
+        assert_eq!(
+            DenialReason::InsufficientTrust.to_string(),
+            "insufficient trust level"
+        );
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! [`PrivacyFacetInputs`] carries those two measured quantities plus the
 //! OECD audit score; [`ExposureReport::facet`] combines them.
 
-use serde::{Deserialize, Serialize};
-
 /// The three measured inputs of the privacy facet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrivacyFacetInputs {
     /// Normalized information exposure in `[0, 1]` (0 = nothing shared):
     /// the disclosure policy's `exposure()` or a ledger-derived
@@ -22,7 +20,7 @@ pub struct PrivacyFacetInputs {
 }
 
 /// Weights for the three inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExposureWeights {
     /// Weight of (1 − exposure) — "information not shared".
     pub non_disclosure: f64,
@@ -36,12 +34,16 @@ impl Default for ExposureWeights {
     fn default() -> Self {
         // The paper names non-disclosure and PP respect as the two primary
         // readings; the audit is a structural backstop.
-        ExposureWeights { non_disclosure: 0.4, respect: 0.4, audit: 0.2 }
+        ExposureWeights {
+            non_disclosure: 0.4,
+            respect: 0.4,
+            audit: 0.2,
+        }
     }
 }
 
 /// The privacy facet and its decomposition.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExposureReport {
     /// The inputs that produced this report.
     pub inputs: PrivacyFacetInputs,
@@ -83,7 +85,10 @@ impl PrivacyFacetInputs {
             + weights.respect * self.respect_rate
             + weights.audit * self.oecd_score)
             / total;
-        ExposureReport { inputs: *self, facet }
+        ExposureReport {
+            inputs: *self,
+            facet,
+        }
     }
 
     /// Computes the facet under default weights.
@@ -98,20 +103,36 @@ mod tests {
 
     #[test]
     fn perfect_privacy_scores_one() {
-        let r = PrivacyFacetInputs { exposure: 0.0, respect_rate: 1.0, oecd_score: 1.0 }.facet();
+        let r = PrivacyFacetInputs {
+            exposure: 0.0,
+            respect_rate: 1.0,
+            oecd_score: 1.0,
+        }
+        .facet();
         assert_eq!(r.facet, 1.0);
     }
 
     #[test]
     fn total_exposure_with_breaches_scores_zero() {
-        let r = PrivacyFacetInputs { exposure: 1.0, respect_rate: 0.0, oecd_score: 0.0 }.facet();
+        let r = PrivacyFacetInputs {
+            exposure: 1.0,
+            respect_rate: 0.0,
+            oecd_score: 0.0,
+        }
+        .facet();
         assert_eq!(r.facet, 0.0);
     }
 
     #[test]
     fn facet_decreases_with_exposure() {
         let f = |e: f64| {
-            PrivacyFacetInputs { exposure: e, respect_rate: 0.9, oecd_score: 0.8 }.facet().facet
+            PrivacyFacetInputs {
+                exposure: e,
+                respect_rate: 0.9,
+                oecd_score: 0.8,
+            }
+            .facet()
+            .facet
         };
         assert!(f(0.0) > f(0.5));
         assert!(f(0.5) > f(1.0));
@@ -120,31 +141,58 @@ mod tests {
     #[test]
     fn facet_increases_with_respect() {
         let f = |r: f64| {
-            PrivacyFacetInputs { exposure: 0.5, respect_rate: r, oecd_score: 0.8 }.facet().facet
+            PrivacyFacetInputs {
+                exposure: 0.5,
+                respect_rate: r,
+                oecd_score: 0.8,
+            }
+            .facet()
+            .facet
         };
         assert!(f(1.0) > f(0.5));
     }
 
     #[test]
     fn custom_weights_reweight() {
-        let inputs = PrivacyFacetInputs { exposure: 1.0, respect_rate: 1.0, oecd_score: 0.0 };
-        let only_respect = ExposureWeights { non_disclosure: 0.0, respect: 1.0, audit: 0.0 };
+        let inputs = PrivacyFacetInputs {
+            exposure: 1.0,
+            respect_rate: 1.0,
+            oecd_score: 0.0,
+        };
+        let only_respect = ExposureWeights {
+            non_disclosure: 0.0,
+            respect: 1.0,
+            audit: 0.0,
+        };
         assert_eq!(inputs.facet_with(&only_respect).facet, 1.0);
-        let only_disclosure = ExposureWeights { non_disclosure: 1.0, respect: 0.0, audit: 0.0 };
+        let only_disclosure = ExposureWeights {
+            non_disclosure: 1.0,
+            respect: 0.0,
+            audit: 0.0,
+        };
         assert_eq!(inputs.facet_with(&only_disclosure).facet, 0.0);
     }
 
     #[test]
     #[should_panic(expected = "invalid privacy facet inputs")]
     fn invalid_inputs_panic() {
-        let _ = PrivacyFacetInputs { exposure: 2.0, respect_rate: 0.5, oecd_score: 0.5 }.facet();
+        let _ = PrivacyFacetInputs {
+            exposure: 2.0,
+            respect_rate: 0.5,
+            oecd_score: 0.5,
+        }
+        .facet();
     }
 
     #[test]
     fn validation_messages_name_the_field() {
-        let e = PrivacyFacetInputs { exposure: 0.5, respect_rate: 1.5, oecd_score: 0.5 }
-            .validate()
-            .unwrap_err();
+        let e = PrivacyFacetInputs {
+            exposure: 0.5,
+            respect_rate: 1.5,
+            oecd_score: 0.5,
+        }
+        .validate()
+        .unwrap_err();
         assert!(e.contains("respect_rate"));
     }
 }

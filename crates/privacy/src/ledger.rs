@@ -8,11 +8,10 @@
 //! manner" — [`BreachCause`] keeps them apart.
 
 use crate::policy::{DataCategory, Purpose};
-use serde::{Deserialize, Serialize};
 use tsn_simnet::{NodeId, SimTime};
 
 /// Who is to blame for a breach.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BreachCause {
     /// A malicious *user* leaked data they were granted.
     MaliciousUser,
@@ -22,7 +21,7 @@ pub enum BreachCause {
 }
 
 /// One recorded data flow.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DisclosureRecord {
     /// When it happened.
     pub at: SimTime,
@@ -55,7 +54,7 @@ pub struct DisclosureRecord {
 /// assert_eq!(ledger.respect_rate(), 0.5);
 /// assert_eq!(ledger.breach_count(Some(BreachCause::System)), 0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DisclosureLedger {
     records: Vec<DisclosureRecord>,
 }
@@ -206,9 +205,30 @@ mod tests {
     #[test]
     fn respect_rate_counts_breaches() {
         let mut l = DisclosureLedger::new();
-        l.record_disclosure(t(1), NodeId(0), NodeId(1), DataCategory::Content, Purpose::Social, false);
-        l.record_disclosure(t(2), NodeId(0), NodeId(2), DataCategory::Content, Purpose::Social, false);
-        l.record_breach(t(3), NodeId(0), NodeId(3), DataCategory::Content, Purpose::Commercial, BreachCause::System);
+        l.record_disclosure(
+            t(1),
+            NodeId(0),
+            NodeId(1),
+            DataCategory::Content,
+            Purpose::Social,
+            false,
+        );
+        l.record_disclosure(
+            t(2),
+            NodeId(0),
+            NodeId(2),
+            DataCategory::Content,
+            Purpose::Social,
+            false,
+        );
+        l.record_breach(
+            t(3),
+            NodeId(0),
+            NodeId(3),
+            DataCategory::Content,
+            Purpose::Commercial,
+            BreachCause::System,
+        );
         assert!((l.respect_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(l.breach_count(None), 1);
         assert_eq!(l.breach_count(Some(BreachCause::System)), 1);
@@ -218,8 +238,22 @@ mod tests {
     #[test]
     fn per_owner_rates_are_independent() {
         let mut l = DisclosureLedger::new();
-        l.record_disclosure(t(1), NodeId(0), NodeId(9), DataCategory::Profile, Purpose::Social, false);
-        l.record_breach(t(2), NodeId(1), NodeId(9), DataCategory::Profile, Purpose::Social, BreachCause::MaliciousUser);
+        l.record_disclosure(
+            t(1),
+            NodeId(0),
+            NodeId(9),
+            DataCategory::Profile,
+            Purpose::Social,
+            false,
+        );
+        l.record_breach(
+            t(2),
+            NodeId(1),
+            NodeId(9),
+            DataCategory::Profile,
+            Purpose::Social,
+            BreachCause::MaliciousUser,
+        );
         assert_eq!(l.respect_rate_for(NodeId(0)), 1.0);
         assert_eq!(l.respect_rate_for(NodeId(1)), 0.0);
         assert_eq!(l.respect_rate_for(NodeId(7)), 1.0, "no data, no violation");
@@ -228,8 +262,22 @@ mod tests {
     #[test]
     fn exposure_weights_sensitivity_and_anonymization() {
         let mut l = DisclosureLedger::new();
-        l.record_disclosure(t(1), NodeId(0), NodeId(1), DataCategory::Location, Purpose::Social, false);
-        l.record_disclosure(t(2), NodeId(0), NodeId(1), DataCategory::Location, Purpose::Social, true);
+        l.record_disclosure(
+            t(1),
+            NodeId(0),
+            NodeId(1),
+            DataCategory::Location,
+            Purpose::Social,
+            false,
+        );
+        l.record_disclosure(
+            t(2),
+            NodeId(0),
+            NodeId(1),
+            DataCategory::Location,
+            Purpose::Social,
+            true,
+        );
         let expected = 1.0 + 0.25;
         assert!((l.exposure_for(NodeId(0)) - expected).abs() < 1e-12);
         assert!((l.total_exposure() - expected).abs() < 1e-12);
@@ -239,7 +287,14 @@ mod tests {
     fn purge_enforces_retention() {
         let mut l = DisclosureLedger::new();
         for s in 0..10 {
-            l.record_disclosure(t(s), NodeId(0), NodeId(1), DataCategory::Content, Purpose::Social, false);
+            l.record_disclosure(
+                t(s),
+                NodeId(0),
+                NodeId(1),
+                DataCategory::Content,
+                Purpose::Social,
+                false,
+            );
         }
         let purged = l.purge_before(t(5));
         assert_eq!(purged, 5);
@@ -250,8 +305,22 @@ mod tests {
     #[test]
     fn records_for_filters_by_owner() {
         let mut l = DisclosureLedger::new();
-        l.record_disclosure(t(1), NodeId(0), NodeId(1), DataCategory::Content, Purpose::Social, false);
-        l.record_disclosure(t(2), NodeId(1), NodeId(0), DataCategory::Content, Purpose::Social, false);
+        l.record_disclosure(
+            t(1),
+            NodeId(0),
+            NodeId(1),
+            DataCategory::Content,
+            Purpose::Social,
+            false,
+        );
+        l.record_disclosure(
+            t(2),
+            NodeId(1),
+            NodeId(0),
+            DataCategory::Content,
+            Purpose::Social,
+            false,
+        );
         assert_eq!(l.records_for(NodeId(0)).count(), 1);
         assert_eq!(l.records_for(NodeId(1)).count(), 1);
         assert_eq!(l.records_for(NodeId(2)).count(), 0);

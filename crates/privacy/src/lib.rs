@@ -38,8 +38,8 @@ pub use enforcement::{AccessDecision, AccessRequest, DenialReason, Enforcer};
 pub use exposure::{ExposureReport, PrivacyFacetInputs};
 pub use ledger::{BreachCause, DisclosureLedger, DisclosureRecord};
 pub use oecd::{OecdAudit, OecdPrinciple, SystemPrivacyProfile};
-pub use retention::{HeldCopy, RetentionTracker};
 pub use policy::{
     AccessCondition, DataCategory, Obligation, Operation, PolicyError, PrivacyPolicy, Purpose,
 };
+pub use retention::{HeldCopy, RetentionTracker};
 pub use tsn_simnet::NodeId;

@@ -6,11 +6,10 @@
 //! each principle, yielding a per-principle score and an overall `[0, 1]`
 //! audit score that feeds the privacy facet.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The eight OECD privacy principles (1980 guidelines).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OecdPrinciple {
     /// Data collection is limited to what is needed.
     CollectionLimitation,
@@ -62,7 +61,7 @@ impl fmt::Display for OecdPrinciple {
 
 /// Structural facts about how a system configuration treats personal
 /// data; the audit's input. All fractions/levels are in `[0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemPrivacyProfile {
     /// Fraction of *potentially collectable* fields the system actually
     /// collects (lower = better collection limitation). The disclosure
@@ -103,7 +102,7 @@ impl SystemPrivacyProfile {
 }
 
 /// The audit result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OecdAudit {
     scores: Vec<(OecdPrinciple, f64)>,
 }
@@ -121,14 +120,29 @@ impl OecdAudit {
         }
         let b = |x: bool| if x { 1.0 } else { 0.0 };
         let scores = vec![
-            (OecdPrinciple::CollectionLimitation, 1.0 - profile.collection_fraction),
-            (OecdPrinciple::PurposeSpecification, b(profile.purposes_declared)),
+            (
+                OecdPrinciple::CollectionLimitation,
+                1.0 - profile.collection_fraction,
+            ),
+            (
+                OecdPrinciple::PurposeSpecification,
+                b(profile.purposes_declared),
+            ),
             (OecdPrinciple::UseLimitation, profile.purpose_respect_rate),
             (OecdPrinciple::DataQuality, b(profile.data_quality_controls)),
-            (OecdPrinciple::SecuritySafeguards, b(profile.safeguards_active)),
+            (
+                OecdPrinciple::SecuritySafeguards,
+                b(profile.safeguards_active),
+            ),
             (OecdPrinciple::Openness, b(profile.policies_published)),
-            (OecdPrinciple::IndividualParticipation, b(profile.user_controls)),
-            (OecdPrinciple::Accountability, b(profile.breaches_attributed)),
+            (
+                OecdPrinciple::IndividualParticipation,
+                b(profile.user_controls),
+            ),
+            (
+                OecdPrinciple::Accountability,
+                b(profile.breaches_attributed),
+            ),
         ];
         OecdAudit { scores }
     }
@@ -227,7 +241,10 @@ mod tests {
         let failing = audit.failing(0.5);
         assert_eq!(
             failing,
-            vec![OecdPrinciple::UseLimitation, OecdPrinciple::SecuritySafeguards]
+            vec![
+                OecdPrinciple::UseLimitation,
+                OecdPrinciple::SecuritySafeguards
+            ]
         );
     }
 

@@ -6,13 +6,12 @@
 //! necessary to allow data access"*. [`PrivacyPolicy`] carries exactly
 //! those seven elements, per [`DataCategory`].
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use tsn_simnet::{NodeId, SimDuration};
 
 /// Categories of personal data a social-network profile holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DataCategory {
     /// Name, photo, public profile.
     Profile,
@@ -67,7 +66,7 @@ impl fmt::Display for DataCategory {
 }
 
 /// Operations a requester may perform on data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Operation {
     /// Read the data.
     Read,
@@ -80,7 +79,7 @@ pub enum Operation {
 }
 
 /// Purposes a requester may invoke (P3P purpose element).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Purpose {
     /// Social interaction between users.
     Social,
@@ -95,7 +94,7 @@ pub enum Purpose {
 }
 
 /// Conditions attached to an access grant.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessCondition {
     /// Requester must be a direct friend (graph neighbour).
     FriendsOnly,
@@ -106,7 +105,7 @@ pub enum AccessCondition {
 }
 
 /// Obligations the recipient accepts (P3P/PriServ obligation element).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Obligation {
     /// Delete after the retention period.
     DeleteAfterRetention,
@@ -131,7 +130,10 @@ impl fmt::Display for PolicyError {
         match self {
             PolicyError::InvalidTrustLevel => write!(f, "minimal trust level must be in [0,1]"),
             PolicyError::ContradictoryRetention => {
-                write!(f, "zero retention contradicts delete-after-retention obligation")
+                write!(
+                    f,
+                    "zero retention contradicts delete-after-retention obligation"
+                )
             }
         }
     }
@@ -155,7 +157,7 @@ impl std::error::Error for PolicyError {}
 /// assert!(policy.strictness() > PrivacyPolicy::permissive(DataCategory::Content).strictness());
 /// # Ok::<(), tsn_privacy::PolicyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrivacyPolicy {
     /// The data category this policy governs.
     pub category: DataCategory,
@@ -187,7 +189,11 @@ impl PrivacyPolicy {
     pub fn permissive(category: DataCategory) -> Self {
         PrivacyPolicy::builder(category)
             .allow_operations([Operation::Read, Operation::Store, Operation::Aggregate])
-            .allow_purposes([Purpose::Social, Purpose::Reputation, Purpose::SystemOperation])
+            .allow_purposes([
+                Purpose::Social,
+                Purpose::Reputation,
+                Purpose::SystemOperation,
+            ])
             .retention(SimDuration::from_secs(30 * 24 * 3600))
             .build()
             .expect("permissive policy is valid")
@@ -354,7 +360,9 @@ mod tests {
 
     #[test]
     fn invalid_trust_level_rejected() {
-        let r = PrivacyPolicy::builder(DataCategory::Profile).min_trust_level(1.5).build();
+        let r = PrivacyPolicy::builder(DataCategory::Profile)
+            .min_trust_level(1.5)
+            .build();
         assert_eq!(r.unwrap_err(), PolicyError::InvalidTrustLevel);
     }
 
@@ -417,7 +425,9 @@ mod tests {
             .authorize_users([])
             .build()
             .unwrap();
-        let anybody = PrivacyPolicy::builder(DataCategory::Profile).build().unwrap();
+        let anybody = PrivacyPolicy::builder(DataCategory::Profile)
+            .build()
+            .unwrap();
         assert!(nobody.strictness() > anybody.strictness());
     }
 }

@@ -9,11 +9,10 @@
 //! assumed — values.
 
 use crate::policy::{DataCategory, PrivacyPolicy};
-use serde::{Deserialize, Serialize};
 use tsn_simnet::{NodeId, SimTime};
 
 /// One live copy of personal data held by a recipient.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HeldCopy {
     /// Whose data.
     pub owner: NodeId,
@@ -28,7 +27,7 @@ pub struct HeldCopy {
 }
 
 /// Tracks granted copies and deletion compliance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RetentionTracker {
     live: Vec<HeldCopy>,
     deleted_on_time: u64,
@@ -151,7 +150,12 @@ mod tests {
     #[test]
     fn grants_track_expiry_from_policy() {
         let mut t = RetentionTracker::new();
-        let copy = t.grant(NodeId(0), NodeId(1), &policy_with_retention(100), SimTime::from_secs(50));
+        let copy = t.grant(
+            NodeId(0),
+            NodeId(1),
+            &policy_with_retention(100),
+            SimTime::from_secs(50),
+        );
         assert_eq!(copy.expires_at, SimTime::from_secs(150));
         assert_eq!(t.live_copies(), 1);
         assert_eq!(t.live_copies_of(NodeId(0)), 1);
@@ -161,7 +165,12 @@ mod tests {
     #[test]
     fn timely_deletion_is_compliant() {
         let mut t = RetentionTracker::new();
-        t.grant(NodeId(0), NodeId(1), &policy_with_retention(100), SimTime::ZERO);
+        t.grant(
+            NodeId(0),
+            NodeId(1),
+            &policy_with_retention(100),
+            SimTime::ZERO,
+        );
         let removed = t.delete(NodeId(1), NodeId(0), SimTime::from_secs(80));
         assert_eq!(removed, 1);
         assert_eq!(t.compliance_rate(), 1.0);
@@ -172,7 +181,12 @@ mod tests {
     #[test]
     fn late_deletion_is_a_violation() {
         let mut t = RetentionTracker::new();
-        t.grant(NodeId(0), NodeId(1), &policy_with_retention(100), SimTime::ZERO);
+        t.grant(
+            NodeId(0),
+            NodeId(1),
+            &policy_with_retention(100),
+            SimTime::ZERO,
+        );
         t.delete(NodeId(1), NodeId(0), SimTime::from_secs(200));
         assert_eq!(t.compliance_rate(), 0.0);
         assert_eq!(t.violations(), 1);
@@ -184,7 +198,8 @@ mod tests {
         let p = policy_with_retention(10);
         t.grant(NodeId(0), NodeId(1), &p, SimTime::ZERO); // holder 1 honours
         t.grant(NodeId(0), NodeId(2), &p, SimTime::ZERO); // holder 2 does not
-        let (honoured, violated) = t.sweep_expired(SimTime::from_secs(60), |c| c.holder == NodeId(1));
+        let (honoured, violated) =
+            t.sweep_expired(SimTime::from_secs(60), |c| c.holder == NodeId(1));
         assert_eq!((honoured, violated), (1, 1));
         assert_eq!(t.compliance_rate(), 0.5);
         assert_eq!(t.live_copies(), 0);
@@ -193,7 +208,12 @@ mod tests {
     #[test]
     fn sweep_leaves_unexpired_copies() {
         let mut t = RetentionTracker::new();
-        t.grant(NodeId(0), NodeId(1), &policy_with_retention(1000), SimTime::ZERO);
+        t.grant(
+            NodeId(0),
+            NodeId(1),
+            &policy_with_retention(1000),
+            SimTime::ZERO,
+        );
         let (honoured, violated) = t.sweep_expired(SimTime::from_secs(10), |_| true);
         assert_eq!((honoured, violated), (0, 0));
         assert_eq!(t.live_copies(), 1);

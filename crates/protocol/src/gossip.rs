@@ -17,7 +17,7 @@ use tsn_graph::Graph;
 use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration, SimRng};
 
 /// Gossip parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GossipConfig {
     /// Number of subjects being scored (usually the node count).
     pub subjects: usize,
@@ -27,12 +27,15 @@ pub struct GossipConfig {
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        GossipConfig { subjects: 0, round_length: SimDuration::from_millis(100) }
+        GossipConfig {
+            subjects: 0,
+            round_length: SimDuration::from_millis(100),
+        }
     }
 }
 
 /// A snapshot of one node's estimate quality.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GossipReport {
     /// Max absolute error of local score estimates vs the oracle.
     pub max_error: f64,
@@ -68,7 +71,11 @@ impl GossipNetwork {
     pub fn new(graph: Graph, network: Network, config: GossipConfig, rng: SimRng) -> Self {
         assert!(config.subjects > 0, "subjects must be positive");
         let n = graph.node_count();
-        assert_eq!(n, network.node_count(), "graph and network must agree on node count");
+        assert_eq!(
+            n,
+            network.node_count(),
+            "graph and network must agree on node count"
+        );
         GossipNetwork {
             driver: RoundDriver::new(network, config.round_length),
             graph,
@@ -97,7 +104,16 @@ impl GossipNetwork {
 
     /// Executes one push-sum round.
     pub fn round(&mut self) {
-        let GossipNetwork { driver, graph, rng, weight, sums, counts, config, .. } = self;
+        let GossipNetwork {
+            driver,
+            graph,
+            rng,
+            weight,
+            sums,
+            counts,
+            config,
+            ..
+        } = self;
         let subjects = config.subjects;
         driver.round(|node, inbox| {
             let i = node.index();
@@ -120,13 +136,13 @@ impl GossipNetwork {
             weight[i] /= 2.0;
             let mut fields = Vec::with_capacity(1 + 2 * subjects);
             fields.push(weight[i]);
-            for k in 0..subjects {
-                sums[i][k] /= 2.0;
-                fields.push(sums[i][k]);
+            for sum in sums[i].iter_mut().take(subjects) {
+                *sum /= 2.0;
+                fields.push(*sum);
             }
-            for k in 0..subjects {
-                counts[i][k] /= 2.0;
-                fields.push(counts[i][k]);
+            for count in counts[i].iter_mut().take(subjects) {
+                *count /= 2.0;
+                fields.push(*count);
             }
             vec![(target, Payload::record("pushsum", fields))]
         });
@@ -178,7 +194,11 @@ impl GossipNetwork {
         }
         GossipReport {
             max_error,
-            mean_error: if samples == 0 { 0.0 } else { total / samples as f64 },
+            mean_error: if samples == 0 {
+                0.0
+            } else {
+                total / samples as f64
+            },
             costs: self.driver.costs(),
         }
     }
@@ -218,13 +238,20 @@ mod tests {
         let graph = generators::watts_strogatz(n, 6, 0.1, &mut rng).unwrap();
         let config = NetworkConfig {
             latency: Box::new(ConstantLatency(SimDuration::from_millis(10))),
-            loss: if loss > 0.0 { Box::new(BernoulliLoss::new(loss)) } else { Box::new(NoLoss) },
+            loss: if loss > 0.0 {
+                Box::new(BernoulliLoss::new(loss))
+            } else {
+                Box::new(NoLoss)
+            },
         };
         let mut network = Network::new(config, rng.fork(1));
         for _ in 0..n {
             network.add_node();
         }
-        let gossip_config = GossipConfig { subjects: n, ..Default::default() };
+        let gossip_config = GossipConfig {
+            subjects: n,
+            ..Default::default()
+        };
         GossipNetwork::new(graph, network, gossip_config, rng.fork(2))
     }
 
@@ -234,7 +261,7 @@ mod tests {
             let observer = NodeId(rng.gen_range(0..n as u32));
             let subject = rng.gen_range(0..n);
             // Even subjects are good (0.9), odd are bad (0.2).
-            let value = if subject % 2 == 0 { 0.9 } else { 0.2 };
+            let value = if subject.is_multiple_of(2) { 0.9 } else { 0.2 };
             g.observe(observer, subject, value);
         }
     }
@@ -247,8 +274,15 @@ mod tests {
         let before = g.report();
         g.run(40);
         let after = g.report();
-        assert!(after.mean_error < before.mean_error / 3.0, "{before:?} -> {after:?}");
-        assert!(after.mean_error < 0.05, "converged error {:.4}", after.mean_error);
+        assert!(
+            after.mean_error < before.mean_error / 3.0,
+            "{before:?} -> {after:?}"
+        );
+        assert!(
+            after.mean_error < 0.05,
+            "converged error {:.4}",
+            after.mean_error
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use tsn_simnet::{Envelope, Network, NodeId, SimDuration, SimTime};
 
 /// Aggregate protocol costs, reported by every experiment.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProtocolCosts {
     /// Messages sent.
     pub messages: u64,
@@ -33,7 +33,12 @@ impl RoundDriver {
     /// Wraps a network; `round_length` must exceed the typical one-way
     /// latency or most traffic arrives a round late (allowed, but slow).
     pub fn new(network: Network, round_length: SimDuration) -> Self {
-        RoundDriver { network, now: SimTime::ZERO, round_length, rounds_run: 0 }
+        RoundDriver {
+            network,
+            now: SimTime::ZERO,
+            round_length,
+            rounds_run: 0,
+        }
     }
 
     /// The simulated clock.
@@ -114,7 +119,9 @@ mod tests {
         let received = std::cell::RefCell::new(Vec::new());
         // Round 1: node 0 sends to node 1; nothing delivered yet.
         d.round(|node, inbox| {
-            received.borrow_mut().extend(inbox.iter().map(|e| (node, e.from)));
+            received
+                .borrow_mut()
+                .extend(inbox.iter().map(|e| (node, e.from)));
             if node == NodeId(0) {
                 vec![(NodeId(1), Payload::from("ping"))]
             } else {
@@ -124,7 +131,9 @@ mod tests {
         assert!(received.borrow().is_empty());
         // Round 2: the ping arrives.
         d.round(|node, inbox| {
-            received.borrow_mut().extend(inbox.iter().map(|e| (node, e.from)));
+            received
+                .borrow_mut()
+                .extend(inbox.iter().map(|e| (node, e.from)));
             vec![]
         });
         assert_eq!(*received.borrow(), vec![(NodeId(1), NodeId(0))]);

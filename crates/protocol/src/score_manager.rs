@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration};
 
 /// Manager-protocol parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ManagerConfig {
     /// Replicas per subject.
     pub replicas: usize,
@@ -22,12 +22,15 @@ pub struct ManagerConfig {
 
 impl Default for ManagerConfig {
     fn default() -> Self {
-        ManagerConfig { replicas: 3, round_length: SimDuration::from_millis(100) }
+        ManagerConfig {
+            replicas: 3,
+            round_length: SimDuration::from_millis(100),
+        }
     }
 }
 
 /// Estimate quality snapshot (see [`ManagerNetwork::report`]).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ManagerReport {
     /// Mean absolute error of answered queries vs the oracle.
     pub mean_error: f64,
@@ -132,7 +135,13 @@ impl ManagerNetwork {
     /// then processes whatever arrived (reports stored, queries answered,
     /// answers collected).
     pub fn round(&mut self) {
-        let ManagerNetwork { driver, stores, pending, answers, .. } = self;
+        let ManagerNetwork {
+            driver,
+            stores,
+            pending,
+            answers,
+            ..
+        } = self;
         let mut outbox: HashMap<NodeId, Vec<(NodeId, Payload)>> = HashMap::new();
         for (from, to, payload) in pending.drain(..) {
             outbox.entry(from).or_default().push((to, payload));
@@ -147,8 +156,10 @@ impl ManagerNetwork {
                         shard.count += 1.0;
                     }
                     Some(Msg::Query { subject }) => {
-                        let shard =
-                            stores[node.index()].get(&subject).copied().unwrap_or_default();
+                        let shard = stores[node.index()]
+                            .get(&subject)
+                            .copied()
+                            .unwrap_or_default();
                         let score = (shard.sum + 1.0) / (shard.count + 2.0);
                         sends.push((
                             envelope.from,
@@ -175,9 +186,9 @@ impl ManagerNetwork {
     /// The answer `requester` holds about `subject`: the mean of replica
     /// answers, or `None` if nothing arrived (yet).
     pub fn answer(&self, requester: NodeId, subject: NodeId) -> Option<f64> {
-        self.answers.get(&(requester.0, subject.0)).map(|scores| {
-            scores.iter().sum::<f64>() / scores.len() as f64
-        })
+        self.answers
+            .get(&(requester.0, subject.0))
+            .map(|scores| scores.iter().sum::<f64>() / scores.len() as f64)
     }
 
     /// The oracle score a centralized aggregator would hold.
@@ -225,13 +236,17 @@ enum Msg {
 fn classify(envelope: &Envelope) -> Option<Msg> {
     match &envelope.payload {
         Payload::Record { tag, fields } => match (tag.as_str(), fields.as_slice()) {
-            ("mgr.report", [subject, value]) => {
-                Some(Msg::Report { subject: *subject as u32, value: *value })
-            }
-            ("mgr.query", [subject]) => Some(Msg::Query { subject: *subject as u32 }),
-            ("mgr.answer", [subject, score]) => {
-                Some(Msg::Answer { subject: *subject as u32, score: *score })
-            }
+            ("mgr.report", [subject, value]) => Some(Msg::Report {
+                subject: *subject as u32,
+                value: *value,
+            }),
+            ("mgr.query", [subject]) => Some(Msg::Query {
+                subject: *subject as u32,
+            }),
+            ("mgr.answer", [subject, score]) => Some(Msg::Answer {
+                subject: *subject as u32,
+                score: *score,
+            }),
             _ => None,
         },
         _ => None,
@@ -246,13 +261,23 @@ mod tests {
     fn build(n: usize, replicas: usize, loss: f64, seed: u64) -> ManagerNetwork {
         let config = NetworkConfig {
             latency: Box::new(ConstantLatency(SimDuration::from_millis(10))),
-            loss: if loss > 0.0 { Box::new(BernoulliLoss::new(loss)) } else { Box::new(NoLoss) },
+            loss: if loss > 0.0 {
+                Box::new(BernoulliLoss::new(loss))
+            } else {
+                Box::new(NoLoss)
+            },
         };
         let mut network = Network::new(config, SimRng::seed_from_u64(seed));
         for _ in 0..n {
             network.add_node();
         }
-        ManagerNetwork::new(network, ManagerConfig { replicas, ..Default::default() })
+        ManagerNetwork::new(
+            network,
+            ManagerConfig {
+                replicas,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -282,7 +307,10 @@ mod tests {
         m.run(3); // query travels, is answered, answer returns
         let answer = m.answer(NodeId(2), NodeId(7)).expect("answer arrived");
         let oracle = m.oracle(NodeId(7));
-        assert!((answer - oracle).abs() < 1e-9, "answer {answer} vs oracle {oracle}");
+        assert!(
+            (answer - oracle).abs() < 1e-9,
+            "answer {answer} vs oracle {oracle}"
+        );
         assert!((oracle - (0.8 * 5.0 + 1.0) / 7.0).abs() < 1e-12);
     }
 
@@ -307,7 +335,9 @@ mod tests {
         m.network_mut().set_alive(victim, false);
         m.submit_query(NodeId(1), NodeId(9));
         m.run(3);
-        let answer = m.answer(NodeId(1), NodeId(9)).expect("remaining replicas answer");
+        let answer = m
+            .answer(NodeId(1), NodeId(9))
+            .expect("remaining replicas answer");
         assert!(answer > 0.5, "evidence survives a replica crash: {answer}");
     }
 
@@ -323,7 +353,11 @@ mod tests {
         }
         m.submit_query(NodeId(1), NodeId(3));
         m.run(4);
-        assert_eq!(m.answer(NodeId(1), NodeId(3)), None, "no replica left to answer");
+        assert_eq!(
+            m.answer(NodeId(1), NodeId(3)),
+            None,
+            "no replica left to answer"
+        );
         let report = m.report();
         assert!(report.answer_rate < 1.0);
     }
@@ -351,7 +385,11 @@ mod tests {
         let mut m = build(10, 3, 0.0, 6);
         m.submit_report(NodeId(0), NodeId(1), 0.5);
         m.round();
-        assert_eq!(m.report().costs.messages, 3, "one report → replicas messages");
+        assert_eq!(
+            m.report().costs.messages,
+            3,
+            "one report → replicas messages"
+        );
     }
 
     #[test]

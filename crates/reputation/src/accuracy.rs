@@ -13,11 +13,10 @@
 //!   message overhead, mapped through `1 / (1 + cost)`.
 
 use crate::mechanism::ReputationMechanism;
-use serde::{Deserialize, Serialize};
 use tsn_simnet::NodeId;
 
 /// Weights for combining the three power components.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MechanismPower {
     /// Weight of consistency-with-reality (the paper: "most of all").
     pub consistency_weight: f64,
@@ -30,12 +29,16 @@ pub struct MechanismPower {
 impl Default for MechanismPower {
     fn default() -> Self {
         // "most of all, consistency with the reality"
-        MechanismPower { consistency_weight: 0.5, reliability_weight: 0.3, efficiency_weight: 0.2 }
+        MechanismPower {
+            consistency_weight: 0.5,
+            reliability_weight: 0.3,
+            efficiency_weight: 0.2,
+        }
     }
 }
 
 /// The measured power of a mechanism against a ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerReport {
     /// Spearman rank correlation with true quality, mapped to `[0, 1]`.
     pub consistency: f64,
@@ -54,7 +57,8 @@ pub struct PowerReport {
 impl PowerReport {
     /// The combined power score in `[0, 1]` under `weights`.
     pub fn power(&self, weights: &MechanismPower) -> f64 {
-        let total = weights.consistency_weight + weights.reliability_weight + weights.efficiency_weight;
+        let total =
+            weights.consistency_weight + weights.reliability_weight + weights.efficiency_weight;
         assert!(total > 0.0, "power weights must not all be zero");
         (weights.consistency_weight * self.consistency
             + weights.reliability_weight * self.reliability
@@ -81,7 +85,9 @@ pub fn evaluate(
     let n = mechanism.len();
     assert_eq!(true_quality.len(), n, "quality vector length mismatch");
     assert_eq!(adversarial.len(), n, "adversarial vector length mismatch");
-    let scores: Vec<f64> = (0..n).map(|i| mechanism.score(NodeId::from_index(i))).collect();
+    let scores: Vec<f64> = (0..n)
+        .map(|i| mechanism.score(NodeId::from_index(i)))
+        .collect();
 
     // Consistency: Spearman mapped from [-1, 1] to [0, 1]; an undefined
     // correlation (constant scores) counts as zero consistency.
@@ -187,7 +193,11 @@ mod tests {
         let truth = [0.9, 0.9, 0.1, 0.1];
         let adv = [false, false, true, true];
         let report = evaluate(&m, &truth, &adv, 0);
-        assert!(report.consistency > 0.9, "consistency {}", report.consistency);
+        assert!(
+            report.consistency > 0.9,
+            "consistency {}",
+            report.consistency
+        );
         assert_eq!(report.reliability, 1.0);
         assert!(report.rmse < 0.2, "rmse {}", report.rmse);
         assert!(report.power(&MechanismPower::default()) > 0.8);
@@ -222,7 +232,10 @@ mod tests {
 
     #[test]
     fn detection_degenerate_populations() {
-        assert_eq!(balanced_detection_accuracy(&[0.5, 0.6], &[false, false]), 0.5);
+        assert_eq!(
+            balanced_detection_accuracy(&[0.5, 0.6], &[false, false]),
+            0.5
+        );
         assert_eq!(balanced_detection_accuracy(&[0.5, 0.6], &[true, true]), 0.5);
     }
 
@@ -246,8 +259,11 @@ mod tests {
             iterations: 0,
             overhead_per_report: 0,
         };
-        let only_consistency =
-            MechanismPower { consistency_weight: 2.0, reliability_weight: 0.0, efficiency_weight: 0.0 };
+        let only_consistency = MechanismPower {
+            consistency_weight: 2.0,
+            reliability_weight: 0.0,
+            efficiency_weight: 0.0,
+        };
         assert_eq!(report.power(&only_consistency), 1.0);
         let balanced = MechanismPower::default();
         assert!((report.power(&balanced) - 0.5).abs() < 1e-12);

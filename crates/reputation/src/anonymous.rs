@@ -17,11 +17,10 @@
 
 use crate::gathering::ReportView;
 use crate::mechanism::{MechanismKind, ReputationMechanism};
-use serde::{Deserialize, Serialize};
 use tsn_simnet::{NodeId, SimRng};
 
 /// Anonymization strength.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnonymizationConfig {
     /// Probability that the rater identity is stripped from a report.
     pub strip_probability: f64,
@@ -32,7 +31,10 @@ pub struct AnonymizationConfig {
 
 impl Default for AnonymizationConfig {
     fn default() -> Self {
-        AnonymizationConfig { strip_probability: 1.0, flip_probability: 0.0 }
+        AnonymizationConfig {
+            strip_probability: 1.0,
+            flip_probability: 0.0,
+        }
     }
 }
 
@@ -84,7 +86,14 @@ impl<M: ReputationMechanism> Anonymized<M> {
         if let Err(e) = config.validate() {
             panic!("invalid anonymization config: {e}");
         }
-        Anonymized { inner, config, rng, stripped: 0, flipped: 0, total: 0 }
+        Anonymized {
+            inner,
+            config,
+            rng,
+            stripped: 0,
+            flipped: 0,
+            total: 0,
+        }
     }
 
     /// The wrapped mechanism.
@@ -185,7 +194,10 @@ mod tests {
         let inner = BetaReputation::new(2);
         let mut wrapped = Anonymized::new(
             inner,
-            AnonymizationConfig { strip_probability: 1.0, flip_probability: 0.0 },
+            AnonymizationConfig {
+                strip_probability: 1.0,
+                flip_probability: 0.0,
+            },
             SimRng::seed_from_u64(0),
         );
         for _ in 0..50 {
@@ -201,7 +213,10 @@ mod tests {
         let inner = BetaReputation::new(2);
         let mut wrapped = Anonymized::new(
             inner,
-            AnonymizationConfig { strip_probability: 0.0, flip_probability: 0.25 },
+            AnonymizationConfig {
+                strip_probability: 0.0,
+                flip_probability: 0.25,
+            },
             SimRng::seed_from_u64(1),
         );
         for _ in 0..4000 {
@@ -216,7 +231,10 @@ mod tests {
         let run = |flip: f64| {
             let mut wrapped = Anonymized::new(
                 BetaReputation::new(2),
-                AnonymizationConfig { strip_probability: 1.0, flip_probability: flip },
+                AnonymizationConfig {
+                    strip_probability: 1.0,
+                    flip_probability: flip,
+                },
                 SimRng::seed_from_u64(2),
             );
             for _ in 0..500 {
@@ -226,13 +244,22 @@ mod tests {
         };
         let clean = run(0.0);
         let noisy = run(0.3);
-        assert!(clean > noisy, "noise must pull the score down: {clean} vs {noisy}");
-        assert!((noisy - 0.7).abs() < 0.05, "randomized response converges to 1−p");
+        assert!(
+            clean > noisy,
+            "noise must pull the score down: {clean} vs {noisy}"
+        );
+        assert!(
+            (noisy - 0.7).abs() < 0.05,
+            "randomized response converges to 1−p"
+        );
     }
 
     #[test]
     fn epsilon_budget() {
-        let c = AnonymizationConfig { strip_probability: 1.0, flip_probability: 0.25 };
+        let c = AnonymizationConfig {
+            strip_probability: 1.0,
+            flip_probability: 0.25,
+        };
         assert!((c.epsilon() - 3.0f64.ln()).abs() < 1e-12);
         assert_eq!(AnonymizationConfig::default().epsilon(), f64::INFINITY);
     }
@@ -252,12 +279,18 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(AnonymizationConfig { strip_probability: 2.0, flip_probability: 0.0 }
-            .validate()
-            .is_err());
-        assert!(AnonymizationConfig { strip_probability: 0.5, flip_probability: 0.5 }
-            .validate()
-            .is_err());
+        assert!(AnonymizationConfig {
+            strip_probability: 2.0,
+            flip_probability: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(AnonymizationConfig {
+            strip_probability: 0.5,
+            flip_probability: 0.5
+        }
+        .validate()
+        .is_err());
         assert!(AnonymizationConfig::default().validate().is_ok());
     }
 

@@ -12,11 +12,10 @@
 
 use crate::gathering::FeedbackReport;
 use crate::mechanism::InteractionOutcome;
-use serde::{Deserialize, Serialize};
 use tsn_simnet::{NodeId, SimRng, SimTime};
 
 /// How a node behaves as a provider and as a rater.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BehaviorClass {
     /// Serves well; reports truthfully.
     Honest,
@@ -48,7 +47,9 @@ impl BehaviorClass {
     pub fn is_adversarial_provider(self, served: u64) -> bool {
         match self {
             BehaviorClass::Honest | BehaviorClass::Selfish => false,
-            BehaviorClass::Malicious | BehaviorClass::Whitewasher | BehaviorClass::Colluder { .. } => true,
+            BehaviorClass::Malicious
+            | BehaviorClass::Whitewasher
+            | BehaviorClass::Colluder { .. } => true,
             BehaviorClass::Traitor { switch_after } => served >= switch_after,
         }
     }
@@ -74,7 +75,7 @@ impl BehaviorClass {
 
 /// Mix of behaviour classes for building a [`Population`]. Fractions must
 /// sum to at most 1; the remainder is honest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopulationConfig {
     /// Fraction of plainly malicious nodes.
     pub malicious: f64,
@@ -119,7 +120,10 @@ impl PopulationConfig {
     /// A population with only a malicious fraction — the standard
     /// EigenTrust-style threat sweep.
     pub fn with_malicious(fraction: f64) -> Self {
-        PopulationConfig { malicious: fraction, ..Default::default() }
+        PopulationConfig {
+            malicious: fraction,
+            ..Default::default()
+        }
     }
 
     /// Validates fractions and qualities.
@@ -128,7 +132,13 @@ impl PopulationConfig {
     ///
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
-        let fractions = [self.malicious, self.selfish, self.traitor, self.whitewasher, self.colluder];
+        let fractions = [
+            self.malicious,
+            self.selfish,
+            self.traitor,
+            self.whitewasher,
+            self.colluder,
+        ];
         for f in fractions {
             if !(0.0..=1.0).contains(&f) {
                 return Err(format!("fraction {f} not in [0,1]"));
@@ -138,7 +148,11 @@ impl PopulationConfig {
         if total > 1.0 + 1e-9 {
             return Err(format!("fractions sum to {total} > 1"));
         }
-        for q in [self.honest_quality, self.adversarial_quality, self.selfish_refusal] {
+        for q in [
+            self.honest_quality,
+            self.adversarial_quality,
+            self.selfish_refusal,
+        ] {
             if !(0.0..=1.0).contains(&q) {
                 return Err(format!("probability {q} not in [0,1]"));
             }
@@ -191,7 +205,9 @@ impl Population {
         let mut classes = Vec::with_capacity(n);
         let n_colluders = count(config.colluder);
         for i in 0..n_colluders {
-            classes.push(BehaviorClass::Colluder { ring: (i / config.ring_size) as u16 });
+            classes.push(BehaviorClass::Colluder {
+                ring: (i / config.ring_size) as u16,
+            });
         }
         for _ in 0..count(config.malicious) {
             classes.push(BehaviorClass::Malicious);
@@ -200,7 +216,9 @@ impl Population {
             classes.push(BehaviorClass::Selfish);
         }
         for _ in 0..count(config.traitor) {
-            classes.push(BehaviorClass::Traitor { switch_after: config.traitor_switch_after });
+            classes.push(BehaviorClass::Traitor {
+                switch_after: config.traitor_switch_after,
+            });
         }
         for _ in 0..count(config.whitewasher) {
             classes.push(BehaviorClass::Whitewasher);
@@ -221,7 +239,12 @@ impl Population {
                 _ => config.adversarial_quality,
             })
             .collect();
-        Population { classes, base_quality, served: vec![0; n], config }
+        Population {
+            classes,
+            base_quality,
+            served: vec![0; n],
+            config,
+        }
     }
 
     /// Number of nodes.
@@ -263,7 +286,12 @@ impl Population {
     }
 
     /// Simulates one interaction where `provider` serves `consumer`.
-    pub fn interact(&mut self, provider: NodeId, _consumer: NodeId, rng: &mut SimRng) -> InteractionOutcome {
+    pub fn interact(
+        &mut self,
+        provider: NodeId,
+        _consumer: NodeId,
+        rng: &mut SimRng,
+    ) -> InteractionOutcome {
         let q = self.true_quality(provider);
         self.served[provider.index()] += 1;
         if rng.gen_bool(q) {
@@ -306,13 +334,21 @@ impl Population {
             }
             _ => actual,
         };
-        FeedbackReport { rater, ratee, outcome: reported, topic, at }
+        FeedbackReport {
+            rater,
+            ratee,
+            outcome: reported,
+            topic,
+            at,
+        }
     }
 
     /// Per-node ground-truth qualities (the "reality" a mechanism's
     /// consistency is judged against).
     pub fn true_qualities(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| self.true_quality(NodeId::from_index(i))).collect()
+        (0..self.len())
+            .map(|i| self.true_quality(NodeId::from_index(i)))
+            .collect()
     }
 
     /// Indices of currently adversarial nodes.
@@ -357,10 +393,14 @@ mod tests {
         let mut pop = pop0;
         let mut honest_ok = 0;
         let mut bad_ok = 0;
-        let honest: Vec<NodeId> =
-            (0..10).map(NodeId::from_index).filter(|&n| !pop.is_adversarial(n)).collect();
-        let bad: Vec<NodeId> =
-            (0..10).map(NodeId::from_index).filter(|&n| pop.is_adversarial(n)).collect();
+        let honest: Vec<NodeId> = (0..10)
+            .map(NodeId::from_index)
+            .filter(|&n| !pop.is_adversarial(n))
+            .collect();
+        let bad: Vec<NodeId> = (0..10)
+            .map(NodeId::from_index)
+            .filter(|&n| pop.is_adversarial(n))
+            .collect();
         for _ in 0..200 {
             if pop.interact(honest[0], NodeId(9), &mut rng).is_success() {
                 honest_ok += 1;
@@ -375,7 +415,11 @@ mod tests {
 
     #[test]
     fn traitor_switches_after_threshold() {
-        let config = PopulationConfig { traitor: 1.0, traitor_switch_after: 5, ..Default::default() };
+        let config = PopulationConfig {
+            traitor: 1.0,
+            traitor_switch_after: 5,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(2);
         let mut pop = Population::new(1, config, &mut rng);
         let t = NodeId(0);
@@ -406,7 +450,11 @@ mod tests {
 
     #[test]
     fn colluders_praise_ring_and_badmouth_outside() {
-        let config = PopulationConfig { colluder: 0.5, ring_size: 2, ..Default::default() };
+        let config = PopulationConfig {
+            colluder: 0.5,
+            ring_size: 2,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(4);
         let pop = Population::new(8, config, &mut rng);
         let colluders: Vec<NodeId> = (0..8)
@@ -431,29 +479,55 @@ mod tests {
             .expect("a ring of size 2 exists");
         let fail = InteractionOutcome::Failure;
         let praise = pop.feedback(a, b, fail, SimTime::ZERO, None);
-        assert!(praise.outcome.is_success(), "ring members praise each other");
-        let smear = pop.feedback(a, honest, InteractionOutcome::Success { quality: 1.0 }, SimTime::ZERO, None);
-        assert_eq!(smear.outcome, InteractionOutcome::Failure, "outsiders get badmouthed");
+        assert!(
+            praise.outcome.is_success(),
+            "ring members praise each other"
+        );
+        let smear = pop.feedback(
+            a,
+            honest,
+            InteractionOutcome::Success { quality: 1.0 },
+            SimTime::ZERO,
+            None,
+        );
+        assert_eq!(
+            smear.outcome,
+            InteractionOutcome::Failure,
+            "outsiders get badmouthed"
+        );
     }
 
     #[test]
     fn selfish_nodes_report_truthfully_but_serve_poorly() {
-        let config = PopulationConfig { selfish: 1.0, ..Default::default() };
+        let config = PopulationConfig {
+            selfish: 1.0,
+            ..Default::default()
+        };
         let mut rng = SimRng::seed_from_u64(5);
         let pop = Population::new(2, config, &mut rng);
         let actual = InteractionOutcome::Success { quality: 0.9 };
         let fb = pop.feedback(NodeId(0), NodeId(1), actual, SimTime::ZERO, None);
         assert_eq!(fb.outcome, actual);
         assert!(pop.true_quality(NodeId(0)) < 0.5);
-        assert!(!pop.is_adversarial(NodeId(0)), "selfish ≠ adversarial provider");
+        assert!(
+            !pop.is_adversarial(NodeId(0)),
+            "selfish ≠ adversarial provider"
+        );
     }
 
     #[test]
     fn validation_rejects_oversubscription() {
-        let config = PopulationConfig { malicious: 0.7, selfish: 0.5, ..Default::default() };
+        let config = PopulationConfig {
+            malicious: 0.7,
+            selfish: 0.5,
+            ..Default::default()
+        };
         assert!(config.validate().is_err());
         assert!(PopulationConfig::default().validate().is_ok());
-        assert_eq!(PopulationConfig::with_malicious(0.3).adversarial_fraction(), 0.3);
+        assert_eq!(
+            PopulationConfig::with_malicious(0.3).adversarial_fraction(),
+            0.3
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl BetaReputation {
     /// Creates an instance for `n` nodes with credibility weighting on and
     /// no aging.
     pub fn new(n: usize) -> Self {
-        BetaReputation { pos: vec![0.0; n], neg: vec![0.0; n], aging: 1.0, credibility_weighting: true }
+        BetaReputation {
+            pos: vec![0.0; n],
+            neg: vec![0.0; n],
+            aging: 1.0,
+            credibility_weighting: true,
+        }
     }
 
     /// Sets the aging factor in `(0, 1]`; each `refresh` multiplies all
@@ -262,7 +267,9 @@ mod tests {
     #[test]
     fn aging_fades_evidence() {
         let full = DisclosurePolicy::full();
-        let mut m = BetaReputation::new(2).with_aging(0.5).without_credibility_weighting();
+        let mut m = BetaReputation::new(2)
+            .with_aging(0.5)
+            .without_credibility_weighting();
         for _ in 0..8 {
             m.record(&view(0, 1, true, &full));
         }
@@ -271,8 +278,14 @@ mod tests {
             m.refresh();
         }
         let after = m.score(NodeId(1));
-        assert!(after < before, "aged score {after} should drop from {before}");
-        assert!((after - 0.5).abs() < 0.01, "evidence fades back toward the prior");
+        assert!(
+            after < before,
+            "aged score {after} should drop from {before}"
+        );
+        assert!(
+            (after - 0.5).abs() < 0.01,
+            "evidence fades back toward the prior"
+        );
     }
 
     #[test]

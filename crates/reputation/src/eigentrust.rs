@@ -21,12 +21,11 @@
 
 use crate::gathering::ReportView;
 use crate::mechanism::{MechanismKind, ReputationMechanism};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tsn_simnet::NodeId;
 
 /// EigenTrust parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EigenTrustConfig {
     /// Teleport probability toward pre-trusted peers (the paper's `a`).
     pub alpha: f64,
@@ -41,7 +40,12 @@ pub struct EigenTrustConfig {
 
 impl Default for EigenTrustConfig {
     fn default() -> Self {
-        EigenTrustConfig { alpha: 0.15, epsilon: 1e-9, max_iterations: 200, pretrusted: Vec::new() }
+        EigenTrustConfig {
+            alpha: 0.15,
+            epsilon: 1e-9,
+            max_iterations: 200,
+            pretrusted: Vec::new(),
+        }
     }
 }
 
@@ -353,12 +357,18 @@ mod tests {
 
     #[test]
     fn pretrusted_peers_get_teleport_mass() {
-        let config = EigenTrustConfig { pretrusted: vec![NodeId(0)], ..Default::default() };
+        let config = EigenTrustConfig {
+            pretrusted: vec![NodeId(0)],
+            ..Default::default()
+        };
         let mut m = EigenTrust::new(3, config);
         // No reports at all: stationary distribution = prior = all mass on 0.
         m.refresh();
         let t = m.global_trust().to_vec();
-        assert!(t[0] > t[1] && t[0] > t[2], "teleport mass concentrates on the seed: {t:?}");
+        assert!(
+            t[0] > t[1] && t[0] > t[2],
+            "teleport mass concentrates on the seed: {t:?}"
+        );
     }
 
     #[test]
@@ -366,7 +376,10 @@ mod tests {
         // Colluders 2 and 3 praise each other massively; the pretrusted
         // seed 0 rates 1 well and 3 badly. With identity-aware weighting,
         // 1 must outrank 3 despite 3 receiving more praise volume.
-        let config = EigenTrustConfig { pretrusted: vec![NodeId(0)], ..Default::default() };
+        let config = EigenTrustConfig {
+            pretrusted: vec![NodeId(0)],
+            ..Default::default()
+        };
         let mut m = EigenTrust::new(4, config);
         let full = DisclosurePolicy::full();
         for _ in 0..3 {
@@ -396,7 +409,10 @@ mod tests {
         m.refresh();
         // Node 2 gained nothing: uniform prior persists.
         let s: Vec<f64> = (0..3).map(|i| m.score(NodeId(i))).collect();
-        assert!((s[0] - s[2]).abs() < 1e-9, "self-praise must not help: {s:?}");
+        assert!(
+            (s[0] - s[2]).abs() < 1e-9,
+            "self-praise must not help: {s:?}"
+        );
     }
 
     #[test]
@@ -473,9 +489,24 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(EigenTrustConfig { alpha: 1.5, ..Default::default() }.validate().is_err());
-        assert!(EigenTrustConfig { epsilon: 0.0, ..Default::default() }.validate().is_err());
-        assert!(EigenTrustConfig { max_iterations: 0, ..Default::default() }.validate().is_err());
+        assert!(EigenTrustConfig {
+            alpha: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EigenTrustConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EigenTrustConfig {
+            max_iterations: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(EigenTrustConfig::default().validate().is_ok());
     }
 }

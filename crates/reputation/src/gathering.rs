@@ -7,11 +7,10 @@
 //! sharing more fields makes mechanisms more powerful and privacy weaker.
 
 use crate::mechanism::InteractionOutcome;
-use serde::{Deserialize, Serialize};
 use tsn_simnet::{NodeId, SimTime};
 
 /// A complete, truthful-as-far-as-the-rater-goes feedback record.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeedbackReport {
     /// Who experienced the interaction.
     pub rater: NodeId,
@@ -26,7 +25,7 @@ pub struct FeedbackReport {
 }
 
 /// The individually shareable fields of a report.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DisclosureField {
     /// The rater's identity (needed for rater-credibility weighting).
     RaterIdentity,
@@ -73,7 +72,7 @@ impl DisclosureField {
 /// assert!(anonymous.exposure() < full.exposure());
 /// assert!(!anonymous.rater_identity && full.rater_identity);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DisclosurePolicy {
     /// Share the rater identity.
     pub rater_identity: bool,
@@ -88,12 +87,22 @@ pub struct DisclosurePolicy {
 impl DisclosurePolicy {
     /// Everything shared — maximum reputation power, minimum privacy.
     pub fn full() -> Self {
-        DisclosurePolicy { rater_identity: true, outcome_detail: true, topic: true, timestamp: true }
+        DisclosurePolicy {
+            rater_identity: true,
+            outcome_detail: true,
+            topic: true,
+            timestamp: true,
+        }
     }
 
     /// Nothing but the anonymous success bit — maximum privacy.
     pub fn minimal() -> Self {
-        DisclosurePolicy { rater_identity: false, outcome_detail: false, topic: false, timestamp: false }
+        DisclosurePolicy {
+            rater_identity: false,
+            outcome_detail: false,
+            topic: false,
+            timestamp: false,
+        }
     }
 
     /// A ladder of policies from minimal (0) to full (4), adding fields in
@@ -127,11 +136,13 @@ impl DisclosurePolicy {
     /// Scalar exposure in `[0, 1]`: the sensitivity-weighted fraction of
     /// fields shared. 0 = minimal, 1 = full.
     pub fn exposure(&self) -> f64 {
-        DisclosureField::ALL
+        let sum: f64 = DisclosureField::ALL
             .iter()
             .filter(|&&f| self.shares(f))
             .map(|f| f.sensitivity())
-            .sum()
+            .sum();
+        // An empty float sum is -0.0; keep the exposure's zero unsigned.
+        sum + 0.0
     }
 
     /// Applies the policy to a report, producing the shared view.
@@ -158,7 +169,7 @@ impl Default for DisclosurePolicy {
 ///
 /// Every field except the ratee is optional: mechanisms must cope with
 /// whatever the disclosure policy leaves.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReportView {
     /// Rater identity, when disclosed.
     pub rater: Option<NodeId>,
@@ -249,7 +260,11 @@ mod tests {
         }
         assert_eq!(DisclosurePolicy::ladder(0), DisclosurePolicy::minimal());
         assert_eq!(DisclosurePolicy::ladder(4), DisclosurePolicy::full());
-        assert_eq!(DisclosurePolicy::ladder(99), DisclosurePolicy::full(), "clamped");
+        assert_eq!(
+            DisclosurePolicy::ladder(99),
+            DisclosurePolicy::full(),
+            "clamped"
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! The common interface of all reputation mechanisms.
 
 use crate::gathering::ReportView;
-use serde::{Deserialize, Serialize};
 use tsn_simnet::NodeId;
 
 /// The outcome of one interaction, as experienced by the consumer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InteractionOutcome {
     /// The provider delivered satisfactorily; `quality` in `[0, 1]` is the
     /// experienced quality (1 = perfect).
@@ -34,7 +33,7 @@ impl InteractionOutcome {
 
 /// Which mechanism a configuration selects; used by `tsn-core` configs
 /// and experiment sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MechanismKind {
     /// No reputation at all (baseline: random partner choice).
     None,
@@ -112,7 +111,9 @@ pub trait ReputationMechanism: std::fmt::Debug {
 
     /// All scores, indexed by node.
     fn scores(&self) -> Vec<f64> {
-        (0..self.len()).map(|i| self.score(NodeId::from_index(i))).collect()
+        (0..self.len())
+            .map(|i| self.score(NodeId::from_index(i)))
+            .collect()
     }
 
     /// Nodes sorted by descending score (ties by ascending id, so the
@@ -204,15 +205,18 @@ pub fn build_mechanism(kind: MechanismKind, n: usize) -> Box<dyn ReputationMecha
     match kind {
         MechanismKind::None => Box::new(NoReputation::new(n)),
         MechanismKind::Beta => Box::new(crate::beta::BetaReputation::new(n)),
-        MechanismKind::EigenTrust => {
-            Box::new(crate::eigentrust::EigenTrust::new(n, crate::eigentrust::EigenTrustConfig::default()))
-        }
-        MechanismKind::PowerTrust => {
-            Box::new(crate::powertrust::PowerTrust::new(n, crate::powertrust::PowerTrustConfig::default()))
-        }
-        MechanismKind::TrustMe => {
-            Box::new(crate::trustme::TrustMe::new(n, crate::trustme::TrustMeConfig::default()))
-        }
+        MechanismKind::EigenTrust => Box::new(crate::eigentrust::EigenTrust::new(
+            n,
+            crate::eigentrust::EigenTrustConfig::default(),
+        )),
+        MechanismKind::PowerTrust => Box::new(crate::powertrust::PowerTrust::new(
+            n,
+            crate::powertrust::PowerTrustConfig::default(),
+        )),
+        MechanismKind::TrustMe => Box::new(crate::trustme::TrustMe::new(
+            n,
+            crate::trustme::TrustMeConfig::default(),
+        )),
     }
 }
 
@@ -226,7 +230,11 @@ mod tests {
     fn outcome_values() {
         assert_eq!(InteractionOutcome::Failure.value(), 0.0);
         assert_eq!(InteractionOutcome::Success { quality: 0.8 }.value(), 0.8);
-        assert_eq!(InteractionOutcome::Success { quality: 7.0 }.value(), 1.0, "clamped");
+        assert_eq!(
+            InteractionOutcome::Success { quality: 7.0 }.value(),
+            1.0,
+            "clamped"
+        );
         assert!(InteractionOutcome::Success { quality: 0.1 }.is_success());
         assert!(!InteractionOutcome::Failure.is_success());
     }
@@ -257,7 +265,10 @@ mod tests {
     #[test]
     fn ranking_is_deterministic_under_ties() {
         let m = NoReputation::new(4);
-        assert_eq!(m.ranking(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            m.ranking(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 
     #[test]

@@ -18,12 +18,11 @@
 
 use crate::gathering::ReportView;
 use crate::mechanism::{MechanismKind, ReputationMechanism};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tsn_simnet::NodeId;
 
 /// PowerTrust parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrustConfig {
     /// Number of power nodes (the paper's `m`); clamped to the population.
     pub power_nodes: usize,
@@ -37,7 +36,12 @@ pub struct PowerTrustConfig {
 
 impl Default for PowerTrustConfig {
     fn default() -> Self {
-        PowerTrustConfig { power_nodes: 5, theta: 0.15, epsilon: 1e-9, max_iterations: 200 }
+        PowerTrustConfig {
+            power_nodes: 5,
+            theta: 0.15,
+            epsilon: 1e-9,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -141,7 +145,12 @@ impl PowerTrust {
         rows
     }
 
-    fn walk(&self, rows: &[Vec<(usize, f64)>], teleport: &[f64], damping: f64) -> (Vec<f64>, usize) {
+    fn walk(
+        &self,
+        rows: &[Vec<(usize, f64)>],
+        teleport: &[f64],
+        damping: f64,
+    ) -> (Vec<f64>, usize) {
         let n = self.n;
         let mut v = teleport.to_vec();
         let mut iterations = 0;
@@ -182,7 +191,12 @@ impl PowerTrust {
         // Pass 1: plain random walk elects power nodes.
         let (v1, it1) = self.walk(&rows, &uniform, self.config.theta);
         let mut order: Vec<usize> = (0..self.n).collect();
-        order.sort_by(|&a, &b| v1[b].partial_cmp(&v1[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+        order.sort_by(|&a, &b| {
+            v1[b]
+                .partial_cmp(&v1[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
         let m = self.config.power_nodes.min(self.n);
         self.power_set = order[..m].iter().map(|&i| NodeId::from_index(i)).collect();
         // Pass 2: teleport lands on power nodes, boosting their influence.
@@ -315,7 +329,13 @@ mod tests {
 
     #[test]
     fn good_nodes_score_higher() {
-        let mut m = PowerTrust::new(6, PowerTrustConfig { power_nodes: 2, ..Default::default() });
+        let mut m = PowerTrust::new(
+            6,
+            PowerTrustConfig {
+                power_nodes: 2,
+                ..Default::default()
+            },
+        );
         star_population(&mut m, 6, &[0, 1]);
         m.refresh();
         for good in [0u32, 1] {
@@ -330,17 +350,32 @@ mod tests {
 
     #[test]
     fn power_nodes_are_the_top_scorers() {
-        let mut m = PowerTrust::new(6, PowerTrustConfig { power_nodes: 2, ..Default::default() });
+        let mut m = PowerTrust::new(
+            6,
+            PowerTrustConfig {
+                power_nodes: 2,
+                ..Default::default()
+            },
+        );
         star_population(&mut m, 6, &[0, 1]);
         m.refresh();
         let powers: Vec<u32> = m.power_nodes().iter().map(|p| p.0).collect();
         assert_eq!(powers.len(), 2);
-        assert!(powers.contains(&0) && powers.contains(&1), "power nodes {powers:?}");
+        assert!(
+            powers.contains(&0) && powers.contains(&1),
+            "power nodes {powers:?}"
+        );
     }
 
     #[test]
     fn power_node_count_clamps_to_population() {
-        let mut m = PowerTrust::new(3, PowerTrustConfig { power_nodes: 10, ..Default::default() });
+        let mut m = PowerTrust::new(
+            3,
+            PowerTrustConfig {
+                power_nodes: 10,
+                ..Default::default()
+            },
+        );
         feed(&mut m, 0, 1, true);
         m.refresh();
         assert_eq!(m.power_nodes().len(), 3);
@@ -358,7 +393,11 @@ mod tests {
                 topic: None,
                 at: SimTime::ZERO,
             };
-            let bad = FeedbackReport { ratee: NodeId(2), outcome: InteractionOutcome::Failure, ..good };
+            let bad = FeedbackReport {
+                ratee: NodeId(2),
+                outcome: InteractionOutcome::Failure,
+                ..good
+            };
             m.record(&anon.view(&good));
             m.record(&anon.view(&bad));
         }
@@ -387,8 +426,18 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(PowerTrustConfig { power_nodes: 0, ..Default::default() }.validate().is_err());
-        assert!(PowerTrustConfig { theta: -0.1, ..Default::default() }.validate().is_err());
+        assert!(PowerTrustConfig {
+            power_nodes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(PowerTrustConfig {
+            theta: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(PowerTrustConfig::default().validate().is_ok());
     }
 

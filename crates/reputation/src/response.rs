@@ -1,7 +1,6 @@
 //! Response — the third taxonomy block: acting on scores when choosing an
 //! interaction partner.
 
-use serde::{Deserialize, Serialize};
 use tsn_simnet::{NodeId, SimRng};
 
 /// Partner-selection policy applied to a candidate set with known scores.
@@ -17,7 +16,7 @@ use tsn_simnet::{NodeId, SimRng};
 ///     .expect("candidates are non-empty");
 /// assert_eq!(best, NodeId(1));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SelectionPolicy {
     /// Uniform choice — ignores reputation entirely (the `None` baseline).
     Random,
@@ -71,17 +70,14 @@ impl SelectionPolicy {
         }
         match self {
             SelectionPolicy::Random => rng.choose(candidates).copied(),
-            SelectionPolicy::Best => candidates
-                .iter()
-                .copied()
-                .max_by(|&a, &b| {
-                    score(a)
-                        .partial_cmp(&score(b))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        // Prefer the lower id on ties (max_by keeps the last
-                        // maximal element, so compare ids in reverse).
-                        .then(b.cmp(&a))
-                }),
+            SelectionPolicy::Best => candidates.iter().copied().max_by(|&a, &b| {
+                score(a)
+                    .partial_cmp(&score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Prefer the lower id on ties (max_by keeps the last
+                    // maximal element, so compare ids in reverse).
+                    .then(b.cmp(&a))
+            }),
             SelectionPolicy::Proportional { sharpness } => {
                 let weights: Vec<f64> = candidates
                     .iter()
@@ -138,7 +134,9 @@ mod tests {
     #[test]
     fn best_breaks_ties_by_lowest_id() {
         let mut rng = SimRng::seed_from_u64(2);
-        let chosen = SelectionPolicy::Best.select(&nodes(3), |_| 0.5, &mut rng).unwrap();
+        let chosen = SelectionPolicy::Best
+            .select(&nodes(3), |_| 0.5, &mut rng)
+            .unwrap();
         assert_eq!(chosen, NodeId(0));
     }
 
@@ -148,7 +146,9 @@ mod tests {
         let cands = nodes(4);
         let mut counts = [0usize; 4];
         for _ in 0..8000 {
-            let c = SelectionPolicy::Random.select(&cands, |_| 0.0, &mut rng).unwrap();
+            let c = SelectionPolicy::Random
+                .select(&cands, |_| 0.0, &mut rng)
+                .unwrap();
             counts[c.index()] += 1;
         }
         for c in counts {
@@ -191,14 +191,17 @@ mod tests {
         };
         let soft = pick_rate(1.0, &mut rng);
         let sharp = pick_rate(8.0, &mut rng);
-        assert!(sharp > soft, "sharper exponent favours the better node more: {sharp} vs {soft}");
+        assert!(
+            sharp > soft,
+            "sharper exponent favours the better node more: {sharp} vs {soft}"
+        );
     }
 
     #[test]
     fn proportional_all_zero_scores_falls_back_to_uniform() {
         let mut rng = SimRng::seed_from_u64(6);
-        let c = SelectionPolicy::Proportional { sharpness: 2.0 }
-            .select(&nodes(3), |_| 0.0, &mut rng);
+        let c =
+            SelectionPolicy::Proportional { sharpness: 2.0 }.select(&nodes(3), |_| 0.0, &mut rng);
         assert!(c.is_some());
     }
 
@@ -223,7 +226,10 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(SelectionPolicy::Random.label(), "random");
-        assert_eq!(SelectionPolicy::Threshold { threshold: 0.1 }.label(), "threshold");
+        assert_eq!(
+            SelectionPolicy::Threshold { threshold: 0.1 }.label(),
+            "threshold"
+        );
         assert_eq!(SelectionPolicy::SWEEP.len(), 4);
     }
 }

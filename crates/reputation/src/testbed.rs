@@ -9,17 +9,16 @@
 //! figure of the paper.
 
 use crate::accuracy::{self, PowerReport};
-use crate::anonymous::{Anonymized, AnonymizationConfig};
+use crate::anonymous::{AnonymizationConfig, Anonymized};
 use crate::attack::{Population, PopulationConfig};
 use crate::gathering::DisclosurePolicy;
 use crate::mechanism::{build_mechanism, MechanismKind, ReputationMechanism};
 use crate::response::SelectionPolicy;
-use serde::{Deserialize, Serialize};
 use tsn_graph::{generators, Graph};
 use tsn_simnet::{NodeId, SimRng, SimTime};
 
 /// Full testbed configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TestbedConfig {
     /// Population size.
     pub nodes: usize,
@@ -87,7 +86,10 @@ impl TestbedConfig {
         if self.refresh_every == 0 {
             return Err("refresh_every must be positive".into());
         }
-        if self.graph_degree % 2 != 0 || self.graph_degree == 0 || self.graph_degree >= self.nodes {
+        if !self.graph_degree.is_multiple_of(2)
+            || self.graph_degree == 0
+            || self.graph_degree >= self.nodes
+        {
             return Err("graph_degree must be even, positive and < nodes".into());
         }
         self.population.validate()?;
@@ -99,7 +101,7 @@ impl TestbedConfig {
 }
 
 /// Aggregate result of one testbed run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TestbedSummary {
     /// Fraction of all interactions that succeeded.
     pub success_rate: f64,
@@ -141,8 +143,13 @@ impl Testbed {
         config.validate()?;
         let mut rng = SimRng::seed_from_u64(config.seed);
         let mut graph_rng = rng.fork(1);
-        let graph = generators::watts_strogatz(config.nodes, config.graph_degree, config.graph_beta, &mut graph_rng)
-            .map_err(|e| e.to_string())?;
+        let graph = generators::watts_strogatz(
+            config.nodes,
+            config.graph_degree,
+            config.graph_beta,
+            &mut graph_rng,
+        )
+        .map_err(|e| e.to_string())?;
         let mut pop_rng = rng.fork(2);
         let population = Population::new(config.nodes, config.population.clone(), &mut pop_rng);
         let base: Box<dyn ReputationMechanism> =
@@ -156,7 +163,10 @@ impl Testbed {
                     .collect();
                 Box::new(crate::eigentrust::EigenTrust::new(
                     config.nodes,
-                    crate::eigentrust::EigenTrustConfig { pretrusted, ..Default::default() },
+                    crate::eigentrust::EigenTrustConfig {
+                        pretrusted,
+                        ..Default::default()
+                    },
                 ))
             } else {
                 build_mechanism(config.mechanism, config.nodes)
@@ -165,7 +175,13 @@ impl Testbed {
             Some(anon) => Box::new(Anonymized::new(base, anon, rng.fork(3))),
             None => base,
         };
-        Ok(Testbed { config, graph, population, mechanism, rng })
+        Ok(Testbed {
+            config,
+            graph,
+            population,
+            mechanism,
+            rng,
+        })
     }
 
     /// The underlying social graph.
@@ -193,10 +209,10 @@ impl Testbed {
                 for _ in 0..self.config.interactions_per_node {
                     let candidates = self.graph.neighbors(consumer);
                     let mech = &self.mechanism;
-                    let Some(provider) = self
-                        .config
-                        .selection
-                        .select(candidates, |c| mech.score(c), &mut self.rng)
+                    let Some(provider) =
+                        self.config
+                            .selection
+                            .select(candidates, |c| mech.score(c), &mut self.rng)
                     else {
                         continue;
                     };
@@ -207,7 +223,9 @@ impl Testbed {
                     if outcome.is_success() {
                         ok[consumer_idx] += 1;
                     }
-                    let report = self.population.feedback(consumer, provider, outcome, now, None);
+                    let report = self
+                        .population
+                        .feedback(consumer, provider, outcome, now, None);
                     let view = self.config.disclosure.view(&report);
                     self.mechanism.record(&view);
                     messages += self.mechanism.overhead_per_report() as u64;
@@ -216,12 +234,13 @@ impl Testbed {
             if (round + 1) % self.config.refresh_every == 0 {
                 refresh_iterations += self.mechanism.refresh();
             }
-            now = now + tsn_simnet::SimDuration::from_secs(60);
+            now += tsn_simnet::SimDuration::from_secs(60);
         }
         refresh_iterations += self.mechanism.refresh();
 
-        let adversarial: Vec<bool> =
-            (0..n).map(|i| self.population.is_adversarial(NodeId::from_index(i))).collect();
+        let adversarial: Vec<bool> = (0..n)
+            .map(|i| self.population.is_adversarial(NodeId::from_index(i)))
+            .collect();
         let true_qualities = self.population.true_qualities();
         let power = accuracy::evaluate(
             self.mechanism.as_ref(),
@@ -231,7 +250,13 @@ impl Testbed {
         );
 
         let per_node_success: Vec<f64> = (0..n)
-            .map(|i| if tried[i] == 0 { 0.5 } else { ok[i] as f64 / tried[i] as f64 })
+            .map(|i| {
+                if tried[i] == 0 {
+                    0.5
+                } else {
+                    ok[i] as f64 / tried[i] as f64
+                }
+            })
             .collect();
         let total_ok: u64 = ok.iter().sum();
         let total_tried: u64 = tried.iter().sum();
@@ -243,7 +268,11 @@ impl Testbed {
             }
         }
         TestbedSummary {
-            success_rate: if total_tried == 0 { 0.0 } else { total_ok as f64 / total_tried as f64 },
+            success_rate: if total_tried == 0 {
+                0.0
+            } else {
+                total_ok as f64 / total_tried as f64
+            },
             honest_success_rate: if honest_tried == 0 {
                 0.0
             } else {
@@ -287,7 +316,11 @@ mod tests {
     #[test]
     fn all_honest_population_mostly_succeeds() {
         let summary = run_testbed(quick(MechanismKind::Beta, 0.0, 1)).unwrap();
-        assert!(summary.success_rate > 0.8, "success {}", summary.success_rate);
+        assert!(
+            summary.success_rate > 0.8,
+            "success {}",
+            summary.success_rate
+        );
         assert_eq!(summary.interactions, 60 * 15 * 2);
     }
 
@@ -306,27 +339,37 @@ mod tests {
                 .sum::<f64>()
                 / 3.0
         };
-        let with = mean(MechanismKind::EigenTrust, SelectionPolicy::Proportional { sharpness: 2.0 });
-        let without = mean(MechanismKind::None, SelectionPolicy::Random);
-        assert!(
-            with > without + 0.03,
-            "eigentrust {with} vs none {without}"
+        let with = mean(
+            MechanismKind::EigenTrust,
+            SelectionPolicy::Proportional { sharpness: 2.0 },
         );
+        let without = mean(MechanismKind::None, SelectionPolicy::Random);
+        assert!(with > without + 0.03, "eigentrust {with} vs none {without}");
     }
 
     #[test]
     fn mechanism_power_is_measured() {
         let summary = run_testbed(quick(MechanismKind::Beta, 0.3, 3)).unwrap();
-        assert!(summary.power.consistency > 0.7, "consistency {}", summary.power.consistency);
-        assert!(summary.power.reliability > 0.7, "reliability {}", summary.power.reliability);
+        assert!(
+            summary.power.consistency > 0.7,
+            "consistency {}",
+            summary.power.consistency
+        );
+        assert!(
+            summary.power.reliability > 0.7,
+            "reliability {}",
+            summary.power.reliability
+        );
     }
 
     #[test]
     fn anonymization_reduces_power() {
         let clean = run_testbed(quick(MechanismKind::Beta, 0.3, 4)).unwrap();
         let mut anon_cfg = quick(MechanismKind::Beta, 0.3, 4);
-        anon_cfg.anonymization =
-            Some(AnonymizationConfig { strip_probability: 1.0, flip_probability: 0.3 });
+        anon_cfg.anonymization = Some(AnonymizationConfig {
+            strip_probability: 1.0,
+            flip_probability: 0.3,
+        });
         let anon = run_testbed(anon_cfg).unwrap();
         assert!(
             clean.power.consistency > anon.power.consistency,
@@ -361,21 +404,32 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut c = TestbedConfig::default();
-        c.nodes = 2;
-        assert!(Testbed::new(c).is_err());
-        let mut c = TestbedConfig::default();
-        c.graph_degree = 7;
-        assert!(Testbed::new(c).is_err());
-        let mut c = TestbedConfig::default();
-        c.rounds = 0;
-        assert!(Testbed::new(c).is_err());
+        let cases = [
+            TestbedConfig {
+                nodes: 2,
+                ..Default::default()
+            },
+            TestbedConfig {
+                graph_degree: 7,
+                ..Default::default()
+            },
+            TestbedConfig {
+                rounds: 0,
+                ..Default::default()
+            },
+        ];
+        for c in cases {
+            assert!(Testbed::new(c).is_err());
+        }
     }
 
     #[test]
     fn per_node_success_is_populated() {
         let summary = run_testbed(quick(MechanismKind::Beta, 0.2, 9)).unwrap();
         assert_eq!(summary.per_node_success.len(), 60);
-        assert!(summary.per_node_success.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert!(summary
+            .per_node_success
+            .iter()
+            .all(|s| (0.0..=1.0).contains(s)));
     }
 }

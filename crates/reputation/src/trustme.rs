@@ -18,11 +18,10 @@
 
 use crate::gathering::ReportView;
 use crate::mechanism::{MechanismKind, ReputationMechanism};
-use serde::{Deserialize, Serialize};
 use tsn_simnet::NodeId;
 
 /// TrustMe parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrustMeConfig {
     /// Number of trust-holder peers per subject (replication factor).
     pub holders: usize,
@@ -32,7 +31,10 @@ pub struct TrustMeConfig {
 
 impl Default for TrustMeConfig {
     fn default() -> Self {
-        TrustMeConfig { holders: 3, smoothing: 2.0 }
+        TrustMeConfig {
+            holders: 3,
+            smoothing: 2.0,
+        }
     }
 }
 
@@ -83,7 +85,9 @@ impl TrustMe {
         let holders = config.holders;
         TrustMe {
             config,
-            shards: (0..n).map(|_| vec![HolderShard::default(); holders]).collect(),
+            shards: (0..n)
+                .map(|_| vec![HolderShard::default(); holders])
+                .collect(),
             cursor: vec![0; n],
         }
     }
@@ -101,7 +105,8 @@ impl ReputationMechanism for TrustMe {
 
     fn resize(&mut self, n: usize) {
         while self.shards.len() < n {
-            self.shards.push(vec![HolderShard::default(); self.config.holders]);
+            self.shards
+                .push(vec![HolderShard::default(); self.config.holders]);
             self.cursor.push(0);
         }
     }
@@ -130,7 +135,9 @@ impl ReputationMechanism for TrustMe {
         // Query all holders; average with smoothing toward the prior.
         let (sum, count) = self.shards[node.index()]
             .iter()
-            .fold((0.0, 0u64), |(s, c), shard| (s + shard.sum, c + shard.count));
+            .fold((0.0, 0u64), |(s, c), shard| {
+                (s + shard.sum, c + shard.count)
+            });
         let k = self.config.smoothing;
         (sum + 0.5 * k) / (count as f64 + k)
     }
@@ -175,7 +182,13 @@ mod tests {
 
     #[test]
     fn averaging_with_smoothing() {
-        let mut m = TrustMe::new(2, TrustMeConfig { holders: 3, smoothing: 2.0 });
+        let mut m = TrustMe::new(
+            2,
+            TrustMeConfig {
+                holders: 3,
+                smoothing: 2.0,
+            },
+        );
         for _ in 0..4 {
             m.record(&view(1, true));
         }
@@ -186,7 +199,13 @@ mod tests {
 
     #[test]
     fn reports_shard_round_robin() {
-        let mut m = TrustMe::new(1, TrustMeConfig { holders: 3, smoothing: 0.0 });
+        let mut m = TrustMe::new(
+            1,
+            TrustMeConfig {
+                holders: 3,
+                smoothing: 0.0,
+            },
+        );
         for _ in 0..7 {
             m.record(&view(0, true));
         }
@@ -216,12 +235,21 @@ mod tests {
             at: SimTime::ZERO,
         });
         m.record(&self_report);
-        assert!(m.score(NodeId(1)) > 0.5, "anonymous self-report is accepted");
+        assert!(
+            m.score(NodeId(1)) > 0.5,
+            "anonymous self-report is accepted"
+        );
     }
 
     #[test]
     fn overhead_scales_with_holders() {
-        let m = TrustMe::new(1, TrustMeConfig { holders: 5, smoothing: 1.0 });
+        let m = TrustMe::new(
+            1,
+            TrustMeConfig {
+                holders: 5,
+                smoothing: 1.0,
+            },
+        );
         assert_eq!(m.overhead_per_report(), 6);
     }
 
@@ -236,8 +264,18 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(TrustMeConfig { holders: 0, smoothing: 1.0 }.validate().is_err());
-        assert!(TrustMeConfig { holders: 1, smoothing: -1.0 }.validate().is_err());
+        assert!(TrustMeConfig {
+            holders: 0,
+            smoothing: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(TrustMeConfig {
+            holders: 1,
+            smoothing: -1.0
+        }
+        .validate()
+        .is_err());
         assert!(TrustMeConfig::default().validate().is_ok());
     }
 }

@@ -6,12 +6,11 @@
 //! aspects the paper's three facets make observable per interaction.
 
 use crate::intention::ConsumerIntentions;
-use serde::{Deserialize, Serialize};
 use tsn_simnet::NodeId;
 
 /// The observable aspects of one finished interaction, from the
 /// consumer's side.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InteractionAspects {
     /// The provider the system allocated.
     pub provider: NodeId,
@@ -23,7 +22,7 @@ pub struct InteractionAspects {
 }
 
 /// Weights for combining the aspects into adequacy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdequacyModel {
     /// Weight of outcome quality relative to expectation.
     pub outcome_weight: f64,
@@ -36,7 +35,11 @@ pub struct AdequacyModel {
 
 impl Default for AdequacyModel {
     fn default() -> Self {
-        AdequacyModel { outcome_weight: 0.5, preference_weight: 0.25, privacy_weight: 0.25 }
+        AdequacyModel {
+            outcome_weight: 0.5,
+            preference_weight: 0.25,
+            privacy_weight: 0.25,
+        }
     }
 }
 
@@ -103,7 +106,11 @@ mod tests {
     use super::*;
 
     fn aspects(quality: f64, privacy: bool) -> InteractionAspects {
-        InteractionAspects { provider: NodeId(1), outcome_quality: quality, privacy_respected: privacy }
+        InteractionAspects {
+            provider: NodeId(1),
+            outcome_quality: quality,
+            privacy_respected: privacy,
+        }
     }
 
     #[test]
@@ -159,11 +166,15 @@ mod tests {
         let indifferent = ConsumerIntentions::new([], 0.5, 0.0).unwrap();
         let ok = aspects(0.8, true);
         let violated = aspects(0.8, false);
-        let concerned_drop = model.adequacy(&concerned, &ok) - model.adequacy(&concerned, &violated);
+        let concerned_drop =
+            model.adequacy(&concerned, &ok) - model.adequacy(&concerned, &violated);
         let indifferent_drop =
             model.adequacy(&indifferent, &ok) - model.adequacy(&indifferent, &violated);
         assert!(concerned_drop > 0.2, "drop {concerned_drop}");
-        assert!(indifferent_drop.abs() < 1e-12, "indifferent users lose nothing");
+        assert!(
+            indifferent_drop.abs() < 1e-12,
+            "indifferent users lose nothing"
+        );
     }
 
     #[test]
@@ -188,9 +199,16 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_weights() {
-        let zero = AdequacyModel { outcome_weight: 0.0, preference_weight: 0.0, privacy_weight: 0.0 };
+        let zero = AdequacyModel {
+            outcome_weight: 0.0,
+            preference_weight: 0.0,
+            privacy_weight: 0.0,
+        };
         assert!(zero.validate().is_err());
-        let neg = AdequacyModel { outcome_weight: -1.0, ..Default::default() };
+        let neg = AdequacyModel {
+            outcome_weight: -1.0,
+            ..Default::default()
+        };
         assert!(neg.validate().is_err());
         assert!(AdequacyModel::default().validate().is_ok());
     }

@@ -5,8 +5,6 @@
 //! system, or by a global one". The global view must not hide individual
 //! misery behind a mean, so fairness measures ride along.
 
-use serde::{Deserialize, Serialize};
-
 /// Aggregated satisfaction statistics over a population.
 ///
 /// ```
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g.mean, 0.5);
 /// assert!(g.fairness_discounted() < g.mean, "inequality is discounted");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlobalSatisfaction {
     /// Arithmetic mean satisfaction.
     pub mean: f64,
@@ -52,9 +50,19 @@ impl GlobalSatisfaction {
         let mean = sum / n;
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let sum_sq: f64 = values.iter().map(|v| v * v).sum();
-        let jain_index = if sum_sq == 0.0 { 1.0 } else { sum * sum / (n * sum_sq) };
+        let jain_index = if sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sum_sq)
+        };
         let gini = gini_coefficient(values);
-        Some(GlobalSatisfaction { mean, min, jain_index, gini, population: values.len() })
+        Some(GlobalSatisfaction {
+            mean,
+            min,
+            jain_index,
+            gini,
+            population: values.len(),
+        })
     }
 
     /// A fairness-discounted global score: `mean × jain`. This is the
@@ -79,7 +87,11 @@ pub fn gini_coefficient(values: &[f64]) -> f64 {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     // Gini = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n, with i starting at 1.
-    let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i as f64 + 1.0) * x).sum();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
     (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
 }
 
@@ -119,9 +131,12 @@ mod tests {
     #[test]
     fn even_half_satisfaction_beats_skewed_same_mean() {
         let even = GlobalSatisfaction::from_values(&[0.5; 10]).unwrap();
-        let skewed =
-            GlobalSatisfaction::from_values(&(0..10).map(|i| if i < 5 { 1.0 } else { 0.0 }).collect::<Vec<_>>())
-                .unwrap();
+        let skewed = GlobalSatisfaction::from_values(
+            &(0..10)
+                .map(|i| if i < 5 { 1.0 } else { 0.0 })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
         assert!((even.mean - skewed.mean).abs() < 1e-12);
         assert!(even.fairness_discounted() > skewed.fairness_discounted());
     }

@@ -8,12 +8,11 @@
 //! * **providers** — want to serve requests they care about and not be
 //!   flooded with requests they never intended to treat.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use tsn_simnet::NodeId;
 
 /// A consumer's intentions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConsumerIntentions {
     /// Providers the consumer explicitly prefers (e.g. friends, same
     /// community). An allocation to one of these is "intended".
@@ -78,7 +77,7 @@ impl Default for ConsumerIntentions {
 }
 
 /// A provider's intentions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProviderIntentions {
     /// Topics the provider wants to serve (empty = everything).
     pub preferred_topics: BTreeSet<usize>,
@@ -92,11 +91,17 @@ impl ProviderIntentions {
     /// # Errors
     ///
     /// Returns a message if `capacity` is zero.
-    pub fn new(preferred_topics: impl IntoIterator<Item = usize>, capacity: u32) -> Result<Self, String> {
+    pub fn new(
+        preferred_topics: impl IntoIterator<Item = usize>,
+        capacity: u32,
+    ) -> Result<Self, String> {
         if capacity == 0 {
             return Err("capacity must be positive".into());
         }
-        Ok(ProviderIntentions { preferred_topics: preferred_topics.into_iter().collect(), capacity })
+        Ok(ProviderIntentions {
+            preferred_topics: preferred_topics.into_iter().collect(),
+            capacity,
+        })
     }
 
     /// Whether serving a request on `topic` matches intentions.
@@ -120,7 +125,10 @@ impl ProviderIntentions {
 
 impl Default for ProviderIntentions {
     fn default() -> Self {
-        ProviderIntentions { preferred_topics: BTreeSet::new(), capacity: 10 }
+        ProviderIntentions {
+            preferred_topics: BTreeSet::new(),
+            capacity: 10,
+        }
     }
 }
 

@@ -1,7 +1,5 @@
 //! Long-run satisfaction and allocation satisfaction (ref [17]).
 
-use serde::{Deserialize, Serialize};
-
 /// Long-run satisfaction: an exponentially weighted average of adequacy.
 ///
 /// Ref [17]'s satisfaction is "a long run notion evaluating the capacity
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// tracker.observe(0.0); // one bad day is forgiven
 /// assert!(tracker.satisfaction() > 0.7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SatisfactionTracker {
     value: f64,
     learning_rate: f64,
@@ -37,7 +35,11 @@ impl SatisfactionTracker {
             learning_rate > 0.0 && learning_rate <= 1.0,
             "learning rate must be in (0,1]"
         );
-        SatisfactionTracker { value: 0.5, learning_rate, observations: 0 }
+        SatisfactionTracker {
+            value: 0.5,
+            learning_rate,
+            observations: 0,
+        }
     }
 
     /// Records the adequacy of one interaction.
@@ -84,7 +86,7 @@ impl Default for SatisfactionTracker {
 /// satisfaction* (with the allocation decisions themselves): a consumer
 /// is allocation-satisfied when "in general she receives answers from the
 /// providers she prefers".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AllocationTracker {
     window: Vec<bool>,
     capacity: usize,
@@ -100,7 +102,12 @@ impl AllocationTracker {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        AllocationTracker { window: vec![false; capacity], capacity, cursor: 0, filled: false }
+        AllocationTracker {
+            window: vec![false; capacity],
+            capacity,
+            cursor: 0,
+            filled: false,
+        }
     }
 
     /// Records whether an allocation was intended.
@@ -133,7 +140,11 @@ impl AllocationTracker {
         if n == 0 {
             return 0.5;
         }
-        let hits = self.window[..if self.filled { self.capacity } else { self.cursor }]
+        let hits = self.window[..if self.filled {
+            self.capacity
+        } else {
+            self.cursor
+        }]
             .iter()
             .filter(|&&b| b)
             .count();
@@ -188,7 +199,10 @@ mod tests {
         let before = t.satisfaction();
         t.observe(0.0);
         let after = t.satisfaction();
-        assert!(before - after < 0.1, "single failure must not crater satisfaction");
+        assert!(
+            before - after < 0.1,
+            "single failure must not crater satisfaction"
+        );
         assert!(after > 0.7);
     }
 

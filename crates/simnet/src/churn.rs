@@ -10,11 +10,10 @@
 use crate::rng::SimRng;
 use crate::time::SimDuration;
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Parameters of the churn process.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ChurnConfig {
     /// Mean session length (time a node stays online). Exponentially
     /// distributed, the standard M/M churn assumption.
@@ -64,7 +63,7 @@ impl ChurnConfig {
 }
 
 /// A lifecycle transition produced by the churn process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChurnEvent {
     /// Node goes offline gracefully.
     Leave(NodeId),
@@ -88,7 +87,7 @@ impl ChurnEvent {
 }
 
 /// Tracks which identities exist and the whitewash genealogy.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NodeLifecycle {
     /// For each whitewashed identity, the identity it replaced.
     predecessor: BTreeMap<NodeId, NodeId>,
@@ -345,7 +344,10 @@ mod tests {
     #[test]
     fn online_identity_of_events() {
         assert_eq!(ChurnEvent::Leave(NodeId(1)).online_identity(), None);
-        assert_eq!(ChurnEvent::Rejoin(NodeId(1)).online_identity(), Some(NodeId(1)));
+        assert_eq!(
+            ChurnEvent::Rejoin(NodeId(1)).online_identity(),
+            Some(NodeId(1))
+        );
         assert_eq!(
             ChurnEvent::Whitewash(NodeId(1), NodeId(2)).online_identity(),
             Some(NodeId(2))

@@ -99,7 +99,10 @@ impl BernoulliLoss {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         BernoulliLoss(p)
     }
 }
@@ -119,7 +122,10 @@ mod tests {
         let m = ConstantLatency(SimDuration::from_millis(10));
         let mut rng = SimRng::seed_from_u64(0);
         for _ in 0..10 {
-            assert_eq!(m.delay(NodeId(0), NodeId(1), &mut rng), SimDuration::from_millis(10));
+            assert_eq!(
+                m.delay(NodeId(0), NodeId(1), &mut rng),
+                SimDuration::from_millis(10)
+            );
         }
     }
 
@@ -141,7 +147,10 @@ mod tests {
 
     #[test]
     fn wan_latency_exceeds_base() {
-        let m = WanLatency { base: SimDuration::from_millis(20), tail_mean: SimDuration::from_millis(10) };
+        let m = WanLatency {
+            base: SimDuration::from_millis(20),
+            tail_mean: SimDuration::from_millis(10),
+        };
         let mut rng = SimRng::seed_from_u64(2);
         let mut total = 0.0;
         for _ in 0..2000 {
@@ -157,7 +166,9 @@ mod tests {
     fn bernoulli_loss_rate_matches() {
         let m = BernoulliLoss::new(0.25);
         let mut rng = SimRng::seed_from_u64(3);
-        let lost = (0..10_000).filter(|_| m.is_lost(NodeId(0), NodeId(1), &mut rng)).count();
+        let lost = (0..10_000)
+            .filter(|_| m.is_lost(NodeId(0), NodeId(1), &mut rng))
+            .count();
         let rate = lost as f64 / 10_000.0;
         assert!((rate - 0.25).abs() < 0.02, "observed loss rate {rate}");
     }

@@ -69,7 +69,7 @@ pub use trace::{TraceEvent, TraceKind, TraceLog};
 /// `NodeId`s are dense indices handed out by [`Simulation::add_node`] (or by
 /// higher layers that manage their own populations); they index directly
 /// into per-node vectors throughout the workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -2,10 +2,9 @@
 
 use crate::time::SimTime;
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a message, unique within one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MessageId(pub u64);
 
 /// Application payload carried by an [`Envelope`].
@@ -14,7 +13,7 @@ pub struct MessageId(pub u64);
 /// protocol vocabulary. `Payload` covers the needs of the tsn workspace
 /// (small tagged records) without forcing every protocol message through
 /// serialization.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// Free-form text (used by examples and tests).
     Text(String),
@@ -43,7 +42,10 @@ impl Payload {
 
     /// Convenience constructor for a tagged record.
     pub fn record(tag: impl Into<String>, fields: Vec<f64>) -> Self {
-        Payload::Record { tag: tag.into(), fields }
+        Payload::Record {
+            tag: tag.into(),
+            fields,
+        }
     }
 }
 
@@ -60,7 +62,7 @@ impl From<String> for Payload {
 }
 
 /// A message in flight: payload plus routing and timing metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Envelope {
     /// Unique id of this message.
     pub id: MessageId,

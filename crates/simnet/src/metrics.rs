@@ -4,12 +4,11 @@
 //! EXPERIMENTS.md rows come from one consistent implementation (means,
 //! quantiles, counters) rather than ad-hoc arithmetic in each binary.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A monotonically increasing counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -47,7 +46,7 @@ impl fmt::Display for Counter {
 ///
 /// Keeps every sample (experiments here are small enough); provides mean,
 /// variance, and exact quantiles. Samples must be finite.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
@@ -116,7 +115,8 @@ impl Histogram {
             return None;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
@@ -132,7 +132,7 @@ impl Histogram {
 /// A named bag of counters and histograms.
 ///
 /// Keys are `&'static str` by convention (`"msg.sent"`, `"interaction.ok"`).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricSet {
     counters: BTreeMap<String, Counter>,
     histograms: BTreeMap<String, Histogram>,
@@ -156,7 +156,10 @@ impl MetricSet {
 
     /// Records a sample in the named histogram.
     pub fn record(&mut self, name: &str, sample: f64) {
-        self.histograms.entry(name.to_owned()).or_default().record(sample);
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(sample);
     }
 
     /// Value of a counter (zero if never touched).

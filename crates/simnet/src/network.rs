@@ -34,7 +34,7 @@ impl Default for NetworkConfig {
 }
 
 /// Aggregate transport statistics.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Messages handed to the network.
     pub sent: Counter,
@@ -159,12 +159,29 @@ impl Network {
     /// Returns the message id and the outcome. Sending from or to an
     /// unregistered node panics; sending from a dead node is allowed (the
     /// higher layer decides liveness semantics at send time).
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: Payload) -> (MessageId, DeliveryOutcome) {
-        assert!(from.index() < self.mailboxes.len(), "sender {from} not registered");
-        assert!(to.index() < self.mailboxes.len(), "recipient {to} not registered");
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Payload,
+    ) -> (MessageId, DeliveryOutcome) {
+        assert!(
+            from.index() < self.mailboxes.len(),
+            "sender {from} not registered"
+        );
+        assert!(
+            to.index() < self.mailboxes.len(),
+            "recipient {to} not registered"
+        );
         let id = MessageId(self.next_msg);
         self.next_msg += 1;
-        let envelope = Envelope { id, from, to, sent_at: self.now, payload };
+        let envelope = Envelope {
+            id,
+            from,
+            to,
+            sent_at: self.now,
+            payload,
+        };
         self.stats.sent.incr();
         self.stats.bytes_sent.add(envelope.wire_size() as u64);
         if self.config.loss.is_lost(from, to, &mut self.rng) {
@@ -175,7 +192,11 @@ impl Network {
         let deliver_at = self.now + delay;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.in_flight.push(InFlight { deliver_at, seq, envelope });
+        self.in_flight.push(InFlight {
+            deliver_at,
+            seq,
+            envelope,
+        });
         (id, DeliveryOutcome::Scheduled(deliver_at))
     }
 
@@ -243,7 +264,10 @@ mod tests {
         let a = net.add_node();
         let b = net.add_node();
         let (_, outcome) = net.send(a, b, "hi".into());
-        assert_eq!(outcome, DeliveryOutcome::Scheduled(SimTime::from_millis(10)));
+        assert_eq!(
+            outcome,
+            DeliveryOutcome::Scheduled(SimTime::from_millis(10))
+        );
         assert_eq!(net.inbox_len(b), 0);
         assert_eq!(net.advance_to(SimTime::from_millis(10)), 1);
         let inbox = net.take_inbox(b);

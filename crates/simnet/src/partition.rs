@@ -35,7 +35,9 @@ impl GroupMap {
     pub fn contiguous(n: usize, k: usize) -> Self {
         assert!(k > 0, "need at least one group");
         let size = n.div_ceil(k);
-        GroupMap { groups: (0..n).map(|i| (i / size) as u16).collect() }
+        GroupMap {
+            groups: (0..n).map(|i| (i / size) as u16).collect(),
+        }
     }
 
     /// The group of a node.
@@ -77,9 +79,19 @@ impl PartitionedLoss {
     ///
     /// Panics if either probability is outside `[0, 1]`.
     pub fn new(map: GroupMap, cross_loss: f64, intra_loss: f64) -> Self {
-        assert!((0.0..=1.0).contains(&cross_loss), "cross_loss must be in [0,1]");
-        assert!((0.0..=1.0).contains(&intra_loss), "intra_loss must be in [0,1]");
-        PartitionedLoss { map, cross_loss, intra_loss }
+        assert!(
+            (0.0..=1.0).contains(&cross_loss),
+            "cross_loss must be in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&intra_loss),
+            "intra_loss must be in [0,1]"
+        );
+        PartitionedLoss {
+            map,
+            cross_loss,
+            intra_loss,
+        }
     }
 
     /// A clean split: cross-group traffic never arrives.
@@ -90,7 +102,11 @@ impl PartitionedLoss {
 
 impl LossModel for PartitionedLoss {
     fn is_lost(&self, from: NodeId, to: NodeId, rng: &mut SimRng) -> bool {
-        let p = if self.map.same_group(from, to) { self.intra_loss } else { self.cross_loss };
+        let p = if self.map.same_group(from, to) {
+            self.intra_loss
+        } else {
+            self.cross_loss
+        };
         rng.gen_bool(p)
     }
 }
@@ -151,8 +167,14 @@ mod tests {
         let map = GroupMap::contiguous(4, 2);
         let model = PartitionedLoss::full_partition(map);
         let mut rng = SimRng::seed_from_u64(0);
-        assert!(model.is_lost(NodeId(0), NodeId(2), &mut rng), "cross-group always lost");
-        assert!(!model.is_lost(NodeId(0), NodeId(1), &mut rng), "intra-group never lost");
+        assert!(
+            model.is_lost(NodeId(0), NodeId(2), &mut rng),
+            "cross-group always lost"
+        );
+        assert!(
+            !model.is_lost(NodeId(0), NodeId(1), &mut rng),
+            "intra-group never lost"
+        );
     }
 
     #[test]
@@ -176,8 +198,14 @@ mod tests {
             SimDuration::from_millis(80),
         );
         let mut rng = SimRng::seed_from_u64(2);
-        assert_eq!(model.delay(NodeId(0), NodeId(1), &mut rng), SimDuration::from_millis(5));
-        assert_eq!(model.delay(NodeId(1), NodeId(2), &mut rng), SimDuration::from_millis(80));
+        assert_eq!(
+            model.delay(NodeId(0), NodeId(1), &mut rng),
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            model.delay(NodeId(1), NodeId(2), &mut rng),
+            SimDuration::from_millis(80)
+        );
     }
 
     #[test]

@@ -1,13 +1,96 @@
 //! Deterministic randomness for simulations.
 //!
 //! All stochastic choices in the workspace flow through [`SimRng`], a thin
-//! newtype over ChaCha8. ChaCha has a stability guarantee across versions
-//! (unlike `rand::rngs::StdRng`, whose algorithm may change), which is what
-//! makes `(seed, config)` a complete description of an experiment run.
+//! newtype over a self-contained ChaCha8 block cipher in counter mode.
+//! ChaCha has a stability guarantee across versions (unlike generators
+//! whose algorithm may change under us), which is what makes
+//! `(seed, config)` a complete description of an experiment run. The
+//! implementation is vendored here so the workspace builds with zero
+//! external dependencies.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// The ChaCha8 keystream generator: 256-bit key, 64-bit block counter,
+/// producing 16 words (64 bytes) per block with 8 rounds.
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means the buffer is exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8 {
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn new(key: [u32; 8]) -> Self {
+        ChaCha8 {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..4 {
+            // One double round: 4 column rounds + 4 diagonal rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into key material.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Seedable, reproducible random number generator.
 ///
@@ -19,12 +102,21 @@ use rand_chacha::ChaCha8Rng;
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 #[derive(Debug, Clone)]
-pub struct SimRng(ChaCha8Rng);
+pub struct SimRng(ChaCha8);
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng(ChaCha8Rng::seed_from_u64(seed))
+        let mut s = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let word = splitmix64(&mut s);
+            pair[0] = word as u32;
+            if let Some(hi) = pair.get_mut(1) {
+                *hi = (word >> 32) as u32;
+            }
+        }
+        SimRng(ChaCha8::new(key))
     }
 
     /// Derives an independent child generator.
@@ -35,37 +127,60 @@ impl SimRng {
     /// code changes.
     pub fn fork(&mut self, label: u64) -> SimRng {
         // Mix the label into a fresh seed drawn from this stream.
-        let base = self.0.next_u64();
+        let base = self.next_u64();
         SimRng::seed_from_u64(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Next raw 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        let lo = self.0.next_u32() as u64;
+        let hi = self.0.next_u32() as u64;
+        (hi << 32) | lo
     }
 
-    /// Uniform sample from a range, e.g. `rng.gen_range(0..10)`.
+    /// Uniform sample from an integer range, e.g. `rng.gen_range(0..10)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
         R: SampleRange<T>,
     {
-        self.0.gen_range(range)
+        range.sample(self)
+    }
+
+    /// Unbiased uniform draw in `[0, span)` via rejection sampling.
+    fn gen_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span == 1 {
+            return 0;
+        }
+        // Reject draws from the final partial copy of [0, span).
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % span;
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.0.gen::<f64>()
+        // 53 high bits → the standard [0,1) mantissa construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
     }
 
     /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
     pub fn gen_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.0.gen_bool(p)
+        self.gen_f64() < p
     }
 
     /// Standard-normal sample via Box–Muller (avoids a dependency on
-    /// `rand_distr` for the one distribution the simulator needs).
+    /// a distributions crate for the one distribution the simulator
+    /// needs).
     pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         // Draw u1 in (0,1] to avoid ln(0).
@@ -93,7 +208,10 @@ impl SimRng {
     ///
     /// Panics if `shape` or `scale` is not strictly positive.
     pub fn gen_pareto(&mut self, scale: f64, shape: f64) -> f64 {
-        assert!(shape > 0.0 && scale > 0.0, "pareto parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = 1.0 - self.gen_f64();
         scale / u.powf(1.0 / shape)
     }
@@ -142,6 +260,39 @@ impl SimRng {
     }
 }
 
+/// Integer ranges [`SimRng::gen_range`] accepts, mirroring the familiar
+/// calling convention of mainstream RNG crates for the types the
+/// workspace uses.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut SimRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.gen_below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.gen_below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +312,18 @@ mod tests {
         let mut b = SimRng::seed_from_u64(2);
         let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
         assert!(same < 2);
+    }
+
+    #[test]
+    fn stream_is_reproducible_and_nondegenerate() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let again: Vec<u64> = {
+            let mut rng = SimRng::seed_from_u64(42);
+            (0..4).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(first, again);
+        assert!(first.windows(2).all(|w| w[0] != w[1]));
     }
 
     #[test]
@@ -190,6 +353,27 @@ mod tests {
         for _ in 0..1000 {
             let x: u32 = rng.gen_range(10..20);
             assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..10 appear");
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
         }
     }
 
@@ -198,7 +382,10 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(5);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| rng.gen_normal(3.0, 2.0)).sum::<f64>() / n as f64;
-        assert!((mean - 3.0).abs() < 0.1, "sample mean {mean} too far from 3.0");
+        assert!(
+            (mean - 3.0).abs() < 0.1,
+            "sample mean {mean} too far from 3.0"
+        );
     }
 
     #[test]
@@ -206,7 +393,10 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(6);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| rng.gen_exp(2.0)).sum::<f64>() / n as f64;
-        assert!((mean - 0.5).abs() < 0.05, "sample mean {mean} too far from 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.05,
+            "sample mean {mean} too far from 0.5"
+        );
     }
 
     #[test]

@@ -132,13 +132,25 @@ impl Simulation {
     /// # Panics
     ///
     /// Panics if `at` is in the past.
-    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Simulation) + 'static) -> EventId {
-        assert!(at >= self.now, "cannot schedule in the past ({at} < {})", self.now);
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past ({at} < {})",
+            self.now
+        );
         self.queue.schedule(at, Box::new(action) as Event)
     }
 
     /// Schedules `action` after a relative delay.
-    pub fn schedule_in(&mut self, delay: SimDuration, action: impl FnOnce(&mut Simulation) + 'static) -> EventId {
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Simulation) + 'static,
+    ) -> EventId {
         let at = self.now + delay;
         self.queue.schedule(at, Box::new(action) as Event)
     }

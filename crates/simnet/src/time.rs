@@ -4,7 +4,6 @@
 //! simulation. Integer time keeps event ordering exact (no floating-point
 //! tie ambiguity) which is a prerequisite for deterministic replay.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -15,11 +14,11 @@ use std::ops::{Add, AddAssign, Sub};
 /// let t = SimTime::from_millis(3) + SimDuration::from_micros(500);
 /// assert_eq!(t.as_micros(), 3_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -109,7 +108,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1_000_000.0).round() as u64)
     }
 
@@ -132,7 +134,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -164,7 +169,11 @@ impl Add<SimDuration> for SimDuration {
     type Output = SimDuration;
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("simulation duration overflow"))
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation duration overflow"),
+        )
     }
 }
 

@@ -2,11 +2,10 @@
 
 use crate::time::SimTime;
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The category of a trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A message was sent.
     MessageSent,
@@ -23,7 +22,7 @@ pub enum TraceKind {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// When it happened.
     pub at: SimTime,
@@ -52,7 +51,12 @@ pub struct TraceLog {
 impl TraceLog {
     /// A log that records up to `capacity` events, evicting the oldest.
     pub fn enabled(capacity: usize) -> Self {
-        TraceLog { enabled: true, capacity: capacity.max(1), events: VecDeque::new(), dropped: 0 }
+        TraceLog {
+            enabled: true,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
     }
 
     /// A log that records nothing.
@@ -79,7 +83,13 @@ impl TraceLog {
 
     /// Convenience: record a custom event.
     pub fn note(&mut self, at: SimTime, detail: impl Into<String>) {
-        self.push(TraceEvent { at, kind: TraceKind::Custom, node: None, peer: None, detail: detail.into() });
+        self.push(TraceEvent {
+            at,
+            kind: TraceKind::Custom,
+            node: None,
+            peer: None,
+            detail: detail.into(),
+        });
     }
 
     /// Records currently held (oldest first).
@@ -113,7 +123,13 @@ mod tests {
     use super::*;
 
     fn ev(ms: u64, kind: TraceKind) -> TraceEvent {
-        TraceEvent { at: SimTime::from_millis(ms), kind, node: None, peer: None, detail: String::new() }
+        TraceEvent {
+            at: SimTime::from_millis(ms),
+            kind,
+            node: None,
+            peer: None,
+            detail: String::new(),
+        }
     }
 
     #[test]

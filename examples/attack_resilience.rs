@@ -40,7 +40,9 @@ fn main() {
                     seed: 1000 + seed,
                     ..Default::default()
                 };
-                total += run_testbed(config).expect("valid config").honest_success_rate;
+                total += run_testbed(config)
+                    .expect("valid config")
+                    .honest_success_rate;
             }
             print!("  {:>6.3}", total / 3.0);
         }
@@ -48,7 +50,11 @@ fn main() {
     }
 
     println!("\ncollusion stress: 30% colluders in rings of 5");
-    for mechanism in [MechanismKind::Beta, MechanismKind::EigenTrust, MechanismKind::TrustMe] {
+    for mechanism in [
+        MechanismKind::Beta,
+        MechanismKind::EigenTrust,
+        MechanismKind::TrustMe,
+    ] {
         let config = TestbedConfig {
             nodes: 100,
             rounds: 30,

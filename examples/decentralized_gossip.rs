@@ -13,7 +13,7 @@
 use tsn::graph::generators;
 use tsn::protocol::{GossipConfig, GossipNetwork};
 use tsn::simnet::{
-    latency::WanLatency, Network, NetworkConfig, BernoulliLoss, NodeId, SimDuration, SimRng,
+    latency::WanLatency, BernoulliLoss, Network, NetworkConfig, NodeId, SimDuration, SimRng,
 };
 
 fn main() {
@@ -37,7 +37,10 @@ fn main() {
     let mut gossip = GossipNetwork::new(
         graph,
         network,
-        GossipConfig { subjects: n, round_length: SimDuration::from_millis(150) },
+        GossipConfig {
+            subjects: n,
+            round_length: SimDuration::from_millis(150),
+        },
         rng.fork(2),
     );
 
@@ -66,8 +69,16 @@ fn main() {
     // Every node can now score any provider locally.
     let probe = NodeId(17);
     println!("\nnode {probe}'s local verdicts (no server was involved):");
-    println!("  provider 3 (bad):   {:.3} (oracle {:.3})", gossip.estimate(probe, 3), gossip.oracle(3));
-    println!("  provider 30 (good): {:.3} (oracle {:.3})", gossip.estimate(probe, 30), gossip.oracle(30));
+    println!(
+        "  provider 3 (bad):   {:.3} (oracle {:.3})",
+        gossip.estimate(probe, 3),
+        gossip.oracle(3)
+    );
+    println!(
+        "  provider 30 (good): {:.3} (oracle {:.3})",
+        gossip.estimate(probe, 30),
+        gossip.oracle(30)
+    );
     let separates = gossip.estimate(probe, 30) > gossip.estimate(probe, 3);
     println!("  good outranks bad locally: {separates}");
 }

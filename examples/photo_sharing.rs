@@ -77,16 +77,29 @@ fn main() {
             let decision = enforcer.decide(&request, &policies[owner.index()], &context);
             if decision.is_granted() {
                 granted += 1;
-                ledger.record_disclosure(now, owner, viewer, DataCategory::Content, Purpose::Social, false);
+                ledger.record_disclosure(
+                    now,
+                    owner,
+                    viewer,
+                    DataCategory::Content,
+                    Purpose::Social,
+                    false,
+                );
                 // The viewer rates the album (quality depends on the owner
                 // being a conscientious curator — modelled as id parity).
-                let quality = if owner.0 % 5 == 0 { 0.3 } else { 0.9 };
+                let quality = if owner.0.is_multiple_of(5) { 0.3 } else { 0.9 };
                 let outcome = if rng.gen_bool(quality) {
                     InteractionOutcome::Success { quality }
                 } else {
                     InteractionOutcome::Failure
                 };
-                let report = FeedbackReport { rater: viewer, ratee: owner, outcome, topic: None, at: now };
+                let report = FeedbackReport {
+                    rater: viewer,
+                    ratee: owner,
+                    outcome,
+                    topic: None,
+                    at: now,
+                };
                 reputation.record(&disclosure.view(&report));
             } else {
                 denied += 1;
@@ -97,11 +110,17 @@ fn main() {
 
     println!("\nafter one simulated week:");
     println!("  photo requests granted: {granted}, denied by policy: {denied}");
-    println!("  disclosures on ledger: {}, respect rate {:.3}", ledger.len(), ledger.respect_rate());
+    println!(
+        "  disclosures on ledger: {}, respect rate {:.3}",
+        ledger.len(),
+        ledger.respect_rate()
+    );
 
     // Reputation has learned who curates well.
-    let mut scored: Vec<(NodeId, f64)> =
-        (0..n as u32).map(NodeId).map(|u| (u, reputation.score(u))).collect();
+    let mut scored: Vec<(NodeId, f64)> = (0..n as u32)
+        .map(NodeId)
+        .map(|u| (u, reputation.score(u)))
+        .collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
     println!("\n  best-curated albums: {:?}", &scored[..3]);
     println!("  worst-curated albums: {:?}", &scored[n - 3..]);

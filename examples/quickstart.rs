@@ -6,45 +6,62 @@
 //! cargo run --example quickstart
 //! ```
 
-use tsn::core::{Aggregator, FacetWeights, Scenario, ScenarioConfig, TrustMetric};
+use tsn::core::runner::ScenarioBuilder;
+use tsn::core::{Aggregator, FacetWeights, TrustMetric};
 
 fn main() {
-    // 1. Configure the system: 100 users on a small-world graph, 20 %
-    //    malicious, EigenTrust over fully disclosed feedback.
-    let mut config = ScenarioConfig::default();
-    config.nodes = 100;
-    config.rounds = 25;
-    config.seed = 2010; // the paper's year; any seed reproduces bit-for-bit
+    // 1. Configure the system through the builder: 100 users on a
+    //    small-world graph, 20 % malicious, EigenTrust over fully
+    //    disclosed feedback (the defaults), and run it. Invalid knobs
+    //    would be rejected here with the offending field named.
+    let outcome = ScenarioBuilder::new()
+        .nodes(100)
+        .rounds(25)
+        .seed(2010) // the paper's year; any seed reproduces bit-for-bit
+        .run()
+        .expect("configuration is valid");
 
-    // 2. Run the scenario.
-    let mut scenario = Scenario::new(config).expect("configuration is valid");
-    let outcome = scenario.run();
-
-    // 3. The three facets of the paper, each measured (not assumed).
+    // 2. The three facets of the paper, each measured (not assumed).
     println!("== facets ==");
-    println!("privacy      = {:.3}  (non-disclosure, PP respect, OECD audit)", outcome.facets.privacy);
-    println!("reputation   = {:.3}  (consistency, reliability, efficiency)", outcome.facets.reputation);
-    println!("satisfaction = {:.3}  (long-run, fairness-discounted)", outcome.facets.satisfaction);
+    println!(
+        "privacy      = {:.3}  (non-disclosure, PP respect, OECD audit)",
+        outcome.facets.privacy
+    );
+    println!(
+        "reputation   = {:.3}  (consistency, reliability, efficiency)",
+        outcome.facets.reputation
+    );
+    println!(
+        "satisfaction = {:.3}  (long-run, fairness-discounted)",
+        outcome.facets.satisfaction
+    );
 
-    // 4. Trust toward the system — the paper's combined metric.
+    // 3. Trust toward the system — the paper's combined metric.
     println!("\n== trust toward the system ==");
     println!("global trust        = {:.3}", outcome.global_trust);
     let mean_user =
         outcome.per_user_trust.iter().sum::<f64>() / outcome.per_user_trust.len() as f64;
     println!("mean per-user trust = {mean_user:.3}");
 
-    // 5. Privacy accounting detail.
+    // 4. Privacy accounting detail.
     println!("\n== privacy ledger ==");
     println!("policy respect rate  = {:.3}", outcome.respect_rate);
     println!("user-caused breaches = {}", outcome.user_breaches);
     println!("system breaches      = {}", outcome.system_breaches);
     println!("OECD audit           = {:.3}", outcome.oecd_score);
 
-    // 6. The metric is configurable: compare aggregators on the same run.
+    // 5. The metric is configurable: compare aggregators on the same run.
     println!("\n== aggregator comparison (same facets) ==");
-    for aggregator in [Aggregator::Geometric, Aggregator::Arithmetic, Aggregator::Minimum] {
-        let metric = TrustMetric::new(FacetWeights::default(), aggregator)
-            .expect("valid metric");
-        println!("{:<11} -> trust {:.3}", aggregator.label(), metric.trust(&outcome.facets));
+    for aggregator in [
+        Aggregator::Geometric,
+        Aggregator::Arithmetic,
+        Aggregator::Minimum,
+    ] {
+        let metric = TrustMetric::new(FacetWeights::default(), aggregator).expect("valid metric");
+        println!(
+            "{:<11} -> trust {:.3}",
+            aggregator.label(),
+            metric.trust(&outcome.facets)
+        );
     }
 }

@@ -6,46 +6,36 @@
 //! cargo run --release --example tradeoff_explorer
 //! ```
 
-use tsn::core::{FacetScores, Optimizer, ScenarioConfig, TrustMetric};
-use tsn::core::scenario::run_scenario;
+use tsn::core::runner::{ScenarioBuilder, SweepGrid, SweepRunner};
+use tsn::core::{FacetScores, Optimizer, TrustMetric};
 
 fn main() {
     println!("disclosure ladder sweep (EigenTrust, mixed policies, 20% malicious)\n");
     println!("level  shared-info  privacy  reputation  satisfaction  trust");
-    for level in 0..5 {
-        // Average over a few seeds per level.
-        let (mut p, mut r, mut s, mut t, mut e) = (0.0, 0.0, 0.0, 0.0, 0.0);
-        let seeds = 3;
-        for seed in 0..seeds {
-            let mut config = ScenarioConfig::default();
-            config.nodes = 80;
-            config.rounds = 20;
-            config.disclosure_level = level;
-            config.seed = 500 + seed;
-            let outcome = run_scenario(config.clone()).expect("valid config");
-            p += outcome.facets.privacy;
-            r += outcome.facets.reputation;
-            s += outcome.facets.satisfaction;
-            t += outcome.global_trust;
-            e += config.disclosure_policy().exposure();
-        }
-        let k = seeds as f64;
+    // One parallel sweep replaces the per-level, per-seed loops: the
+    // full ladder × three seeds, averaged per level.
+    let grid = SweepGrid::over(ScenarioBuilder::new().nodes(80).rounds(20))
+        .all_disclosures()
+        .seeds(500..503);
+    let report = SweepRunner::parallel().run(&grid).expect("valid grid");
+    for (level, facets, trust) in report.mean_by(|c| c.cell.disclosure) {
         println!(
-            "{level:>5}  {:>11.2}  {:>7.3}  {:>10.3}  {:>12.3}  {:>5.3}",
-            e / k,
-            p / k,
-            r / k,
-            s / k,
-            t / k
+            "{:>5}  {:>11.2}  {:>7.3}  {:>10.3}  {:>12.3}  {:>5.3}",
+            level.index(),
+            level.exposure(),
+            facets.privacy,
+            facets.reputation,
+            facets.satisfaction,
+            trust
         );
     }
 
     println!("\nsearching for Area A (all facets >= threshold)...");
-    let base = ScenarioConfig {
-        nodes: 60,
-        rounds: 12,
-        ..ScenarioConfig::default()
-    };
+    let base = ScenarioBuilder::new()
+        .nodes(60)
+        .rounds(12)
+        .build()
+        .expect("valid base configuration");
     let mut optimizer =
         Optimizer::new(base, TrustMetric::default()).expect("valid base configuration");
     optimizer.seeds_per_point = 1;
@@ -61,7 +51,11 @@ fn main() {
     let best = optimizer.best(&sweep, Some(thresholds));
     println!(
         "\n  best configuration{}:",
-        if best.in_area_a { " (inside Area A)" } else { " (Area A empty — unconstrained)" }
+        if best.in_area_a {
+            " (inside Area A)"
+        } else {
+            " (Area A empty — unconstrained)"
+        }
     );
     println!(
         "    mechanism={} disclosure={} policies={} -> {}  trust={:.3}",

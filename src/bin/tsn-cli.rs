@@ -4,16 +4,20 @@
 //! ```text
 //! tsn-cli scenario [--nodes N] [--rounds R] [--seed S] [--mechanism M]
 //!                  [--disclosure 0..4] [--malicious F] [--policies P]
-//!                  [--churn F] [--adaptive] [--json]
-//! tsn-cli sweep    [--nodes N] [--rounds R] [--seed S] [--json]
+//!                  [--churn F] [--adaptive] [--progress K] [--json]
+//! tsn-cli sweep    [--nodes N] [--rounds R] [--seed S] [--seeds K]
+//!                  [--threads T] [--json] [--csv]
 //! tsn-cli dynamics [--honest F] [--eta F]
 //! ```
 
 use std::process::ExitCode;
 use tsn::core::dynamics::{DynamicsConfig, DynamicsState, InteractionDynamics};
-use tsn::core::scenario::run_scenario;
-use tsn::core::{FacetScores, Optimizer, PolicyProfile, ScenarioConfig, TrustMetric};
-use tsn::reputation::{MechanismKind, PopulationConfig};
+use tsn::core::json::JsonValue;
+use tsn::core::runner::{
+    DisclosureLevel, ProgressPrinter, ScenarioBuilder, SweepGrid, SweepRunner,
+};
+use tsn::core::{FacetScores, PolicyProfile};
+use tsn::reputation::MechanismKind;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +50,8 @@ fn print_help() {
 
 commands:
   scenario   run one end-to-end scenario and print the facets and trust
-  sweep      grid-sweep mechanisms x disclosure x policies; report Area A
+  sweep      grid-sweep mechanisms x disclosure x policies in parallel;
+             report every cell, the trust winner and Area A
   dynamics   iterate the Section-3 analytic dynamics to its fixed point
 
 common flags:
@@ -55,6 +60,11 @@ scenario flags:
   --mechanism none|beta|eigentrust|powertrust|trustme
   --disclosure 0..4   --malicious 0.0..1.0
   --policies permissive|mixed|strict   --churn 0.0..1.0   --adaptive
+  --progress K   print a progress line every K rounds
+sweep flags:
+  --seeds K    Monte-Carlo seeds per grid point (default 1)
+  --threads T  worker threads (default: all cores)
+  --csv        emit the full report as CSV
 dynamics flags:
   --honest 0.0..1.0   --eta 0.0..1.0"
     );
@@ -81,7 +91,9 @@ impl<'a> Flags<'a> {
     fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for {key}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for {key}")),
         }
     }
 }
@@ -100,49 +112,74 @@ fn parse_policies(raw: &str) -> Result<PolicyProfile, String> {
         .ok_or_else(|| format!("unknown policy profile '{raw}'"))
 }
 
-fn scenario_config(flags: &Flags) -> Result<ScenarioConfig, String> {
-    let mut config = ScenarioConfig::default();
-    config.nodes = flags.parse("--nodes", config.nodes)?;
-    config.rounds = flags.parse("--rounds", config.rounds)?;
-    config.seed = flags.parse("--seed", config.seed)?;
-    config.disclosure_level = flags.parse("--disclosure", config.disclosure_level)?;
-    config.churn_offline = flags.parse("--churn", config.churn_offline)?;
-    config.adaptive_disclosure = flags.has("--adaptive");
+fn parse_disclosure(raw: &str) -> Result<DisclosureLevel, String> {
+    raw.parse::<usize>()
+        .ok()
+        .and_then(DisclosureLevel::from_index)
+        .ok_or_else(|| format!("--disclosure must be 0..4, got '{raw}'"))
+}
+
+fn scenario_builder(flags: &Flags) -> Result<ScenarioBuilder, String> {
+    let mut builder = ScenarioBuilder::new()
+        .nodes(flags.parse("--nodes", 100)?)
+        .rounds(flags.parse("--rounds", 30)?)
+        .seed(flags.parse("--seed", 42)?)
+        .churn(flags.parse("--churn", 0.0)?)
+        .malicious_fraction(flags.parse("--malicious", 0.2)?)
+        .adaptive_disclosure(flags.has("--adaptive"));
+    if let Some(raw) = flags.get("--disclosure") {
+        builder = builder.disclosure(parse_disclosure(raw)?);
+    }
     if let Some(raw) = flags.get("--mechanism") {
-        config.mechanism = parse_mechanism(raw)?;
+        builder = builder.mechanism(parse_mechanism(raw)?);
     }
     if let Some(raw) = flags.get("--policies") {
-        config.policy_profile = parse_policies(raw)?;
+        builder = builder.policy_profile(parse_policies(raw)?);
     }
-    let malicious = flags.parse("--malicious", 0.2)?;
-    config.population = PopulationConfig::with_malicious(malicious);
-    config.validate()?;
-    Ok(config)
+    Ok(builder)
 }
 
 fn cmd_scenario(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
-    let config = scenario_config(&flags)?;
-    let outcome = run_scenario(config.clone())?;
+    let builder = scenario_builder(&flags)?;
+    let config = builder.clone().build().map_err(|e| e.to_string())?;
+    let outcome = if let Some(every) = flags.get("--progress") {
+        let every: usize = every.parse().map_err(|_| "invalid value for --progress")?;
+        let mut progress = ProgressPrinter::every(every);
+        builder.run_observed(&mut [&mut progress])
+    } else {
+        builder.run()
+    }
+    .map_err(|e| e.to_string())?;
     if flags.has("--json") {
-        let line = serde_json::json!({
-            "config": {
-                "nodes": config.nodes,
-                "rounds": config.rounds,
-                "seed": config.seed,
-                "mechanism": config.mechanism.name(),
-                "disclosure_level": config.disclosure_level,
-                "policies": config.policy_profile.label(),
-            },
-            "facets": outcome.facets,
-            "global_trust": outcome.global_trust,
-            "respect_rate": outcome.respect_rate,
-            "user_breaches": outcome.user_breaches,
-            "system_breaches": outcome.system_breaches,
-            "denial_rate": outcome.denial_rate,
-            "interactions": outcome.interactions,
-            "messages": outcome.messages,
-        });
+        let line = JsonValue::object([
+            (
+                "config",
+                JsonValue::object([
+                    ("nodes", JsonValue::from(config.nodes)),
+                    ("rounds", JsonValue::from(config.rounds)),
+                    ("seed", JsonValue::from(config.seed)),
+                    ("mechanism", JsonValue::str(config.mechanism.name())),
+                    ("disclosure_level", JsonValue::from(config.disclosure_level)),
+                    ("policies", JsonValue::str(config.policy_profile.label())),
+                ]),
+            ),
+            (
+                "facets",
+                JsonValue::object([
+                    ("privacy", JsonValue::from(outcome.facets.privacy)),
+                    ("reputation", JsonValue::from(outcome.facets.reputation)),
+                    ("satisfaction", JsonValue::from(outcome.facets.satisfaction)),
+                ]),
+            ),
+            ("global_trust", JsonValue::from(outcome.global_trust)),
+            ("respect_rate", JsonValue::from(outcome.respect_rate)),
+            ("user_breaches", JsonValue::from(outcome.user_breaches)),
+            ("system_breaches", JsonValue::from(outcome.system_breaches)),
+            ("denial_rate", JsonValue::from(outcome.denial_rate)),
+            ("interactions", JsonValue::from(outcome.interactions)),
+            ("messages", JsonValue::from(outcome.messages)),
+        ]);
         println!("{line}");
     } else {
         println!(
@@ -169,38 +206,77 @@ fn cmd_scenario(args: &[String]) -> Result<(), String> {
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
-    let mut base = ScenarioConfig::default();
-    base.nodes = flags.parse("--nodes", 48usize)?;
-    base.rounds = flags.parse("--rounds", 10usize)?;
-    base.seed = flags.parse("--seed", base.seed)?;
-    base.graph_degree = base.graph_degree.min(base.nodes.saturating_sub(2)) & !1;
-    let mut optimizer = Optimizer::new(base, TrustMetric::default())?;
-    optimizer.seeds_per_point = 1;
-    let sweep = optimizer.sweep();
-    let thresholds = FacetScores::new(0.5, 0.55, 0.35)?;
-    let report = optimizer.area_report(&sweep, thresholds);
-    let best = optimizer.best(&sweep, Some(thresholds));
-    if flags.has("--json") {
-        println!(
-            "{}",
-            serde_json::json!({ "area": report, "best": best.best, "in_area_a": best.in_area_a })
-        );
-    } else {
-        println!(
-            "sweep of {} configs: Area A holds {} ({}%)",
-            report.total,
-            report.area_a,
-            (100 * report.area_a) / report.total.max(1)
-        );
-        println!(
-            "best: mechanism={} disclosure={} policies={} trust={:.3}{}",
-            best.best.mechanism.name(),
-            best.best.disclosure_level,
-            best.best.policy_profile.label(),
-            best.best.trust,
-            if best.in_area_a { " (inside Area A)" } else { "" }
-        );
+    let nodes: usize = flags.parse("--nodes", 48)?;
+    let seed: u64 = flags.parse("--seed", 42)?;
+    let seeds_per_point: u64 = flags.parse("--seeds", 1)?;
+    if seeds_per_point == 0 {
+        return Err("--seeds must be at least 1".into());
     }
+    let degree = 8usize.min(nodes.saturating_sub(2)) & !1;
+    let base = ScenarioBuilder::new()
+        .nodes(nodes)
+        .rounds(flags.parse("--rounds", 10)?)
+        .graph(degree, 0.1)
+        .seed(seed);
+    let grid = SweepGrid::over(base)
+        .all_mechanisms()
+        .all_disclosures()
+        .all_profiles()
+        .seeds((0..seeds_per_point).map(|i| seed.wrapping_add(i * 7919)));
+
+    let runner = match flags.get("--threads") {
+        Some(raw) => {
+            let t: usize = raw.parse().map_err(|_| "invalid value for --threads")?;
+            SweepRunner::with_threads(t)
+        }
+        None => SweepRunner::parallel(),
+    };
+    eprintln!(
+        "sweeping {} cells on {} threads...",
+        grid.len(),
+        runner.threads().min(grid.len())
+    );
+    let report = runner.run(&grid).map_err(|e| e.to_string())?;
+
+    if flags.has("--csv") {
+        print!("{}", report.to_csv());
+        return Ok(());
+    }
+    if flags.has("--json") {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
+
+    let thresholds = FacetScores::new(0.5, 0.55, 0.35)?;
+    let in_area = report.meeting(&thresholds).count();
+    println!(
+        "{}",
+        report
+            .to_table("SWEEP", "mechanism x disclosure x policies")
+            .render()
+    );
+    println!(
+        "sweep of {} cells: Area A (facets >= {:.2}/{:.2}/{:.2}) holds {} ({}%)",
+        report.cells.len(),
+        thresholds.privacy,
+        thresholds.reputation,
+        thresholds.satisfaction,
+        in_area,
+        (100 * in_area) / report.cells.len().max(1)
+    );
+    let best = report.best_by_trust().expect("non-empty grid");
+    println!(
+        "best: mechanism={} disclosure={} policies={} trust={:.3}{}",
+        best.cell.mechanism.name(),
+        best.cell.disclosure.index(),
+        best.cell.profile.label(),
+        best.trust,
+        if best.facets.meets(&thresholds) {
+            " (inside Area A)"
+        } else {
+            ""
+        }
+    );
     Ok(())
 }
 
@@ -212,10 +288,16 @@ fn cmd_dynamics(args: &[String]) -> Result<(), String> {
     config.validate()?;
     let dynamics = InteractionDynamics::new(config);
     let (state, steps) = dynamics.fixed_point(DynamicsState::neutral(), 1e-10, 100_000);
-    println!("fixed point after {steps} steps (honest_fraction={}):", config.honest_fraction);
+    println!(
+        "fixed point after {steps} steps (honest_fraction={}):",
+        config.honest_fraction
+    );
     println!("  trust                 = {:.4}", state.trust);
     println!("  satisfaction          = {:.4}", state.satisfaction);
-    println!("  reputation efficiency = {:.4}", state.reputation_efficiency);
+    println!(
+        "  reputation efficiency = {:.4}",
+        state.reputation_efficiency
+    );
     println!("  disclosure            = {:.4}", state.disclosure);
     println!("  privacy               = {:.4}", state.privacy);
     Ok(())

@@ -1,13 +1,13 @@
 //! Cross-crate integration: the full pipeline from substrates to trust.
 
-use tsn::core::scenario::run_scenario;
-use tsn::core::{Optimizer, ScenarioConfig, TrustMetric};
+use tsn::core::runner::ScenarioBuilder;
+use tsn::core::{Optimizer, TrustMetric};
 use tsn::graph::{generators, metrics};
 use tsn::reputation::{testbed::run_testbed, MechanismKind, PopulationConfig, TestbedConfig};
 use tsn::simnet::{SimRng, SimTime, Simulation};
 
-fn small(seed: u64) -> ScenarioConfig {
-    ScenarioConfig { nodes: 40, rounds: 10, seed, ..ScenarioConfig::default() }
+fn small(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::small().seed(seed)
 }
 
 #[test]
@@ -28,15 +28,15 @@ fn simulator_graph_and_scenario_compose() {
     assert!(g.is_connected());
     assert!(metrics::average_path_length(&g, 30, &mut rng).unwrap() < 4.0);
 
-    let outcome = run_scenario(small(3)).unwrap();
+    let outcome = small(3).run().unwrap();
     assert!(outcome.interactions > 0);
     assert!(outcome.messages > outcome.interactions);
 }
 
 #[test]
 fn scenario_outcome_is_fully_reproducible() {
-    let a = run_scenario(small(11)).unwrap();
-    let b = run_scenario(small(11)).unwrap();
+    let a = small(11).run().unwrap();
+    let b = small(11).run().unwrap();
     assert_eq!(a.global_trust, b.global_trust);
     assert_eq!(a.per_user_trust, b.per_user_trust);
     assert_eq!(a.user_breaches, b.user_breaches);
@@ -61,16 +61,22 @@ fn testbed_and_scenario_agree_on_mechanism_quality() {
     .unwrap();
     assert!(testbed.power.consistency > 0.6);
 
-    let mut config = small(4);
-    config.mechanism = MechanismKind::Beta;
-    config.population = PopulationConfig::with_malicious(0.3);
-    let scenario = run_scenario(config).unwrap();
+    let scenario = small(4)
+        .mechanism(MechanismKind::Beta)
+        .malicious_fraction(0.3)
+        .run()
+        .unwrap();
     assert!(scenario.facets.reputation > 0.5);
 }
 
 #[test]
 fn optimizer_finds_trust_improving_settings() {
-    let base = ScenarioConfig { nodes: 24, rounds: 6, graph_degree: 4, ..ScenarioConfig::default() };
+    let base = ScenarioBuilder::new()
+        .nodes(24)
+        .rounds(6)
+        .graph(4, 0.1)
+        .build()
+        .unwrap();
     let mut optimizer = Optimizer::new(base.clone(), TrustMetric::default()).unwrap();
     optimizer.seeds_per_point = 1;
     let sweep = optimizer.sweep();
@@ -88,9 +94,7 @@ fn optimizer_finds_trust_improving_settings() {
 #[test]
 fn facade_prelude_reexports_work() {
     use tsn::prelude::*;
-    let config = ScenarioConfig::small();
-    let mut scenario = Scenario::new(config).unwrap();
-    let outcome = scenario.run();
+    let outcome = ScenarioBuilder::small().run().unwrap();
     let metric = TrustMetric::default();
     let recomputed = metric.trust(&outcome.facets);
     assert!((recomputed - outcome.global_trust).abs() < 1e-12);

@@ -3,19 +3,16 @@
 //! these tests pin the *signs* so regressions are caught by `cargo test`.)
 
 use tsn::core::dynamics::{DynamicsConfig, DynamicsState, InteractionDynamics};
-use tsn::core::scenario::run_scenario;
-use tsn::core::{FacetScores, Optimizer, ScenarioConfig, TrustMetric};
+use tsn::core::runner::{DisclosureLevel, ScenarioBuilder};
+use tsn::core::{FacetScores, Optimizer, TrustMetric};
 use tsn::graph::metrics::spearman;
-use tsn::reputation::PopulationConfig;
 
-fn base(seed: u64) -> ScenarioConfig {
-    ScenarioConfig {
-        nodes: 50,
-        rounds: 14,
-        seed,
-        population: PopulationConfig::with_malicious(0.25),
-        ..ScenarioConfig::default()
-    }
+fn base(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::new()
+        .nodes(50)
+        .rounds(14)
+        .seed(seed)
+        .malicious_fraction(0.25)
 }
 
 fn mean<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
@@ -31,10 +28,11 @@ fn fig1_satisfaction_trust_link_is_positive() {
     let mut sats = Vec::new();
     let mut trusts = Vec::new();
     for seed in 0..8 {
-        let mut c = base(100 + seed);
-        c.disclosure_level = (seed % 5) as usize;
-        c.population = PopulationConfig::with_malicious(0.1 * (seed % 4) as f64);
-        let o = run_scenario(c).unwrap();
+        let o = base(100 + seed)
+            .disclosure(DisclosureLevel::from_index((seed % 5) as usize).unwrap())
+            .malicious_fraction(0.1 * (seed % 4) as f64)
+            .run()
+            .unwrap();
         sats.push(o.facets.satisfaction);
         trusts.push(o.global_trust);
     }
@@ -45,32 +43,44 @@ fn fig1_satisfaction_trust_link_is_positive() {
 /// Figure 2 (right), claim 1: privacy facet decreases with shared info.
 #[test]
 fn fig2_privacy_decreases_with_disclosure() {
-    let facet = |level: usize| {
+    let facet = |level: DisclosureLevel| {
         mean((0..3).map(|s| {
-            let mut c = base(200 + s);
-            c.disclosure_level = level;
-            run_scenario(c).unwrap().facets.privacy
+            base(200 + s)
+                .disclosure(level)
+                .run()
+                .unwrap()
+                .facets
+                .privacy
         }))
     };
-    let lo = facet(0);
-    let mid = facet(2);
-    let hi = facet(4);
-    assert!(lo > mid && mid > hi, "privacy must fall along the ladder: {lo} {mid} {hi}");
+    let lo = facet(DisclosureLevel::Minimal);
+    let mid = facet(DisclosureLevel::Timestamped);
+    let hi = facet(DisclosureLevel::Full);
+    assert!(
+        lo > mid && mid > hi,
+        "privacy must fall along the ladder: {lo} {mid} {hi}"
+    );
 }
 
 /// Figure 2 (right), claim 2: reputation power increases with shared info.
 #[test]
 fn fig2_reputation_increases_with_disclosure() {
-    let facet = |level: usize| {
+    let facet = |level: DisclosureLevel| {
         mean((0..4).map(|s| {
-            let mut c = base(300 + s);
-            c.disclosure_level = level;
-            run_scenario(c).unwrap().facets.reputation
+            base(300 + s)
+                .disclosure(level)
+                .run()
+                .unwrap()
+                .facets
+                .reputation
         }))
     };
-    let lo = facet(0);
-    let hi = facet(4);
-    assert!(hi > lo + 0.05, "reputation power must rise with disclosure: {lo} -> {hi}");
+    let lo = facet(DisclosureLevel::Minimal);
+    let hi = facet(DisclosureLevel::Full);
+    assert!(
+        hi > lo + 0.05,
+        "reputation power must rise with disclosure: {lo} -> {hi}"
+    );
 }
 
 /// Figure 2 (right), claim 3: the same global satisfaction is reachable
@@ -80,23 +90,26 @@ fn fig2_iso_satisfaction_from_multiple_settings() {
     // Sweep the grid; look for two far-apart configs with near-equal
     // satisfaction facet.
     let mut points = Vec::new();
-    for level in 0..5usize {
-        for mech_i in 0..2 {
-            let mut c = base(400);
-            c.disclosure_level = level;
-            c.mechanism = if mech_i == 0 {
-                tsn::reputation::MechanismKind::Beta
-            } else {
-                tsn::reputation::MechanismKind::EigenTrust
-            };
-            let o = run_scenario(c).unwrap();
-            points.push((level, mech_i, o.facets.satisfaction));
+    for level in DisclosureLevel::ALL {
+        for (mech_i, mechanism) in [
+            tsn::reputation::MechanismKind::Beta,
+            tsn::reputation::MechanismKind::EigenTrust,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let o = base(400)
+                .disclosure(level)
+                .mechanism(mechanism)
+                .run()
+                .unwrap();
+            points.push((level.index(), mech_i, o.facets.satisfaction));
         }
     }
     let found = points.iter().any(|&(l1, m1, s1)| {
-        points
-            .iter()
-            .any(|&(l2, m2, s2)| (l1 as i32 - l2 as i32).abs() >= 2 && (m1 != m2 || l1 != l2) && (s1 - s2).abs() < 0.05)
+        points.iter().any(|&(l2, m2, s2)| {
+            (l1 as i32 - l2 as i32).abs() >= 2 && (m1 != m2 || l1 != l2) && (s1 - s2).abs() < 0.05
+        })
     });
     assert!(found, "no iso-satisfaction pair found in {points:?}");
 }
@@ -104,14 +117,21 @@ fn fig2_iso_satisfaction_from_multiple_settings() {
 /// Figure 2 (left): Area A is non-empty but a strict subset.
 #[test]
 fn fig2_area_a_nonempty_strict_subset() {
-    let base_cfg =
-        ScenarioConfig { nodes: 24, rounds: 6, graph_degree: 4, ..ScenarioConfig::default() };
+    let base_cfg = ScenarioBuilder::new()
+        .nodes(24)
+        .rounds(6)
+        .graph(4, 0.1)
+        .build()
+        .unwrap();
     let mut optimizer = Optimizer::new(base_cfg, TrustMetric::default()).unwrap();
     optimizer.seeds_per_point = 1;
     let sweep = optimizer.sweep();
     let report = optimizer.area_report(&sweep, FacetScores::new(0.5, 0.55, 0.3).unwrap());
     assert!(report.area_a > 0, "Area A must be reachable");
-    assert!(report.area_a < report.total, "Area A must exclude some configs");
+    assert!(
+        report.area_a < report.total,
+        "Area A must exclude some configs"
+    );
     assert!(report.area_a <= report.privacy_region.min(report.reputation_region));
 }
 
@@ -119,20 +139,22 @@ fn fig2_area_a_nonempty_strict_subset() {
 /// trust low even though feedback volume persists.
 #[test]
 fn e4_hostile_majority_low_trust_despite_feedback() {
-    let mut hostile = base(500);
-    hostile.population = PopulationConfig::with_malicious(0.7);
-    hostile.disclosure_level = 4;
-    hostile.rounds = 16;
-    let o = run_scenario(hostile).unwrap();
+    let o = base(500)
+        .malicious_fraction(0.7)
+        .disclosure(DisclosureLevel::Full)
+        .rounds(16)
+        .run()
+        .unwrap();
     // Feedback volume persists to the last round...
     assert!(o.samples.last().unwrap().reports_filed > 0);
     // ...yet satisfaction (and hence trust) is depressed relative to an
     // honest world.
-    let mut honest = base(500);
-    honest.population = PopulationConfig::with_malicious(0.0);
-    honest.disclosure_level = 4;
-    honest.rounds = 16;
-    let o_honest = run_scenario(honest).unwrap();
+    let o_honest = base(500)
+        .malicious_fraction(0.0)
+        .disclosure(DisclosureLevel::Full)
+        .rounds(16)
+        .run()
+        .unwrap();
     assert!(
         o.global_trust < o_honest.global_trust - 0.05,
         "hostile {} vs honest {}",
@@ -146,16 +168,21 @@ fn e4_hostile_majority_low_trust_despite_feedback() {
 fn e5_distrust_reduces_disclosure() {
     let run = |adaptive: bool| {
         mean((0..3).map(|s| {
-            let mut c = base(600 + s);
-            c.population = PopulationConfig::with_malicious(0.5);
-            c.leak_probability = 0.8;
-            c.disclosure_level = 4;
-            c.adaptive_disclosure = adaptive;
-            c.rounds = 18;
-            run_scenario(c).unwrap().mean_willingness
+            base(600 + s)
+                .malicious_fraction(0.5)
+                .leak_probability(0.8)
+                .disclosure(DisclosureLevel::Full)
+                .adaptive_disclosure(adaptive)
+                .rounds(18)
+                .run()
+                .unwrap()
+                .mean_willingness
         }))
     };
-    assert!(run(true) < run(false), "adaptive distrust must retract disclosure");
+    assert!(
+        run(true) < run(false),
+        "adaptive distrust must retract disclosure"
+    );
 }
 
 /// The analytic dynamics reproduce every Figure-1 edge sign.
@@ -171,7 +198,10 @@ fn dynamics_edge_signs() {
         ("trust", "disclosure"),
         ("privacy", "satisfaction"),
     ] {
-        assert!(d.coupling_sign(&s, src, dst) > 0.0, "{src}->{dst} must be positive");
+        assert!(
+            d.coupling_sign(&s, src, dst) > 0.0,
+            "{src}->{dst} must be positive"
+        );
     }
     assert!(d.coupling_sign(&s, "disclosure", "privacy") < 0.0);
 }
@@ -200,6 +230,9 @@ fn dynamics_global_convergence() {
     }
     // All corners converge to the same attractor.
     for fp in &fixed_points[1..] {
-        assert!(fp.distance(&fixed_points[0]) < 1e-6, "unique attractor expected");
+        assert!(
+            fp.distance(&fixed_points[0]) < 1e-6,
+            "unique attractor expected"
+        );
     }
 }

@@ -1,8 +1,13 @@
-//! Property-based tests (proptest) on the workspace's core invariants.
+//! Property-based tests on the workspace's core invariants.
+//!
+//! The build environment has no crates.io access, so instead of
+//! `proptest` these use the workspace's own deterministic [`SimRng`] to
+//! sample each property over many random cases — same invariants,
+//! reproducible counterexamples (the failing case index and inputs are
+//! in the assertion message).
 
-use proptest::prelude::*;
 use tsn::core::{Aggregator, FacetScores, FacetWeights, TrustMetric};
-use tsn::graph::{generators, metrics, Graph};
+use tsn::graph::{generators, metrics};
 use tsn::privacy::enforcement::RequestContext;
 use tsn::privacy::{AccessRequest, DataCategory, Enforcer, Operation, PrivacyPolicy, Purpose};
 use tsn::reputation::{
@@ -13,195 +18,263 @@ use tsn::satisfaction::aggregate::{gini_coefficient, GlobalSatisfaction};
 use tsn::satisfaction::SatisfactionTracker;
 use tsn::simnet::{NodeId, SimRng, SimTime};
 
-fn facet() -> impl Strategy<Value = f64> {
-    0.0..=1.0f64
+const CASES: usize = 128;
+
+fn rng_for(test: u64) -> SimRng {
+    SimRng::seed_from_u64(0x5EED_0000 + test)
 }
 
-proptest! {
-    /// Trust is always in [0,1] and monotone in each facet, for every
-    /// aggregator.
-    #[test]
-    fn trust_metric_bounded_and_monotone(
-        p in facet(), r in facet(), s in facet(),
-        bump in 0.01..0.5f64,
-        agg_idx in 0usize..4,
-    ) {
-        let aggregator = [
-            Aggregator::Arithmetic,
-            Aggregator::Geometric,
-            Aggregator::Minimum,
-            Aggregator::PowerMean(2.0),
-        ][agg_idx];
+/// Trust is always in [0,1] and monotone in each facet, for every
+/// aggregator.
+#[test]
+fn trust_metric_bounded_and_monotone() {
+    let mut rng = rng_for(1);
+    let aggregators = [
+        Aggregator::Arithmetic,
+        Aggregator::Geometric,
+        Aggregator::Minimum,
+        Aggregator::PowerMean(2.0),
+    ];
+    for case in 0..CASES {
+        let (p, r, s) = (rng.gen_f64(), rng.gen_f64(), rng.gen_f64());
+        let bump = 0.01 + rng.gen_f64() * 0.49;
+        let aggregator = *rng.choose(&aggregators).unwrap();
         let metric = TrustMetric::new(FacetWeights::default(), aggregator).unwrap();
         let facets = FacetScores::new(p, r, s).unwrap();
         let t = metric.trust(&facets);
-        prop_assert!((0.0..=1.0).contains(&t));
+        assert!(
+            (0.0..=1.0).contains(&t),
+            "case {case}: trust {t} out of range"
+        );
         // Monotone: bumping any facet never lowers trust.
-        let bumped = FacetScores::new((p + bump).min(1.0), r, s).unwrap();
-        prop_assert!(metric.trust(&bumped) >= t - 1e-12);
-        let bumped = FacetScores::new(p, (r + bump).min(1.0), s).unwrap();
-        prop_assert!(metric.trust(&bumped) >= t - 1e-12);
-        let bumped = FacetScores::new(p, r, (s + bump).min(1.0)).unwrap();
-        prop_assert!(metric.trust(&bumped) >= t - 1e-12);
+        for bumped in [
+            FacetScores::new((p + bump).min(1.0), r, s).unwrap(),
+            FacetScores::new(p, (r + bump).min(1.0), s).unwrap(),
+            FacetScores::new(p, r, (s + bump).min(1.0)).unwrap(),
+        ] {
+            assert!(
+                metric.trust(&bumped) >= t - 1e-12,
+                "case {case}: bump lowered trust for {aggregator:?} at ({p},{r},{s})"
+            );
+        }
     }
+}
 
-    /// Geometric trust never exceeds arithmetic trust (AM–GM).
-    #[test]
-    fn am_gm_inequality(p in facet(), r in facet(), s in facet()) {
-        let facets = FacetScores::new(p, r, s).unwrap();
-        let geo = TrustMetric::new(FacetWeights::default(), Aggregator::Geometric).unwrap();
-        let ari = TrustMetric::new(FacetWeights::default(), Aggregator::Arithmetic).unwrap();
-        prop_assert!(geo.trust(&facets) <= ari.trust(&facets) + 1e-12);
-        // And the minimum lower-bounds the geometric mean.
-        let min = TrustMetric::new(FacetWeights::default(), Aggregator::Minimum).unwrap();
-        prop_assert!(min.trust(&facets) <= geo.trust(&facets) + 1e-12);
+/// Geometric trust never exceeds arithmetic trust (AM–GM), and the
+/// minimum lower-bounds the geometric mean.
+#[test]
+fn am_gm_inequality() {
+    let mut rng = rng_for(2);
+    let geo = TrustMetric::new(FacetWeights::default(), Aggregator::Geometric).unwrap();
+    let ari = TrustMetric::new(FacetWeights::default(), Aggregator::Arithmetic).unwrap();
+    let min = TrustMetric::new(FacetWeights::default(), Aggregator::Minimum).unwrap();
+    for case in 0..CASES {
+        let facets = FacetScores::new(rng.gen_f64(), rng.gen_f64(), rng.gen_f64()).unwrap();
+        assert!(
+            geo.trust(&facets) <= ari.trust(&facets) + 1e-12,
+            "case {case}: AM-GM violated at {facets:?}"
+        );
+        assert!(
+            min.trust(&facets) <= geo.trust(&facets) + 1e-12,
+            "case {case}: min above geometric at {facets:?}"
+        );
     }
+}
 
-    /// The disclosure ladder's exposure is strictly monotone and the view
-    /// never reveals a field the policy withholds.
-    #[test]
-    fn disclosure_ladder_monotone_and_sound(
-        level in 0usize..5,
-        rater in 0u32..100,
-        ratee in 0u32..100,
-        quality in facet(),
-    ) {
+/// The disclosure ladder's exposure is strictly monotone and the view
+/// never reveals a field the policy withholds.
+#[test]
+fn disclosure_ladder_monotone_and_sound() {
+    let mut rng = rng_for(3);
+    for case in 0..CASES {
+        let level = rng.gen_range(0..5usize);
         let policy = DisclosurePolicy::ladder(level);
         if level > 0 {
-            prop_assert!(policy.exposure() > DisclosurePolicy::ladder(level - 1).exposure());
+            assert!(
+                policy.exposure() > DisclosurePolicy::ladder(level - 1).exposure(),
+                "case {case}: exposure not monotone at level {level}"
+            );
         }
         let report = FeedbackReport {
-            rater: NodeId(rater),
-            ratee: NodeId(ratee),
-            outcome: InteractionOutcome::Success { quality },
+            rater: NodeId(rng.gen_range(0..100u32)),
+            ratee: NodeId(rng.gen_range(0..100u32)),
+            outcome: InteractionOutcome::Success {
+                quality: rng.gen_f64(),
+            },
             topic: Some(3),
             at: SimTime::from_secs(9),
         };
         let view = policy.view(&report);
-        prop_assert_eq!(view.rater.is_some(), policy.rater_identity);
-        prop_assert_eq!(view.quality.is_some(), policy.outcome_detail);
-        prop_assert_eq!(view.topic.is_some(), policy.topic);
-        prop_assert_eq!(view.at.is_some(), policy.timestamp);
-        prop_assert_eq!(view.ratee, NodeId(ratee));
+        assert_eq!(view.rater.is_some(), policy.rater_identity);
+        assert_eq!(view.quality.is_some(), policy.outcome_detail);
+        assert_eq!(view.topic.is_some(), policy.topic);
+        assert_eq!(view.at.is_some(), policy.timestamp);
+        assert_eq!(view.ratee, report.ratee);
     }
+}
 
-    /// Beta reputation scores stay in (0,1) and respond in the right
-    /// direction to feedback.
-    #[test]
-    fn beta_scores_bounded_and_directional(
-        good in 0u32..40,
-        bad in 0u32..40,
-    ) {
+/// Beta reputation scores stay in (0,1) and equal the exact posterior
+/// mean.
+#[test]
+fn beta_scores_bounded_and_directional() {
+    let mut rng = rng_for(4);
+    for case in 0..CASES {
+        let good = rng.gen_range(0..40u32);
+        let bad = rng.gen_range(0..40u32);
         let mut m = BetaReputation::new(2).without_credibility_weighting();
         let full = DisclosurePolicy::full();
         for _ in 0..good {
             m.record(&full.view(&FeedbackReport {
-                rater: NodeId(0), ratee: NodeId(1),
+                rater: NodeId(0),
+                ratee: NodeId(1),
                 outcome: InteractionOutcome::Success { quality: 1.0 },
-                topic: None, at: SimTime::ZERO,
+                topic: None,
+                at: SimTime::ZERO,
             }));
         }
         for _ in 0..bad {
             m.record(&full.view(&FeedbackReport {
-                rater: NodeId(0), ratee: NodeId(1),
+                rater: NodeId(0),
+                ratee: NodeId(1),
                 outcome: InteractionOutcome::Failure,
-                topic: None, at: SimTime::ZERO,
+                topic: None,
+                at: SimTime::ZERO,
             }));
         }
         let s = m.score(NodeId(1));
-        prop_assert!(s > 0.0 && s < 1.0);
-        // Exact posterior mean.
+        assert!(s > 0.0 && s < 1.0, "case {case}: score {s} out of (0,1)");
         let expected = (good as f64 + 1.0) / ((good + bad) as f64 + 2.0);
-        prop_assert!((s - expected).abs() < 1e-9);
+        assert!(
+            (s - expected).abs() < 1e-9,
+            "case {case}: {good}+/{bad}- gave {s}, expected {expected}"
+        );
     }
+}
 
-    /// Selection policies always pick a member of the candidate set.
-    #[test]
-    fn selection_always_picks_a_candidate(
-        seed in 0u64..1000,
-        k in 1usize..20,
-        policy_idx in 0usize..4,
-    ) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Selection policies always pick a member of the candidate set.
+#[test]
+fn selection_always_picks_a_candidate() {
+    let mut rng = rng_for(5);
+    for case in 0..CASES {
+        let k = rng.gen_range(1..20usize);
         let candidates: Vec<NodeId> = (0..k as u32).map(NodeId).collect();
-        let policy = SelectionPolicy::SWEEP[policy_idx];
+        let policy = *rng.choose(&SelectionPolicy::SWEEP).unwrap();
         let chosen = policy
-            .select(&candidates, |n| (n.0 as f64 + 1.0) / (k as f64 + 1.0), &mut rng)
+            .select(
+                &candidates,
+                |n| (n.0 as f64 + 1.0) / (k as f64 + 1.0),
+                &mut rng,
+            )
             .unwrap();
-        prop_assert!(candidates.contains(&chosen));
+        assert!(
+            candidates.contains(&chosen),
+            "case {case}: {chosen:?} not a candidate"
+        );
     }
+}
 
-    /// Graph generators produce simple graphs with consistent degree
-    /// accounting, and BFS distances satisfy the triangle property along
-    /// edges.
-    #[test]
-    fn graph_invariants(seed in 0u64..500, n in 10usize..60, m in 1usize..4) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Graph generators produce simple graphs with consistent degree
+/// accounting, and BFS distances satisfy the triangle property along
+/// edges.
+#[test]
+fn graph_invariants() {
+    let mut rng = rng_for(6);
+    for case in 0..24 {
+        let n = rng.gen_range(10..60usize);
+        let m = rng.gen_range(1..4usize);
         let g = generators::barabasi_albert(n, m, &mut rng).unwrap();
         // Handshake lemma.
         let degree_sum: usize = metrics::degree_sequence(&g).iter().sum();
-        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        assert_eq!(degree_sum, 2 * g.edge_count(), "case {case}");
         // No self-loops, symmetric adjacency.
         for v in g.nodes() {
-            prop_assert!(!g.has_edge(v, v));
+            assert!(!g.has_edge(v, v), "case {case}: self-loop at {v:?}");
             for &u in g.neighbors(v) {
-                prop_assert!(g.has_edge(u, v));
+                assert!(
+                    g.has_edge(u, v),
+                    "case {case}: asymmetric edge {v:?}->{u:?}"
+                );
             }
         }
         // BFS: adjacent nodes' distances differ by at most 1.
         let dist = g.bfs_distances(NodeId(0));
         for (a, b) in g.edges() {
             if let (Some(da), Some(db)) = (dist[a.index()], dist[b.index()]) {
-                prop_assert!(da.abs_diff(db) <= 1);
+                assert!(da.abs_diff(db) <= 1, "case {case}: BFS triangle violated");
             }
         }
     }
+}
 
-    /// Watts–Strogatz keeps the edge count invariant under rewiring.
-    #[test]
-    fn ws_rewiring_preserves_edges(seed in 0u64..200, beta in 0.0..1.0f64) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Watts–Strogatz keeps the edge count invariant under rewiring.
+#[test]
+fn ws_rewiring_preserves_edges() {
+    let mut rng = rng_for(7);
+    for case in 0..32 {
+        let beta = rng.gen_f64();
         let g = generators::watts_strogatz(40, 6, beta, &mut rng).unwrap();
-        prop_assert_eq!(g.edge_count(), 40 * 6 / 2);
-        prop_assert!(g.nodes().all(|v| g.degree(v) < 40));
+        assert_eq!(g.edge_count(), 40 * 6 / 2, "case {case} at beta {beta}");
+        assert!(g.nodes().all(|v| g.degree(v) < 40), "case {case}");
     }
+}
 
-    /// Satisfaction trackers remain in [0,1] under arbitrary inputs and
-    /// converge toward sustained adequacy.
-    #[test]
-    fn satisfaction_tracker_bounded(
-        adequacies in prop::collection::vec(0.0..=1.0f64, 1..200),
-        rate in 0.01..1.0f64,
-    ) {
+/// Satisfaction trackers remain in [0,1] under arbitrary inputs and
+/// count every observation.
+#[test]
+fn satisfaction_tracker_bounded() {
+    let mut rng = rng_for(8);
+    for case in 0..CASES {
+        let rate = 0.01 + rng.gen_f64() * 0.99;
+        let len = rng.gen_range(1..200usize);
         let mut t = SatisfactionTracker::new(rate);
-        for &a in &adequacies {
-            t.observe(a);
-            prop_assert!((0.0..=1.0).contains(&t.satisfaction()));
+        for _ in 0..len {
+            t.observe(rng.gen_f64());
+            assert!(
+                (0.0..=1.0).contains(&t.satisfaction()),
+                "case {case}: satisfaction escaped [0,1]"
+            );
         }
-        prop_assert_eq!(t.observations(), adequacies.len() as u64);
+        assert_eq!(t.observations(), len as u64, "case {case}");
     }
+}
 
-    /// Gini is in [0,1) and zero for constant populations; Jain in
-    /// (0,1]; fairness discount never exceeds the mean.
-    #[test]
-    fn fairness_measures_bounded(values in prop::collection::vec(0.0..=1.0f64, 1..100)) {
+/// Gini is in [0,1) and zero for constant populations; Jain in (0,1];
+/// fairness discount never exceeds the mean.
+#[test]
+fn fairness_measures_bounded() {
+    let mut rng = rng_for(9);
+    for case in 0..CASES {
+        let len = rng.gen_range(1..100usize);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_f64()).collect();
         let gini = gini_coefficient(&values);
-        prop_assert!((0.0..1.0).contains(&gini) || gini.abs() < 1e-9);
+        assert!(
+            (0.0..1.0).contains(&gini) || gini.abs() < 1e-9,
+            "case {case}: gini {gini} out of range"
+        );
         let g = GlobalSatisfaction::from_values(&values).unwrap();
-        prop_assert!(g.jain_index > 0.0 && g.jain_index <= 1.0 + 1e-12);
-        prop_assert!(g.fairness_discounted() <= g.mean + 1e-12);
-        prop_assert!(g.min <= g.mean + 1e-12);
+        assert!(
+            g.jain_index > 0.0 && g.jain_index <= 1.0 + 1e-12,
+            "case {case}"
+        );
+        assert!(g.fairness_discounted() <= g.mean + 1e-12, "case {case}");
+        assert!(g.min <= g.mean + 1e-12, "case {case}");
     }
+}
 
-    /// Enforcement soundness: a grant implies every policy clause was
-    /// satisfied.
-    #[test]
-    fn enforcement_grants_are_sound(
-        distance in prop::option::of(1u32..6),
-        trust in facet(),
-        min_trust in facet(),
-        friends_only in any::<bool>(),
-    ) {
+/// Enforcement soundness: a grant implies every policy clause was
+/// satisfied.
+#[test]
+fn enforcement_grants_are_sound() {
+    let mut rng = rng_for(10);
+    for case in 0..CASES {
+        let distance = if rng.gen_bool(0.2) {
+            None
+        } else {
+            Some(rng.gen_range(1..6u32))
+        };
+        let trust = rng.gen_f64();
+        let min_trust = rng.gen_f64();
+        let friends_only = rng.gen_bool(0.5);
         let mut builder = PrivacyPolicy::builder(DataCategory::Content)
             .allow_operations([Operation::Read])
             .allow_purposes([Purpose::Social])
@@ -216,76 +289,96 @@ proptest! {
             operation: Operation::Read,
             purpose: Purpose::Social,
         };
-        let ctx = RequestContext { social_distance: distance, requester_trust: trust };
+        let ctx = RequestContext {
+            social_distance: distance,
+            requester_trust: trust,
+        };
         let decision = Enforcer::new().decide(&request, &policy, &ctx);
         if decision.is_granted() {
-            prop_assert!(trust >= min_trust);
+            assert!(trust >= min_trust, "case {case}: granted below min trust");
             if friends_only {
-                prop_assert_eq!(distance, Some(1));
+                assert_eq!(distance, Some(1), "case {case}: granted beyond friends");
             }
         }
     }
+}
 
-    /// Deterministic replay: the same seed gives the same RNG stream
-    /// through fork trees.
-    #[test]
-    fn rng_fork_determinism(seed in any::<u64>(), label in any::<u64>()) {
+/// Deterministic replay: the same seed gives the same RNG stream
+/// through fork trees.
+#[test]
+fn rng_fork_determinism() {
+    let mut rng = rng_for(11);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let label = rng.next_u64();
         let mut a = SimRng::seed_from_u64(seed);
         let mut b = SimRng::seed_from_u64(seed);
         let mut fa = a.fork(label);
         let mut fb = b.fork(label);
         for _ in 0..8 {
-            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+            assert_eq!(fa.next_u64(), fb.next_u64(), "case {case}: fork diverged");
         }
     }
+}
 
-    /// Power-mean trust always lies between the weakest and strongest
-    /// facet (generalized-mean bounds).
-    #[test]
-    fn power_mean_respects_bounds(
-        p in facet(), r in facet(), s in facet(),
-        exponent in prop::sample::select(vec![-4.0, -1.0, 0.5, 1.0, 3.0]),
-    ) {
+/// Power-mean trust always lies between the weakest and strongest facet
+/// (generalized-mean bounds).
+#[test]
+fn power_mean_respects_bounds() {
+    let mut rng = rng_for(12);
+    let exponents = [-4.0, -1.0, 0.5, 1.0, 3.0];
+    for case in 0..CASES {
+        let (p, r, s) = (rng.gen_f64(), rng.gen_f64(), rng.gen_f64());
+        let exponent = *rng.choose(&exponents).unwrap();
         let facets = FacetScores::new(p, r, s).unwrap();
         let metric =
             TrustMetric::new(FacetWeights::default(), Aggregator::PowerMean(exponent)).unwrap();
         let t = metric.trust(&facets);
         let lo = p.min(r).min(s);
         let hi = p.max(r).max(s);
-        prop_assert!(t >= lo - 1e-9, "trust {t} below min facet {lo}");
-        prop_assert!(t <= hi + 1e-9, "trust {t} above max facet {hi}");
+        assert!(
+            t >= lo - 1e-9,
+            "case {case}: trust {t} below min facet {lo}"
+        );
+        assert!(
+            t <= hi + 1e-9,
+            "case {case}: trust {t} above max facet {hi}"
+        );
     }
+}
 
-    /// Contiguous group maps partition the node range completely and
-    /// evenly (sizes differ by at most one... by construction, by at most
-    /// the remainder block).
-    #[test]
-    fn group_map_partitions_everything(n in 1usize..200, k in 1usize..10) {
-        use tsn::simnet::GroupMap;
+/// Contiguous group maps partition the node range completely.
+#[test]
+fn group_map_partitions_everything() {
+    use tsn::simnet::GroupMap;
+    let mut rng = rng_for(13);
+    for case in 0..CASES {
+        let n = rng.gen_range(1..200usize);
+        let k = rng.gen_range(1..10usize);
         let map = GroupMap::contiguous(n, k);
-        prop_assert_eq!(map.len(), n);
+        assert_eq!(map.len(), n, "case {case}");
         for i in 0..n {
             let g = map.group(NodeId::from_index(i));
-            prop_assert!(usize::from(g) < k.min(n).max(1) + 1);
+            assert!(usize::from(g) < k.min(n).max(1) + 1, "case {case}");
         }
-        // Same-group is an equivalence relation on assigned nodes.
         for i in 0..n.min(20) {
             let a = NodeId::from_index(i);
-            prop_assert!(map.same_group(a, a));
+            assert!(map.same_group(a, a), "case {case}");
         }
     }
+}
 
-    /// Retention compliance rate is always in [0, 1] and total resolved
-    /// copies are conserved.
-    #[test]
-    fn retention_accounting_conserves(
-        grants in 1usize..30,
-        delete_at in 0u64..200,
-        retention_secs in 1u64..100,
-    ) {
-        use tsn::privacy::RetentionTracker;
-        use tsn::privacy::{DataCategory, PrivacyPolicy};
-        use tsn::simnet::{SimDuration, SimTime};
+/// Retention compliance rate is always in [0, 1] and total resolved
+/// copies are conserved.
+#[test]
+fn retention_accounting_conserves() {
+    use tsn::privacy::RetentionTracker;
+    use tsn::simnet::SimDuration;
+    let mut rng = rng_for(14);
+    for case in 0..CASES {
+        let grants = rng.gen_range(1..30usize);
+        let delete_at = rng.gen_range(0..200u64);
+        let retention_secs = rng.gen_range(1..100u64);
         let policy = PrivacyPolicy::builder(DataCategory::Content)
             .retention(SimDuration::from_secs(retention_secs))
             .build()
@@ -299,14 +392,18 @@ proptest! {
                 SimTime::ZERO,
             );
         }
-        prop_assert_eq!(tracker.live_copies(), grants);
+        assert_eq!(tracker.live_copies(), grants, "case {case}");
         // Half the holders delete; the rest are swept.
         for holder in 0..grants / 2 {
-            tracker.delete(NodeId::from_index(holder + 1), NodeId(0), SimTime::from_secs(delete_at));
+            tracker.delete(
+                NodeId::from_index(holder + 1),
+                NodeId(0),
+                SimTime::from_secs(delete_at),
+            );
         }
         tracker.sweep_expired(SimTime::from_secs(500), |_| false);
-        prop_assert_eq!(tracker.live_copies(), 0);
+        assert_eq!(tracker.live_copies(), 0, "case {case}");
         let rate = tracker.compliance_rate();
-        prop_assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&rate), "case {case}: rate {rate}");
     }
 }

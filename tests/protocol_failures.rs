@@ -35,7 +35,10 @@ fn gossip_islands_diverge_under_full_partition() {
     let mut gossip = GossipNetwork::new(
         graph,
         partitioned_network(n, 2, 2),
-        GossipConfig { subjects: n, ..Default::default() },
+        GossipConfig {
+            subjects: n,
+            ..Default::default()
+        },
         rng.fork(1),
     );
     for observer in 0..15u32 {
@@ -61,8 +64,10 @@ fn gossip_heals_after_partition_lifts() {
     let n = 20;
     let mut rng = SimRng::seed_from_u64(3);
     let graph = generators::watts_strogatz(n, 6, 0.1, &mut rng).unwrap();
-    let mut config = NetworkConfig::default();
-    config.loss = Box::new(NoLoss);
+    let config = NetworkConfig {
+        loss: Box::new(NoLoss),
+        ..Default::default()
+    };
     let mut network = Network::new(config, rng.fork(1));
     for _ in 0..n {
         network.add_node();
@@ -70,7 +75,10 @@ fn gossip_heals_after_partition_lifts() {
     let mut gossip = GossipNetwork::new(
         graph,
         network,
-        GossipConfig { subjects: n, ..Default::default() },
+        GossipConfig {
+            subjects: n,
+            ..Default::default()
+        },
         rng.fork(2),
     );
     for observer in 0..n as u32 / 2 {
@@ -78,13 +86,19 @@ fn gossip_heals_after_partition_lifts() {
     }
     gossip.run(40);
     let healed = gossip.estimate(NodeId((n - 1) as u32), 0);
-    assert!(healed > 0.7, "full connectivity converges everywhere: {healed}");
+    assert!(
+        healed > 0.7,
+        "full connectivity converges everywhere: {healed}"
+    );
 }
 
 #[test]
 fn managers_behind_a_partition_cannot_answer() {
     let n = 20;
-    let config = ManagerConfig { replicas: 2, ..Default::default() };
+    let config = ManagerConfig {
+        replicas: 2,
+        ..Default::default()
+    };
     let mut managers = ManagerNetwork::new(partitioned_network(n, 2, 4), config);
     // A subject whose replicas are ALL in the far island (group 1, nodes
     // 10..20) relative to requester 0. Placement is deterministic.
@@ -104,7 +118,10 @@ fn managers_behind_a_partition_cannot_answer() {
 #[test]
 fn managers_same_island_still_work_during_partition() {
     let n = 20;
-    let config = ManagerConfig { replicas: 2, ..Default::default() };
+    let config = ManagerConfig {
+        replicas: 2,
+        ..Default::default()
+    };
     let mut managers = ManagerNetwork::new(partitioned_network(n, 2, 5), config);
     // The same island-B subject, but served and queried from island B.
     let subject = (0..n as u32)
@@ -149,7 +166,10 @@ fn regional_latency_slows_cross_region_gossip() {
     let mut gossip = GossipNetwork::new(
         graph,
         network,
-        GossipConfig { subjects: n, round_length: SimDuration::from_millis(100) },
+        GossipConfig {
+            subjects: n,
+            round_length: SimDuration::from_millis(100),
+        },
         rng.fork(1),
     );
     for observer in 0..n as u32 {
