@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo bench -p tsn-bench --bench enforcement`
 
-use tsn_bench::harness::Bench;
+use tsn_bench::harness::{Bench, BenchSuite};
 use tsn_privacy::enforcement::RequestContext;
 use tsn_privacy::{
     AccessRequest, DataCategory, DisclosureLedger, Enforcer, Operation, PrivacyPolicy, Purpose,
@@ -29,26 +29,31 @@ fn main() {
         requester_trust: 0.2,
     };
 
+    let mut suite = BenchSuite::new(
+        "enforcement",
+        "decide:requests=10k contexts=3; ledger:records=10k; samples=20,10",
+    );
     let bench = Bench::new("decide").samples(20);
-    bench.run("strict_grant_x10k", || {
+    suite.record(bench.run_items("strict_grant_x10k", 10_000, || {
         (0..10_000)
             .filter(|_| enforcer.decide(&request, &strict, &near).is_granted())
             .count()
-    });
-    bench.run("strict_deny_x10k", || {
+    }));
+    suite.record(bench.run_items("strict_deny_x10k", 10_000, || {
         (0..10_000)
             .filter(|_| enforcer.decide(&request, &strict, &far).is_granted())
             .count()
-    });
-    bench.run("permissive_x10k", || {
+    }));
+    suite.record(bench.run_items("permissive_x10k", 10_000, || {
         (0..10_000)
             .filter(|_| enforcer.decide(&request, &permissive, &near).is_granted())
             .count()
-    });
+    }));
 
-    Bench::new("ledger")
-        .samples(10)
-        .run("10k_records_respect_rate", || {
+    suite.record(Bench::new("ledger").samples(10).run_items(
+        "10k_records_respect_rate",
+        10_000,
+        || {
             let mut ledger = DisclosureLedger::new();
             for i in 0..10_000u64 {
                 ledger.record_disclosure(
@@ -61,5 +66,8 @@ fn main() {
                 );
             }
             ledger.respect_rate()
-        });
+        },
+    ));
+
+    suite.finish();
 }

@@ -2,29 +2,35 @@
 //!
 //! Run: `cargo bench -p tsn-bench --bench graph_generators`
 
-use tsn_bench::harness::Bench;
+use tsn_bench::harness::{Bench, BenchSuite};
 use tsn_graph::{generators, metrics};
 use tsn_simnet::SimRng;
 
 fn main() {
+    let mut suite = BenchSuite::new(
+        "graph_generators",
+        "generators:nodes=100,500,1000; metrics:nodes=500 samples_paths=20; samples=10",
+    );
     let bench = Bench::new("generators").samples(10);
     for n in [100usize, 500, 1000] {
-        bench.run(&format!("watts_strogatz_{n}"), || {
+        suite.record(bench.run(&format!("watts_strogatz_{n}"), || {
             let mut rng = SimRng::seed_from_u64(1);
             generators::watts_strogatz(n, 8, 0.1, &mut rng).unwrap()
-        });
-        bench.run(&format!("barabasi_albert_{n}"), || {
+        }));
+        suite.record(bench.run(&format!("barabasi_albert_{n}"), || {
             let mut rng = SimRng::seed_from_u64(1);
             generators::barabasi_albert(n, 3, &mut rng).unwrap()
-        });
+        }));
     }
 
     let mut rng = SimRng::seed_from_u64(2);
     let g = generators::watts_strogatz(500, 8, 0.1, &mut rng).unwrap();
     let bench = Bench::new("metrics").samples(10);
-    bench.run("average_clustering_500", || metrics::average_clustering(&g));
-    bench.run("average_path_length_500_s20", || {
+    suite.record(bench.run("average_clustering_500", || metrics::average_clustering(&g)));
+    suite.record(bench.run("average_path_length_500_s20", || {
         let mut rng = SimRng::seed_from_u64(3);
         metrics::average_path_length(&g, 20, &mut rng)
-    });
+    }));
+
+    suite.finish();
 }

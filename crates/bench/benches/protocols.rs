@@ -2,7 +2,7 @@
 //!
 //! Run: `cargo bench -p tsn-bench --bench protocols`
 
-use tsn_bench::harness::Bench;
+use tsn_bench::harness::{Bench, BenchSuite};
 use tsn_graph::generators;
 use tsn_protocol::{GossipConfig, GossipNetwork, ManagerConfig, ManagerNetwork};
 use tsn_simnet::{Network, NetworkConfig, NodeId, SimRng};
@@ -30,18 +30,22 @@ fn gossip_instance(n: usize) -> GossipNetwork {
 }
 
 fn main() {
+    let mut suite = BenchSuite::new(
+        "protocols",
+        "gossip:nodes=50,100,200 rounds=20; manager:nodes=50,100; samples=10",
+    );
     let bench = Bench::new("gossip_20_rounds").samples(10);
     for n in [50usize, 100, 200] {
-        bench.run(&format!("{n}_nodes"), || {
+        suite.record(bench.run(&format!("{n}_nodes"), || {
             let mut gossip = gossip_instance(n);
             gossip.run(20);
             gossip.report().mean_error
-        });
+        }));
     }
 
     let bench = Bench::new("manager_report_query_cycle").samples(10);
     for n in [50usize, 100] {
-        bench.run(&format!("{n}_nodes"), || {
+        suite.record(bench.run(&format!("{n}_nodes"), || {
             let mut network = Network::new(NetworkConfig::default(), SimRng::seed_from_u64(2));
             for _ in 0..n {
                 network.add_node();
@@ -56,6 +60,8 @@ fn main() {
             }
             managers.run(3);
             managers.report().answer_rate
-        });
+        }));
     }
+
+    suite.finish();
 }

@@ -2,25 +2,39 @@
 //! figure) and the simulator event loop.
 //!
 //! Run: `cargo bench -p tsn-bench --bench scenario_step`
+//! Emits `BENCH_scenario_step.json`; `BENCH_CHECK=1` gates against the
+//! committed baseline.
 
-use tsn_bench::harness::Bench;
+use tsn_bench::harness::{Bench, BenchSuite};
 use tsn_core::runner::ScenarioBuilder;
 use tsn_simnet::{SimDuration, SimRng, SimTime, Simulation};
 
 fn main() {
+    // Perf trajectory, same protocol and machine class — pre-PR2 =
+    // per-round allocations + HashMap EigenTrust + scanning ledger:
+    // 50 nodes 1.335ms, 100 nodes 3.808ms.
+    let mut suite = BenchSuite::new(
+        "scenario_step",
+        "scenario_run:nodes=50,100 rounds=10; simnet:events=10k,chain=5k; samples=10",
+    );
+
     let bench = Bench::new("scenario_run").samples(10);
     for nodes in [50usize, 100] {
-        bench.run(&format!("{nodes}_nodes"), || {
-            ScenarioBuilder::new()
-                .nodes(nodes)
-                .rounds(10)
-                .run()
-                .unwrap()
-        });
+        let rounds = 10;
+        // Throughput unit: node-rounds simulated per second.
+        suite.record(
+            bench.run_items(&format!("{nodes}_nodes"), (nodes * rounds) as u64, || {
+                ScenarioBuilder::new()
+                    .nodes(nodes)
+                    .rounds(rounds)
+                    .run()
+                    .unwrap()
+            }),
+        );
     }
 
     let bench = Bench::new("simnet").samples(10);
-    bench.run("10k_events", || {
+    suite.record(bench.run_items("10k_events", 10_000, || {
         let mut sim = Simulation::new(SimRng::seed_from_u64(1));
         let nodes: Vec<_> = (0..100).map(|_| sim.add_node()).collect();
         for i in 0..10_000u64 {
@@ -31,8 +45,8 @@ fn main() {
             });
         }
         sim.run_to_idle()
-    });
-    bench.run("self_rescheduling_chain", || {
+    }));
+    suite.record(bench.run_items("self_rescheduling_chain", 5_000, || {
         fn tick(sim: &mut Simulation, remaining: u32) {
             if remaining > 0 {
                 sim.schedule_in(SimDuration::from_micros(10), move |s| {
@@ -43,5 +57,7 @@ fn main() {
         let mut sim = Simulation::new(SimRng::seed_from_u64(2));
         sim.schedule_at(SimTime::ZERO, |s| tick(s, 5_000));
         sim.run_to_idle()
-    });
+    }));
+
+    suite.finish();
 }

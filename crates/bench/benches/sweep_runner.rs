@@ -4,8 +4,11 @@
 //! the core count for CPU-bound grids.
 //!
 //! Run: `cargo bench -p tsn-bench --bench sweep_runner`
+//! Emits `BENCH_sweep_runner.json`; `BENCH_CHECK=1` gates against the
+//! committed baseline (the serial lane; the parallel lane's name embeds
+//! the thread count, so it only gates on same-shaped runners).
 
-use tsn_bench::harness::Bench;
+use tsn_bench::harness::{Bench, BenchSuite};
 use tsn_core::runner::{ScenarioBuilder, SweepGrid, SweepRunner};
 
 fn grid() -> SweepGrid {
@@ -18,15 +21,26 @@ fn grid() -> SweepGrid {
 fn main() {
     let grid = grid();
     println!("grid: {} cells\n", grid.len());
+    let mut suite = BenchSuite::new(
+        "sweep_runner",
+        "grid:nodes=40 rounds=8 mechanisms=all profiles=all seeds=2 cells=30; samples=5",
+    );
 
     let bench = Bench::new("sweep_runner").samples(5).warmup(1);
-    let serial = bench.run("serial", || SweepRunner::serial().run(&grid).unwrap());
+    let cells = grid.len() as u64;
+    let serial = suite
+        .record(bench.run_items("serial", cells, || {
+            SweepRunner::serial().run(&grid).unwrap()
+        }))
+        .clone();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let parallel = bench.run(&format!("parallel_{threads}t"), || {
-        SweepRunner::parallel().run(&grid).unwrap()
-    });
+    let parallel = suite
+        .record(bench.run_items(&format!("parallel_{threads}t"), cells, || {
+            SweepRunner::parallel().run(&grid).unwrap()
+        }))
+        .clone();
 
     let speedup = serial.median.as_secs_f64() / parallel.median.as_secs_f64().max(1e-9);
     println!("\nspeedup (serial / parallel median): {speedup:.2}x on {threads} threads");
@@ -40,4 +54,6 @@ fn main() {
         "serial and parallel sweeps must produce identical reports"
     );
     println!("determinism check: serial == parallel report ✓");
+
+    suite.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo bench -p tsn-bench --bench trust_metric`
 
-use tsn_bench::harness::Bench;
+use tsn_bench::harness::{Bench, BenchSuite};
 use tsn_core::dynamics::{DynamicsState, InteractionDynamics};
 use tsn_core::{Aggregator, FacetScores, FacetWeights, TrustMetric};
 
@@ -14,6 +14,10 @@ fn main() {
             FacetScores::new(x, (x * 7.0) % 1.0, (x * 13.0) % 1.0).unwrap()
         })
         .collect();
+    let mut suite = BenchSuite::new(
+        "trust_metric",
+        "trust:facets=1000 aggregators=3; dynamics:fixed_point eps=1e-9; samples=20",
+    );
     let bench = Bench::new("trust_1k").samples(20);
     for aggregator in [
         Aggregator::Arithmetic,
@@ -21,13 +25,17 @@ fn main() {
         Aggregator::PowerMean(2.0),
     ] {
         let metric = TrustMetric::new(FacetWeights::default(), aggregator).unwrap();
-        bench.run(&aggregator.label(), || {
-            facets.iter().map(|f| metric.trust(f)).sum::<f64>()
-        });
+        suite.record(
+            bench.run_items(&aggregator.label(), facets.len() as u64, || {
+                facets.iter().map(|f| metric.trust(f)).sum::<f64>()
+            }),
+        );
     }
 
     let dynamics = InteractionDynamics::default();
-    Bench::new("dynamics").samples(20).run("fixed_point", || {
+    suite.record(Bench::new("dynamics").samples(20).run("fixed_point", || {
         dynamics.fixed_point(DynamicsState::neutral(), 1e-9, 10_000)
-    });
+    }));
+
+    suite.finish();
 }

@@ -2,13 +2,32 @@
 //!
 //! The container this workspace builds in has no access to crates.io,
 //! so `criterion` is not available; this harness keeps the same
-//! shape — named benchmarks, warm-up, repeated timed runs, median/min
+//! shape — named benchmarks, warm-up, repeated timed runs, median/p95
 //! statistics — at a fraction of the rigor, which is enough to anchor
 //! relative performance across PRs. Bench targets set `harness = false`
 //! and call [`Bench::run`] from `main`.
+//!
+//! # The perf trajectory (`BENCH_<suite>.json`)
+//!
+//! Every bench binary collects its results into a [`BenchSuite`] and
+//! calls [`BenchSuite::finish`], which writes a machine-readable
+//! `BENCH_<suite>.json` (median/p95/min/max nanoseconds, throughput,
+//! config fingerprint) at the workspace root. The committed copies are
+//! the repo's performance baseline; CI re-runs the benches with
+//! `BENCH_CHECK=1`, which fails the build when a median regresses more
+//! than [`DEFAULT_MAX_REGRESSION`] (override with
+//! `BENCH_CHECK_MAX_REGRESSION`, e.g. `0.5` for 50 %) against the
+//! committed baseline, *before* overwriting it with fresh numbers.
+//! Noisy-runner escape hatch: skip the CI job via its PR label.
 
 use std::hint::black_box as std_black_box;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+use tsn_core::json::JsonValue;
+
+/// Maximum tolerated median regression (fraction of the baseline) when
+/// `BENCH_CHECK=1`: 0.25 = fail beyond +25 %.
+pub const DEFAULT_MAX_REGRESSION: f64 = 0.25;
 
 /// Re-exported `black_box`, so bench code reads like the criterion
 /// idiom.
@@ -47,7 +66,7 @@ impl Bench {
     }
 
     /// Times `f` (one call = one sample) and prints
-    /// `group/name  median  min  max`.
+    /// `group/name  median  p95  min  max`.
     pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
         for _ in 0..self.warmup_iters {
             std_black_box(f());
@@ -60,16 +79,30 @@ impl Bench {
             })
             .collect();
         samples.sort_unstable();
+        let p95_index = ((samples.len() as f64 * 0.95).ceil() as usize)
+            .saturating_sub(1)
+            .min(samples.len() - 1);
         let result = BenchResult {
             name: format!("{}/{name}", self.group),
             median: samples[samples.len() / 2],
+            p95: samples[p95_index],
             min: samples[0],
             max: *samples.last().expect("at least one sample"),
+            samples: samples.len() as u32,
+            items: None,
         };
         println!(
-            "{:<44} median {:>12?}  min {:>12?}  max {:>12?}",
-            result.name, result.median, result.min, result.max
+            "{:<44} median {:>12?}  p95 {:>12?}  min {:>12?}  max {:>12?}",
+            result.name, result.median, result.p95, result.min, result.max
         );
+        result
+    }
+
+    /// Like [`Bench::run`] for a workload of `items` units (reports,
+    /// interactions, cells…), so the suite can report items/second.
+    pub fn run_items<T>(&self, name: &str, items: u64, f: impl FnMut() -> T) -> BenchResult {
+        let mut result = self.run(name, f);
+        result.items = Some(items);
         result
     }
 }
@@ -81,10 +114,233 @@ pub struct BenchResult {
     pub name: String,
     /// Median sample.
     pub median: Duration,
+    /// 95th-percentile sample.
+    pub p95: Duration,
     /// Fastest sample.
     pub min: Duration,
     /// Slowest sample.
     pub max: Duration,
+    /// Number of measured samples.
+    pub samples: u32,
+    /// Workload units per call, when meaningful (enables items/second).
+    pub items: Option<u64>,
+}
+
+impl BenchResult {
+    /// Throughput in units/second: items per call (1 when unset) over
+    /// the median sample.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.median.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.items.unwrap_or(1) as f64 / secs
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::str(self.name.as_str())),
+            ("median_ns", JsonValue::from(self.median.as_nanos() as u64)),
+            ("p95_ns", JsonValue::from(self.p95.as_nanos() as u64)),
+            ("min_ns", JsonValue::from(self.min.as_nanos() as u64)),
+            ("max_ns", JsonValue::from(self.max.as_nanos() as u64)),
+            ("samples", JsonValue::from(self.samples as u64)),
+            (
+                "items",
+                match self.items {
+                    Some(i) => JsonValue::from(i),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "throughput_per_sec",
+                JsonValue::from(self.throughput_per_sec()),
+            ),
+        ])
+    }
+}
+
+/// Collects every [`BenchResult`] of one bench binary and emits
+/// `BENCH_<suite>.json` — the unit of the repo's perf trajectory.
+pub struct BenchSuite {
+    name: String,
+    fingerprint: String,
+    results: Vec<BenchResult>,
+}
+
+impl BenchSuite {
+    /// Starts a suite. `fingerprint` describes the workload
+    /// configuration (sizes, seeds, sample counts) so a baseline is
+    /// only comparable to runs of the same workload.
+    pub fn new(name: impl Into<String>, fingerprint: impl Into<String>) -> Self {
+        BenchSuite {
+            name: name.into(),
+            fingerprint: fingerprint.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Records a result (pass-through, so call sites stay one-liners).
+    pub fn record(&mut self, result: BenchResult) -> &BenchResult {
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// The output path: `BENCH_<suite>.json` in `BENCH_OUT_DIR` or the
+    /// workspace root.
+    pub fn output_path(&self) -> PathBuf {
+        let dir = std::env::var_os("BENCH_OUT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                // crates/bench → workspace root.
+                Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+            });
+        dir.join(format!("BENCH_{}.json", self.name))
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = JsonValue::object([
+            ("suite", JsonValue::str(self.name.as_str())),
+            ("fingerprint", JsonValue::str(self.fingerprint.as_str())),
+            (
+                "results",
+                JsonValue::array(self.results.iter().map(|r| r.to_json())),
+            ),
+        ])
+        .to_string();
+        out.push('\n');
+        out
+    }
+
+    /// Checks this run against a previously written baseline file. A
+    /// baseline whose workload fingerprint differs is skipped (the
+    /// numbers are not comparable), as is a missing baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of regressions beyond `max_regression`
+    /// (fractional, e.g. 0.25 = +25 %).
+    pub fn check_against(&self, baseline_path: &Path, max_regression: f64) -> Result<(), String> {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(_) => return Ok(()), // no baseline yet: first run seeds it
+        };
+        if let Some(baseline_fingerprint) = parse_fingerprint(&baseline) {
+            if baseline_fingerprint != self.fingerprint {
+                println!(
+                    "BENCH_CHECK: baseline fingerprint differs ({baseline_fingerprint:?} vs \
+                     {:?}); workload changed, skipping the gate and reseeding",
+                    self.fingerprint
+                );
+                return Ok(());
+            }
+        }
+        let baseline_medians = parse_medians(&baseline);
+        let mut regressions = Vec::new();
+        for r in &self.results {
+            let Some(&old_ns) =
+                baseline_medians.iter().find_map(
+                    |(n, v)| {
+                        if n == &r.name {
+                            Some(v)
+                        } else {
+                            None
+                        }
+                    },
+                )
+            else {
+                continue; // new benchmark: no baseline to regress from
+            };
+            let new_ns = r.median.as_nanos() as f64;
+            if old_ns > 0.0 && new_ns > old_ns * (1.0 + max_regression) {
+                regressions.push(format!(
+                    "{}: {:.0}ns -> {:.0}ns (+{:.0}%, limit +{:.0}%)",
+                    r.name,
+                    old_ns,
+                    new_ns,
+                    (new_ns / old_ns - 1.0) * 100.0,
+                    max_regression * 100.0
+                ));
+            }
+        }
+        if regressions.is_empty() {
+            Ok(())
+        } else {
+            Err(regressions.join("\n"))
+        }
+    }
+
+    /// Writes `BENCH_<suite>.json` and, when `BENCH_CHECK` is set,
+    /// first gates this run against the committed baseline (exit 1 on
+    /// a median regression beyond the threshold). Call as the last
+    /// statement of a bench `main`.
+    pub fn finish(self) {
+        let path = self.output_path();
+        if std::env::var_os("BENCH_CHECK").is_some() {
+            let max_regression = std::env::var("BENCH_CHECK_MAX_REGRESSION")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(DEFAULT_MAX_REGRESSION);
+            if let Err(report) = self.check_against(&path, max_regression) {
+                // Keep the committed baseline intact — overwriting it
+                // here would make an immediate re-run pass silently.
+                // The regressed numbers land next to it for inspection.
+                let fresh = path.with_extension("json.new");
+                let _ = std::fs::write(&fresh, self.to_json());
+                eprintln!(
+                    "BENCH_CHECK failed for suite '{}' vs {} (fresh run written to {}):\n{report}",
+                    self.name,
+                    path.display(),
+                    fresh.display()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "BENCH_CHECK ok: no median regression beyond +{:.0}%",
+                max_regression * 100.0
+            );
+        }
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Extracts `(name, median_ns)` pairs from a suite JSON file. The
+/// harness emits that file itself, so a minimal scanner (rather than a
+/// full JSON parser) is enough — and keeps the workspace
+/// dependency-free.
+/// Extracts the suite-level workload fingerprint from a suite JSON
+/// file (emitted before the results array).
+fn parse_fingerprint(json: &str) -> Option<String> {
+    let start = json.find("\"fingerprint\":\"")? + 15;
+    let end = json[start..].find('"')?;
+    Some(json[start..start + end].to_string())
+}
+
+fn parse_medians(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(start) = rest.find("\"name\":\"") {
+        let after = &rest[start + 8..];
+        let Some(name_end) = after.find('"') else {
+            break;
+        };
+        let name = after[..name_end].to_string();
+        let Some(median_at) = after.find("\"median_ns\":") else {
+            break;
+        };
+        let digits: String = after[median_at + 12..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse::<f64>() {
+            out.push((name, v));
+        }
+        rest = &after[median_at..];
+    }
+    out
 }
 
 #[cfg(test)]
@@ -98,6 +354,81 @@ mod tests {
             .warmup(1)
             .run("spin", || (0..1000u64).map(black_box).sum::<u64>());
         assert!(result.min <= result.median && result.median <= result.max);
+        assert!(result.median <= result.p95 && result.p95 <= result.max);
         assert_eq!(result.name, "test/spin");
+        assert_eq!(result.samples, 3);
+    }
+
+    #[test]
+    fn throughput_uses_items() {
+        let result = Bench::new("test")
+            .samples(2)
+            .warmup(0)
+            .run_items("spin", 500, || (0..500u64).map(black_box).sum::<u64>());
+        assert_eq!(result.items, Some(500));
+        assert!(result.throughput_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn suite_json_round_trips_medians() {
+        let mut suite = BenchSuite::new("unit", "n=1");
+        suite.record(Bench::new("g").samples(2).warmup(0).run("a", || 1 + 1));
+        suite.record(Bench::new("g").samples(2).warmup(0).run("b", || 2 + 2));
+        let json = suite.to_json();
+        assert!(json.contains("\"suite\":\"unit\""));
+        assert!(json.contains("\"fingerprint\":\"n=1\""));
+        let medians = parse_medians(&json);
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians[0].0, "g/a");
+        assert_eq!(medians[1].0, "g/b");
+        assert_eq!(
+            medians[0].1,
+            suite.results[0].median.as_nanos() as f64,
+            "median survives the round trip"
+        );
+    }
+
+    #[test]
+    fn regression_check_flags_only_beyond_threshold() {
+        let dir = std::env::temp_dir().join("tsn_bench_check_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_unit.json");
+        // Baseline: 100ns and 1000ns medians.
+        std::fs::write(
+            &path,
+            "{\"suite\":\"unit\",\"results\":[\
+             {\"name\":\"g/fast\",\"median_ns\":1000000000},\
+             {\"name\":\"g/slow\",\"median_ns\":1}]}",
+        )
+        .unwrap();
+        let mut suite = BenchSuite::new("unit", "n=1");
+        // `g/fast` will be far faster than 1s → fine; `g/slow` far slower
+        // than 1ns → regression.
+        suite.record(Bench::new("g").samples(2).warmup(0).run("fast", || 0));
+        suite.record(
+            Bench::new("g")
+                .samples(2)
+                .warmup(0)
+                .run("slow", || (0..50_000u64).map(black_box).sum::<u64>()),
+        );
+        let err = suite
+            .check_against(&path, DEFAULT_MAX_REGRESSION)
+            .unwrap_err();
+        assert!(err.contains("g/slow"), "{err}");
+        assert!(!err.contains("g/fast"), "{err}");
+        // Missing baseline passes (first run seeds the trajectory).
+        assert!(suite
+            .check_against(&dir.join("BENCH_missing.json"), 0.25)
+            .is_ok());
+        // A baseline from a different workload fingerprint skips the
+        // gate entirely — the numbers are not comparable.
+        std::fs::write(
+            &path,
+            "{\"suite\":\"unit\",\"fingerprint\":\"n=2\",\"results\":[\
+             {\"name\":\"g/slow\",\"median_ns\":1}]}",
+        )
+        .unwrap();
+        assert!(suite.check_against(&path, DEFAULT_MAX_REGRESSION).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

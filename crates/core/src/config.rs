@@ -101,6 +101,11 @@ pub struct ScenarioConfig {
     /// ballot-stuffing / badmouthing attack that anonymity enables and
     /// identity-based rate limiting prevents). 1 disables the attack.
     pub ballot_stuffing_factor: usize,
+    /// Cap on *raw* disclosure-ledger records kept in memory (oldest
+    /// evicted first). Aggregate privacy measurements always cover the
+    /// full history; the cap only bounds the memory of the raw audit
+    /// trail on long runs. `None` keeps every record.
+    pub ledger_raw_record_cap: Option<usize>,
     /// Random seed.
     pub seed: u64,
 }
@@ -127,6 +132,7 @@ impl Default for ScenarioConfig {
             churn_offline: 0.0,
             consumer_role_weight: 0.75,
             ballot_stuffing_factor: 4,
+            ledger_raw_record_cap: None,
             seed: 42,
         }
     }

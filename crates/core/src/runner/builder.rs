@@ -240,6 +240,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Caps the raw disclosure-ledger records kept in memory (oldest
+    /// evicted first); aggregate privacy measurements still cover the
+    /// full history. `None` (the default) keeps every record.
+    pub fn ledger_raw_record_cap(mut self, cap: Option<usize>) -> Self {
+        self.config.ledger_raw_record_cap = cap;
+        self
+    }
+
     /// Random seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;

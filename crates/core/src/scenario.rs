@@ -39,7 +39,7 @@ use tsn_privacy::{
 };
 use tsn_reputation::{
     accuracy, Anonymized, DisclosurePolicy, MechanismKind, Population, PowerReport,
-    ReputationMechanism,
+    ReputationMechanism, SelectionScratch,
 };
 use tsn_satisfaction::{
     AdequacyModel, AllocationTracker, ConsumerIntentions, GlobalSatisfaction, InteractionAspects,
@@ -165,6 +165,26 @@ struct UserState {
     breached_this_round: bool,
 }
 
+/// Reusable buffers for the round loop. Owned by the [`Scenario`] so the
+/// steady-state hot path performs no per-round or per-interaction
+/// allocation; every buffer is cleared (never assumed empty) before use,
+/// so contents never leak between rounds or runs.
+#[derive(Debug, Default)]
+struct ScenarioScratch {
+    /// Per-user offline flag for the current round.
+    offline: Vec<bool>,
+    /// Online neighbour candidates of the current consumer.
+    candidates: Vec<NodeId>,
+    /// Partner-selection scratch (weights / qualified sets).
+    selection: SelectionScratch,
+    /// Per-user trust of the current round.
+    trust: Vec<f64>,
+    /// Ground-truth qualities for the power measurement.
+    truth: Vec<f64>,
+    /// Adversarial flags for the power measurement.
+    adversarial: Vec<bool>,
+}
+
 /// The assembled scenario, ready to run.
 pub struct Scenario {
     config: ScenarioConfig,
@@ -180,6 +200,11 @@ pub struct Scenario {
     /// Max exposure each user's own policy tolerates in the feedback
     /// pipeline.
     policy_exposure_cap: Vec<f64>,
+    /// Exposure of each disclosure-ladder level, precomputed once (the
+    /// round loop looks these up per user per round).
+    ladder_exposure: [f64; DisclosurePolicy::LADDER_LEVELS],
+    /// Round-loop scratch buffers.
+    scratch: ScenarioScratch,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -296,18 +321,25 @@ impl Scenario {
             });
         }
 
+        let mut ladder_exposure = [0.0; DisclosurePolicy::LADDER_LEVELS];
+        for (level, slot) in ladder_exposure.iter_mut().enumerate() {
+            *slot = DisclosurePolicy::ladder(level).exposure();
+        }
+
         Ok(Scenario {
+            ledger: DisclosureLedger::with_raw_record_cap(config.ledger_raw_record_cap),
             config,
             graph,
             population,
             mechanism,
             users,
-            ledger: DisclosureLedger::new(),
             enforcer: Enforcer::new(),
             adequacy: AdequacyModel::default(),
             metric: TrustMetric::default(),
             rng,
             policy_exposure_cap,
+            ladder_exposure,
+            scratch: ScenarioScratch::default(),
         })
     }
 
@@ -333,41 +365,48 @@ impl Scenario {
     fn mean_willingness(&self) -> f64 {
         self.users
             .iter()
-            .map(|u| DisclosurePolicy::ladder(u.willingness_level).exposure())
+            .map(|u| self.ladder_exposure[u.willingness_level])
             .sum::<f64>()
             / self.users.len() as f64
     }
 
-    fn per_user_trust(&self, reputation_facet: f64, oecd: f64) -> Vec<f64> {
-        self.users
-            .iter()
-            .enumerate()
-            .map(|(i, u)| {
-                let me = NodeId::from_index(i);
-                let inputs = PrivacyFacetInputs {
-                    exposure: DisclosurePolicy::ladder(u.willingness_level).exposure(),
-                    respect_rate: self.ledger.respect_rate_for(me),
-                    oecd_score: oecd,
-                };
-                let w_c = self.config.consumer_role_weight;
-                let facets = FacetScores {
-                    privacy: inputs.facet().facet,
-                    reputation: reputation_facet,
-                    satisfaction: w_c * u.satisfaction.satisfaction()
-                        + (1.0 - w_c) * u.provider_satisfaction.satisfaction(),
-                };
-                self.metric.trust(&facets)
-            })
-            .collect()
+    /// Computes per-user trust into `self.scratch.trust` (the round loop
+    /// needs it every round; reusing the buffer keeps the loop
+    /// allocation-free).
+    fn per_user_trust_into(&mut self, reputation_facet: f64, oecd: f64) {
+        let trust = &mut self.scratch.trust;
+        let ledger = &self.ledger;
+        let metric = &self.metric;
+        let ladder_exposure = &self.ladder_exposure;
+        let w_c = self.config.consumer_role_weight;
+        trust.clear();
+        trust.extend(self.users.iter().enumerate().map(|(i, u)| {
+            let me = NodeId::from_index(i);
+            let inputs = PrivacyFacetInputs {
+                exposure: ladder_exposure[u.willingness_level],
+                respect_rate: ledger.respect_rate_for(me),
+                oecd_score: oecd,
+            };
+            let facets = FacetScores {
+                privacy: inputs.facet().facet,
+                reputation: reputation_facet,
+                satisfaction: w_c * u.satisfaction.satisfaction()
+                    + (1.0 - w_c) * u.provider_satisfaction.satisfaction(),
+            };
+            metric.trust(&facets)
+        }));
     }
 
     fn measure_power(&mut self, iterations: usize) -> PowerReport {
         let n = self.config.nodes;
-        let adversarial: Vec<bool> = (0..n)
-            .map(|i| self.population.is_adversarial(NodeId::from_index(i)))
-            .collect();
-        let truth = self.population.true_qualities();
-        accuracy::evaluate(self.mechanism.as_ref(), &truth, &adversarial, iterations)
+        let ScenarioScratch {
+            truth, adversarial, ..
+        } = &mut self.scratch;
+        adversarial.clear();
+        adversarial.extend((0..n).map(|i| self.population.is_adversarial(NodeId::from_index(i))));
+        truth.clear();
+        truth.extend((0..n).map(|i| self.population.true_quality(NodeId::from_index(i))));
+        accuracy::evaluate(self.mechanism.as_ref(), truth, adversarial, iterations)
     }
 
     /// Runs the configured number of rounds and returns the outcome.
@@ -390,6 +429,9 @@ impl Scenario {
         let mut requests = 0u64;
         let mut refresh_iterations = 0usize;
         let mut now = SimTime::ZERO;
+        // Loop-invariant system disclosure policy and its exposure.
+        let system_policy = self.config.disclosure_policy();
+        let system_exposure = self.ladder_exposure[self.config.disclosure_level];
 
         for round in 0..self.config.rounds {
             for u in &mut self.users {
@@ -397,34 +439,40 @@ impl Scenario {
                 u.load_this_round = 0;
             }
             // Availability churn: some users are offline this round.
-            let offline: Vec<bool> = (0..n)
-                .map(|_| {
-                    self.config.churn_offline > 0.0 && self.rng.gen_bool(self.config.churn_offline)
-                })
-                .collect();
+            self.scratch.offline.clear();
+            for _ in 0..n {
+                let off =
+                    self.config.churn_offline > 0.0 && self.rng.gen_bool(self.config.churn_offline);
+                self.scratch.offline.push(off);
+            }
             let mut round_ok = 0u64;
             let mut round_tried = 0u64;
             let mut round_reports = 0u64;
 
             for consumer_idx in 0..n {
-                if offline[consumer_idx] {
+                if self.scratch.offline[consumer_idx] {
                     continue;
                 }
                 let consumer = NodeId::from_index(consumer_idx);
                 for _ in 0..self.config.interactions_per_node {
-                    let candidates: Vec<NodeId> = self
-                        .graph
-                        .neighbors(consumer)
-                        .iter()
-                        .copied()
-                        .filter(|p| !offline[p.index()])
-                        .collect();
+                    self.scratch.candidates.clear();
+                    {
+                        let offline = &self.scratch.offline;
+                        self.scratch.candidates.extend(
+                            self.graph
+                                .neighbors(consumer)
+                                .iter()
+                                .copied()
+                                .filter(|p| !offline[p.index()]),
+                        );
+                    }
                     let mech = &self.mechanism;
-                    let Some(provider) =
-                        self.config
-                            .selection
-                            .select(&candidates, |c| mech.score(c), &mut self.rng)
-                    else {
+                    let Some(provider) = self.config.selection.select_with(
+                        &self.scratch.candidates,
+                        |c| mech.score(c),
+                        &mut self.rng,
+                        &mut self.scratch.selection,
+                    ) else {
                         continue;
                     };
                     requests += 1;
@@ -496,7 +544,7 @@ impl Scenario {
                             let report = self
                                 .population
                                 .feedback(consumer, provider, outcome, now, None);
-                            let effective = self.config.disclosure_policy();
+                            let effective = system_policy;
                             let view = effective.view(&report);
                             // Ballot stuffing: without a disclosed rater
                             // identity, nothing rate-limits a lying rater,
@@ -530,7 +578,6 @@ impl Scenario {
                     // what the user's own policy tolerates is a
                     // *system-caused* breach (the paper's footnote-2
                     // category).
-                    let system_exposure = self.config.disclosure_policy().exposure();
                     if system_exposure > self.policy_exposure_cap[consumer_idx] + 1e-9 {
                         self.ledger.record_breach(
                             now,
@@ -566,10 +613,13 @@ impl Scenario {
 
             // Provider-role adequacy: did the system keep each provider's
             // load within intentions? Offline providers observe nothing.
-            for (i, u) in self.users.iter_mut().enumerate() {
-                if !offline[i] {
-                    let adequacy = u.provider_intentions.load_adequacy(u.load_this_round);
-                    u.provider_satisfaction.observe(adequacy);
+            {
+                let offline = &self.scratch.offline;
+                for (i, u) in self.users.iter_mut().enumerate() {
+                    if !offline[i] {
+                        let adequacy = u.provider_intentions.load_adequacy(u.load_this_round);
+                        u.provider_satisfaction.observe(adequacy);
+                    }
                 }
             }
 
@@ -580,7 +630,8 @@ impl Scenario {
             // --- Round sample + adaptive disclosure (the Section-3 loop).
             let power_now = self.measure_power(refresh_iterations);
             let oecd = OecdAudit::evaluate(&self.oecd_profile()).overall();
-            let trust_now = self.per_user_trust(power_now.power(&Default::default()), oecd);
+            self.per_user_trust_into(power_now.power(&Default::default()), oecd);
+            let trust_now = &self.scratch.trust;
             let mean_trust = trust_now.iter().sum::<f64>() / trust_now.len() as f64;
             if self.config.adaptive_disclosure {
                 for (i, u) in self.users.iter_mut().enumerate() {
@@ -648,7 +699,8 @@ impl Scenario {
             satisfaction: satisfaction.fairness_discounted(),
         };
         let global_trust = self.metric.trust(&facets);
-        let per_user_trust = self.per_user_trust(facets.reputation, oecd);
+        self.per_user_trust_into(facets.reputation, oecd);
+        let per_user_trust = self.scratch.trust.clone();
         let per_user_respect: Vec<f64> = (0..n)
             .map(|i| self.ledger.respect_rate_for(NodeId::from_index(i)))
             .collect();
@@ -657,7 +709,7 @@ impl Scenario {
             facets,
             global_trust,
             per_user_trust,
-            per_user_satisfaction: satisfaction_values.clone(),
+            per_user_satisfaction: satisfaction_values,
             per_user_respect,
             power,
             satisfaction,

@@ -6,6 +6,20 @@
 //! counts. Footnote 2 of the paper insists breaches by malicious users
 //! and breaches by the system itself "should not be treated in the same
 //! manner" — [`BreachCause`] keeps them apart.
+//!
+//! # Performance
+//!
+//! Aggregate queries ([`DisclosureLedger::respect_rate`],
+//! [`DisclosureLedger::respect_rate_for`], [`DisclosureLedger::breach_count`],
+//! [`DisclosureLedger::exposure_for`], [`DisclosureLedger::total_exposure`])
+//! are answered from running counters maintained on every `record_*` call,
+//! so they are O(1) instead of a scan of the full record log — the
+//! scenario loop queries them per user per round. The counters are exact:
+//! integer counts, and exposure sums accumulated in append order (the same
+//! order a scan would use), so the answers are bit-identical to the old
+//! scanning implementation. The raw record log can additionally be capped
+//! with [`DisclosureLedger::with_raw_record_cap`]; counters always cover
+//! the full history even when old raw records have been evicted.
 
 use crate::policy::{DataCategory, Purpose};
 use tsn_simnet::{NodeId, SimTime};
@@ -42,6 +56,21 @@ pub struct DisclosureRecord {
     pub anonymized: bool,
 }
 
+impl DisclosureRecord {
+    /// Sensitivity-weighted exposure contribution of this record.
+    fn exposure(&self) -> f64 {
+        self.category.sensitivity() * if self.anonymized { 0.25 } else { 1.0 }
+    }
+}
+
+/// Running aggregates for one owner's data.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct OwnerStats {
+    total: u64,
+    compliant: u64,
+    exposure: f64,
+}
+
 /// Append-only ledger of disclosures, with per-owner aggregation.
 ///
 /// ```
@@ -57,12 +86,72 @@ pub struct DisclosureRecord {
 #[derive(Debug, Clone, Default)]
 pub struct DisclosureLedger {
     records: Vec<DisclosureRecord>,
+    /// Optional cap on *raw* record retention; `None` keeps everything.
+    raw_record_cap: Option<usize>,
+    /// Per-owner running aggregates, indexed by `owner.index()`.
+    owners: Vec<OwnerStats>,
+    /// Running totals over the full history (never evicted).
+    total: u64,
+    compliant: u64,
+    user_breaches: u64,
+    system_breaches: u64,
+    total_exposure: f64,
 }
 
 impl DisclosureLedger {
-    /// Creates an empty ledger.
+    /// Creates an empty ledger that retains every raw record.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty ledger that keeps at most `cap` raw records
+    /// (oldest evicted first). Aggregate queries still cover the full
+    /// history; only [`DisclosureLedger::records`] and friends see the
+    /// truncated window. `None` disables the cap.
+    pub fn with_raw_record_cap(cap: Option<usize>) -> Self {
+        DisclosureLedger {
+            raw_record_cap: cap,
+            ..Self::default()
+        }
+    }
+
+    /// The configured raw-record retention cap, if any.
+    pub fn raw_record_cap(&self) -> Option<usize> {
+        self.raw_record_cap
+    }
+
+    fn owner_stats_mut(&mut self, owner: NodeId) -> &mut OwnerStats {
+        let i = owner.index();
+        if i >= self.owners.len() {
+            self.owners.resize(i + 1, OwnerStats::default());
+        }
+        &mut self.owners[i]
+    }
+
+    fn push(&mut self, record: DisclosureRecord) {
+        self.total += 1;
+        if record.compliant {
+            self.compliant += 1;
+        }
+        match record.breach_cause {
+            Some(BreachCause::MaliciousUser) => self.user_breaches += 1,
+            Some(BreachCause::System) => self.system_breaches += 1,
+            None => {}
+        }
+        let exposure = record.exposure();
+        self.total_exposure += exposure;
+        let stats = self.owner_stats_mut(record.owner);
+        stats.total += 1;
+        stats.compliant += u64::from(record.compliant);
+        stats.exposure += exposure;
+
+        self.records.push(record);
+        if let Some(cap) = self.raw_record_cap {
+            if self.records.len() > cap {
+                let excess = self.records.len() - cap;
+                self.records.drain(..excess);
+            }
+        }
     }
 
     /// Records a compliant disclosure.
@@ -75,7 +164,7 @@ impl DisclosureLedger {
         purpose: Purpose,
         anonymized: bool,
     ) {
-        self.records.push(DisclosureRecord {
+        self.push(DisclosureRecord {
             at,
             owner,
             recipient,
@@ -97,7 +186,7 @@ impl DisclosureLedger {
         purpose: Purpose,
         cause: BreachCause,
     ) {
-        self.records.push(DisclosureRecord {
+        self.push(DisclosureRecord {
             at,
             owner,
             recipient,
@@ -109,79 +198,105 @@ impl DisclosureLedger {
         });
     }
 
-    /// All records, in order.
+    /// All retained raw records, in order. With a raw-record cap this is
+    /// the most recent window; aggregates still cover the full history.
     pub fn records(&self) -> &[DisclosureRecord] {
         &self.records
     }
 
-    /// Total number of records.
+    /// Total number of records over the full history (including any raw
+    /// records evicted by the retention cap).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.total as usize
     }
 
-    /// Whether the ledger is empty.
+    /// Whether the ledger has never recorded anything.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.total == 0
     }
 
     /// Number of breaches, optionally filtered by cause.
     pub fn breach_count(&self, cause: Option<BreachCause>) -> usize {
-        self.records
-            .iter()
-            .filter(|r| !r.compliant && (cause.is_none() || r.breach_cause == cause))
-            .count()
+        (match cause {
+            None => self.user_breaches + self.system_breaches,
+            Some(BreachCause::MaliciousUser) => self.user_breaches,
+            Some(BreachCause::System) => self.system_breaches,
+        }) as usize
     }
 
     /// System-wide policy-respect rate: compliant / total. An empty
     /// ledger counts as fully respected (no flow, no violation).
     pub fn respect_rate(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.total == 0 {
             return 1.0;
         }
-        let compliant = self.records.iter().filter(|r| r.compliant).count();
-        compliant as f64 / self.records.len() as f64
+        self.compliant as f64 / self.total as f64
     }
 
     /// Policy-respect rate for one owner's data.
     pub fn respect_rate_for(&self, owner: NodeId) -> f64 {
-        let mine: Vec<&DisclosureRecord> =
-            self.records.iter().filter(|r| r.owner == owner).collect();
-        if mine.is_empty() {
-            return 1.0;
+        match self.owners.get(owner.index()) {
+            Some(stats) if stats.total > 0 => stats.compliant as f64 / stats.total as f64,
+            _ => 1.0,
         }
-        mine.iter().filter(|r| r.compliant).count() as f64 / mine.len() as f64
     }
 
     /// Sensitivity-weighted exposure of one owner: Σ sensitivity(category)
     /// over their non-anonymized disclosed records (anonymized flows count
     /// 25 %). Unnormalized; see [`crate::exposure`] for the facet mapping.
     pub fn exposure_for(&self, owner: NodeId) -> f64 {
-        self.records
-            .iter()
-            .filter(|r| r.owner == owner)
-            .map(|r| r.category.sensitivity() * if r.anonymized { 0.25 } else { 1.0 })
-            .sum()
+        self.owners
+            .get(owner.index())
+            .map_or(0.0, |stats| stats.exposure)
     }
 
     /// Total sensitivity-weighted exposure across all owners.
     pub fn total_exposure(&self) -> f64 {
-        self.records
-            .iter()
-            .map(|r| r.category.sensitivity() * if r.anonymized { 0.25 } else { 1.0 })
-            .sum()
+        self.total_exposure
     }
 
-    /// Records concerning one owner.
+    /// Records concerning one owner (within the retained raw window).
     pub fn records_for(&self, owner: NodeId) -> impl Iterator<Item = &DisclosureRecord> {
         self.records.iter().filter(move |r| r.owner == owner)
     }
 
     /// Drops records older than `horizon` (retention enforcement on the
-    /// ledger itself). Returns how many were purged.
+    /// ledger itself) and rebuilds the aggregates from the survivors, so
+    /// the counters match a ledger that never saw the purged flows.
+    /// Returns how many retained records were purged.
+    ///
+    /// With a raw-record cap, records evicted from the raw window carry
+    /// no timestamp any more, so a purge resets the aggregates to the
+    /// surviving *retained* window — evicted history is forgotten along
+    /// with the purge, whatever its age.
     pub fn purge_before(&mut self, horizon: SimTime) -> usize {
         let before = self.records.len();
         self.records.retain(|r| r.at >= horizon);
-        before - self.records.len()
+        let purged = before - self.records.len();
+        let capped_history = self.raw_record_cap.is_some() && self.total as usize > before;
+        if purged > 0 || capped_history {
+            self.rebuild_aggregates();
+        }
+        purged
+    }
+
+    /// Recomputes every counter from the retained raw records, in record
+    /// order — the same accumulation order `push` uses, so the rebuilt
+    /// state is exactly what incremental maintenance would have produced.
+    fn rebuild_aggregates(&mut self) {
+        self.owners.clear();
+        self.total = 0;
+        self.compliant = 0;
+        self.user_breaches = 0;
+        self.system_breaches = 0;
+        self.total_exposure = 0.0;
+        let records = std::mem::take(&mut self.records);
+        let cap = self.raw_record_cap.take();
+        for record in &records {
+            self.push(*record);
+        }
+        self.records = records;
+        self.raw_record_cap = cap;
     }
 }
 
@@ -303,6 +418,36 @@ mod tests {
     }
 
     #[test]
+    fn purge_rebuilds_aggregates() {
+        let mut l = DisclosureLedger::new();
+        l.record_breach(
+            t(0),
+            NodeId(0),
+            NodeId(1),
+            DataCategory::Content,
+            Purpose::Social,
+            BreachCause::System,
+        );
+        l.record_disclosure(
+            t(5),
+            NodeId(0),
+            NodeId(1),
+            DataCategory::Content,
+            Purpose::Social,
+            false,
+        );
+        assert_eq!(l.respect_rate(), 0.5);
+        l.purge_before(t(1));
+        assert_eq!(l.respect_rate(), 1.0, "purged breach no longer counted");
+        assert_eq!(l.breach_count(None), 0);
+        assert_eq!(l.len(), 1);
+        assert!(
+            (l.exposure_for(NodeId(0)) - DataCategory::Content.sensitivity()).abs() < 1e-12,
+            "owner exposure rebuilt from survivors"
+        );
+    }
+
+    #[test]
     fn records_for_filters_by_owner() {
         let mut l = DisclosureLedger::new();
         l.record_disclosure(
@@ -324,5 +469,143 @@ mod tests {
         assert_eq!(l.records_for(NodeId(0)).count(), 1);
         assert_eq!(l.records_for(NodeId(1)).count(), 1);
         assert_eq!(l.records_for(NodeId(2)).count(), 0);
+    }
+
+    #[test]
+    fn aggregates_match_a_scan_of_the_records() {
+        // The counters must agree with recomputing every query from the
+        // raw log — the pre-optimization implementation.
+        let mut l = DisclosureLedger::new();
+        let categories = [
+            DataCategory::Content,
+            DataCategory::Profile,
+            DataCategory::Location,
+        ];
+        for i in 0..50u64 {
+            let owner = NodeId((i % 7) as u32);
+            let recipient = NodeId(((i + 1) % 7) as u32);
+            let category = categories[(i % 3) as usize];
+            match i % 5 {
+                0 => l.record_breach(
+                    t(i),
+                    owner,
+                    recipient,
+                    category,
+                    Purpose::Social,
+                    BreachCause::MaliciousUser,
+                ),
+                1 => l.record_breach(
+                    t(i),
+                    owner,
+                    recipient,
+                    category,
+                    Purpose::Reputation,
+                    BreachCause::System,
+                ),
+                _ => l.record_disclosure(
+                    t(i),
+                    owner,
+                    recipient,
+                    category,
+                    Purpose::Social,
+                    i % 2 == 0,
+                ),
+            }
+        }
+        let records = l.records().to_vec();
+        let scan_compliant = records.iter().filter(|r| r.compliant).count();
+        assert_eq!(
+            l.respect_rate(),
+            scan_compliant as f64 / records.len() as f64
+        );
+        for owner in (0..7).map(NodeId) {
+            let mine: Vec<_> = records.iter().filter(|r| r.owner == owner).collect();
+            let scan_rate = mine.iter().filter(|r| r.compliant).count() as f64 / mine.len() as f64;
+            assert_eq!(l.respect_rate_for(owner), scan_rate, "owner {owner:?}");
+            let scan_exposure: f64 = mine.iter().map(|r| r.exposure()).sum();
+            assert!((l.exposure_for(owner) - scan_exposure).abs() < 1e-12);
+        }
+        let scan_user = records
+            .iter()
+            .filter(|r| r.breach_cause == Some(BreachCause::MaliciousUser))
+            .count();
+        assert_eq!(l.breach_count(Some(BreachCause::MaliciousUser)), scan_user);
+    }
+
+    #[test]
+    fn purge_with_cap_resets_aggregates_to_retained_window() {
+        // Records evicted by the cap have no timestamps left; a purge
+        // therefore drops them from the aggregates too, even when the
+        // retained window itself is entirely newer than the horizon.
+        let mut l = DisclosureLedger::with_raw_record_cap(Some(4));
+        for s in 0..20 {
+            if s % 3 == 0 {
+                l.record_breach(
+                    t(s),
+                    NodeId(0),
+                    NodeId(1),
+                    DataCategory::Content,
+                    Purpose::Social,
+                    BreachCause::System,
+                );
+            } else {
+                l.record_disclosure(
+                    t(s),
+                    NodeId(0),
+                    NodeId(1),
+                    DataCategory::Content,
+                    Purpose::Social,
+                    false,
+                );
+            }
+        }
+        assert_eq!(l.len(), 20);
+        let purged = l.purge_before(t(10));
+        assert_eq!(purged, 0, "retained window is t=16..19");
+        assert_eq!(l.len(), 4, "evicted history forgotten with the purge");
+        assert_eq!(
+            l.breach_count(None),
+            l.records().iter().filter(|r| !r.compliant).count(),
+            "aggregates match the surviving window"
+        );
+    }
+
+    #[test]
+    fn raw_record_cap_keeps_aggregates_exact() {
+        let mut capped = DisclosureLedger::with_raw_record_cap(Some(4));
+        let mut full = DisclosureLedger::new();
+        for s in 0..20 {
+            for l in [&mut capped, &mut full] {
+                if s % 3 == 0 {
+                    l.record_breach(
+                        t(s),
+                        NodeId(0),
+                        NodeId(1),
+                        DataCategory::Content,
+                        Purpose::Social,
+                        BreachCause::System,
+                    );
+                } else {
+                    l.record_disclosure(
+                        t(s),
+                        NodeId(0),
+                        NodeId(1),
+                        DataCategory::Content,
+                        Purpose::Social,
+                        false,
+                    );
+                }
+            }
+        }
+        assert_eq!(capped.records().len(), 4, "raw window capped");
+        assert_eq!(capped.len(), 20, "history length preserved");
+        assert_eq!(capped.respect_rate(), full.respect_rate());
+        assert_eq!(
+            capped.respect_rate_for(NodeId(0)),
+            full.respect_rate_for(NodeId(0))
+        );
+        assert_eq!(capped.breach_count(None), full.breach_count(None));
+        assert_eq!(capped.total_exposure(), full.total_exposure());
+        assert_eq!(capped.raw_record_cap(), Some(4));
     }
 }

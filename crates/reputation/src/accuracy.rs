@@ -124,28 +124,46 @@ pub fn evaluate(
 
 /// Balanced accuracy `(TPR + TNR) / 2` of classifying adversaries as the
 /// low-score class, maximized over all score thresholds. 0.5 means chance.
+///
+/// A single sorted sweep with running counts — O(n log n) where the
+/// naive per-threshold rescan is O(n²) — producing the same counts (and
+/// therefore bit-identical accuracies) at every distinct threshold. The
+/// scenario loop calls this once per round, so the quadratic version
+/// showed up in profiles.
 pub fn balanced_detection_accuracy(scores: &[f64], adversarial: &[bool]) -> f64 {
     let positives = adversarial.iter().filter(|&&a| a).count();
     let negatives = adversarial.len() - positives;
     if positives == 0 || negatives == 0 {
         return 0.5; // degenerate: nothing to separate
     }
-    // Candidate thresholds: each distinct score.
-    let mut thresholds: Vec<f64> = scores.to_vec();
-    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    thresholds.dedup();
+    let mut order: Vec<(f64, bool)> = scores
+        .iter()
+        .copied()
+        .zip(adversarial.iter().copied())
+        .collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let mut best: f64 = 0.5;
-    for &t in &thresholds {
-        let mut tp = 0usize; // adversary flagged (score <= t)
-        let mut tn = 0usize; // honest passed (score > t)
-        for (s, &adv) in scores.iter().zip(adversarial) {
-            if adv && *s <= t {
-                tp += 1;
+    let mut flagged_adversaries = 0usize; // adversaries with score <= t
+    let mut flagged_honest = 0usize; // honest with score <= t
+    let mut i = 0;
+    while i < order.len() {
+        // Consume every sample tied at this threshold before scoring it.
+        // The negated `>` comparison (rather than `==`) also consumes
+        // NaN scores, which would otherwise never compare equal and
+        // stall the sweep.
+        let threshold = order[i].0;
+        while i < order.len()
+            && order[i].0.partial_cmp(&threshold) != Some(std::cmp::Ordering::Greater)
+        {
+            if order[i].1 {
+                flagged_adversaries += 1;
+            } else {
+                flagged_honest += 1;
             }
-            if !adv && *s > t {
-                tn += 1;
-            }
+            i += 1;
         }
+        let tp = flagged_adversaries;
+        let tn = negatives - flagged_honest;
         let bal = (tp as f64 / positives as f64 + tn as f64 / negatives as f64) / 2.0;
         best = best.max(bal);
     }
@@ -274,5 +292,55 @@ mod tests {
     fn mismatched_lengths_panic() {
         let m = NoReputation::new(3);
         let _ = evaluate(&m, &[0.5; 2], &[false; 3], 0);
+    }
+
+    #[test]
+    fn sweep_matches_naive_per_threshold_rescan() {
+        // The O(n log n) sweep must reproduce the quadratic reference
+        // bit-for-bit, ties and duplicates included.
+        fn naive(scores: &[f64], adversarial: &[bool]) -> f64 {
+            let positives = adversarial.iter().filter(|&&a| a).count();
+            let negatives = adversarial.len() - positives;
+            if positives == 0 || negatives == 0 {
+                return 0.5;
+            }
+            let mut thresholds: Vec<f64> = scores.to_vec();
+            thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            thresholds.dedup();
+            let mut best: f64 = 0.5;
+            for &t in &thresholds {
+                let tp = scores
+                    .iter()
+                    .zip(adversarial)
+                    .filter(|(s, &adv)| adv && **s <= t)
+                    .count();
+                let tn = scores
+                    .iter()
+                    .zip(adversarial)
+                    .filter(|(s, &adv)| !adv && **s > t)
+                    .count();
+                let bal = (tp as f64 / positives as f64 + tn as f64 / negatives as f64) / 2.0;
+                best = best.max(bal);
+            }
+            best
+        }
+        // NaN scores must not wedge the sweep (the tie loop advances
+        // past values that do not compare greater, NaN included).
+        let acc = balanced_detection_accuracy(&[0.5, f64::NAN, 0.2], &[true, false, false]);
+        assert!((0.0..=1.0).contains(&acc));
+
+        let mut rng = tsn_simnet::SimRng::seed_from_u64(5);
+        for case in 0..50 {
+            let n = 3 + (case % 17);
+            let scores: Vec<f64> = (0..n)
+                .map(|_| (rng.gen_range(0..8u32) as f64) / 8.0) // force ties
+                .collect();
+            let adversarial: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+            assert_eq!(
+                balanced_detection_accuracy(&scores, &adversarial).to_bits(),
+                naive(&scores, &adversarial).to_bits(),
+                "case {case}: scores {scores:?} adv {adversarial:?}"
+            );
+        }
     }
 }

@@ -18,10 +18,19 @@
 //! pool average, weighted by the share of identified reports. Hiding
 //! identities therefore smoothly reduces EigenTrust toward a plain mean —
 //! precisely the reputation-power loss the paper's Figure 2 plots.
+//!
+//! **Performance.** The local-trust matrix is a [`LocalMatrix`]: a
+//! CSR-style adjacency `record()` updates in place, iterated in
+//! deterministic (rater, ratee) order. `power_iterate` reuses the row
+//! storage and ping-pongs two resident `t`/`next` buffers, so a refresh
+//! allocates nothing — the former `HashMap` version rebuilt row storage
+//! and allocated a fresh `next` vector per iteration, and its random
+//! iteration order made low-order float bits vary between runs.
 
 use crate::gathering::ReportView;
+use crate::local_matrix::LocalMatrix;
 use crate::mechanism::{MechanismKind, ReputationMechanism};
-use std::collections::HashMap;
+use crate::walk::WalkMatrix;
 use tsn_simnet::NodeId;
 
 /// EigenTrust parameters.
@@ -69,15 +78,23 @@ impl EigenTrustConfig {
     }
 }
 
+/// One (rater, ratee) cell: `s_ij` (satisfactory − unsatisfactory) feeds
+/// the C matrix; the value mean feeds the trust-weighted opinion
+/// aggregation.
+#[derive(Debug, Clone, Copy, Default)]
+struct LocalCell {
+    s: f64,
+    value_sum: f64,
+    count: u64,
+}
+
 /// The EigenTrust mechanism.
 #[derive(Debug, Clone)]
 pub struct EigenTrust {
     config: EigenTrustConfig,
     n: usize,
-    /// Sparse local trust state: (rater, ratee) → (s_ij, value sum, count).
-    /// `s_ij` (satisfactory − unsatisfactory) feeds the C matrix; the
-    /// value mean feeds the trust-weighted opinion aggregation.
-    local: HashMap<(u32, u32), (f64, f64, u64)>,
+    /// Sparse local trust, updated in place by `record`.
+    local: LocalMatrix<LocalCell>,
     /// Per-ratee anonymous pool: (sum of values, count).
     anon: Vec<(f64, u64)>,
     /// Count of identified vs anonymous reports, for blending.
@@ -89,6 +106,14 @@ pub struct EigenTrust {
     opinion: Vec<(f64, f64)>,
     dirty: bool,
     last_iterations: usize,
+    /// Teleport distribution (recomputed only when the population grows).
+    prior: Vec<f64>,
+    /// The shared power-iteration engine (flat normalized matrix +
+    /// ping-pong buffers, all resident across refreshes).
+    walk: WalkMatrix,
+    /// Flat (rater, ratee, value mean) image of the rated cells,
+    /// captured during the walk rebuild for the opinion pass.
+    opinion_src: Vec<(u32, u32, f64)>,
 }
 
 impl EigenTrust {
@@ -101,10 +126,11 @@ impl EigenTrust {
         if let Err(e) = config.validate() {
             panic!("invalid EigenTrust config: {e}");
         }
+        let prior = Self::compute_prior(&config.pretrusted, n);
         EigenTrust {
             config,
             n,
-            local: HashMap::new(),
+            local: LocalMatrix::new(n),
             anon: vec![(0.0, 0); n],
             identified_reports: 0,
             anonymous_reports: 0,
@@ -112,6 +138,9 @@ impl EigenTrust {
             opinion: vec![(0.0, 0.0); n],
             dirty: true,
             last_iterations: 0,
+            prior,
+            walk: WalkMatrix::default(),
+            opinion_src: Vec::new(),
         }
     }
 
@@ -134,14 +163,14 @@ impl EigenTrust {
         self.last_iterations
     }
 
-    fn prior(&self) -> Vec<f64> {
-        if self.config.pretrusted.is_empty() {
-            vec![1.0 / self.n.max(1) as f64; self.n]
+    fn compute_prior(pretrusted: &[NodeId], n: usize) -> Vec<f64> {
+        if pretrusted.is_empty() {
+            vec![1.0 / n.max(1) as f64; n]
         } else {
-            let mut p = vec![0.0; self.n];
-            let share = 1.0 / self.config.pretrusted.len() as f64;
-            for &node in &self.config.pretrusted {
-                if node.index() < self.n {
+            let mut p = vec![0.0; n];
+            let share = 1.0 / pretrusted.len() as f64;
+            for &node in pretrusted {
+                if node.index() < n {
                     p[node.index()] += share;
                 }
             }
@@ -156,61 +185,40 @@ impl EigenTrust {
             self.last_iterations = 0;
             return;
         }
-        let p = self.prior();
-        // Build row-normalized C lazily: rows[i] = Vec<(j, c_ij)>.
-        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        let mut row_sum = vec![0.0; n];
-        for (&(i, j), &(s, _, _)) in &self.local {
-            let s = s.max(0.0);
-            if s > 0.0 {
-                rows[i as usize].push((j as usize, s));
-                row_sum[i as usize] += s;
-            }
-        }
-        for (i, row) in rows.iter_mut().enumerate() {
-            for (_, v) in row.iter_mut() {
-                *v /= row_sum[i];
-            }
-        }
-        let alpha = self.config.alpha;
-        let mut t = p.clone();
-        let mut iterations = 0;
-        for _ in 0..self.config.max_iterations {
-            iterations += 1;
-            let mut next = vec![0.0; n];
-            // tᵀ C  (walk forward along trust edges)
-            for (i, row) in rows.iter().enumerate() {
-                if row.is_empty() {
-                    // Dangling rater: treat its mass as teleporting to the prior.
-                    for (k, next_k) in next.iter_mut().enumerate() {
-                        *next_k += t[i] * p[k];
-                    }
-                } else {
-                    for &(j, c) in row {
-                        next[j] += t[i] * c;
-                    }
+        // Row-normalize the positive local trust (`c_ij = max(s,0) /
+        // Σ max(s,0)`) into the walk engine; raters with no positive
+        // trust are dangling — their mass teleports to the prior. The
+        // same traversal flattens each rated cell's value mean for the
+        // opinion pass below.
+        let opinion_src = &mut self.opinion_src;
+        opinion_src.clear();
+        self.walk.rebuild(
+            n,
+            &self.local,
+            |cell| cell.s,
+            |i, j, cell| {
+                if cell.count > 0 {
+                    opinion_src.push((i, j, cell.value_sum / cell.count as f64));
                 }
-            }
-            for k in 0..n {
-                next[k] = (1.0 - alpha) * next[k] + alpha * p[k];
-            }
-            let delta: f64 = next.iter().zip(&t).map(|(a, b)| (a - b).abs()).sum();
-            t = next;
-            if delta < self.config.epsilon {
-                break;
-            }
-        }
-        self.global = t;
-        // Cache the trust-weighted opinion aggregation for O(1) scoring.
-        self.opinion = vec![(0.0, 0.0); n];
-        for (&(i, j), &(_, value_sum, count)) in &self.local {
-            if count == 0 {
-                continue;
-            }
+            },
+        );
+        let iterations = self.walk.stationary(
+            &self.prior,
+            self.config.alpha,
+            self.config.epsilon,
+            self.config.max_iterations,
+        );
+        self.global.clear();
+        self.global.extend_from_slice(self.walk.solution());
+        // Cache the trust-weighted opinion aggregation for O(1) scoring,
+        // over the flat (rater, ratee) image in deterministic order.
+        self.opinion.clear();
+        self.opinion.resize(n, (0.0, 0.0));
+        for &(i, j, mean) in &self.opinion_src {
             // Floor on rater weight so fresh raters are heard faintly.
             let w = self.global[i as usize].max(1e-6);
             let slot = &mut self.opinion[j as usize];
-            slot.0 += w * (value_sum / count as f64);
+            slot.0 += w * mean;
             slot.1 += w;
         }
         self.dirty = false;
@@ -235,9 +243,11 @@ impl ReputationMechanism for EigenTrust {
     fn resize(&mut self, n: usize) {
         if n > self.n {
             self.n = n;
+            self.local.resize(n);
             self.anon.resize(n, (0.0, 0));
             self.opinion.resize(n, (0.0, 0.0));
             self.global = vec![1.0 / n as f64; n];
+            self.prior = Self::compute_prior(&self.config.pretrusted, n);
             self.dirty = true;
         }
     }
@@ -249,10 +259,10 @@ impl ReputationMechanism for EigenTrust {
             Some(rater) if rater != report.ratee => {
                 // s_ij += value for success, −1 for failure (paper: sat − unsat).
                 let delta = if report.success { report.value() } else { -1.0 };
-                let entry = self.local.entry((rater.0, ratee)).or_insert((0.0, 0.0, 0));
-                entry.0 += delta;
-                entry.1 += report.value();
-                entry.2 += 1;
+                let cell = self.local.upsert(rater.0, ratee);
+                cell.s += delta;
+                cell.value_sum += report.value();
+                cell.count += 1;
                 self.identified_reports += 1;
             }
             Some(_) => { /* self-rating is ignored */ }
@@ -303,7 +313,7 @@ mod tests {
     use super::*;
     use crate::gathering::{DisclosurePolicy, FeedbackReport};
     use crate::mechanism::InteractionOutcome;
-    use tsn_simnet::SimTime;
+    use tsn_simnet::{SimRng, SimTime};
 
     fn feed(m: &mut EigenTrust, rater: u32, ratee: u32, good: bool, policy: &DisclosurePolicy) {
         let report = FeedbackReport {
@@ -364,7 +374,7 @@ mod tests {
         let mut m = EigenTrust::new(3, config);
         // No reports at all: stationary distribution = prior = all mass on 0.
         m.refresh();
-        let t = m.global_trust().to_vec();
+        let t = m.global_trust();
         assert!(
             t[0] > t[1] && t[0] > t[2],
             "teleport mass concentrates on the seed: {t:?}"
@@ -508,5 +518,81 @@ mod tests {
         .validate()
         .is_err());
         assert!(EigenTrustConfig::default().validate().is_ok());
+    }
+
+    /// Random but seed-reproducible report stream over `n` nodes.
+    fn random_feed(m: &mut EigenTrust, n: u32, count: usize, seed: u64) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let full = DisclosurePolicy::full();
+        for _ in 0..count {
+            let rater = rng.gen_range(0..n);
+            let mut ratee = rng.gen_range(0..n);
+            if ratee == rater {
+                ratee = (ratee + 1) % n;
+            }
+            feed(m, rater, ratee, rng.gen_bool(0.7), &full);
+        }
+    }
+
+    #[test]
+    fn two_instances_are_bit_identical() {
+        // The HashMap-backed implementation could differ in low-order
+        // float bits between instances (random iteration order); the CSR
+        // storage accumulates in a fixed order, so equality is exact.
+        let mut a = EigenTrust::new(30, EigenTrustConfig::default());
+        let mut b = EigenTrust::new(30, EigenTrustConfig::default());
+        random_feed(&mut a, 30, 600, 9);
+        random_feed(&mut b, 30, 600, 9);
+        a.refresh();
+        b.refresh();
+        assert_eq!(a.global_trust(), b.global_trust());
+        for i in 0..30 {
+            assert_eq!(
+                a.score(NodeId(i)).to_bits(),
+                b.score(NodeId(i)).to_bits(),
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_refreshes_match_from_scratch() {
+        // Interleaving record/refresh must leave the matrix in exactly
+        // the state a single batch ingest would produce: the in-place row
+        // updates and resident scratch buffers carry no state between
+        // refreshes.
+        let mut incremental = EigenTrust::new(20, EigenTrustConfig::default());
+        let mut rng = SimRng::seed_from_u64(17);
+        let full = DisclosurePolicy::full();
+        let mut log: Vec<(u32, u32, bool)> = Vec::new();
+        for step in 0..400 {
+            let rater = rng.gen_range(0..20);
+            let mut ratee = rng.gen_range(0..20);
+            if ratee == rater {
+                ratee = (ratee + 1) % 20;
+            }
+            let good = rng.gen_bool(0.6);
+            log.push((rater, ratee, good));
+            feed(&mut incremental, rater, ratee, good, &full);
+            if step % 37 == 0 {
+                incremental.refresh();
+            }
+        }
+        incremental.refresh();
+
+        let mut scratch = EigenTrust::new(20, EigenTrustConfig::default());
+        for &(rater, ratee, good) in &log {
+            feed(&mut scratch, rater, ratee, good, &full);
+        }
+        scratch.refresh();
+
+        assert_eq!(incremental.global_trust(), scratch.global_trust());
+        for i in 0..20 {
+            assert_eq!(
+                incremental.score(NodeId(i)).to_bits(),
+                scratch.score(NodeId(i)).to_bits(),
+                "node {i}"
+            );
+        }
     }
 }

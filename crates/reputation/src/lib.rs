@@ -33,11 +33,13 @@ pub mod attack;
 pub mod beta;
 pub mod eigentrust;
 pub mod gathering;
+mod local_matrix;
 pub mod mechanism;
 pub mod powertrust;
 pub mod response;
 pub mod testbed;
 pub mod trustme;
+mod walk;
 
 pub use accuracy::{MechanismPower, PowerReport};
 pub use anonymous::{AnonymizationConfig, Anonymized};
@@ -47,7 +49,7 @@ pub use eigentrust::{EigenTrust, EigenTrustConfig};
 pub use gathering::{DisclosureField, DisclosurePolicy, FeedbackReport, ReportView};
 pub use mechanism::{InteractionOutcome, MechanismKind, ReputationMechanism};
 pub use powertrust::{PowerTrust, PowerTrustConfig};
-pub use response::SelectionPolicy;
+pub use response::{SelectionPolicy, SelectionScratch};
 pub use testbed::{Testbed, TestbedConfig, TestbedSummary};
 pub use trustme::{TrustMe, TrustMeConfig};
 pub use tsn_simnet::NodeId;

@@ -1,0 +1,123 @@
+//! Incrementally maintained sparse local-trust storage.
+//!
+//! EigenTrust and PowerTrust both aggregate per-(rater, ratee) local
+//! trust and then run a power iteration over the row-normalized matrix.
+//! The original implementation kept the cells in a
+//! `HashMap<(u32, u32), _>` and rebuilt row storage from scratch on
+//! every refresh — and, worse, `HashMap`'s per-instance random iteration
+//! order made the floating-point accumulation order (and therefore the
+//! low bits of every score) irreproducible between runs.
+//!
+//! [`LocalMatrix`] replaces that with a CSR-style adjacency the
+//! `record()` path updates in place: one row per rater, each row a
+//! ratee-sorted vector of cells. Refreshes iterate rows in rater order
+//! and cells in ratee order, so
+//!
+//! * no per-refresh rebuild: row storage persists across refreshes and
+//!   `upsert` touches only the affected row;
+//! * deterministic accumulation order: results are bit-identical across
+//!   runs, processes and thread counts;
+//! * cheap clones: a handful of flat `Vec` copies instead of re-hashing
+//!   every entry (the testbed clones mechanisms per experiment arm).
+
+/// A sparse row-major matrix of per-(rater, ratee) cells, sorted by
+/// ratee within each row.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LocalMatrix<C> {
+    rows: Vec<Vec<(u32, C)>>,
+}
+
+impl<C> LocalMatrix<C> {
+    /// Creates an empty matrix with `n` rows.
+    pub fn new(n: usize) -> Self {
+        LocalMatrix {
+            rows: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of rows (raters).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Grows to at least `n` rows.
+    pub fn resize(&mut self, n: usize) {
+        if n > self.rows.len() {
+            self.rows.resize_with(n, Vec::new);
+        }
+    }
+
+    /// The cells of one row, in ascending ratee order.
+    pub fn row(&self, rater: usize) -> &[(u32, C)] {
+        &self.rows[rater]
+    }
+
+    /// Iterates `(rater, ratee, cell)` in ascending (rater, ratee) order —
+    /// the deterministic accumulation order every refresh uses.
+    #[cfg(test)]
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &C)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().map(move |(j, c)| (i as u32, *j, c)))
+    }
+
+    /// Number of stored cells.
+    #[cfg(test)]
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+impl<C: Default> LocalMatrix<C> {
+    /// The cell for `(rater, ratee)`, inserted at its sorted position if
+    /// absent. O(log d) to find, O(d) to insert, for row degree `d`.
+    pub fn upsert(&mut self, rater: u32, ratee: u32) -> &mut C {
+        let row = &mut self.rows[rater as usize];
+        match row.binary_search_by_key(&ratee, |&(j, _)| j) {
+            Ok(pos) => &mut row[pos].1,
+            Err(pos) => {
+                row.insert(pos, (ratee, C::default()));
+                &mut row[pos].1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_inserts_sorted_and_updates_in_place() {
+        let mut m: LocalMatrix<f64> = LocalMatrix::new(3);
+        *m.upsert(1, 5) += 1.0;
+        *m.upsert(1, 2) += 2.0;
+        *m.upsert(1, 5) += 3.0;
+        assert_eq!(m.row(1), &[(2, 2.0), (5, 4.0)]);
+        assert_eq!(m.row(0), &[]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn iter_is_in_row_major_sorted_order() {
+        let mut m: LocalMatrix<u64> = LocalMatrix::new(3);
+        *m.upsert(2, 1) += 1;
+        *m.upsert(0, 9) += 1;
+        *m.upsert(0, 3) += 1;
+        let order: Vec<(u32, u32)> = m.iter().map(|(i, j, _)| (i, j)).collect();
+        assert_eq!(order, vec![(0, 3), (0, 9), (2, 1)]);
+    }
+
+    #[test]
+    fn resize_only_grows() {
+        let mut m: LocalMatrix<f64> = LocalMatrix::new(2);
+        m.resize(5);
+        assert_eq!(m.len(), 5);
+        m.resize(1);
+        assert_eq!(m.len(), 5);
+        *m.upsert(4, 0) += 1.0;
+        assert_eq!(m.row(4).len(), 1);
+    }
+}

@@ -15,10 +15,18 @@
 //!
 //! Anonymized reports (no rater id) fall into a per-ratee pool blended in
 //! the same way as [`crate::eigentrust`].
+//!
+//! **Performance.** Like EigenTrust, the local-trust matrix is a
+//! [`LocalMatrix`] updated in place by `record`; both walk passes run on
+//! the shared [`WalkMatrix`] engine (flat normalized matrix rebuilt once
+//! per refresh, resident `t`/`next` ping-pong buffers), so a refresh
+//! performs no steady-state allocation and accumulates floats in a
+//! deterministic (rater, ratee) order.
 
 use crate::gathering::ReportView;
+use crate::local_matrix::LocalMatrix;
 use crate::mechanism::{MechanismKind, ReputationMechanism};
-use std::collections::HashMap;
+use crate::walk::WalkMatrix;
 use tsn_simnet::NodeId;
 
 /// PowerTrust parameters.
@@ -68,13 +76,32 @@ impl PowerTrustConfig {
     }
 }
 
+/// One (rater, ratee) cell: sum of report values and their count; the
+/// mean is the paper's local trust `r_ij`.
+#[derive(Debug, Clone, Copy, Default)]
+struct PtCell {
+    sum: f64,
+    count: u64,
+}
+
+impl PtCell {
+    /// The local-trust mean, or 0 when no reports arrived.
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
 /// The PowerTrust mechanism.
 #[derive(Debug, Clone)]
 pub struct PowerTrust {
     config: PowerTrustConfig,
     n: usize,
-    /// (rater, ratee) → (sum of values, count).
-    local: HashMap<(u32, u32), (f64, u64)>,
+    /// Sparse local trust, updated in place by `record`.
+    local: LocalMatrix<PtCell>,
     anon: Vec<(f64, u64)>,
     identified_reports: u64,
     anonymous_reports: u64,
@@ -84,6 +111,15 @@ pub struct PowerTrust {
     power_set: Vec<NodeId>,
     dirty: bool,
     last_iterations: usize,
+    /// The shared power-iteration engine (both passes run on the same
+    /// rebuilt matrix), plus the teleport vector and election order
+    /// scratch.
+    walk: WalkMatrix,
+    teleport: Vec<f64>,
+    order: Vec<usize>,
+    /// Flat (rater, ratee, local-trust mean) image of the rated cells,
+    /// captured during the walk rebuild for the opinion pass.
+    opinion_src: Vec<(u32, u32, f64)>,
 }
 
 impl PowerTrust {
@@ -99,7 +135,7 @@ impl PowerTrust {
         PowerTrust {
             config,
             n,
-            local: HashMap::new(),
+            local: LocalMatrix::new(n),
             anon: vec![(0.0, 0); n],
             identified_reports: 0,
             anonymous_reports: 0,
@@ -108,6 +144,10 @@ impl PowerTrust {
             power_set: Vec::new(),
             dirty: true,
             last_iterations: 0,
+            walk: WalkMatrix::default(),
+            teleport: Vec::new(),
+            order: Vec::new(),
+            opinion_src: Vec::new(),
         }
     }
 
@@ -124,98 +164,68 @@ impl PowerTrust {
         self.last_iterations
     }
 
-    fn rows(&self) -> Vec<Vec<(usize, f64)>> {
-        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n];
-        let mut row_sum = vec![0.0; self.n];
-        for (&(i, j), &(sum, count)) in &self.local {
-            if count == 0 {
-                continue;
-            }
-            let mean = sum / count as f64;
-            if mean > 0.0 {
-                rows[i as usize].push((j as usize, mean));
-                row_sum[i as usize] += mean;
-            }
-        }
-        for (i, row) in rows.iter_mut().enumerate() {
-            for (_, v) in row.iter_mut() {
-                *v /= row_sum[i];
-            }
-        }
-        rows
-    }
-
-    fn walk(
-        &self,
-        rows: &[Vec<(usize, f64)>],
-        teleport: &[f64],
-        damping: f64,
-    ) -> (Vec<f64>, usize) {
-        let n = self.n;
-        let mut v = teleport.to_vec();
-        let mut iterations = 0;
-        for _ in 0..self.config.max_iterations {
-            iterations += 1;
-            let mut next = vec![0.0; n];
-            for (i, row) in rows.iter().enumerate() {
-                if row.is_empty() {
-                    for (k, next_k) in next.iter_mut().enumerate() {
-                        *next_k += v[i] * teleport[k];
-                    }
-                } else {
-                    for &(j, c) in row {
-                        next[j] += v[i] * c;
-                    }
-                }
-            }
-            for k in 0..n {
-                next[k] = (1.0 - damping) * next[k] + damping * teleport[k];
-            }
-            let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
-            v = next;
-            if delta < self.config.epsilon {
-                break;
-            }
-        }
-        (v, iterations)
-    }
-
     fn recompute(&mut self) {
         if self.n == 0 {
             self.dirty = false;
             self.last_iterations = 0;
             return;
         }
-        let rows = self.rows();
-        let uniform = vec![1.0 / self.n as f64; self.n];
+        let n = self.n;
+        // Row-normalize the positive local-trust means into the walk
+        // engine; both passes share the rebuilt matrix, and the same
+        // traversal flattens each rated cell's mean for the opinion pass.
+        let opinion_src = &mut self.opinion_src;
+        opinion_src.clear();
+        self.walk
+            .rebuild(n, &self.local, PtCell::mean, |i, j, cell| {
+                if cell.count > 0 {
+                    opinion_src.push((i, j, cell.sum / cell.count as f64));
+                }
+            });
         // Pass 1: plain random walk elects power nodes.
-        let (v1, it1) = self.walk(&rows, &uniform, self.config.theta);
-        let mut order: Vec<usize> = (0..self.n).collect();
-        order.sort_by(|&a, &b| {
+        self.teleport.clear();
+        self.teleport.resize(n, 1.0 / n as f64);
+        let it1 = self.walk.stationary(
+            &self.teleport,
+            self.config.theta,
+            self.config.epsilon,
+            self.config.max_iterations,
+        );
+        let v1 = self.walk.solution();
+        self.order.clear();
+        self.order.extend(0..n);
+        self.order.sort_by(|&a, &b| {
             v1[b]
                 .partial_cmp(&v1[a])
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
-        let m = self.config.power_nodes.min(self.n);
-        self.power_set = order[..m].iter().map(|&i| NodeId::from_index(i)).collect();
+        let m = self.config.power_nodes.min(n);
+        self.power_set.clear();
+        self.power_set
+            .extend(self.order[..m].iter().map(|&i| NodeId::from_index(i)));
         // Pass 2: teleport lands on power nodes, boosting their influence.
-        let mut teleport = vec![0.0; self.n];
+        self.teleport.clear();
+        self.teleport.resize(n, 0.0);
         for p in &self.power_set {
-            teleport[p.index()] = 1.0 / m as f64;
+            self.teleport[p.index()] = 1.0 / m as f64;
         }
-        let (v2, it2) = self.walk(&rows, &teleport, self.config.theta);
-        self.global = v2;
+        let it2 = self.walk.stationary(
+            &self.teleport,
+            self.config.theta,
+            self.config.epsilon,
+            self.config.max_iterations,
+        );
+        self.global.clear();
+        self.global.extend_from_slice(self.walk.solution());
         // Cache the walk-weighted opinion aggregation: power nodes carry
         // the most weight when scoring others (the LRW aggregation).
-        self.opinion = vec![(0.0, 0.0); self.n];
-        for (&(i, j), &(sum, count)) in &self.local {
-            if count == 0 {
-                continue;
-            }
+        self.opinion.clear();
+        self.opinion.resize(n, (0.0, 0.0));
+        for &(i, j, mean) in &self.opinion_src {
             let w = self.global[i as usize].max(1e-6);
             let slot = &mut self.opinion[j as usize];
-            slot.0 += w * (sum / count as f64);
+            slot.0 += w * mean;
             slot.1 += w;
         }
         self.dirty = false;
@@ -240,6 +250,7 @@ impl ReputationMechanism for PowerTrust {
     fn resize(&mut self, n: usize) {
         if n > self.n {
             self.n = n;
+            self.local.resize(n);
             self.anon.resize(n, (0.0, 0));
             self.opinion.resize(n, (0.0, 0.0));
             self.global = vec![1.0 / n as f64; n];
@@ -252,9 +263,9 @@ impl ReputationMechanism for PowerTrust {
         debug_assert!((ratee as usize) < self.n, "ratee out of range");
         match report.rater {
             Some(rater) if rater != report.ratee => {
-                let entry = self.local.entry((rater.0, ratee)).or_insert((0.0, 0));
-                entry.0 += report.value();
-                entry.1 += 1;
+                let cell = self.local.upsert(rater.0, ratee);
+                cell.sum += report.value();
+                cell.count += 1;
                 self.identified_reports += 1;
             }
             Some(_) => {}
@@ -300,7 +311,7 @@ mod tests {
     use super::*;
     use crate::gathering::{DisclosurePolicy, FeedbackReport};
     use crate::mechanism::InteractionOutcome;
-    use tsn_simnet::SimTime;
+    use tsn_simnet::{SimRng, SimTime};
 
     fn feed(m: &mut PowerTrust, rater: u32, ratee: u32, good: bool) {
         let report = FeedbackReport {
@@ -451,6 +462,45 @@ mod tests {
         }
         for i in 0..5 {
             assert_eq!(a.score(NodeId(i)), b.score(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn incremental_refreshes_match_from_scratch() {
+        // In-place row maintenance and resident walk buffers must carry
+        // no state between refreshes: an interleaved record/refresh
+        // history ends bit-identical to one batch ingest + single refresh.
+        let mut incremental = PowerTrust::new(15, PowerTrustConfig::default());
+        let mut rng = SimRng::seed_from_u64(23);
+        let mut log: Vec<(u32, u32, bool)> = Vec::new();
+        for step in 0..300 {
+            let rater = rng.gen_range(0..15);
+            let mut ratee = rng.gen_range(0..15);
+            if ratee == rater {
+                ratee = (ratee + 1) % 15;
+            }
+            let good = rng.gen_bool(0.7);
+            log.push((rater, ratee, good));
+            feed(&mut incremental, rater, ratee, good);
+            if step % 41 == 0 {
+                incremental.refresh();
+            }
+        }
+        incremental.refresh();
+
+        let mut scratch = PowerTrust::new(15, PowerTrustConfig::default());
+        for &(rater, ratee, good) in &log {
+            feed(&mut scratch, rater, ratee, good);
+        }
+        scratch.refresh();
+
+        assert_eq!(incremental.power_nodes(), scratch.power_nodes());
+        for i in 0..15 {
+            assert_eq!(
+                incremental.score(NodeId(i)).to_bits(),
+                scratch.score(NodeId(i)).to_bits(),
+                "node {i}"
+            );
         }
     }
 }

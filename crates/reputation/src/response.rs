@@ -59,50 +59,91 @@ impl SelectionPolicy {
 
     /// Picks one provider among `candidates`, whose reputation is given by
     /// `score(candidate)`. Returns `None` when `candidates` is empty.
+    ///
+    /// Allocates internal scratch; hot loops should hold a
+    /// [`SelectionScratch`] and call [`SelectionPolicy::select_with`]
+    /// instead.
     pub fn select(
+        self,
+        candidates: &[NodeId],
+        score: impl FnMut(NodeId) -> f64,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
+        self.select_with(candidates, score, rng, &mut SelectionScratch::default())
+    }
+
+    /// [`SelectionPolicy::select`] with caller-provided scratch buffers,
+    /// so a selection performs no allocation. Draw order, draw count and
+    /// the selected candidate are identical to `select` for the same RNG
+    /// state.
+    pub fn select_with(
         self,
         candidates: &[NodeId],
         mut score: impl FnMut(NodeId) -> f64,
         rng: &mut SimRng,
+        scratch: &mut SelectionScratch,
     ) -> Option<NodeId> {
         if candidates.is_empty() {
             return None;
         }
         match self {
             SelectionPolicy::Random => rng.choose(candidates).copied(),
-            SelectionPolicy::Best => candidates.iter().copied().max_by(|&a, &b| {
-                score(a)
-                    .partial_cmp(&score(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    // Prefer the lower id on ties (max_by keeps the last
-                    // maximal element, so compare ids in reverse).
-                    .then(b.cmp(&a))
-            }),
-            SelectionPolicy::Proportional { sharpness } => {
-                let weights: Vec<f64> = candidates
+            SelectionPolicy::Best => {
+                // Score each candidate once (`max_by` would re-score per
+                // comparison), then keep `max_by`'s exact tie semantics.
+                scratch.weights.clear();
+                scratch.weights.extend(candidates.iter().map(|&c| score(c)));
+                candidates
                     .iter()
-                    .map(|&c| score(c).max(0.0).powf(sharpness.max(0.0)))
-                    .collect();
-                match rng.choose_weighted_index(&weights) {
+                    .copied()
+                    .zip(scratch.weights.iter().copied())
+                    .max_by(|&(a, sa), &(b, sb)| {
+                        sa.partial_cmp(&sb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            // Prefer the lower id on ties (max_by keeps the
+                            // last maximal element, so compare ids in
+                            // reverse).
+                            .then(b.cmp(&a))
+                    })
+                    .map(|(c, _)| c)
+            }
+            SelectionPolicy::Proportional { sharpness } => {
+                scratch.weights.clear();
+                scratch.weights.extend(
+                    candidates
+                        .iter()
+                        .map(|&c| score(c).max(0.0).powf(sharpness.max(0.0))),
+                );
+                match rng.choose_weighted_index(&scratch.weights) {
                     Some(i) => Some(candidates[i]),
                     // All-zero scores: fall back to uniform.
                     None => rng.choose(candidates).copied(),
                 }
             }
             SelectionPolicy::Threshold { threshold } => {
-                let qualified: Vec<NodeId> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&c| score(c) >= threshold)
-                    .collect();
-                if qualified.is_empty() {
-                    SelectionPolicy::Best.select(candidates, score, rng)
+                scratch.qualified.clear();
+                scratch.qualified.extend(
+                    candidates
+                        .iter()
+                        .copied()
+                        .filter(|&c| score(c) >= threshold),
+                );
+                if scratch.qualified.is_empty() {
+                    SelectionPolicy::Best.select_with(candidates, score, rng, scratch)
                 } else {
-                    rng.choose(&qualified).copied()
+                    rng.choose(&scratch.qualified).copied()
                 }
             }
         }
     }
+}
+
+/// Reusable buffers for [`SelectionPolicy::select_with`]; one instance
+/// per interaction loop keeps partner selection allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionScratch {
+    weights: Vec<f64>,
+    qualified: Vec<NodeId>,
 }
 
 #[cfg(test)]
@@ -221,6 +262,26 @@ mod tests {
             .select(&cands, |n| [0.1, 0.5, 0.8][n.index()], &mut rng)
             .unwrap();
         assert_eq!(c, NodeId(2));
+    }
+
+    #[test]
+    fn select_with_matches_select_draw_for_draw() {
+        // The scratch-based path must consume the same RNG draws and pick
+        // the same candidate as the allocating wrapper.
+        let cands = nodes(6);
+        let score = |n: NodeId| [0.1, 0.0, 0.55, 0.55, 0.9, 0.3][n.index()];
+        for policy in SelectionPolicy::SWEEP {
+            let mut scratch = SelectionScratch::default();
+            for seed in 0..20 {
+                let mut rng_a = SimRng::seed_from_u64(seed);
+                let mut rng_b = SimRng::seed_from_u64(seed);
+                let a = policy.select(&cands, score, &mut rng_a);
+                let b = policy.select_with(&cands, score, &mut rng_b, &mut scratch);
+                assert_eq!(a, b, "{policy:?} seed {seed}");
+                // Same draw count ⇒ identical next draw.
+                assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{policy:?} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The shared power-iteration engine behind EigenTrust and PowerTrust.
+//!
+//! Both mechanisms compute the stationary distribution of a damped
+//! random walk over the row-normalized local-trust matrix. This module
+//! owns that computation: [`WalkMatrix::rebuild`] flattens a
+//! [`LocalMatrix`] into CSR form inside resident buffers, and
+//! [`WalkMatrix::stationary`] runs the iteration with ping-pong
+//! `t`/`next` buffers — no allocation per refresh or per iteration.
+//!
+//! The rebuild traverses the nested (pointer-chasing) rows exactly
+//! once: edges are pushed unnormalized and the freshly appended flat
+//! slice is divided by the row sum in place, which is bit-identical to
+//! normalizing before the push (`w / sum` either way) but touches the
+//! cold nested storage half as often. The iteration itself runs over
+//! the flat arrays in ascending (rater, ratee) order — the fixed
+//! accumulation order that makes every refresh reproducible
+//! bit-for-bit across runs, processes and thread counts.
+
+use crate::local_matrix::LocalMatrix;
+
+/// A row-normalized walk matrix in flat CSR form, plus the iteration
+/// buffers. Rebuilt in place from the mutable [`LocalMatrix`] on every
+/// refresh; cloneable (flat buffers) so mechanisms stay cloneable.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WalkMatrix {
+    n: usize,
+    /// Row start offsets (`n + 1` entries). An empty row is a *dangling*
+    /// rater (no positive outgoing trust): its walk mass teleports.
+    row_ptr: Vec<u32>,
+    /// Ratee of each edge, ascending within a row.
+    cols: Vec<u32>,
+    /// Normalized trust `c_ij` of each edge.
+    vals: Vec<f64>,
+    /// Ping-pong iteration buffers.
+    t: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl WalkMatrix {
+    /// Rebuilds the CSR structure from `local`, taking each cell's raw
+    /// weight from `weight`. Cells with weight ≤ 0 carry no edge; each
+    /// edge is normalized by its row's positive-weight sum (accumulated
+    /// in ascending-ratee order); rows without any positive weight end
+    /// up empty (dangling). `visit` is called for *every* cell in
+    /// ascending (rater, ratee) order during the single traversal of
+    /// `local` — mechanisms use it to flatten whatever per-cell data
+    /// their own post-walk passes need, without re-chasing the rows.
+    pub fn rebuild<C>(
+        &mut self,
+        n: usize,
+        local: &LocalMatrix<C>,
+        weight: impl Fn(&C) -> f64,
+        mut visit: impl FnMut(u32, u32, &C),
+    ) {
+        self.n = n;
+        self.row_ptr.clear();
+        self.row_ptr.push(0);
+        self.cols.clear();
+        self.vals.clear();
+        for i in 0..n {
+            let row_start = self.vals.len();
+            let mut sum = 0.0;
+            for (j, cell) in local.row(i) {
+                visit(i as u32, *j, cell);
+                let w = weight(cell);
+                if w > 0.0 {
+                    sum += w;
+                    self.cols.push(*j);
+                    self.vals.push(w);
+                }
+            }
+            // Normalize the freshly appended (cache-hot) slice in place:
+            // `w / sum` exactly as if divided before the push.
+            for v in &mut self.vals[row_start..] {
+                *v /= sum;
+            }
+            self.row_ptr.push(self.cols.len() as u32);
+        }
+    }
+
+    /// Runs `t ← (1 − damping) tᵀC + damping · teleport` from
+    /// `t = teleport` until the L1 change drops below `epsilon` or
+    /// `max_iterations` is reached. Returns the iteration count; the
+    /// final vector is available via [`WalkMatrix::solution`].
+    pub fn stationary(
+        &mut self,
+        teleport: &[f64],
+        damping: f64,
+        epsilon: f64,
+        max_iterations: usize,
+    ) -> usize {
+        let n = self.n;
+        debug_assert_eq!(teleport.len(), n);
+        self.t.clear();
+        self.t.extend_from_slice(teleport);
+        self.next.clear();
+        self.next.resize(n, 0.0);
+        let row_ptr = &self.row_ptr;
+        let cols = &self.cols;
+        let vals = &self.vals;
+        let mut iterations = 0;
+        for _ in 0..max_iterations {
+            iterations += 1;
+            let t: &[f64] = &self.t;
+            let next = &mut self.next;
+            next.fill(0.0);
+            // tᵀ C  (walk forward along trust edges), rows ascending so
+            // every slot accumulates its contributions in ascending
+            // rater order.
+            for (i, window) in row_ptr.windows(2).enumerate() {
+                let (row_start, row_end) = (window[0] as usize, window[1] as usize);
+                let ti = t[i];
+                if row_start == row_end {
+                    // Dangling rater: its mass teleports.
+                    for (next_k, &teleport_k) in next.iter_mut().zip(teleport) {
+                        *next_k += ti * teleport_k;
+                    }
+                } else {
+                    let row_cols = &cols[row_start..row_end];
+                    let row_vals = &vals[row_start..row_end];
+                    for (&j, &c) in row_cols.iter().zip(row_vals) {
+                        next[j as usize] += ti * c;
+                    }
+                }
+            }
+            let mut delta = 0.0;
+            for (next_k, (&t_k, &teleport_k)) in next.iter_mut().zip(t.iter().zip(teleport)) {
+                let damped = (1.0 - damping) * *next_k + damping * teleport_k;
+                delta += (damped - t_k).abs();
+                *next_k = damped;
+            }
+            std::mem::swap(&mut self.t, &mut self.next);
+            if delta < epsilon {
+                break;
+            }
+        }
+        iterations
+    }
+
+    /// The stationary vector computed by the last
+    /// [`WalkMatrix::stationary`] call.
+    pub fn solution(&self) -> &[f64] {
+        &self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, edges: &[(u32, u32, f64)]) -> LocalMatrix<f64> {
+        let mut m = LocalMatrix::new(n);
+        for &(i, j, w) in edges {
+            *m.upsert(i, j) += w;
+        }
+        m
+    }
+
+    /// A direct transcription of the original nested implementation,
+    /// kept as the reference the flat CSR engine must match
+    /// bit-for-bit.
+    fn reference_stationary(
+        n: usize,
+        local: &LocalMatrix<f64>,
+        teleport: &[f64],
+        damping: f64,
+        epsilon: f64,
+        max_iterations: usize,
+    ) -> (Vec<f64>, usize) {
+        let mut row_sum = vec![0.0; n];
+        for (i, _, &w) in local.iter() {
+            row_sum[i as usize] += w.max(0.0);
+        }
+        let mut t = teleport.to_vec();
+        let mut iterations = 0;
+        for _ in 0..max_iterations {
+            iterations += 1;
+            let mut next = vec![0.0; n];
+            for i in 0..n {
+                if row_sum[i] == 0.0 {
+                    for (k, next_k) in next.iter_mut().enumerate() {
+                        *next_k += t[i] * teleport[k];
+                    }
+                } else {
+                    for (j, w) in local.row(i) {
+                        if *w > 0.0 {
+                            next[*j as usize] += t[i] * (*w / row_sum[i]);
+                        }
+                    }
+                }
+            }
+            for k in 0..n {
+                next[k] = (1.0 - damping) * next[k] + damping * teleport[k];
+            }
+            let delta: f64 = next.iter().zip(&t).map(|(a, b)| (a - b).abs()).sum();
+            t = next;
+            if delta < epsilon {
+                break;
+            }
+        }
+        (t, iterations)
+    }
+
+    #[test]
+    fn flat_engine_matches_nested_reference_bit_for_bit() {
+        let mut rng = tsn_simnet::SimRng::seed_from_u64(11);
+        for case in 0..30 {
+            let n = 4 + (case % 9);
+            let mut local = LocalMatrix::new(n);
+            for _ in 0..n * 6 {
+                let i = rng.gen_range(0..n as u32);
+                let j = rng.gen_range(0..n as u32);
+                // Mixed signs so some rows end up dangling.
+                *local.upsert(i, j) += rng.gen_f64() * 2.0 - 0.7;
+            }
+            let teleport: Vec<f64> = vec![1.0 / n as f64; n];
+            let (expected, expected_iters) =
+                reference_stationary(n, &local, &teleport, 0.15, 1e-9, 200);
+            let mut walk = WalkMatrix::default();
+            let mut visited = 0usize;
+            walk.rebuild(n, &local, |&w| w, |_, _, _| visited += 1);
+            assert_eq!(visited, local.iter().count(), "visit sees every cell");
+            let iters = walk.stationary(&teleport, 0.15, 1e-9, 200);
+            assert_eq!(iters, expected_iters, "case {case}");
+            assert_eq!(walk.solution(), &expected[..], "case {case}");
+        }
+    }
+
+    #[test]
+    fn all_dangling_converges_to_teleport() {
+        let local = matrix(3, &[]);
+        let teleport = [0.5, 0.25, 0.25];
+        let mut walk = WalkMatrix::default();
+        walk.rebuild(3, &local, |&w| w, |_, _, _| {});
+        walk.stationary(&teleport, 0.15, 1e-9, 200);
+        for (got, want) in walk.solution().iter().zip(&teleport) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rebuild_is_reusable() {
+        let mut walk = WalkMatrix::default();
+        let a = matrix(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let teleport = vec![1.0 / 3.0; 3];
+        walk.rebuild(3, &a, |&w| w, |_, _, _| {});
+        walk.stationary(&teleport, 0.15, 1e-9, 200);
+        let cycle = walk.solution().to_vec();
+        // Rebuild over a different matrix reuses every buffer.
+        let b = matrix(3, &[(0, 1, 1.0)]);
+        walk.rebuild(3, &b, |&w| w, |_, _, _| {});
+        walk.stationary(&teleport, 0.15, 1e-9, 200);
+        assert_ne!(walk.solution(), &cycle[..]);
+        // And back: identical to the first run.
+        walk.rebuild(3, &a, |&w| w, |_, _, _| {});
+        walk.stationary(&teleport, 0.15, 1e-9, 200);
+        assert_eq!(walk.solution(), &cycle[..]);
+    }
+}

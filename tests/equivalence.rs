@@ -1,0 +1,225 @@
+//! Bit-identical equivalence fixtures for the optimized hot paths.
+//!
+//! The scenario loop, the EigenTrust/PowerTrust local-trust storage and
+//! the disclosure ledger were rewritten for performance (scratch
+//! buffers, incremental CSR, running counters). Those rewrites must not
+//! change a single bit of any outcome: this suite pins a grid of
+//! (config, seed) fixtures to golden files capturing every float of the
+//! [`ScenarioOutcome`] (shortest round-trip form, so the comparison is
+//! exact) plus a full [`SweepReport`] CSV.
+//!
+//! The goldens were generated from the pre-refactor code. To regenerate
+//! after an *intentional* semantic change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test equivalence
+//! ```
+//!
+//! and justify the diff in the PR.
+
+use tsn_core::config::PolicyProfile;
+use tsn_core::json::format_f64;
+use tsn_core::runner::{DisclosureLevel, ScenarioBuilder, SweepGrid, SweepRunner};
+use tsn_core::scenario::{Scenario, ScenarioOutcome};
+use tsn_reputation::{AnonymizationConfig, MechanismKind, SelectionPolicy};
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Serializes every field of an outcome in bit-exact text form.
+/// `format_f64` emits the shortest string that round-trips, so two
+/// outcomes serialize identically iff every float is bit-identical.
+fn fingerprint(o: &ScenarioOutcome) -> String {
+    let mut s = String::new();
+    let f = |v: f64| format_f64(v);
+    let vec = |vs: &[f64]| {
+        vs.iter()
+            .map(|&v| format_f64(v))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let _ = writeln!(
+        s,
+        "facets privacy={} reputation={} satisfaction={}",
+        f(o.facets.privacy),
+        f(o.facets.reputation),
+        f(o.facets.satisfaction)
+    );
+    let _ = writeln!(s, "global_trust {}", f(o.global_trust));
+    let _ = writeln!(s, "per_user_trust {}", vec(&o.per_user_trust));
+    let _ = writeln!(s, "per_user_satisfaction {}", vec(&o.per_user_satisfaction));
+    let _ = writeln!(s, "per_user_respect {}", vec(&o.per_user_respect));
+    let _ = writeln!(
+        s,
+        "power consistency={} rmse={} reliability={} efficiency={} iterations={} overhead={}",
+        f(o.power.consistency),
+        f(o.power.rmse),
+        f(o.power.reliability),
+        f(o.power.efficiency),
+        o.power.iterations,
+        o.power.overhead_per_report
+    );
+    let _ = writeln!(
+        s,
+        "satisfaction mean={} min={} jain={} gini={} population={}",
+        f(o.satisfaction.mean),
+        f(o.satisfaction.min),
+        f(o.satisfaction.jain_index),
+        f(o.satisfaction.gini),
+        o.satisfaction.population
+    );
+    let _ = writeln!(
+        s,
+        "ledger respect_rate={} user_breaches={} system_breaches={}",
+        f(o.respect_rate),
+        o.user_breaches,
+        o.system_breaches
+    );
+    let _ = writeln!(
+        s,
+        "misc oecd={} willingness={} denial={} interactions={} messages={}",
+        f(o.oecd_score),
+        f(o.mean_willingness),
+        f(o.denial_rate),
+        o.interactions,
+        o.messages
+    );
+    for r in &o.samples {
+        let _ = writeln!(
+            s,
+            "round {} sat={} trust={} respect={} consistency={} willingness={} success={} reports={}",
+            r.round,
+            f(r.mean_satisfaction),
+            f(r.mean_trust),
+            f(r.respect_rate),
+            f(r.consistency),
+            f(r.mean_willingness),
+            f(r.success_rate),
+            r.reports_filed
+        );
+    }
+    s
+}
+
+/// The pinned fixture grid: every mechanism, several disclosure levels,
+/// every selection-policy variant, churn, adaptation and anonymization.
+fn fixtures() -> Vec<(&'static str, ScenarioBuilder)> {
+    vec![
+        ("eigentrust_full", ScenarioBuilder::small().seed(101)),
+        (
+            "eigentrust_adaptive_churn",
+            ScenarioBuilder::small()
+                .seed(102)
+                .disclosure(DisclosureLevel::Timestamped)
+                .adaptive_disclosure(true)
+                .churn(0.3)
+                .malicious_fraction(0.3),
+        ),
+        (
+            "powertrust_mixed",
+            ScenarioBuilder::small()
+                .seed(103)
+                .mechanism(MechanismKind::PowerTrust)
+                .disclosure(DisclosureLevel::Topical)
+                .malicious_fraction(0.3),
+        ),
+        (
+            "beta_minimal_random",
+            ScenarioBuilder::small()
+                .seed(104)
+                .mechanism(MechanismKind::Beta)
+                .disclosure(DisclosureLevel::Minimal)
+                .selection(SelectionPolicy::Random),
+        ),
+        (
+            "trustme_best_strict",
+            ScenarioBuilder::small()
+                .seed(105)
+                .mechanism(MechanismKind::TrustMe)
+                .selection(SelectionPolicy::Best)
+                .policy_profile(PolicyProfile::Strict),
+        ),
+        (
+            "none_threshold",
+            ScenarioBuilder::small()
+                .seed(106)
+                .mechanism(MechanismKind::None)
+                .selection(SelectionPolicy::Threshold { threshold: 0.5 }),
+        ),
+        (
+            "eigentrust_anonymized",
+            ScenarioBuilder::small()
+                .seed(107)
+                .anonymization(AnonymizationConfig::default()),
+        ),
+    ]
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; run with GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name}: outcome is not bit-identical to the pre-refactor golden"
+    );
+}
+
+#[test]
+fn scenario_outcomes_match_pre_refactor_goldens() {
+    for (name, builder) in fixtures() {
+        let outcome = builder.run().expect("fixture config is valid");
+        check_golden(name, &fingerprint(&outcome));
+    }
+}
+
+#[test]
+fn sweep_report_matches_pre_refactor_golden() {
+    let grid = SweepGrid::over(ScenarioBuilder::small().nodes(24).rounds(4).graph(4, 0.1))
+        .mechanisms([
+            MechanismKind::None,
+            MechanismKind::Beta,
+            MechanismKind::EigenTrust,
+        ])
+        .disclosures([DisclosureLevel::Minimal, DisclosureLevel::Full])
+        .seeds([1, 2]);
+    let report = SweepRunner::parallel().run(&grid).expect("valid grid");
+    check_golden("sweep_report", &report.to_csv());
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for (name, builder) in fixtures() {
+        let a = builder.clone().run().expect("valid");
+        let b = builder.run().expect("valid");
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{name}: two runs of the same config diverged"
+        );
+    }
+}
+
+#[test]
+fn scenario_reuse_is_bit_identical_to_fresh() {
+    // A `Scenario`'s scratch buffers must not leak state between
+    // constructions: running a freshly built scenario twice from two
+    // `Scenario::new` calls is the contract the sweep runner relies on.
+    let config = ScenarioBuilder::small().seed(108).build().expect("valid");
+    let a = Scenario::new(config.clone()).expect("valid").run();
+    let b = Scenario::new(config).expect("valid").run();
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
