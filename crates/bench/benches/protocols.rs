@@ -32,10 +32,10 @@ fn gossip_instance(n: usize) -> GossipNetwork {
 fn main() {
     let mut suite = BenchSuite::new(
         "protocols",
-        "gossip:nodes=50,100,200 rounds=20; manager:nodes=50,100; samples=10",
+        "gossip:nodes=50,100,200,1000 rounds=20; manager:nodes=50,100; samples=10",
     );
     let bench = Bench::new("gossip_20_rounds").samples(10);
-    for n in [50usize, 100, 200] {
+    for n in [50usize, 100, 200, 1000] {
         suite.record(bench.run(&format!("{n}_nodes"), || {
             let mut gossip = gossip_instance(n);
             gossip.run(20);

@@ -5,8 +5,11 @@
 //!
 //! Run: `cargo bench -p tsn-bench --bench sweep_runner`
 //! Emits `BENCH_sweep_runner.json`; `BENCH_CHECK=1` gates against the
-//! committed baseline (the serial lane; the parallel lane's name embeds
-//! the thread count, so it only gates on same-shaped runners).
+//! committed baseline. The parallel lane pins its thread count to 4
+//! (`parallel_4t`) so the lane name — and therefore the baseline
+//! comparison — is stable across machines; the measured speedup is
+//! whatever the hardware actually provides (a 1-core container
+//! time-slices the workers and reports parity, not a win).
 
 use tsn_bench::harness::{Bench, BenchSuite};
 use tsn_core::runner::{ScenarioBuilder, SweepGrid, SweepRunner};
@@ -33,27 +36,27 @@ fn main() {
             SweepRunner::serial().run(&grid).unwrap()
         }))
         .clone();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let parallel = suite
-        .record(bench.run_items(&format!("parallel_{threads}t"), cells, || {
-            SweepRunner::parallel().run(&grid).unwrap()
+        .record(bench.run_items("parallel_4t", cells, || {
+            SweepRunner::with_threads(4).run(&grid).unwrap()
         }))
         .clone();
 
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let speedup = serial.median.as_secs_f64() / parallel.median.as_secs_f64().max(1e-9);
-    println!("\nspeedup (serial / parallel median): {speedup:.2}x on {threads} threads");
+    println!("\nspeedup (serial / parallel_4t median): {speedup:.2}x on {cores} core(s)");
 
     // Guard: the two modes must agree bit-for-bit, or the numbers above
     // are comparing different work.
     let a = SweepRunner::serial().run(&grid).unwrap();
-    let b = SweepRunner::parallel().run(&grid).unwrap();
+    let b = SweepRunner::with_threads(4).run(&grid).unwrap();
     assert_eq!(
         a, b,
         "serial and parallel sweeps must produce identical reports"
     );
-    println!("determinism check: serial == parallel report ✓");
+    println!("determinism check: serial == parallel_4t report ✓");
 
     suite.finish();
 }

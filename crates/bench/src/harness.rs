@@ -59,16 +59,22 @@ impl Bench {
         self
     }
 
-    /// Overrides the number of warm-up iterations.
+    /// Overrides the number of warm-up iterations. [`Bench::run`]
+    /// clamps to at least one, so a discarded warm-up pass always
+    /// precedes the measured samples.
     pub fn warmup(mut self, iters: u32) -> Self {
         self.warmup_iters = iters;
         self
     }
 
     /// Times `f` (one call = one sample) and prints
-    /// `group/name  median  p95  min  max`.
+    /// `group/name  median  p95  min  max`. At least one discarded
+    /// warm-up iteration always precedes the measured samples, so the
+    /// first measured call never pays the cold-start cost (lazy page
+    /// faults, allocator growth, branch-predictor training) that used
+    /// to blow p95 up to several multiples of the median.
     pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
-        for _ in 0..self.warmup_iters {
+        for _ in 0..self.warmup_iters.max(1) {
             std_black_box(f());
         }
         let mut samples: Vec<Duration> = (0..self.sample_count)

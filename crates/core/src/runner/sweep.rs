@@ -19,7 +19,6 @@ use crate::runner::{DisclosureLevel, ScenarioBuilder, ValidationError};
 use crate::scenario::{run_scenario, ScenarioOutcome};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use tsn_reputation::MechanismKind;
 
 /// A declared sweep: a base configuration plus the dimensions to vary.
@@ -445,19 +444,43 @@ impl SweepRunner {
                 slots[cell.index] = Some(run_cell(grid, cell));
             }
         } else {
+            // Chunked work stealing over an atomic cursor: each worker
+            // claims a run of consecutive cells per fetch_add (fewer
+            // contended cursor bumps than per-cell claiming), executes
+            // them into a thread-local buffer, and the results are
+            // merged into their grid slots after the join — no lock
+            // anywhere on the execution path. A cell's config depends
+            // only on its coordinates, so which worker claims which
+            // chunk never shows in the report.
+            let chunk = (cells.len() / (threads * 4)).max(1);
             let next = AtomicUsize::new(0);
-            let results = Mutex::new(&mut slots);
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(cell) = cells.get(i) else { break };
-                        let result = run_cell(grid, cell);
-                        results.lock().expect("no panics while holding the lock")[cell.index] =
-                            Some(result);
-                    });
-                }
+            let locals: Vec<Vec<(usize, SweepCellResult)>> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= cells.len() {
+                                    break;
+                                }
+                                let end = (start + chunk).min(cells.len());
+                                for cell in &cells[start..end] {
+                                    local.push((cell.index, run_cell(grid, cell)));
+                                }
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("sweep worker panicked"))
+                    .collect()
             });
+            for (index, result) in locals.into_iter().flatten() {
+                slots[index] = Some(result);
+            }
         }
 
         Ok(SweepReport {

@@ -3,7 +3,7 @@
 //! Every node starts with only its *own* observations (value sum and
 //! count per subject) and a push-sum weight of 1. Each round every node
 //! halves its state, keeps one half and sends the other to a random
-//! alive neighbour. All three quantities are *mass-conserved* (absent
+//! neighbour. All three quantities are *mass-conserved* (absent
 //! message loss), so each node's ratio `state / weight` converges to the
 //! network-wide average — from which the global Beta-style score of every
 //! subject is computed locally, with no aggregator anywhere.
@@ -11,10 +11,22 @@
 //! Under message loss, mass leaks and estimates bias toward the prior —
 //! the measurable accuracy price of full decentralization that the A4
 //! experiment quantifies.
+//!
+//! The implementation is built for scale: per-node state lives in one
+//! flat `n × 2·subjects` matrix whose row layout mirrors the wire
+//! format, so incoming halves are absorbed from *borrowed* envelope
+//! fields in a single contiguous add pass (no decode copies) and
+//! outgoing halves are a halve-in-place plus `extend_from_slice` into
+//! a pooled buffer — steady-state rounds allocate nothing
+//! (`tests/equivalence.rs` pins both the bit-identical outcomes and
+//! the zero-growth pool behaviour).
 
 use crate::host::{ProtocolCosts, RoundDriver};
 use tsn_graph::Graph;
-use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration, SimRng};
+use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration, SimRng, Tag};
+
+/// The push-sum message tag.
+const PUSHSUM: Tag = Tag::new("pushsum");
 
 /// Gossip parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +35,14 @@ pub struct GossipConfig {
     pub subjects: usize,
     /// Length of one gossip round.
     pub round_length: SimDuration,
+    /// When `true`, the random push target is drawn only from *alive*
+    /// neighbours, so no mass is pushed at crashed peers. Default
+    /// `false`: nodes do not know who crashed, the draw covers every
+    /// neighbour and a push to a dead peer dead-letters — a bounded
+    /// mass leak that the crash tests quantify. (The default also
+    /// preserves the pre-flag RNG draw sequence, keeping the golden
+    /// fixtures bit-identical.)
+    pub skip_dead_neighbors: bool,
 }
 
 impl Default for GossipConfig {
@@ -30,6 +50,7 @@ impl Default for GossipConfig {
         GossipConfig {
             subjects: 0,
             round_length: SimDuration::from_millis(100),
+            skip_dead_neighbors: false,
         }
     }
 }
@@ -54,12 +75,16 @@ pub struct GossipNetwork {
     rng: SimRng,
     /// Push-sum weight per node.
     weight: Vec<f64>,
-    /// Per-node running (half-able) sum of observation values, per subject.
-    sums: Vec<Vec<f64>>,
-    /// Per-node running (half-able) observation counts, per subject.
-    counts: Vec<Vec<f64>>,
+    /// Per-node running (half-able) state, row-major with stride
+    /// `2 × subjects`: a node's row is `[sums… | counts…]` — exactly
+    /// the wire layout of a push-sum message after its weight field,
+    /// so absorbing and emitting are single contiguous slice passes.
+    state: Vec<f64>,
     /// Ground-truth totals (for oracle comparison): (sum, count).
     truth: Vec<(f64, f64)>,
+    /// Scratch for the alive-neighbour filter (only used when
+    /// `skip_dead_neighbors` is on).
+    alive_scratch: Vec<NodeId>,
 }
 
 impl GossipNetwork {
@@ -81,9 +106,9 @@ impl GossipNetwork {
             graph,
             rng,
             weight: vec![1.0; n],
-            sums: vec![vec![0.0; config.subjects]; n],
-            counts: vec![vec![0.0; config.subjects]; n],
+            state: vec![0.0; n * 2 * config.subjects],
             truth: vec![(0.0, 0.0); config.subjects],
+            alive_scratch: Vec::new(),
             config,
         }
     }
@@ -96,8 +121,10 @@ impl GossipNetwork {
     pub fn observe(&mut self, observer: NodeId, subject: usize, value: f64) {
         assert!((0.0..=1.0).contains(&value), "value must be in [0,1]");
         assert!(subject < self.config.subjects, "subject out of range");
-        self.sums[observer.index()][subject] += value;
-        self.counts[observer.index()][subject] += 1.0;
+        let subjects = self.config.subjects;
+        let row = observer.index() * 2 * subjects;
+        self.state[row + subject] += value;
+        self.state[row + subjects + subject] += 1.0;
         self.truth[subject].0 += value;
         self.truth[subject].1 += 1.0;
     }
@@ -109,42 +136,52 @@ impl GossipNetwork {
             graph,
             rng,
             weight,
-            sums,
-            counts,
+            state,
             config,
+            alive_scratch,
             ..
         } = self;
         let subjects = config.subjects;
-        driver.round(|node, inbox| {
+        let stride = 2 * subjects;
+        let skip_dead = config.skip_dead_neighbors;
+        driver.round(|node, inbox, network, out| {
             let i = node.index();
-            // Absorb incoming halves.
+            let row = &mut state[i * stride..(i + 1) * stride];
+            // Absorb incoming halves straight from the borrowed fields:
+            // the wire layout after the weight matches the state row,
+            // so each envelope is one contiguous fused-add pass.
             for envelope in inbox {
-                if let Some((w, s, c)) = decode(&envelope, subjects) {
-                    weight[i] += w;
-                    for k in 0..subjects {
-                        sums[i][k] += s[k];
-                        counts[i][k] += c[k];
-                    }
+                let Some((w, halves)) = decode(envelope, subjects) else {
+                    out.mark_malformed();
+                    continue;
+                };
+                weight[i] += w;
+                for (dst, src) in row.iter_mut().zip(halves) {
+                    *dst += *src;
                 }
             }
-            // Halve and push to one random alive neighbour.
+            // Halve and push to one random neighbour (all of them by
+            // default — dead targets dead-letter; see `GossipConfig`).
             let neighbors = graph.neighbors(node);
-            let alive: Vec<NodeId> = neighbors.to_vec();
-            let Some(&target) = rng.choose(&alive) else {
-                return vec![];
+            let target = if skip_dead {
+                alive_scratch.clear();
+                alive_scratch.extend(neighbors.iter().copied().filter(|&p| network.is_alive(p)));
+                rng.choose(alive_scratch).copied()
+            } else {
+                rng.choose(neighbors).copied()
+            };
+            let Some(target) = target else {
+                return;
             };
             weight[i] /= 2.0;
-            let mut fields = Vec::with_capacity(1 + 2 * subjects);
+            for value in row.iter_mut() {
+                *value /= 2.0;
+            }
+            let mut fields = out.fields();
+            fields.reserve(1 + stride);
             fields.push(weight[i]);
-            for sum in sums[i].iter_mut().take(subjects) {
-                *sum /= 2.0;
-                fields.push(*sum);
-            }
-            for count in counts[i].iter_mut().take(subjects) {
-                *count /= 2.0;
-                fields.push(*count);
-            }
-            vec![(target, Payload::record("pushsum", fields))]
+            fields.extend_from_slice(row);
+            out.send_record(target, PUSHSUM, fields);
         });
     }
 
@@ -163,9 +200,11 @@ impl GossipNetwork {
             return 0.5;
         }
         let n = self.graph.node_count() as f64;
+        let subjects = self.config.subjects;
+        let row = i * 2 * subjects;
         // Push-sum estimate of the network totals.
-        let est_sum = self.sums[i][subject] / w * n;
-        let est_count = self.counts[i][subject] / w * n;
+        let est_sum = self.state[row + subject] / w * n;
+        let est_count = self.state[row + subjects + subject] / w * n;
         (est_sum + 1.0) / (est_count + 2.0)
     }
 
@@ -215,13 +254,13 @@ impl GossipNetwork {
     }
 }
 
-fn decode(envelope: &Envelope, subjects: usize) -> Option<(f64, Vec<f64>, Vec<f64>)> {
+/// Borrows the weight and the `[sums… | counts…]` halves out of a
+/// push-sum envelope — no copies; absorption reads the wire buffer in
+/// place.
+fn decode(envelope: &Envelope, subjects: usize) -> Option<(f64, &[f64])> {
     match &envelope.payload {
-        Payload::Record { tag, fields } if tag == "pushsum" && fields.len() == 1 + 2 * subjects => {
-            let w = fields[0];
-            let s = fields[1..1 + subjects].to_vec();
-            let c = fields[1 + subjects..].to_vec();
-            Some((w, s, c))
+        Payload::Record { tag, fields } if *tag == PUSHSUM && fields.len() == 1 + 2 * subjects => {
+            Some((fields[0], &fields[1..]))
         }
         _ => None,
     }
@@ -234,6 +273,10 @@ mod tests {
     use tsn_simnet::{latency::ConstantLatency, BernoulliLoss, NetworkConfig, NoLoss};
 
     fn build(n: usize, loss: f64, seed: u64) -> GossipNetwork {
+        build_with(n, loss, seed, GossipConfig::default())
+    }
+
+    fn build_with(n: usize, loss: f64, seed: u64, template: GossipConfig) -> GossipNetwork {
         let mut rng = SimRng::seed_from_u64(seed);
         let graph = generators::watts_strogatz(n, 6, 0.1, &mut rng).unwrap();
         let config = NetworkConfig {
@@ -250,7 +293,7 @@ mod tests {
         }
         let gossip_config = GossipConfig {
             subjects: n,
-            ..Default::default()
+            ..template
         };
         GossipNetwork::new(graph, network, gossip_config, rng.fork(2))
     }
@@ -283,6 +326,7 @@ mod tests {
             "converged error {:.4}",
             after.mean_error
         );
+        assert_eq!(after.costs.malformed, 0, "clean network parses everything");
     }
 
     #[test]
@@ -350,6 +394,44 @@ mod tests {
     }
 
     #[test]
+    fn skipping_dead_neighbors_avoids_dead_letters() {
+        let n = 30;
+        let run = |skip: bool| {
+            let mut g = build_with(
+                n,
+                0.0,
+                21,
+                GossipConfig {
+                    skip_dead_neighbors: skip,
+                    ..Default::default()
+                },
+            );
+            seed_observations(&mut g, n, 22);
+            // Crash a fifth of the network before any traffic flows, so
+            // every dead-letter is attributable to target selection.
+            for dead in 0..6u32 {
+                g.network_mut().set_alive(NodeId(dead), false);
+            }
+            g.run(20);
+            (
+                g.driver.network().stats().dead_letter.value(),
+                g.report().mean_error,
+            )
+        };
+        let (dead_letters_default, _) = run(false);
+        let (dead_letters_skipping, error_skipping) = run(true);
+        assert!(
+            dead_letters_default > 0,
+            "the default draw hits crashed peers"
+        );
+        assert_eq!(
+            dead_letters_skipping, 0,
+            "liveness-filtered draws never dead-letter"
+        );
+        assert!(error_skipping < 0.15, "still converges: {error_skipping}");
+    }
+
+    #[test]
     fn costs_grow_linearly_in_rounds() {
         let n = 10;
         let mut g = build(n, 0.0, 11);
@@ -372,6 +454,32 @@ mod tests {
             g.report().mean_error
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn malformed_envelopes_are_counted_not_absorbed() {
+        let n = 10;
+        let mut g = build(n, 0.0, 17);
+        seed_observations(&mut g, n, 18);
+        // Inject junk addressed to node 0: wrong tag, wrong arity, and a
+        // non-record payload.
+        let junk_fields = vec![0.25; 1 + 2 * n];
+        let network = g.network_mut();
+        network.send(
+            NodeId(1),
+            NodeId(0),
+            Payload::record("not-pushsum", junk_fields),
+        );
+        network.send(NodeId(1), NodeId(0), Payload::record("pushsum", vec![1.0]));
+        network.send(NodeId(1), NodeId(0), Payload::from("junk"));
+        let weight_before = g.total_weight();
+        g.run(2);
+        let report = g.report();
+        assert_eq!(report.costs.malformed, 3, "every junk envelope counted");
+        assert!(
+            g.total_weight() <= weight_before + 1e-9,
+            "junk mass is never absorbed"
+        );
     }
 
     #[test]

@@ -6,8 +6,14 @@
 //! (2) letting every alive node consume its inbox and emit new messages.
 //! Messages delayed past a round boundary are simply consumed next round
 //! — exactly the behaviour a periodic-timer implementation has.
+//!
+//! The driver is allocation-free in steady state: inboxes are swapped
+//! into a resident scratch vector (never re-allocated per round), sends
+//! are staged in a resident outbox, and every consumed record payload
+//! returns its field buffer to the network's
+//! [`BufferPool`](tsn_simnet::BufferPool) for the next sender.
 
-use tsn_simnet::{Envelope, Network, NodeId, SimDuration, SimTime};
+use tsn_simnet::{BufferPool, Envelope, Network, NodeId, Payload, SimDuration, SimTime, Tag};
 
 /// Aggregate protocol costs, reported by every experiment.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,6 +24,58 @@ pub struct ProtocolCosts {
     pub bytes: u64,
     /// Rounds executed.
     pub rounds: u64,
+    /// Envelopes that were delivered but could not be parsed by the
+    /// protocol (wrong tag, wrong arity, out-of-range ids) and were
+    /// dropped — flagged via [`Outbox::mark_malformed`], counted by the
+    /// driver. Zero on a clean network — the protocol test suites
+    /// assert exactly that.
+    pub malformed: u64,
+}
+
+/// Staging area handed to the per-node step closure: queues outgoing
+/// messages and hands out pooled field buffers for building them.
+#[derive(Debug)]
+pub struct Outbox<'a> {
+    pool: &'a mut BufferPool,
+    sends: &'a mut Vec<(NodeId, Payload)>,
+    malformed: &'a mut u64,
+}
+
+impl Outbox<'_> {
+    /// An empty field buffer with recycled capacity, for building a
+    /// record payload. Hand it back via [`Outbox::send_record`] (or
+    /// [`Outbox::release`] if the message is abandoned).
+    pub fn fields(&mut self) -> Vec<f64> {
+        self.pool.acquire()
+    }
+
+    /// Returns an unused buffer to the pool.
+    pub fn release(&mut self, buf: Vec<f64>) {
+        self.pool.release(buf);
+    }
+
+    /// Recycles a payload the protocol consumed outside the inbox path
+    /// (e.g. application traffic queued for a node that died).
+    pub fn recycle(&mut self, payload: Payload) {
+        self.pool.recycle(payload);
+    }
+
+    /// Queues an arbitrary payload for sending at the end of the step.
+    pub fn send(&mut self, to: NodeId, payload: Payload) {
+        self.sends.push((to, payload));
+    }
+
+    /// Queues a tagged record built from a (typically pooled) buffer.
+    pub fn send_record(&mut self, to: NodeId, tag: Tag, fields: Vec<f64>) {
+        self.sends.push((to, Payload::Record { tag, fields }));
+    }
+
+    /// Flags one delivered envelope as unparseable. The driver owns the
+    /// counter and reports it through [`ProtocolCosts::malformed`], so
+    /// every protocol on this driver gets accurate accounting for free.
+    pub fn mark_malformed(&mut self) {
+        *self.malformed += 1;
+    }
 }
 
 /// Drives a protocol in fixed-length rounds over a [`Network`].
@@ -27,6 +85,12 @@ pub struct RoundDriver {
     now: SimTime,
     round_length: SimDuration,
     rounds_run: u64,
+    /// Envelopes the protocol flagged via [`Outbox::mark_malformed`].
+    malformed: u64,
+    /// Resident inbox scratch: ping-pongs with each node's mailbox.
+    inbox: Vec<Envelope>,
+    /// Resident send staging, drained into the network after each step.
+    sends: Vec<(NodeId, Payload)>,
 }
 
 impl RoundDriver {
@@ -38,6 +102,9 @@ impl RoundDriver {
             now: SimTime::ZERO,
             round_length,
             rounds_run: 0,
+            malformed: 0,
+            inbox: Vec::new(),
+            sends: Vec::new(),
         }
     }
 
@@ -63,11 +130,12 @@ impl RoundDriver {
 
     /// Executes one round: advances the clock by the round length,
     /// delivers in-flight traffic, then calls `step` once per *alive*
-    /// node with its drained inbox. `step` returns the messages to send
-    /// as `(to, payload)` pairs.
+    /// node with its drained inbox (borrowed, not owned — the driver
+    /// recycles the envelopes afterwards), a read-only network view
+    /// (liveness checks), and an [`Outbox`] for the messages to send.
     pub fn round<F>(&mut self, mut step: F)
     where
-        F: FnMut(NodeId, Vec<Envelope>) -> Vec<(NodeId, tsn_simnet::Payload)>,
+        F: FnMut(NodeId, &[Envelope], &Network, &mut Outbox<'_>),
     {
         self.now += self.round_length;
         self.network.advance_to(self.now);
@@ -77,21 +145,39 @@ impl RoundDriver {
             if !self.network.is_alive(node) {
                 continue;
             }
-            let inbox = self.network.take_inbox(node);
-            for (to, payload) in step(node, inbox) {
+            self.network.swap_inbox(node, &mut self.inbox);
+            // The pool steps out of the network for the duration of the
+            // step so the closure can hold `&Network` alongside it.
+            let mut pool = std::mem::take(self.network.pool_mut());
+            {
+                let mut outbox = Outbox {
+                    pool: &mut pool,
+                    sends: &mut self.sends,
+                    malformed: &mut self.malformed,
+                };
+                step(node, &self.inbox, &self.network, &mut outbox);
+            }
+            *self.network.pool_mut() = pool;
+            for (to, payload) in self.sends.drain(..) {
                 self.network.send(node, to, payload);
+            }
+            let pool = self.network.pool_mut();
+            for envelope in self.inbox.drain(..) {
+                pool.recycle(envelope.payload);
             }
         }
         self.rounds_run += 1;
     }
 
-    /// Cost summary from the network counters.
+    /// Cost summary from the network counters plus the driver-owned
+    /// malformed count.
     pub fn costs(&self) -> ProtocolCosts {
         let stats = self.network.stats();
         ProtocolCosts {
             messages: stats.sent.value(),
             bytes: stats.bytes_sent.value(),
             rounds: self.rounds_run,
+            malformed: self.malformed,
         }
     }
 }
@@ -116,27 +202,20 @@ mod tests {
     #[test]
     fn round_delivers_previous_round_traffic() {
         let mut d = driver(2);
-        let received = std::cell::RefCell::new(Vec::new());
+        let mut received = Vec::new();
         // Round 1: node 0 sends to node 1; nothing delivered yet.
-        d.round(|node, inbox| {
-            received
-                .borrow_mut()
-                .extend(inbox.iter().map(|e| (node, e.from)));
+        d.round(|node, inbox, _, out| {
+            received.extend(inbox.iter().map(|e| (node, e.from)));
             if node == NodeId(0) {
-                vec![(NodeId(1), Payload::from("ping"))]
-            } else {
-                vec![]
+                out.send(NodeId(1), Payload::from("ping"));
             }
         });
-        assert!(received.borrow().is_empty());
+        assert!(received.is_empty());
         // Round 2: the ping arrives.
-        d.round(|node, inbox| {
-            received
-                .borrow_mut()
-                .extend(inbox.iter().map(|e| (node, e.from)));
-            vec![]
+        d.round(|node, inbox, _, _| {
+            received.extend(inbox.iter().map(|e| (node, e.from)));
         });
-        assert_eq!(*received.borrow(), vec![(NodeId(1), NodeId(0))]);
+        assert_eq!(received, vec![(NodeId(1), NodeId(0))]);
         assert_eq!(d.rounds_run(), 2);
     }
 
@@ -144,35 +223,66 @@ mod tests {
     fn dead_nodes_do_not_step() {
         let mut d = driver(3);
         d.network_mut().set_alive(NodeId(1), false);
-        let stepped = std::cell::RefCell::new(Vec::new());
-        d.round(|node, _| {
-            stepped.borrow_mut().push(node);
-            vec![]
-        });
-        assert_eq!(*stepped.borrow(), vec![NodeId(0), NodeId(2)]);
+        let mut stepped = Vec::new();
+        d.round(|node, _, _, _| stepped.push(node));
+        assert_eq!(stepped, vec![NodeId(0), NodeId(2)]);
     }
 
     #[test]
     fn costs_track_network_counters() {
         let mut d = driver(2);
-        d.round(|node, _| {
+        d.round(|node, _, _, out| {
             if node == NodeId(0) {
-                vec![(NodeId(1), Payload::from("x"))]
-            } else {
-                vec![]
+                out.send(NodeId(1), Payload::from("x"));
             }
         });
         let costs = d.costs();
         assert_eq!(costs.messages, 1);
         assert!(costs.bytes > 0);
         assert_eq!(costs.rounds, 1);
+        assert_eq!(costs.malformed, 0);
     }
 
     #[test]
     fn clock_advances_per_round() {
         let mut d = driver(1);
-        d.round(|_, _| vec![]);
-        d.round(|_, _| vec![]);
+        d.round(|_, _, _, _| {});
+        d.round(|_, _, _, _| {});
         assert_eq!(d.now(), SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn consumed_record_buffers_return_to_the_pool() {
+        let mut d = driver(2);
+        const T: Tag = Tag::new("test.ping");
+        for _ in 0..4 {
+            d.round(|node, _, _, out| {
+                if node == NodeId(0) {
+                    let mut fields = out.fields();
+                    fields.extend([1.0, 2.0, 3.0]);
+                    out.send_record(NodeId(1), T, fields);
+                }
+            });
+        }
+        // The first round allocates the one buffer in flight; every
+        // later round reuses it after the receiver's inbox is drained.
+        let pool = d.network().pool();
+        assert!(pool.reuses() >= 2, "reuses: {}", pool.reuses());
+        assert!(
+            pool.fresh_allocations() <= 2,
+            "fresh: {}",
+            pool.fresh_allocations()
+        );
+    }
+
+    #[test]
+    fn network_liveness_is_visible_inside_the_step() {
+        let mut d = driver(3);
+        d.network_mut().set_alive(NodeId(2), false);
+        let mut seen = Vec::new();
+        d.round(|node, _, network, _| {
+            seen.push((node, network.is_alive(NodeId(2))));
+        });
+        assert_eq!(seen, vec![(NodeId(0), false), (NodeId(1), false)]);
     }
 }

@@ -6,10 +6,23 @@
 //! Raters send reports to all replicas; a consumer queries the replicas
 //! and averages the answers it receives. Replication hides individual
 //! manager crashes; losing every replica of a subject loses its history.
+//!
+//! Storage is sparse and sorted: shards and collected answers live in
+//! per-owner rows of subject-sorted entries (binary search + in-place
+//! insert, the same idiom as the reputation crate's `LocalMatrix`) —
+//! memory proportional to traffic, no hashing, and (unlike the
+//! `HashMap` layout it replaced) a fixed iteration order, so reports
+//! are bit-identical across processes. Queued application traffic is
+//! flushed through a sender-sorted cursor instead of a per-round
+//! `HashMap` outbox.
 
 use crate::host::{ProtocolCosts, RoundDriver};
-use std::collections::HashMap;
-use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration};
+use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration, Tag};
+
+/// Message tags of the manager protocol.
+const MGR_REPORT: Tag = Tag::new("mgr.report");
+const MGR_QUERY: Tag = Tag::new("mgr.query");
+const MGR_ANSWER: Tag = Tag::new("mgr.answer");
 
 /// Manager-protocol parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,18 +60,68 @@ struct Shard {
     count: f64,
 }
 
+/// Sparse row-major storage: one subject-sorted row per owner.
+/// Lookups are a binary search, iteration is ascending
+/// `(owner, subject)` — deterministic — and memory tracks the number
+/// of distinct `(owner, subject)` pairs actually touched, never `n²`.
+#[derive(Debug)]
+struct SparseRows<T> {
+    rows: Vec<Vec<(u32, T)>>,
+}
+
+impl<T: Default> SparseRows<T> {
+    fn new(owners: usize) -> Self {
+        let mut rows = Vec::new();
+        rows.resize_with(owners, Vec::new);
+        SparseRows { rows }
+    }
+
+    /// The entry for `(owner, key)`, created at its sorted position on
+    /// first touch.
+    fn entry(&mut self, owner: usize, key: u32) -> &mut T {
+        let row = &mut self.rows[owner];
+        let at = match row.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(at) => at,
+            Err(at) => {
+                row.insert(at, (key, T::default()));
+                at
+            }
+        };
+        &mut row[at].1
+    }
+
+    fn get(&self, owner: usize, key: u32) -> Option<&T> {
+        // `None` for unknown owners too, matching the HashMap lookup
+        // this replaced (public queries may probe arbitrary ids).
+        let row = self.rows.get(owner)?;
+        row.binary_search_by_key(&key, |(k, _)| *k)
+            .ok()
+            .map(|at| &row[at].1)
+    }
+
+    /// All entries in ascending `(owner, key)` order.
+    fn iter(&self) -> impl Iterator<Item = (u32, &T)> + '_ {
+        self.rows
+            .iter()
+            .flat_map(|row| row.iter().map(|(k, v)| (*k, v)))
+    }
+}
+
 /// The score-manager protocol instance.
 #[derive(Debug)]
 pub struct ManagerNetwork {
     config: ManagerConfig,
     driver: RoundDriver,
     n: usize,
-    /// `stores[manager][subject] -> shard`.
-    stores: Vec<HashMap<u32, Shard>>,
-    /// Outbound work queued by the application between rounds.
-    pending: Vec<(NodeId, NodeId, Payload)>,
-    /// Collected answers: (requester, subject) → scores received.
-    answers: HashMap<(u32, u32), Vec<f64>>,
+    /// Evidence shards, one subject-sorted row per manager.
+    stores: SparseRows<Shard>,
+    /// Outbound work queued by the application between rounds. Flushed
+    /// once per round through a stable sender sort; `None` marks an
+    /// entry already handed to the network.
+    pending: Vec<(NodeId, NodeId, Option<Payload>)>,
+    /// Collected answers, one subject-sorted row per requester: running
+    /// (sum, count) — the mean is all the protocol ever reads.
+    answers: SparseRows<(f64, f64)>,
     /// Queries issued: (requester, subject).
     queries_issued: u64,
     /// Ground truth totals per subject.
@@ -79,26 +142,30 @@ impl ManagerNetwork {
             config,
             driver: RoundDriver::new(network, config.round_length),
             n,
-            stores: vec![HashMap::new(); n],
+            stores: SparseRows::new(n),
             pending: Vec::new(),
-            answers: HashMap::new(),
+            answers: SparseRows::new(n),
             queries_issued: 0,
             truth: vec![(0.0, 0.0); n],
         }
     }
 
-    /// The deterministic manager replica set of `subject`.
-    ///
-    /// A splitmix-style hash spreads subjects across the id space; the
-    /// `k` replicas are consecutive offsets, matching "k closest nodes"
-    /// in a real DHT.
-    pub fn managers(&self, subject: NodeId) -> Vec<NodeId> {
+    /// The single source of replica placement: a splitmix-style hash
+    /// spreads subjects across the id space, then the `k` replicas are
+    /// consecutive offsets — matching "k closest nodes" in a real DHT.
+    /// Returns owned values so callers may keep mutating `self` while
+    /// iterating.
+    fn replica_ids(&self, subject: NodeId) -> impl Iterator<Item = NodeId> {
         let mut x = (u64::from(subject.0) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 31;
         let base = (x % self.n as u64) as usize;
-        (0..self.config.replicas)
-            .map(|k| NodeId::from_index((base + k * 7 + k) % self.n))
-            .collect()
+        let n = self.n;
+        (0..self.config.replicas).map(move |k| NodeId::from_index((base + k * 7 + k) % n))
+    }
+
+    /// The deterministic manager replica set of `subject`.
+    pub fn managers(&self, subject: NodeId) -> Vec<NodeId> {
+        self.replica_ids(subject).collect()
     }
 
     /// Queues a report from `rater` about `subject`.
@@ -110,11 +177,16 @@ impl ManagerNetwork {
         assert!((0.0..=1.0).contains(&value), "value must be in [0,1]");
         self.truth[subject.index()].0 += value;
         self.truth[subject.index()].1 += 1.0;
-        for manager in self.managers(subject) {
+        for manager in self.replica_ids(subject) {
+            let mut fields = self.driver.network_mut().pool_mut().acquire();
+            fields.extend([f64::from(subject.0), value]);
             self.pending.push((
                 rater,
                 manager,
-                Payload::record("mgr.report", vec![f64::from(subject.0), value]),
+                Some(Payload::Record {
+                    tag: MGR_REPORT,
+                    fields,
+                }),
             ));
         }
     }
@@ -122,11 +194,16 @@ impl ManagerNetwork {
     /// Queues a score query from `requester` about `subject`.
     pub fn submit_query(&mut self, requester: NodeId, subject: NodeId) {
         self.queries_issued += 1;
-        for manager in self.managers(subject) {
+        for manager in self.replica_ids(subject) {
+            let mut fields = self.driver.network_mut().pool_mut().acquire();
+            fields.push(f64::from(subject.0));
             self.pending.push((
                 requester,
                 manager,
-                Payload::record("mgr.query", vec![f64::from(subject.0)]),
+                Some(Payload::Record {
+                    tag: MGR_QUERY,
+                    fields,
+                }),
             ));
         }
     }
@@ -140,40 +217,68 @@ impl ManagerNetwork {
             stores,
             pending,
             answers,
+            n,
             ..
         } = self;
-        let mut outbox: HashMap<NodeId, Vec<(NodeId, Payload)>> = HashMap::new();
-        for (from, to, payload) in pending.drain(..) {
-            outbox.entry(from).or_default().push((to, payload));
-        }
-        driver.round(|node, inbox| {
-            let mut sends = outbox.remove(&node).unwrap_or_default();
+        let n = *n;
+        // Stable sort by sender: the driver steps nodes in index order,
+        // so a moving cursor hands each node its queued traffic in
+        // submission order — no per-round HashMap.
+        pending.sort_by_key(|(from, _, _)| from.index());
+        let mut cursor = 0usize;
+        driver.round(|node, inbox, _network, out| {
+            while cursor < pending.len() {
+                let (from, to, ref mut payload) = pending[cursor];
+                if from.index() > node.index() {
+                    break;
+                }
+                cursor += 1;
+                let Some(payload) = payload.take() else {
+                    continue;
+                };
+                if from == node {
+                    out.send(to, payload);
+                } else {
+                    // Queued by a node the driver skipped (crashed
+                    // before the flush): dropped, buffer recycled.
+                    out.recycle(payload);
+                }
+            }
             for envelope in inbox {
-                match classify(&envelope) {
+                match classify(envelope, n) {
                     Some(Msg::Report { subject, value }) => {
-                        let shard = stores[node.index()].entry(subject).or_default();
+                        let shard = stores.entry(node.index(), subject);
                         shard.sum += value;
                         shard.count += 1.0;
                     }
                     Some(Msg::Query { subject }) => {
-                        let shard = stores[node.index()]
-                            .get(&subject)
+                        let shard = stores
+                            .get(node.index(), subject)
                             .copied()
                             .unwrap_or_default();
                         let score = (shard.sum + 1.0) / (shard.count + 2.0);
-                        sends.push((
-                            envelope.from,
-                            Payload::record("mgr.answer", vec![f64::from(subject), score]),
-                        ));
+                        let mut fields = out.fields();
+                        fields.extend([f64::from(subject), score]);
+                        out.send_record(envelope.from, MGR_ANSWER, fields);
                     }
                     Some(Msg::Answer { subject, score }) => {
-                        answers.entry((node.0, subject)).or_default().push(score);
+                        let (sum, count) = answers.entry(node.index(), subject);
+                        *sum += score;
+                        *count += 1.0;
                     }
-                    None => {}
+                    None => out.mark_malformed(),
                 }
             }
-            sends
         });
+        // Whatever the cursor never reached was queued by trailing dead
+        // nodes: drop it (matching the HashMap outbox, which discarded
+        // those entries at end of round) and recycle the buffers.
+        let pool = self.driver.network_mut().pool_mut();
+        for (_, _, payload) in self.pending.drain(..) {
+            if let Some(payload) = payload {
+                pool.recycle(payload);
+            }
+        }
     }
 
     /// Runs `rounds` rounds.
@@ -187,8 +292,8 @@ impl ManagerNetwork {
     /// answers, or `None` if nothing arrived (yet).
     pub fn answer(&self, requester: NodeId, subject: NodeId) -> Option<f64> {
         self.answers
-            .get(&(requester.0, subject.0))
-            .map(|scores| scores.iter().sum::<f64>() / scores.len() as f64)
+            .get(requester.index(), subject.0)
+            .map(|(sum, count)| sum / count)
     }
 
     /// The oracle score a centralized aggregator would hold.
@@ -197,15 +302,17 @@ impl ManagerNetwork {
         (sum + 1.0) / (count + 2.0)
     }
 
-    /// Quality snapshot across all collected answers.
+    /// Quality snapshot across all collected answers, accumulated in
+    /// fixed `(requester, subject)` order (deterministic floats).
     pub fn report(&self) -> ManagerReport {
         let mut total_error = 0.0;
         let mut answered_subjects = 0u64;
-        for (&(_, subject), scores) in &self.answers {
-            let mean_answer = scores.iter().sum::<f64>() / scores.len() as f64;
+        for (subject, (sum, count)) in self.answers.iter() {
+            let mean_answer = sum / count;
             total_error += (mean_answer - self.oracle(NodeId(subject))).abs();
             answered_subjects += 1;
         }
+        let costs = self.driver.costs();
         ManagerReport {
             mean_error: if answered_subjects == 0 {
                 0.0
@@ -217,7 +324,7 @@ impl ManagerNetwork {
             } else {
                 answered_subjects as f64 / self.queries_issued as f64
             },
-            costs: self.driver.costs(),
+            costs,
         }
     }
 
@@ -233,22 +340,35 @@ enum Msg {
     Answer { subject: u32, score: f64 },
 }
 
-fn classify(envelope: &Envelope) -> Option<Msg> {
-    match &envelope.payload {
-        Payload::Record { tag, fields } => match (tag.as_str(), fields.as_slice()) {
-            ("mgr.report", [subject, value]) => Some(Msg::Report {
+/// Parses a manager envelope; `None` (malformed) covers unknown tags,
+/// wrong arity, subject ids outside `0..n`, and values/scores outside
+/// `[0, 1]` (including NaN) — junk must never reach an accumulator.
+fn classify(envelope: &Envelope, n: usize) -> Option<Msg> {
+    let Payload::Record { tag, fields } = &envelope.payload else {
+        return None;
+    };
+    let subject_in_range = |s: f64| s >= 0.0 && (s as usize) < n && s.fract() == 0.0;
+    let unit_range = |v: f64| (0.0..=1.0).contains(&v);
+    match fields.as_slice() {
+        [subject, value]
+            if *tag == MGR_REPORT && subject_in_range(*subject) && unit_range(*value) =>
+        {
+            Some(Msg::Report {
                 subject: *subject as u32,
                 value: *value,
-            }),
-            ("mgr.query", [subject]) => Some(Msg::Query {
-                subject: *subject as u32,
-            }),
-            ("mgr.answer", [subject, score]) => Some(Msg::Answer {
+            })
+        }
+        [subject] if *tag == MGR_QUERY && subject_in_range(*subject) => Some(Msg::Query {
+            subject: *subject as u32,
+        }),
+        [subject, score]
+            if *tag == MGR_ANSWER && subject_in_range(*subject) && unit_range(*score) =>
+        {
+            Some(Msg::Answer {
                 subject: *subject as u32,
                 score: *score,
-            }),
-            _ => None,
-        },
+            })
+        }
         _ => None,
     }
 }
@@ -312,6 +432,7 @@ mod tests {
             "answer {answer} vs oracle {oracle}"
         );
         assert!((oracle - (0.8 * 5.0 + 1.0) / 7.0).abs() < 1e-12);
+        assert_eq!(m.report().costs.malformed, 0, "clean network, clean parse");
     }
 
     #[test]
@@ -321,6 +442,11 @@ mod tests {
         assert_eq!(m.answer(NodeId(0), NodeId(5)), None);
         m.run(3);
         assert!(m.answer(NodeId(0), NodeId(5)).is_some());
+        assert_eq!(
+            m.answer(NodeId(99), NodeId(5)),
+            None,
+            "unknown requesters answer None, they do not panic"
+        );
     }
 
     #[test]
@@ -390,6 +516,59 @@ mod tests {
             3,
             "one report → replicas messages"
         );
+    }
+
+    #[test]
+    fn malformed_manager_traffic_is_counted_and_ignored() {
+        let mut m = build(10, 2, 0.0, 8);
+        let network = m.network_mut();
+        // Unknown tag, out-of-range subject, fractional subject, text,
+        // NaN report value, out-of-range answer score.
+        network.send(
+            NodeId(1),
+            NodeId(0),
+            Payload::record("mgr.bogus", vec![1.0]),
+        );
+        network.send(
+            NodeId(1),
+            NodeId(0),
+            Payload::record("mgr.query", vec![99.0]),
+        );
+        network.send(
+            NodeId(1),
+            NodeId(0),
+            Payload::record("mgr.report", vec![1.5, 0.5]),
+        );
+        network.send(NodeId(1), NodeId(0), Payload::from("noise"));
+        network.send(
+            NodeId(1),
+            NodeId(0),
+            Payload::record("mgr.report", vec![2.0, f64::NAN]),
+        );
+        network.send(
+            NodeId(1),
+            NodeId(0),
+            Payload::record("mgr.answer", vec![2.0, 7.5]),
+        );
+        m.run(2);
+        let report = m.report();
+        assert_eq!(report.costs.malformed, 6);
+        assert_eq!(report.answer_rate, 0.0, "junk produced no answers");
+        assert_eq!(
+            m.answer(NodeId(0), NodeId(2)),
+            None,
+            "NaN and out-of-range values never reach an accumulator"
+        );
+    }
+
+    #[test]
+    fn pending_traffic_of_a_crashed_sender_is_dropped() {
+        let mut m = build(10, 2, 0.0, 9);
+        m.submit_report(NodeId(3), NodeId(1), 0.9);
+        m.network_mut().set_alive(NodeId(3), false);
+        m.run(3);
+        let sent = m.report().costs.messages;
+        assert_eq!(sent, 0, "a dead sender's queued traffic never flows");
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod message;
 pub mod metrics;
 pub mod network;
 pub mod partition;
+pub mod pool;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -55,10 +56,11 @@ pub use event::{Event, EventId, EventQueue, ScheduledEvent};
 pub use latency::{
     BernoulliLoss, ConstantLatency, LatencyModel, LossModel, NoLoss, UniformLatency, WanLatency,
 };
-pub use message::{Envelope, MessageId, Payload};
+pub use message::{Envelope, MessageId, Payload, Tag};
 pub use metrics::{Counter, Histogram, MetricSet};
 pub use network::{DeliveryOutcome, Network, NetworkConfig, NetworkStats};
 pub use partition::{GroupMap, PartitionedLoss, RegionalLatency};
+pub use pool::BufferPool;
 pub use rng::SimRng;
 pub use sim::{RunReport, Simulation, StopCondition};
 pub use time::{SimDuration, SimTime};

@@ -7,6 +7,76 @@ use crate::NodeId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MessageId(pub u64);
 
+/// An interned protocol tag — the discriminant of a [`Payload::Record`].
+///
+/// A `Tag` is a `Copy` handle to a `'static` string. Protocols name
+/// their message kinds as `const` tags (`Tag::new("pushsum")`), so the
+/// hot path never allocates, clones or hashes a `String`: comparison is
+/// a pointer check with a content fallback, and the wire size is the
+/// tag's byte length (identical to the pre-interning accounting).
+///
+/// Dynamically built tag names go through [`Tag::intern`], which leaks
+/// one copy per distinct name into a process-wide registry — bounded by
+/// the protocol vocabulary, not by traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct Tag(&'static str);
+
+impl Tag {
+    /// Wraps a static tag name; `const`, so protocols write
+    /// `const PUSHSUM: Tag = Tag::new("pushsum");`.
+    pub const fn new(name: &'static str) -> Self {
+        Tag(name)
+    }
+
+    /// Interns a dynamically built tag name: one leak per distinct
+    /// name, the same handle ever after.
+    pub fn intern(name: &str) -> Self {
+        use std::sync::{Mutex, OnceLock};
+        static REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+        let mut registry = registry.lock().expect("tag registry poisoned");
+        if let Some(existing) = registry.iter().find(|s| **s == name) {
+            return Tag(existing);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        registry.push(leaked);
+        Tag(leaked)
+    }
+
+    /// The tag name.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Byte length on the wire (the name's length, as before interning).
+    pub fn wire_len(self) -> usize {
+        self.0.len()
+    }
+}
+
+impl PartialEq for Tag {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned/const tags usually share the allocation: pointer
+        // equality is the fast path, content equality keeps mixed
+        // provenance (e.g. `intern` vs `new`) correct.
+        std::ptr::eq(self.0, other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Tag {}
+
+impl From<&'static str> for Tag {
+    fn from(value: &'static str) -> Self {
+        Tag::new(value)
+    }
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
 /// Application payload carried by an [`Envelope`].
 ///
 /// The simulator is payload-agnostic: higher layers define their own
@@ -19,9 +89,11 @@ pub enum Payload {
     Text(String),
     /// A tagged record: protocol discriminant plus small numeric fields.
     /// This is the workhorse for reputation / privacy protocol messages.
+    /// The field buffer is typically drawn from the network's
+    /// [`BufferPool`](crate::BufferPool) and recycled on consumption.
     Record {
-        /// Protocol message kind, e.g. `"feedback.report"`.
-        tag: String,
+        /// Protocol message kind, e.g. `"feedback.report"`, interned.
+        tag: Tag,
         /// Numeric fields keyed positionally by the protocol.
         fields: Vec<f64>,
     },
@@ -35,13 +107,13 @@ impl Payload {
     pub fn wire_size(&self) -> usize {
         match self {
             Payload::Text(s) => s.len(),
-            Payload::Record { tag, fields } => tag.len() + fields.len() * 8,
+            Payload::Record { tag, fields } => tag.wire_len() + fields.len() * 8,
             Payload::Bytes(b) => b.len(),
         }
     }
 
     /// Convenience constructor for a tagged record.
-    pub fn record(tag: impl Into<String>, fields: Vec<f64>) -> Self {
+    pub fn record(tag: impl Into<Tag>, fields: Vec<f64>) -> Self {
         Payload::Record {
             tag: tag.into(),
             fields,
@@ -111,5 +183,26 @@ mod tests {
     fn payload_from_string_types() {
         assert_eq!(Payload::from("a"), Payload::Text("a".into()));
         assert_eq!(Payload::from(String::from("b")), Payload::Text("b".into()));
+    }
+
+    #[test]
+    fn tags_compare_by_content_across_provenance() {
+        const PUSHSUM: Tag = Tag::new("pushsum");
+        assert_eq!(PUSHSUM, Tag::new("pushsum"));
+        assert_eq!(PUSHSUM, Tag::intern(&String::from("pushsum")));
+        assert_ne!(PUSHSUM, Tag::new("other"));
+        assert_eq!(PUSHSUM.as_str(), "pushsum");
+        assert_eq!(PUSHSUM.wire_len(), 7);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Tag::intern("dyn.tag");
+        let b = Tag::intern(&format!("dyn.{}", "tag"));
+        assert_eq!(a, b);
+        assert!(
+            std::ptr::eq(a.as_str(), b.as_str()),
+            "same registry entry is handed back"
+        );
     }
 }

@@ -8,6 +8,7 @@
 use crate::latency::{ConstantLatency, LatencyModel, LossModel, NoLoss};
 use crate::message::{Envelope, MessageId, Payload};
 use crate::metrics::Counter;
+use crate::pool::BufferPool;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
@@ -95,6 +96,7 @@ pub struct Network {
     in_flight: BinaryHeap<InFlight>,
     next_msg: u64,
     next_seq: u64,
+    pool: BufferPool,
 }
 
 impl std::fmt::Debug for Network {
@@ -120,7 +122,21 @@ impl Network {
             in_flight: BinaryHeap::new(),
             next_msg: 0,
             next_seq: 0,
+            pool: BufferPool::new(),
         }
+    }
+
+    /// The network-owned field-buffer pool. Protocols acquire outgoing
+    /// record buffers here; the network recycles them itself whenever it
+    /// consumes a payload (loss at send time, dead-letter at delivery,
+    /// mailbox clearing on death).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Read access to the pool (reuse statistics).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
     }
 
     /// Registers a new node; returns its id.
@@ -150,7 +166,9 @@ impl Network {
     pub fn set_alive(&mut self, node: NodeId, alive: bool) {
         self.alive[node.index()] = alive;
         if !alive {
-            self.mailboxes[node.index()].clear();
+            for envelope in self.mailboxes[node.index()].drain(..) {
+                self.pool.recycle(envelope.payload);
+            }
         }
     }
 
@@ -186,6 +204,7 @@ impl Network {
         self.stats.bytes_sent.add(envelope.wire_size() as u64);
         if self.config.loss.is_lost(from, to, &mut self.rng) {
             self.stats.dropped.incr();
+            self.pool.recycle(envelope.payload);
             return (id, DeliveryOutcome::Lost);
         }
         let delay = self.config.latency.delay(from, to, &mut self.rng);
@@ -223,6 +242,7 @@ impl Network {
                 delivered += 1;
             } else {
                 self.stats.dead_letter.incr();
+                self.pool.recycle(msg.payload);
             }
         }
         delivered
@@ -231,6 +251,15 @@ impl Network {
     /// Drains and returns the mailbox of `node`.
     pub fn take_inbox(&mut self, node: NodeId) -> Vec<Envelope> {
         std::mem::take(&mut self.mailboxes[node.index()])
+    }
+
+    /// Swaps the mailbox of `node` with `scratch` (which must be empty):
+    /// the caller gets the pending envelopes, the mailbox inherits the
+    /// scratch buffer's capacity. The allocation-free spelling of
+    /// [`Network::take_inbox`] for per-round loops.
+    pub fn swap_inbox(&mut self, node: NodeId, scratch: &mut Vec<Envelope>) {
+        debug_assert!(scratch.is_empty(), "swap_inbox scratch must be drained");
+        std::mem::swap(&mut self.mailboxes[node.index()], scratch);
     }
 
     /// Number of messages waiting in `node`'s mailbox.

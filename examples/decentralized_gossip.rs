@@ -40,6 +40,7 @@ fn main() {
         GossipConfig {
             subjects: n,
             round_length: SimDuration::from_millis(150),
+            ..Default::default()
         },
         rng.fork(2),
     );
