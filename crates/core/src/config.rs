@@ -9,6 +9,7 @@ use crate::runner::ValidationError;
 use tsn_reputation::{
     AnonymizationConfig, DisclosurePolicy, MechanismKind, PopulationConfig, SelectionPolicy,
 };
+use tsn_simnet::DynamicsPlan;
 
 /// How strict the users' privacy policies are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,7 +91,20 @@ pub struct ScenarioConfig {
     pub leak_probability: f64,
     /// Availability churn: probability each user is offline in a given
     /// round (0 disables churn). Offline users neither consume nor serve.
+    ///
+    /// This is the legacy i.i.d. coin-flip model; for session-based
+    /// churn with durations, whitewashing and partitions use `dynamics`
+    /// instead (the two are mutually exclusive).
     pub churn_offline: f64,
+    /// Full dynamics plan: session-based churn (exponential session /
+    /// downtime durations), whitewash re-joins (fresh identities with
+    /// reset reputation), and scheduled partitions that confine partner
+    /// selection to a user's own group while active. Regional latency in
+    /// the plan is accepted but has no effect here — the abstract
+    /// scenario engine has no transport (the protocol crate's round
+    /// driver executes it for real). `None` leaves the legacy behaviour
+    /// bit-identical.
+    pub dynamics: Option<DynamicsPlan>,
     /// Weight of the *consumer-role* satisfaction in a user's overall
     /// satisfaction; the rest is the provider-role satisfaction (ref [17]
     /// models participants in both roles). Must be in `[0, 1]`.
@@ -130,6 +144,7 @@ impl Default for ScenarioConfig {
             graph_beta: 0.1,
             leak_probability: 0.3,
             churn_offline: 0.0,
+            dynamics: None,
             consumer_role_weight: 0.75,
             ballot_stuffing_factor: 4,
             ledger_raw_record_cap: None,
@@ -188,6 +203,17 @@ impl ScenarioConfig {
         }
         if !(0.0..=1.0).contains(&self.churn_offline) {
             return Err(ValidationError::new("churn_offline", "must be in [0,1]"));
+        }
+        if let Some(plan) = &self.dynamics {
+            plan.validate()
+                .map_err(|m| ValidationError::new("dynamics", m))?;
+            if self.churn_offline > 0.0 {
+                return Err(ValidationError::new(
+                    "dynamics",
+                    "churn_offline and a dynamics plan are mutually exclusive; \
+                     pick one churn model",
+                ));
+            }
         }
         if !(0.0..=1.0).contains(&self.consumer_role_weight) {
             return Err(ValidationError::new(

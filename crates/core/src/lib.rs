@@ -59,6 +59,6 @@ pub use runner::{
     DisclosureLevel, Observer, ScenarioBuilder, SweepGrid, SweepReport, SweepRunner,
     ValidationError,
 };
-pub use scenario::{RoundSample, Scenario, ScenarioOutcome};
+pub use scenario::{RoundSample, Scenario, ScenarioOutcome, ROUND_DURATION};
 pub use trust::{Aggregator, TrustMetric, TrustReport};
-pub use tsn_simnet::NodeId;
+pub use tsn_simnet::{DynamicsPlan, NodeId, PartitionWindow, RegionPlan};

@@ -2,10 +2,11 @@
 
 use crate::config::{PolicyProfile, ScenarioConfig};
 use crate::runner::{Observer, ValidationError};
-use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::scenario::{Scenario, ScenarioOutcome, ROUND_DURATION};
 use tsn_reputation::{
     AnonymizationConfig, DisclosurePolicy, MechanismKind, PopulationConfig, SelectionPolicy,
 };
+use tsn_simnet::{DynamicsPlan, SimDuration, SimTime};
 
 /// The five rungs of the paper's disclosure ladder, as a type.
 ///
@@ -222,10 +223,66 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Availability churn: per-round offline probability.
+    /// Availability churn: per-round offline probability (the legacy
+    /// i.i.d. model; see [`ScenarioBuilder::dynamics`] for sessions,
+    /// whitewashing and partitions).
     pub fn churn(mut self, offline: f64) -> Self {
         self.config.churn_offline = offline;
         self
+    }
+
+    /// Attaches a full dynamics plan: session-based churn, whitewash
+    /// re-joins (fresh identities with reset reputation) and scheduled
+    /// partitions that confine partner selection group-wise while
+    /// active. Mutually exclusive with [`ScenarioBuilder::churn`].
+    ///
+    /// Plan times are virtual: one scenario round spans
+    /// [`ROUND_DURATION`] (one hour).
+    pub fn dynamics(mut self, plan: DynamicsPlan) -> Self {
+        self.config.dynamics = Some(plan);
+        self
+    }
+
+    /// Preset: a flash crowd — 75 % of users start offline and flood in
+    /// during the first round, then churn with ~8-round sessions.
+    pub fn flash_crowd(self) -> Self {
+        self.dynamics(DynamicsPlan::flash_crowd(
+            ROUND_DURATION.mul_f64(8.0),
+            ROUND_DURATION.mul_f64(0.5),
+        ))
+    }
+
+    /// Preset: a clean two-way split active during rounds
+    /// `start_round..end_round` (healing at the start of `end_round`).
+    /// While split, users only interact within their own half.
+    pub fn split_then_heal(self, start_round: usize, end_round: usize) -> Self {
+        let at = |round: usize| SimTime::ZERO + ROUND_DURATION.mul_f64(round as f64);
+        self.dynamics(DynamicsPlan::split_then_heal(
+            at(start_round),
+            at(end_round),
+        ))
+    }
+
+    /// Preset: `groups` WAN regions. The regional latency map shapes
+    /// the *transport* layer (protocol-level runs); the abstract
+    /// scenario engine accepts and records the plan but its interaction
+    /// loop is latency-free, so outcomes are unchanged — use the
+    /// protocol crate's round driver to measure the latency cost.
+    pub fn wan_regions(self, groups: usize) -> Self {
+        self.dynamics(DynamicsPlan::wan_regions(
+            groups,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(150),
+        ))
+    }
+
+    /// Preset: a whitewash economy — ~3-round sessions, 80 % of
+    /// re-joins under a fresh identity that sheds its reputation.
+    pub fn whitewash_attack(self) -> Self {
+        self.dynamics(DynamicsPlan::whitewash_attack(
+            ROUND_DURATION.mul_f64(3.0),
+            ROUND_DURATION,
+        ))
     }
 
     /// Weight of the consumer role in overall satisfaction.
@@ -377,6 +434,45 @@ mod tests {
         let exp = ScenarioBuilder::experiment(7).build().unwrap();
         assert_eq!(exp.rounds, 25);
         assert_eq!(exp.seed, 7);
+    }
+
+    #[test]
+    fn dynamics_presets_build_valid_plans() {
+        for builder in [
+            ScenarioBuilder::small().flash_crowd(),
+            ScenarioBuilder::small().split_then_heal(2, 6),
+            ScenarioBuilder::small().wan_regions(3),
+            ScenarioBuilder::small().whitewash_attack(),
+        ] {
+            let config = builder.build().expect("preset is valid");
+            assert!(config.dynamics.is_some());
+        }
+        let split = ScenarioBuilder::small()
+            .split_then_heal(2, 6)
+            .build()
+            .unwrap();
+        let window = &split.dynamics.unwrap().partitions[0];
+        assert_eq!(window.start, SimTime::from_secs(2 * 3600));
+        assert_eq!(window.end, SimTime::from_secs(6 * 3600));
+    }
+
+    #[test]
+    fn dynamics_and_coin_flip_churn_are_mutually_exclusive() {
+        let err = ScenarioBuilder::small()
+            .churn(0.2)
+            .whitewash_attack()
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "dynamics");
+        // An invalid plan is rejected with the field name too.
+        let err = ScenarioBuilder::small()
+            .dynamics(DynamicsPlan {
+                initial_offline: 0.5,
+                ..Default::default()
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "dynamics");
     }
 
     #[test]

@@ -45,7 +45,11 @@ use tsn_satisfaction::{
     AdequacyModel, AllocationTracker, ConsumerIntentions, GlobalSatisfaction, InteractionAspects,
     ProviderIntentions, SatisfactionTracker,
 };
-use tsn_simnet::{NodeId, SimRng, SimTime};
+use tsn_simnet::{DynamicsEvent, DynamicsRuntime, NodeId, SimDuration, SimRng, SimTime};
+
+/// Virtual time one scenario round spans (the interaction loop models
+/// hourly activity waves).
+pub const ROUND_DURATION: SimDuration = SimDuration::from_secs(3600);
 
 /// Per-round measurements (the time series behind Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +71,11 @@ pub struct RoundSample {
     pub success_rate: f64,
     /// Feedback reports filed this round.
     pub reports_filed: u64,
+    /// Fraction of users online this round (1.0 without churn).
+    pub availability: f64,
+    /// Partition health this round: the probability a random user pair
+    /// shares a group — 1.0 outside any partition window.
+    pub partition_health: f64,
 }
 
 /// Everything a scenario run produces.
@@ -102,13 +111,16 @@ pub struct ScenarioOutcome {
     pub interactions: u64,
     /// Total protocol messages.
     pub messages: u64,
+    /// Whitewash re-joins that occurred during the run (0 unless a
+    /// dynamics plan with whitewashing was configured).
+    pub whitewashes: u64,
     /// Per-round time series.
     pub samples: Vec<RoundSample>,
 }
 
 impl RoundSample {
     /// The recognized series names, in the order of the struct fields.
-    pub const SERIES_NAMES: [&'static str; 7] = [
+    pub const SERIES_NAMES: [&'static str; 9] = [
         "satisfaction",
         "trust",
         "respect",
@@ -116,6 +128,8 @@ impl RoundSample {
         "willingness",
         "success",
         "reports",
+        "availability",
+        "partition_health",
     ];
 
     /// Extracts one named measurement, or `None` for an unknown name.
@@ -128,6 +142,8 @@ impl RoundSample {
             "willingness" => Some(self.mean_willingness),
             "success" => Some(self.success_rate),
             "reports" => Some(self.reports_filed as f64),
+            "availability" => Some(self.availability),
+            "partition_health" => Some(self.partition_health),
             _ => None,
         }
     }
@@ -205,6 +221,10 @@ pub struct Scenario {
     ladder_exposure: [f64; DisclosurePolicy::LADDER_LEVELS],
     /// Round-loop scratch buffers.
     scratch: ScenarioScratch,
+    /// Dynamics executor (session churn, whitewashing, partitions),
+    /// present iff `config.dynamics` is. Runs detached — the abstract
+    /// scenario has no transport.
+    net_dynamics: Option<DynamicsRuntime>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -326,6 +346,23 @@ impl Scenario {
             *slot = DisclosurePolicy::ladder(level).exposure();
         }
 
+        // Seeded straight from the config seed rather than forked off
+        // `rng`: forking would consume a draw from the main stream, so
+        // merely *attaching* a plan (even a static or regions-only one)
+        // would shift every later draw. This way dynamics-off runs AND
+        // runs with a no-op plan stay bit-identical to the goldens.
+        let net_dynamics = match &config.dynamics {
+            Some(plan) => Some(
+                DynamicsRuntime::new(
+                    plan.clone(),
+                    config.nodes,
+                    SimRng::seed_from_u64(config.seed ^ 0x5D71_4A3C_9E2B_8F01),
+                )
+                .map_err(|m| ValidationError::new("dynamics", m))?,
+            ),
+            None => None,
+        };
+
         Ok(Scenario {
             ledger: DisclosureLedger::with_raw_record_cap(config.ledger_raw_record_cap),
             config,
@@ -340,7 +377,16 @@ impl Scenario {
             policy_exposure_cap,
             ladder_exposure,
             scratch: ScenarioScratch::default(),
+            net_dynamics,
         })
+    }
+
+    /// The identity the reputation mechanism currently knows `slot` as
+    /// (differs from the slot only after a whitewash re-join).
+    fn slot_identity(&self, slot: NodeId) -> NodeId {
+        self.net_dynamics
+            .as_ref()
+            .map_or(slot, |d| d.identity(slot))
     }
 
     /// The configuration of this scenario.
@@ -406,7 +452,19 @@ impl Scenario {
         adversarial.extend((0..n).map(|i| self.population.is_adversarial(NodeId::from_index(i))));
         truth.clear();
         truth.extend((0..n).map(|i| self.population.true_quality(NodeId::from_index(i))));
-        accuracy::evaluate(self.mechanism.as_ref(), truth, adversarial, iterations)
+        // Ground truth is slot-indexed; the mechanism sees the slot's
+        // *current identity*, so whitewashed adversaries are judged as
+        // the same adversary even though the mechanism sees a newcomer.
+        match self.net_dynamics.as_ref() {
+            Some(d) => accuracy::evaluate_identities(
+                self.mechanism.as_ref(),
+                d.identities(),
+                truth,
+                adversarial,
+                iterations,
+            ),
+            None => accuracy::evaluate(self.mechanism.as_ref(), truth, adversarial, iterations),
+        }
     }
 
     /// Runs the configured number of rounds and returns the outcome.
@@ -433,18 +491,49 @@ impl Scenario {
         let system_policy = self.config.disclosure_policy();
         let system_exposure = self.ladder_exposure[self.config.disclosure_level];
 
+        let mut whitewashes = 0u64;
         for round in 0..self.config.rounds {
             for u in &mut self.users {
                 u.breached_this_round = false;
                 u.load_this_round = 0;
             }
-            // Availability churn: some users are offline this round.
+            // Availability churn: some users are offline this round —
+            // session-based when a dynamics plan runs, i.i.d. coin flips
+            // otherwise.
             self.scratch.offline.clear();
-            for _ in 0..n {
-                let off =
-                    self.config.churn_offline > 0.0 && self.rng.gen_bool(self.config.churn_offline);
-                self.scratch.offline.push(off);
+            if let Some(dynamics) = self.net_dynamics.as_mut() {
+                dynamics.clear_events();
+                dynamics.advance_detached(now);
+                for slot in 0..n {
+                    self.scratch
+                        .offline
+                        .push(!dynamics.online(NodeId::from_index(slot)));
+                }
+                for &(_, event) in dynamics.events() {
+                    if let DynamicsEvent::Whitewash { slot, .. } = event {
+                        whitewashes += 1;
+                        // The fresh identity re-enters compliant: its
+                        // willingness restarts at the system's required
+                        // level (it has no history of distrust to act on).
+                        self.users[slot.index()].willingness_level = self.config.disclosure_level;
+                    }
+                }
+                // Make sure the mechanism tracks every identity ever
+                // allocated (whitewashed ones score at the prior).
+                self.mechanism.resize(dynamics.identity_count());
+            } else {
+                for _ in 0..n {
+                    let off = self.config.churn_offline > 0.0
+                        && self.rng.gen_bool(self.config.churn_offline);
+                    self.scratch.offline.push(off);
+                }
             }
+            let round_availability =
+                1.0 - self.scratch.offline.iter().filter(|&&o| o).count() as f64 / n as f64;
+            let round_partition_health = self
+                .net_dynamics
+                .as_ref()
+                .map_or(1.0, |d| d.partition_health());
             let mut round_ok = 0u64;
             let mut round_tried = 0u64;
             let mut round_reports = 0u64;
@@ -458,18 +547,24 @@ impl Scenario {
                     self.scratch.candidates.clear();
                     {
                         let offline = &self.scratch.offline;
+                        // While a partition window is active, users can
+                        // only reach providers in their own group.
+                        let partition = self
+                            .net_dynamics
+                            .as_ref()
+                            .and_then(|d| d.active_group_map());
                         self.scratch.candidates.extend(
-                            self.graph
-                                .neighbors(consumer)
-                                .iter()
-                                .copied()
-                                .filter(|p| !offline[p.index()]),
+                            self.graph.neighbors(consumer).iter().copied().filter(|p| {
+                                !offline[p.index()]
+                                    && partition.is_none_or(|m| m.same_group(consumer, *p))
+                            }),
                         );
                     }
                     let mech = &self.mechanism;
+                    let dynamics = self.net_dynamics.as_ref();
                     let Some(provider) = self.config.selection.select_with(
                         &self.scratch.candidates,
-                        |c| mech.score(c),
+                        |c| mech.score(dynamics.map_or(c, |d| d.identity(c))),
                         &mut self.rng,
                         &mut self.scratch.selection,
                     ) else {
@@ -487,7 +582,7 @@ impl Scenario {
                     };
                     let ctx = RequestContext {
                         social_distance: Some(1), // candidates are neighbours
-                        requester_trust: self.mechanism.score(consumer),
+                        requester_trust: self.mechanism.score(self.slot_identity(consumer)),
                     };
                     let decision =
                         self.enforcer
@@ -541,9 +636,15 @@ impl Scenario {
                         let willing = self.users[consumer_idx].willingness_level;
                         let adversarial_rater = self.population.is_adversarial(consumer);
                         if adversarial_rater || willing >= self.config.disclosure_level {
-                            let report = self
+                            let mut report = self
                                 .population
                                 .feedback(consumer, provider, outcome, now, None);
+                            // The mechanism knows whitewashed slots by
+                            // their current identity only.
+                            if let Some(d) = self.net_dynamics.as_ref() {
+                                report.rater = d.identity(report.rater);
+                                report.ratee = d.identity(report.ratee);
+                            }
                             let effective = system_policy;
                             let view = effective.view(&report);
                             // Ballot stuffing: without a disclosed rater
@@ -662,12 +763,14 @@ impl Scenario {
                     round_ok as f64 / round_tried as f64
                 },
                 reports_filed: round_reports,
+                availability: round_availability,
+                partition_health: round_partition_health,
             };
             for observer in observers.iter_mut() {
                 observer.on_round(&sample);
             }
             samples.push(sample);
-            now += tsn_simnet::SimDuration::from_secs(3600);
+            now += ROUND_DURATION;
         }
 
         refresh_iterations += self.mechanism.refresh();
@@ -725,6 +828,7 @@ impl Scenario {
             },
             interactions,
             messages,
+            whitewashes,
             samples,
         };
         for observer in observers.iter_mut() {

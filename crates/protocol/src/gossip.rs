@@ -23,7 +23,10 @@
 
 use crate::host::{ProtocolCosts, RoundDriver};
 use tsn_graph::Graph;
-use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration, SimRng, Tag};
+use tsn_simnet::{
+    DynamicsEvent, DynamicsPlan, DynamicsRuntime, Envelope, Network, NodeId, Payload, SimDuration,
+    SimRng, Tag,
+};
 
 /// The push-sum message tag.
 const PUSHSUM: Tag = Tag::new("pushsum");
@@ -129,6 +132,31 @@ impl GossipNetwork {
         self.truth[subject].1 += 1.0;
     }
 
+    /// Attaches a dynamics plan: churn transitions, partition swaps and
+    /// regional latency execute on the driver's clock between rounds.
+    ///
+    /// The protocol tolerates every transition: crashed nodes freeze
+    /// (their mass leaks only through pushes addressed at them), revived
+    /// nodes resume from their frozen state, and a *whitewashed* slot
+    /// re-enters with reset push-sum state (weight 1, no observations) —
+    /// the fresh identity inherits nothing. The mass the old identity
+    /// already pushed into the network stays there, so whitewashing
+    /// perturbs (never poisons) the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's validation error, if any.
+    pub fn attach_dynamics(&mut self, plan: DynamicsPlan, rng: SimRng) -> Result<(), String> {
+        let runtime = DynamicsRuntime::new(plan, self.graph.node_count(), rng)?;
+        self.driver.attach_dynamics(runtime);
+        Ok(())
+    }
+
+    /// The attached dynamics runtime, if any.
+    pub fn dynamics(&self) -> Option<&DynamicsRuntime> {
+        self.driver.dynamics()
+    }
+
     /// Executes one push-sum round.
     pub fn round(&mut self) {
         let GossipNetwork {
@@ -183,6 +211,19 @@ impl GossipNetwork {
             fields.extend_from_slice(row);
             out.send_record(target, PUSHSUM, fields);
         });
+        // A whitewashed slot is a fresh identity: it restarts from the
+        // push-sum initial state instead of inheriting its predecessor's
+        // accumulated evidence. Events are borrowed (the driver clears
+        // them next round) — no per-round allocation.
+        if let Some(dynamics) = self.driver.dynamics() {
+            for &(_, event) in dynamics.events() {
+                if let DynamicsEvent::Whitewash { slot, .. } = event {
+                    let i = slot.index();
+                    self.weight[i] = 1.0;
+                    self.state[i * stride..(i + 1) * stride].fill(0.0);
+                }
+            }
+        }
     }
 
     /// Runs `rounds` rounds.
@@ -429,6 +470,79 @@ mod tests {
             "liveness-filtered draws never dead-letter"
         );
         assert!(error_skipping < 0.15, "still converges: {error_skipping}");
+    }
+
+    #[test]
+    fn gossip_survives_session_churn() {
+        use tsn_simnet::ChurnConfig;
+        let n = 30;
+        let mut g = build(n, 0.0, 31);
+        seed_observations(&mut g, n, 32);
+        let plan = DynamicsPlan {
+            churn: Some(ChurnConfig {
+                // Rounds are 100ms: ~8-round sessions, ~3-round downtimes.
+                mean_session: SimDuration::from_millis(800),
+                mean_downtime: SimDuration::from_millis(300),
+                whitewash_probability: 0.0,
+                crash_fraction: 0.5,
+            }),
+            ..Default::default()
+        };
+        g.attach_dynamics(plan, SimRng::seed_from_u64(33)).unwrap();
+        g.run(60);
+        let report = g.report();
+        assert!(report.mean_error.is_finite());
+        assert!(
+            report.mean_error < 0.2,
+            "alive nodes still converge through churn: {}",
+            report.mean_error
+        );
+        let dynamics = g.dynamics().expect("attached");
+        assert!(dynamics.availability() > 0.0);
+        // Weight never goes negative or NaN under kill/revive cycles.
+        assert!(g.weight.iter().all(|w| w.is_finite() && *w >= 0.0));
+    }
+
+    #[test]
+    fn whitewashed_slots_reset_their_push_sum_state() {
+        let n = 20;
+        let mut g = build(n, 0.0, 41);
+        seed_observations(&mut g, n, 42);
+        g.run(5);
+        let plan = DynamicsPlan::whitewash_attack(
+            SimDuration::from_millis(400),
+            SimDuration::from_millis(200),
+        );
+        // Attach mid-run: the plan's schedule starts at time zero, so
+        // overdue transitions fire on the next round.
+        g.attach_dynamics(plan, SimRng::seed_from_u64(43)).unwrap();
+        let mut whitewashed = Vec::new();
+        let mut previous: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        for _ in 0..40 {
+            g.round();
+            // The reset runs last in round(), so a slot whitewashed this
+            // round must sit exactly at the fresh-identity initial state:
+            // weight 1, empty evidence — nothing inherited.
+            let current = g.dynamics().expect("attached").identities().to_vec();
+            for slot in 0..n {
+                if current[slot] != previous[slot] {
+                    whitewashed.push(slot);
+                    assert_eq!(g.weight[slot], 1.0, "slot {slot} weight reset");
+                    let row = &g.state[slot * 2 * n..(slot + 1) * 2 * n];
+                    assert!(
+                        row.iter().all(|&v| v == 0.0),
+                        "slot {slot} state reset, got {row:?}"
+                    );
+                }
+            }
+            previous = current;
+        }
+        assert!(!whitewashed.is_empty(), "80% whitewash over 40 rounds");
+        let report = g.report();
+        assert!(
+            report.mean_error.is_finite() && report.max_error.is_finite(),
+            "whitewashing perturbs but never poisons: {report:?}"
+        );
     }
 
     #[test]

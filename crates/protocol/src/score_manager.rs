@@ -17,7 +17,10 @@
 //! `HashMap` outbox.
 
 use crate::host::{ProtocolCosts, RoundDriver};
-use tsn_simnet::{Envelope, Network, NodeId, Payload, SimDuration, Tag};
+use tsn_simnet::{
+    DynamicsEvent, DynamicsPlan, DynamicsRuntime, Envelope, Network, NodeId, Payload, SimDuration,
+    SimRng, Tag,
+};
 
 /// Message tags of the manager protocol.
 const MGR_REPORT: Tag = Tag::new("mgr.report");
@@ -104,6 +107,15 @@ impl<T: Default> SparseRows<T> {
         self.rows
             .iter()
             .flat_map(|row| row.iter().map(|(k, v)| (*k, v)))
+    }
+
+    /// Removes `key` from every owner's row (whitewash forgetting).
+    fn remove_key(&mut self, key: u32) {
+        for row in &mut self.rows {
+            if let Ok(at) = row.binary_search_by_key(&key, |(k, _)| *k) {
+                row.remove(at);
+            }
+        }
     }
 }
 
@@ -208,6 +220,42 @@ impl ManagerNetwork {
         }
     }
 
+    /// Attaches a dynamics plan (churn, partitions, regional latency)
+    /// executed on the driver's clock between rounds.
+    ///
+    /// Manager *state* survives crash/rejoin cycles (a real node keeps
+    /// its disk across restarts); only traffic is affected while a
+    /// replica is down. A *whitewash* instead resets the re-entering
+    /// identity's reputation: every shard and collected answer about the
+    /// whitewashed subject is forgotten, so its next queries answer from
+    /// the prior — reset, not inherited.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's validation error, if any.
+    pub fn attach_dynamics(&mut self, plan: DynamicsPlan, rng: SimRng) -> Result<(), String> {
+        let runtime = DynamicsRuntime::new(plan, self.n, rng)?;
+        self.driver.attach_dynamics(runtime);
+        Ok(())
+    }
+
+    /// The attached dynamics runtime, if any.
+    pub fn dynamics(&self) -> Option<&DynamicsRuntime> {
+        self.driver.dynamics()
+    }
+
+    /// Forgets every stored shard, collected answer and ground-truth
+    /// entry about `subject` — the whitewash semantics: a fresh identity
+    /// starts from the prior.
+    pub fn forget_subject(&mut self, subject: NodeId) {
+        forget_subject_in(
+            &mut self.stores,
+            &mut self.answers,
+            &mut self.truth,
+            subject,
+        );
+    }
+
     /// Executes one protocol round: flushes queued application traffic,
     /// then processes whatever arrived (reports stored, queries answered,
     /// answers collected).
@@ -279,6 +327,23 @@ impl ManagerNetwork {
                 pool.recycle(payload);
             }
         }
+        // Whitewashed identities shed their history. Events are
+        // borrowed (the driver clears them next round) and the fields
+        // destructured, so no buffer is drained or allocated.
+        let ManagerNetwork {
+            driver,
+            stores,
+            answers,
+            truth,
+            ..
+        } = self;
+        if let Some(dynamics) = driver.dynamics() {
+            for &(_, event) in dynamics.events() {
+                if let DynamicsEvent::Whitewash { slot, .. } = event {
+                    forget_subject_in(stores, answers, truth, slot);
+                }
+            }
+        }
     }
 
     /// Runs `rounds` rounds.
@@ -332,6 +397,20 @@ impl ManagerNetwork {
     pub fn network_mut(&mut self) -> &mut Network {
         self.driver.network_mut()
     }
+}
+
+/// The single source of the whitewash-forget semantics, shared by the
+/// public [`ManagerNetwork::forget_subject`] and the dynamics-event
+/// path inside `round()` (which works over destructured fields).
+fn forget_subject_in(
+    stores: &mut SparseRows<Shard>,
+    answers: &mut SparseRows<(f64, f64)>,
+    truth: &mut [(f64, f64)],
+    subject: NodeId,
+) {
+    stores.remove_key(subject.0);
+    answers.remove_key(subject.0);
+    truth[subject.index()] = (0.0, 0.0);
 }
 
 enum Msg {
@@ -575,5 +654,87 @@ mod tests {
     #[should_panic(expected = "more replicas than nodes")]
     fn too_many_replicas_panics() {
         let _ = build(2, 3, 0.0, 7);
+    }
+
+    #[test]
+    fn forget_subject_resets_to_the_prior() {
+        let n = 10;
+        let mut m = build(n, 2, 0.0, 12);
+        for _ in 0..5 {
+            m.submit_report(NodeId(1), NodeId(4), 0.9);
+        }
+        m.run(2);
+        m.submit_query(NodeId(2), NodeId(4));
+        m.run(3);
+        assert!(m.answer(NodeId(2), NodeId(4)).expect("answered") > 0.7);
+        m.forget_subject(NodeId(4));
+        assert_eq!(m.answer(NodeId(2), NodeId(4)), None, "answers cleared");
+        assert_eq!(m.oracle(NodeId(4)), 0.5, "truth reset to the prior");
+        m.submit_query(NodeId(2), NodeId(4));
+        m.run(3);
+        let fresh = m.answer(NodeId(2), NodeId(4)).expect("re-answered");
+        assert!(
+            (fresh - 0.5).abs() < 1e-9,
+            "shards cleared too; replicas answer the prior: {fresh}"
+        );
+    }
+
+    #[test]
+    fn whitewashed_identities_reenter_with_reset_reputation() {
+        use tsn_simnet::ChurnConfig;
+        let n = 12;
+        let mut m = build(n, 2, 0.0, 10);
+        // Build a strong positive history for every subject.
+        for subject in 0..n as u32 {
+            for _ in 0..5 {
+                m.submit_report(NodeId((subject + 1) % n as u32), NodeId(subject), 0.95);
+            }
+        }
+        m.run(3);
+        m.submit_query(NodeId(0), NodeId(5));
+        m.run(3);
+        let before = m.answer(NodeId(0), NodeId(5)).expect("answered");
+        assert!(before > 0.8, "history built: {before}");
+
+        // Everyone whitewashes: short sessions, certain whitewash.
+        let plan = DynamicsPlan {
+            churn: Some(ChurnConfig {
+                mean_session: SimDuration::from_millis(300),
+                mean_downtime: SimDuration::from_millis(100),
+                whitewash_probability: 1.0,
+                crash_fraction: 0.0,
+            }),
+            ..Default::default()
+        };
+        m.attach_dynamics(plan, SimRng::seed_from_u64(11)).unwrap();
+        let mut whitewashed: Option<NodeId> = None;
+        for _ in 0..60 {
+            m.round();
+            let d = m.dynamics().expect("attached");
+            if let Some(slot) = (0..n).map(NodeId::from_index).find(|&s| d.identity(s) != s) {
+                whitewashed = Some(slot);
+                break;
+            }
+        }
+        let slot = whitewashed.expect("certain whitewash fired within 6s");
+        // The old identity's evidence is gone everywhere: a fresh query
+        // answers from the prior, not the inherited 0.95 history.
+        m.submit_query(NodeId((slot.0 + 1) % n as u32), slot);
+        // The requester must be online for the query to flow and the
+        // answer to land; run enough rounds for a full cycle.
+        for _ in 0..30 {
+            m.round();
+            if let Some(answer) = m.answer(NodeId((slot.0 + 1) % n as u32), slot) {
+                assert!(
+                    (answer - 0.5).abs() < 1e-9,
+                    "whitewashed identity re-enters at the prior, got {answer}"
+                );
+                assert_eq!(m.oracle(slot), 0.5, "truth reset alongside");
+                return;
+            }
+        }
+        // Churn can keep the requester or replicas offline long enough
+        // that no answer lands; the stored-state reset still holds.
+        assert_eq!(m.oracle(slot), 0.5, "truth reset even if no answer landed");
     }
 }

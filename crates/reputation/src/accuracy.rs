@@ -88,7 +88,44 @@ pub fn evaluate(
     let scores: Vec<f64> = (0..n)
         .map(|i| mechanism.score(NodeId::from_index(i)))
         .collect();
+    evaluate_scores(mechanism, scores, true_quality, adversarial, iterations)
+}
 
+/// Evaluates `mechanism` against ground truth through an *identity
+/// mapping*: behaviour slot `i` is currently known to the mechanism as
+/// `identity[i]` (whitewashed slots point at their fresh identity, which
+/// may lie beyond the slot range). Ground truth stays slot-indexed —
+/// reality knows a whitewashed adversary is the same adversary even
+/// though the mechanism sees a newcomer.
+///
+/// With the identity map `0..n` this is exactly [`evaluate`]
+/// (bit-identical floats).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn evaluate_identities(
+    mechanism: &dyn ReputationMechanism,
+    identity: &[NodeId],
+    true_quality: &[f64],
+    adversarial: &[bool],
+    iterations: usize,
+) -> PowerReport {
+    let n = identity.len();
+    assert_eq!(true_quality.len(), n, "quality vector length mismatch");
+    assert_eq!(adversarial.len(), n, "adversarial vector length mismatch");
+    let scores: Vec<f64> = identity.iter().map(|&id| mechanism.score(id)).collect();
+    evaluate_scores(mechanism, scores, true_quality, adversarial, iterations)
+}
+
+fn evaluate_scores(
+    mechanism: &dyn ReputationMechanism,
+    scores: Vec<f64>,
+    true_quality: &[f64],
+    adversarial: &[bool],
+    iterations: usize,
+) -> PowerReport {
+    let n = scores.len();
     // Consistency: Spearman mapped from [-1, 1] to [0, 1]; an undefined
     // correlation (constant scores) counts as zero consistency.
     let consistency = tsn_graph::metrics::spearman(&scores, true_quality)
@@ -229,6 +266,34 @@ mod tests {
         let report = evaluate(&m, &truth, &adv, 0);
         assert_eq!(report.consistency, 0.5, "constant scores → undefined → 0.5");
         assert_eq!(report.reliability, 0.5);
+    }
+
+    #[test]
+    fn identity_mapped_evaluation_matches_and_exposes_whitewashing() {
+        let mut m = trained_beta();
+        let truth = [0.9, 0.9, 0.1, 0.1];
+        let adv = [false, false, true, true];
+        // The dense identity map is bit-identical to plain evaluate().
+        let dense: Vec<NodeId> = (0..4).map(NodeId::from_index).collect();
+        let plain = evaluate(&m, &truth, &adv, 0);
+        let mapped = evaluate_identities(&m, &dense, &truth, &adv, 0);
+        assert_eq!(plain, mapped);
+
+        // Adversary slot 3 whitewashes: the mechanism now knows it as a
+        // fresh identity (4) at the prior. Reality still knows slot 3 is
+        // the same low-quality adversary, so measured power drops.
+        m.resize(5);
+        let washed = [NodeId(0), NodeId(1), NodeId(2), NodeId(4)];
+        let after = evaluate_identities(&m, &washed, &truth, &adv, 0);
+        assert!(
+            after.rmse > plain.rmse,
+            "whitewashing hurts accuracy: {} vs {}",
+            after.rmse,
+            plain.rmse
+        );
+        // Reliability cannot improve (the washed score sits at the
+        // prior, between the classes).
+        assert!(after.reliability <= plain.reliability);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::NodeId;
 use std::collections::BTreeMap;
 
 /// Parameters of the churn process.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChurnConfig {
     /// Mean session length (time a node stays online). Exponentially
     /// distributed, the standard M/M churn assumption.

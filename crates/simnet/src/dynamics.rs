@@ -1,0 +1,978 @@
+//! The dynamics layer: churn, partitions and regional latency as one
+//! executable plan.
+//!
+//! The [`churn`](crate::churn) and [`partition`](crate::partition)
+//! modules define the *vocabulary* of a realistic decentralized
+//! substrate — session-based joins/leaves/crashes, whitewashing
+//! re-joins, clean splits, slow WAN borders. A [`DynamicsPlan`] composes
+//! them into a declarative schedule and a [`DynamicsRuntime`] *executes*
+//! it against a [`Network`] on the simulation clock: churn transitions
+//! interleave with message delivery at their exact event times,
+//! whitewash re-joins allocate fresh identities, and loss models swap
+//! at partition/heal boundaries.
+//!
+//! Two execution modes share the same schedule:
+//!
+//! * [`DynamicsRuntime::advance`] drives a real [`Network`]
+//!   (`set_alive`, loss/latency swaps) — the protocol round driver uses
+//!   this;
+//! * [`DynamicsRuntime::advance_detached`] updates only the abstract
+//!   state (online flags, identities, active partition) — the scenario
+//!   engine, which has no transport, uses this.
+//!
+//! Every transition applied is recorded as a timestamped
+//! [`DynamicsEvent`]; higher layers drain those to react (e.g. reset
+//! the reputation state of a whitewashed identity).
+
+use crate::churn::{ChurnConfig, ChurnEvent, ChurnProcess, NodeLifecycle};
+use crate::network::Network;
+use crate::partition::{GroupMap, PartitionedLoss, RegionalLatency};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled partition: between `start` and `end` the network's loss
+/// model is replaced by a [`PartitionedLoss`] over `groups` contiguous
+/// groups; at `end` the displaced model is restored (the heal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// When the split begins.
+    pub start: SimTime,
+    /// When the split heals ([`SimTime::MAX`] = never).
+    pub end: SimTime,
+    /// Number of contiguous groups the population splits into.
+    pub groups: usize,
+    /// Loss probability for cross-group messages (1.0 = clean split).
+    pub cross_loss: f64,
+    /// Loss probability for intra-group messages.
+    pub intra_loss: f64,
+}
+
+impl PartitionWindow {
+    /// A clean split into `groups` groups over `[start, end)`.
+    pub fn full_split(start: SimTime, end: SimTime, groups: usize) -> Self {
+        PartitionWindow {
+            start,
+            end,
+            groups,
+            cross_loss: 1.0,
+            intra_loss: 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.groups < 2 {
+            return Err("partition window needs at least 2 groups".into());
+        }
+        if self.end <= self.start {
+            return Err("partition window must end after it starts".into());
+        }
+        if !(0.0..=1.0).contains(&self.cross_loss) {
+            return Err("cross_loss must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.intra_loss) {
+            return Err("intra_loss must be in [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A static regional topology: `groups` contiguous regions with
+/// constant intra/inter-region one-way delay, installed once when the
+/// runtime attaches to a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionPlan {
+    /// Number of contiguous regions.
+    pub groups: usize,
+    /// Delay within a region.
+    pub intra: SimDuration,
+    /// Delay across regions.
+    pub inter: SimDuration,
+}
+
+impl RegionPlan {
+    fn validate(&self) -> Result<(), String> {
+        if self.groups == 0 {
+            return Err("regions need at least one group".into());
+        }
+        Ok(())
+    }
+}
+
+/// The full dynamics schedule of one experiment.
+///
+/// The default plan is *static* (no churn, no partitions, no regions):
+/// attaching it is a no-op, and every layer above guarantees that a
+/// static plan leaves outcomes bit-identical to running with no plan at
+/// all.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DynamicsPlan {
+    /// Session-based churn (`None` = the population never churns).
+    pub churn: Option<ChurnConfig>,
+    /// Fraction of nodes that start offline (they join once their first
+    /// sampled downtime elapses — the flash-crowd shape). Requires
+    /// `churn` to be set when positive, otherwise they would never join.
+    pub initial_offline: f64,
+    /// Scheduled partitions, in chronological, non-overlapping order.
+    pub partitions: Vec<PartitionWindow>,
+    /// Static regional latency, if any.
+    pub regions: Option<RegionPlan>,
+}
+
+impl DynamicsPlan {
+    /// Whether this plan changes anything at all.
+    pub fn is_static(&self) -> bool {
+        self.churn.is_none()
+            && self.initial_offline == 0.0
+            && self.partitions.is_empty()
+            && self.regions.is_none()
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(churn) = &self.churn {
+            churn.validate()?;
+        }
+        if !(0.0..=1.0).contains(&self.initial_offline) {
+            return Err("initial_offline must be in [0,1]".into());
+        }
+        if self.initial_offline > 0.0 && self.churn.is_none() {
+            return Err("initial_offline requires churn (offline nodes could never join)".into());
+        }
+        let mut previous_end = SimTime::ZERO;
+        for (i, window) in self.partitions.iter().enumerate() {
+            window
+                .validate()
+                .map_err(|e| format!("partition {i}: {e}"))?;
+            if i > 0 && window.start < previous_end {
+                return Err(format!("partition {i} overlaps its predecessor"));
+            }
+            previous_end = window.end;
+        }
+        if let Some(regions) = &self.regions {
+            regions.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Preset: a flash crowd — 75 % of the population starts offline
+    /// and floods in as the (short) downtimes elapse, then churns with
+    /// the given mean session length.
+    pub fn flash_crowd(mean_session: SimDuration, mean_downtime: SimDuration) -> Self {
+        DynamicsPlan {
+            churn: Some(ChurnConfig {
+                mean_session,
+                mean_downtime,
+                whitewash_probability: 0.0,
+                crash_fraction: 0.3,
+            }),
+            initial_offline: 0.75,
+            ..Default::default()
+        }
+    }
+
+    /// Preset: one clean two-way split over `[start, end)`, healing at
+    /// `end`.
+    pub fn split_then_heal(start: SimTime, end: SimTime) -> Self {
+        DynamicsPlan {
+            partitions: vec![PartitionWindow::full_split(start, end, 2)],
+            ..Default::default()
+        }
+    }
+
+    /// Preset: `groups` WAN regions — fast local links, slow
+    /// cross-region links, no loss.
+    pub fn wan_regions(groups: usize, intra: SimDuration, inter: SimDuration) -> Self {
+        DynamicsPlan {
+            regions: Some(RegionPlan {
+                groups,
+                intra,
+                inter,
+            }),
+            ..Default::default()
+        }
+    }
+
+    /// Preset: a whitewash economy — sessions end often and 80 % of
+    /// re-joins come back under a fresh identity, shedding history.
+    pub fn whitewash_attack(mean_session: SimDuration, mean_downtime: SimDuration) -> Self {
+        DynamicsPlan {
+            churn: Some(ChurnConfig {
+                mean_session,
+                mean_downtime,
+                whitewash_probability: 0.8,
+                crash_fraction: 0.5,
+            }),
+            ..Default::default()
+        }
+    }
+}
+
+/// A dynamics transition the runtime applied, tagged with the *slot*
+/// (the stable network position / dense index) it happened to.
+///
+/// Identities and slots coincide until the first whitewash; afterwards
+/// [`DynamicsRuntime::identity`] maps a slot to the identity currently
+/// bound to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicsEvent {
+    /// The slot went offline gracefully.
+    Leave {
+        /// The affected network slot.
+        slot: NodeId,
+    },
+    /// The slot went offline abruptly.
+    Crash {
+        /// The affected network slot.
+        slot: NodeId,
+    },
+    /// The slot came back under the same identity.
+    Rejoin {
+        /// The affected network slot.
+        slot: NodeId,
+    },
+    /// The slot came back under a fresh identity.
+    Whitewash {
+        /// The affected network slot.
+        slot: NodeId,
+        /// The identity it abandoned.
+        old: NodeId,
+        /// The freshly allocated identity.
+        new: NodeId,
+    },
+    /// A partition window began (loss model swapped in).
+    PartitionStart {
+        /// Index into [`DynamicsPlan::partitions`].
+        window: usize,
+    },
+    /// A partition window healed (displaced loss model restored).
+    PartitionHeal {
+        /// Index into [`DynamicsPlan::partitions`].
+        window: usize,
+    },
+}
+
+/// Executes a [`DynamicsPlan`] on the simulation clock.
+///
+/// See the [module docs](self) for the attach / advance / drain
+/// protocol.
+#[derive(Debug)]
+pub struct DynamicsRuntime {
+    plan: DynamicsPlan,
+    n: usize,
+    churn: Option<ChurnProcess>,
+    lifecycle: NodeLifecycle,
+    /// slot → identity currently bound to it.
+    identity: Vec<NodeId>,
+    next_identity: u32,
+    /// Per-slot next transition time ([`SimTime::MAX`] = none).
+    next_at: Vec<SimTime>,
+    /// Per-slot pending transition, sampled when it was scheduled.
+    pending: Vec<Option<ChurnEvent>>,
+    /// Min-heap of (time, seq, slot); stale entries (time no longer
+    /// matching `next_at[slot]`) are skipped on pop.
+    schedule: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    schedule_seq: u64,
+    online: Vec<bool>,
+    online_count: usize,
+    /// Index of the next partition window not yet healed.
+    window_cursor: usize,
+    /// Whether `partitions[window_cursor]` is currently active.
+    in_window: bool,
+    /// Group map of the active window (kept for detached consumers).
+    active_map: Option<GroupMap>,
+    /// Loss model displaced by the active window (network mode only).
+    displaced_loss: Option<Box<dyn crate::latency::LossModel>>,
+    events: Vec<(SimTime, DynamicsEvent)>,
+}
+
+impl DynamicsRuntime {
+    /// Builds the runtime for an `n`-slot population. The schedule is
+    /// measured from [`SimTime::ZERO`]; every initial transition is
+    /// sampled here, so two runtimes with the same `(plan, n, rng)` are
+    /// identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the plan's validation error, if any.
+    pub fn new(plan: DynamicsPlan, n: usize, mut rng: SimRng) -> Result<Self, String> {
+        plan.validate()?;
+        let mut online = vec![true; n];
+        if plan.initial_offline > 0.0 {
+            for slot in online.iter_mut() {
+                if rng.gen_bool(plan.initial_offline) {
+                    *slot = false;
+                }
+            }
+        }
+        let online_count = online.iter().filter(|&&o| o).count();
+        let mut lifecycle = NodeLifecycle::new();
+        let mut churn = plan.churn.clone().map(|c| ChurnProcess::new(c, rng));
+        let mut next_at = vec![SimTime::MAX; n];
+        let mut pending: Vec<Option<ChurnEvent>> = vec![None; n];
+        let mut schedule = BinaryHeap::new();
+        let mut schedule_seq = 0u64;
+        let mut next_identity = u32::try_from(n).expect("population fits u32");
+        for slot in 0..n {
+            let id = NodeId::from_index(slot);
+            lifecycle.register(id);
+            if !online[slot] {
+                lifecycle.apply(ChurnEvent::Leave(id));
+            }
+            if let Some(churn) = churn.as_mut() {
+                let (delay, event) =
+                    churn.next_transition(id, online[slot], || allocate(&mut next_identity));
+                let at = SimTime::ZERO + delay;
+                if at < SimTime::MAX {
+                    next_at[slot] = at;
+                    pending[slot] = Some(event);
+                    schedule.push(Reverse((at, schedule_seq, slot)));
+                    schedule_seq += 1;
+                }
+            }
+        }
+        Ok(DynamicsRuntime {
+            plan,
+            n,
+            churn,
+            lifecycle,
+            identity: (0..n).map(NodeId::from_index).collect(),
+            next_identity,
+            next_at,
+            pending,
+            schedule,
+            schedule_seq,
+            online,
+            online_count,
+            window_cursor: 0,
+            in_window: false,
+            active_map: None,
+            displaced_loss: None,
+            events: Vec::new(),
+        })
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &DynamicsPlan {
+        &self.plan
+    }
+
+    /// Applies the *current* abstract state to a network: kills the
+    /// offline slots, installs the regional latency model, and — if a
+    /// partition window is already active (the runtime may have run
+    /// detached before attaching) — swaps its loss model in. The round
+    /// driver calls this once when the runtime is attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's node count differs from the runtime's.
+    pub fn install(&mut self, network: &mut Network) {
+        assert_eq!(
+            network.node_count(),
+            self.n,
+            "network and dynamics plan must agree on node count"
+        );
+        for slot in 0..self.n {
+            if !self.online[slot] {
+                network.set_alive(NodeId::from_index(slot), false);
+            }
+        }
+        if let Some(regions) = &self.plan.regions {
+            let map = GroupMap::contiguous(self.n, regions.groups);
+            network.set_latency(Box::new(RegionalLatency::new(
+                map,
+                regions.intra,
+                regions.inter,
+            )));
+        }
+        if self.in_window && self.displaced_loss.is_none() {
+            let spec = &self.plan.partitions[self.window_cursor];
+            let map = self
+                .active_map
+                .clone()
+                .expect("an active window always has a map");
+            self.displaced_loss = Some(network.set_loss(Box::new(PartitionedLoss::new(
+                map,
+                spec.cross_loss,
+                spec.intra_loss,
+            ))));
+        }
+    }
+
+    /// Executes every transition scheduled up to `to` against the
+    /// network, interleaved with message delivery: the network clock is
+    /// advanced to each transition's exact time before it is applied, so
+    /// a message due before a crash is delivered and one due after it
+    /// dead-letters. The caller advances the network to `to` afterwards
+    /// (the driver's normal round delivery).
+    pub fn advance(&mut self, network: &mut Network, to: SimTime) {
+        self.advance_inner(Some(network), to);
+    }
+
+    /// Executes the same schedule without a network: online flags,
+    /// identities and the active-partition state move, but nothing is
+    /// killed and no model is swapped. For engines that have no
+    /// transport (the abstract scenario loop).
+    pub fn advance_detached(&mut self, to: SimTime) {
+        self.advance_inner(None, to);
+    }
+
+    fn advance_inner(&mut self, mut network: Option<&mut Network>, to: SimTime) {
+        loop {
+            let boundary = self.next_boundary().map(|(t, _)| t);
+            let transition = self.schedule.peek().map(|Reverse((t, _, _))| *t);
+            // Pick the earliest due step; boundaries win ties so a heal
+            // at time t frees traffic before a node revives at t.
+            let (at, is_boundary) = match (boundary, transition) {
+                (Some(b), Some(t)) => {
+                    if b <= t {
+                        (b, true)
+                    } else {
+                        (t, false)
+                    }
+                }
+                (Some(b), None) => (b, true),
+                (None, Some(t)) => (t, false),
+                (None, None) => break,
+            };
+            // `SimTime::MAX` is the unreachable "infinite horizon":
+            // steps saturated onto it never fire (this also guarantees
+            // termination when `to` is the horizon itself).
+            if at > to || at == SimTime::MAX {
+                break;
+            }
+            if let Some(network) = network.as_deref_mut() {
+                network.advance_to(at);
+            }
+            if is_boundary {
+                self.apply_boundary(network.as_deref_mut(), at);
+            } else {
+                self.apply_transition(network.as_deref_mut(), at);
+            }
+        }
+    }
+
+    /// The next partition start/heal time, if any. The bool is `true`
+    /// for a start.
+    fn next_boundary(&self) -> Option<(SimTime, bool)> {
+        if self.in_window {
+            Some((self.plan.partitions[self.window_cursor].end, false))
+        } else {
+            self.plan
+                .partitions
+                .get(self.window_cursor)
+                .map(|w| (w.start, true))
+        }
+    }
+
+    fn apply_boundary(&mut self, network: Option<&mut Network>, at: SimTime) {
+        let window = self.window_cursor;
+        if self.in_window {
+            if let Some(network) = network {
+                // `displaced_loss` can only be absent if the window
+                // started while running detached and no install
+                // happened since — nothing to restore then.
+                if let Some(restored) = self.displaced_loss.take() {
+                    network.set_loss(restored);
+                }
+            }
+            self.in_window = false;
+            self.active_map = None;
+            self.window_cursor += 1;
+            self.events
+                .push((at, DynamicsEvent::PartitionHeal { window }));
+        } else {
+            let spec = &self.plan.partitions[window];
+            let map = GroupMap::contiguous(self.n, spec.groups);
+            if let Some(network) = network {
+                let displaced = network.set_loss(Box::new(PartitionedLoss::new(
+                    map.clone(),
+                    spec.cross_loss,
+                    spec.intra_loss,
+                )));
+                self.displaced_loss = Some(displaced);
+            }
+            self.active_map = Some(map);
+            self.in_window = true;
+            self.events
+                .push((at, DynamicsEvent::PartitionStart { window }));
+        }
+    }
+
+    fn apply_transition(&mut self, network: Option<&mut Network>, at: SimTime) {
+        // Pop the heap entry that triggered this call, skipping stale
+        // ones (a slot rescheduled since the entry was pushed).
+        let slot = loop {
+            let Some(Reverse((t, _, slot))) = self.schedule.pop() else {
+                return;
+            };
+            if self.next_at[slot] == t {
+                break slot;
+            }
+        };
+        let event = self.pending[slot]
+            .take()
+            .expect("scheduled slot has a pending event");
+        self.lifecycle.apply(event);
+        let slot_id = NodeId::from_index(slot);
+        let now_online = event.online_identity().is_some();
+        if now_online != self.online[slot] {
+            self.online[slot] = now_online;
+            if now_online {
+                self.online_count += 1;
+            } else {
+                self.online_count -= 1;
+            }
+            if let Some(network) = network {
+                network.set_alive(slot_id, now_online);
+            }
+        }
+        let public = match event {
+            ChurnEvent::Leave(_) => DynamicsEvent::Leave { slot: slot_id },
+            ChurnEvent::Crash(_) => DynamicsEvent::Crash { slot: slot_id },
+            ChurnEvent::Rejoin(_) => DynamicsEvent::Rejoin { slot: slot_id },
+            ChurnEvent::Whitewash(old, new) => {
+                self.identity[slot] = new;
+                DynamicsEvent::Whitewash {
+                    slot: slot_id,
+                    old,
+                    new,
+                }
+            }
+        };
+        self.events.push((at, public));
+        // Schedule the slot's next transition; a time saturated onto
+        // the infinite horizon never fires.
+        let churn = self
+            .churn
+            .as_mut()
+            .expect("transitions only exist with churn");
+        let next_identity = &mut self.next_identity;
+        let (delay, next_event) =
+            churn.next_transition(self.identity[slot], now_online, || allocate(next_identity));
+        let next_time = at + delay;
+        self.next_at[slot] = next_time;
+        if next_time < SimTime::MAX {
+            self.pending[slot] = Some(next_event);
+            self.schedule
+                .push(Reverse((next_time, self.schedule_seq, slot)));
+            self.schedule_seq += 1;
+        }
+    }
+
+    /// Fraction of slots currently online.
+    pub fn availability(&self) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        self.online_count as f64 / self.n as f64
+    }
+
+    /// Whether the given slot is currently online.
+    pub fn online(&self, slot: NodeId) -> bool {
+        self.online[slot.index()]
+    }
+
+    /// The identity currently bound to a slot.
+    pub fn identity(&self, slot: NodeId) -> NodeId {
+        self.identity[slot.index()]
+    }
+
+    /// The slot → identity map.
+    pub fn identities(&self) -> &[NodeId] {
+        &self.identity
+    }
+
+    /// Identities ever allocated (slots plus whitewash reincarnations).
+    pub fn identity_count(&self) -> usize {
+        self.next_identity as usize
+    }
+
+    /// The whitewash genealogy and per-identity online state.
+    pub fn lifecycle(&self) -> &NodeLifecycle {
+        &self.lifecycle
+    }
+
+    /// Whether a partition window is currently active.
+    pub fn partition_active(&self) -> bool {
+        self.in_window
+    }
+
+    /// The group map of the active partition window, if one is active.
+    pub fn active_group_map(&self) -> Option<&GroupMap> {
+        self.active_map.as_ref()
+    }
+
+    /// Partition health in `[0, 1]`: the probability a uniformly random
+    /// node pair can exchange messages group-wise — 1.0 outside any
+    /// window, [`GroupMap::connectivity`] inside one.
+    pub fn partition_health(&self) -> f64 {
+        self.active_map.as_ref().map_or(1.0, GroupMap::connectivity)
+    }
+
+    /// The events applied since the last clear/drain, in time order.
+    /// The allocation-free read path: borrow, react, then
+    /// [`DynamicsRuntime::clear_events`] (or let the round driver clear
+    /// them at its next round).
+    pub fn events(&self) -> &[(SimTime, DynamicsEvent)] {
+        &self.events
+    }
+
+    /// Clears the recorded events, keeping the buffer's capacity.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
+    /// Drains the events applied since the last clear/drain, in time
+    /// order. Prefer [`DynamicsRuntime::events`] +
+    /// [`DynamicsRuntime::clear_events`] on hot paths — draining hands
+    /// the buffer (and its capacity) to the caller.
+    pub fn take_events(&mut self) -> Vec<(SimTime, DynamicsEvent)> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+fn allocate(next_identity: &mut u32) -> NodeId {
+    let id = NodeId(*next_identity);
+    *next_identity += 1;
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+
+    fn churny_plan() -> DynamicsPlan {
+        DynamicsPlan {
+            churn: Some(ChurnConfig {
+                mean_session: SimDuration::from_secs(2),
+                mean_downtime: SimDuration::from_secs(1),
+                whitewash_probability: 0.0,
+                crash_fraction: 0.5,
+            }),
+            ..Default::default()
+        }
+    }
+
+    fn network(n: usize) -> Network {
+        let mut net = Network::new(NetworkConfig::default(), SimRng::seed_from_u64(0));
+        for _ in 0..n {
+            net.add_node();
+        }
+        net
+    }
+
+    #[test]
+    fn static_plan_is_a_no_op() {
+        let plan = DynamicsPlan::default();
+        assert!(plan.is_static());
+        let mut runtime = DynamicsRuntime::new(plan, 8, SimRng::seed_from_u64(1)).unwrap();
+        let mut net = network(8);
+        runtime.install(&mut net);
+        runtime.advance(&mut net, SimTime::from_secs(100));
+        assert_eq!(runtime.availability(), 1.0);
+        assert_eq!(runtime.partition_health(), 1.0);
+        assert!(runtime.take_events().is_empty());
+        assert!((0..8).all(|i| net.is_alive(NodeId(i))));
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_fields() {
+        let plan = DynamicsPlan {
+            initial_offline: 0.5,
+            ..Default::default()
+        };
+        assert!(plan.validate().is_err(), "initial_offline without churn");
+        let plan = DynamicsPlan {
+            partitions: vec![PartitionWindow::full_split(
+                SimTime::from_secs(1),
+                SimTime::from_secs(1),
+                2,
+            )],
+            ..Default::default()
+        };
+        assert!(plan.validate().is_err(), "empty window");
+        let plan = DynamicsPlan {
+            partitions: vec![
+                PartitionWindow::full_split(SimTime::from_secs(1), SimTime::from_secs(5), 2),
+                PartitionWindow::full_split(SimTime::from_secs(4), SimTime::from_secs(6), 2),
+            ],
+            ..Default::default()
+        };
+        assert!(plan.validate().is_err(), "overlapping windows");
+        assert!(
+            DynamicsPlan::split_then_heal(SimTime::ZERO, SimTime::from_secs(1))
+                .validate()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn churn_kills_and_revives_network_nodes() {
+        let n = 20;
+        let mut runtime = DynamicsRuntime::new(churny_plan(), n, SimRng::seed_from_u64(3)).unwrap();
+        let mut net = network(n);
+        runtime.install(&mut net);
+        let mut saw_offline = false;
+        let mut saw_rejoin = false;
+        // The network mirrors the *last* event per slot in each window
+        // (a leave+rejoin inside one window nets out to alive).
+        let mut expected = vec![true; n];
+        for round in 1..=200u64 {
+            runtime.advance(&mut net, SimTime::from_millis(round * 100));
+            for (_, event) in runtime.take_events() {
+                match event {
+                    DynamicsEvent::Leave { slot } | DynamicsEvent::Crash { slot } => {
+                        saw_offline = true;
+                        expected[slot.index()] = false;
+                    }
+                    DynamicsEvent::Rejoin { slot } => {
+                        saw_rejoin = true;
+                        expected[slot.index()] = true;
+                    }
+                    _ => {}
+                }
+            }
+            let mut alive = 0usize;
+            for (i, &want) in expected.iter().enumerate() {
+                let id = NodeId::from_index(i);
+                assert_eq!(net.is_alive(id), want, "slot {i} round {round}");
+                assert_eq!(runtime.online(id), want, "slot {i} round {round}");
+                alive += usize::from(want);
+            }
+            assert_eq!(alive as f64 / n as f64, runtime.availability());
+        }
+        assert!(saw_offline && saw_rejoin, "20s of 2s-sessions must churn");
+    }
+
+    #[test]
+    fn whitewash_allocates_fresh_identities_with_genealogy() {
+        let n = 10;
+        let plan = DynamicsPlan::whitewash_attack(
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(200),
+        );
+        let mut runtime = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(4)).unwrap();
+        let mut net = network(n);
+        runtime.install(&mut net);
+        runtime.advance(&mut net, SimTime::from_secs(20));
+        let events = runtime.take_events();
+        let whitewashes: Vec<_> = events
+            .iter()
+            .filter_map(|(_, e)| match *e {
+                DynamicsEvent::Whitewash { slot, old, new } => Some((slot, old, new)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !whitewashes.is_empty(),
+            "80% whitewash probability over 20s"
+        );
+        for &(slot, old, new) in &whitewashes {
+            assert!(new.index() >= n, "fresh identities sit beyond the slots");
+            assert_eq!(runtime.lifecycle().whitewashed_from(new), Some(old));
+            assert!(
+                runtime.lifecycle().root_identity(new).index() < n,
+                "chains root at an original slot"
+            );
+            let _ = slot;
+        }
+        // Every distinct new identity is allocated exactly once.
+        let mut fresh: Vec<u32> = whitewashes.iter().map(|&(_, _, new)| new.0).collect();
+        fresh.sort_unstable();
+        fresh.dedup();
+        assert_eq!(
+            fresh.len(),
+            whitewashes.len(),
+            "identities are never reused"
+        );
+        // Identities are allocated when the return is *scheduled*, so
+        // the count covers fired whitewashes plus any still pending.
+        assert!(runtime.identity_count() >= n + fresh.len());
+    }
+
+    #[test]
+    fn partition_window_swaps_and_restores_the_loss_model() {
+        let n = 8;
+        let plan = DynamicsPlan::split_then_heal(SimTime::from_secs(1), SimTime::from_secs(2));
+        let mut runtime = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(5)).unwrap();
+        let mut net = network(n);
+        runtime.install(&mut net);
+
+        // Before the window: cross-group traffic flows.
+        runtime.advance(&mut net, SimTime::from_millis(500));
+        net.advance_to(SimTime::from_millis(500));
+        let (_, outcome) = net.send(NodeId(0), NodeId(7), "pre".into());
+        assert!(matches!(
+            outcome,
+            crate::network::DeliveryOutcome::Scheduled(_)
+        ));
+        assert_eq!(runtime.partition_health(), 1.0);
+
+        // Inside: cross-group traffic is lost, intra-group flows.
+        runtime.advance(&mut net, SimTime::from_millis(1500));
+        net.advance_to(SimTime::from_millis(1500));
+        assert!(runtime.partition_active());
+        assert_eq!(runtime.partition_health(), 0.5);
+        let (_, outcome) = net.send(NodeId(0), NodeId(7), "cross".into());
+        assert_eq!(outcome, crate::network::DeliveryOutcome::Lost);
+        let (_, outcome) = net.send(NodeId(0), NodeId(1), "local".into());
+        assert!(matches!(
+            outcome,
+            crate::network::DeliveryOutcome::Scheduled(_)
+        ));
+
+        // After the heal: the displaced model is back.
+        runtime.advance(&mut net, SimTime::from_millis(2500));
+        net.advance_to(SimTime::from_millis(2500));
+        assert!(!runtime.partition_active());
+        assert_eq!(runtime.partition_health(), 1.0);
+        let (_, outcome) = net.send(NodeId(0), NodeId(7), "post".into());
+        assert!(matches!(
+            outcome,
+            crate::network::DeliveryOutcome::Scheduled(_)
+        ));
+        let starts = runtime
+            .take_events()
+            .iter()
+            .filter(|(_, e)| matches!(e, DynamicsEvent::PartitionStart { .. }))
+            .count();
+        assert_eq!(starts, 1);
+    }
+
+    #[test]
+    fn attaching_mid_window_after_detached_execution_is_sound() {
+        // A runtime may run detached first (the scenario engine) and
+        // only later be attached to a network. If a partition window
+        // opened while detached, install() must swap the loss model in,
+        // and the later heal must restore cleanly instead of panicking.
+        let n = 8;
+        let plan = DynamicsPlan::split_then_heal(SimTime::from_secs(1), SimTime::from_secs(3));
+        let mut runtime = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(11)).unwrap();
+        runtime.advance_detached(SimTime::from_secs(2));
+        assert!(runtime.partition_active(), "the window opened detached");
+
+        let mut net = network(n);
+        net.advance_to(SimTime::from_secs(2));
+        runtime.install(&mut net);
+        // The partition loss model is live on the network now.
+        let (_, outcome) = net.send(NodeId(0), NodeId(7), "cross".into());
+        assert_eq!(outcome, crate::network::DeliveryOutcome::Lost);
+
+        // The heal restores the displaced model without panicking.
+        runtime.advance(&mut net, SimTime::from_secs(4));
+        net.advance_to(SimTime::from_secs(4));
+        assert!(!runtime.partition_active());
+        let (_, outcome) = net.send(NodeId(0), NodeId(7), "post".into());
+        assert!(matches!(
+            outcome,
+            crate::network::DeliveryOutcome::Scheduled(_)
+        ));
+
+        // Fully-detached windows (never installed) heal without a
+        // network too — nothing to restore, nothing to panic on.
+        let plan = DynamicsPlan::split_then_heal(SimTime::from_secs(1), SimTime::from_secs(3));
+        let mut detached = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(12)).unwrap();
+        detached.advance_detached(SimTime::from_secs(2));
+        let mut late_net = network(n);
+        late_net.advance_to(SimTime::from_secs(2));
+        detached.install(&mut late_net);
+        detached.advance(&mut late_net, SimTime::from_secs(10));
+        assert!(!detached.partition_active());
+    }
+
+    #[test]
+    fn regions_install_regional_latency() {
+        let n = 4;
+        let plan =
+            DynamicsPlan::wan_regions(2, SimDuration::from_millis(5), SimDuration::from_millis(80));
+        let mut runtime = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(6)).unwrap();
+        let mut net = network(n);
+        runtime.install(&mut net);
+        let (_, local) = net.send(NodeId(0), NodeId(1), "local".into());
+        let (_, remote) = net.send(NodeId(0), NodeId(3), "remote".into());
+        assert_eq!(
+            local,
+            crate::network::DeliveryOutcome::Scheduled(SimTime::from_millis(5))
+        );
+        assert_eq!(
+            remote,
+            crate::network::DeliveryOutcome::Scheduled(SimTime::from_millis(80))
+        );
+    }
+
+    #[test]
+    fn flash_crowd_starts_sparse_and_fills_up() {
+        let n = 100;
+        let plan =
+            DynamicsPlan::flash_crowd(SimDuration::from_secs(3600), SimDuration::from_secs(1));
+        let mut runtime = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(7)).unwrap();
+        let start = runtime.availability();
+        assert!(start < 0.5, "three quarters start offline: {start}");
+        runtime.advance_detached(SimTime::from_secs(10));
+        let after = runtime.availability();
+        assert!(after > 0.9, "the crowd joined within seconds: {after}");
+    }
+
+    #[test]
+    fn detached_and_networked_execution_agree() {
+        let n = 16;
+        let plan = churny_plan();
+        let mut networked =
+            DynamicsRuntime::new(plan.clone(), n, SimRng::seed_from_u64(8)).unwrap();
+        let mut detached = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(8)).unwrap();
+        let mut net = network(n);
+        networked.install(&mut net);
+        for step in 1..=50u64 {
+            let to = SimTime::from_millis(step * 200);
+            networked.advance(&mut net, to);
+            detached.advance_detached(to);
+            assert_eq!(
+                networked.take_events(),
+                detached.take_events(),
+                "step {step}"
+            );
+            for slot in 0..n {
+                let id = NodeId::from_index(slot);
+                assert_eq!(networked.online(id), detached.online(id));
+                assert_eq!(net.is_alive(id), networked.online(id));
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_is_deterministic_given_seed() {
+        let run = || {
+            let plan = DynamicsPlan::whitewash_attack(
+                SimDuration::from_secs(1),
+                SimDuration::from_millis(300),
+            );
+            let mut runtime = DynamicsRuntime::new(plan, 12, SimRng::seed_from_u64(9)).unwrap();
+            runtime.advance_detached(SimTime::from_secs(30));
+            runtime.take_events()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn schedule_survives_the_infinite_horizon() {
+        // Advancing to SimTime::MAX exercises the saturating time
+        // arithmetic: transition times pushed past the horizon clamp
+        // instead of wrapping, so the loop terminates.
+        let mut runtime = DynamicsRuntime::new(
+            DynamicsPlan::split_then_heal(SimTime::from_secs(1), SimTime::MAX),
+            4,
+            SimRng::seed_from_u64(10),
+        )
+        .unwrap();
+        runtime.advance_detached(SimTime::MAX);
+        assert!(runtime.partition_active(), "a MAX-end window never heals");
+    }
+}

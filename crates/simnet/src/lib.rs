@@ -18,7 +18,11 @@
 //!   [`LossModel`];
 //! * **churn-aware** — the [`churn`] module drives joins, leaves, crashes
 //!   and whitewashing re-joins, the lifecycle vocabulary of the reputation
-//!   literature the paper builds on.
+//!   literature the paper builds on;
+//! * **dynamic** — a [`DynamicsPlan`] composes churn, scheduled
+//!   partitions and regional latency into one schedule that a
+//!   [`DynamicsRuntime`] executes against the network on the sim clock
+//!   (see the [`dynamics`] module).
 //!
 //! ## Quick example
 //!
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod dynamics;
 pub mod event;
 pub mod latency;
 pub mod message;
@@ -52,6 +57,7 @@ pub mod time;
 pub mod trace;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnProcess, NodeLifecycle};
+pub use dynamics::{DynamicsEvent, DynamicsPlan, DynamicsRuntime, PartitionWindow, RegionPlan};
 pub use event::{Event, EventId, EventQueue, ScheduledEvent};
 pub use latency::{
     BernoulliLoss, ConstantLatency, LatencyModel, LossModel, NoLoss, UniformLatency, WanLatency,

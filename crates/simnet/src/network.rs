@@ -172,6 +172,26 @@ impl Network {
         }
     }
 
+    /// The current network clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Replaces the loss model (e.g. at a partition or heal boundary),
+    /// returning the displaced model so it can be restored later.
+    /// Messages already in flight keep the delivery verdicts they were
+    /// given at send time.
+    pub fn set_loss(&mut self, loss: Box<dyn LossModel>) -> Box<dyn LossModel> {
+        std::mem::replace(&mut self.config.loss, loss)
+    }
+
+    /// Replaces the latency model (e.g. when regional topology changes),
+    /// returning the displaced model. Messages already in flight keep
+    /// their original delivery times.
+    pub fn set_latency(&mut self, latency: Box<dyn LatencyModel>) -> Box<dyn LatencyModel> {
+        std::mem::replace(&mut self.config.latency, latency)
+    }
+
     /// Sends `payload` from `from` to `to`.
     ///
     /// Returns the message id and the outcome. Sending from or to an
@@ -227,8 +247,14 @@ impl Network {
     /// Advances the network clock to `now`, moving every message whose
     /// delivery time has arrived into its destination mailbox.
     ///
+    /// The clock is monotone: a `now` earlier than the current clock is
+    /// clamped to it (delivering anything already due) instead of
+    /// silently rewinding time — a rewound clock would let subsequent
+    /// sends schedule deliveries in the past.
+    ///
     /// Returns the number of messages delivered.
     pub fn advance_to(&mut self, now: SimTime) -> usize {
+        let now = now.max(self.now);
         self.now = now;
         let mut delivered = 0;
         while let Some(top) = self.in_flight.peek() {
@@ -395,5 +421,84 @@ mod tests {
         let mut net = lan();
         let a = net.add_node();
         net.send(a, NodeId(42), "x".into());
+    }
+
+    #[test]
+    fn advance_to_never_rewinds_the_clock() {
+        // Regression: `advance_to` used to set `now` unconditionally, so
+        // a caller passing an earlier time silently rewound the clock and
+        // subsequent sends scheduled deliveries in the past.
+        let mut net = lan();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.advance_to(SimTime::from_secs(10));
+        assert_eq!(net.now(), SimTime::from_secs(10));
+        // An earlier target is clamped, not honoured.
+        net.advance_to(SimTime::from_secs(3));
+        assert_eq!(net.now(), SimTime::from_secs(10));
+        // A send after the attempted rewind still schedules in the future
+        // relative to the real clock.
+        let (_, outcome) = net.send(a, b, "x".into());
+        assert_eq!(
+            outcome,
+            DeliveryOutcome::Scheduled(SimTime::from_secs(10) + SimDuration::from_millis(10))
+        );
+        // Clamped advances still deliver anything already due.
+        assert_eq!(net.advance_to(SimTime::ZERO), 0);
+        net.advance_to(SimTime::from_secs(11));
+        assert_eq!(net.inbox_len(b), 1);
+    }
+
+    #[test]
+    fn loss_and_latency_models_swap_at_runtime() {
+        let mut net = lan();
+        let a = net.add_node();
+        let b = net.add_node();
+        // Swap in a total-loss model: new sends are dropped.
+        let previous = net.set_loss(Box::new(BernoulliLoss::new(1.0)));
+        let (_, outcome) = net.send(a, b, "dropped".into());
+        assert_eq!(outcome, DeliveryOutcome::Lost);
+        // Restore the displaced model: traffic flows again.
+        net.set_loss(previous);
+        let (_, outcome) = net.send(a, b, "kept".into());
+        assert!(matches!(outcome, DeliveryOutcome::Scheduled(_)));
+        // Latency swaps only affect messages sent afterwards.
+        net.set_latency(Box::new(ConstantLatency(SimDuration::from_millis(500))));
+        let (_, outcome) = net.send(a, b, "slow".into());
+        assert_eq!(
+            outcome,
+            DeliveryOutcome::Scheduled(SimTime::from_millis(500))
+        );
+    }
+
+    #[test]
+    fn message_in_flight_survives_a_die_revive_cycle() {
+        // Aliveness is checked at *delivery* time: a message sent while
+        // the recipient was up, crossing a death + revival, is delivered
+        // if the node is back before `deliver_at`.
+        let mut net = lan();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.send(a, b, "survivor".into());
+        net.set_alive(b, false);
+        net.set_alive(b, true);
+        assert_eq!(net.advance_to(SimTime::from_millis(10)), 1);
+        assert_eq!(net.inbox_len(b), 1);
+        assert_eq!(net.stats().dead_letter.value(), 0);
+    }
+
+    #[test]
+    fn message_in_flight_to_a_dead_node_dead_letters_even_after_later_revival() {
+        let mut net = lan();
+        let a = net.add_node();
+        let b = net.add_node();
+        net.send(a, b, "late".into());
+        net.set_alive(b, false);
+        // The delivery instant passes while b is down.
+        net.advance_to(SimTime::from_millis(10));
+        net.set_alive(b, true);
+        net.advance_to(SimTime::from_secs(1));
+        assert_eq!(net.inbox_len(b), 0);
+        assert_eq!(net.stats().dead_letter.value(), 1);
     }
 }

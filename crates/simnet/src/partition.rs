@@ -27,16 +27,34 @@ impl GroupMap {
         GroupMap { groups }
     }
 
-    /// Splits `n` nodes into `k` contiguous, equally sized groups.
+    /// Splits `n` nodes into exactly `k` contiguous groups whose sizes
+    /// differ by at most one: the first `n % k` groups get
+    /// `n / k + 1` nodes, the rest `n / k`.
+    ///
+    /// (The former `div_ceil` sizing could produce *fewer* than `k`
+    /// groups — `contiguous(9, 4)` yielded 3 groups of 3 — and badly
+    /// unbalanced tails; now `contiguous(9, 4)` is `[3, 2, 2, 2]`.)
     ///
     /// # Panics
     ///
     /// Panics if `k` is zero.
     pub fn contiguous(n: usize, k: usize) -> Self {
         assert!(k > 0, "need at least one group");
-        let size = n.div_ceil(k);
+        let base = n / k;
+        let remainder = n % k;
+        // The first `remainder` groups are one node larger.
+        let big_span = remainder * (base + 1);
         GroupMap {
-            groups: (0..n).map(|i| (i / size) as u16).collect(),
+            groups: (0..n)
+                .map(|i| {
+                    let g = if i < big_span {
+                        i / (base + 1)
+                    } else {
+                        remainder + (i - big_span) / base
+                    };
+                    g as u16
+                })
+                .collect(),
         }
     }
 
@@ -58,6 +76,42 @@ impl GroupMap {
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
         self.groups.is_empty()
+    }
+
+    /// Number of distinct (non-empty) groups among the assigned nodes.
+    pub fn group_count(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        seen.extend(self.groups.iter().copied());
+        seen.len()
+    }
+
+    /// Size of each group, indexed by group id (trailing empty groups
+    /// are not represented).
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let max = self.groups.iter().copied().max().map_or(0, usize::from);
+        let mut sizes = vec![0usize; max + 1];
+        for &g in &self.groups {
+            sizes[usize::from(g)] += 1;
+        }
+        sizes
+    }
+
+    /// The probability that two uniformly random assigned nodes share a
+    /// group: `Σ (size_g / n)²`. This is the "partition health" a clean
+    /// split degrades — 1.0 for a single group, `1/k` for `k` equal
+    /// groups.
+    pub fn connectivity(&self) -> f64 {
+        let n = self.groups.len();
+        if n == 0 {
+            return 1.0;
+        }
+        self.group_sizes()
+            .iter()
+            .map(|&s| {
+                let f = s as f64 / n as f64;
+                f * f
+            })
+            .sum()
     }
 }
 
@@ -154,6 +208,49 @@ mod tests {
         assert!(map.same_group(NodeId(0), NodeId(4)));
         assert!(!map.same_group(NodeId(4), NodeId(5)));
         assert_eq!(map.len(), 10);
+    }
+
+    #[test]
+    fn contiguous_produces_exactly_k_balanced_groups() {
+        // Regression: div_ceil sizing gave contiguous(9, 4) only THREE
+        // groups ([3,3,3]); the remainder must instead spread so exactly
+        // k groups differ in size by at most one.
+        let map = GroupMap::contiguous(9, 4);
+        assert_eq!(map.group_count(), 4);
+        assert_eq!(map.group_sizes(), vec![3, 2, 2, 2]);
+
+        for (n, k) in [(10, 3), (11, 4), (7, 2), (100, 7), (5, 5), (13, 6)] {
+            let map = GroupMap::contiguous(n, k);
+            let sizes = map.group_sizes();
+            assert_eq!(map.group_count(), k, "n={n} k={k}");
+            assert_eq!(sizes.iter().sum::<usize>(), n, "n={n} k={k}");
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            assert!(max - min <= 1, "n={n} k={k}: unbalanced {sizes:?}");
+            // Groups are contiguous and ascending.
+            for i in 1..n {
+                let prev = map.group(NodeId::from_index(i - 1));
+                let cur = map.group(NodeId::from_index(i));
+                assert!(cur == prev || cur == prev + 1, "n={n} k={k} at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_with_more_groups_than_nodes_is_safe() {
+        let map = GroupMap::contiguous(3, 5);
+        assert_eq!(map.group_sizes(), vec![1, 1, 1]);
+        assert_eq!(map.group_count(), 3);
+    }
+
+    #[test]
+    fn connectivity_measures_partition_health() {
+        assert_eq!(GroupMap::contiguous(10, 1).connectivity(), 1.0);
+        assert!((GroupMap::contiguous(10, 2).connectivity() - 0.5).abs() < 1e-12);
+        let quarters = GroupMap::contiguous(8, 4).connectivity();
+        assert!((quarters - 0.25).abs() < 1e-12);
+        // Empty maps are trivially healthy.
+        assert_eq!(GroupMap::new(Vec::new()).connectivity(), 1.0);
     }
 
     #[test]

@@ -33,16 +33,18 @@ impl SimTime {
         SimTime(us)
     }
 
-    /// Builds a time from whole milliseconds.
+    /// Builds a time from whole milliseconds, saturating at the
+    /// [`SimTime::MAX`] horizon instead of wrapping.
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000)
+        SimTime(ms.saturating_mul(1_000))
     }
 
-    /// Builds a time from whole seconds.
+    /// Builds a time from whole seconds, saturating at the
+    /// [`SimTime::MAX`] horizon instead of wrapping.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000)
+        SimTime(s.saturating_mul(1_000_000))
     }
 
     /// This time in microseconds.
@@ -83,6 +85,9 @@ impl SimTime {
 impl SimDuration {
     /// The empty duration.
     pub const ZERO: SimDuration = SimDuration(0);
+    /// The greatest representable span; adding it to any time saturates
+    /// at the [`SimTime::MAX`] horizon.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Builds a duration from whole microseconds.
     #[inline]
@@ -90,16 +95,18 @@ impl SimDuration {
         SimDuration(us)
     }
 
-    /// Builds a duration from whole milliseconds.
+    /// Builds a duration from whole milliseconds, saturating instead of
+    /// wrapping.
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
+        SimDuration(ms.saturating_mul(1_000))
     }
 
-    /// Builds a duration from whole seconds.
+    /// Builds a duration from whole seconds, saturating instead of
+    /// wrapping.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000)
+        SimDuration(s.saturating_mul(1_000_000))
     }
 
     /// Builds a duration from fractional seconds, rounding to microseconds.
@@ -144,9 +151,12 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Saturating: [`SimTime::MAX`] is the "infinite horizon", so any
+    /// time at (or pushed past) the horizon stays there instead of
+    /// wrapping in release builds or panicking in debug builds.
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_add(rhs.0).expect("simulation time overflow"))
+        self.saturating_add(rhs)
     }
 }
 
@@ -167,13 +177,11 @@ impl Sub<SimTime> for SimTime {
 
 impl Add<SimDuration> for SimDuration {
     type Output = SimDuration;
+    /// Saturating, mirroring `SimTime + SimDuration`: an effectively
+    /// infinite span stays infinite instead of wrapping.
     #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulation duration overflow"),
-        )
+        SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
@@ -245,5 +253,34 @@ mod tests {
     fn ordering_is_chronological() {
         assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
         assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_the_horizon() {
+        // `+` must not wrap (release) or panic (debug) at SimTime::MAX.
+        assert_eq!(SimTime::MAX + SimDuration::from_millis(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimDuration::MAX, SimTime::MAX);
+        assert_eq!(SimTime::ZERO + SimDuration::MAX, SimTime::MAX);
+        let near = SimTime::from_micros(u64::MAX - 1);
+        assert_eq!(near + SimDuration::from_micros(5), SimTime::MAX);
+        let mut t = near;
+        t += SimDuration::MAX;
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        // u64::MAX ms * 1000 would wrap; the constructors clamp to the
+        // horizon so "infinite" inputs stay infinite.
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
+        // In-range values are unaffected.
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
     }
 }

@@ -43,5 +43,7 @@ pub mod prelude {
         FacetScores, FacetWeights, Scenario, ScenarioConfig, ScenarioOutcome, TrustMetric,
         TrustReport,
     };
-    pub use tsn_simnet::{NodeId, SimDuration, SimRng, SimTime, Simulation};
+    pub use tsn_simnet::{
+        DynamicsPlan, DynamicsRuntime, NodeId, SimDuration, SimRng, SimTime, Simulation,
+    };
 }
