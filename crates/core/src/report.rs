@@ -4,6 +4,22 @@
 //! verbatim).
 
 use crate::json::JsonValue;
+use std::borrow::Cow;
+
+/// Escapes one CSV field per RFC 4180: a field containing a comma, a
+/// double quote, or a line break is wrapped in double quotes with inner
+/// quotes doubled; anything else passes through unchanged (borrowed).
+///
+/// Every string interpolated into a CSV emitter must pass through here —
+/// interpolating raw labels corrupts the table the moment a sweep axis
+/// name or a string-valued parameter contains `,` or `"`.
+pub fn csv_field(field: &str) -> Cow<'_, str> {
+    if field.contains(['"', ',', '\n', '\r']) {
+        Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
+    } else {
+        Cow::Borrowed(field)
+    }
+}
 
 /// One labelled row of numeric cells.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,6 +195,17 @@ mod tests {
         assert_eq!(t.column("beta"), vec![2.0, 4.0]);
         assert_eq!(t.column_index("beta"), Some(1));
         assert_eq!(t.column_index("gamma"), None);
+    }
+
+    #[test]
+    fn csv_field_quotes_per_rfc4180() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert!(matches!(csv_field("plain"), Cow::Borrowed(_)));
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_field("cr\rhere"), "\"cr\rhere\"");
+        assert_eq!(csv_field(""), "");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::config::{PolicyProfile, ScenarioConfig};
 use crate::facets::FacetScores;
 use crate::json::{format_f64, JsonValue};
-use crate::report::{ExperimentRow, ExperimentTable};
+use crate::report::{csv_field, ExperimentRow, ExperimentTable};
 use crate::runner::{DisclosureLevel, ScenarioBuilder, ValidationError};
 use crate::scenario::{run_scenario, ScenarioOutcome};
 use std::collections::BTreeMap;
@@ -310,7 +310,9 @@ impl SweepReport {
     }
 
     /// Renders as CSV with a header row (floats in shortest round-trip
-    /// form, so output is bit-stable across runs).
+    /// form, so output is bit-stable across runs). String-valued fields
+    /// are quoted per RFC 4180 when they contain `,`, `"` or line
+    /// breaks, so the table survives any future axis label verbatim.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "mechanism,disclosure,profile,seed,privacy,reputation,satisfaction,trust,\
@@ -320,9 +322,9 @@ impl SweepReport {
         for c in &self.cells {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-                c.cell.mechanism.name(),
+                csv_field(c.cell.mechanism.name()),
                 c.cell.disclosure.index(),
-                c.cell.profile.label(),
+                csv_field(c.cell.profile.label()),
                 c.cell.seed,
                 format_f64(c.facets.privacy),
                 format_f64(c.facets.reputation),
@@ -589,6 +591,84 @@ mod tests {
         assert_eq!(by_level.len(), 2);
         assert_eq!(by_level[0].0, 0);
         assert_eq!(by_level[1].0, 4);
+    }
+
+    /// A minimal RFC 4180 reader: quoted fields may contain commas,
+    /// doubled quotes and line breaks. The reference the emitter's
+    /// round-trip test parses back through.
+    fn parse_csv(input: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut field = String::new();
+        let mut chars = input.chars().peekable();
+        let mut in_quotes = false;
+        while let Some(c) = chars.next() {
+            if in_quotes {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    field.push(c);
+                }
+            } else {
+                match c {
+                    '"' => in_quotes = true,
+                    ',' => row.push(std::mem::take(&mut field)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut field));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    '\r' => {} // CRLF line ending
+                    _ => field.push(c),
+                }
+            }
+        }
+        if !field.is_empty() || !row.is_empty() {
+            row.push(field);
+            rows.push(row);
+        }
+        rows
+    }
+
+    #[test]
+    fn csv_round_trips_through_an_rfc4180_parser() {
+        // A real report parses back field-for-field…
+        let report = SweepRunner::serial().run(&tiny_grid()).expect("valid grid");
+        let rows = parse_csv(&report.to_csv());
+        assert_eq!(rows.len(), 1 + report.cells.len());
+        assert_eq!(rows[0][0], "mechanism");
+        for (row, cell) in rows[1..].iter().zip(&report.cells) {
+            assert_eq!(row.len(), 16, "constant arity");
+            assert_eq!(row[0], cell.cell.mechanism.name());
+            assert_eq!(row[2], cell.cell.profile.label());
+            assert_eq!(row[3], cell.cell.seed.to_string());
+            assert_eq!(row[15], cell.messages.to_string());
+            assert_eq!(row[4].parse::<f64>().unwrap(), cell.facets.privacy);
+        }
+        // …and so does every kind of hostile field the escaper guards
+        // against (commas, quotes, CR/LF), via the same helper the
+        // emitter uses.
+        let nasty = [
+            "plain",
+            "with,comma",
+            "say \"hi\"",
+            "multi\nline",
+            "carriage\rreturn",
+            "",
+            "\"all,of\nit\"",
+        ];
+        let line: String = nasty
+            .iter()
+            .map(|f| crate::report::csv_field(f).into_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed = parse_csv(&line);
+        assert_eq!(parsed.len(), 1, "one logical record despite line breaks");
+        assert_eq!(parsed[0], nasty);
     }
 
     #[test]

@@ -29,6 +29,8 @@ use crate::config::ScenarioConfig;
 use crate::facets::FacetScores;
 use crate::runner::{Observer, ValidationError};
 use crate::trust::TrustMetric;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use tsn_graph::{generators, Graph, InterestProfile, InterestSpace};
 use tsn_privacy::enforcement::RequestContext;
 use tsn_privacy::oecd::OecdAudit;
@@ -38,18 +40,37 @@ use tsn_privacy::{
     PrivacyFacetInputs, PrivacyPolicy, Purpose, SystemPrivacyProfile,
 };
 use tsn_reputation::{
-    accuracy, Anonymized, DisclosurePolicy, MechanismKind, Population, PowerReport,
-    ReputationMechanism, SelectionScratch,
+    accuracy, Anonymized, DisclosurePolicy, FeedbackReport, MechanismKind, Population, PowerReport,
+    ReportView, ReputationMechanism, SelectionScratch,
 };
 use tsn_satisfaction::{
     AdequacyModel, AllocationTracker, ConsumerIntentions, GlobalSatisfaction, InteractionAspects,
     ProviderIntentions, SatisfactionTracker,
 };
-use tsn_simnet::{DynamicsEvent, DynamicsRuntime, NodeId, SimDuration, SimRng, SimTime};
+use tsn_simnet::{DynamicsEvent, DynamicsRuntime, GroupMap, NodeId, SimDuration, SimRng, SimTime};
 
 /// Virtual time one scenario round spans (the interaction loop models
 /// hourly activity waves).
 pub const ROUND_DURATION: SimDuration = SimDuration::from_secs(3600);
+
+/// Node count at or above which `shards = 0` (auto) picks the sharded
+/// round engine. The engine choice depends only on this threshold —
+/// never on the machine — so auto-sharded runs are deterministic across
+/// hardware; only wall-clock time varies with the core count.
+pub const SHARD_AUTO_NODES: usize = 10_000;
+
+/// Stream-domain tag of the per-round offline coin flips, keeping them
+/// disjoint from the `(round << 32) | node` interaction streams.
+const OFFLINE_STREAM_DOMAIN: u64 = 1 << 62;
+
+/// The RNG stream a consumer's interactions draw from in the sharded
+/// engine: one independent stream per `(round, node)`, derived
+/// statelessly from the config seed. This is what makes the draw
+/// sequence — and therefore the whole outcome — independent of the
+/// shard count and of shard execution order.
+fn interaction_stream(seed: u64, round: usize, node: usize) -> SimRng {
+    SimRng::stream(seed, ((round as u64) << 32) | node as u64)
+}
 
 /// Per-round measurements (the time series behind Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,7 +190,6 @@ impl ScenarioOutcome {
 struct UserState {
     intentions: ConsumerIntentions,
     provider_intentions: ProviderIntentions,
-    policy: PrivacyPolicy,
     satisfaction: SatisfactionTracker,
     provider_satisfaction: SatisfactionTracker,
     load_this_round: u32,
@@ -199,6 +219,278 @@ struct ScenarioScratch {
     truth: Vec<f64>,
     /// Adversarial flags for the power measurement.
     adversarial: Vec<bool>,
+    /// Report views staged for `record_batch` while draining a shard
+    /// outbox at the merge barrier.
+    views: Vec<ReportView>,
+}
+
+/// Per-round counters a shard accumulates locally; summed at the merge
+/// barrier (integer sums, so the total is independent of merge order —
+/// though the order is fixed anyway).
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardCounters {
+    requests: u64,
+    denials: u64,
+    interactions: u64,
+    messages: u64,
+    round_ok: u64,
+    round_tried: u64,
+    round_reports: u64,
+}
+
+/// A deferred disclosure-ledger entry. Shards cannot touch the shared
+/// ledger mid-phase; they stage events in interaction order and the
+/// merge barrier applies them shard-by-shard — which, with contiguous
+/// shards, is exactly global consumer order for any shard count.
+#[derive(Debug, Clone, Copy)]
+enum LedgerEvent {
+    Disclosure {
+        owner: NodeId,
+        recipient: NodeId,
+        category: DataCategory,
+        purpose: Purpose,
+        anonymized: bool,
+    },
+    Breach {
+        owner: NodeId,
+        recipient: NodeId,
+        category: DataCategory,
+        purpose: Purpose,
+        cause: BreachCause,
+    },
+}
+
+/// Everything a shard defers to the merge barrier.
+#[derive(Debug, Default)]
+struct ShardOutbox {
+    /// Feedback filed by this shard's consumers, in consumer order,
+    /// with the ballot-stuffing copy count.
+    reports: Vec<(FeedbackReport, u32)>,
+    /// Ledger events in interaction order.
+    ledger: Vec<LedgerEvent>,
+    /// One provider per *granted* interaction: the merge credits one
+    /// served interaction and one unit of round load each.
+    touches: Vec<NodeId>,
+    counters: ShardCounters,
+}
+
+impl ShardOutbox {
+    fn clear(&mut self) {
+        self.reports.clear();
+        self.ledger.clear();
+        self.touches.clear();
+        self.counters = ShardCounters::default();
+    }
+}
+
+/// One contiguous node shard: its range plus owned scratch and outbox,
+/// persistent across rounds so the steady-state phase allocates nothing.
+#[derive(Debug, Default)]
+struct ShardState {
+    /// First node (inclusive) this shard owns.
+    start: usize,
+    /// Past-the-end node of this shard's range.
+    end: usize,
+    /// Online neighbour candidates of the current consumer.
+    candidates: Vec<NodeId>,
+    /// Partner-selection scratch.
+    selection: SelectionScratch,
+    outbox: ShardOutbox,
+}
+
+/// One claimable unit of the interaction phase: a shard's contiguous
+/// user slice plus its scratch/outbox. Workers take it (once) from a
+/// `Mutex<Option<…>>` slot after winning the index off the cursor.
+type ShardUnit<'a> = (&'a mut [UserState], &'a mut ShardState);
+
+/// The read-only world a shard worker sees during the interaction
+/// phase: a frozen round-start snapshot. All mutation goes through the
+/// worker's own user slice and its outbox.
+struct ShardCtx<'a> {
+    config: &'a ScenarioConfig,
+    graph: &'a Graph,
+    population: &'a Population,
+    mechanism: &'a dyn ReputationMechanism,
+    enforcer: &'a Enforcer,
+    adequacy: &'a AdequacyModel,
+    offline: &'a [bool],
+    policy_exposure_cap: &'a [f64],
+    policies: &'a [PrivacyPolicy],
+    /// Active partition group map, if a window is open this round
+    /// (plain data extracted from the dynamics runtime, which itself is
+    /// not `Sync` — it owns transport trait objects the phase never
+    /// touches).
+    partition: Option<&'a GroupMap>,
+    /// Slot → current-identity map under whitewashing, `None` without a
+    /// dynamics plan.
+    identities: Option<&'a [NodeId]>,
+    system_policy: DisclosurePolicy,
+    system_exposure: f64,
+    round: usize,
+    now: SimTime,
+}
+
+impl ShardCtx<'_> {
+    fn identity(&self, slot: NodeId) -> NodeId {
+        self.identities.map_or(slot, |ids| ids[slot.index()])
+    }
+}
+
+/// Executes one shard's interaction/feedback phase against the frozen
+/// round snapshot. `users` is the shard's own contiguous slice
+/// (`state.start ..state.end`); everything cross-shard lands in the
+/// outbox. Mirrors the serial loop except that (a) randomness comes
+/// from per-`(round, node)` streams, (b) reputation scores, served
+/// counters and ledger state are the round-start snapshot, and (c) a
+/// consumer's `privacy_respected` reflects only its own flow this
+/// round — cross-node leak flags are deferred (the synchronous-model
+/// semantics DESIGN.md §10 documents).
+fn run_shard(ctx: &ShardCtx<'_>, users: &mut [UserState], state: &mut ShardState) {
+    let ShardState {
+        start,
+        candidates,
+        selection,
+        outbox,
+        ..
+    } = state;
+    let start = *start;
+    outbox.clear();
+    for u in users.iter_mut() {
+        u.breached_this_round = false;
+        u.load_this_round = 0;
+    }
+    for (local, user) in users.iter_mut().enumerate() {
+        let consumer_idx = start + local;
+        if ctx.offline[consumer_idx] {
+            continue;
+        }
+        let consumer = NodeId::from_index(consumer_idx);
+        let mut rng = interaction_stream(ctx.config.seed, ctx.round, consumer_idx);
+        for _ in 0..ctx.config.interactions_per_node {
+            candidates.clear();
+            candidates.extend(ctx.graph.neighbors(consumer).iter().copied().filter(|p| {
+                !ctx.offline[p.index()] && ctx.partition.is_none_or(|m| m.same_group(consumer, *p))
+            }));
+            let Some(provider) = ctx.config.selection.select_with(
+                candidates,
+                |c| ctx.mechanism.score(ctx.identity(c)),
+                &mut rng,
+                selection,
+            ) else {
+                continue;
+            };
+            outbox.counters.requests += 1;
+            outbox.counters.messages += 1; // content request
+
+            let request = AccessRequest {
+                requester: consumer,
+                owner: provider,
+                operation: Operation::Read,
+                purpose: Purpose::Social,
+            };
+            let request_ctx = RequestContext {
+                social_distance: Some(1), // candidates are neighbours
+                requester_trust: ctx.mechanism.score(ctx.identity(consumer)),
+            };
+            let decision =
+                ctx.enforcer
+                    .decide(&request, &ctx.policies[provider.index()], &request_ctx);
+
+            let intended = user.intentions.intends(provider);
+            user.allocation.observe(intended);
+
+            let outcome_quality;
+            if decision.is_granted() {
+                let anonymized = decision == AccessDecision::GrantAnonymized;
+                outbox.ledger.push(LedgerEvent::Disclosure {
+                    owner: provider,
+                    recipient: consumer,
+                    category: DataCategory::Content,
+                    purpose: Purpose::Social,
+                    anonymized,
+                });
+                let outcome = ctx.population.interact_frozen(provider, &mut rng);
+                outbox.touches.push(provider);
+                outbox.counters.interactions += 1;
+                outbox.counters.messages += 1; // content response
+                outbox.counters.round_tried += 1;
+                if outcome.is_success() {
+                    outbox.counters.round_ok += 1;
+                }
+                outcome_quality = outcome.value();
+
+                // Malicious consumers leak what they were granted.
+                if ctx.population.is_adversarial(consumer)
+                    && rng.gen_bool(ctx.config.leak_probability)
+                {
+                    outbox.ledger.push(LedgerEvent::Breach {
+                        owner: provider,
+                        recipient: consumer,
+                        category: DataCategory::Content,
+                        purpose: Purpose::Social,
+                        cause: BreachCause::MaliciousUser,
+                    });
+                }
+
+                // Feedback, against the frozen snapshot; the report is
+                // staged and reaches the mechanism at the merge barrier.
+                let willing = user.willingness_level;
+                let adversarial_rater = ctx.population.is_adversarial(consumer);
+                if adversarial_rater || willing >= ctx.config.disclosure_level {
+                    let mut report = ctx
+                        .population
+                        .feedback(consumer, provider, outcome, ctx.now, None);
+                    report.rater = ctx.identity(report.rater);
+                    report.ratee = ctx.identity(report.ratee);
+                    let copies = if !ctx.system_policy.rater_identity && adversarial_rater {
+                        ctx.config
+                            .ballot_stuffing_factor
+                            .saturating_sub(ctx.config.disclosure_level)
+                            .max(1)
+                    } else {
+                        1
+                    };
+                    outbox.reports.push((report, copies as u32));
+                    outbox.counters.round_reports += copies as u64;
+                    outbox.counters.messages +=
+                        (ctx.mechanism.overhead_per_report() * copies) as u64;
+                }
+            } else {
+                outbox.counters.denials += 1;
+                outbox.counters.round_tried += 1;
+                outcome_quality = 0.0; // the consumer got nothing
+            }
+
+            // Behaviour metadata (see the serial loop for the paper's
+            // footnote-2 rationale).
+            if ctx.system_exposure > ctx.policy_exposure_cap[consumer_idx] + 1e-9 {
+                outbox.ledger.push(LedgerEvent::Breach {
+                    owner: consumer,
+                    recipient: provider,
+                    category: DataCategory::Behavior,
+                    purpose: Purpose::Reputation,
+                    cause: BreachCause::System,
+                });
+                user.breached_this_round = true;
+            } else {
+                outbox.ledger.push(LedgerEvent::Disclosure {
+                    owner: consumer,
+                    recipient: provider,
+                    category: DataCategory::Behavior,
+                    purpose: Purpose::Reputation,
+                    anonymized: ctx.config.disclosure_level <= 1,
+                });
+            }
+
+            let aspects = InteractionAspects {
+                provider,
+                outcome_quality,
+                privacy_respected: !user.breached_this_round,
+            };
+            let adequacy = ctx.adequacy.adequacy(&user.intentions, &aspects);
+            user.satisfaction.observe(adequacy);
+        }
+    }
 }
 
 /// The assembled scenario, ready to run.
@@ -221,6 +513,13 @@ pub struct Scenario {
     ladder_exposure: [f64; DisclosurePolicy::LADDER_LEVELS],
     /// Round-loop scratch buffers.
     scratch: ScenarioScratch,
+    /// Per-user privacy policies, read-only during rounds. Kept outside
+    /// `UserState` so shard workers can read any *provider's* policy
+    /// while holding their own contiguous `&mut` user slice.
+    policies: Vec<PrivacyPolicy>,
+    /// Shard ranges, scratch and outboxes of the sharded engine; empty
+    /// until the first sharded round, persistent afterwards.
+    shard_state: Vec<ShardState>,
     /// Dynamics executor (session churn, whitewashing, partitions),
     /// present iff `config.dynamics` is. Runs detached — the abstract
     /// scenario has no transport.
@@ -255,7 +554,17 @@ impl Scenario {
         )
         .map_err(|e| ValidationError::new("graph_degree", e.to_string()))?;
         let mut pop_rng = rng.fork(2);
-        let population = Population::new(config.nodes, config.population.clone(), &mut pop_rng);
+        // Default the traitor betrayal deadline to the switch-after
+        // horizon in round time: a traitor then turns after
+        // `switch_after` rounds even if no consumer ever selects it (the
+        // stuck-traitor fix). An explicit deadline in the config wins.
+        let mut pop_config = config.population.clone();
+        if pop_config.traitor > 0.0 && pop_config.traitor_switch_deadline.is_none() {
+            pop_config.traitor_switch_deadline = Some(
+                SimTime::ZERO + ROUND_DURATION.mul_f64(pop_config.traitor_switch_after as f64),
+            );
+        }
+        let population = Population::new(config.nodes, pop_config, &mut pop_rng);
 
         let base: Box<dyn ReputationMechanism> =
             if config.mechanism == MechanismKind::EigenTrust && config.pretrusted > 0 {
@@ -290,6 +599,7 @@ impl Scenario {
         user_rng.shuffle(&mut strict_flags);
 
         let mut users = Vec::with_capacity(config.nodes);
+        let mut policies = Vec::with_capacity(config.nodes);
         let mut policy_exposure_cap = Vec::with_capacity(config.nodes);
         for i in 0..config.nodes {
             let me = NodeId::from_index(i);
@@ -310,11 +620,11 @@ impl Scenario {
             let intentions = ConsumerIntentions::new(preferred, 0.6, concern)
                 .expect("intention parameters are in range");
             let strict = strict_flags[i];
-            let policy = if strict {
+            policies.push(if strict {
                 PrivacyPolicy::strict(DataCategory::Content)
             } else {
                 PrivacyPolicy::permissive(DataCategory::Content)
-            };
+            });
             // Strict users tolerate at most ladder level 2 (no topic, no
             // identity) of *behaviour-metadata collection*; permissive
             // users accept everything. Collection beyond the cap is a
@@ -328,7 +638,6 @@ impl Scenario {
                 intentions,
                 provider_intentions: ProviderIntentions::new([], capacity)
                     .expect("capacity is positive"),
-                policy,
                 satisfaction: SatisfactionTracker::default(),
                 provider_satisfaction: SatisfactionTracker::default(),
                 load_this_round: 0,
@@ -377,6 +686,8 @@ impl Scenario {
             policy_exposure_cap,
             ladder_exposure,
             scratch: ScenarioScratch::default(),
+            policies,
+            shard_state: Vec::new(),
             net_dynamics,
         })
     }
@@ -475,7 +786,47 @@ impl Scenario {
     /// Runs the scenario, invoking every [`Observer`] at start, after
     /// each round and at completion. Observers only watch: the outcome
     /// is identical to [`Scenario::run`].
+    ///
+    /// Dispatches between the serial and sharded round engines per
+    /// `ScenarioConfig::shards` (see [`SHARD_AUTO_NODES`] for the auto
+    /// threshold).
     pub fn run_observed(&mut self, observers: &mut [&mut dyn Observer]) -> ScenarioOutcome {
+        match self.sharded_engine_shards() {
+            None => self.run_serial_observed(observers),
+            Some(shards) => self.run_sharded_observed(shards, observers),
+        }
+    }
+
+    /// Forces the *sharded* engine with exactly `shards` shards,
+    /// regardless of the config knob. The outcome is independent of the
+    /// shard count — this entry point exists so tests and benches can
+    /// pin exactly that (`run_sharded(1)`, `run_sharded(2)` and
+    /// `run_sharded(8)` are bit-identical).
+    pub fn run_sharded(&mut self, shards: usize) -> ScenarioOutcome {
+        self.run_sharded_observed(shards, &mut [])
+    }
+
+    /// The shard count the config selects, or `None` for the serial
+    /// engine. The *engine* choice never depends on the hardware; the
+    /// auto shard *count* does, which is safe because the sharded
+    /// outcome is shard-count-invariant.
+    fn sharded_engine_shards(&self) -> Option<usize> {
+        let threads = || {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        };
+        match self.config.shards {
+            1 => None,
+            0 if self.config.nodes < SHARD_AUTO_NODES => None,
+            // A few shards per worker keeps the atomic-cursor stealing
+            // effective when ranges cost unevenly (adversary clusters).
+            0 => Some((threads() * 4).min(self.config.nodes)),
+            k => Some(k.min(self.config.nodes)),
+        }
+    }
+
+    fn run_serial_observed(&mut self, observers: &mut [&mut dyn Observer]) -> ScenarioOutcome {
         for observer in observers.iter_mut() {
             observer.on_start(&self.config);
         }
@@ -493,6 +844,9 @@ impl Scenario {
 
         let mut whitewashes = 0u64;
         for round in 0..self.config.rounds {
+            // The population clock drives time-based traitor betrayal
+            // (consumes no randomness).
+            self.population.advance_clock(now);
             for u in &mut self.users {
                 u.breached_this_round = false;
                 u.load_this_round = 0;
@@ -501,27 +855,7 @@ impl Scenario {
             // session-based when a dynamics plan runs, i.i.d. coin flips
             // otherwise.
             self.scratch.offline.clear();
-            if let Some(dynamics) = self.net_dynamics.as_mut() {
-                dynamics.clear_events();
-                dynamics.advance_detached(now);
-                for slot in 0..n {
-                    self.scratch
-                        .offline
-                        .push(!dynamics.online(NodeId::from_index(slot)));
-                }
-                for &(_, event) in dynamics.events() {
-                    if let DynamicsEvent::Whitewash { slot, .. } = event {
-                        whitewashes += 1;
-                        // The fresh identity re-enters compliant: its
-                        // willingness restarts at the system's required
-                        // level (it has no history of distrust to act on).
-                        self.users[slot.index()].willingness_level = self.config.disclosure_level;
-                    }
-                }
-                // Make sure the mechanism tracks every identity ever
-                // allocated (whitewashed ones score at the prior).
-                self.mechanism.resize(dynamics.identity_count());
-            } else {
+            if !self.dynamics_pre_round(now, &mut whitewashes) {
                 for _ in 0..n {
                     let off = self.config.churn_offline > 0.0
                         && self.rng.gen_bool(self.config.churn_offline);
@@ -586,7 +920,7 @@ impl Scenario {
                     };
                     let decision =
                         self.enforcer
-                            .decide(&request, &self.users[provider.index()].policy, &ctx);
+                            .decide(&request, &self.policies[provider.index()], &ctx);
 
                     let intended = self.users[consumer_idx].intentions.intends(provider);
                     self.users[consumer_idx].allocation.observe(intended);
@@ -712,68 +1046,148 @@ impl Scenario {
                 }
             }
 
-            // Provider-role adequacy: did the system keep each provider's
-            // load within intentions? Offline providers observe nothing.
-            {
-                let offline = &self.scratch.offline;
-                for (i, u) in self.users.iter_mut().enumerate() {
-                    if !offline[i] {
-                        let adequacy = u.provider_intentions.load_adequacy(u.load_this_round);
-                        u.provider_satisfaction.observe(adequacy);
-                    }
-                }
-            }
-
-            if (round + 1) % self.config.refresh_every == 0 {
-                refresh_iterations += self.mechanism.refresh();
-            }
-
-            // --- Round sample + adaptive disclosure (the Section-3 loop).
-            let power_now = self.measure_power(refresh_iterations);
-            let oecd = OecdAudit::evaluate(&self.oecd_profile()).overall();
-            self.per_user_trust_into(power_now.power(&Default::default()), oecd);
-            let trust_now = &self.scratch.trust;
-            let mean_trust = trust_now.iter().sum::<f64>() / trust_now.len() as f64;
-            if self.config.adaptive_disclosure {
-                for (i, u) in self.users.iter_mut().enumerate() {
-                    if trust_now[i] < 0.4 && u.willingness_level > 0 {
-                        u.willingness_level -= 1;
-                    } else if trust_now[i] > 0.7
-                        && u.willingness_level < self.config.disclosure_level
-                    {
-                        u.willingness_level += 1;
-                    }
-                }
-            }
-            let sample = RoundSample {
-                round,
-                mean_satisfaction: self
-                    .users
-                    .iter()
-                    .map(|u| u.satisfaction.satisfaction())
-                    .sum::<f64>()
-                    / n as f64,
-                mean_trust,
-                respect_rate: self.ledger.respect_rate(),
-                consistency: power_now.consistency,
-                mean_willingness: self.mean_willingness(),
-                success_rate: if round_tried == 0 {
-                    0.0
-                } else {
-                    round_ok as f64 / round_tried as f64
-                },
-                reports_filed: round_reports,
+            let tally = RoundTally {
+                ok: round_ok,
+                tried: round_tried,
+                reports: round_reports,
                 availability: round_availability,
                 partition_health: round_partition_health,
             };
-            for observer in observers.iter_mut() {
-                observer.on_round(&sample);
-            }
-            samples.push(sample);
+            self.finish_round(
+                round,
+                tally,
+                &mut refresh_iterations,
+                observers,
+                &mut samples,
+            );
             now += ROUND_DURATION;
         }
 
-        refresh_iterations += self.mechanism.refresh();
+        let totals = RunTotals {
+            interactions,
+            messages,
+            denials,
+            requests,
+            refresh_iterations,
+            whitewashes,
+        };
+        self.assemble_outcome(totals, samples, observers)
+    }
+
+    /// Dynamics pre-round step shared by both engines: advances the
+    /// session/partition runtime to `now`, fills `scratch.offline` from
+    /// the session state, restarts whitewashed users' willingness at the
+    /// system level, counts the whitewashes and grows the mechanism to
+    /// the identity space. Returns `false` when no plan is attached (the
+    /// caller fills the offline flags itself).
+    fn dynamics_pre_round(&mut self, now: SimTime, whitewashes: &mut u64) -> bool {
+        let n = self.config.nodes;
+        let Some(dynamics) = self.net_dynamics.as_mut() else {
+            return false;
+        };
+        dynamics.clear_events();
+        dynamics.advance_detached(now);
+        for slot in 0..n {
+            self.scratch
+                .offline
+                .push(!dynamics.online(NodeId::from_index(slot)));
+        }
+        for &(_, event) in dynamics.events() {
+            if let DynamicsEvent::Whitewash { slot, .. } = event {
+                *whitewashes += 1;
+                // The fresh identity re-enters compliant: its
+                // willingness restarts at the system's required
+                // level (it has no history of distrust to act on).
+                self.users[slot.index()].willingness_level = self.config.disclosure_level;
+            }
+        }
+        // Make sure the mechanism tracks every identity ever
+        // allocated (whitewashed ones score at the prior).
+        self.mechanism.resize(dynamics.identity_count());
+        true
+    }
+
+    /// The shared round tail: provider-role adequacy, a possible
+    /// mechanism refresh, the round sample and the adaptive-disclosure
+    /// update (the Section-3 loop). Pure state math — no randomness — so
+    /// serial and sharded rounds end identically given the same state.
+    fn finish_round(
+        &mut self,
+        round: usize,
+        tally: RoundTally,
+        refresh_iterations: &mut usize,
+        observers: &mut [&mut dyn Observer],
+        samples: &mut Vec<RoundSample>,
+    ) {
+        let n = self.config.nodes;
+        // Provider-role adequacy: did the system keep each provider's
+        // load within intentions? Offline providers observe nothing.
+        {
+            let offline = &self.scratch.offline;
+            for (i, u) in self.users.iter_mut().enumerate() {
+                if !offline[i] {
+                    let adequacy = u.provider_intentions.load_adequacy(u.load_this_round);
+                    u.provider_satisfaction.observe(adequacy);
+                }
+            }
+        }
+
+        if (round + 1).is_multiple_of(self.config.refresh_every) {
+            *refresh_iterations += self.mechanism.refresh();
+        }
+
+        // --- Round sample + adaptive disclosure (the Section-3 loop).
+        let power_now = self.measure_power(*refresh_iterations);
+        let oecd = OecdAudit::evaluate(&self.oecd_profile()).overall();
+        self.per_user_trust_into(power_now.power(&Default::default()), oecd);
+        let trust_now = &self.scratch.trust;
+        let mean_trust = trust_now.iter().sum::<f64>() / trust_now.len() as f64;
+        if self.config.adaptive_disclosure {
+            for (i, u) in self.users.iter_mut().enumerate() {
+                if trust_now[i] < 0.4 && u.willingness_level > 0 {
+                    u.willingness_level -= 1;
+                } else if trust_now[i] > 0.7 && u.willingness_level < self.config.disclosure_level {
+                    u.willingness_level += 1;
+                }
+            }
+        }
+        let sample = RoundSample {
+            round,
+            mean_satisfaction: self
+                .users
+                .iter()
+                .map(|u| u.satisfaction.satisfaction())
+                .sum::<f64>()
+                / n as f64,
+            mean_trust,
+            respect_rate: self.ledger.respect_rate(),
+            consistency: power_now.consistency,
+            mean_willingness: self.mean_willingness(),
+            success_rate: if tally.tried == 0 {
+                0.0
+            } else {
+                tally.ok as f64 / tally.tried as f64
+            },
+            reports_filed: tally.reports,
+            availability: tally.availability,
+            partition_health: tally.partition_health,
+        };
+        for observer in observers.iter_mut() {
+            observer.on_round(&sample);
+        }
+        samples.push(sample);
+    }
+
+    /// The shared end-of-run assembly: a final refresh and power
+    /// measurement, global facets and the per-user vectors.
+    fn assemble_outcome(
+        &mut self,
+        totals: RunTotals,
+        samples: Vec<RoundSample>,
+        observers: &mut [&mut dyn Observer],
+    ) -> ScenarioOutcome {
+        let n = self.config.nodes;
+        let refresh_iterations = totals.refresh_iterations + self.mechanism.refresh();
         let power = self.measure_power(refresh_iterations);
         let oecd = OecdAudit::evaluate(&self.oecd_profile()).overall();
 
@@ -821,20 +1235,289 @@ impl Scenario {
             system_breaches: self.ledger.breach_count(Some(BreachCause::System)),
             oecd_score: oecd,
             mean_willingness: self.mean_willingness(),
-            denial_rate: if requests == 0 {
+            denial_rate: if totals.requests == 0 {
                 0.0
             } else {
-                denials as f64 / requests as f64
+                totals.denials as f64 / totals.requests as f64
             },
-            interactions,
-            messages,
-            whitewashes,
+            interactions: totals.interactions,
+            messages: totals.messages,
+            whitewashes: totals.whitewashes,
             samples,
         };
         for observer in observers.iter_mut() {
             observer.on_finish(&outcome);
         }
         outcome
+    }
+}
+
+/// Per-round measurement inputs [`Scenario::finish_round`] folds into a
+/// [`RoundSample`].
+struct RoundTally {
+    ok: u64,
+    tried: u64,
+    reports: u64,
+    availability: f64,
+    partition_health: f64,
+}
+
+/// Whole-run accumulators both engines hand to
+/// [`Scenario::assemble_outcome`].
+struct RunTotals {
+    interactions: u64,
+    messages: u64,
+    denials: u64,
+    requests: u64,
+    refresh_iterations: usize,
+    whitewashes: u64,
+}
+
+// ---------------------------------------------------------------------
+// The sharded round engine (DESIGN.md §10).
+//
+// Nodes are partitioned into contiguous shards. Every round:
+//
+//   1. *Pre-round* (serial): population clock, dynamics/offline flags.
+//   2. *Interaction phase* (parallel): workers claim shards off an
+//      atomic cursor (the SweepRunner idiom) and run them against the
+//      frozen round-start snapshot — scores, served counters and ledger
+//      state do not move. Randomness comes from per-(round, node)
+//      streams, so draws are independent of shard count and order.
+//   3. *Merge barrier* (serial, fixed shard order): outboxes drain into
+//      the ledger, the population's served counters, provider loads and
+//      the mechanism. Contiguous shards in ascending order make the
+//      merged event sequence exactly global consumer order — for any
+//      shard count, which is why k = 1, 2, 8 are bit-identical.
+//   4. *Round tail* (serial, shared with the serial engine).
+//
+// The serial engine remains the semantics pinned by the goldens: there,
+// a consumer's selection sees feedback recorded earlier in the *same*
+// round, and a leak immediately marks the victim's round. The sharded
+// engine defers both to the barrier (synchronous-model semantics), so
+// its outcomes differ from serial by design, never by scheduling.
+impl Scenario {
+    /// (Re)builds the shard plan: `shards` contiguous ranges of
+    /// near-equal size covering `0..nodes`.
+    fn init_shard_state(&mut self, shards: usize) {
+        let n = self.config.nodes;
+        let matches_plan =
+            self.shard_state.len() == shards && self.shard_state.last().is_some_and(|s| s.end == n);
+        if matches_plan {
+            return;
+        }
+        self.shard_state = (0..shards)
+            .map(|i| ShardState {
+                start: i * n / shards,
+                end: (i + 1) * n / shards,
+                ..Default::default()
+            })
+            .collect();
+    }
+
+    fn run_sharded_observed(
+        &mut self,
+        shards: usize,
+        observers: &mut [&mut dyn Observer],
+    ) -> ScenarioOutcome {
+        let n = self.config.nodes;
+        let shards = shards.clamp(1, n);
+        self.init_shard_state(shards);
+        for observer in observers.iter_mut() {
+            observer.on_start(&self.config);
+        }
+        let mut samples = Vec::with_capacity(self.config.rounds);
+        let mut totals = RunTotals {
+            interactions: 0,
+            messages: 0,
+            denials: 0,
+            requests: 0,
+            refresh_iterations: 0,
+            whitewashes: 0,
+        };
+        let mut now = SimTime::ZERO;
+        let system_policy = self.config.disclosure_policy();
+        let system_exposure = self.ladder_exposure[self.config.disclosure_level];
+        let workers = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+            .min(shards);
+
+        for round in 0..self.config.rounds {
+            self.population.advance_clock(now);
+            // Offline flags: session state under a dynamics plan, one
+            // dedicated per-round stream for i.i.d. coin flips (never
+            // the main `self.rng` — the flags must not depend on how
+            // many draws earlier rounds consumed elsewhere).
+            self.scratch.offline.clear();
+            if !self.dynamics_pre_round(now, &mut totals.whitewashes) {
+                if self.config.churn_offline > 0.0 {
+                    let mut stream =
+                        SimRng::stream(self.config.seed, OFFLINE_STREAM_DOMAIN | round as u64);
+                    for _ in 0..n {
+                        self.scratch
+                            .offline
+                            .push(stream.gen_bool(self.config.churn_offline));
+                    }
+                } else {
+                    self.scratch.offline.resize(n, false);
+                }
+            }
+            let round_availability =
+                1.0 - self.scratch.offline.iter().filter(|&&o| o).count() as f64 / n as f64;
+            let round_partition_health = self
+                .net_dynamics
+                .as_ref()
+                .map_or(1.0, |d| d.partition_health());
+
+            // --- Interaction phase: workers steal shards off a cursor.
+            {
+                let ctx = ShardCtx {
+                    config: &self.config,
+                    graph: &self.graph,
+                    population: &self.population,
+                    mechanism: self.mechanism.as_ref(),
+                    enforcer: &self.enforcer,
+                    adequacy: &self.adequacy,
+                    offline: &self.scratch.offline,
+                    policy_exposure_cap: &self.policy_exposure_cap,
+                    policies: &self.policies,
+                    partition: self
+                        .net_dynamics
+                        .as_ref()
+                        .and_then(|d| d.active_group_map()),
+                    identities: self.net_dynamics.as_ref().map(|d| d.identities()),
+                    system_policy,
+                    system_exposure,
+                    round,
+                    now,
+                };
+                let mut rest: &mut [UserState] = &mut self.users;
+                let mut units: Vec<Mutex<Option<ShardUnit<'_>>>> = Vec::with_capacity(shards);
+                for state in self.shard_state.iter_mut() {
+                    let width = state.end - state.start;
+                    let (own, tail) = std::mem::take(&mut rest).split_at_mut(width);
+                    rest = tail;
+                    units.push(Mutex::new(Some((own, state))));
+                }
+                if workers == 1 {
+                    for unit in &units {
+                        let (users, state) =
+                            unit.lock().expect("unpoisoned").take().expect("unclaimed");
+                        run_shard(&ctx, users, state);
+                    }
+                } else {
+                    let cursor = AtomicUsize::new(0);
+                    std::thread::scope(|scope| {
+                        for _ in 0..workers {
+                            scope.spawn(|| loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= units.len() {
+                                    break;
+                                }
+                                let (users, state) = units[i]
+                                    .lock()
+                                    .expect("unpoisoned")
+                                    .take()
+                                    .expect("each shard is claimed exactly once");
+                                run_shard(&ctx, users, state);
+                            });
+                        }
+                    });
+                }
+            }
+
+            // --- Merge barrier, in ascending shard order.
+            let tally = self.merge_shards(now, system_policy, &mut totals);
+            let tally = RoundTally {
+                availability: round_availability,
+                partition_health: round_partition_health,
+                ..tally
+            };
+            self.finish_round(
+                round,
+                tally,
+                &mut totals.refresh_iterations,
+                observers,
+                &mut samples,
+            );
+            now += ROUND_DURATION;
+        }
+
+        self.assemble_outcome(totals, samples, observers)
+    }
+
+    /// Drains every shard outbox into the shared state, in shard order:
+    /// ledger events, served/load credits, then the staged feedback
+    /// through one `record_batch` per shard.
+    fn merge_shards(
+        &mut self,
+        now: SimTime,
+        system_policy: DisclosurePolicy,
+        totals: &mut RunTotals,
+    ) -> RoundTally {
+        let Scenario {
+            shard_state,
+            ledger,
+            population,
+            users,
+            mechanism,
+            scratch,
+            ..
+        } = self;
+        let mut ok = 0u64;
+        let mut tried = 0u64;
+        let mut reports_filed = 0u64;
+        for state in shard_state.iter_mut() {
+            let outbox = &mut state.outbox;
+            let c = outbox.counters;
+            totals.requests += c.requests;
+            totals.denials += c.denials;
+            totals.interactions += c.interactions;
+            totals.messages += c.messages;
+            ok += c.round_ok;
+            tried += c.round_tried;
+            reports_filed += c.round_reports;
+
+            for event in outbox.ledger.drain(..) {
+                match event {
+                    LedgerEvent::Disclosure {
+                        owner,
+                        recipient,
+                        category,
+                        purpose,
+                        anonymized,
+                    } => ledger
+                        .record_disclosure(now, owner, recipient, category, purpose, anonymized),
+                    LedgerEvent::Breach {
+                        owner,
+                        recipient,
+                        category,
+                        purpose,
+                        cause,
+                    } => ledger.record_breach(now, owner, recipient, category, purpose, cause),
+                }
+            }
+            for &provider in &outbox.touches {
+                population.note_served(provider, 1);
+                users[provider.index()].load_this_round += 1;
+            }
+            scratch.views.clear();
+            for &(ref report, copies) in &outbox.reports {
+                let view = system_policy.view(report);
+                for _ in 0..copies {
+                    scratch.views.push(view);
+                }
+            }
+            mechanism.record_batch(&scratch.views);
+        }
+        RoundTally {
+            ok,
+            tried,
+            reports: reports_filed,
+            availability: 1.0,
+            partition_health: 1.0,
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 //! the full history even when old raw records have been evicted.
 
 use crate::policy::{DataCategory, Purpose};
+use std::collections::VecDeque;
 use tsn_simnet::{NodeId, SimTime};
 
 /// Who is to blame for a breach.
@@ -85,7 +86,12 @@ struct OwnerStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DisclosureLedger {
-    records: Vec<DisclosureRecord>,
+    /// Raw audit trail. A ring (`VecDeque`), not a `Vec`: with a
+    /// retention cap every insert beyond the cap evicts the oldest
+    /// record, and `Vec::drain(..1)` would memmove the whole window —
+    /// O(cap) per insert, which turned mega-scale scenario rounds
+    /// quadratic. `pop_front` keeps eviction O(1).
+    records: VecDeque<DisclosureRecord>,
     /// Optional cap on *raw* record retention; `None` keeps everything.
     raw_record_cap: Option<usize>,
     /// Per-owner running aggregates, indexed by `owner.index()`.
@@ -145,11 +151,10 @@ impl DisclosureLedger {
         stats.compliant += u64::from(record.compliant);
         stats.exposure += exposure;
 
-        self.records.push(record);
+        self.records.push_back(record);
         if let Some(cap) = self.raw_record_cap {
-            if self.records.len() > cap {
-                let excess = self.records.len() - cap;
-                self.records.drain(..excess);
+            while self.records.len() > cap {
+                self.records.pop_front();
             }
         }
     }
@@ -200,7 +205,7 @@ impl DisclosureLedger {
 
     /// All retained raw records, in order. With a raw-record cap this is
     /// the most recent window; aggregates still cover the full history.
-    pub fn records(&self) -> &[DisclosureRecord] {
+    pub fn records(&self) -> &VecDeque<DisclosureRecord> {
         &self.records
     }
 
@@ -512,7 +517,7 @@ mod tests {
                 ),
             }
         }
-        let records = l.records().to_vec();
+        let records: Vec<DisclosureRecord> = l.records().iter().copied().collect();
         let scan_compliant = records.iter().filter(|r| r.compliant).count();
         assert_eq!(
             l.respect_rate(),

@@ -167,27 +167,37 @@ fn evaluate_scores(
 /// therefore bit-identical accuracies) at every distinct threshold. The
 /// scenario loop calls this once per round, so the quadratic version
 /// showed up in profiles.
+///
+/// NaN scores are well-defined: `NaN <= t` is false for every threshold,
+/// so a NaN-scored sample is never flagged (it always counts on the
+/// high-score side). The previous sweep fed NaNs through a
+/// `partial_cmp`-with-`Equal`-fallback sort, whose inconsistent
+/// comparator left the flag counts — and the result — dependent on the
+/// sort's internal visiting order.
 pub fn balanced_detection_accuracy(scores: &[f64], adversarial: &[bool]) -> f64 {
     let positives = adversarial.iter().filter(|&&a| a).count();
     let negatives = adversarial.len() - positives;
     if positives == 0 || negatives == 0 {
         return 0.5; // degenerate: nothing to separate
     }
+    // Only finite-or-infinite scores are candidate thresholds; NaN
+    // samples still count toward positives/negatives above but can never
+    // be flagged (consistent with the `<=` semantics).
     let mut order: Vec<(f64, bool)> = scores
         .iter()
         .copied()
         .zip(adversarial.iter().copied())
+        .filter(|(s, _)| !s.is_nan())
         .collect();
-    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut best: f64 = 0.5;
     let mut flagged_adversaries = 0usize; // adversaries with score <= t
     let mut flagged_honest = 0usize; // honest with score <= t
     let mut i = 0;
     while i < order.len() {
-        // Consume every sample tied at this threshold before scoring it.
-        // The negated `>` comparison (rather than `==`) also consumes
-        // NaN scores, which would otherwise never compare equal and
-        // stall the sweep.
+        // Consume every sample tied at this threshold before scoring it
+        // (`partial_cmp`, not `total_cmp`: -0.0 and 0.0 are one tie
+        // group, exactly as `<=` would group them).
         let threshold = order[i].0;
         while i < order.len()
             && order[i].0.partial_cmp(&threshold) != Some(std::cmp::Ordering::Greater)

@@ -42,8 +42,15 @@ pub enum BehaviorClass {
 }
 
 impl BehaviorClass {
-    /// Whether the node's *service* is adversarial right now (after
-    /// `served` interactions as provider).
+    /// Whether the node's *service* is adversarial after `served`
+    /// interactions as provider — the interaction-count trigger only.
+    ///
+    /// A stateless class cannot see the clock, so this does **not**
+    /// apply the time-based traitor deadline
+    /// (`PopulationConfig::traitor_switch_deadline`). Whenever a
+    /// [`Population`] is available, ask [`Population::is_adversarial`]
+    /// instead — judging a traitor by served count alone is exactly the
+    /// stuck-traitor bug (never selected ⇒ never turns).
     pub fn is_adversarial_provider(self, served: u64) -> bool {
         match self {
             BehaviorClass::Honest | BehaviorClass::Selfish => false,
@@ -54,8 +61,11 @@ impl BehaviorClass {
         }
     }
 
-    /// Whether the node lies when rating (after `served` provider
-    /// interactions, relevant for traitors).
+    /// Whether the node lies when rating, by the interaction-count
+    /// trigger only (see [`BehaviorClass::is_adversarial_provider`] for
+    /// the caveat: [`Population::is_adversarial`] additionally applies
+    /// the time-based traitor deadline and is what the production
+    /// feedback path uses).
     pub fn lies_in_feedback(self, served: u64) -> bool {
         self.is_adversarial_provider(served)
     }
@@ -85,6 +95,14 @@ pub struct PopulationConfig {
     pub traitor: f64,
     /// Interactions a traitor serves honestly before switching.
     pub traitor_switch_after: u64,
+    /// Wall-clock betrayal deadline: a traitor also turns once the
+    /// population clock (see [`Population::advance_clock`]) reaches this
+    /// time, even if it was never selected as a provider. Without it, a
+    /// traitor that no consumer happens to pick keeps serving — and
+    /// rating — honestly forever, which silently understates the threat
+    /// in every sweep. `None` disables the time trigger (interaction
+    /// count only).
+    pub traitor_switch_deadline: Option<SimTime>,
     /// Fraction of whitewashers.
     pub whitewasher: f64,
     /// Fraction of colluders (split into rings of `ring_size`).
@@ -106,6 +124,7 @@ impl Default for PopulationConfig {
             selfish: 0.0,
             traitor: 0.0,
             traitor_switch_after: 20,
+            traitor_switch_deadline: None,
             whitewasher: 0.0,
             colluder: 0.0,
             ring_size: 5,
@@ -187,6 +206,9 @@ pub struct Population {
     base_quality: Vec<f64>,
     /// Interactions each node has served as provider.
     served: Vec<u64>,
+    /// Population clock, advanced by the experiment loop; drives the
+    /// time-based traitor betrayal trigger.
+    now: SimTime,
     config: PopulationConfig,
 }
 
@@ -243,8 +265,29 @@ impl Population {
             classes,
             base_quality,
             served: vec![0; n],
+            now: SimTime::ZERO,
             config,
         }
+    }
+
+    /// Advances the population clock (monotonically; earlier times are
+    /// ignored). Experiment loops call this once per round so the
+    /// time-based traitor trigger fires even for traitors that are never
+    /// selected as providers.
+    pub fn advance_clock(&mut self, now: SimTime) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    /// Whether the traitor in slot `i` has turned — by having served
+    /// enough interactions, or by the wall-clock deadline passing.
+    fn traitor_turned(&self, i: usize, switch_after: u64) -> bool {
+        self.served[i] >= switch_after
+            || self
+                .config
+                .traitor_switch_deadline
+                .is_some_and(|deadline| self.now >= deadline)
     }
 
     /// Number of nodes.
@@ -273,7 +316,7 @@ impl Population {
     pub fn true_quality(&self, node: NodeId) -> f64 {
         let i = node.index();
         match self.classes[i] {
-            BehaviorClass::Traitor { switch_after } if self.served[i] >= switch_after => {
+            BehaviorClass::Traitor { switch_after } if self.traitor_turned(i, switch_after) => {
                 self.config.adversarial_quality
             }
             _ => self.base_quality[i],
@@ -282,7 +325,11 @@ impl Population {
 
     /// Whether `node` is adversarial *as of now*.
     pub fn is_adversarial(&self, node: NodeId) -> bool {
-        self.classes[node.index()].is_adversarial_provider(self.served[node.index()])
+        let i = node.index();
+        match self.classes[i] {
+            BehaviorClass::Traitor { switch_after } => self.traitor_turned(i, switch_after),
+            class => class.is_adversarial_provider(self.served[i]),
+        }
     }
 
     /// Simulates one interaction where `provider` serves `consumer`.
@@ -292,15 +339,38 @@ impl Population {
         _consumer: NodeId,
         rng: &mut SimRng,
     ) -> InteractionOutcome {
-        let q = self.true_quality(provider);
+        let outcome = self.interact_frozen(provider, rng);
         self.served[provider.index()] += 1;
+        outcome
+    }
+
+    /// [`Population::interact`] against *frozen* state: the outcome draw
+    /// is identical draw-for-draw, but the provider's served counter is
+    /// not advanced. The sharded scenario engine interacts against a
+    /// round-start snapshot and merges the counters afterwards with
+    /// [`Population::note_served`], so outcomes cannot depend on which
+    /// shard executes first.
+    pub fn interact_frozen(&self, provider: NodeId, rng: &mut SimRng) -> InteractionOutcome {
+        let q = self.true_quality(provider);
         if rng.gen_bool(q) {
-            // Experienced quality jitters below the ceiling.
-            let quality = (q + rng.gen_normal(0.0, 0.05)).clamp(0.1, 1.0);
+            // Experienced quality jitters *below* the ceiling: the true
+            // quality is the best the provider delivers, so the draw is
+            // one-sided into [0, q]. (A symmetric draw clamped to
+            // [0.1, 1.0] used to exceed q half the time and floor bad
+            // providers at 0.1 — adversaries with true quality 0.1 had a
+            // reported mean *above* their ceiling, skewing every threat
+            // sweep.)
+            let quality = (q - rng.gen_normal(0.0, 0.05).abs()).max(0.0);
             InteractionOutcome::Success { quality }
         } else {
             InteractionOutcome::Failure
         }
+    }
+
+    /// Credits `provider` with `count` served interactions. The merge
+    /// half of [`Population::interact_frozen`].
+    pub fn note_served(&mut self, provider: NodeId, count: u64) {
+        self.served[provider.index()] += count;
     }
 
     /// Produces the feedback `rater` files about `ratee` after `actual`
@@ -325,7 +395,11 @@ impl Population {
                     _ => InteractionOutcome::Failure,
                 }
             }
-            _ if rater_class.lies_in_feedback(self.served[rater.index()]) => {
+            // Traitors lie once turned — by served count *or* by the
+            // clock (a traitor that is never selected as provider must
+            // still betray; `lies_in_feedback` alone would keep it
+            // truthful forever).
+            _ if self.is_adversarial(rater) => {
                 // Invert the truth.
                 match actual {
                     InteractionOutcome::Success { .. } => InteractionOutcome::Failure,
@@ -430,6 +504,89 @@ mod tests {
         }
         assert!(pop.is_adversarial(t));
         assert!(pop.true_quality(t) < q_before);
+    }
+
+    #[test]
+    fn never_selected_traitor_turns_by_deadline() {
+        // The stuck-traitor regression: a traitor that is never selected
+        // as provider (served stays 0) must still betray once the clock
+        // passes the deadline — both in service quality and in feedback.
+        let config = PopulationConfig {
+            traitor: 1.0,
+            traitor_switch_after: 5,
+            traitor_switch_deadline: Some(SimTime::from_secs(100)),
+            ..Default::default()
+        };
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut pop = Population::new(2, config, &mut rng);
+        let t = NodeId(0);
+        let actual = InteractionOutcome::Success { quality: 1.0 };
+        assert!(!pop.is_adversarial(t), "honest before the deadline");
+        assert_eq!(
+            pop.feedback(t, NodeId(1), actual, SimTime::ZERO, None)
+                .outcome,
+            actual,
+            "truthful before the deadline"
+        );
+        pop.advance_clock(SimTime::from_secs(100));
+        assert!(pop.is_adversarial(t), "turned with served == 0");
+        assert!(pop.true_quality(t) <= 0.2, "service quality collapses");
+        assert_eq!(
+            pop.feedback(t, NodeId(1), actual, SimTime::ZERO, None)
+                .outcome,
+            InteractionOutcome::Failure,
+            "a turned traitor lies even though it never served"
+        );
+        // The clock is monotone: a stale timestamp cannot un-turn it.
+        pop.advance_clock(SimTime::ZERO);
+        assert!(pop.is_adversarial(t));
+    }
+
+    #[test]
+    fn success_jitter_stays_below_true_quality() {
+        // The jitter contract: experienced quality never exceeds the
+        // provider's true quality ceiling and never goes negative — in
+        // particular an adversarial provider (ceiling 0.1) must not
+        // report a mean quality above 0.1.
+        let mut rng = SimRng::seed_from_u64(12);
+        let mut pop = Population::new(4, PopulationConfig::with_malicious(0.5), &mut rng);
+        for i in 0..4u32 {
+            let node = NodeId(i);
+            let ceiling = pop.true_quality(node);
+            for _ in 0..300 {
+                if let InteractionOutcome::Success { quality } =
+                    pop.interact(node, NodeId(0), &mut rng)
+                {
+                    assert!(
+                        (0.0..=ceiling).contains(&quality),
+                        "quality {quality} outside [0, {ceiling}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_interact_matches_interact_draw_for_draw() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut pop = Population::new(6, PopulationConfig::with_malicious(0.3), &mut rng);
+        let frozen = pop.clone();
+        let mut rng_a = SimRng::seed_from_u64(99);
+        let mut rng_b = SimRng::seed_from_u64(99);
+        for i in 0..6u32 {
+            let a = pop.interact(NodeId(i), NodeId(0), &mut rng_a);
+            let b = frozen.interact_frozen(NodeId(i), &mut rng_b);
+            assert_eq!(a, b);
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "same draw count");
+        }
+        // Merging the counters catches the frozen copy up.
+        let mut merged = frozen;
+        for i in 0..6u32 {
+            merged.note_served(NodeId(i), 1);
+        }
+        for i in 0..6 {
+            assert_eq!(merged.served[i], pop.served[i]);
+        }
     }
 
     #[test]

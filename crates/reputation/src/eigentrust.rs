@@ -28,7 +28,7 @@
 //! iteration order made low-order float bits vary between runs.
 
 use crate::gathering::ReportView;
-use crate::local_matrix::LocalMatrix;
+use crate::local_matrix::{LocalMatrix, UpsertMemo};
 use crate::mechanism::{MechanismKind, ReputationMechanism};
 use crate::walk::WalkMatrix;
 use tsn_simnet::NodeId;
@@ -233,6 +233,30 @@ impl EigenTrust {
             self.identified_reports as f64 / total as f64
         }
     }
+
+    fn record_memo(&mut self, report: &ReportView, memo: &mut UpsertMemo) {
+        let ratee = report.ratee.0;
+        debug_assert!((ratee as usize) < self.n, "ratee out of range");
+        match report.rater {
+            Some(rater) if rater != report.ratee => {
+                // s_ij += value for success, −1 for failure (paper: sat − unsat).
+                let delta = if report.success { report.value() } else { -1.0 };
+                let cell = self.local.upsert_memo(rater.0, ratee, memo);
+                cell.s += delta;
+                cell.value_sum += report.value();
+                cell.count += 1;
+                self.identified_reports += 1;
+            }
+            Some(_) => { /* self-rating is ignored */ }
+            None => {
+                let entry = &mut self.anon[ratee as usize];
+                entry.0 += report.value();
+                entry.1 += 1;
+                self.anonymous_reports += 1;
+            }
+        }
+        self.dirty = true;
+    }
 }
 
 impl ReputationMechanism for EigenTrust {
@@ -253,27 +277,19 @@ impl ReputationMechanism for EigenTrust {
     }
 
     fn record(&mut self, report: &ReportView) {
-        let ratee = report.ratee.0;
-        debug_assert!((ratee as usize) < self.n, "ratee out of range");
-        match report.rater {
-            Some(rater) if rater != report.ratee => {
-                // s_ij += value for success, −1 for failure (paper: sat − unsat).
-                let delta = if report.success { report.value() } else { -1.0 };
-                let cell = self.local.upsert(rater.0, ratee);
-                cell.s += delta;
-                cell.value_sum += report.value();
-                cell.count += 1;
-                self.identified_reports += 1;
-            }
-            Some(_) => { /* self-rating is ignored */ }
-            None => {
-                let entry = &mut self.anon[ratee as usize];
-                entry.0 += report.value();
-                entry.1 += 1;
-                self.anonymous_reports += 1;
-            }
+        self.record_memo(report, &mut UpsertMemo::default());
+    }
+
+    fn record_batch(&mut self, reports: &[ReportView]) {
+        // One memo across the batch: runs of identical (rater, ratee)
+        // keys — ballot-stuffed copies, shard outboxes in rater order —
+        // reuse the found cell instead of re-searching the row. The
+        // per-cell float adds are issued in the same order as looped
+        // `record` calls, so scores stay bit-identical.
+        let mut memo = UpsertMemo::default();
+        for report in reports {
+            self.record_memo(report, &mut memo);
         }
-        self.dirty = true;
     }
 
     fn refresh(&mut self) -> usize {

@@ -73,16 +73,45 @@ impl<C> LocalMatrix<C> {
 impl<C: Default> LocalMatrix<C> {
     /// The cell for `(rater, ratee)`, inserted at its sorted position if
     /// absent. O(log d) to find, O(d) to insert, for row degree `d`.
+    /// (Production record paths go through [`LocalMatrix::upsert_memo`];
+    /// this single-shot form remains as the reference for tests.)
+    #[cfg(test)]
     pub fn upsert(&mut self, rater: u32, ratee: u32) -> &mut C {
+        self.upsert_memo(rater, ratee, &mut UpsertMemo::default())
+    }
+
+    /// [`LocalMatrix::upsert`] through a caller-held memo: when the
+    /// `(rater, ratee)` key matches the memo (the previous upsert), the
+    /// cell position is reused without re-searching the row. Batched
+    /// merges — ballot-stuffed copies, shard outboxes drained in rater
+    /// order — are mostly such runs. The memo is invalidated on any key
+    /// change, so interleaved keys stay correct (just un-memoized).
+    pub fn upsert_memo(&mut self, rater: u32, ratee: u32, memo: &mut UpsertMemo) -> &mut C {
         let row = &mut self.rows[rater as usize];
-        match row.binary_search_by_key(&ratee, |&(j, _)| j) {
-            Ok(pos) => &mut row[pos].1,
+        if memo.key == Some((rater, ratee)) {
+            return &mut row[memo.pos].1;
+        }
+        let pos = match row.binary_search_by_key(&ratee, |&(j, _)| j) {
+            Ok(pos) => pos,
             Err(pos) => {
                 row.insert(pos, (ratee, C::default()));
-                &mut row[pos].1
+                pos
             }
-        }
+        };
+        *memo = UpsertMemo {
+            key: Some((rater, ratee)),
+            pos,
+        };
+        &mut row[pos].1
     }
+}
+
+/// One-cell memo for [`LocalMatrix::upsert_memo`]. A fresh (default)
+/// memo always misses, so `upsert` is the degenerate single-shot case.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UpsertMemo {
+    key: Option<(u32, u32)>,
+    pos: usize,
 }
 
 #[cfg(test)]
@@ -108,6 +137,33 @@ mod tests {
         *m.upsert(0, 3) += 1;
         let order: Vec<(u32, u32)> = m.iter().map(|(i, j, _)| (i, j)).collect();
         assert_eq!(order, vec![(0, 3), (0, 9), (2, 1)]);
+    }
+
+    #[test]
+    fn memoized_upsert_matches_plain_upsert() {
+        // Same key sequence through a memo and through plain upserts
+        // must produce identical matrices — runs, interleavings and
+        // memo-invalidating inserts included.
+        let keys = [
+            (1u32, 5u32),
+            (1, 5),
+            (1, 5),
+            (1, 2), // invalidates the memo, inserts before pos
+            (1, 5), // re-search after the shift
+            (0, 7),
+            (1, 5),
+        ];
+        let mut plain: LocalMatrix<u64> = LocalMatrix::new(3);
+        let mut memoized: LocalMatrix<u64> = LocalMatrix::new(3);
+        let mut memo = UpsertMemo::default();
+        for &(i, j) in &keys {
+            *plain.upsert(i, j) += 1;
+            *memoized.upsert_memo(i, j, &mut memo) += 1;
+        }
+        for row in 0..3 {
+            assert_eq!(plain.row(row), memoized.row(row));
+        }
+        assert_eq!(memoized.row(1), &[(2, 1), (5, 5)]);
     }
 
     #[test]

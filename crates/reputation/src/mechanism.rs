@@ -82,7 +82,12 @@ impl std::fmt::Display for MechanismKind {
 /// view may hide the rater identity or the outcome detail; mechanisms
 /// degrade gracefully (that degradation *is* the reputation/privacy
 /// trade-off the paper studies).
-pub trait ReputationMechanism: std::fmt::Debug {
+///
+/// Mechanisms are `Send + Sync`: the sharded scenario engine reads
+/// scores (`&self`) from several worker threads at once while all
+/// mutation (`record`, `refresh`) stays on the merge barrier's single
+/// thread. Implementations hold plain owned data, so this costs nothing.
+pub trait ReputationMechanism: std::fmt::Debug + Send + Sync {
     /// Identifies the mechanism in reports.
     fn kind(&self) -> MechanismKind;
 
@@ -91,6 +96,18 @@ pub trait ReputationMechanism: std::fmt::Debug {
 
     /// Ingests one feedback report view.
     fn record(&mut self, report: &ReportView);
+
+    /// Ingests a batch of report views, in order. Equivalent to calling
+    /// [`ReputationMechanism::record`] for each view (bit-identical
+    /// scores), but mechanisms backed by sorted sparse rows can exploit
+    /// run locality — consecutive reports from one rater about one ratee
+    /// (the ballot-stuffing shape, and the shape shard outboxes drain
+    /// in) hit the same cell without re-searching the row.
+    fn record_batch(&mut self, reports: &[ReportView]) {
+        for report in reports {
+            self.record(report);
+        }
+    }
 
     /// Recomputes global scores (may be a no-op for incremental
     /// mechanisms). Returns the number of internal iterations performed,
@@ -145,6 +162,9 @@ impl ReputationMechanism for Box<dyn ReputationMechanism> {
     }
     fn record(&mut self, report: &ReportView) {
         (**self).record(report);
+    }
+    fn record_batch(&mut self, reports: &[ReportView]) {
+        (**self).record_batch(reports);
     }
     fn refresh(&mut self) -> usize {
         (**self).refresh()

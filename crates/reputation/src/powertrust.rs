@@ -24,7 +24,7 @@
 //! deterministic (rater, ratee) order.
 
 use crate::gathering::ReportView;
-use crate::local_matrix::LocalMatrix;
+use crate::local_matrix::{LocalMatrix, UpsertMemo};
 use crate::mechanism::{MechanismKind, ReputationMechanism};
 use crate::walk::WalkMatrix;
 use tsn_simnet::NodeId;
@@ -240,6 +240,27 @@ impl PowerTrust {
             self.identified_reports as f64 / total as f64
         }
     }
+
+    fn record_memo(&mut self, report: &ReportView, memo: &mut UpsertMemo) {
+        let ratee = report.ratee.0;
+        debug_assert!((ratee as usize) < self.n, "ratee out of range");
+        match report.rater {
+            Some(rater) if rater != report.ratee => {
+                let cell = self.local.upsert_memo(rater.0, ratee, memo);
+                cell.sum += report.value();
+                cell.count += 1;
+                self.identified_reports += 1;
+            }
+            Some(_) => {}
+            None => {
+                let entry = &mut self.anon[ratee as usize];
+                entry.0 += report.value();
+                entry.1 += 1;
+                self.anonymous_reports += 1;
+            }
+        }
+        self.dirty = true;
+    }
 }
 
 impl ReputationMechanism for PowerTrust {
@@ -259,24 +280,16 @@ impl ReputationMechanism for PowerTrust {
     }
 
     fn record(&mut self, report: &ReportView) {
-        let ratee = report.ratee.0;
-        debug_assert!((ratee as usize) < self.n, "ratee out of range");
-        match report.rater {
-            Some(rater) if rater != report.ratee => {
-                let cell = self.local.upsert(rater.0, ratee);
-                cell.sum += report.value();
-                cell.count += 1;
-                self.identified_reports += 1;
-            }
-            Some(_) => {}
-            None => {
-                let entry = &mut self.anon[ratee as usize];
-                entry.0 += report.value();
-                entry.1 += 1;
-                self.anonymous_reports += 1;
-            }
+        self.record_memo(report, &mut UpsertMemo::default());
+    }
+
+    fn record_batch(&mut self, reports: &[ReportView]) {
+        // See EigenTrust::record_batch: one memo across the batch, same
+        // per-cell add order as looped `record`, bit-identical scores.
+        let mut memo = UpsertMemo::default();
+        for report in reports {
+            self.record_memo(report, &mut memo);
         }
-        self.dirty = true;
     }
 
     fn refresh(&mut self) -> usize {

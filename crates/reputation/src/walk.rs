@@ -106,21 +106,29 @@ impl WalkMatrix {
             next.fill(0.0);
             // tᵀ C  (walk forward along trust edges), rows ascending so
             // every slot accumulates its contributions in ascending
-            // rater order.
+            // rater order. Dangling raters only contribute their summed
+            // mass: accumulating it per-rater (ascending, like the
+            // edges) and scattering once keeps the iteration O(n + nnz)
+            // — the per-dangling-rater teleport scatter it replaces was
+            // O(dangling · n), which made sparse mega-scale refreshes
+            // (most nodes not yet raters) quadratic in the node count.
+            let mut dangling = 0.0;
             for (i, window) in row_ptr.windows(2).enumerate() {
                 let (row_start, row_end) = (window[0] as usize, window[1] as usize);
                 let ti = t[i];
                 if row_start == row_end {
-                    // Dangling rater: its mass teleports.
-                    for (next_k, &teleport_k) in next.iter_mut().zip(teleport) {
-                        *next_k += ti * teleport_k;
-                    }
+                    dangling += ti;
                 } else {
                     let row_cols = &cols[row_start..row_end];
                     let row_vals = &vals[row_start..row_end];
                     for (&j, &c) in row_cols.iter().zip(row_vals) {
                         next[j as usize] += ti * c;
                     }
+                }
+            }
+            if dangling != 0.0 {
+                for (next_k, &teleport_k) in next.iter_mut().zip(teleport) {
+                    *next_k += dangling * teleport_k;
                 }
             }
             let mut delta = 0.0;
@@ -156,9 +164,9 @@ mod tests {
         m
     }
 
-    /// A direct transcription of the original nested implementation,
-    /// kept as the reference the flat CSR engine must match
-    /// bit-for-bit.
+    /// A direct transcription of the nested implementation (with the
+    /// same summed-dangling-mass teleport the engine uses), kept as the
+    /// reference the flat CSR engine must match bit-for-bit.
     fn reference_stationary(
         n: usize,
         local: &LocalMatrix<f64>,
@@ -176,17 +184,21 @@ mod tests {
         for _ in 0..max_iterations {
             iterations += 1;
             let mut next = vec![0.0; n];
+            let mut dangling = 0.0;
             for i in 0..n {
                 if row_sum[i] == 0.0 {
-                    for (k, next_k) in next.iter_mut().enumerate() {
-                        *next_k += t[i] * teleport[k];
-                    }
+                    dangling += t[i];
                 } else {
                     for (j, w) in local.row(i) {
                         if *w > 0.0 {
                             next[*j as usize] += t[i] * (*w / row_sum[i]);
                         }
                     }
+                }
+            }
+            if dangling != 0.0 {
+                for (k, next_k) in next.iter_mut().enumerate() {
+                    *next_k += dangling * teleport[k];
                 }
             }
             for k in 0..n {
@@ -224,6 +236,28 @@ mod tests {
             assert_eq!(iters, expected_iters, "case {case}");
             assert_eq!(walk.solution(), &expected[..], "case {case}");
         }
+    }
+
+    #[test]
+    fn dangling_mass_teleports_to_hand_computed_values() {
+        // Independent of both the engine and the nested reference
+        // (which share the summed-dangling-mass formulation): one
+        // iteration against values computed by hand, all dyadic so the
+        // comparison is float-exact. n = 3; only node 0 has an outgoing
+        // edge (0 → 1, weight 1); nodes 1 and 2 dangle.
+        //
+        //   t = teleport = [1/2, 1/4, 1/4], damping 1/2
+        //   edges:    next  = [0, t₀, 0]              = [0, 1/2, 0]
+        //   dangling: D = t₁ + t₂ = 1/2; next += D·teleport
+        //                                           → [1/4, 5/8, 1/8]
+        //   damping:  next = 1/2·next + 1/2·teleport → [3/8, 7/16, 3/16]
+        let local = matrix(3, &[(0, 1, 1.0)]);
+        let mut walk = WalkMatrix::default();
+        walk.rebuild(3, &local, |&w| w, |_, _, _| {});
+        let teleport = [0.5, 0.25, 0.25];
+        let iters = walk.stationary(&teleport, 0.5, 1e-300, 1);
+        assert_eq!(iters, 1);
+        assert_eq!(walk.solution(), &[0.375, 0.4375, 0.1875]);
     }
 
     #[test]

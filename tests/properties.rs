@@ -407,3 +407,80 @@ fn retention_accounting_conserves() {
         assert!((0.0..=1.0).contains(&rate), "case {case}: rate {rate}");
     }
 }
+
+/// The O(n log n) balanced-detection-accuracy sweep is bit-identical to
+/// a naive O(n²) per-threshold rescan — on random inputs with heavy
+/// ties, signed zeros, infinities and NaN scores. (A NaN score can
+/// never satisfy `score <= threshold`, so NaN samples always count on
+/// the unflagged side — the reference spells that semantics out with
+/// plain comparisons.)
+#[test]
+fn detection_accuracy_matches_naive_rescan_with_nan_and_ties() {
+    use tsn::reputation::accuracy::balanced_detection_accuracy;
+
+    fn naive(scores: &[f64], adversarial: &[bool]) -> f64 {
+        let positives = adversarial.iter().filter(|&&a| a).count();
+        let negatives = adversarial.len() - positives;
+        if positives == 0 || negatives == 0 {
+            return 0.5;
+        }
+        let mut thresholds: Vec<f64> = scores.iter().copied().filter(|s| !s.is_nan()).collect();
+        thresholds.sort_by(f64::total_cmp);
+        thresholds.dedup_by(|a, b| a == b); // -0.0 == 0.0: one threshold
+        let mut best: f64 = 0.5;
+        for &t in &thresholds {
+            let tp = scores
+                .iter()
+                .zip(adversarial)
+                .filter(|&(s, &adv)| adv && *s <= t)
+                .count();
+            let tn = scores
+                .iter()
+                .zip(adversarial)
+                // "not flagged" = not (score <= t); spelled via
+                // partial_cmp so the NaN case (incomparable → not
+                // flagged) is explicit.
+                .filter(|&(s, &adv)| {
+                    !adv && !matches!(
+                        s.partial_cmp(&t),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    )
+                })
+                .count();
+            let bal = (tp as f64 / positives as f64 + tn as f64 / negatives as f64) / 2.0;
+            best = best.max(bal);
+        }
+        best
+    }
+
+    let mut rng = rng_for(17);
+    for case in 0..CASES {
+        let n = 2 + (case % 37);
+        let scores: Vec<f64> = (0..n)
+            .map(|_| match rng.gen_range(0..12u32) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => -0.0,
+                4 => 0.0,
+                // Coarse quantization forces heavy ties.
+                _ => (rng.gen_range(0..6u32) as f64) / 6.0,
+            })
+            .collect();
+        let adversarial: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.35)).collect();
+        let fast = balanced_detection_accuracy(&scores, &adversarial);
+        let slow = naive(&scores, &adversarial);
+        assert_eq!(
+            fast.to_bits(),
+            slow.to_bits(),
+            "case {case}: scores {scores:?} adversarial {adversarial:?}"
+        );
+        assert!((0.5..=1.0).contains(&fast), "case {case}: {fast}");
+    }
+
+    // All-NaN scores: no thresholds at all, chance accuracy.
+    assert_eq!(
+        balanced_detection_accuracy(&[f64::NAN, f64::NAN], &[true, false]),
+        0.5
+    );
+}
