@@ -1,0 +1,202 @@
+//! Bench: the online TrustService on the 10k-node lane.
+//!
+//! Run: `cargo bench -p tsn-bench --bench service`
+//! Emits `BENCH_service.json`; `BENCH_CHECK=1` gates against the
+//! committed baseline.
+//!
+//! Three lanes:
+//!
+//! * `epoch_commit/delta_path` vs `epoch_commit/full_rebuild` — the
+//!   tentpole claim. The delta path applies one epoch's events to the
+//!   resident mechanism (in-place CSR upserts + warm refresh); the
+//!   rebuild baseline is what a naive service does instead — replay
+//!   the whole event history into a fresh mechanism every epoch. At a
+//!   10-epoch history the delta path must be ≥2× faster, and the gap
+//!   widens linearly with service age.
+//! * `query/trust_committed` — queries/second against the committed
+//!   state (the read path never touches staging).
+//! * `ingest_visible/p95` — wall-clock from an `ingest` call to the
+//!   commit that makes it queryable, measured per event across one
+//!   epoch and reported as a hand-built percentile result.
+
+use std::time::{Duration, Instant};
+use tsn_bench::harness::{Bench, BenchResult, BenchSuite};
+use tsn_reputation::{build_mechanism, DisclosurePolicy, FeedbackReport, ReputationMechanism};
+use tsn_service::{
+    DriverConfig, ServiceConfig, ServiceDriver, ServiceEvent, ServiceOp, TrustService,
+};
+use tsn_simnet::{NodeId, SimDuration};
+
+const NODES: usize = 10_000;
+const WARM_EPOCHS: u64 = 10;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        nodes: NODES,
+        epoch: SimDuration::from_secs(60),
+        ..ServiceConfig::default()
+    }
+}
+
+fn driver() -> ServiceDriver {
+    ServiceDriver::new(DriverConfig {
+        nodes: NODES,
+        arrival_rate: 6.0,
+        disclosure_rate: 0.1,
+        query_rate: 0.0, // reads are benched separately
+        malicious_fraction: 0.1,
+        seed: 4242,
+    })
+    .expect("valid workload")
+}
+
+/// The interaction views of one epoch, in the driver's arrival order.
+fn epoch_views(
+    driver: &ServiceDriver,
+    service: &TrustService,
+    policy: &DisclosurePolicy,
+    epoch: u64,
+) -> Vec<tsn_reputation::ReportView> {
+    driver
+        .ops_for_epoch(service, epoch)
+        .iter()
+        .filter_map(|op| match *op {
+            ServiceOp::Ingest(ServiceEvent::Interaction {
+                rater,
+                ratee,
+                outcome,
+                at,
+            }) => Some(policy.view(&FeedbackReport {
+                rater,
+                ratee,
+                outcome,
+                topic: None,
+                at,
+            })),
+            _ => None,
+        })
+        .collect()
+}
+
+fn main() {
+    let mut suite = BenchSuite::new(
+        "service",
+        "nodes=10000 epoch=60s arrivals=6.0 seed=4242 warm_epochs=10 samples=5",
+    );
+    let driver = driver();
+    let policy = DisclosurePolicy::ladder(service_config().disclosure_level);
+
+    // ── Lane 1: delta commit vs full rebuild ────────────────────────
+    // Warm a service to depth WARM_EPOCHS, then time additional epoch
+    // commits on the live instance (the delta path: record_batch of
+    // *new* events + warm refresh).
+    let mut service = TrustService::new(service_config()).expect("valid config");
+    driver
+        .drive(&mut service, WARM_EPOCHS)
+        .expect("clean warm-up");
+    let bench = Bench::new("epoch_commit").samples(5).warmup(1);
+    // Pre-generate the sampled epochs' timelines: workload generation
+    // is the driver's cost, not the service's.
+    let sampled: Vec<Vec<ServiceOp>> = (0..8)
+        .map(|i| driver.ops_for_epoch(&service, WARM_EPOCHS + i))
+        .collect();
+    let delta = {
+        let mut call = 0usize;
+        let result = bench.run("delta_path", || {
+            let ops = &sampled[call];
+            call += 1;
+            service.apply_all(ops).expect("clean apply");
+            service.finish_epoch().expect("clean finish");
+            service.epoch_index()
+        });
+        suite.record(result).clone()
+    };
+
+    // The naive baseline at the same depth: every epoch replays the
+    // full history into a fresh mechanism. History = the warm epochs'
+    // events (what the delta side had already absorbed when sampling
+    // started).
+    let probe = TrustService::new(service_config()).expect("valid config");
+    let mut history: Vec<_> = Vec::new();
+    for epoch in 0..WARM_EPOCHS {
+        history.extend(epoch_views(&driver, &probe, &policy, epoch));
+    }
+    let rebuild = {
+        let result = bench.run("full_rebuild", || {
+            let mut m = build_mechanism(service_config().mechanism, NODES);
+            m.record_batch(&history);
+            m.refresh();
+            m.len()
+        });
+        suite.record(result).clone()
+    };
+    let speedup = rebuild.median.as_secs_f64() / delta.median.as_secs_f64();
+    println!(
+        "delta path vs full rebuild at depth {WARM_EPOCHS}: {speedup:.2}x \
+         ({:?} vs {:?} per epoch)",
+        delta.median, rebuild.median
+    );
+    assert!(
+        speedup >= 2.0,
+        "delta path must be >=2x faster than a full rebuild, got {speedup:.2}x"
+    );
+
+    // ── Lane 2: queries/second on committed state ───────────────────
+    let queries_per_call: u64 = 100_000;
+    let at = service.now();
+    let result = Bench::new("query").samples(5).warmup(1).run_items(
+        "trust_committed",
+        queries_per_call,
+        || {
+            let mut acc = 0.0f64;
+            for i in 0..queries_per_call {
+                let node = NodeId((i % NODES as u64) as u32);
+                acc += service.query_trust(node, at).expect("valid query").score;
+            }
+            acc
+        },
+    );
+    println!(
+        "committed trust queries: {:.0}/s",
+        result.throughput_per_sec()
+    );
+    suite.record(result);
+
+    // ── Lane 3: p95 ingest→visible wall-clock latency ───────────────
+    // For every event of one epoch: stamp the ingest call, collect the
+    // elapsed time at the commit that makes the epoch queryable. The
+    // distribution is dominated by the remaining batch work between an
+    // event's arrival and its boundary — exactly the latency a client
+    // observes under epoch-committed visibility.
+    let ops = driver.ops_for_epoch(&service, service.epoch_index());
+    let mut stamps: Vec<Instant> = Vec::with_capacity(ops.len());
+    for op in &ops {
+        if let ServiceOp::Ingest(event) = op {
+            stamps.push(Instant::now());
+            service.ingest(*event).expect("clean ingest");
+        }
+    }
+    service.finish_epoch().expect("clean finish");
+    let visible_at = Instant::now();
+    let mut latencies: Vec<Duration> = stamps.iter().map(|s| visible_at - *s).collect();
+    latencies.sort_unstable();
+    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    let p95 = BenchResult {
+        name: "ingest_visible/p95".into(),
+        median: pick(0.5),
+        p95: pick(0.95),
+        min: latencies[0],
+        max: *latencies.last().expect("non-empty epoch"),
+        samples: latencies.len() as u32,
+        items: None,
+    };
+    println!(
+        "ingest->visible latency over {} events: median {:?}, p95 {:?}",
+        latencies.len(),
+        p95.median,
+        p95.p95
+    );
+    suite.record(p95);
+
+    suite.finish();
+}

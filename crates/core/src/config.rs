@@ -106,7 +106,7 @@ pub struct ScenarioConfig {
     /// bit-identical.
     pub dynamics: Option<DynamicsPlan>,
     /// Weight of the *consumer-role* satisfaction in a user's overall
-    /// satisfaction; the rest is the provider-role satisfaction (ref [17]
+    /// satisfaction; the rest is the provider-role satisfaction (ref \[17\]
     /// models participants in both roles). Must be in `[0, 1]`.
     pub consumer_role_weight: f64,
     /// Ballot-stuffing amplification: when the rater identity is *not*

@@ -45,6 +45,7 @@ pub mod dynamics;
 pub mod facets;
 pub mod json;
 pub mod optimizer;
+pub mod prelude;
 pub mod report;
 pub mod runner;
 pub mod scenario;

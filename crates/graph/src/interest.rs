@@ -1,6 +1,6 @@
 //! User interest profiles.
 //!
-//! The satisfaction model (ref [17] of the paper) needs each participant to
+//! The satisfaction model (ref \[17\] of the paper) needs each participant to
 //! have *intentions*: which content, services or partners they prefer.
 //! Interest profiles give those preferences a concrete, measurable form: a
 //! point on the simplex over `k` topics. Content items carry a topic
@@ -98,7 +98,7 @@ impl InterestProfile {
     }
 
     /// Cosine similarity with another profile in the same space, in
-    /// `[0, 1]` because weights are non-negative.
+    /// `\[0, 1\]` because weights are non-negative.
     ///
     /// # Panics
     ///

@@ -1,4 +1,4 @@
-//! The PriServ-like access-decision engine (paper ref [12]).
+//! The PriServ-like access-decision engine (paper ref \[12\]).
 //!
 //! PriServ exposes *publish* / *request* functions that honour the data
 //! owner's PPs — in particular access purpose, operations and authorized
@@ -82,7 +82,7 @@ pub struct RequestContext {
     /// Social-graph distance between requester and owner (`None` =
     /// unreachable).
     pub social_distance: Option<u32>,
-    /// The owner's trust toward the requester, in `[0, 1]`.
+    /// The owner's trust toward the requester, in `\[0, 1\]`.
     pub requester_trust: f64,
 }
 

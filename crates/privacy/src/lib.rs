@@ -3,11 +3,11 @@
 //! The privacy facet of the `tsn` reproduction. The paper (Section 2.3)
 //! grounds privacy in three sources, all implemented here:
 //!
-//! * **Privacy policies** ([`policy`]) in the style of P3P (ref [9]) and
-//!   PriServ (ref [12]): authorized users, allowed operations, access
+//! * **Privacy policies** ([`policy`]) in the style of P3P (ref \[9\]) and
+//!   PriServ (ref \[12\]): authorized users, allowed operations, access
 //!   purposes, access conditions, retention time, obligations and the
 //!   *minimal trust level* required for access;
-//! * **The OECD guidelines** (ref [16]; [`oecd`]): an auditable checklist
+//! * **The OECD guidelines** (ref \[16\]; [`oecd`]): an auditable checklist
 //!   of the eight principles (collection limitation, purpose
 //!   specification, use limitation, data quality, security safeguards,
 //!   openness, individual participation, accountability) evaluated

@@ -1,9 +1,9 @@
-//! The OECD privacy-guideline audit (paper ref [16]).
+//! The OECD privacy-guideline audit (paper ref \[16\]).
 //!
 //! The paper lists the eight OECD principles a system "should consider".
 //! [`OecdAudit`] evaluates a [`SystemPrivacyProfile`] — a structural
 //! description of how a configuration handles personal data — against
-//! each principle, yielding a per-principle score and an overall `[0, 1]`
+//! each principle, yielding a per-principle score and an overall `\[0, 1\]`
 //! audit score that feeds the privacy facet.
 
 use std::fmt;
@@ -60,7 +60,7 @@ impl fmt::Display for OecdPrinciple {
 }
 
 /// Structural facts about how a system configuration treats personal
-/// data; the audit's input. All fractions/levels are in `[0, 1]`.
+/// data; the audit's input. All fractions/levels are in `\[0, 1\]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemPrivacyProfile {
     /// Fraction of *potentially collectable* fields the system actually
@@ -147,7 +147,7 @@ impl OecdAudit {
         OecdAudit { scores }
     }
 
-    /// Score of one principle, in `[0, 1]`.
+    /// Score of one principle, in `\[0, 1\]`.
     pub fn score(&self, principle: OecdPrinciple) -> f64 {
         self.scores
             .iter()

@@ -1,4 +1,4 @@
-//! Privacy policies, after P3P (paper ref [9]) and PriServ (ref [12]).
+//! Privacy policies, after P3P (paper ref \[9\]) and PriServ (ref \[12\]).
 //!
 //! The paper, Section 2.3: *"we consider that PPs should consider
 //! authorized users, allowed operations, access purposes, access
@@ -38,7 +38,7 @@ impl DataCategory {
         DataCategory::Location,
     ];
 
-    /// Relative sensitivity in `[0, 1]` used for exposure weighting.
+    /// Relative sensitivity in `\[0, 1\]` used for exposure weighting.
     pub fn sensitivity(self) -> f64 {
         match self {
             DataCategory::Profile => 0.3,
@@ -118,7 +118,7 @@ pub enum Obligation {
 /// Policy construction errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PolicyError {
-    /// Minimal trust level outside `[0, 1]`.
+    /// Minimal trust level outside `\[0, 1\]`.
     InvalidTrustLevel,
     /// Retention of zero duration with a delete obligation is
     /// contradictory.
@@ -217,7 +217,7 @@ impl PrivacyPolicy {
             .expect("strict policy is valid")
     }
 
-    /// Strictness score in `[0, 1]`: how much this policy restricts,
+    /// Strictness score in `\[0, 1\]`: how much this policy restricts,
     /// relative to the permissive baseline. Used by the exposure model.
     pub fn strictness(&self) -> f64 {
         let user_term = match &self.authorized_users {
@@ -297,7 +297,7 @@ impl PrivacyPolicyBuilder {
         self
     }
 
-    /// Sets the minimal trust level in `[0, 1]`.
+    /// Sets the minimal trust level in `\[0, 1\]`.
     pub fn min_trust_level(mut self, level: f64) -> Self {
         self.min_trust_level = level;
         self
@@ -308,7 +308,7 @@ impl PrivacyPolicyBuilder {
     /// # Errors
     ///
     /// Returns [`PolicyError::InvalidTrustLevel`] when the trust level is
-    /// outside `[0, 1]`, and [`PolicyError::ContradictoryRetention`] when
+    /// outside `\[0, 1\]`, and [`PolicyError::ContradictoryRetention`] when
     /// a delete obligation is combined with zero retention.
     pub fn build(self) -> Result<PrivacyPolicy, PolicyError> {
         if !(0.0..=1.0).contains(&self.min_trust_level) {

@@ -11,7 +11,7 @@
 //! into a resident scratch vector (never re-allocated per round), sends
 //! are staged in a resident outbox, and every consumed record payload
 //! returns its field buffer to the network's
-//! [`BufferPool`](tsn_simnet::BufferPool) for the next sender.
+//! [`BufferPool`] for the next sender.
 
 use tsn_simnet::{
     BufferPool, DynamicsEvent, DynamicsRuntime, Envelope, Network, NodeId, Payload, SimDuration,

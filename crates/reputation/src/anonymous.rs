@@ -1,4 +1,4 @@
-//! Anonymity-preserving feedback wrappers (paper refs [2], [4]).
+//! Anonymity-preserving feedback wrappers (paper refs \[2\], \[4\]).
 //!
 //! Androulaki et al. and Bethencourt et al. show reputation can work over
 //! anonymous reports at some accuracy cost. [`Anonymized`] wraps any

@@ -1,5 +1,5 @@
 //! Adversary models — the behaviour vocabulary of Marti & Garcia-Molina's
-//! taxonomy (paper ref [15]) used across every experiment.
+//! taxonomy (paper ref \[15\]) used across every experiment.
 //!
 //! A [`Population`] assigns each node a [`BehaviorClass`] and a
 //! ground-truth service quality; it answers the two questions every

@@ -141,6 +141,33 @@ impl ReputationMechanism for BetaReputation {
         // Purely local gossip of one report.
         1
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // Evolving state is exactly the two pseudo-count vectors; aging
+        // and credibility weighting are construction-time configuration
+        // (see the trait's restore contract).
+        let mut w = tsn_simnet::ByteWriter::new();
+        w.put_u64(self.pos.len() as u64);
+        for &x in self.pos.iter().chain(self.neg.iter()) {
+            w.put_f64(x);
+        }
+        Some(w.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = tsn_simnet::ByteReader::new(bytes);
+        let n = r.take_seq_len(16)?;
+        if n != self.pos.len() {
+            return Err(format!(
+                "Beta snapshot is for {n} nodes, instance has {}",
+                self.pos.len()
+            ));
+        }
+        for x in self.pos.iter_mut().chain(self.neg.iter_mut()) {
+            *x = r.take_f64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! EigenTrust (Kamvar, Schlosser, Garcia-Molina — WWW 2003), the paper's
-//! reference [13].
+//! reference \[13\].
 //!
 //! Each peer `i` accumulates a local trust value `s_ij` for every partner
 //! `j` (satisfactory minus unsatisfactory transactions). Normalized local
@@ -19,7 +19,7 @@
 //! identities therefore smoothly reduces EigenTrust toward a plain mean —
 //! precisely the reputation-power loss the paper's Figure 2 plots.
 //!
-//! **Performance.** The local-trust matrix is a [`LocalMatrix`]: a
+//! **Performance.** The local-trust matrix is a `LocalMatrix`: a
 //! CSR-style adjacency `record()` updates in place, iterated in
 //! deterministic (rater, ratee) order. `power_iterate` reuses the row
 //! storage and ping-pongs two resident `t`/`next` buffers, so a refresh
@@ -150,7 +150,7 @@ impl EigenTrust {
     }
 
     /// The raw global trust distribution (sums to 1). Prefer
-    /// [`ReputationMechanism::score`] for `[0, 1]`-comparable values.
+    /// [`ReputationMechanism::score`] for `\[0, 1\]`-comparable values.
     pub fn global_trust(&mut self) -> &[f64] {
         if self.dirty {
             self.power_iterate();
@@ -321,6 +321,87 @@ impl ReputationMechanism for EigenTrust {
         // Distributed EigenTrust: report to the ratee's score managers
         // (CAN-based DHT, typically a handful of replicas).
         3
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // Layout: n, then the sparse local rows (len + ratee/s/value_sum/
+        // count per cell, ascending ratee), the anonymous pools, the
+        // identified/anonymous counters, and the score caches (`global`,
+        // `opinion`, `dirty`, `last_iterations`). The caches matter:
+        // `score` reads them without refreshing, so a restore that
+        // dropped them would answer queries differently than the
+        // snapshotted instance until the next refresh. `prior` is
+        // derived from configuration and `walk`/`opinion_src` are
+        // rebuilt wholesale by `power_iterate`, so none of them travel.
+        let mut w = tsn_simnet::ByteWriter::new();
+        w.put_u64(self.n as u64);
+        for i in 0..self.n {
+            let row = self.local.row(i);
+            w.put_u64(row.len() as u64);
+            for &(j, cell) in row {
+                w.put_u32(j);
+                w.put_f64(cell.s);
+                w.put_f64(cell.value_sum);
+                w.put_u64(cell.count);
+            }
+        }
+        for &(sum, count) in &self.anon {
+            w.put_f64(sum);
+            w.put_u64(count);
+        }
+        w.put_u64(self.identified_reports);
+        w.put_u64(self.anonymous_reports);
+        for &g in &self.global {
+            w.put_f64(g);
+        }
+        for &(weighted, weight) in &self.opinion {
+            w.put_f64(weighted);
+            w.put_f64(weight);
+        }
+        w.put_u8(self.dirty as u8);
+        w.put_u64(self.last_iterations as u64);
+        Some(w.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = tsn_simnet::ByteReader::new(bytes);
+        let n = r.take_u64()? as usize;
+        if n != self.n {
+            return Err(format!(
+                "EigenTrust snapshot is for {n} nodes, instance has {}",
+                self.n
+            ));
+        }
+        let mut local: LocalMatrix<LocalCell> = LocalMatrix::new(n);
+        let mut memo = UpsertMemo::default();
+        for i in 0..n {
+            let len = r.take_seq_len(28)?;
+            for _ in 0..len {
+                let j = r.take_u32()?;
+                if j as usize >= n {
+                    return Err(format!("snapshot cell ratee {j} out of range (n = {n})"));
+                }
+                let cell = local.upsert_memo(i as u32, j, &mut memo);
+                cell.s = r.take_f64()?;
+                cell.value_sum = r.take_f64()?;
+                cell.count = r.take_u64()?;
+            }
+        }
+        for slot in self.anon.iter_mut() {
+            *slot = (r.take_f64()?, r.take_u64()?);
+        }
+        self.identified_reports = r.take_u64()?;
+        self.anonymous_reports = r.take_u64()?;
+        for g in self.global.iter_mut() {
+            *g = r.take_f64()?;
+        }
+        for slot in self.opinion.iter_mut() {
+            *slot = (r.take_f64()?, r.take_f64()?);
+        }
+        self.dirty = r.take_u8()? != 0;
+        self.last_iterations = r.take_u64()? as usize;
+        self.local = local;
+        Ok(())
     }
 }
 
@@ -569,6 +650,54 @@ mod tests {
                 "node {i}"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_bit_identical() {
+        let mut a = EigenTrust::new(25, EigenTrustConfig::default());
+        random_feed(&mut a, 25, 500, 3);
+        a.refresh();
+        // Leave the instance mid-stream (dirty, unrefreshed tail) so the
+        // snapshot covers cache + pending state, not just a clean point.
+        random_feed(&mut a, 25, 100, 4);
+        let snap = a.snapshot_state().expect("eigentrust supports snapshots");
+
+        let mut b = EigenTrust::new(25, EigenTrustConfig::default());
+        b.restore_state(&snap).expect("round trip");
+        for i in 0..25 {
+            assert_eq!(
+                a.score(NodeId(i)).to_bits(),
+                b.score(NodeId(i)).to_bits(),
+                "restored scores must match before any refresh (node {i})"
+            );
+        }
+
+        // Continuing both instances identically stays bit-identical.
+        random_feed(&mut a, 25, 200, 5);
+        random_feed(&mut b, 25, 200, 5);
+        a.refresh();
+        b.refresh();
+        assert_eq!(a.global_trust(), b.global_trust());
+        for i in 0..25 {
+            assert_eq!(a.score(NodeId(i)).to_bits(), b.score(NodeId(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_bad_input() {
+        let mut a = EigenTrust::new(8, EigenTrustConfig::default());
+        random_feed(&mut a, 8, 50, 6);
+        let snap = a.snapshot_state().unwrap();
+        let mut wrong_size = EigenTrust::new(4, EigenTrustConfig::default());
+        assert!(
+            wrong_size.restore_state(&snap).is_err(),
+            "population mismatch"
+        );
+        let mut same = EigenTrust::new(8, EigenTrustConfig::default());
+        assert!(
+            same.restore_state(&snap[..snap.len() / 2]).is_err(),
+            "truncated"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Implements the *reputation* facet of the `tsn` reproduction, structured
 //! after the three basic blocks of Marti & Garcia-Molina's taxonomy
-//! (the paper's ref [15]):
+//! (the paper's ref \[15\]):
 //!
 //! 1. **Information gathering** — [`gathering`]: feedback reports, and the
 //!    *disclosure policy* deciding which report fields (rater identity,
@@ -11,10 +11,10 @@
 //! 2. **Scoring and ranking** — [`mechanism`] defines the common
 //!    [`ReputationMechanism`] trait; four mechanisms from the paper's
 //!    bibliography are implemented from their original descriptions:
-//!    [`eigentrust`] (ref [13]), [`beta`] (the classic Bayesian baseline),
-//!    [`powertrust`] (ref [24]) and [`trustme`] (ref [20], anonymous
+//!    [`eigentrust`] (ref \[13\]), [`beta`] (the classic Bayesian baseline),
+//!    [`powertrust`] (ref \[24\]) and [`trustme`] (ref \[20\], anonymous
 //!    trust-holders). [`anonymous`] wraps any mechanism with
-//!    anonymization (refs [2], [4]).
+//!    anonymization (refs \[2\], \[4\]).
 //! 3. **Response** — [`response`]: partner-selection policies that act on
 //!    scores.
 //!
@@ -47,7 +47,7 @@ pub use attack::{BehaviorClass, Population, PopulationConfig};
 pub use beta::BetaReputation;
 pub use eigentrust::{EigenTrust, EigenTrustConfig};
 pub use gathering::{DisclosureField, DisclosurePolicy, FeedbackReport, ReportView};
-pub use mechanism::{InteractionOutcome, MechanismKind, ReputationMechanism};
+pub use mechanism::{build_mechanism, InteractionOutcome, MechanismKind, ReputationMechanism};
 pub use powertrust::{PowerTrust, PowerTrustConfig};
 pub use response::{SelectionPolicy, SelectionScratch};
 pub use testbed::{Testbed, TestbedConfig, TestbedSummary};

@@ -151,6 +151,37 @@ pub trait ReputationMechanism: std::fmt::Debug + Send + Sync {
     fn overhead_per_report(&self) -> usize {
         0
     }
+
+    /// Serializes the mechanism's evolving state (accumulated evidence,
+    /// cached score vectors) into a self-contained byte blob, or `None`
+    /// if the mechanism does not support checkpointing.
+    ///
+    /// Configuration is *not* part of the snapshot: the contract is that
+    /// [`ReputationMechanism::restore_state`] is called on an instance
+    /// constructed with identical parameters (the checkpoint envelope —
+    /// e.g. the `tsn-service` checkpoint — records those parameters and
+    /// rebuilds the instance before restoring). Within that contract the
+    /// round trip is bit-identical: every `f64` travels as its IEEE-754
+    /// bit pattern, so a restored mechanism scores exactly like the
+    /// snapshotted one, down to the last bit.
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`ReputationMechanism::snapshot_state`]
+    /// onto an identically configured instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch for unsupported mechanisms,
+    /// truncated/corrupt input, or a snapshot taken at a different
+    /// population size.
+    fn restore_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!(
+            "mechanism '{}' does not support state restore",
+            self.kind()
+        ))
+    }
 }
 
 impl ReputationMechanism for Box<dyn ReputationMechanism> {
@@ -177,6 +208,12 @@ impl ReputationMechanism for Box<dyn ReputationMechanism> {
     }
     fn overhead_per_report(&self) -> usize {
         (**self).overhead_per_report()
+    }
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        (**self).snapshot_state()
+    }
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        (**self).restore_state(bytes)
     }
 }
 
@@ -216,6 +253,26 @@ impl ReputationMechanism for NoReputation {
 
     fn len(&self) -> usize {
         self.n
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        // Stateless beyond the population size; the snapshot still
+        // exists so service checkpoints work with the baseline.
+        let mut w = tsn_simnet::ByteWriter::new();
+        w.put_u64(self.n as u64);
+        Some(w.finish())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = tsn_simnet::ByteReader::new(bytes);
+        let n = r.take_u64()? as usize;
+        if n != self.n {
+            return Err(format!(
+                "NoReputation snapshot is for {n} nodes, instance has {}",
+                self.n
+            ));
+        }
+        Ok(())
     }
 }
 

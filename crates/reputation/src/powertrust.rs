@@ -1,4 +1,4 @@
-//! PowerTrust (Zhou & Hwang — IEEE TPDS 2007), the paper's ref [24].
+//! PowerTrust (Zhou & Hwang — IEEE TPDS 2007), the paper's ref \[24\].
 //!
 //! PowerTrust observes that feedback in real P2P systems follows a
 //! power law, and exploits it: a small set of *power nodes* — the most
@@ -17,8 +17,8 @@
 //! the same way as [`crate::eigentrust`].
 //!
 //! **Performance.** Like EigenTrust, the local-trust matrix is a
-//! [`LocalMatrix`] updated in place by `record`; both walk passes run on
-//! the shared [`WalkMatrix`] engine (flat normalized matrix rebuilt once
+//! `LocalMatrix` updated in place by `record`; both walk passes run on
+//! the shared `WalkMatrix` engine (flat normalized matrix rebuilt once
 //! per refresh, resident `t`/`next` ping-pong buffers), so a refresh
 //! performs no steady-state allocation and accumulates floats in a
 //! deterministic (rater, ratee) order.

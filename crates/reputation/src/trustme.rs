@@ -1,5 +1,5 @@
 //! TrustMe-style anonymous trust management (Singh & Liu — P2P 2003),
-//! the paper's ref [20].
+//! the paper's ref \[20\].
 //!
 //! TrustMe decouples *who stores a trust value* from *whom it is about*:
 //! each peer's reputation lives at `k` randomly assigned, mutually unknown

@@ -1,6 +1,6 @@
 //! Adequacy: how well one interaction matched a participant's intentions.
 //!
-//! Ref [17] defines adequacy as the instantaneous match between what the
+//! Ref \[17\] defines adequacy as the instantaneous match between what the
 //! system did and what the participant intended; satisfaction then
 //! averages adequacy over the long run. Our adequacy combines the three
 //! aspects the paper's three facets make observable per interaction.
@@ -14,7 +14,7 @@ use tsn_simnet::NodeId;
 pub struct InteractionAspects {
     /// The provider the system allocated.
     pub provider: NodeId,
-    /// Outcome quality in `[0, 1]` (0 = failure).
+    /// Outcome quality in `\[0, 1\]` (0 = failure).
     pub outcome_quality: f64,
     /// Whether the consumer's privacy policy was respected during the
     /// interaction (data flows stayed compliant).
@@ -65,7 +65,7 @@ impl AdequacyModel {
         Ok(())
     }
 
-    /// Adequacy of one interaction to `intentions`, in `[0, 1]`.
+    /// Adequacy of one interaction to `intentions`, in `\[0, 1\]`.
     ///
     /// * Outcome: quality relative to the consumer's expectation (meeting
     ///   the expectation scores 1; a shortfall scores proportionally).

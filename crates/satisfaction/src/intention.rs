@@ -1,6 +1,6 @@
 //! Participant intentions: what each user wants from the system.
 //!
-//! Ref [17] characterizes autonomous participants by their *intentions*.
+//! Ref \[17\] characterizes autonomous participants by their *intentions*.
 //! In a social network the two roles are:
 //!
 //! * **consumers** — want content/services from providers they prefer
@@ -29,7 +29,7 @@ impl ConsumerIntentions {
     ///
     /// # Errors
     ///
-    /// Returns a message when a field is out of `[0, 1]`.
+    /// Returns a message when a field is out of `\[0, 1\]`.
     pub fn new(
         preferred_providers: impl IntoIterator<Item = NodeId>,
         quality_expectation: f64,
@@ -54,9 +54,9 @@ impl ConsumerIntentions {
         self.preferred_providers.is_empty() || self.preferred_providers.contains(&provider)
     }
 
-    /// Preference match in `[0, 1]`: 1 for an intended provider, a
+    /// Preference match in `\[0, 1\]`: 1 for an intended provider, a
     /// configurable floor otherwise (the system *imposed* a partner; ref
-    /// [17] stresses this is tolerable occasionally).
+    /// \[17\] stresses this is tolerable occasionally).
     pub fn preference_match(&self, provider: NodeId) -> f64 {
         if self.intends(provider) {
             1.0

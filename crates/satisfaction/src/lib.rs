@@ -4,7 +4,7 @@
 //! the model the paper adopts (Section 2.1): the adequacy / satisfaction /
 //! allocation-satisfaction framework of Quiané-Ruiz, Lamarre & Valduriez
 //! ("A Self-Adaptable Query Allocation Framework for Distributed
-//! Information Systems", VLDB J. 18(3), 2009 — the paper's ref [17]).
+//! Information Systems", VLDB J. 18(3), 2009 — the paper's ref \[17\]).
 //!
 //! The key ideas, as the paper summarizes them:
 //!

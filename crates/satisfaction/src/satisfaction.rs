@@ -1,8 +1,8 @@
-//! Long-run satisfaction and allocation satisfaction (ref [17]).
+//! Long-run satisfaction and allocation satisfaction (ref \[17\]).
 
 /// Long-run satisfaction: an exponentially weighted average of adequacy.
 ///
-/// Ref [17]'s satisfaction is "a long run notion evaluating the capacity
+/// Ref \[17\]'s satisfaction is "a long run notion evaluating the capacity
 /// of the system to follow the intentions of each participant". The EWMA
 /// keeps it long-run (one bad interaction moves it by at most
 /// `learning_rate`) while staying responsive to sustained change.
@@ -46,14 +46,14 @@ impl SatisfactionTracker {
     ///
     /// # Panics
     ///
-    /// Panics if `adequacy` is not in `[0, 1]`.
+    /// Panics if `adequacy` is not in `\[0, 1\]`.
     pub fn observe(&mut self, adequacy: f64) {
         assert!((0.0..=1.0).contains(&adequacy), "adequacy must be in [0,1]");
         self.value += self.learning_rate * (adequacy - self.value);
         self.observations += 1;
     }
 
-    /// Current satisfaction in `[0, 1]`.
+    /// Current satisfaction in `\[0, 1\]`.
     pub fn satisfaction(&self) -> f64 {
         self.value
     }
@@ -82,7 +82,7 @@ impl Default for SatisfactionTracker {
 /// Allocation satisfaction: the fraction of allocations that matched the
 /// participant's intentions, over a sliding window.
 ///
-/// Ref [17] separates *satisfaction* (with outcomes) from *allocation
+/// Ref \[17\] separates *satisfaction* (with outcomes) from *allocation
 /// satisfaction* (with the allocation decisions themselves): a consumer
 /// is allocation-satisfied when "in general she receives answers from the
 /// providers she prefers".
@@ -133,7 +133,7 @@ impl AllocationTracker {
         self.len() == 0
     }
 
-    /// Allocation satisfaction in `[0, 1]`; 0.5 (neutral) before any
+    /// Allocation satisfaction in `\[0, 1\]`; 0.5 (neutral) before any
     /// observation.
     pub fn allocation_satisfaction(&self) -> f64 {
         let n = self.len();

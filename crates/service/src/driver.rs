@@ -1,0 +1,430 @@
+//! Deterministic open-loop workload generator for the service.
+//!
+//! The driver turns `(seed, epoch)` into a timeline of [`ServiceOp`]s:
+//! exponential inter-arrival interactions per node, a disclosure and
+//! query mix riding on top, malicious providers with degraded quality.
+//! Determinism follows the sharded scenario engine's discipline — every
+//! `(epoch, node)` pair draws from its own [`SimRng::stream`], and the
+//! per-node op lists are merged in a fixed key order — so the timeline
+//! is a pure function of the configuration, independent of how (or how
+//! often) it is generated. That purity is what the
+//! streaming-equals-batch and checkpoint-equals-uninterrupted tests
+//! pin.
+
+use crate::event::{ServiceEvent, ServiceOp};
+use crate::service::TrustService;
+use tsn_reputation::InteractionOutcome;
+use tsn_simnet::{NodeId, SimRng, SimTime};
+
+/// Stream-label domain for per-node provider quality, disjoint from the
+/// per-`(epoch, node)` op streams (those use `epoch << 32 | node`, which
+/// stays far below this bit).
+const QUALITY_STREAM_DOMAIN: u64 = 1 << 61;
+
+/// Configuration of a [`ServiceDriver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverConfig {
+    /// Population size (must match the driven service).
+    pub nodes: usize,
+    /// Expected interactions per node per epoch (open-loop Poisson).
+    pub arrival_rate: f64,
+    /// Probability that an interaction also emits a disclosure event
+    /// about the provider.
+    pub disclosure_rate: f64,
+    /// Probability that an interaction is followed by a trust query
+    /// from the consumer (every other such query reads exposure
+    /// instead).
+    pub query_rate: f64,
+    /// Fraction of nodes (the tail of the id space) acting maliciously:
+    /// low-quality service, careless disclosures.
+    pub malicious_fraction: f64,
+    /// Root seed; the whole timeline is a pure function of it.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            nodes: 100,
+            arrival_rate: 2.0,
+            disclosure_rate: 0.2,
+            query_rate: 0.5,
+            malicious_fraction: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Reads `var` from the environment through `parse`, leaving the
+/// default when unset. An unparsable value is an error naming both the
+/// variable and the offending value.
+fn env_override<T>(
+    var: &str,
+    slot: &mut T,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<(), String> {
+    if let Ok(raw) = std::env::var(var) {
+        *slot = parse(&raw).ok_or_else(|| format!("invalid value for {var}: {raw:?}"))?;
+    }
+    Ok(())
+}
+
+impl DriverConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("driver needs at least 2 nodes (interactions need a partner)".into());
+        }
+        if !self.arrival_rate.is_finite() || self.arrival_rate <= 0.0 {
+            return Err(format!(
+                "arrival_rate must be positive, got {}",
+                self.arrival_rate
+            ));
+        }
+        for (name, v) in [
+            ("disclosure_rate", self.disclosure_rate),
+            ("query_rate", self.query_rate),
+            ("malicious_fraction", self.malicious_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a configuration from the defaults overridden by the
+    /// `SERVICE_NODES`, `SERVICE_ARRIVALS`, `SERVICE_DISCLOSURES`,
+    /// `SERVICE_QUERIES`, `SERVICE_MALICIOUS` and `SERVICE_SEED`
+    /// environment variables.
+    ///
+    /// # Errors
+    ///
+    /// An unset variable falls back to the default; a set-but-invalid
+    /// one is an error naming the variable and the value.
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = DriverConfig::default();
+        env_override("SERVICE_NODES", &mut cfg.nodes, |s| s.parse().ok())?;
+        env_override("SERVICE_ARRIVALS", &mut cfg.arrival_rate, |s| {
+            s.parse().ok()
+        })?;
+        env_override("SERVICE_DISCLOSURES", &mut cfg.disclosure_rate, |s| {
+            s.parse().ok()
+        })?;
+        env_override("SERVICE_QUERIES", &mut cfg.query_rate, |s| s.parse().ok())?;
+        env_override("SERVICE_MALICIOUS", &mut cfg.malicious_fraction, |s| {
+            s.parse().ok()
+        })?;
+        env_override("SERVICE_SEED", &mut cfg.seed, |s| s.parse().ok())?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Whether `node` is in the malicious tail of the id space.
+    pub fn is_malicious(&self, node: NodeId) -> bool {
+        let honest = self.nodes - (self.nodes as f64 * self.malicious_fraction) as usize;
+        node.index() >= honest
+    }
+}
+
+/// Deterministic workload generator (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ServiceDriver {
+    config: DriverConfig,
+}
+
+impl ServiceDriver {
+    /// Creates a driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error.
+    pub fn new(config: DriverConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(ServiceDriver { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DriverConfig {
+        &self.config
+    }
+
+    /// `node`'s service quality as a provider — a pure function of
+    /// `(seed, node)`, so every epoch sees the same provider behaviour.
+    pub fn provider_quality(&self, node: NodeId) -> f64 {
+        let mut rng = SimRng::stream(self.config.seed, QUALITY_STREAM_DOMAIN | u64::from(node.0));
+        let base = if self.config.is_malicious(node) {
+            0.1
+        } else {
+            0.9
+        };
+        // Small stable per-node spread, clamped into [0, 1].
+        (base + 0.1 * (rng.gen_f64() - 0.5)).clamp(0.0, 1.0)
+    }
+
+    /// Generates epoch `epoch` of the timeline for a service whose
+    /// epoch boundaries are given by `epoch_end`. Ops come back sorted
+    /// by `(time, node, seq)` — the fixed merge order that makes the
+    /// result independent of generation order. Returns an empty
+    /// timeline for an epoch whose start has saturated to the horizon.
+    pub fn ops_for_epoch(&self, service: &TrustService, epoch: u64) -> Vec<ServiceOp> {
+        let epoch_us = service.config().epoch.as_micros();
+        let Some(start_us) = epoch_us.checked_mul(epoch) else {
+            return Vec::new(); // at the horizon: nothing left to schedule
+        };
+        // Keyed ops: (at_us, node, seq) is the merge key.
+        let mut keyed: Vec<(u64, u32, u32, ServiceOp)> = Vec::new();
+        for node_idx in 0..self.config.nodes {
+            let node = NodeId::from_index(node_idx);
+            let mut rng = SimRng::stream(self.config.seed, (epoch << 32) | node_idx as u64);
+            let mut seq: u32 = 0;
+            // Open-loop Poisson arrivals inside the unit epoch.
+            let mut t = rng.gen_exp(self.config.arrival_rate);
+            while t < 1.0 {
+                // Map the unit offset into micros, clamped inside the
+                // epoch so the event commits with its own epoch.
+                let offset = ((t * epoch_us as f64) as u64).min(epoch_us - 1);
+                let at_us = start_us.saturating_add(offset);
+                let at = SimTime::from_micros(at_us);
+                // Pick a partner, skipping self.
+                let other = rng.gen_range(0..self.config.nodes - 1);
+                let partner = if other >= node_idx { other + 1 } else { other };
+                let partner = NodeId::from_index(partner);
+                let quality = self.provider_quality(partner);
+                let outcome = if rng.gen_bool(quality) {
+                    InteractionOutcome::Success {
+                        quality: (quality + 0.5 * rng.gen_f64()).min(1.0),
+                    }
+                } else {
+                    InteractionOutcome::Failure
+                };
+                keyed.push((
+                    at_us,
+                    node.0,
+                    seq,
+                    ServiceOp::Ingest(ServiceEvent::Interaction {
+                        rater: node,
+                        ratee: partner,
+                        outcome,
+                        at,
+                    }),
+                ));
+                seq += 1;
+                if rng.gen_bool(self.config.disclosure_rate) {
+                    let honest = !self.config.is_malicious(partner);
+                    let respected = rng.gen_bool(if honest { 0.95 } else { 0.4 });
+                    keyed.push((
+                        at_us,
+                        node.0,
+                        seq,
+                        ServiceOp::Ingest(ServiceEvent::Disclosure {
+                            node: partner,
+                            respected,
+                            at,
+                        }),
+                    ));
+                    seq += 1;
+                }
+                if rng.gen_bool(self.config.query_rate) {
+                    // Alternate the query kind deterministically.
+                    let op = if seq.is_multiple_of(2) {
+                        ServiceOp::QueryTrust { node: partner, at }
+                    } else {
+                        ServiceOp::QueryExposure { node: partner, at }
+                    };
+                    keyed.push((at_us, node.0, seq, op));
+                    seq += 1;
+                }
+                t += rng.gen_exp(self.config.arrival_rate);
+            }
+        }
+        // The fixed-order merge: sort by key, strip the key.
+        keyed.sort_unstable_by_key(|&(at, node, seq, _)| (at, node, seq));
+        keyed.into_iter().map(|(_, _, _, op)| op).collect()
+    }
+
+    /// Drives `service` for `epochs` epochs from its current position:
+    /// generates each epoch's timeline, applies it, and closes the
+    /// epoch so its events commit. If the service clock already sits
+    /// inside the open epoch (a query advanced it), ops scheduled
+    /// before the clock are skipped — the clock is monotone, and a
+    /// deterministic skip keeps "checkpoint, restore, continue"
+    /// equal to "never checkpointed" (both sides see the same clock,
+    /// so both skip the same ops).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing operation's error.
+    pub fn drive(&self, service: &mut TrustService, epochs: u64) -> Result<(), String> {
+        if self.config.nodes != service.config().nodes {
+            return Err(format!(
+                "driver is sized for {} nodes, service for {}",
+                self.config.nodes,
+                service.config().nodes
+            ));
+        }
+        for _ in 0..epochs {
+            let epoch = service.epoch_index();
+            let ops = self.ops_for_epoch(service, epoch);
+            let now = service.now();
+            for op in &ops {
+                if op.at() >= now {
+                    service.apply(op)?;
+                }
+            }
+            service.finish_epoch()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use tsn_simnet::SimDuration;
+
+    fn service(nodes: usize) -> TrustService {
+        TrustService::new(ServiceConfig {
+            nodes,
+            epoch: SimDuration::from_secs(60),
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_names_the_field() {
+        let bad = DriverConfig {
+            nodes: 1,
+            ..DriverConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("nodes"));
+        let bad = DriverConfig {
+            arrival_rate: 0.0,
+            ..DriverConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("arrival_rate"));
+        let bad = DriverConfig {
+            query_rate: 1.5,
+            ..DriverConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("query_rate"));
+    }
+
+    #[test]
+    fn timeline_is_deterministic_and_sorted() {
+        let driver = ServiceDriver::new(DriverConfig::default()).unwrap();
+        let svc = service(100);
+        let a = driver.ops_for_epoch(&svc, 3);
+        let b = driver.ops_for_epoch(&svc, 3);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same (seed, epoch) must give the same timeline");
+        assert!(
+            a.windows(2).all(|w| w[0].at() <= w[1].at()),
+            "timeline must be time-sorted"
+        );
+        let other_epoch = driver.ops_for_epoch(&svc, 4);
+        assert_ne!(a, other_epoch, "different epochs draw different streams");
+    }
+
+    #[test]
+    fn seeds_change_the_timeline_but_not_its_shape() {
+        let svc = service(100);
+        let a = ServiceDriver::new(DriverConfig::default())
+            .unwrap()
+            .ops_for_epoch(&svc, 0);
+        let b = ServiceDriver::new(DriverConfig {
+            seed: 43,
+            ..DriverConfig::default()
+        })
+        .unwrap()
+        .ops_for_epoch(&svc, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn interactions_never_self_rate() {
+        let driver = ServiceDriver::new(DriverConfig {
+            nodes: 3,
+            arrival_rate: 5.0,
+            ..DriverConfig::default()
+        })
+        .unwrap();
+        let svc = service(3);
+        for epoch in 0..10 {
+            for op in driver.ops_for_epoch(&svc, epoch) {
+                if let ServiceOp::Ingest(ServiceEvent::Interaction { rater, ratee, .. }) = op {
+                    assert_ne!(rater, ratee);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malicious_tail_has_low_quality() {
+        let driver = ServiceDriver::new(DriverConfig {
+            nodes: 10,
+            malicious_fraction: 0.2,
+            ..DriverConfig::default()
+        })
+        .unwrap();
+        assert!(driver.config().is_malicious(NodeId(9)));
+        assert!(driver.config().is_malicious(NodeId(8)));
+        assert!(!driver.config().is_malicious(NodeId(7)));
+        assert!(driver.provider_quality(NodeId(9)) < 0.2);
+        assert!(driver.provider_quality(NodeId(0)) > 0.8);
+        assert_eq!(
+            driver.provider_quality(NodeId(3)),
+            driver.provider_quality(NodeId(3)),
+            "quality is a pure function of (seed, node)"
+        );
+    }
+
+    #[test]
+    fn driving_commits_epochs_and_separates_populations() {
+        let driver = ServiceDriver::new(DriverConfig {
+            nodes: 50,
+            arrival_rate: 4.0,
+            malicious_fraction: 0.2,
+            ..DriverConfig::default()
+        })
+        .unwrap();
+        let mut svc = service(50);
+        driver.drive(&mut svc, 5).unwrap();
+        assert_eq!(svc.samples().len(), 5);
+        assert_eq!(svc.epoch_index(), 5);
+        assert!(svc.stats().ingested > 0);
+        assert!(svc.stats().queries > 0);
+        let scores = svc.scores();
+        let honest: f64 = scores[..40].iter().sum::<f64>() / 40.0;
+        let malicious: f64 = scores[40..].iter().sum::<f64>() / 10.0;
+        assert!(
+            honest > malicious,
+            "honest mean {honest} must beat malicious mean {malicious}"
+        );
+    }
+
+    #[test]
+    fn driver_rejects_mismatched_population() {
+        let driver = ServiceDriver::new(DriverConfig {
+            nodes: 10,
+            ..DriverConfig::default()
+        })
+        .unwrap();
+        let mut svc = service(20);
+        let err = driver.drive(&mut svc, 1).unwrap_err();
+        assert!(err.contains("sized for 10"), "{err}");
+    }
+
+    #[test]
+    fn horizon_epoch_generates_no_ops() {
+        let driver = ServiceDriver::new(DriverConfig::default()).unwrap();
+        let svc = service(100);
+        assert!(driver.ops_for_epoch(&svc, u64::MAX).is_empty());
+    }
+}

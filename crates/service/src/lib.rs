@@ -1,0 +1,32 @@
+//! Online TrustService: streaming ingest, incremental trust updates,
+//! bounded-staleness queries, and checkpoint/restore.
+//!
+//! The batch layers of this workspace answer "what happens over N
+//! rounds"; this crate answers "what does a *deployed* trust service
+//! look like". A [`TrustService`] is long-lived: interaction and
+//! disclosure events stream in, interleaved with trust and exposure
+//! queries on the same simulated clock. Updates are applied as deltas
+//! at epoch boundaries (cost proportional to new events, not service
+//! age), queries are answered with staleness bounded by one epoch, and
+//! the whole service — mid-epoch, mid-partition-window, wherever —
+//! snapshots to a versioned binary checkpoint that restores
+//! bit-identically.
+//!
+//! [`ServiceDriver`] generates deterministic open-loop workloads
+//! against the service, using the same per-`(epoch, node)` RNG-stream
+//! discipline as the sharded scenario engine, so a streamed run is
+//! bit-identical to the equivalent batch computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod event;
+pub mod service;
+
+pub use driver::{DriverConfig, ServiceDriver};
+pub use event::{ServiceEvent, ServiceOp};
+pub use service::{
+    EpochSample, ExposureQueryResult, IngestOutcome, ServiceConfig, ServiceStats, TrustQueryResult,
+    TrustService, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};

@@ -1,0 +1,1023 @@
+//! The long-lived [`TrustService`]: epoch-committed streaming trust.
+//!
+//! # Delta path
+//!
+//! The batch scenario engine rebuilds nothing per round *within* a run,
+//! but every run starts from scratch. The service goes one step
+//! further: it is the run. Events stream in, are staged inside the
+//! open epoch, and at each epoch boundary the whole batch is applied as
+//! **deltas** to the resident mechanism — `record_batch` updates the
+//! CSR `LocalMatrix` rows in place through the run-locality upsert
+//! memo, and one `refresh` re-iterates the walk from the previous
+//! stationary solution's matrix. Nothing is rebuilt from the event
+//! history; cost per epoch is proportional to *new* events, not to the
+//! service's age.
+//!
+//! # Staleness contract
+//!
+//! Queries are answered from the last committed epoch: a query at sim
+//! time `t` sees every event with `at < as_of` where `as_of` is the
+//! latest epoch boundary at or before `t`, so staleness is bounded by
+//! one epoch length. The trade is deliberate — commit-batched updates
+//! are what keep the ingest path allocation-free and the stream
+//! bit-identical to a batch run (the per-epoch `record_batch` order is
+//! the arrival order, exactly the fixed merge order an equivalent
+//! batch run uses).
+//!
+//! # Checkpoint format
+//!
+//! [`TrustService::checkpoint`] serializes the complete service state —
+//! configuration, clock, staged (uncommitted) events, exposure
+//! counters, per-epoch samples, counters, and the mechanism's own
+//! snapshot — as length-prefixed binary (magic `TSNSVCKP`, version
+//! [`CHECKPOINT_VERSION`]; see `tsn_simnet::codec`). Restore rejects
+//! unknown magic/version, truncated input and trailing garbage, and
+//! reproduces the service **bit-identically**: continuing a restored
+//! service equals never having checkpointed, down to the float bits —
+//! including checkpoints taken mid-epoch and mid-partition-window
+//! (partition windows are evaluated as a pure function of the clock,
+//! so no window state needs to travel).
+
+use crate::event::{ServiceEvent, ServiceOp};
+use tsn_reputation::{
+    build_mechanism, DisclosurePolicy, FeedbackReport, InteractionOutcome, MechanismKind,
+    ReputationMechanism,
+};
+use tsn_simnet::codec::{ByteReader, ByteWriter};
+use tsn_simnet::{GroupMap, NodeId, PartitionWindow, SimDuration, SimTime};
+
+/// Magic bytes opening every checkpoint.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"TSNSVCKP";
+
+/// Version of the checkpoint layout. Bumped on any layout change;
+/// restore refuses other versions rather than guessing.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Configuration of a [`TrustService`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// Population size (fixed for the service's lifetime).
+    pub nodes: usize,
+    /// Reputation mechanism answering trust queries.
+    pub mechanism: MechanismKind,
+    /// Commit cadence: events become query-visible at each epoch
+    /// boundary, so this is also the staleness bound.
+    pub epoch: SimDuration,
+    /// Disclosure ladder rung (0 = anonymous bit only … 4 = full
+    /// reports), applied to every interaction before it reaches the
+    /// mechanism.
+    pub disclosure_level: usize,
+    /// Partition windows (sorted, non-overlapping): while a window is
+    /// active, interactions between nodes in different contiguous
+    /// groups are rejected — the service treats an active window as a
+    /// reachability split, regardless of the window's probabilistic
+    /// loss fields (those model the message layer, which the abstract
+    /// service does not simulate). Evaluated as a pure function of the
+    /// event clock, which is what makes mid-window checkpoints exact.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            nodes: 100,
+            mechanism: MechanismKind::EigenTrust,
+            epoch: SimDuration::from_secs(60),
+            disclosure_level: 4,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("nodes must be positive".into());
+        }
+        if self.epoch == SimDuration::ZERO {
+            return Err("epoch must be positive".into());
+        }
+        if self.disclosure_level > 4 {
+            return Err(format!(
+                "disclosure_level must be 0..=4, got {}",
+                self.disclosure_level
+            ));
+        }
+        let mut last_end = SimTime::ZERO;
+        for (i, w) in self.partitions.iter().enumerate() {
+            if w.groups == 0 {
+                return Err(format!("partition window {i} needs at least one group"));
+            }
+            if w.end <= w.start {
+                return Err(format!("partition window {i} must end after it starts"));
+            }
+            if w.start < last_end {
+                return Err(format!(
+                    "partition windows must be sorted and non-overlapping (window {i})"
+                ));
+            }
+            last_end = w.end;
+        }
+        Ok(())
+    }
+}
+
+/// Whether an ingested event was accepted into the open epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Staged; becomes query-visible at the next epoch boundary.
+    Accepted,
+    /// Dropped: the endpoints are on opposite sides of an active
+    /// partition window.
+    Rejected,
+}
+
+/// Per-node exposure counters (committed visibility, like scores).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ExposureCell {
+    disclosures: u64,
+    breaches: u64,
+}
+
+/// Answer to a trust query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustQueryResult {
+    /// The node's score in `[0, 1]`, as of the last committed epoch.
+    pub score: f64,
+    /// The commit point the answer reflects (end of the last committed
+    /// epoch; [`SimTime::ZERO`] before the first commit).
+    pub as_of: SimTime,
+    /// How far the answer lags the query clock; bounded by one epoch
+    /// once the first epoch has committed.
+    pub staleness: SimDuration,
+}
+
+/// Answer to an exposure query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExposureQueryResult {
+    /// Committed disclosure events about the node.
+    pub disclosures: u64,
+    /// Committed disclosures that broke the owner's policy.
+    pub breaches: u64,
+    /// `1 − breaches / disclosures` (1.0 when nothing was disclosed).
+    pub respect_rate: f64,
+    /// The commit point the answer reflects.
+    pub as_of: SimTime,
+    /// How far the answer lags the query clock.
+    pub staleness: SimDuration,
+}
+
+/// One committed epoch's summary — the service's output series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSample {
+    /// The epoch index (epoch `e` covers `[e·epoch, (e+1)·epoch)`).
+    pub epoch: u64,
+    /// Events committed at this boundary.
+    pub committed: u64,
+    /// Events rejected during this epoch (partition drops).
+    pub rejected: u64,
+    /// Mechanism iterations spent by this commit's refresh.
+    pub refresh_iterations: u64,
+    /// Population mean trust score after the commit.
+    pub mean_score: f64,
+}
+
+/// Lifetime counters of a service instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Events accepted into an epoch.
+    pub ingested: u64,
+    /// Events rejected by partition gating.
+    pub rejected: u64,
+    /// Queries answered (trust + exposure).
+    pub queries: u64,
+    /// Epoch commits performed.
+    pub commits: u64,
+    /// Total mechanism iterations across all refreshes.
+    pub refresh_iterations: u64,
+}
+
+/// A long-lived, incrementally updated trust service.
+///
+/// ```
+/// use tsn_service::{ServiceConfig, ServiceEvent, TrustService};
+/// use tsn_reputation::InteractionOutcome;
+/// use tsn_simnet::{NodeId, SimDuration, SimTime};
+///
+/// let mut service = TrustService::new(ServiceConfig {
+///     nodes: 3,
+///     epoch: SimDuration::from_secs(10),
+///     ..ServiceConfig::default()
+/// })
+/// .unwrap();
+/// service
+///     .ingest(ServiceEvent::Interaction {
+///         rater: NodeId(0),
+///         ratee: NodeId(1),
+///         outcome: InteractionOutcome::Success { quality: 1.0 },
+///         at: SimTime::from_secs(1),
+///     })
+///     .unwrap();
+/// // Crossing the epoch boundary commits the staged event.
+/// let q = service.query_trust(NodeId(1), SimTime::from_secs(11)).unwrap();
+/// assert_eq!(q.as_of, SimTime::from_secs(10));
+/// assert!(q.score > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct TrustService {
+    config: ServiceConfig,
+    policy: DisclosurePolicy,
+    mechanism: Box<dyn ReputationMechanism>,
+    /// The service clock: the latest event/query time seen.
+    now: SimTime,
+    /// End of the last committed epoch; what queries reflect.
+    as_of: SimTime,
+    /// Index of the open (uncommitted) epoch.
+    epoch_index: u64,
+    /// Accepted events of the open epoch, in arrival order.
+    staged: Vec<ServiceEvent>,
+    /// Events rejected inside the open epoch (for the next sample).
+    epoch_rejected: u64,
+    /// Committed per-node exposure counters.
+    exposure: Vec<ExposureCell>,
+    /// One sample per committed epoch.
+    samples: Vec<EpochSample>,
+    stats: ServiceStats,
+    /// Commit scratch: report views built per batch, capacity reused.
+    views: Vec<tsn_reputation::ReportView>,
+    /// Lazily built group map of the partition window under the clock.
+    partition_cache: Option<(usize, GroupMap)>,
+}
+
+impl TrustService {
+    /// Creates a service at sim time zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error.
+    pub fn new(config: ServiceConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mechanism = build_mechanism(config.mechanism, config.nodes);
+        Ok(TrustService {
+            policy: DisclosurePolicy::ladder(config.disclosure_level),
+            mechanism,
+            now: SimTime::ZERO,
+            as_of: SimTime::ZERO,
+            epoch_index: 0,
+            staged: Vec::new(),
+            epoch_rejected: 0,
+            exposure: vec![ExposureCell::default(); config.nodes],
+            samples: Vec::new(),
+            stats: ServiceStats::default(),
+            views: Vec::new(),
+            partition_cache: None,
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The service clock (latest event/query time seen).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The commit point queries currently reflect.
+    pub fn as_of(&self) -> SimTime {
+        self.as_of
+    }
+
+    /// Index of the open epoch.
+    pub fn epoch_index(&self) -> u64 {
+        self.epoch_index
+    }
+
+    /// Events staged in the open epoch (not yet query-visible).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// One sample per committed epoch, in order.
+    pub fn samples(&self) -> &[EpochSample] {
+        &self.samples
+    }
+
+    /// All committed scores, indexed by node.
+    pub fn scores(&self) -> Vec<f64> {
+        self.mechanism.scores()
+    }
+
+    /// `node`'s committed score without touching the clock (the
+    /// query-mix path is [`TrustService::query_trust`]).
+    pub fn score(&self, node: NodeId) -> f64 {
+        self.mechanism.score(node)
+    }
+
+    /// Start of epoch `e`, saturating at the horizon.
+    fn epoch_start(&self, e: u64) -> SimTime {
+        match self.config.epoch.as_micros().checked_mul(e) {
+            Some(us) => SimTime::from_micros(us),
+            None => SimTime::MAX,
+        }
+    }
+
+    /// End of epoch `e` (start of `e + 1`), saturating at the horizon.
+    pub fn epoch_end(&self, e: u64) -> SimTime {
+        match e.checked_add(1) {
+            Some(next) => self.epoch_start(next),
+            None => SimTime::MAX,
+        }
+    }
+
+    /// Advances the service clock, committing every epoch whose end is
+    /// at or before `at`. An epoch whose end saturates to the horizon
+    /// ([`SimTime::MAX`]) never closes: the loop stops instead of
+    /// spinning, so a service driven to the horizon stays queryable.
+    ///
+    /// # Errors
+    ///
+    /// The clock is monotone: rewinding is an error.
+    pub fn advance_to(&mut self, at: SimTime) -> Result<(), String> {
+        if at < self.now {
+            return Err(format!(
+                "service clock is monotone: {}us precedes {}us",
+                at.as_micros(),
+                self.now.as_micros()
+            ));
+        }
+        loop {
+            let end = self.epoch_end(self.epoch_index);
+            if end == SimTime::MAX || at < end {
+                break;
+            }
+            self.commit_epoch(end);
+        }
+        self.now = at;
+        Ok(())
+    }
+
+    /// Commits the open epoch at boundary `end`: applies the staged
+    /// batch to the mechanism in arrival order, refreshes, samples.
+    fn commit_epoch(&mut self, end: SimTime) {
+        let mut views = std::mem::take(&mut self.views);
+        views.clear();
+        for event in &self.staged {
+            match *event {
+                ServiceEvent::Interaction {
+                    rater,
+                    ratee,
+                    outcome,
+                    at,
+                } => {
+                    views.push(self.policy.view(&FeedbackReport {
+                        rater,
+                        ratee,
+                        outcome,
+                        topic: None,
+                        at,
+                    }));
+                }
+                ServiceEvent::Disclosure {
+                    node, respected, ..
+                } => {
+                    let cell = &mut self.exposure[node.index()];
+                    cell.disclosures += 1;
+                    if !respected {
+                        cell.breaches += 1;
+                    }
+                }
+            }
+        }
+        // One delta application: in-place CSR upserts through the
+        // run-locality memo, in arrival order (bit-identical to looped
+        // `record` calls by the mechanism contract).
+        self.mechanism.record_batch(&views);
+        let iterations = self.mechanism.refresh() as u64;
+        let mean_score = if self.config.nodes == 0 {
+            0.0
+        } else {
+            let sum: f64 = (0..self.config.nodes)
+                .map(|i| self.mechanism.score(NodeId::from_index(i)))
+                .sum();
+            sum / self.config.nodes as f64
+        };
+        self.samples.push(EpochSample {
+            epoch: self.epoch_index,
+            committed: self.staged.len() as u64,
+            rejected: self.epoch_rejected,
+            refresh_iterations: iterations,
+            mean_score,
+        });
+        self.stats.commits += 1;
+        self.stats.refresh_iterations += iterations;
+        self.staged.clear();
+        self.epoch_rejected = 0;
+        self.as_of = end;
+        self.epoch_index += 1;
+        self.views = views;
+    }
+
+    /// Closes the open epoch by advancing the clock to its boundary
+    /// (committing it), unless the boundary has saturated to the
+    /// horizon — at the horizon this is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrustService::advance_to`] errors (never occurs for
+    /// a forward boundary).
+    pub fn finish_epoch(&mut self) -> Result<(), String> {
+        let end = self.epoch_end(self.epoch_index);
+        if end == SimTime::MAX {
+            return Ok(());
+        }
+        self.advance_to(end)
+    }
+
+    /// The partition window active at `at`, if any.
+    fn active_window(&self, at: SimTime) -> Option<usize> {
+        // Windows are sorted and non-overlapping (validated).
+        self.config
+            .partitions
+            .iter()
+            .position(|w| w.start <= at && at < w.end)
+    }
+
+    /// Whether `a` and `b` are split by the window active at `at`.
+    fn cross_partitioned(&mut self, a: NodeId, b: NodeId, at: SimTime) -> bool {
+        let Some(idx) = self.active_window(at) else {
+            return false;
+        };
+        let groups = self.config.partitions[idx].groups;
+        if groups <= 1 {
+            return false;
+        }
+        let rebuild = match &self.partition_cache {
+            Some((cached, _)) => *cached != idx,
+            None => true,
+        };
+        if rebuild {
+            self.partition_cache = Some((idx, GroupMap::contiguous(self.config.nodes, groups)));
+        }
+        let (_, map) = self.partition_cache.as_ref().expect("cache just built");
+        !map.same_group(a, b)
+    }
+
+    /// Ingests one event, advancing the clock to the event time first
+    /// (committing any epochs it crosses).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-order events (before the service clock) and out-of-range
+    /// node ids are errors; partition drops are the
+    /// [`IngestOutcome::Rejected`] *success* case.
+    pub fn ingest(&mut self, event: ServiceEvent) -> Result<IngestOutcome, String> {
+        self.advance_to(event.at())?;
+        match event {
+            ServiceEvent::Interaction {
+                rater, ratee, at, ..
+            } => {
+                self.check_node(rater)?;
+                self.check_node(ratee)?;
+                if self.cross_partitioned(rater, ratee, at) {
+                    self.stats.rejected += 1;
+                    self.epoch_rejected += 1;
+                    return Ok(IngestOutcome::Rejected);
+                }
+            }
+            ServiceEvent::Disclosure { node, .. } => self.check_node(node)?,
+        }
+        self.staged.push(event);
+        self.stats.ingested += 1;
+        Ok(IngestOutcome::Accepted)
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), String> {
+        if node.index() >= self.config.nodes {
+            return Err(format!(
+                "node {} out of range (service tracks {} nodes)",
+                node.0, self.config.nodes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Answers a trust query at sim time `at` (advancing the clock).
+    ///
+    /// # Errors
+    ///
+    /// Clock rewinds and out-of-range nodes are errors.
+    pub fn query_trust(&mut self, node: NodeId, at: SimTime) -> Result<TrustQueryResult, String> {
+        self.advance_to(at)?;
+        self.check_node(node)?;
+        self.stats.queries += 1;
+        Ok(TrustQueryResult {
+            score: self.mechanism.score(node),
+            as_of: self.as_of,
+            staleness: at.duration_since(self.as_of),
+        })
+    }
+
+    /// Answers an exposure query at sim time `at` (advancing the clock).
+    ///
+    /// # Errors
+    ///
+    /// Clock rewinds and out-of-range nodes are errors.
+    pub fn query_exposure(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+    ) -> Result<ExposureQueryResult, String> {
+        self.advance_to(at)?;
+        self.check_node(node)?;
+        self.stats.queries += 1;
+        let cell = self.exposure[node.index()];
+        let respect_rate = if cell.disclosures == 0 {
+            1.0
+        } else {
+            1.0 - cell.breaches as f64 / cell.disclosures as f64
+        };
+        Ok(ExposureQueryResult {
+            disclosures: cell.disclosures,
+            breaches: cell.breaches,
+            respect_rate,
+            as_of: self.as_of,
+            staleness: at.duration_since(self.as_of),
+        })
+    }
+
+    /// Applies one workload operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying ingest/query errors.
+    pub fn apply(&mut self, op: &ServiceOp) -> Result<(), String> {
+        match *op {
+            ServiceOp::Ingest(event) => {
+                self.ingest(event)?;
+            }
+            ServiceOp::QueryTrust { node, at } => {
+                self.query_trust(node, at)?;
+            }
+            ServiceOp::QueryExposure { node, at } => {
+                self.query_exposure(node, at)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a timeline of operations in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first failing operation's error.
+    pub fn apply_all(&mut self, ops: &[ServiceOp]) -> Result<(), String> {
+        for op in ops {
+            self.apply(op)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the complete service state (see the module docs for
+    /// the format). The checkpoint may be taken at any point — mid-epoch
+    /// staged events and mid-partition-window positions round-trip
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configured mechanism does not support state
+    /// snapshots (`powertrust` and `trustme` currently do not).
+    pub fn checkpoint(&self) -> Result<Vec<u8>, String> {
+        let mechanism = self.mechanism.snapshot_state().ok_or_else(|| {
+            format!(
+                "mechanism '{}' does not support checkpointing",
+                self.config.mechanism
+            )
+        })?;
+        let mut w = ByteWriter::new();
+        w.put_bytes(CHECKPOINT_MAGIC);
+        w.put_u32(CHECKPOINT_VERSION);
+        // Configuration (restore rebuilds the service from it).
+        w.put_u64(self.config.nodes as u64);
+        w.put_u8(kind_tag(self.config.mechanism));
+        w.put_u64(self.config.epoch.as_micros());
+        w.put_u8(self.config.disclosure_level as u8);
+        w.put_u64(self.config.partitions.len() as u64);
+        for window in &self.config.partitions {
+            w.put_u64(window.start.as_micros());
+            w.put_u64(window.end.as_micros());
+            w.put_u64(window.groups as u64);
+            w.put_f64(window.cross_loss);
+            w.put_f64(window.intra_loss);
+        }
+        // Clock.
+        w.put_u64(self.now.as_micros());
+        w.put_u64(self.as_of.as_micros());
+        w.put_u64(self.epoch_index);
+        w.put_u64(self.epoch_rejected);
+        // Lifetime counters.
+        w.put_u64(self.stats.ingested);
+        w.put_u64(self.stats.rejected);
+        w.put_u64(self.stats.queries);
+        w.put_u64(self.stats.commits);
+        w.put_u64(self.stats.refresh_iterations);
+        // Staged (uncommitted) events, arrival order.
+        w.put_u64(self.staged.len() as u64);
+        for event in &self.staged {
+            match *event {
+                ServiceEvent::Interaction {
+                    rater,
+                    ratee,
+                    outcome,
+                    at,
+                } => {
+                    w.put_u8(0);
+                    w.put_u32(rater.0);
+                    w.put_u32(ratee.0);
+                    w.put_u8(outcome.is_success() as u8);
+                    w.put_f64(outcome.value());
+                    w.put_u64(at.as_micros());
+                }
+                ServiceEvent::Disclosure {
+                    node,
+                    respected,
+                    at,
+                } => {
+                    w.put_u8(1);
+                    w.put_u32(node.0);
+                    w.put_u8(respected as u8);
+                    w.put_u64(at.as_micros());
+                }
+            }
+        }
+        // Committed exposure counters.
+        for cell in &self.exposure {
+            w.put_u64(cell.disclosures);
+            w.put_u64(cell.breaches);
+        }
+        // Epoch series.
+        w.put_u64(self.samples.len() as u64);
+        for s in &self.samples {
+            w.put_u64(s.epoch);
+            w.put_u64(s.committed);
+            w.put_u64(s.rejected);
+            w.put_u64(s.refresh_iterations);
+            w.put_f64(s.mean_score);
+        }
+        // Mechanism payload.
+        w.put_bytes(&mechanism);
+        Ok(w.finish())
+    }
+
+    /// Reconstructs a service from a checkpoint, bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong magic, unknown versions, truncated or corrupt
+    /// input, and trailing garbage.
+    pub fn restore(bytes: &[u8]) -> Result<TrustService, String> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_bytes()? != CHECKPOINT_MAGIC {
+            return Err("not a TrustService checkpoint (bad magic)".into());
+        }
+        let version = r.take_u32()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+            ));
+        }
+        let nodes = r.take_u64()? as usize;
+        let mechanism = kind_from_tag(r.take_u8()?)?;
+        let epoch = SimDuration::from_micros(r.take_u64()?);
+        let disclosure_level = r.take_u8()? as usize;
+        let window_count = r.take_seq_len(40)?;
+        let mut partitions = Vec::with_capacity(window_count);
+        for _ in 0..window_count {
+            partitions.push(PartitionWindow {
+                start: SimTime::from_micros(r.take_u64()?),
+                end: SimTime::from_micros(r.take_u64()?),
+                groups: r.take_u64()? as usize,
+                cross_loss: r.take_f64()?,
+                intra_loss: r.take_f64()?,
+            });
+        }
+        let config = ServiceConfig {
+            nodes,
+            mechanism,
+            epoch,
+            disclosure_level,
+            partitions,
+        };
+        let mut service = TrustService::new(config)?;
+        service.now = SimTime::from_micros(r.take_u64()?);
+        service.as_of = SimTime::from_micros(r.take_u64()?);
+        service.epoch_index = r.take_u64()?;
+        service.epoch_rejected = r.take_u64()?;
+        service.stats = ServiceStats {
+            ingested: r.take_u64()?,
+            rejected: r.take_u64()?,
+            queries: r.take_u64()?,
+            commits: r.take_u64()?,
+            refresh_iterations: r.take_u64()?,
+        };
+        let staged_count = r.take_seq_len(13)?;
+        for _ in 0..staged_count {
+            let event = match r.take_u8()? {
+                0 => {
+                    let rater = NodeId(r.take_u32()?);
+                    let ratee = NodeId(r.take_u32()?);
+                    let success = r.take_u8()? != 0;
+                    let quality = r.take_f64()?;
+                    let at = SimTime::from_micros(r.take_u64()?);
+                    let outcome = if success {
+                        InteractionOutcome::Success { quality }
+                    } else {
+                        InteractionOutcome::Failure
+                    };
+                    ServiceEvent::Interaction {
+                        rater,
+                        ratee,
+                        outcome,
+                        at,
+                    }
+                }
+                1 => ServiceEvent::Disclosure {
+                    node: NodeId(r.take_u32()?),
+                    respected: r.take_u8()? != 0,
+                    at: SimTime::from_micros(r.take_u64()?),
+                },
+                other => return Err(format!("unknown staged event tag {other}")),
+            };
+            service.staged.push(event);
+        }
+        for cell in service.exposure.iter_mut() {
+            cell.disclosures = r.take_u64()?;
+            cell.breaches = r.take_u64()?;
+        }
+        let sample_count = r.take_seq_len(40)?;
+        for _ in 0..sample_count {
+            service.samples.push(EpochSample {
+                epoch: r.take_u64()?,
+                committed: r.take_u64()?,
+                rejected: r.take_u64()?,
+                refresh_iterations: r.take_u64()?,
+                mean_score: r.take_f64()?,
+            });
+        }
+        let payload = r.take_bytes()?;
+        service.mechanism.restore_state(payload)?;
+        if !r.is_empty() {
+            return Err(format!("checkpoint has {} trailing bytes", r.remaining()));
+        }
+        Ok(service)
+    }
+}
+
+/// Stable one-byte tag of a mechanism kind (its index in
+/// [`MechanismKind::ALL`]).
+fn kind_tag(kind: MechanismKind) -> u8 {
+    MechanismKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ALL") as u8
+}
+
+fn kind_from_tag(tag: u8) -> Result<MechanismKind, String> {
+    MechanismKind::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| format!("unknown mechanism tag {tag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interaction(rater: u32, ratee: u32, good: bool, at_secs: u64) -> ServiceEvent {
+        ServiceEvent::Interaction {
+            rater: NodeId(rater),
+            ratee: NodeId(ratee),
+            outcome: if good {
+                InteractionOutcome::Success { quality: 1.0 }
+            } else {
+                InteractionOutcome::Failure
+            },
+            at: SimTime::from_secs(at_secs),
+        }
+    }
+
+    fn small_service() -> TrustService {
+        TrustService::new(ServiceConfig {
+            nodes: 4,
+            epoch: SimDuration::from_secs(10),
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation_names_the_problem() {
+        let bad = ServiceConfig {
+            nodes: 0,
+            ..ServiceConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("nodes"));
+        let bad = ServiceConfig {
+            epoch: SimDuration::ZERO,
+            ..ServiceConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("epoch"));
+        let bad = ServiceConfig {
+            disclosure_level: 9,
+            ..ServiceConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("disclosure_level"));
+        let bad = ServiceConfig {
+            partitions: vec![
+                PartitionWindow::full_split(SimTime::from_secs(5), SimTime::from_secs(9), 2),
+                PartitionWindow::full_split(SimTime::from_secs(8), SimTime::from_secs(12), 2),
+            ],
+            ..ServiceConfig::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("non-overlapping"));
+    }
+
+    #[test]
+    fn events_become_visible_at_the_epoch_boundary() {
+        let mut service = small_service();
+        service.ingest(interaction(0, 1, true, 1)).unwrap();
+        // Still inside epoch 0: not visible, staleness from ZERO.
+        let q = service
+            .query_trust(NodeId(1), SimTime::from_secs(5))
+            .unwrap();
+        assert_eq!(q.as_of, SimTime::ZERO);
+        let baseline = q.score;
+        // Crossing into epoch 1 commits.
+        let q = service
+            .query_trust(NodeId(1), SimTime::from_secs(12))
+            .unwrap();
+        assert_eq!(q.as_of, SimTime::from_secs(10));
+        assert!(q.score > baseline, "{} !> {baseline}", q.score);
+        assert_eq!(q.staleness, SimDuration::from_secs(2));
+        assert_eq!(service.samples().len(), 1);
+        assert_eq!(service.samples()[0].committed, 1);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut service = small_service();
+        service.advance_to(SimTime::from_secs(30)).unwrap();
+        let err = service.ingest(interaction(0, 1, true, 7)).unwrap_err();
+        assert!(err.contains("monotone"), "{err}");
+        assert_eq!(service.samples().len(), 3, "crossed boundaries committed");
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_rejected() {
+        let mut service = small_service();
+        let err = service.ingest(interaction(0, 99, true, 1)).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = service
+            .query_trust(NodeId(99), SimTime::from_secs(2))
+            .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn partition_window_rejects_cross_group_interactions() {
+        let mut service = TrustService::new(ServiceConfig {
+            nodes: 4,
+            epoch: SimDuration::from_secs(10),
+            partitions: vec![PartitionWindow::full_split(
+                SimTime::from_secs(10),
+                SimTime::from_secs(20),
+                2,
+            )],
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // Groups of contiguous(4, 2): {0, 1} and {2, 3}.
+        // Before the window: cross-group accepted.
+        assert_eq!(
+            service.ingest(interaction(0, 3, true, 5)).unwrap(),
+            IngestOutcome::Accepted
+        );
+        // Inside: cross-group rejected, intra-group accepted.
+        assert_eq!(
+            service.ingest(interaction(0, 3, true, 12)).unwrap(),
+            IngestOutcome::Rejected
+        );
+        assert_eq!(
+            service.ingest(interaction(0, 1, true, 13)).unwrap(),
+            IngestOutcome::Accepted
+        );
+        // After the heal: accepted again.
+        assert_eq!(
+            service.ingest(interaction(0, 3, true, 25)).unwrap(),
+            IngestOutcome::Accepted
+        );
+        assert_eq!(service.stats().rejected, 1);
+        // The rejection landed in epoch 1's sample.
+        assert_eq!(service.samples()[1].rejected, 1);
+    }
+
+    #[test]
+    fn exposure_counters_commit_like_scores() {
+        let mut service = small_service();
+        for (secs, respected) in [(1, true), (2, true), (3, false)] {
+            service
+                .ingest(ServiceEvent::Disclosure {
+                    node: NodeId(2),
+                    respected,
+                    at: SimTime::from_secs(secs),
+                })
+                .unwrap();
+        }
+        let q = service
+            .query_exposure(NodeId(2), SimTime::from_secs(5))
+            .unwrap();
+        assert_eq!((q.disclosures, q.breaches), (0, 0), "not committed yet");
+        assert_eq!(q.respect_rate, 1.0);
+        let q = service
+            .query_exposure(NodeId(2), SimTime::from_secs(11))
+            .unwrap();
+        assert_eq!((q.disclosures, q.breaches), (3, 1));
+        assert!((q.respect_rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizon_epoch_never_closes_and_never_spins() {
+        let mut service = TrustService::new(ServiceConfig {
+            nodes: 2,
+            epoch: SimDuration::MAX,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // Epoch 0 already ends at the saturated horizon: advancing to
+        // MAX must terminate without committing anything.
+        service.advance_to(SimTime::MAX).unwrap();
+        assert_eq!(service.epoch_index(), 0);
+        assert_eq!(service.samples().len(), 0);
+        assert!(service.finish_epoch().is_ok(), "horizon finish is a no-op");
+        let q = service.query_trust(NodeId(0), SimTime::MAX).unwrap();
+        assert_eq!(q.as_of, SimTime::ZERO);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_rejects_corruption() {
+        let mut service = small_service();
+        service.ingest(interaction(0, 1, true, 1)).unwrap();
+        let bytes = service.checkpoint().unwrap();
+        assert!(TrustService::restore(&bytes).is_ok());
+        assert!(TrustService::restore(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(TrustService::restore(&trailing)
+            .unwrap_err()
+            .contains("trailing"),);
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[8] = b'X'; // first magic byte, after the length prefix
+        assert!(TrustService::restore(&wrong_magic)
+            .unwrap_err()
+            .contains("magic"),);
+        let mut wrong_version = bytes;
+        wrong_version[16] = 99; // version u32, after prefix + magic
+        assert!(TrustService::restore(&wrong_version)
+            .unwrap_err()
+            .contains("version"),);
+    }
+
+    #[test]
+    fn unsupported_mechanism_checkpoint_is_a_clean_error() {
+        let mut service = TrustService::new(ServiceConfig {
+            nodes: 4,
+            mechanism: MechanismKind::PowerTrust,
+            epoch: SimDuration::from_secs(10),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        service.ingest(interaction(0, 1, true, 1)).unwrap();
+        let err = service.checkpoint().unwrap_err();
+        assert!(err.contains("powertrust"), "{err}");
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in MechanismKind::ALL {
+            assert_eq!(kind_from_tag(kind_tag(kind)).unwrap(), kind);
+        }
+        assert!(kind_from_tag(250).is_err());
+    }
+}

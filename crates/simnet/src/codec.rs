@@ -1,0 +1,254 @@
+//! Length-prefixed binary encoding for checkpoint payloads.
+//!
+//! The online [`TrustService`] (crate `tsn-service`) snapshots its full
+//! state so long runs can pause and resume *bit-identically*. That rules
+//! out text formats: the workspace's hand-rolled JSON emitter
+//! (`tsn_core::json`) is write-only, and round-tripping `f64`s through
+//! decimal strings is exactly the kind of low-bit drift the determinism
+//! discipline (DESIGN.md §4) forbids. So checkpoints use this tiny
+//! binary codec instead — still zero external dependencies:
+//!
+//! * all integers are little-endian fixed width;
+//! * `f64`s travel as their IEEE-754 bit pattern ([`f64::to_bits`]), so
+//!   encode → decode is the identity on every value including negative
+//!   zero and NaN payloads;
+//! * variable-length data (byte blobs, sequences) carries a `u64` length
+//!   prefix, read back with bounds checks — a truncated or corrupt
+//!   checkpoint fails with an error, never a panic or a wild read.
+//!
+//! The codec deliberately has no schema or field names: framing,
+//! versioning and layout belong to the caller (the service writes a
+//! magic + version header and refuses unknown versions).
+//!
+//! [`TrustService`]: https://docs.rs/tsn-service
+
+/// Appends fixed-width and length-prefixed values to a byte buffer.
+///
+/// ```
+/// use tsn_simnet::codec::{ByteReader, ByteWriter};
+///
+/// let mut w = ByteWriter::new();
+/// w.put_u64(7);
+/// w.put_f64(-0.0);
+/// let bytes = w.finish();
+/// let mut r = ByteReader::new(&bytes);
+/// assert_eq!(r.take_u64().unwrap(), 7);
+/// assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `u64`-length-prefixed byte blob.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads values written by [`ByteWriter`], with bounds checking.
+///
+/// Every `take_*` returns `Err` (naming what was expected and where)
+/// instead of panicking when the input is shorter than the read — the
+/// decode path for untrusted checkpoint files.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice for reading from the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(format!(
+                "truncated input: wanted {n} bytes for {what} at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )),
+        }
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a `u64`-length-prefixed byte blob. The declared length is
+    /// bounds-checked against the remaining input before any slicing.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], String> {
+        let len = self.take_u64()?;
+        let len = usize::try_from(len).map_err(|_| format!("blob length {len} overflows usize"))?;
+        self.take(len, "length-prefixed bytes")
+    }
+
+    /// Reads a `u64` sequence length, validating it against a per-element
+    /// minimum size so corrupt headers cannot trigger huge allocations.
+    pub fn take_seq_len(&mut self, min_element_bytes: usize) -> Result<usize, String> {
+        let len = self.take_u64()?;
+        let len = usize::try_from(len).map_err(|_| format!("sequence length {len} overflows"))?;
+        let need = len.saturating_mul(min_element_bytes.max(1));
+        if need > self.remaining() {
+            return Err(format!(
+                "corrupt sequence length {len}: needs at least {need} bytes, {} remain",
+                self.remaining()
+            ));
+        }
+        Ok(len)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_type_bit_exactly() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_f64(1.0 / 3.0);
+        w.put_bytes(b"checkpoint");
+        w.put_bytes(b"");
+        let bytes = w.finish();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xAB);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.take_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.take_f64().unwrap(), 1.0 / 3.0);
+        assert_eq!(r.take_bytes().unwrap(), b"checkpoint");
+        assert_eq!(r.take_bytes().unwrap(), b"");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        let err = r.take_u64().unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // Position is unchanged after a failed read.
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.take_u8().unwrap(), 1);
+    }
+
+    #[test]
+    fn corrupt_blob_length_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // claims a blob longer than the input
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.take_bytes().is_err());
+    }
+
+    #[test]
+    fn corrupt_sequence_length_is_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1 << 60);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let err = r.take_seq_len(8).unwrap_err();
+        assert!(err.contains("corrupt sequence length"), "{err}");
+    }
+
+    #[test]
+    fn seq_len_accepts_exact_fit() {
+        let mut w = ByteWriter::new();
+        w.put_u64(3);
+        for i in 0..3u64 {
+            w.put_u64(i);
+        }
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let len = r.take_seq_len(8).unwrap();
+        assert_eq!(len, 3);
+        for i in 0..3u64 {
+            assert_eq!(r.take_u64().unwrap(), i);
+        }
+    }
+}

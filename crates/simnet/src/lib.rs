@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod codec;
 pub mod dynamics;
 pub mod event;
 pub mod latency;
@@ -57,6 +58,7 @@ pub mod time;
 pub mod trace;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnProcess, NodeLifecycle};
+pub use codec::{ByteReader, ByteWriter};
 pub use dynamics::{DynamicsEvent, DynamicsPlan, DynamicsRuntime, PartitionWindow, RegionPlan};
 pub use event::{Event, EventId, EventQueue, ScheduledEvent};
 pub use latency::{

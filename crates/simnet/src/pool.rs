@@ -31,6 +31,10 @@ pub struct BufferPool {
     free: Vec<Vec<f64>>,
     fresh: u64,
     reused: u64,
+    /// Buffers currently handed out (acquired, not yet returned).
+    outstanding: usize,
+    /// Highest `outstanding` ever observed.
+    high_water: usize,
 }
 
 impl BufferPool {
@@ -56,6 +60,8 @@ impl BufferPool {
     /// Hands out an empty buffer, reusing a freed allocation when one
     /// is available.
     pub fn acquire(&mut self) -> Vec<f64> {
+        self.outstanding += 1;
+        self.high_water = self.high_water.max(self.outstanding);
         match self.free.pop() {
             Some(buf) => {
                 self.reused += 1;
@@ -69,8 +75,10 @@ impl BufferPool {
     }
 
     /// Returns a buffer to the freelist. Zero-capacity buffers are
-    /// dropped — hoarding them would recycle nothing.
+    /// dropped — hoarding them would recycle nothing. Either way the
+    /// buffer counts as returned for [`BufferPool::outstanding`].
     pub fn release(&mut self, mut buf: Vec<f64>) {
+        self.outstanding = self.outstanding.saturating_sub(1);
         if buf.capacity() > 0 {
             buf.clear();
             self.free.push(buf);
@@ -100,6 +108,26 @@ impl BufferPool {
     /// Buffers handed out from the freelist (pool hits).
     pub fn reuses(&self) -> u64 {
         self.reused
+    }
+
+    /// Buffers currently in flight: acquired and not yet returned via
+    /// [`BufferPool::release`]/[`BufferPool::recycle`]. Dropping a
+    /// buffer without returning it leaves it counted here forever —
+    /// deliberately, because that silent drop is exactly the leak shape
+    /// a long-lived service makes observable (a batch run hides it
+    /// behind process exit). A steady-state loop must return to the
+    /// same `outstanding` level every round.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The highest [`BufferPool::outstanding`] ever observed — the
+    /// pool's true working-set bound. A soak run asserts this stays at
+    /// the analytic `2n + 2` envelope no matter how many events flow
+    /// through; unbounded growth here means buffers leak out of the
+    /// ownership cycle (see the module docs) faster than they return.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -142,6 +170,59 @@ mod tests {
         let mut pool = BufferPool::new();
         pool.release(Vec::new());
         assert_eq!(pool.free_len(), 0);
+    }
+
+    #[test]
+    fn outstanding_and_high_water_track_the_ownership_cycle() {
+        let mut pool = BufferPool::new();
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.high_water_mark(), 0);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!(pool.outstanding(), 2);
+        assert_eq!(pool.high_water_mark(), 2);
+        pool.release(a);
+        assert_eq!(pool.outstanding(), 1, "release returns a buffer");
+        // Zero-capacity buffers are dropped from the freelist but still
+        // count as returned.
+        pool.release(b);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.free_len(), 0, "both buffers had no capacity");
+        // High water is sticky: later steady-state reuse never lowers it.
+        let c = pool.acquire();
+        pool.release(c);
+        assert_eq!(pool.high_water_mark(), 2);
+    }
+
+    #[test]
+    fn prewarm_does_not_count_as_outstanding() {
+        let mut pool = BufferPool::new();
+        pool.prewarm(8, 16);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(
+            pool.high_water_mark(),
+            0,
+            "parked buffers are not in flight"
+        );
+        let buf = pool.acquire();
+        assert_eq!(pool.outstanding(), 1);
+        pool.release(buf);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.high_water_mark(), 1);
+    }
+
+    #[test]
+    fn steady_state_loop_keeps_outstanding_flat() {
+        let mut pool = BufferPool::new();
+        pool.prewarm(2, 8);
+        for _ in 0..1000 {
+            let mut buf = pool.acquire();
+            buf.push(1.0);
+            pool.release(buf);
+        }
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.high_water_mark(), 1, "one buffer in flight at a time");
+        assert_eq!(pool.fresh_allocations(), 2, "prewarm only");
     }
 
     #[test]

@@ -18,10 +18,15 @@ use std::time::Instant;
 use tsn::core::runner::ScenarioBuilder;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Err(_) => default,
+        // A set-but-invalid value must fail loudly naming the culprit,
+        // not silently fall back to the default workload.
+        Ok(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value for {name}: {raw:?} (expected a non-negative integer)");
+            std::process::exit(2);
+        }),
+    }
 }
 
 fn main() {

@@ -8,6 +8,10 @@
 //! tsn-cli sweep    [--nodes N] [--rounds R] [--seed S] [--seeds K]
 //!                  [--threads T] [--json] [--csv]
 //! tsn-cli dynamics [--honest F] [--eta F]
+//! tsn-cli serve    [--nodes N] [--epochs E] [--epoch-secs S] [--seed S]
+//!                  [--mechanism M] [--disclosure 0..4] [--malicious F]
+//!                  [--arrivals F] [--queries F] [--checkpoint FILE] [--json]
+//! tsn-cli replay   --checkpoint FILE [--epochs E] [--verify] [--json]
 //! ```
 
 use std::process::ExitCode;
@@ -18,6 +22,8 @@ use tsn::core::runner::{
 };
 use tsn::core::{FacetScores, PolicyProfile};
 use tsn::reputation::MechanismKind;
+use tsn::service::{DriverConfig, ServiceConfig, ServiceDriver, TrustService};
+use tsn::simnet::SimDuration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +35,8 @@ fn main() -> ExitCode {
         "scenario" => cmd_scenario(&args[1..]),
         "sweep" => cmd_sweep(&args[1..]),
         "dynamics" => cmd_dynamics(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
         "--help" | "help" => {
             print_help();
             Ok(())
@@ -53,6 +61,8 @@ commands:
   sweep      grid-sweep mechanisms x disclosure x policies in parallel;
              report every cell, the trust winner and Area A
   dynamics   iterate the Section-3 analytic dynamics to its fixed point
+  serve      run the online TrustService under a generated workload
+  replay     restore a service checkpoint and (optionally) continue it
 
 common flags:
   --nodes N --rounds R --seed S --json
@@ -66,7 +76,17 @@ sweep flags:
   --threads T  worker threads (default: all cores)
   --csv        emit the full report as CSV
 dynamics flags:
-  --honest 0.0..1.0   --eta 0.0..1.0"
+  --honest 0.0..1.0   --eta 0.0..1.0
+serve flags:
+  --epochs E        epochs to drive (default 10)
+  --epoch-secs S    epoch length / staleness bound (default 60)
+  --arrivals F      interactions per node per epoch (default 2.0)
+  --queries F       query probability per interaction (default 0.5)
+  --checkpoint F    write a binary checkpoint to file F at the end
+replay flags:
+  --checkpoint F    checkpoint file to restore (required)
+  --epochs E        extra epochs to continue after restoring (default 0)
+  --verify          rerun from scratch and check bit-identical scores"
     );
 }
 
@@ -277,6 +297,128 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             ""
         }
     );
+    Ok(())
+}
+
+/// Shared by `serve` and `replay`: the driver workload flags.
+fn driver_config(flags: &Flags, nodes: usize) -> Result<DriverConfig, String> {
+    let defaults = DriverConfig::default();
+    let config = DriverConfig {
+        nodes,
+        arrival_rate: flags.parse("--arrivals", defaults.arrival_rate)?,
+        disclosure_rate: flags.parse("--disclosures", defaults.disclosure_rate)?,
+        query_rate: flags.parse("--queries", defaults.query_rate)?,
+        malicious_fraction: flags.parse("--malicious", defaults.malicious_fraction)?,
+        seed: flags.parse("--seed", defaults.seed)?,
+    };
+    config.validate()?;
+    Ok(config)
+}
+
+fn service_summary(service: &TrustService, json: bool) {
+    let stats = service.stats();
+    let scores = service.scores();
+    let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+    if json {
+        let line = JsonValue::object([
+            ("nodes", JsonValue::from(service.config().nodes)),
+            ("epochs_committed", JsonValue::from(stats.commits)),
+            ("ingested", JsonValue::from(stats.ingested)),
+            ("rejected", JsonValue::from(stats.rejected)),
+            ("queries", JsonValue::from(stats.queries)),
+            (
+                "refresh_iterations",
+                JsonValue::from(stats.refresh_iterations),
+            ),
+            ("now_us", JsonValue::from(service.now().as_micros())),
+            ("as_of_us", JsonValue::from(service.as_of().as_micros())),
+            ("mean_score", JsonValue::from(mean)),
+        ]);
+        println!("{line}");
+    } else {
+        println!(
+            "service: {} nodes, {} epochs committed, clock at {:.0}s (visible to {:.0}s)",
+            service.config().nodes,
+            stats.commits,
+            service.now().as_micros() as f64 / 1e6,
+            service.as_of().as_micros() as f64 / 1e6,
+        );
+        println!(
+            "  events: {} ingested, {} rejected by partitions",
+            stats.ingested, stats.rejected
+        );
+        println!("  queries answered  = {}", stats.queries);
+        println!("  refresh iterations= {}", stats.refresh_iterations);
+        println!("  mean trust score  = {mean:.4}");
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let nodes: usize = flags.parse("--nodes", 100)?;
+    let epochs: u64 = flags.parse("--epochs", 10)?;
+    let epoch_secs: u64 = flags.parse("--epoch-secs", 60)?;
+    let mut config = ServiceConfig {
+        nodes,
+        epoch: SimDuration::from_secs(epoch_secs),
+        ..ServiceConfig::default()
+    };
+    if let Some(raw) = flags.get("--mechanism") {
+        config.mechanism = parse_mechanism(raw)?;
+    }
+    if let Some(raw) = flags.get("--disclosure") {
+        config.disclosure_level = parse_disclosure(raw)?.index();
+    }
+    let mut service = TrustService::new(config)?;
+    let driver = ServiceDriver::new(driver_config(&flags, nodes)?)?;
+    driver.drive(&mut service, epochs)?;
+    service_summary(&service, flags.has("--json"));
+    if let Some(path) = flags.get("--checkpoint") {
+        let bytes = service.checkpoint()?;
+        std::fs::write(path, &bytes)
+            .map_err(|e| format!("cannot write checkpoint to {path}: {e}"))?;
+        eprintln!("checkpoint: {} bytes -> {path}", bytes.len());
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let path = flags
+        .get("--checkpoint")
+        .ok_or("replay needs --checkpoint FILE")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
+    let mut service = TrustService::restore(&bytes)?;
+    eprintln!(
+        "restored {} nodes at epoch {} from {path} ({} bytes)",
+        service.config().nodes,
+        service.epoch_index(),
+        bytes.len()
+    );
+    let extra: u64 = flags.parse("--epochs", 0)?;
+    let restored_epochs = service.epoch_index();
+    let driver = ServiceDriver::new(driver_config(&flags, service.config().nodes)?)?;
+    if extra > 0 {
+        driver.drive(&mut service, extra)?;
+    }
+    if flags.has("--verify") {
+        // The checkpoint contract: restore + continue must equal an
+        // uninterrupted run, bit for bit.
+        let mut fresh = TrustService::new(service.config().clone())?;
+        driver.drive(&mut fresh, restored_epochs + extra)?;
+        let a = service.scores();
+        let b = fresh.scores();
+        let identical =
+            a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
+        if !identical {
+            return Err("verify FAILED: restored run diverged from scratch run".into());
+        }
+        eprintln!(
+            "verify: restored+continued run is bit-identical to an uninterrupted {}-epoch run",
+            restored_epochs + extra
+        );
+    }
+    service_summary(&service, flags.has("--json"));
     Ok(())
 }
 

@@ -18,7 +18,10 @@
 //! * [`satisfaction`] — the Quiané-Ruiz adequacy/satisfaction model;
 //! * [`core`] — the paper's contribution: the three facet scores, the
 //!   combined trust metric, the Section-3 interaction dynamics, and the
-//!   settings optimizer.
+//!   settings optimizer;
+//! * [`service`] — the online mode: a long-lived [`service::TrustService`]
+//!   with streaming ingest, incremental (delta) trust updates,
+//!   bounded-staleness queries and bit-identical checkpoint/restore.
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour and DESIGN.md for
 //! the full system inventory.
@@ -31,6 +34,7 @@ pub use tsn_privacy as privacy;
 pub use tsn_protocol as protocol;
 pub use tsn_reputation as reputation;
 pub use tsn_satisfaction as satisfaction;
+pub use tsn_service as service;
 pub use tsn_simnet as simnet;
 
 /// Commonly used items, for `use tsn::prelude::*`.
@@ -43,7 +47,12 @@ pub mod prelude {
         FacetScores, FacetWeights, Scenario, ScenarioConfig, ScenarioOutcome, TrustMetric,
         TrustReport,
     };
+    pub use tsn_reputation::MechanismKind;
+    pub use tsn_service::{
+        DriverConfig, ServiceConfig, ServiceDriver, ServiceEvent, ServiceOp, TrustService,
+    };
     pub use tsn_simnet::{
-        DynamicsPlan, DynamicsRuntime, NodeId, SimDuration, SimRng, SimTime, Simulation,
+        DynamicsPlan, DynamicsRuntime, NodeId, PartitionWindow, SimDuration, SimRng, SimTime,
+        Simulation,
     };
 }

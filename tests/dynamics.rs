@@ -16,7 +16,7 @@ use tsn::core::runner::{ScenarioBuilder, SeriesRecorder};
 use tsn::graph::generators;
 use tsn::protocol::{GossipConfig, GossipNetwork};
 use tsn::simnet::{
-    dynamics::{DynamicsPlan, DynamicsRuntime},
+    dynamics::{DynamicsPlan, DynamicsRuntime, PartitionWindow},
     latency::ConstantLatency,
     ChurnConfig, Network, NetworkConfig, NoLoss, NodeId, SimDuration, SimRng, SimTime,
 };
@@ -319,4 +319,74 @@ fn detached_scenario_and_protocol_runtime_share_one_schedule() {
     b.advance(&mut network, SimTime::from_secs(60));
     assert_eq!(a.take_events(), b.take_events());
     assert_eq!(a.identities(), b.identities());
+}
+
+#[test]
+fn runtime_with_saturated_transitions_terminates_without_spurious_events() {
+    // Regression guard for the saturation path: glacial churn means
+    // (SimDuration::MAX) make `from_secs_f64` saturate almost every
+    // sampled transition onto SimTime::MAX. Those saturated steps must
+    // never fire — advancing to the horizon terminates instead of
+    // spinning on MAX-timestamped schedule entries, and no event is
+    // fabricated at the horizon itself.
+    let plan = DynamicsPlan {
+        churn: Some(ChurnConfig {
+            mean_session: SimDuration::MAX,
+            mean_downtime: SimDuration::MAX,
+            ..ChurnConfig::default()
+        }),
+        ..DynamicsPlan::default()
+    };
+    let mut runtime = DynamicsRuntime::new(plan, 12, SimRng::seed_from_u64(700)).unwrap();
+    runtime.advance_detached(SimTime::MAX);
+    assert!(
+        runtime
+            .take_events()
+            .iter()
+            .all(|&(at, _)| at < SimTime::MAX),
+        "no event may fire at the unreachable horizon"
+    );
+    // Already at the horizon: advancing again is a settled no-op.
+    runtime.advance_detached(SimTime::MAX);
+    assert_eq!(runtime.take_events(), Vec::new());
+    runtime.advance_detached(SimTime::MAX);
+    assert_eq!(runtime.take_events(), Vec::new());
+}
+
+#[test]
+fn partition_window_ending_at_the_horizon_never_heals() {
+    // A window with `end == SimTime::MAX` is "partitioned forever":
+    // the start boundary fires, the heal never does, and repeatedly
+    // advancing at the horizon neither spins nor re-fires the start.
+    let plan = DynamicsPlan {
+        partitions: vec![PartitionWindow::full_split(
+            SimTime::from_secs(10),
+            SimTime::MAX,
+            2,
+        )],
+        ..DynamicsPlan::default()
+    };
+    let mut runtime = DynamicsRuntime::new(plan, 8, SimRng::seed_from_u64(701)).unwrap();
+    runtime.advance_detached(SimTime::MAX);
+    assert!(runtime.partition_active(), "split must be in effect");
+    let fired = runtime.take_events();
+    assert_eq!(fired.len(), 1, "exactly the start boundary: {fired:?}");
+    runtime.advance_detached(SimTime::MAX);
+    assert!(runtime.take_events().is_empty(), "no re-fired boundaries");
+    assert!(runtime.partition_active());
+}
+
+#[test]
+fn saturated_time_arithmetic_is_stable_at_the_horizon() {
+    // The service computes epoch boundaries by multiplying out epoch
+    // lengths; once anything saturates, every further step must stay
+    // pinned at MAX (no wrap, no panic) and durations must stay sane.
+    let horizon = SimTime::MAX;
+    assert_eq!(horizon.saturating_add(SimDuration::from_secs(1)), horizon);
+    assert_eq!(horizon + SimDuration::MAX, horizon);
+    assert_eq!(horizon.duration_since(horizon), SimDuration::ZERO);
+    assert_eq!(horizon.duration_since(SimTime::ZERO), SimDuration::MAX);
+    let near = SimTime::from_micros(u64::MAX - 1);
+    assert_eq!(near.saturating_add(SimDuration::from_micros(7)), horizon);
+    assert_eq!(horizon.duration_since(near), SimDuration::from_micros(1));
 }
