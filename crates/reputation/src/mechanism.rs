@@ -67,6 +67,29 @@ impl MechanismKind {
             MechanismKind::TrustMe => "trustme",
         }
     }
+
+    /// Whether this kind implements state snapshots
+    /// ([`ReputationMechanism::snapshot_state`] /
+    /// [`ReputationMechanism::restore_state`]), i.e. can live inside a
+    /// service checkpoint. Kept in sync with the implementations by a
+    /// test in `builder.rs`.
+    pub fn supports_snapshots(self) -> bool {
+        matches!(
+            self,
+            MechanismKind::None | MechanismKind::Beta | MechanismKind::EigenTrust
+        )
+    }
+
+    /// The snapshot-capable kind names, comma-separated — for error
+    /// messages that should tell the caller their options.
+    pub fn snapshot_capable_names() -> String {
+        let names: Vec<&str> = MechanismKind::ALL
+            .iter()
+            .filter(|k| k.supports_snapshots())
+            .map(|k| k.name())
+            .collect();
+        names.join(", ")
+    }
 }
 
 impl std::fmt::Display for MechanismKind {
@@ -302,6 +325,20 @@ mod tests {
     use super::*;
     use crate::gathering::{DisclosurePolicy, FeedbackReport};
     use tsn_simnet::SimTime;
+
+    #[test]
+    fn supports_snapshots_matches_the_implementations() {
+        for kind in MechanismKind::ALL {
+            let mechanism = build_mechanism(kind, 8);
+            assert_eq!(
+                mechanism.snapshot_state().is_some(),
+                kind.supports_snapshots(),
+                "MechanismKind::supports_snapshots out of sync for {kind}"
+            );
+        }
+        let names = MechanismKind::snapshot_capable_names();
+        assert_eq!(names, "none, beta, eigentrust");
+    }
 
     #[test]
     fn outcome_values() {

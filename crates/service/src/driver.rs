@@ -12,14 +12,19 @@
 //! pin.
 
 use crate::event::{ServiceEvent, ServiceOp};
-use crate::service::TrustService;
+use crate::host::{ApplyOutcome, HostError, ServiceHost};
+use crate::service::{Staleness, TrustService};
 use tsn_reputation::InteractionOutcome;
-use tsn_simnet::{NodeId, SimRng, SimTime};
+use tsn_simnet::{NodeId, SimDuration, SimRng, SimTime};
 
 /// Stream-label domain for per-node provider quality, disjoint from the
 /// per-`(epoch, node)` op streams (those use `epoch << 32 | node`, which
 /// stays far below this bit).
 const QUALITY_STREAM_DOMAIN: u64 = 1 << 61;
+
+/// Stream-label domain for retry jitter, disjoint from both the op
+/// streams and the quality stream.
+const RETRY_STREAM_DOMAIN: u64 = 1 << 62;
 
 /// Configuration of a [`ServiceDriver`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +136,90 @@ impl DriverConfig {
     }
 }
 
+/// Client-side retry discipline for operations a [`ServiceHost`]
+/// bounces with [`HostError::Unavailable`]: bounded attempts,
+/// exponential backoff, deterministic jitter.
+///
+/// The jitter draw comes from its own [`SimRng::stream`] keyed by
+/// `(seed, op id, attempt)`, so a retried timeline replays bit-for-bit
+/// — the point of jitter (decorrelating retry storms) survives without
+/// giving up determinism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included; at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Backoff ceiling.
+    pub max_backoff: SimDuration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// deterministic draw from `[1 - jitter, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_secs(10),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".into());
+        }
+        if self.base_backoff == SimDuration::ZERO {
+            return Err("base_backoff must be positive".into());
+        }
+        if self.max_backoff < self.base_backoff {
+            return Err("max_backoff must be at least base_backoff".into());
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(format!("jitter must be in [0, 1], got {}", self.jitter));
+        }
+        Ok(())
+    }
+
+    /// The backoff before retry number `attempt + 1` of operation
+    /// `op_id`: `base * 2^attempt`, capped at `max_backoff`, scaled by
+    /// the deterministic jitter draw.
+    pub fn backoff(&self, seed: u64, op_id: u64, attempt: u32) -> SimDuration {
+        let doubled = self
+            .base_backoff
+            .as_micros()
+            .saturating_mul(1u64 << attempt.min(20));
+        let capped = doubled.min(self.max_backoff.as_micros());
+        let label = RETRY_STREAM_DOMAIN | (op_id << 8) | u64::from(attempt & 0xff);
+        let mut rng = SimRng::stream(seed, label);
+        let scale = 1.0 - self.jitter + self.jitter * rng.gen_f64();
+        SimDuration::from_micros((capped as f64 * scale) as u64)
+    }
+}
+
+/// What came out of one [`ServiceDriver::drive_host`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostDriveReport {
+    /// Operations the host acknowledged (fresh or retried).
+    pub applied: u64,
+    /// Retries scheduled after an `Unavailable` bounce.
+    pub retries: u64,
+    /// Operations abandoned: attempts exhausted, or still pending when
+    /// the run ended.
+    pub abandoned: u64,
+    /// Queries answered from degraded (recovery-window) state.
+    pub degraded_answers: u64,
+}
+
 /// Deterministic workload generator (see the module docs).
 #[derive(Debug, Clone)]
 pub struct ServiceDriver {
@@ -172,7 +261,15 @@ impl ServiceDriver {
     /// result independent of generation order. Returns an empty
     /// timeline for an epoch whose start has saturated to the horizon.
     pub fn ops_for_epoch(&self, service: &TrustService, epoch: u64) -> Vec<ServiceOp> {
-        let epoch_us = service.config().epoch.as_micros();
+        self.ops_for_epoch_len(service.config().epoch, epoch)
+    }
+
+    /// [`ServiceDriver::ops_for_epoch`] for callers that do not hold a
+    /// live service — e.g. driving a [`ServiceHost`] whose service is
+    /// mid-crash. `epoch_len` is the epoch length the timeline is laid
+    /// out on.
+    pub fn ops_for_epoch_len(&self, epoch_len: SimDuration, epoch: u64) -> Vec<ServiceOp> {
+        let epoch_us = epoch_len.as_micros();
         let Some(start_us) = epoch_us.checked_mul(epoch) else {
             return Vec::new(); // at the horizon: nothing left to schedule
         };
@@ -279,6 +376,135 @@ impl ServiceDriver {
             service.finish_epoch()?;
         }
         Ok(())
+    }
+
+    /// Drives a [`ServiceHost`] for `epochs` epochs with the client
+    /// half of fault tolerance: fresh ops that bounce with
+    /// [`HostError::Unavailable`] are re-stamped and retried under
+    /// `policy` (bounded attempts, exponential backoff, deterministic
+    /// jitter). Retries due at or before a fresh op's time are flushed
+    /// first, so the applied order is a pure function of the
+    /// configuration — a faulted run replays bit-for-bit. Retries still
+    /// pending when the run ends are abandoned (and counted).
+    ///
+    /// On a fault-free host this applies exactly the [`drive`] timeline,
+    /// so the final service state is bit-identical to an undriven
+    /// [`TrustService`] fed the same epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard rejections ([`HostError::Rejected`]) — the
+    /// workload itself never produces one, so a rejection means the
+    /// host and driver disagree about the configuration.
+    ///
+    /// [`drive`]: ServiceDriver::drive
+    pub fn drive_host(
+        &self,
+        host: &mut ServiceHost,
+        epochs: u64,
+        policy: &RetryPolicy,
+    ) -> Result<HostDriveReport, String> {
+        policy.validate()?;
+        let host_nodes = host.config().service.nodes;
+        if self.config.nodes != host_nodes {
+            return Err(format!(
+                "driver is sized for {} nodes, host for {host_nodes}",
+                self.config.nodes
+            ));
+        }
+        let epoch_len = host.config().service.epoch;
+        let start_epoch = host.service().map_or(0, |s| s.epoch_index());
+        let mut report = HostDriveReport::default();
+        // Pending retries ordered by (due, op id); ids are global so the
+        // order is total.
+        let mut pending: Vec<(SimTime, u64, u32, ServiceOp)> = Vec::new();
+        let mut next_id: u64 = 0;
+        for e in 0..epochs {
+            let epoch = start_epoch + e;
+            for op in self.ops_for_epoch_len(epoch_len, epoch) {
+                self.flush_due_retries(host, policy, &mut pending, &mut report, op.at())?;
+                let id = next_id;
+                next_id += 1;
+                self.submit(host, policy, &mut pending, &mut report, (id, 0, op))?;
+            }
+            let Some(end_us) = epoch_len.as_micros().checked_mul(epoch + 1) else {
+                break; // at the horizon: nothing left to drive
+            };
+            let end = SimTime::from_micros(end_us);
+            self.flush_due_retries(host, policy, &mut pending, &mut report, end)?;
+            host.advance_to(end)?;
+        }
+        // Whatever is still queued never got acknowledged in-run.
+        report.abandoned += pending.len() as u64;
+        Ok(report)
+    }
+
+    /// Applies every pending retry due at or before `cutoff`, in
+    /// `(due, id)` order. A retry that bounces again re-queues itself
+    /// (with a later due time) and is picked up in the same flush if it
+    /// still lands inside the cutoff.
+    fn flush_due_retries(
+        &self,
+        host: &mut ServiceHost,
+        policy: &RetryPolicy,
+        pending: &mut Vec<(SimTime, u64, u32, ServiceOp)>,
+        report: &mut HostDriveReport,
+        cutoff: SimTime,
+    ) -> Result<(), String> {
+        while let Some(&(due, _, _, _)) = pending.first() {
+            if due > cutoff {
+                return Ok(());
+            }
+            let (due, id, attempt, op) = pending.remove(0);
+            let restamped = op.with_time(due);
+            self.submit(host, policy, pending, report, (id, attempt, restamped))?;
+        }
+        Ok(())
+    }
+
+    /// One attempt of one op: apply, or schedule the next retry.
+    /// `attempt` is the `(op id, attempt index, stamped op)` triple.
+    fn submit(
+        &self,
+        host: &mut ServiceHost,
+        policy: &RetryPolicy,
+        pending: &mut Vec<(SimTime, u64, u32, ServiceOp)>,
+        report: &mut HostDriveReport,
+        attempt: (u64, u32, ServiceOp),
+    ) -> Result<(), String> {
+        let (id, attempt, op) = attempt;
+        match host.apply(&op) {
+            Ok(outcome) => {
+                report.applied += 1;
+                let degraded = matches!(
+                    outcome,
+                    ApplyOutcome::Trust(r) if r.mode == Staleness::Degraded
+                ) || matches!(
+                    outcome,
+                    ApplyOutcome::Exposure(r) if r.mode == Staleness::Degraded
+                );
+                if degraded {
+                    report.degraded_answers += 1;
+                }
+                Ok(())
+            }
+            Err(HostError::Unavailable { retry_at, .. }) => {
+                if attempt + 1 >= policy.max_attempts {
+                    report.abandoned += 1;
+                    return Ok(());
+                }
+                let backoff = policy.backoff(self.config.seed, id, attempt);
+                let due = retry_at.max(op.at()).saturating_add(backoff);
+                let key = (due, id);
+                let pos = pending
+                    .binary_search_by_key(&key, |&(d, i, _, _)| (d, i))
+                    .unwrap_or_else(|p| p);
+                pending.insert(pos, (due, id, attempt + 1, op));
+                report.retries += 1;
+                Ok(())
+            }
+            Err(HostError::Rejected(e)) => Err(e),
+        }
     }
 }
 
@@ -426,5 +652,158 @@ mod tests {
         let driver = ServiceDriver::new(DriverConfig::default()).unwrap();
         let svc = service(100);
         assert!(driver.ops_for_epoch(&svc, u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let policy = RetryPolicy::default();
+        assert_eq!(
+            policy.backoff(42, 7, 0),
+            policy.backoff(42, 7, 0),
+            "same (seed, op, attempt) must draw the same jitter"
+        );
+        assert_ne!(
+            policy.backoff(42, 7, 0),
+            policy.backoff(42, 8, 0),
+            "different ops must decorrelate"
+        );
+        let base = policy.base_backoff.as_micros();
+        let b0 = policy.backoff(42, 7, 0).as_micros();
+        assert!(b0 >= base / 2 && b0 <= base, "jitter scales into [0.5, 1]");
+        for attempt in 0..12 {
+            assert!(policy.backoff(42, 7, attempt) <= policy.max_backoff);
+        }
+        // Deep attempts sit at the (jittered) ceiling, not overflow.
+        assert!(policy.backoff(42, 7, 63).as_micros() >= policy.max_backoff.as_micros() / 2);
+    }
+
+    #[test]
+    fn retry_policy_validation_names_the_field() {
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("max_attempts"));
+        let bad = RetryPolicy {
+            jitter: 1.5,
+            ..RetryPolicy::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("jitter"));
+        let bad = RetryPolicy {
+            max_backoff: SimDuration::ZERO,
+            ..RetryPolicy::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("max_backoff"));
+    }
+
+    #[test]
+    fn faultless_drive_host_matches_plain_drive_bit_for_bit() {
+        let config = DriverConfig {
+            nodes: 40,
+            arrival_rate: 3.0,
+            ..DriverConfig::default()
+        };
+        let driver = ServiceDriver::new(config).unwrap();
+        let mut bare = service(40);
+        driver.drive(&mut bare, 4).unwrap();
+        let mut host = crate::ServiceHost::new(crate::HostConfig {
+            service: bare.config().clone(),
+            ..crate::HostConfig::default()
+        })
+        .unwrap();
+        let report = driver
+            .drive_host(&mut host, 4, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.abandoned, 0);
+        assert_eq!(report.degraded_answers, 0);
+        let hosted = host.service().unwrap();
+        assert_eq!(bare.now(), hosted.now());
+        assert_eq!(bare.stats(), hosted.stats());
+        assert_eq!(bare.samples(), hosted.samples());
+        assert_eq!(
+            bare.scores()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>(),
+            hosted
+                .scores()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.applied, bare.stats().ingested + bare.stats().queries);
+    }
+
+    #[test]
+    fn drive_host_retries_through_a_scheduled_crash() {
+        use tsn_simnet::{FaultInjector, FaultPlan};
+        let config = DriverConfig {
+            nodes: 30,
+            arrival_rate: 2.0,
+            ..DriverConfig::default()
+        };
+        let driver = ServiceDriver::new(config).unwrap();
+        let mut host = crate::ServiceHost::new(crate::HostConfig {
+            service: crate::ServiceConfig {
+                nodes: 30,
+                epoch: SimDuration::from_secs(60),
+                ..crate::ServiceConfig::default()
+            },
+            recovery_grace: SimDuration::from_secs(5),
+            ..crate::HostConfig::default()
+        })
+        .unwrap();
+        // Crash mid-epoch-1, down for 20 s.
+        host.attach_faults(
+            FaultInjector::new(
+                FaultPlan::service_crash(SimTime::from_secs(90), SimDuration::from_secs(20)),
+                9,
+            )
+            .unwrap(),
+        );
+        let host_config = host.config().clone();
+        let rerun_driver = driver.clone();
+        let run = move || {
+            let mut h = crate::ServiceHost::new(host_config.clone()).unwrap();
+            h.attach_faults(
+                FaultInjector::new(
+                    FaultPlan::service_crash(SimTime::from_secs(90), SimDuration::from_secs(20)),
+                    9,
+                )
+                .unwrap(),
+            );
+            let report = rerun_driver
+                .drive_host(&mut h, 3, &RetryPolicy::default())
+                .unwrap();
+            (report, h)
+        };
+        let report = driver
+            .drive_host(&mut host, 3, &RetryPolicy::default())
+            .unwrap();
+        assert_eq!(host.stats().crashes, 1);
+        assert_eq!(host.stats().recoveries, 1);
+        assert!(report.retries > 0, "downtime ops must be retried");
+        assert!(report.applied > 0);
+        assert!(
+            report.degraded_answers > 0,
+            "grace-window queries answer degraded"
+        );
+        // Nothing acknowledged was lost: the recovered service kept
+        // serving and its clock reached the driven horizon.
+        let svc = host.service().unwrap();
+        assert_eq!(svc.now(), SimTime::from_secs(180));
+        // The whole faulted run replays bit-for-bit.
+        let (report2, host2) = run();
+        assert_eq!(report, report2);
+        let svc2 = host2.service().unwrap();
+        assert_eq!(svc.stats(), svc2.stats());
+        assert_eq!(
+            svc.scores().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            svc2.scores()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 }

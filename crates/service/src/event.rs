@@ -90,6 +90,33 @@ impl ServiceOp {
     pub fn is_ingest(&self) -> bool {
         matches!(self, ServiceOp::Ingest(_))
     }
+
+    /// The same operation re-stamped to `at` — what a client does when
+    /// it reissues an op after a retry backoff.
+    pub fn with_time(self, at: SimTime) -> ServiceOp {
+        match self {
+            ServiceOp::Ingest(ServiceEvent::Interaction {
+                rater,
+                ratee,
+                outcome,
+                ..
+            }) => ServiceOp::Ingest(ServiceEvent::Interaction {
+                rater,
+                ratee,
+                outcome,
+                at,
+            }),
+            ServiceOp::Ingest(ServiceEvent::Disclosure {
+                node, respected, ..
+            }) => ServiceOp::Ingest(ServiceEvent::Disclosure {
+                node,
+                respected,
+                at,
+            }),
+            ServiceOp::QueryTrust { node, .. } => ServiceOp::QueryTrust { node, at },
+            ServiceOp::QueryExposure { node, .. } => ServiceOp::QueryExposure { node, at },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +140,31 @@ mod tests {
         };
         assert_eq!(q.at(), at);
         assert!(!q.is_ingest());
+    }
+
+    #[test]
+    fn with_time_restamps_every_variant() {
+        let later = SimTime::from_secs(9);
+        let interaction = ServiceOp::Ingest(ServiceEvent::Interaction {
+            rater: NodeId(0),
+            ratee: NodeId(1),
+            outcome: InteractionOutcome::Failure,
+            at: SimTime::from_secs(1),
+        });
+        assert_eq!(interaction.with_time(later).at(), later);
+        let disclosure = ServiceOp::Ingest(ServiceEvent::Disclosure {
+            node: NodeId(2),
+            respected: false,
+            at: SimTime::from_secs(1),
+        });
+        assert_eq!(disclosure.with_time(later).at(), later);
+        let q = ServiceOp::QueryExposure {
+            node: NodeId(3),
+            at: SimTime::from_secs(1),
+        };
+        let ServiceOp::QueryExposure { node, at } = q.with_time(later) else {
+            panic!("with_time must preserve the variant");
+        };
+        assert_eq!((node, at), (NodeId(3), later));
     }
 }

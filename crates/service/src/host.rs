@@ -1,0 +1,840 @@
+//! The [`ServiceHost`]: a [`TrustService`] process plus its durable
+//! storage, crash/recovery state machine, and fault hookup.
+//!
+//! The service itself is pure state; the host models the *process*
+//! around it. It owns what survives a crash — a ring of recent
+//! checkpoints and the write-ahead [`EventJournal`] — and the volatile
+//! part that does not: the running [`TrustService`]. Crashes (explicit
+//! or scheduled by a [`FaultPlan`]) drop the volatile part; recovery
+//! rebuilds it as
+//!
+//! > newest checkpoint that passes its per-section CRCs
+//! > + replay of the journal suffix from that checkpoint's cursor
+//!
+//! falling back checkpoint by checkpoint when the newest is corrupt
+//! (each rejection is reported with the section that failed), and from
+//! scratch — full journal replay — when none survives. Because every
+//! acknowledged operation is journaled, recovery is lossless: the only
+//! operations missing afterwards are ones no client ever got an
+//! acknowledgement for (a torn tail), and those are the client's to
+//! retry.
+//!
+//! # Degraded reads
+//!
+//! While the host is in its post-restart grace window
+//! ([`HostConfig::recovery_grace`]), queries answer **degraded**: from
+//! the recovered committed state, read-only, marked
+//! [`Staleness::Degraded`](crate::Staleness) — instead of blocking or
+//! erroring. Ingests during the window (and everything while the
+//! process is down) get [`HostError::Unavailable`] with an explicit
+//! retry time; the client-side discipline lives in
+//! [`ServiceDriver::drive_host`](crate::ServiceDriver::drive_host).
+//!
+//! Degraded reads deliberately bypass the journal and the service
+//! clock/stats, so serving them changes nothing about the recovered
+//! state's bit-identity.
+//!
+//! [`FaultPlan`]: tsn_simnet::FaultPlan
+
+use crate::event::ServiceOp;
+use crate::journal::{EventJournal, JournalRecord};
+use crate::service::{
+    ExposureQueryResult, IngestOutcome, ServiceConfig, TrustQueryResult, TrustService,
+};
+use tsn_simnet::{FaultInjector, FaultTarget, NodeId, SimDuration, SimTime};
+
+/// Configuration of a [`ServiceHost`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostConfig {
+    /// The hosted service.
+    pub service: ServiceConfig,
+    /// Whether to keep a write-ahead journal. Without it, recovery
+    /// falls back to the newest checkpoint alone: the open epoch (and
+    /// anything after the checkpoint) is lost.
+    pub journal: bool,
+    /// Write a checkpoint automatically every N epoch commits
+    /// (0 = only explicit [`ServiceHost::checkpoint_now`] calls).
+    pub checkpoint_every_epochs: u64,
+    /// How many checkpoints the storage ring retains (at least 1; the
+    /// default 2 is what makes fallback-from-corruption possible).
+    pub retain_checkpoints: usize,
+    /// Degraded-query window after a restart: queries answer from the
+    /// recovered state marked degraded, ingests wait. Zero skips the
+    /// window entirely (restart goes straight to `Up`).
+    pub recovery_grace: SimDuration,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            service: ServiceConfig::default(),
+            journal: true,
+            checkpoint_every_epochs: 1,
+            retain_checkpoints: 2,
+            recovery_grace: SimDuration::ZERO,
+        }
+    }
+}
+
+impl HostConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the service's validation error, or a description of an
+    /// invalid host field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.service.validate()?;
+        if self.retain_checkpoints == 0 {
+            return Err("retain_checkpoints must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// The host's process state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostState {
+    /// Serving normally.
+    Up,
+    /// Crashed; nothing answers until the restart time.
+    Down,
+    /// Restarted and recovered, inside the grace window: queries answer
+    /// degraded, ingests wait.
+    Recovering,
+}
+
+/// Why an operation could not be applied right now.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostError {
+    /// The process is down or still in its recovery window. Retry at
+    /// (or after) `retry_at`.
+    Unavailable {
+        /// Earliest time a retry can succeed.
+        retry_at: SimTime,
+        /// Which unavailability this is ("down" or "recovering").
+        reason: &'static str,
+    },
+    /// A hard rejection from the service (invalid node, clock rewind,
+    /// …) — retrying the same operation cannot succeed.
+    Rejected(String),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::Unavailable { retry_at, reason } => write!(
+                f,
+                "service unavailable ({reason}); retry at {}us",
+                retry_at.as_micros()
+            ),
+            HostError::Rejected(e) => write!(f, "operation rejected: {e}"),
+        }
+    }
+}
+
+/// What applying an operation produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApplyOutcome {
+    /// An ingest was staged (or partition-rejected).
+    Ingested(IngestOutcome),
+    /// A trust query's answer.
+    Trust(TrustQueryResult),
+    /// An exposure query's answer.
+    Exposure(ExposureQueryResult),
+}
+
+/// Lifetime counters of a host (fault and recovery accounting; the
+/// service's own counters live in
+/// [`ServiceStats`](crate::ServiceStats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Crashes suffered (explicit or fault-scheduled).
+    pub crashes: u64,
+    /// Recoveries completed.
+    pub recoveries: u64,
+    /// Journal records replayed across all recoveries.
+    pub journal_replays: u64,
+    /// Checkpoints written to storage.
+    pub checkpoints_written: u64,
+    /// Recoveries that had to fall back past a corrupt checkpoint.
+    pub checkpoint_fallbacks: u64,
+    /// Storage faults injected into checkpoint writes.
+    pub storage_faults: u64,
+    /// Queries answered degraded during recovery windows.
+    pub degraded_queries: u64,
+    /// Operations bounced with [`HostError::Unavailable`].
+    pub unavailable_rejections: u64,
+}
+
+/// How one recovery went.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Checkpoints rejected before one restored (0 = newest was fine).
+    pub fallbacks: u64,
+    /// The rejection error of each corrupt checkpoint, newest first —
+    /// each names the section that failed its CRC.
+    pub corrupt: Vec<String>,
+    /// Whether recovery started from a fresh service because no stored
+    /// checkpoint was usable.
+    pub from_scratch: bool,
+    /// Journal records replayed on top of the restored state.
+    pub replayed: u64,
+    /// Whether the journal had a torn tail (one unacknowledged
+    /// operation was discarded).
+    pub torn_tail: bool,
+    /// The service clock after recovery.
+    pub recovered_to: SimTime,
+}
+
+/// A crash-tolerant process around a [`TrustService`] (see the module
+/// docs).
+#[derive(Debug)]
+pub struct ServiceHost {
+    config: HostConfig,
+    /// The volatile part: `None` while crashed.
+    service: Option<TrustService>,
+    /// Durable storage: recent checkpoints, newest last.
+    checkpoints: Vec<Vec<u8>>,
+    /// Durable storage: the write-ahead journal.
+    journal: EventJournal,
+    injector: Option<FaultInjector>,
+    state: HostState,
+    /// While `Down`: when the restart fires ([`SimTime::MAX`] = only an
+    /// explicit [`ServiceHost::restart`] brings it back).
+    down_until: SimTime,
+    /// While `Recovering`: when the grace window ends.
+    grace_until: SimTime,
+    /// Where the fault schedule scan resumes.
+    crash_cursor: SimTime,
+    /// Checkpoint write index (labels storage-fault draws).
+    writes: u64,
+    /// Epoch index at the last automatic checkpoint.
+    last_checkpoint_epoch: u64,
+    stats: HostStats,
+    last_recovery: Option<RecoveryReport>,
+}
+
+impl ServiceHost {
+    /// Creates a host with a fresh service at sim time zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error.
+    pub fn new(config: HostConfig) -> Result<Self, String> {
+        config.validate()?;
+        let service = TrustService::new(config.service.clone())?;
+        Ok(ServiceHost {
+            service: Some(service),
+            checkpoints: Vec::new(),
+            journal: EventJournal::new(),
+            injector: None,
+            state: HostState::Up,
+            down_until: SimTime::MAX,
+            grace_until: SimTime::ZERO,
+            crash_cursor: SimTime::ZERO,
+            writes: 0,
+            last_checkpoint_epoch: 0,
+            stats: HostStats::default(),
+            last_recovery: None,
+            config,
+        })
+    }
+
+    /// Attaches a fault injector: its process faults crash this host on
+    /// schedule, its storage faults corrupt checkpoint writes. (Message
+    /// faults are the network's job —
+    /// [`Network::attach_faults`](tsn_simnet::Network::attach_faults).)
+    pub fn attach_faults(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HostConfig {
+        &self.config
+    }
+
+    /// The running service (`None` while crashed). Degraded reads and
+    /// state comparisons go through here.
+    pub fn service(&self) -> Option<&TrustService> {
+        self.service.as_ref()
+    }
+
+    /// The current process state.
+    pub fn state(&self) -> HostState {
+        self.state
+    }
+
+    /// Fault and recovery counters.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// The stored checkpoints, newest last (diagnostics and tests).
+    pub fn stored_checkpoints(&self) -> &[Vec<u8>] {
+        &self.checkpoints
+    }
+
+    /// The write-ahead journal (diagnostics and tests).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// How the most recent recovery went, if any.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Processes every scheduled state transition at or before `at`:
+    /// fault-plan crashes, restarts, grace-window expiry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery failures (these are fatal: storage itself
+    /// was unusable).
+    pub fn tick(&mut self, at: SimTime) -> Result<(), String> {
+        loop {
+            match self.state {
+                HostState::Up => {
+                    let next = self
+                        .injector
+                        .as_ref()
+                        .and_then(|i| i.next_crash(FaultTarget::Service, self.crash_cursor));
+                    match next {
+                        Some(fault) if fault.at <= at => {
+                            self.crash_at(fault.at, fault.restart_at());
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                HostState::Down => {
+                    if self.down_until > at {
+                        return Ok(());
+                    }
+                    let restart_at = self.down_until;
+                    self.recover(restart_at)?;
+                }
+                HostState::Recovering => {
+                    if self.grace_until > at {
+                        return Ok(());
+                    }
+                    self.state = HostState::Up;
+                }
+            }
+        }
+    }
+
+    /// Crashes the process at `at`, losing all volatile state. It stays
+    /// down until an explicit [`ServiceHost::restart`].
+    pub fn crash(&mut self, at: SimTime) {
+        self.crash_at(at, SimTime::MAX);
+    }
+
+    /// Crashes at `at` **mid-journal-append**: the most recent record
+    /// is left half-written on storage (torn tail), exactly as if the
+    /// process died inside the write. That operation was never
+    /// acknowledged; recovery discards it and the client retries.
+    pub fn crash_torn(&mut self, at: SimTime) {
+        self.journal.tear_last_record();
+        self.crash_at(at, SimTime::MAX);
+    }
+
+    fn crash_at(&mut self, at: SimTime, restart_at: SimTime) {
+        self.service = None;
+        self.state = HostState::Down;
+        self.down_until = restart_at;
+        self.stats.crashes += 1;
+        // The next fault-schedule scan starts strictly after this crash.
+        self.crash_cursor = at.saturating_add(SimDuration::from_micros(1));
+    }
+
+    /// Restarts a crashed process at `at`: recovery (checkpoint +
+    /// journal replay) runs immediately; the grace window, if
+    /// configured, follows.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the host is not down, or when recovery itself fails.
+    pub fn restart(&mut self, at: SimTime) -> Result<&RecoveryReport, String> {
+        if self.state != HostState::Down {
+            return Err("restart: the host is not down".into());
+        }
+        self.recover(at)?;
+        Ok(self.last_recovery.as_ref().expect("recover just ran"))
+    }
+
+    /// Recovery proper: newest valid checkpoint + journal suffix.
+    fn recover(&mut self, at: SimTime) -> Result<(), String> {
+        let mut corrupt = Vec::new();
+        let mut restored: Option<(TrustService, u64)> = None;
+        for checkpoint in self.checkpoints.iter().rev() {
+            match TrustService::restore_with_cursor(checkpoint) {
+                Ok(pair) => {
+                    restored = Some(pair);
+                    break;
+                }
+                Err(e) => corrupt.push(e),
+            }
+        }
+        let fallbacks = corrupt.len() as u64;
+        let from_scratch = restored.is_none();
+        let (mut service, cursor) = match restored {
+            Some(pair) => pair,
+            // No usable checkpoint: start fresh and replay everything.
+            None => (TrustService::new(self.config.service.clone())?, 0),
+        };
+        let scan = EventJournal::scan(self.journal.as_bytes());
+        let mut replayed = 0;
+        for record in scan.records.iter().skip(cursor as usize) {
+            match record {
+                JournalRecord::Op(op) => service
+                    .apply(op)
+                    .map_err(|e| format!("journal replay failed at record {cursor}: {e}"))?,
+                JournalRecord::Advance { at } => service
+                    .advance_to(*at)
+                    .map_err(|e| format!("journal replay failed at record {cursor}: {e}"))?,
+            }
+            replayed += 1;
+        }
+        if scan.torn {
+            // Drop the torn tail from storage: it was never acknowledged.
+            let (clean, _) = EventJournal::from_bytes(self.journal.as_bytes());
+            self.journal = clean;
+        }
+        self.stats.recoveries += 1;
+        self.stats.journal_replays += replayed;
+        self.stats.checkpoint_fallbacks += fallbacks;
+        self.last_recovery = Some(RecoveryReport {
+            fallbacks,
+            corrupt,
+            from_scratch,
+            replayed,
+            torn_tail: scan.torn,
+            recovered_to: service.now(),
+        });
+        self.service = Some(service);
+        self.down_until = SimTime::MAX;
+        if self.config.recovery_grace > SimDuration::ZERO {
+            self.state = HostState::Recovering;
+            self.grace_until = at.saturating_add(self.config.recovery_grace);
+        } else {
+            self.state = HostState::Up;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint to the storage ring (subject to any injected
+    /// storage faults), embedding the journal cursor.
+    ///
+    /// # Errors
+    ///
+    /// Fails while the service is not up, or when the mechanism does
+    /// not support snapshots.
+    pub fn checkpoint_now(&mut self, at: SimTime) -> Result<(), String> {
+        if self.state != HostState::Up {
+            return Err("checkpoint: the service is not up".into());
+        }
+        let service = self.service.as_ref().expect("up implies a service");
+        let mut bytes = service.checkpoint_with_cursor(self.journal.records())?;
+        if let Some(injector) = &self.injector {
+            let previous = self.checkpoints.last().map(|c| c.as_slice());
+            let applied = injector.corrupt_checkpoint(&mut bytes, previous, at, self.writes);
+            self.stats.storage_faults += applied.len() as u64;
+        }
+        self.writes += 1;
+        self.checkpoints.push(bytes);
+        while self.checkpoints.len() > self.config.retain_checkpoints {
+            self.checkpoints.remove(0);
+        }
+        self.stats.checkpoints_written += 1;
+        self.last_checkpoint_epoch = self
+            .service
+            .as_ref()
+            .expect("up implies a service")
+            .epoch_index();
+        Ok(())
+    }
+
+    /// After a successful apply/advance: auto-checkpoint if enough
+    /// epochs have committed since the last one.
+    fn maybe_auto_checkpoint(&mut self, at: SimTime) -> Result<(), String> {
+        let every = self.config.checkpoint_every_epochs;
+        if every == 0 || self.state != HostState::Up {
+            return Ok(());
+        }
+        let epoch = self.service.as_ref().expect("up").epoch_index();
+        if epoch >= self.last_checkpoint_epoch + every {
+            self.checkpoint_now(at)?;
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), HostError> {
+        if node.index() >= self.config.service.nodes {
+            return Err(HostError::Rejected(format!(
+                "node {} out of range (service tracks {} nodes)",
+                node.0, self.config.service.nodes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Pre-validates an op so a rejected one never touches the service
+    /// clock (which would make journal replay diverge).
+    fn validate_op(&self, op: &ServiceOp) -> Result<(), HostError> {
+        match *op {
+            ServiceOp::Ingest(crate::ServiceEvent::Interaction { rater, ratee, .. }) => {
+                self.check_node(rater)?;
+                self.check_node(ratee)
+            }
+            ServiceOp::Ingest(crate::ServiceEvent::Disclosure { node, .. }) => {
+                self.check_node(node)
+            }
+            ServiceOp::QueryTrust { node, .. } | ServiceOp::QueryExposure { node, .. } => {
+                self.check_node(node)
+            }
+        }
+    }
+
+    /// Applies one operation at its own timestamp, running any due
+    /// state transitions first. Journals the operation once the service
+    /// acknowledged it.
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::Unavailable`] while down (all ops) or recovering
+    /// (ingests only — queries answer degraded); [`HostError::Rejected`]
+    /// for hard service errors. Fatal recovery failures also surface as
+    /// `Rejected`.
+    pub fn apply(&mut self, op: &ServiceOp) -> Result<ApplyOutcome, HostError> {
+        let at = op.at();
+        self.tick(at).map_err(HostError::Rejected)?;
+        match self.state {
+            HostState::Down => {
+                self.stats.unavailable_rejections += 1;
+                Err(HostError::Unavailable {
+                    retry_at: self.down_until,
+                    reason: "down",
+                })
+            }
+            HostState::Recovering => match *op {
+                ServiceOp::QueryTrust { node, .. } => {
+                    let service = self.service.as_ref().expect("recovering has a service");
+                    let answer = service
+                        .degraded_trust(node, at)
+                        .map_err(HostError::Rejected)?;
+                    self.stats.degraded_queries += 1;
+                    Ok(ApplyOutcome::Trust(answer))
+                }
+                ServiceOp::QueryExposure { node, .. } => {
+                    let service = self.service.as_ref().expect("recovering has a service");
+                    let answer = service
+                        .degraded_exposure(node, at)
+                        .map_err(HostError::Rejected)?;
+                    self.stats.degraded_queries += 1;
+                    Ok(ApplyOutcome::Exposure(answer))
+                }
+                ServiceOp::Ingest(_) => {
+                    self.stats.unavailable_rejections += 1;
+                    Err(HostError::Unavailable {
+                        retry_at: self.grace_until,
+                        reason: "recovering",
+                    })
+                }
+            },
+            HostState::Up => {
+                self.validate_op(op)?;
+                let service = self.service.as_mut().expect("up implies a service");
+                let outcome = match *op {
+                    ServiceOp::Ingest(event) => {
+                        ApplyOutcome::Ingested(service.ingest(event).map_err(HostError::Rejected)?)
+                    }
+                    ServiceOp::QueryTrust { node, at } => ApplyOutcome::Trust(
+                        service.query_trust(node, at).map_err(HostError::Rejected)?,
+                    ),
+                    ServiceOp::QueryExposure { node, at } => ApplyOutcome::Exposure(
+                        service
+                            .query_exposure(node, at)
+                            .map_err(HostError::Rejected)?,
+                    ),
+                };
+                if self.config.journal {
+                    self.journal.append(&JournalRecord::Op(*op));
+                }
+                self.maybe_auto_checkpoint(at)
+                    .map_err(HostError::Rejected)?;
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// Advances the service clock (committing crossed epochs) when the
+    /// service is up; while down or recovering, only the host's own
+    /// transitions run — the service catches up with the next applied
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal recovery/service errors.
+    pub fn advance_to(&mut self, at: SimTime) -> Result<(), String> {
+        self.tick(at)?;
+        if self.state != HostState::Up {
+            return Ok(());
+        }
+        let service = self.service.as_mut().expect("up implies a service");
+        if at <= service.now() {
+            return Ok(());
+        }
+        service.advance_to(at)?;
+        if self.config.journal {
+            self.journal.append(&JournalRecord::Advance { at });
+        }
+        self.maybe_auto_checkpoint(at)
+    }
+
+    /// Closes the service's open epoch (when up): advance to its
+    /// boundary, committing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal recovery/service errors.
+    pub fn finish_epoch(&mut self) -> Result<(), String> {
+        let Some(service) = self.service.as_ref() else {
+            return Ok(());
+        };
+        let end = service.epoch_end(service.epoch_index());
+        if end == SimTime::MAX {
+            return Ok(());
+        }
+        self.advance_to(end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ServiceEvent;
+    use tsn_reputation::InteractionOutcome;
+    use tsn_simnet::FaultPlan;
+
+    fn host() -> ServiceHost {
+        ServiceHost::new(HostConfig {
+            service: ServiceConfig {
+                nodes: 4,
+                epoch: SimDuration::from_secs(10),
+                ..ServiceConfig::default()
+            },
+            ..HostConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn ingest(rater: u32, ratee: u32, at_secs: u64) -> ServiceOp {
+        ServiceOp::Ingest(ServiceEvent::Interaction {
+            rater: NodeId(rater),
+            ratee: NodeId(ratee),
+            outcome: InteractionOutcome::Success { quality: 1.0 },
+            at: SimTime::from_secs(at_secs),
+        })
+    }
+
+    fn query(node: u32, at_secs: u64) -> ServiceOp {
+        ServiceOp::QueryTrust {
+            node: NodeId(node),
+            at: SimTime::from_secs(at_secs),
+        }
+    }
+
+    #[test]
+    fn crash_then_restart_recovers_acknowledged_state_exactly() {
+        let mut reference = host();
+        let mut crashing = host();
+        let ops = [
+            ingest(0, 1, 1),
+            ingest(1, 2, 3),
+            query(1, 5),
+            ingest(2, 3, 12), // crosses the first epoch boundary
+            query(2, 14),
+        ];
+        for op in &ops {
+            reference.apply(op).unwrap();
+            crashing.apply(op).unwrap();
+        }
+        crashing.crash(SimTime::from_secs(15));
+        assert_eq!(crashing.state(), HostState::Down);
+        assert!(crashing.service().is_none());
+        let err = crashing.apply(&query(1, 16)).unwrap_err();
+        assert!(matches!(err, HostError::Unavailable { reason: "down", .. }));
+        let report = crashing.restart(SimTime::from_secs(17)).unwrap();
+        assert!(!report.from_scratch, "an auto-checkpoint existed");
+        assert_eq!(report.fallbacks, 0);
+        assert!(
+            report.replayed > 0,
+            "post-checkpoint ops came from the journal"
+        );
+        // Bit-identical recovered state.
+        let a = reference.service().unwrap();
+        let b = crashing.service().unwrap();
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(
+            a.scores().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            b.scores().iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        // Both continue identically.
+        reference.apply(&ingest(0, 2, 21)).unwrap();
+        crashing.apply(&ingest(0, 2, 21)).unwrap();
+        reference.finish_epoch().unwrap();
+        crashing.finish_epoch().unwrap();
+        assert_eq!(
+            reference.service().unwrap().samples(),
+            crashing.service().unwrap().samples()
+        );
+    }
+
+    #[test]
+    fn recovery_without_any_checkpoint_replays_the_whole_journal() {
+        let mut h = ServiceHost::new(HostConfig {
+            service: ServiceConfig {
+                nodes: 4,
+                epoch: SimDuration::from_secs(10),
+                ..ServiceConfig::default()
+            },
+            checkpoint_every_epochs: 0, // never checkpoint
+            ..HostConfig::default()
+        })
+        .unwrap();
+        h.apply(&ingest(0, 1, 1)).unwrap();
+        h.apply(&query(1, 12)).unwrap();
+        h.crash(SimTime::from_secs(13));
+        let report = h.restart(SimTime::from_secs(14)).unwrap().clone();
+        assert!(report.from_scratch);
+        assert_eq!(report.replayed, 2);
+        let service = h.service().unwrap();
+        assert_eq!(service.stats().ingested, 1);
+        assert_eq!(service.stats().queries, 1);
+        assert_eq!(service.samples().len(), 1);
+    }
+
+    #[test]
+    fn torn_journal_tail_loses_only_the_unacknowledged_op() {
+        let mut h = host();
+        h.apply(&ingest(0, 1, 1)).unwrap();
+        h.apply(&ingest(1, 2, 2)).unwrap();
+        // Crash mid-append of the second ingest's record.
+        h.crash_torn(SimTime::from_secs(3));
+        let report = h.restart(SimTime::from_secs(4)).unwrap().clone();
+        assert!(report.torn_tail);
+        assert_eq!(h.service().unwrap().stats().ingested, 1);
+        // The client retries the lost op; the service ends up whole.
+        h.apply(&ingest(1, 2, 5)).unwrap();
+        assert_eq!(h.service().unwrap().stats().ingested, 2);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_the_previous_one() {
+        let mut h = host();
+        h.apply(&ingest(0, 1, 1)).unwrap();
+        h.apply(&ingest(1, 2, 12)).unwrap(); // auto-checkpoint at epoch 1
+        h.apply(&ingest(2, 3, 22)).unwrap(); // auto-checkpoint at epoch 2
+        assert_eq!(h.stored_checkpoints().len(), 2);
+        // Flip one byte inside the newest checkpoint's body.
+        let newest = h.checkpoints.last_mut().unwrap();
+        let mid = newest.len() / 2;
+        newest[mid] ^= 0x01;
+        h.crash(SimTime::from_secs(23));
+        let report = h.restart(SimTime::from_secs(24)).unwrap().clone();
+        assert_eq!(report.fallbacks, 1);
+        assert_eq!(report.corrupt.len(), 1);
+        assert!(
+            report.corrupt[0].contains("section '"),
+            "the report must name the corrupt section: {}",
+            report.corrupt[0]
+        );
+        assert!(!report.from_scratch);
+        assert_eq!(h.stats().checkpoint_fallbacks, 1);
+        // The older checkpoint carries an older cursor, so more of the
+        // journal replays — state still ends up complete.
+        assert_eq!(h.service().unwrap().stats().ingested, 3);
+    }
+
+    #[test]
+    fn fault_plan_crashes_and_restarts_on_schedule() {
+        let mut h = ServiceHost::new(HostConfig {
+            service: ServiceConfig {
+                nodes: 4,
+                epoch: SimDuration::from_secs(10),
+                ..ServiceConfig::default()
+            },
+            recovery_grace: SimDuration::from_secs(2),
+            ..HostConfig::default()
+        })
+        .unwrap();
+        h.attach_faults(
+            FaultInjector::new(
+                FaultPlan::service_crash(SimTime::from_secs(5), SimDuration::from_secs(3)),
+                7,
+            )
+            .unwrap(),
+        );
+        h.apply(&ingest(0, 1, 1)).unwrap();
+        // An op at t=6 lands mid-downtime (crash at 5, restart at 8).
+        let err = h.apply(&query(1, 6)).unwrap_err();
+        assert!(
+            matches!(err, HostError::Unavailable { retry_at, .. } if retry_at == SimTime::from_secs(8))
+        );
+        assert_eq!(h.stats().crashes, 1);
+        // At t=9 the restart has fired but the grace window (8..10) is
+        // open: queries answer degraded, ingests wait.
+        let outcome = h.apply(&query(1, 9)).unwrap();
+        let ApplyOutcome::Trust(answer) = outcome else {
+            panic!("query answers with a trust result");
+        };
+        assert_eq!(answer.mode, crate::Staleness::Degraded);
+        assert_eq!(h.state(), HostState::Recovering);
+        let err = h.apply(&ingest(1, 2, 9)).unwrap_err();
+        assert!(matches!(
+            err,
+            HostError::Unavailable {
+                reason: "recovering",
+                ..
+            }
+        ));
+        // Past the grace window: normal service again.
+        h.apply(&ingest(1, 2, 11)).unwrap();
+        assert_eq!(h.state(), HostState::Up);
+        assert_eq!(h.stats().recoveries, 1);
+        assert_eq!(h.stats().degraded_queries, 1);
+        assert_eq!(h.stats().unavailable_rejections, 2);
+    }
+
+    #[test]
+    fn storage_faults_hit_checkpoint_writes_and_are_counted() {
+        let mut h = host();
+        h.attach_faults(
+            FaultInjector::new(FaultPlan::bit_rot(SimTime::ZERO, SimTime::MAX), 3).unwrap(),
+        );
+        h.apply(&ingest(0, 1, 1)).unwrap();
+        h.apply(&ingest(1, 2, 12)).unwrap(); // auto-checkpoint (bit-rotted)
+        assert_eq!(h.stats().storage_faults, 1);
+        h.crash(SimTime::from_secs(13));
+        let report = h.restart(SimTime::from_secs(14)).unwrap().clone();
+        // The single checkpoint was corrupt; recovery fell through to
+        // scratch + full journal replay and still got everything back.
+        assert_eq!(report.fallbacks, 1);
+        assert!(report.from_scratch);
+        assert_eq!(h.service().unwrap().stats().ingested, 2);
+    }
+
+    #[test]
+    fn out_of_range_ops_never_touch_the_clock() {
+        let mut h = host();
+        h.apply(&ingest(0, 1, 5)).unwrap();
+        let err = h.apply(&ingest(0, 99, 7)).unwrap_err();
+        assert!(matches!(err, HostError::Rejected(ref e) if e.contains("out of range")));
+        // The bad op advanced nothing: the service clock still sits at
+        // the last good op, so replay stays exact.
+        assert_eq!(h.service().unwrap().now(), SimTime::from_secs(5));
+    }
+}

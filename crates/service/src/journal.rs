@@ -1,0 +1,403 @@
+//! Write-ahead event journal for the open epoch.
+//!
+//! Checkpoints capture *committed* progress plus staged events, but a
+//! checkpoint only exists where one was written. The journal closes the
+//! gap: every acknowledged operation (ingest, query, clock advance) is
+//! appended as one length-prefixed, checksummed record, so recovery is
+//!
+//! > newest *valid* checkpoint + replay of the journal suffix
+//!
+//! and loses nothing that was acknowledged. The journal is never
+//! truncated at checkpoint time — each checkpoint embeds its replay
+//! cursor ([`TrustService::checkpoint_with_cursor`]) — so falling back
+//! to an *older* checkpoint (when the newest is corrupt) just replays
+//! a longer suffix of the same journal.
+//!
+//! # Record framing
+//!
+//! ```text
+//! record := [u32 payload_len][u32 crc32(payload)][payload]
+//! ```
+//!
+//! [`EventJournal::scan`] walks records left to right and stops at the
+//! first invalid one — a length that runs past the buffer (torn write),
+//! a CRC mismatch (corruption), or an undecodable payload. The valid
+//! prefix is exactly the set of acknowledged operations: an operation
+//! whose record was torn mid-write was never acknowledged, so its
+//! client retries it, which is what keeps recovery lossless.
+//!
+//! Queries and clock advances are journaled alongside ingests on
+//! purpose: replaying the journal through the normal apply path then
+//! reproduces the service's stats and clock — not just its scores —
+//! bit-for-bit.
+//!
+//! [`TrustService::checkpoint_with_cursor`]: crate::TrustService::checkpoint_with_cursor
+
+use crate::event::{ServiceEvent, ServiceOp};
+use tsn_reputation::InteractionOutcome;
+use tsn_simnet::codec::{crc32, ByteReader, ByteWriter};
+use tsn_simnet::{NodeId, SimTime};
+
+/// One journaled operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JournalRecord {
+    /// An applied workload operation (ingest or query).
+    Op(ServiceOp),
+    /// An explicit clock advance (e.g. an epoch close) that is not
+    /// attached to any operation.
+    Advance {
+        /// The time the clock advanced to.
+        at: SimTime,
+    },
+}
+
+impl JournalRecord {
+    /// The record's position on the sim clock.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            JournalRecord::Op(op) => op.at(),
+            JournalRecord::Advance { at } => at,
+        }
+    }
+}
+
+/// Encodes a [`ServiceEvent`] (shared with the checkpoint's staged
+/// section, so the two formats cannot drift).
+pub(crate) fn encode_event(w: &mut ByteWriter, event: &ServiceEvent) {
+    match *event {
+        ServiceEvent::Interaction {
+            rater,
+            ratee,
+            outcome,
+            at,
+        } => {
+            w.put_u8(0);
+            w.put_u32(rater.0);
+            w.put_u32(ratee.0);
+            w.put_u8(outcome.is_success() as u8);
+            w.put_f64(outcome.value());
+            w.put_u64(at.as_micros());
+        }
+        ServiceEvent::Disclosure {
+            node,
+            respected,
+            at,
+        } => {
+            w.put_u8(1);
+            w.put_u32(node.0);
+            w.put_u8(respected as u8);
+            w.put_u64(at.as_micros());
+        }
+    }
+}
+
+/// Decodes a [`ServiceEvent`] written by [`encode_event`].
+pub(crate) fn decode_event(r: &mut ByteReader) -> Result<ServiceEvent, String> {
+    match r.take_u8()? {
+        0 => {
+            let rater = NodeId(r.take_u32()?);
+            let ratee = NodeId(r.take_u32()?);
+            let success = r.take_u8()? != 0;
+            let quality = r.take_f64()?;
+            let at = SimTime::from_micros(r.take_u64()?);
+            let outcome = if success {
+                InteractionOutcome::Success { quality }
+            } else {
+                InteractionOutcome::Failure
+            };
+            Ok(ServiceEvent::Interaction {
+                rater,
+                ratee,
+                outcome,
+                at,
+            })
+        }
+        1 => Ok(ServiceEvent::Disclosure {
+            node: NodeId(r.take_u32()?),
+            respected: r.take_u8()? != 0,
+            at: SimTime::from_micros(r.take_u64()?),
+        }),
+        other => Err(format!("unknown event tag {other}")),
+    }
+}
+
+/// Encodes one record payload (without the framing).
+fn encode_record(w: &mut ByteWriter, record: &JournalRecord) {
+    match *record {
+        JournalRecord::Op(ServiceOp::Ingest(event)) => {
+            w.put_u8(0);
+            encode_event(w, &event);
+        }
+        JournalRecord::Op(ServiceOp::QueryTrust { node, at }) => {
+            w.put_u8(1);
+            w.put_u32(node.0);
+            w.put_u64(at.as_micros());
+        }
+        JournalRecord::Op(ServiceOp::QueryExposure { node, at }) => {
+            w.put_u8(2);
+            w.put_u32(node.0);
+            w.put_u64(at.as_micros());
+        }
+        JournalRecord::Advance { at } => {
+            w.put_u8(3);
+            w.put_u64(at.as_micros());
+        }
+    }
+}
+
+/// Decodes one record payload (without the framing).
+fn decode_record(r: &mut ByteReader) -> Result<JournalRecord, String> {
+    let record = match r.take_u8()? {
+        0 => JournalRecord::Op(ServiceOp::Ingest(decode_event(r)?)),
+        1 => JournalRecord::Op(ServiceOp::QueryTrust {
+            node: NodeId(r.take_u32()?),
+            at: SimTime::from_micros(r.take_u64()?),
+        }),
+        2 => JournalRecord::Op(ServiceOp::QueryExposure {
+            node: NodeId(r.take_u32()?),
+            at: SimTime::from_micros(r.take_u64()?),
+        }),
+        3 => JournalRecord::Advance {
+            at: SimTime::from_micros(r.take_u64()?),
+        },
+        other => return Err(format!("unknown journal record tag {other}")),
+    };
+    if !r.is_empty() {
+        return Err(format!(
+            "journal record has {} trailing bytes",
+            r.remaining()
+        ));
+    }
+    Ok(record)
+}
+
+/// Result of scanning a journal byte stream (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalScan {
+    /// The decoded valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Whether the scan stopped before the end of the buffer — a torn
+    /// tail or a corrupt record. Everything after `torn_at` was never
+    /// acknowledged.
+    pub torn: bool,
+    /// Byte offset where scanning stopped (`bytes.len()` when clean).
+    pub torn_at: usize,
+}
+
+/// The write-ahead journal: an append-only byte stream of framed,
+/// checksummed records (see the module docs for format and semantics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventJournal {
+    bytes: Vec<u8>,
+    records: u64,
+    /// Byte offset of the most recent record (for torn-write simulation).
+    last_start: usize,
+}
+
+impl EventJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        EventJournal::default()
+    }
+
+    /// Appends one record; returns the record count after the append
+    /// (the cursor a checkpoint taken *now* would embed).
+    pub fn append(&mut self, record: &JournalRecord) -> u64 {
+        let mut w = ByteWriter::new();
+        encode_record(&mut w, record);
+        let payload = w.finish();
+        let mut frame = ByteWriter::new();
+        frame.put_u32(payload.len() as u32);
+        frame.put_u32(crc32(&payload));
+        let header = frame.finish();
+        self.last_start = self.bytes.len();
+        self.bytes.extend_from_slice(&header);
+        self.bytes.extend_from_slice(&payload);
+        self.records += 1;
+        self.records
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Whether nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The journal's size on (simulated) disk.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The raw byte stream — what survives a crash.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Rebuilds a journal from surviving bytes, keeping only the valid
+    /// prefix (a torn tail is discarded — those operations were never
+    /// acknowledged).
+    pub fn from_bytes(bytes: &[u8]) -> (EventJournal, JournalScan) {
+        let scan = EventJournal::scan(bytes);
+        let journal = EventJournal {
+            bytes: bytes[..scan.torn_at].to_vec(),
+            records: scan.records.len() as u64,
+            last_start: 0,
+        };
+        (journal, scan)
+    }
+
+    /// Simulates a crash mid-append: truncates the journal inside its
+    /// most recent record, leaving a torn tail. Returns `false` (and
+    /// does nothing) on an empty journal. The torn record's operation
+    /// counts as unacknowledged from here on.
+    pub fn tear_last_record(&mut self) -> bool {
+        if self.records == 0 {
+            return false;
+        }
+        // Keep the frame header and half the payload: enough bytes that
+        // a naive reader would try to parse them, which is the case the
+        // CRC exists for.
+        let tail = self.bytes.len() - self.last_start;
+        self.bytes.truncate(self.last_start + 8 + (tail - 8) / 2);
+        self.records -= 1;
+        true
+    }
+
+    /// Scans a journal byte stream into its valid record prefix.
+    pub fn scan(bytes: &[u8]) -> JournalScan {
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        let torn = loop {
+            if pos == bytes.len() {
+                break false;
+            }
+            if pos + 8 > bytes.len() {
+                break true;
+            }
+            let len =
+                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
+            let stored =
+                u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4-byte slice"));
+            let Some(end) = (pos + 8).checked_add(len) else {
+                break true;
+            };
+            if end > bytes.len() {
+                break true;
+            }
+            let payload = &bytes[pos + 8..end];
+            if crc32(payload) != stored {
+                break true;
+            }
+            let mut r = ByteReader::new(payload);
+            r.set_context("journal record");
+            match decode_record(&mut r) {
+                Ok(record) => records.push(record),
+                Err(_) => break true,
+            }
+            pos = end;
+        };
+        JournalScan {
+            records,
+            torn,
+            torn_at: pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Op(ServiceOp::Ingest(ServiceEvent::Interaction {
+                rater: NodeId(0),
+                ratee: NodeId(1),
+                outcome: InteractionOutcome::Success { quality: 0.75 },
+                at: SimTime::from_secs(1),
+            })),
+            JournalRecord::Op(ServiceOp::Ingest(ServiceEvent::Disclosure {
+                node: NodeId(2),
+                respected: false,
+                at: SimTime::from_secs(2),
+            })),
+            JournalRecord::Op(ServiceOp::QueryTrust {
+                node: NodeId(1),
+                at: SimTime::from_secs(3),
+            }),
+            JournalRecord::Op(ServiceOp::QueryExposure {
+                node: NodeId(2),
+                at: SimTime::from_secs(4),
+            }),
+            JournalRecord::Advance {
+                at: SimTime::from_secs(10),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_record_kind() {
+        let mut journal = EventJournal::new();
+        for (i, record) in sample_records().iter().enumerate() {
+            assert_eq!(journal.append(record), i as u64 + 1);
+        }
+        let scan = EventJournal::scan(journal.as_bytes());
+        assert!(!scan.torn);
+        assert_eq!(scan.records, sample_records());
+        assert_eq!(scan.torn_at, journal.byte_len());
+        let (rebuilt, _) = EventJournal::from_bytes(journal.as_bytes());
+        assert_eq!(rebuilt.records(), 5);
+        assert_eq!(rebuilt.as_bytes(), journal.as_bytes());
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_unacknowledged_record() {
+        let mut journal = EventJournal::new();
+        for record in sample_records() {
+            journal.append(&record);
+        }
+        let full_len = journal.byte_len();
+        assert!(journal.tear_last_record());
+        assert!(journal.byte_len() < full_len);
+        let scan = EventJournal::scan(journal.as_bytes());
+        assert!(scan.torn, "a half-written record must be detected");
+        assert_eq!(scan.records, sample_records()[..4]);
+        // Rebuilding discards the torn bytes entirely.
+        let (rebuilt, scan) = EventJournal::from_bytes(journal.as_bytes());
+        assert_eq!(rebuilt.records(), 4);
+        assert_eq!(rebuilt.byte_len(), scan.torn_at);
+        assert!(!journal.is_empty());
+        assert!(!EventJournal::new().tear_last_record());
+    }
+
+    #[test]
+    fn any_corrupt_byte_stops_the_scan_at_that_record() {
+        let mut journal = EventJournal::new();
+        for record in sample_records() {
+            journal.append(&record);
+        }
+        let clean = journal.as_bytes().to_vec();
+        for i in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[i] ^= 0x40;
+            let scan = EventJournal::scan(&corrupt);
+            assert!(
+                scan.records.len() < sample_records().len() || scan.torn,
+                "flipping byte {i} must invalidate at least the record it hit"
+            );
+            // The prefix before the corruption still decodes.
+            assert_eq!(
+                scan.records[..],
+                sample_records()[..scan.records.len()],
+                "byte {i}: surviving prefix must be exact"
+            );
+        }
+        // An empty stream is a clean, empty scan.
+        let scan = EventJournal::scan(&[]);
+        assert!(!scan.torn && scan.records.is_empty());
+    }
+}

@@ -1,5 +1,5 @@
 //! Online TrustService: streaming ingest, incremental trust updates,
-//! bounded-staleness queries, and checkpoint/restore.
+//! bounded-staleness queries, and crash-tolerant checkpoint/restore.
 //!
 //! The batch layers of this workspace answer "what happens over N
 //! rounds"; this crate answers "what does a *deployed* trust service
@@ -12,21 +12,45 @@
 //! snapshots to a versioned binary checkpoint that restores
 //! bit-identically.
 //!
+//! Around the pure service state sit the crash-tolerance layers:
+//!
+//! - [`EventJournal`] — a length-prefixed, checksummed write-ahead log
+//!   of every acknowledged operation; a torn or corrupt tail is
+//!   detected and only the unacknowledged suffix is lost.
+//! - Checkpoints carry a per-section CRC (format v2): a corrupt restore
+//!   reports *which* section failed, so recovery can fall back to the
+//!   previous checkpoint and replay a longer journal suffix instead of
+//!   dying.
+//! - [`ServiceHost`] — the process model: crash (explicit or scheduled
+//!   by a [`FaultPlan`](tsn_simnet::FaultPlan)), recover from newest
+//!   valid checkpoint + journal replay, and serve degraded reads
+//!   (marked [`Staleness::Degraded`]) during the recovery grace window.
+//!
 //! [`ServiceDriver`] generates deterministic open-loop workloads
 //! against the service, using the same per-`(epoch, node)` RNG-stream
 //! discipline as the sharded scenario engine, so a streamed run is
-//! bit-identical to the equivalent batch computation.
+//! bit-identical to the equivalent batch computation. Against a
+//! [`ServiceHost`] it adds the client half of fault tolerance: bounded,
+//! deterministically jittered retries for operations bounced during an
+//! outage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
 pub mod event;
+pub mod host;
+pub mod journal;
 pub mod service;
 
-pub use driver::{DriverConfig, ServiceDriver};
+pub use driver::{DriverConfig, HostDriveReport, RetryPolicy, ServiceDriver};
 pub use event::{ServiceEvent, ServiceOp};
+pub use host::{
+    ApplyOutcome, HostConfig, HostError, HostState, HostStats, RecoveryReport, ServiceHost,
+};
+pub use journal::{EventJournal, JournalRecord, JournalScan};
 pub use service::{
-    EpochSample, ExposureQueryResult, IngestOutcome, ServiceConfig, ServiceStats, TrustQueryResult,
-    TrustService, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    checkpoint_sections, CheckpointSection, EpochSample, ExposureQueryResult, IngestOutcome,
+    ServiceConfig, ServiceStats, Staleness, TrustQueryResult, TrustService, CHECKPOINT_MAGIC,
+    CHECKPOINT_SECTIONS, CHECKPOINT_VERSION,
 };

@@ -26,32 +26,102 @@
 //!
 //! # Checkpoint format
 //!
-//! [`TrustService::checkpoint`] serializes the complete service state —
-//! configuration, clock, staged (uncommitted) events, exposure
-//! counters, per-epoch samples, counters, and the mechanism's own
-//! snapshot — as length-prefixed binary (magic `TSNSVCKP`, version
-//! [`CHECKPOINT_VERSION`]; see `tsn_simnet::codec`). Restore rejects
-//! unknown magic/version, truncated input and trailing garbage, and
-//! reproduces the service **bit-identically**: continuing a restored
-//! service equals never having checkpointed, down to the float bits —
-//! including checkpoints taken mid-epoch and mid-partition-window
-//! (partition windows are evaluated as a pure function of the clock,
-//! so no window state needs to travel).
+//! [`TrustService::checkpoint`] serializes the complete service state
+//! as length-prefixed binary (magic `TSNSVCKP`, version
+//! [`CHECKPOINT_VERSION`]; see `tsn_simnet::codec`). After the header
+//! the body is a fixed sequence of **checksummed sections**
+//! ([`CHECKPOINT_SECTIONS`]): each section is its CRC-32 followed by
+//! its length-prefixed payload, so restore can tell *which* section a
+//! corruption hit — a torn write truncates from some section onward, a
+//! flipped bit fails exactly one section's CRC — and a recovery layer
+//! can fall back to an older checkpoint instead of dying. Restore
+//! rejects unknown magic/version, truncation, corruption and trailing
+//! garbage (each error naming the section), and reproduces the service
+//! **bit-identically**: continuing a restored service equals never
+//! having checkpointed, down to the float bits — including checkpoints
+//! taken mid-epoch and mid-partition-window (partition windows are
+//! evaluated as a pure function of the clock, so no window state needs
+//! to travel). The clock section also carries an opaque journal cursor
+//! ([`TrustService::checkpoint_with_cursor`]) so a write-ahead journal
+//! knows where replay resumes after this checkpoint.
 
 use crate::event::{ServiceEvent, ServiceOp};
 use tsn_reputation::{
-    build_mechanism, DisclosurePolicy, FeedbackReport, InteractionOutcome, MechanismKind,
-    ReputationMechanism,
+    build_mechanism, DisclosurePolicy, FeedbackReport, MechanismKind, ReputationMechanism,
 };
-use tsn_simnet::codec::{ByteReader, ByteWriter};
+use tsn_simnet::codec::{crc32, ByteReader, ByteWriter};
 use tsn_simnet::{GroupMap, NodeId, PartitionWindow, SimDuration, SimTime};
 
 /// Magic bytes opening every checkpoint.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"TSNSVCKP";
 
 /// Version of the checkpoint layout. Bumped on any layout change;
-/// restore refuses other versions rather than guessing.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// restore refuses other versions rather than guessing. Version 2
+/// introduced per-section CRCs and the journal cursor.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// Names of the checkpoint's checksummed sections, in layout order.
+pub const CHECKPOINT_SECTIONS: [&str; 7] = [
+    "config",
+    "clock",
+    "stats",
+    "staged",
+    "exposure",
+    "samples",
+    "mechanism",
+];
+
+/// One parsed (not decoded) checkpoint section — the framing view that
+/// [`checkpoint_sections`] returns for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointSection {
+    /// The section's name (an entry of [`CHECKPOINT_SECTIONS`]).
+    pub name: &'static str,
+    /// Byte offset of the section's payload within the checkpoint.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Whether the stored CRC matches the payload.
+    pub crc_ok: bool,
+}
+
+/// Walks a checkpoint's section framing without decoding anything,
+/// reporting each section's position and whether its CRC holds — the
+/// diagnostic view behind "which section is corrupt?" tooling.
+///
+/// # Errors
+///
+/// Rejects bad magic, unsupported versions, framing truncated before
+/// the sections complete, and trailing garbage.
+pub fn checkpoint_sections(bytes: &[u8]) -> Result<Vec<CheckpointSection>, String> {
+    let mut r = ByteReader::new(bytes);
+    r.set_context("header");
+    if r.take_bytes()? != CHECKPOINT_MAGIC {
+        return Err("not a TrustService checkpoint (bad magic)".into());
+    }
+    let version = r.take_u32()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(format!(
+            "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+        ));
+    }
+    let mut sections = Vec::with_capacity(CHECKPOINT_SECTIONS.len());
+    for name in CHECKPOINT_SECTIONS {
+        r.set_context(name);
+        let stored = r.take_u32()?;
+        let payload = r.take_bytes()?;
+        sections.push(CheckpointSection {
+            name,
+            offset: r.position() - payload.len(),
+            len: payload.len(),
+            crc_ok: crc32(payload) == stored,
+        });
+    }
+    if !r.is_empty() {
+        return Err(format!("checkpoint has {} trailing bytes", r.remaining()));
+    }
+    Ok(sections)
+}
 
 /// Configuration of a [`TrustService`].
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +214,21 @@ struct ExposureCell {
     breaches: u64,
 }
 
+/// How fresh a query answer is — every answer carries one of these so
+/// callers can tell a normal bounded-staleness read from a read served
+/// while the service is catching up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Staleness {
+    /// Normal operation: the answer reflects the last committed epoch
+    /// and lags the query clock by less than one epoch.
+    Bounded,
+    /// Served during recovery or a behind-schedule commit: still the
+    /// last *committed* state, but the lag may exceed the epoch bound.
+    /// The explicit marker is the contract — degraded reads answer
+    /// immediately instead of blocking, and say so.
+    Degraded,
+}
+
 /// Answer to a trust query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrustQueryResult {
@@ -153,8 +238,11 @@ pub struct TrustQueryResult {
     /// epoch; [`SimTime::ZERO`] before the first commit).
     pub as_of: SimTime,
     /// How far the answer lags the query clock; bounded by one epoch
-    /// once the first epoch has committed.
+    /// once the first epoch has committed (unless
+    /// [`Staleness::Degraded`]).
     pub staleness: SimDuration,
+    /// Whether the staleness bound held for this answer.
+    pub mode: Staleness,
 }
 
 /// Answer to an exposure query.
@@ -170,6 +258,8 @@ pub struct ExposureQueryResult {
     pub as_of: SimTime,
     /// How far the answer lags the query clock.
     pub staleness: SimDuration,
+    /// Whether the staleness bound held for this answer.
+    pub mode: Staleness,
 }
 
 /// One committed epoch's summary — the service's output series.
@@ -527,6 +617,27 @@ impl TrustService {
             score: self.mechanism.score(node),
             as_of: self.as_of,
             staleness: at.duration_since(self.as_of),
+            mode: Staleness::Bounded,
+        })
+    }
+
+    /// Answers a trust query from committed state **without touching
+    /// the clock or the stats** — the degraded-mode read a recovery
+    /// layer serves while the service is catching up. The answer is
+    /// marked [`Staleness::Degraded`]: it may lag `at` by more than one
+    /// epoch, and `at` may even precede the service clock (queries held
+    /// back during an outage).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range nodes are errors.
+    pub fn degraded_trust(&self, node: NodeId, at: SimTime) -> Result<TrustQueryResult, String> {
+        self.check_node(node)?;
+        Ok(TrustQueryResult {
+            score: self.mechanism.score(node),
+            as_of: self.as_of,
+            staleness: at.duration_since(self.as_of),
+            mode: Staleness::Degraded,
         })
     }
 
@@ -543,19 +654,40 @@ impl TrustService {
         self.advance_to(at)?;
         self.check_node(node)?;
         self.stats.queries += 1;
+        Ok(self.exposure_answer(node, at, Staleness::Bounded))
+    }
+
+    /// Answers an exposure query from committed state without touching
+    /// the clock or the stats — the degraded-mode twin of
+    /// [`TrustService::degraded_trust`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range nodes are errors.
+    pub fn degraded_exposure(
+        &self,
+        node: NodeId,
+        at: SimTime,
+    ) -> Result<ExposureQueryResult, String> {
+        self.check_node(node)?;
+        Ok(self.exposure_answer(node, at, Staleness::Degraded))
+    }
+
+    fn exposure_answer(&self, node: NodeId, at: SimTime, mode: Staleness) -> ExposureQueryResult {
         let cell = self.exposure[node.index()];
         let respect_rate = if cell.disclosures == 0 {
             1.0
         } else {
             1.0 - cell.breaches as f64 / cell.disclosures as f64
         };
-        Ok(ExposureQueryResult {
+        ExposureQueryResult {
             disclosures: cell.disclosures,
             breaches: cell.breaches,
             respect_rate,
             as_of: self.as_of,
             staleness: at.duration_since(self.as_of),
-        })
+            mode,
+        }
     }
 
     /// Applies one workload operation.
@@ -593,102 +725,132 @@ impl TrustService {
     /// Serializes the complete service state (see the module docs for
     /// the format). The checkpoint may be taken at any point — mid-epoch
     /// staged events and mid-partition-window positions round-trip
-    /// exactly.
+    /// exactly. Equivalent to
+    /// [`TrustService::checkpoint_with_cursor`] with cursor 0.
     ///
     /// # Errors
     ///
     /// Fails when the configured mechanism does not support state
-    /// snapshots (`powertrust` and `trustme` currently do not).
+    /// snapshots.
     pub fn checkpoint(&self) -> Result<Vec<u8>, String> {
+        self.checkpoint_with_cursor(0)
+    }
+
+    /// Serializes the service like [`TrustService::checkpoint`], also
+    /// embedding `journal_cursor` — the number of journal records
+    /// already reflected in this state — in the (checksummed) clock
+    /// section. A recovery layer restores the checkpoint and replays
+    /// its journal from that cursor; an older checkpoint simply carries
+    /// a smaller cursor and replays more.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configured mechanism does not support state
+    /// snapshots; the error names the kinds that do.
+    pub fn checkpoint_with_cursor(&self, journal_cursor: u64) -> Result<Vec<u8>, String> {
         let mechanism = self.mechanism.snapshot_state().ok_or_else(|| {
             format!(
-                "mechanism '{}' does not support checkpointing",
-                self.config.mechanism
+                "mechanism '{}' does not support checkpointing \
+                 (snapshot-capable mechanisms: {})",
+                self.config.mechanism,
+                MechanismKind::snapshot_capable_names()
             )
         })?;
+
+        // Section payloads, in CHECKPOINT_SECTIONS order.
+        let mut config = ByteWriter::new();
+        config.put_u64(self.config.nodes as u64);
+        config.put_u8(kind_tag(self.config.mechanism));
+        config.put_u64(self.config.epoch.as_micros());
+        config.put_u8(self.config.disclosure_level as u8);
+        config.put_u64(self.config.partitions.len() as u64);
+        for window in &self.config.partitions {
+            config.put_u64(window.start.as_micros());
+            config.put_u64(window.end.as_micros());
+            config.put_u64(window.groups as u64);
+            config.put_f64(window.cross_loss);
+            config.put_f64(window.intra_loss);
+        }
+
+        let mut clock = ByteWriter::new();
+        clock.put_u64(self.now.as_micros());
+        clock.put_u64(self.as_of.as_micros());
+        clock.put_u64(self.epoch_index);
+        clock.put_u64(self.epoch_rejected);
+        clock.put_u64(journal_cursor);
+
+        let mut stats = ByteWriter::new();
+        stats.put_u64(self.stats.ingested);
+        stats.put_u64(self.stats.rejected);
+        stats.put_u64(self.stats.queries);
+        stats.put_u64(self.stats.commits);
+        stats.put_u64(self.stats.refresh_iterations);
+
+        let mut staged = ByteWriter::new();
+        staged.put_u64(self.staged.len() as u64);
+        for event in &self.staged {
+            crate::journal::encode_event(&mut staged, event);
+        }
+
+        let mut exposure = ByteWriter::new();
+        for cell in &self.exposure {
+            exposure.put_u64(cell.disclosures);
+            exposure.put_u64(cell.breaches);
+        }
+
+        let mut samples = ByteWriter::new();
+        samples.put_u64(self.samples.len() as u64);
+        for s in &self.samples {
+            samples.put_u64(s.epoch);
+            samples.put_u64(s.committed);
+            samples.put_u64(s.rejected);
+            samples.put_u64(s.refresh_iterations);
+            samples.put_f64(s.mean_score);
+        }
+
         let mut w = ByteWriter::new();
         w.put_bytes(CHECKPOINT_MAGIC);
         w.put_u32(CHECKPOINT_VERSION);
-        // Configuration (restore rebuilds the service from it).
-        w.put_u64(self.config.nodes as u64);
-        w.put_u8(kind_tag(self.config.mechanism));
-        w.put_u64(self.config.epoch.as_micros());
-        w.put_u8(self.config.disclosure_level as u8);
-        w.put_u64(self.config.partitions.len() as u64);
-        for window in &self.config.partitions {
-            w.put_u64(window.start.as_micros());
-            w.put_u64(window.end.as_micros());
-            w.put_u64(window.groups as u64);
-            w.put_f64(window.cross_loss);
-            w.put_f64(window.intra_loss);
+        for payload in [
+            config.finish(),
+            clock.finish(),
+            stats.finish(),
+            staged.finish(),
+            exposure.finish(),
+            samples.finish(),
+            mechanism,
+        ] {
+            w.put_u32(crc32(&payload));
+            w.put_bytes(&payload);
         }
-        // Clock.
-        w.put_u64(self.now.as_micros());
-        w.put_u64(self.as_of.as_micros());
-        w.put_u64(self.epoch_index);
-        w.put_u64(self.epoch_rejected);
-        // Lifetime counters.
-        w.put_u64(self.stats.ingested);
-        w.put_u64(self.stats.rejected);
-        w.put_u64(self.stats.queries);
-        w.put_u64(self.stats.commits);
-        w.put_u64(self.stats.refresh_iterations);
-        // Staged (uncommitted) events, arrival order.
-        w.put_u64(self.staged.len() as u64);
-        for event in &self.staged {
-            match *event {
-                ServiceEvent::Interaction {
-                    rater,
-                    ratee,
-                    outcome,
-                    at,
-                } => {
-                    w.put_u8(0);
-                    w.put_u32(rater.0);
-                    w.put_u32(ratee.0);
-                    w.put_u8(outcome.is_success() as u8);
-                    w.put_f64(outcome.value());
-                    w.put_u64(at.as_micros());
-                }
-                ServiceEvent::Disclosure {
-                    node,
-                    respected,
-                    at,
-                } => {
-                    w.put_u8(1);
-                    w.put_u32(node.0);
-                    w.put_u8(respected as u8);
-                    w.put_u64(at.as_micros());
-                }
-            }
-        }
-        // Committed exposure counters.
-        for cell in &self.exposure {
-            w.put_u64(cell.disclosures);
-            w.put_u64(cell.breaches);
-        }
-        // Epoch series.
-        w.put_u64(self.samples.len() as u64);
-        for s in &self.samples {
-            w.put_u64(s.epoch);
-            w.put_u64(s.committed);
-            w.put_u64(s.rejected);
-            w.put_u64(s.refresh_iterations);
-            w.put_f64(s.mean_score);
-        }
-        // Mechanism payload.
-        w.put_bytes(&mechanism);
         Ok(w.finish())
     }
 
-    /// Reconstructs a service from a checkpoint, bit-identically.
+    /// Reconstructs a service from a checkpoint, bit-identically,
+    /// discarding the journal cursor (see
+    /// [`TrustService::restore_with_cursor`]).
     ///
     /// # Errors
     ///
     /// Rejects wrong magic, unknown versions, truncated or corrupt
-    /// input, and trailing garbage.
+    /// input (naming the failing section), and trailing garbage.
     pub fn restore(bytes: &[u8]) -> Result<TrustService, String> {
+        Self::restore_with_cursor(bytes).map(|(service, _)| service)
+    }
+
+    /// Reconstructs a service from a checkpoint, returning it together
+    /// with the embedded journal cursor — the record count a write-ahead
+    /// journal replay should resume from.
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong magic, unknown versions, truncation and trailing
+    /// garbage; a CRC mismatch or decode failure is reported **naming
+    /// the corrupt section**, so a recovery layer can log what was hit
+    /// and fall back to an older checkpoint.
+    pub fn restore_with_cursor(bytes: &[u8]) -> Result<(TrustService, u64), String> {
         let mut r = ByteReader::new(bytes);
+        r.set_context("header");
         if r.take_bytes()? != CHECKPOINT_MAGIC {
             return Err("not a TrustService checkpoint (bad magic)".into());
         }
@@ -698,21 +860,39 @@ impl TrustService {
                 "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
             ));
         }
-        let nodes = r.take_u64()? as usize;
-        let mechanism = kind_from_tag(r.take_u8()?)?;
-        let epoch = SimDuration::from_micros(r.take_u64()?);
-        let disclosure_level = r.take_u8()? as usize;
-        let window_count = r.take_seq_len(40)?;
+        let section = |r: &mut ByteReader, name: &'static str| -> Result<Vec<u8>, String> {
+            r.set_context(name);
+            let stored = r.take_u32()?;
+            let payload = r.take_bytes()?;
+            let computed = crc32(payload);
+            if computed != stored {
+                return Err(format!(
+                    "checkpoint section '{name}' is corrupt \
+                     (stored crc {stored:08x}, computed {computed:08x})"
+                ));
+            }
+            Ok(payload.to_vec())
+        };
+
+        let config_bytes = section(&mut r, "config")?;
+        let mut c = ByteReader::new(&config_bytes);
+        c.set_context("config");
+        let nodes = c.take_u64()? as usize;
+        let mechanism = kind_from_tag(c.take_u8()?)?;
+        let epoch = SimDuration::from_micros(c.take_u64()?);
+        let disclosure_level = c.take_u8()? as usize;
+        let window_count = c.take_seq_len(40)?;
         let mut partitions = Vec::with_capacity(window_count);
         for _ in 0..window_count {
             partitions.push(PartitionWindow {
-                start: SimTime::from_micros(r.take_u64()?),
-                end: SimTime::from_micros(r.take_u64()?),
-                groups: r.take_u64()? as usize,
-                cross_loss: r.take_f64()?,
-                intra_loss: r.take_f64()?,
+                start: SimTime::from_micros(c.take_u64()?),
+                end: SimTime::from_micros(c.take_u64()?),
+                groups: c.take_u64()? as usize,
+                cross_loss: c.take_f64()?,
+                intra_loss: c.take_f64()?,
             });
         }
+        section_drained(&c, "config")?;
         let config = ServiceConfig {
             nodes,
             mechanism,
@@ -721,68 +901,84 @@ impl TrustService {
             partitions,
         };
         let mut service = TrustService::new(config)?;
-        service.now = SimTime::from_micros(r.take_u64()?);
-        service.as_of = SimTime::from_micros(r.take_u64()?);
-        service.epoch_index = r.take_u64()?;
-        service.epoch_rejected = r.take_u64()?;
+
+        let clock_bytes = section(&mut r, "clock")?;
+        let mut c = ByteReader::new(&clock_bytes);
+        c.set_context("clock");
+        service.now = SimTime::from_micros(c.take_u64()?);
+        service.as_of = SimTime::from_micros(c.take_u64()?);
+        service.epoch_index = c.take_u64()?;
+        service.epoch_rejected = c.take_u64()?;
+        let journal_cursor = c.take_u64()?;
+        section_drained(&c, "clock")?;
+
+        let stats_bytes = section(&mut r, "stats")?;
+        let mut c = ByteReader::new(&stats_bytes);
+        c.set_context("stats");
         service.stats = ServiceStats {
-            ingested: r.take_u64()?,
-            rejected: r.take_u64()?,
-            queries: r.take_u64()?,
-            commits: r.take_u64()?,
-            refresh_iterations: r.take_u64()?,
+            ingested: c.take_u64()?,
+            rejected: c.take_u64()?,
+            queries: c.take_u64()?,
+            commits: c.take_u64()?,
+            refresh_iterations: c.take_u64()?,
         };
-        let staged_count = r.take_seq_len(13)?;
+        section_drained(&c, "stats")?;
+
+        let staged_bytes = section(&mut r, "staged")?;
+        let mut c = ByteReader::new(&staged_bytes);
+        c.set_context("staged");
+        let staged_count = c.take_seq_len(13)?;
         for _ in 0..staged_count {
-            let event = match r.take_u8()? {
-                0 => {
-                    let rater = NodeId(r.take_u32()?);
-                    let ratee = NodeId(r.take_u32()?);
-                    let success = r.take_u8()? != 0;
-                    let quality = r.take_f64()?;
-                    let at = SimTime::from_micros(r.take_u64()?);
-                    let outcome = if success {
-                        InteractionOutcome::Success { quality }
-                    } else {
-                        InteractionOutcome::Failure
-                    };
-                    ServiceEvent::Interaction {
-                        rater,
-                        ratee,
-                        outcome,
-                        at,
-                    }
-                }
-                1 => ServiceEvent::Disclosure {
-                    node: NodeId(r.take_u32()?),
-                    respected: r.take_u8()? != 0,
-                    at: SimTime::from_micros(r.take_u64()?),
-                },
-                other => return Err(format!("unknown staged event tag {other}")),
-            };
-            service.staged.push(event);
+            service.staged.push(crate::journal::decode_event(&mut c)?);
         }
+        section_drained(&c, "staged")?;
+
+        let exposure_bytes = section(&mut r, "exposure")?;
+        let mut c = ByteReader::new(&exposure_bytes);
+        c.set_context("exposure");
         for cell in service.exposure.iter_mut() {
-            cell.disclosures = r.take_u64()?;
-            cell.breaches = r.take_u64()?;
+            cell.disclosures = c.take_u64()?;
+            cell.breaches = c.take_u64()?;
         }
-        let sample_count = r.take_seq_len(40)?;
+        section_drained(&c, "exposure")?;
+
+        let samples_bytes = section(&mut r, "samples")?;
+        let mut c = ByteReader::new(&samples_bytes);
+        c.set_context("samples");
+        let sample_count = c.take_seq_len(40)?;
         for _ in 0..sample_count {
             service.samples.push(EpochSample {
-                epoch: r.take_u64()?,
-                committed: r.take_u64()?,
-                rejected: r.take_u64()?,
-                refresh_iterations: r.take_u64()?,
-                mean_score: r.take_f64()?,
+                epoch: c.take_u64()?,
+                committed: c.take_u64()?,
+                rejected: c.take_u64()?,
+                refresh_iterations: c.take_u64()?,
+                mean_score: c.take_f64()?,
             });
         }
-        let payload = r.take_bytes()?;
-        service.mechanism.restore_state(payload)?;
+        section_drained(&c, "samples")?;
+
+        let mechanism_bytes = section(&mut r, "mechanism")?;
+        service
+            .mechanism
+            .restore_state(&mechanism_bytes)
+            .map_err(|e| format!("checkpoint section 'mechanism' is corrupt: {e}"))?;
+
         if !r.is_empty() {
             return Err(format!("checkpoint has {} trailing bytes", r.remaining()));
         }
-        Ok(service)
+        Ok((service, journal_cursor))
     }
+}
+
+/// Rejects intra-section trailing garbage, naming the section.
+fn section_drained(r: &ByteReader, name: &'static str) -> Result<(), String> {
+    if !r.is_empty() {
+        return Err(format!(
+            "checkpoint section '{name}' has {} trailing bytes",
+            r.remaining()
+        ));
+    }
+    Ok(())
 }
 
 /// Stable one-byte tag of a mechanism kind (its index in
@@ -804,6 +1000,7 @@ fn kind_from_tag(tag: u8) -> Result<MechanismKind, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tsn_reputation::InteractionOutcome;
 
     fn interaction(rater: u32, ratee: u32, good: bool, at_secs: u64) -> ServiceEvent {
         ServiceEvent::Interaction {

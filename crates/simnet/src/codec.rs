@@ -22,6 +22,49 @@
 //!
 //! [`TrustService`]: https://docs.rs/tsn-service
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) lookup
+/// table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum (IEEE) of `bytes`.
+///
+/// Used to frame journal records and checkpoint sections: a CRC-32
+/// detects *every* single-bit flip (and all burst errors up to 32 bits)
+/// in the checksummed payload, which is exactly the corruption class the
+/// storage fault model injects.
+///
+/// ```
+/// use tsn_simnet::codec::crc32;
+///
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926); // the IEEE check value
+/// assert_ne!(crc32(b"journal"), crc32(b"jOurnal"));
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Appends fixed-width and length-prefixed values to a byte buffer.
 ///
 /// ```
@@ -98,12 +141,32 @@ impl ByteWriter {
 pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// Name of the logical section being decoded, included in
+    /// out-of-bounds errors so a truncated checkpoint names *where* it
+    /// broke, not just that it did.
+    context: &'static str,
 }
 
 impl<'a> ByteReader<'a> {
     /// Wraps a byte slice for reading from the start.
     pub fn new(buf: &'a [u8]) -> Self {
-        ByteReader { buf, pos: 0 }
+        ByteReader {
+            buf,
+            pos: 0,
+            context: "",
+        }
+    }
+
+    /// Labels the bytes read from here on as belonging to `section`.
+    /// Every subsequent out-of-bounds error names the section alongside
+    /// the byte offset; pass `""` to clear.
+    pub fn set_context(&mut self, section: &'static str) {
+        self.context = section;
+    }
+
+    /// The current read offset from the start of the input.
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
@@ -114,11 +177,18 @@ impl<'a> ByteReader<'a> {
                 self.pos = end;
                 Ok(slice)
             }
-            None => Err(format!(
-                "truncated input: wanted {n} bytes for {what} at offset {}, have {}",
-                self.pos,
-                self.buf.len() - self.pos
-            )),
+            None => {
+                let section = if self.context.is_empty() {
+                    String::new()
+                } else {
+                    format!(" in section '{}'", self.context)
+                };
+                Err(format!(
+                    "truncated input: wanted {n} bytes for {what}{section} at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ))
+            }
         }
     }
 
@@ -205,6 +275,42 @@ mod tests {
         assert_eq!(r.take_bytes().unwrap(), b"checkpoint");
         assert_eq!(r.take_bytes().unwrap(), b"");
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value_and_detects_bit_flips() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Every single-bit flip of a small payload changes the CRC.
+        let payload = b"epoch 7: 42 events".to_vec();
+        let reference = crc32(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc32(&flipped),
+                    reference,
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reader_context_names_the_section_and_offset() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        r.set_context("mechanism");
+        assert_eq!(r.take_u8().unwrap(), 1);
+        let err = r.take_u64().unwrap_err();
+        assert!(err.contains("section 'mechanism'"), "{err}");
+        assert!(err.contains("offset 1"), "{err}");
+        // Clearing the context drops the section clause.
+        r.set_context("");
+        let err = r.take_u64().unwrap_err();
+        assert!(!err.contains("section"), "{err}");
+        assert_eq!(r.position(), 1);
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //! * **dynamic** — a [`DynamicsPlan`] composes churn, scheduled
 //!   partitions and regional latency into one schedule that a
 //!   [`DynamicsRuntime`] executes against the network on the sim clock
-//!   (see the [`dynamics`] module).
+//!   (see the [`dynamics`] module);
+//! * **fault-injectable** — a [`FaultPlan`] schedules message, process
+//!   and storage faults deterministically from the seed, executed by a
+//!   [`FaultInjector`] attached to the network and to the service's
+//!   storage layer (see the [`faults`] module).
 //!
 //! ## Quick example
 //!
@@ -46,6 +50,7 @@ pub mod churn;
 pub mod codec;
 pub mod dynamics;
 pub mod event;
+pub mod faults;
 pub mod latency;
 pub mod message;
 pub mod metrics;
@@ -61,6 +66,10 @@ pub use churn::{ChurnConfig, ChurnEvent, ChurnProcess, NodeLifecycle};
 pub use codec::{ByteReader, ByteWriter};
 pub use dynamics::{DynamicsEvent, DynamicsPlan, DynamicsRuntime, PartitionWindow, RegionPlan};
 pub use event::{Event, EventId, EventQueue, ScheduledEvent};
+pub use faults::{
+    FaultInjector, FaultPlan, FaultTarget, MessageFault, MessageFaultKind, MessageVerdict,
+    ProcessFault, StorageFault, StorageFaultKind,
+};
 pub use latency::{
     BernoulliLoss, ConstantLatency, LatencyModel, LossModel, NoLoss, UniformLatency, WanLatency,
 };

@@ -10,8 +10,11 @@
 //! tsn-cli dynamics [--honest F] [--eta F]
 //! tsn-cli serve    [--nodes N] [--epochs E] [--epoch-secs S] [--seed S]
 //!                  [--mechanism M] [--disclosure 0..4] [--malicious F]
-//!                  [--arrivals F] [--queries F] [--checkpoint FILE] [--json]
-//! tsn-cli replay   --checkpoint FILE [--epochs E] [--verify] [--json]
+//!                  [--arrivals F] [--queries F] [--checkpoint FILE]
+//!                  [--journal] [--crash-at SECS] [--down-secs SECS]
+//!                  [--grace SECS] [--json]
+//! tsn-cli replay   --checkpoint FILE [--fallback FILE] [--epochs E]
+//!                  [--verify] [--json]
 //! ```
 
 use std::process::ExitCode;
@@ -22,8 +25,11 @@ use tsn::core::runner::{
 };
 use tsn::core::{FacetScores, PolicyProfile};
 use tsn::reputation::MechanismKind;
-use tsn::service::{DriverConfig, ServiceConfig, ServiceDriver, TrustService};
-use tsn::simnet::SimDuration;
+use tsn::service::{
+    checkpoint_sections, DriverConfig, HostConfig, RetryPolicy, ServiceConfig, ServiceDriver,
+    ServiceHost, TrustService,
+};
+use tsn::simnet::{FaultInjector, FaultPlan, SimDuration, SimTime};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,10 +89,20 @@ serve flags:
   --arrivals F      interactions per node per epoch (default 2.0)
   --queries F       query probability per interaction (default 0.5)
   --checkpoint F    write a binary checkpoint to file F at the end
+  --journal         host the service behind a write-ahead journal +
+                    auto-checkpoints (crash-tolerant mode)
+  --crash-at S      crash the hosted service at sim-second S (implies
+                    --journal); clients retry with backoff
+  --down-secs S     downtime before the scheduled restart (default 5)
+  --grace S         degraded-query window after recovery (default 2)
 replay flags:
   --checkpoint F    checkpoint file to restore (required)
+  --fallback F      previous checkpoint to fall back to when the newest
+                    one fails its section CRCs
   --epochs E        extra epochs to continue after restoring (default 0)
-  --verify          rerun from scratch and check bit-identical scores"
+  --verify          rerun from scratch and check the restored-and-
+                    continued run is bit-identical (works for fallback
+                    restores too)"
     );
 }
 
@@ -369,10 +385,82 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(raw) = flags.get("--disclosure") {
         config.disclosure_level = parse_disclosure(raw)?.index();
     }
-    let mut service = TrustService::new(config)?;
     let driver = ServiceDriver::new(driver_config(&flags, nodes)?)?;
+    let hosted = flags.has("--journal") || flags.get("--crash-at").is_some();
+    if hosted {
+        return serve_hosted(&flags, config, &driver, epochs);
+    }
+    let mut service = TrustService::new(config)?;
     driver.drive(&mut service, epochs)?;
     service_summary(&service, flags.has("--json"));
+    write_checkpoint_flag(&flags, &service)?;
+    Ok(())
+}
+
+/// `serve --journal [--crash-at S]`: the crash-tolerant path — a
+/// [`ServiceHost`] (write-ahead journal + auto-checkpoints) driven with
+/// client-side retries, optionally crashed on schedule.
+fn serve_hosted(
+    flags: &Flags,
+    config: ServiceConfig,
+    driver: &ServiceDriver,
+    epochs: u64,
+) -> Result<(), String> {
+    let host_config = HostConfig {
+        service: config,
+        journal: true,
+        checkpoint_every_epochs: 1,
+        retain_checkpoints: 2,
+        recovery_grace: SimDuration::from_secs(flags.parse("--grace", 2u64)?),
+    };
+    let mut host = ServiceHost::new(host_config)?;
+    if let Some(raw) = flags.get("--crash-at") {
+        let crash_at: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for --crash-at"))?;
+        let down: u64 = flags.parse("--down-secs", 5u64)?;
+        let plan =
+            FaultPlan::service_crash(SimTime::from_secs(crash_at), SimDuration::from_secs(down));
+        host.attach_faults(FaultInjector::new(plan, driver.config().seed)?);
+        eprintln!("fault plan: crash at {crash_at}s, restart after {down}s");
+    }
+    let report = driver.drive_host(&mut host, epochs, &RetryPolicy::default())?;
+    let stats = host.stats();
+    eprintln!(
+        "host: {} crashes, {} recoveries, {} checkpoints written, {} journal records ({} bytes)",
+        stats.crashes,
+        stats.recoveries,
+        stats.checkpoints_written,
+        host.journal().records(),
+        host.journal().byte_len(),
+    );
+    eprintln!(
+        "client: {} ops applied, {} retried, {} degraded answers, {} abandoned",
+        report.applied, report.retries, report.degraded_answers, report.abandoned
+    );
+    if let Some(recovery) = host.last_recovery() {
+        eprintln!(
+            "last recovery: {} journal records replayed on {} (fallbacks: {}, torn tail: {})",
+            recovery.replayed,
+            if recovery.from_scratch {
+                "a fresh service"
+            } else {
+                "a restored checkpoint"
+            },
+            recovery.fallbacks,
+            recovery.torn_tail,
+        );
+    }
+    let service = host
+        .service()
+        .ok_or("the hosted service ended the run down")?;
+    service_summary(service, flags.has("--json"));
+    write_checkpoint_flag(flags, service)?;
+    Ok(())
+}
+
+/// Honors `--checkpoint FILE` after a serve run.
+fn write_checkpoint_flag(flags: &Flags, service: &TrustService) -> Result<(), String> {
     if let Some(path) = flags.get("--checkpoint") {
         let bytes = service.checkpoint()?;
         std::fs::write(path, &bytes)
@@ -388,12 +476,36 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         .get("--checkpoint")
         .ok_or("replay needs --checkpoint FILE")?;
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
-    let mut service = TrustService::restore(&bytes)?;
+    let (mut service, restored_path, restored_len) = match TrustService::restore(&bytes) {
+        Ok(service) => (service, path, bytes.len()),
+        Err(error) => {
+            // Per-section CRCs caught damage; name the bad sections and
+            // fall back to the previous checkpoint when one was given.
+            eprintln!("checkpoint {path} is unusable: {error}");
+            if let Ok(sections) = checkpoint_sections(&bytes) {
+                for section in sections.iter().filter(|s| !s.crc_ok) {
+                    eprintln!(
+                        "  section '{}' fails its CRC ({} bytes at offset {})",
+                        section.name, section.len, section.offset
+                    );
+                }
+            }
+            let Some(fallback) = flags.get("--fallback") else {
+                return Err(format!(
+                    "cannot restore {path} and no --fallback checkpoint was given: {error}"
+                ));
+            };
+            eprintln!("falling back to {fallback}");
+            let previous = std::fs::read(fallback)
+                .map_err(|e| format!("cannot read fallback checkpoint {fallback}: {e}"))?;
+            let len = previous.len();
+            (TrustService::restore(&previous)?, fallback, len)
+        }
+    };
     eprintln!(
-        "restored {} nodes at epoch {} from {path} ({} bytes)",
+        "restored {} nodes at epoch {} from {restored_path} ({restored_len} bytes)",
         service.config().nodes,
         service.epoch_index(),
-        bytes.len()
     );
     let extra: u64 = flags.parse("--epochs", 0)?;
     let restored_epochs = service.epoch_index();
@@ -408,10 +520,26 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         driver.drive(&mut fresh, restored_epochs + extra)?;
         let a = service.scores();
         let b = fresh.scores();
-        let identical =
+        let scores_identical =
             a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
-        if !identical {
-            return Err("verify FAILED: restored run diverged from scratch run".into());
+        if !scores_identical {
+            return Err(
+                "verify FAILED: restored run's scores diverged from the scratch run".into(),
+            );
+        }
+        // Scores could agree by luck; the committed sample series and
+        // lifetime counters pin the whole history.
+        if service.samples() != fresh.samples() {
+            return Err(
+                "verify FAILED: restored run's epoch samples diverged from the scratch run".into(),
+            );
+        }
+        if service.stats() != fresh.stats() {
+            return Err(format!(
+                "verify FAILED: restored run's counters diverged: {:?} vs {:?}",
+                service.stats(),
+                fresh.stats()
+            ));
         }
         eprintln!(
             "verify: restored+continued run is bit-identical to an uninterrupted {}-epoch run",

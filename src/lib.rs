@@ -49,10 +49,11 @@ pub mod prelude {
     };
     pub use tsn_reputation::MechanismKind;
     pub use tsn_service::{
-        DriverConfig, ServiceConfig, ServiceDriver, ServiceEvent, ServiceOp, TrustService,
+        DriverConfig, HostConfig, RetryPolicy, ServiceConfig, ServiceDriver, ServiceEvent,
+        ServiceHost, ServiceOp, Staleness, TrustService,
     };
     pub use tsn_simnet::{
-        DynamicsPlan, DynamicsRuntime, NodeId, PartitionWindow, SimDuration, SimRng, SimTime,
-        Simulation,
+        DynamicsPlan, DynamicsRuntime, FaultInjector, FaultPlan, NodeId, PartitionWindow,
+        SimDuration, SimRng, SimTime, Simulation,
     };
 }
