@@ -13,6 +13,7 @@
 
 use crate::event::{ServiceEvent, ServiceOp};
 use crate::host::{ApplyOutcome, HostError, ServiceHost};
+use crate::replica::ReplicaSet;
 use crate::service::{Staleness, TrustService};
 use tsn_reputation::InteractionOutcome;
 use tsn_simnet::{NodeId, SimDuration, SimRng, SimTime};
@@ -220,6 +221,61 @@ pub struct HostDriveReport {
     pub degraded_answers: u64,
 }
 
+/// What the fault-tolerant drive loop needs from its target: a lone
+/// [`ServiceHost`] and a whole [`ReplicaSet`] present the same client
+/// surface — apply-or-bounce plus a clock — so the retry discipline is
+/// written once.
+trait OpSink {
+    /// The population the target serves.
+    fn nodes(&self) -> usize;
+    /// The target's epoch length.
+    fn epoch_len(&self) -> SimDuration;
+    /// The epoch the next drive starts from.
+    fn start_epoch(&self) -> u64;
+    /// One application attempt.
+    fn apply_op(&mut self, op: &ServiceOp) -> Result<ApplyOutcome, HostError>;
+    /// Clock advance (epoch commits ride on this).
+    fn advance(&mut self, at: SimTime) -> Result<(), String>;
+}
+
+impl OpSink for ServiceHost {
+    fn nodes(&self) -> usize {
+        self.config().service.nodes
+    }
+    fn epoch_len(&self) -> SimDuration {
+        self.config().service.epoch
+    }
+    fn start_epoch(&self) -> u64 {
+        self.service().map_or(0, |s| s.epoch_index())
+    }
+    fn apply_op(&mut self, op: &ServiceOp) -> Result<ApplyOutcome, HostError> {
+        self.apply(op)
+    }
+    fn advance(&mut self, at: SimTime) -> Result<(), String> {
+        self.advance_to(at)
+    }
+}
+
+impl OpSink for ReplicaSet {
+    fn nodes(&self) -> usize {
+        self.config().host.service.nodes
+    }
+    fn epoch_len(&self) -> SimDuration {
+        self.config().host.service.epoch
+    }
+    fn start_epoch(&self) -> u64 {
+        // The primary sequences everything, so its committed epoch is
+        // the set's.
+        self.primary_service().map_or(0, |s| s.epoch_index())
+    }
+    fn apply_op(&mut self, op: &ServiceOp) -> Result<ApplyOutcome, HostError> {
+        self.apply(op)
+    }
+    fn advance(&mut self, at: SimTime) -> Result<(), String> {
+        self.advance_to(at)
+    }
+}
+
 /// Deterministic workload generator (see the module docs).
 #[derive(Debug, Clone)]
 pub struct ServiceDriver {
@@ -404,16 +460,50 @@ impl ServiceDriver {
         epochs: u64,
         policy: &RetryPolicy,
     ) -> Result<HostDriveReport, String> {
+        self.drive_target(host, epochs, policy)
+    }
+
+    /// [`ServiceDriver::drive_host`] against a whole [`ReplicaSet`]:
+    /// the same client-side retry discipline, with the sequencer's
+    /// failover underneath — an op bounced by a dying primary is
+    /// re-sent and lands on whichever member got promoted. On a
+    /// fault-free set this applies exactly the [`drive`] timeline, so
+    /// every member ends bit-identical to an undriven
+    /// [`TrustService`] fed the same epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard rejections, including divergence diagnoses.
+    ///
+    /// [`drive`]: ServiceDriver::drive
+    pub fn drive_replicas(
+        &self,
+        set: &mut ReplicaSet,
+        epochs: u64,
+        policy: &RetryPolicy,
+    ) -> Result<HostDriveReport, String> {
+        self.drive_target(set, epochs, policy)
+    }
+
+    /// The shared fault-tolerant drive loop (see [`drive_host`]).
+    ///
+    /// [`drive_host`]: ServiceDriver::drive_host
+    fn drive_target<T: OpSink>(
+        &self,
+        host: &mut T,
+        epochs: u64,
+        policy: &RetryPolicy,
+    ) -> Result<HostDriveReport, String> {
         policy.validate()?;
-        let host_nodes = host.config().service.nodes;
+        let host_nodes = host.nodes();
         if self.config.nodes != host_nodes {
             return Err(format!(
                 "driver is sized for {} nodes, host for {host_nodes}",
                 self.config.nodes
             ));
         }
-        let epoch_len = host.config().service.epoch;
-        let start_epoch = host.service().map_or(0, |s| s.epoch_index());
+        let epoch_len = host.epoch_len();
+        let start_epoch = host.start_epoch();
         let mut report = HostDriveReport::default();
         // Pending retries ordered by (due, op id); ids are global so the
         // order is total.
@@ -432,7 +522,7 @@ impl ServiceDriver {
             };
             let end = SimTime::from_micros(end_us);
             self.flush_due_retries(host, policy, &mut pending, &mut report, end)?;
-            host.advance_to(end)?;
+            host.advance(end)?;
         }
         // Whatever is still queued never got acknowledged in-run.
         report.abandoned += pending.len() as u64;
@@ -443,9 +533,9 @@ impl ServiceDriver {
     /// `(due, id)` order. A retry that bounces again re-queues itself
     /// (with a later due time) and is picked up in the same flush if it
     /// still lands inside the cutoff.
-    fn flush_due_retries(
+    fn flush_due_retries<T: OpSink>(
         &self,
-        host: &mut ServiceHost,
+        host: &mut T,
         policy: &RetryPolicy,
         pending: &mut Vec<(SimTime, u64, u32, ServiceOp)>,
         report: &mut HostDriveReport,
@@ -464,16 +554,16 @@ impl ServiceDriver {
 
     /// One attempt of one op: apply, or schedule the next retry.
     /// `attempt` is the `(op id, attempt index, stamped op)` triple.
-    fn submit(
+    fn submit<T: OpSink>(
         &self,
-        host: &mut ServiceHost,
+        host: &mut T,
         policy: &RetryPolicy,
         pending: &mut Vec<(SimTime, u64, u32, ServiceOp)>,
         report: &mut HostDriveReport,
         attempt: (u64, u32, ServiceOp),
     ) -> Result<(), String> {
         let (id, attempt, op) = attempt;
-        match host.apply(&op) {
+        match host.apply_op(&op) {
             Ok(outcome) => {
                 report.applied += 1;
                 let degraded = matches!(

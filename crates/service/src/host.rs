@@ -19,6 +19,19 @@
 //! acknowledgement for (a torn tail), and those are the client's to
 //! retry.
 //!
+//! # Bounded storage, bounded recovery
+//!
+//! The journal is segmented (see [`crate::journal`]): a checkpoint
+//! embeds its replay cursor, recovery opens only the segments holding
+//! records past that cursor (the [`RecoveryReport`] counts them), and
+//! after each checkpoint write the host garbage-collects every sealed
+//! segment no retained checkpoint can still need. GC is gated on the
+//! whole ring being intact — a damaged generation may force recovery
+//! to fall back, in the worst case to a from-scratch full replay, so
+//! nothing is collected while one is stored. Together the two bounds
+//! hold: recovery cost is proportional to data since the checkpoint,
+//! and on-disk journal bytes stay bounded on a long-lived host.
+//!
 //! # Degraded reads
 //!
 //! While the host is in its post-restart grace window
@@ -37,9 +50,10 @@
 //! [`FaultPlan`]: tsn_simnet::FaultPlan
 
 use crate::event::ServiceOp;
-use crate::journal::{EventJournal, JournalRecord};
+use crate::journal::{EventJournal, JournalRecord, DEFAULT_SEGMENT_BYTES};
 use crate::service::{
-    ExposureQueryResult, IngestOutcome, ServiceConfig, TrustQueryResult, TrustService,
+    checkpoint_cursor, checkpoint_sections, ExposureQueryResult, IngestOutcome, ServiceConfig,
+    TrustQueryResult, TrustService,
 };
 use tsn_simnet::{FaultInjector, FaultTarget, NodeId, SimDuration, SimTime};
 
@@ -62,6 +76,10 @@ pub struct HostConfig {
     /// recovered state marked degraded, ingests wait. Zero skips the
     /// window entirely (restart goes straight to `Up`).
     pub recovery_grace: SimDuration,
+    /// Journal segment seal threshold in bytes (see
+    /// [`crate::journal`]): smaller segments mean finer-grained GC and
+    /// tighter recovery bounds, at more per-segment header overhead.
+    pub journal_segment_bytes: usize,
 }
 
 impl Default for HostConfig {
@@ -72,6 +90,7 @@ impl Default for HostConfig {
             checkpoint_every_epochs: 1,
             retain_checkpoints: 2,
             recovery_grace: SimDuration::ZERO,
+            journal_segment_bytes: DEFAULT_SEGMENT_BYTES,
         }
     }
 }
@@ -165,6 +184,9 @@ pub struct HostStats {
     pub degraded_queries: u64,
     /// Operations bounced with [`HostError::Unavailable`].
     pub unavailable_rejections: u64,
+    /// Sealed journal segments garbage-collected behind the
+    /// checkpoint ring.
+    pub journal_segments_gced: u64,
 }
 
 /// How one recovery went.
@@ -183,8 +205,42 @@ pub struct RecoveryReport {
     /// Whether the journal had a torn tail (one unacknowledged
     /// operation was discarded).
     pub torn_tail: bool,
+    /// Journal segments actually opened (header verified + body
+    /// scanned) by the replay — the bounded-recovery measure: with
+    /// checkpoints every E epochs this stays proportional to E, never
+    /// to the service's age.
+    pub segments_opened: usize,
+    /// Live journal segments skipped because they sit wholly below the
+    /// checkpoint's cursor.
+    pub segments_skipped: usize,
     /// The service clock after recovery.
     pub recovered_to: SimTime,
+}
+
+/// One checkpoint generation in the host's storage ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredCheckpoint {
+    /// The journal cursor the generation replays from (0 when the
+    /// clock section could not be read — such a generation also grades
+    /// as not intact).
+    pub cursor: u64,
+    /// Whether every section CRC held after the write, storage faults
+    /// included. Only an all-intact ring allows journal GC: a damaged
+    /// generation may force recovery to fall back — in the worst case
+    /// to a from-scratch full replay that needs the whole journal.
+    pub intact: bool,
+    /// The stored checkpoint bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Grades freshly stored checkpoint bytes: the embedded replay cursor
+/// and whether every section CRC holds.
+fn grade_checkpoint(bytes: &[u8]) -> (u64, bool) {
+    let intact = checkpoint_sections(bytes).is_ok_and(|s| s.iter().all(|x| x.crc_ok));
+    match checkpoint_cursor(bytes) {
+        Ok(cursor) => (cursor, intact),
+        Err(_) => (0, false),
+    }
 }
 
 /// A crash-tolerant process around a [`TrustService`] (see the module
@@ -194,11 +250,15 @@ pub struct ServiceHost {
     config: HostConfig,
     /// The volatile part: `None` while crashed.
     service: Option<TrustService>,
-    /// Durable storage: recent checkpoints, newest last.
-    checkpoints: Vec<Vec<u8>>,
-    /// Durable storage: the write-ahead journal.
+    /// Durable storage: recent checkpoint generations, newest last.
+    checkpoints: Vec<StoredCheckpoint>,
+    /// Durable storage: the segmented write-ahead journal.
     journal: EventJournal,
     injector: Option<FaultInjector>,
+    /// Which process-fault schedule in the injector's plan is ours
+    /// (a lone host is [`FaultTarget::Service`]; replica-set members
+    /// each get their own [`FaultTarget::Replica`]).
+    fault_target: FaultTarget,
     state: HostState,
     /// While `Down`: when the restart fires ([`SimTime::MAX`] = only an
     /// explicit [`ServiceHost::restart`] brings it back).
@@ -227,9 +287,56 @@ impl ServiceHost {
         Ok(ServiceHost {
             service: Some(service),
             checkpoints: Vec::new(),
-            journal: EventJournal::new(),
+            journal: EventJournal::with_segment_bytes(config.journal_segment_bytes),
             injector: None,
+            fault_target: FaultTarget::Service,
             state: HostState::Up,
+            down_until: SimTime::MAX,
+            grace_until: SimTime::ZERO,
+            crash_cursor: SimTime::ZERO,
+            writes: 0,
+            last_checkpoint_epoch: 0,
+            stats: HostStats::default(),
+            last_recovery: None,
+            config,
+        })
+    }
+
+    /// Builds a host in the [`HostState::Down`] state from surviving
+    /// storage — stored checkpoint generations (oldest first, as
+    /// [`ServiceHost::stored_checkpoints`] returns them) plus the
+    /// journal — with no running service. [`ServiceHost::restart`] then
+    /// runs the real recovery path: newest valid checkpoint + segment
+    /// suffix replay. This is how externally persisted storage (e.g.
+    /// files on disk) is re-hosted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error.
+    pub fn from_storage(
+        config: HostConfig,
+        checkpoints: Vec<Vec<u8>>,
+        journal: EventJournal,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let checkpoints = checkpoints
+            .into_iter()
+            .map(|bytes| {
+                let (cursor, intact) = grade_checkpoint(&bytes);
+                StoredCheckpoint {
+                    cursor,
+                    intact,
+                    bytes,
+                }
+            })
+            .collect();
+        Ok(ServiceHost {
+            service: None,
+            checkpoints,
+            journal,
+            injector: None,
+            fault_target: FaultTarget::Service,
+            state: HostState::Down,
             down_until: SimTime::MAX,
             grace_until: SimTime::ZERO,
             crash_cursor: SimTime::ZERO,
@@ -246,7 +353,16 @@ impl ServiceHost {
     /// faults are the network's job —
     /// [`Network::attach_faults`](tsn_simnet::Network::attach_faults).)
     pub fn attach_faults(&mut self, injector: FaultInjector) {
+        self.attach_faults_for(injector, FaultTarget::Service);
+    }
+
+    /// Like [`ServiceHost::attach_faults`], but scoping the process
+    /// faults to `target` — how a replica set hands each member its own
+    /// crash schedule ([`FaultTarget::Replica`]) out of one shared
+    /// plan.
+    pub fn attach_faults_for(&mut self, injector: FaultInjector, target: FaultTarget) {
         self.injector = Some(injector);
+        self.fault_target = target;
     }
 
     /// The configuration in use.
@@ -270,9 +386,33 @@ impl ServiceHost {
         self.stats
     }
 
-    /// The stored checkpoints, newest last (diagnostics and tests).
-    pub fn stored_checkpoints(&self) -> &[Vec<u8>] {
+    /// The stored checkpoint generations, newest last (diagnostics,
+    /// persistence, tests).
+    pub fn stored_checkpoints(&self) -> &[StoredCheckpoint] {
         &self.checkpoints
+    }
+
+    /// While down: the scheduled restart time ([`SimTime::MAX`] when
+    /// only an explicit [`ServiceHost::restart`] brings it back).
+    /// `None` when not down.
+    pub fn down_until(&self) -> Option<SimTime> {
+        (self.state == HostState::Down).then_some(self.down_until)
+    }
+
+    /// Test support: simulates a crash **during** a checkpoint write by
+    /// truncating the newest stored generation to its first `len`
+    /// bytes — a torn, partial write left on disk. The rest of the ring
+    /// is untouched; recovery must skip the damaged generation via the
+    /// newest→oldest fallback. Returns `false` when the ring is empty.
+    pub fn tear_newest_checkpoint(&mut self, len: usize) -> bool {
+        let Some(stored) = self.checkpoints.last_mut() else {
+            return false;
+        };
+        stored.bytes.truncate(len);
+        let (cursor, intact) = grade_checkpoint(&stored.bytes);
+        stored.cursor = cursor;
+        stored.intact = intact;
+        true
     }
 
     /// The write-ahead journal (diagnostics and tests).
@@ -299,7 +439,7 @@ impl ServiceHost {
                     let next = self
                         .injector
                         .as_ref()
-                        .and_then(|i| i.next_crash(FaultTarget::Service, self.crash_cursor));
+                        .and_then(|i| i.next_crash(self.fault_target, self.crash_cursor));
                     match next {
                         Some(fault) if fault.at <= at => {
                             self.crash_at(fault.at, fault.restart_at());
@@ -363,12 +503,13 @@ impl ServiceHost {
         Ok(self.last_recovery.as_ref().expect("recover just ran"))
     }
 
-    /// Recovery proper: newest valid checkpoint + journal suffix.
+    /// Recovery proper: newest valid checkpoint + segment-suffix
+    /// replay from its cursor.
     fn recover(&mut self, at: SimTime) -> Result<(), String> {
         let mut corrupt = Vec::new();
         let mut restored: Option<(TrustService, u64)> = None;
-        for checkpoint in self.checkpoints.iter().rev() {
-            match TrustService::restore_with_cursor(checkpoint) {
+        for stored in self.checkpoints.iter().rev() {
+            match TrustService::restore_with_cursor(&stored.bytes) {
                 Ok(pair) => {
                     restored = Some(pair);
                     break;
@@ -383,9 +524,15 @@ impl ServiceHost {
             // No usable checkpoint: start fresh and replay everything.
             None => (TrustService::new(self.config.service.clone())?, 0),
         };
-        let scan = EventJournal::scan(self.journal.as_bytes());
+        // The shard knob is execution-only and never serialized; bring
+        // the recovered service back to its configured parallelism.
+        service.set_commit_shards(self.config.service.commit_shards);
+        let replay = self
+            .journal
+            .replay_from(cursor)
+            .map_err(|e| format!("recovery is unrecoverable: {e}"))?;
         let mut replayed = 0;
-        for record in scan.records.iter().skip(cursor as usize) {
+        for record in &replay.records {
             match record {
                 JournalRecord::Op(op) => service
                     .apply(op)
@@ -396,10 +543,9 @@ impl ServiceHost {
             }
             replayed += 1;
         }
-        if scan.torn {
+        if replay.torn {
             // Drop the torn tail from storage: it was never acknowledged.
-            let (clean, _) = EventJournal::from_bytes(self.journal.as_bytes());
-            self.journal = clean;
+            self.journal.discard_torn_tail();
         }
         self.stats.recoveries += 1;
         self.stats.journal_replays += replayed;
@@ -409,7 +555,9 @@ impl ServiceHost {
             corrupt,
             from_scratch,
             replayed,
-            torn_tail: scan.torn,
+            torn_tail: replay.torn,
+            segments_opened: replay.segments_opened,
+            segments_skipped: replay.segments_skipped,
             recovered_to: service.now(),
         });
         self.service = Some(service);
@@ -437,22 +585,44 @@ impl ServiceHost {
         let service = self.service.as_ref().expect("up implies a service");
         let mut bytes = service.checkpoint_with_cursor(self.journal.records())?;
         if let Some(injector) = &self.injector {
-            let previous = self.checkpoints.last().map(|c| c.as_slice());
+            let previous = self.checkpoints.last().map(|c| c.bytes.as_slice());
             let applied = injector.corrupt_checkpoint(&mut bytes, previous, at, self.writes);
             self.stats.storage_faults += applied.len() as u64;
         }
         self.writes += 1;
-        self.checkpoints.push(bytes);
+        let (cursor, intact) = grade_checkpoint(&bytes);
+        self.checkpoints.push(StoredCheckpoint {
+            cursor,
+            intact,
+            bytes,
+        });
         while self.checkpoints.len() > self.config.retain_checkpoints {
             self.checkpoints.remove(0);
         }
         self.stats.checkpoints_written += 1;
+        // Sealed segments below every retained cursor can never be
+        // replayed again; collecting them is what keeps journal bytes
+        // bounded. Gated on an all-intact ring (see the module docs).
+        if let Some(floor) = self.journal_gc_floor() {
+            self.stats.journal_segments_gced += self.journal.gc_before(floor) as u64;
+        }
         self.last_checkpoint_epoch = self
             .service
             .as_ref()
             .expect("up implies a service")
             .epoch_index();
         Ok(())
+    }
+
+    /// The journal cursor below which no retained checkpoint can ever
+    /// replay — `None` while GC is forbidden: an empty ring, or any
+    /// stored generation that is damaged (recovery might then fall back
+    /// past every cursor, down to a from-scratch full replay).
+    fn journal_gc_floor(&self) -> Option<u64> {
+        if self.checkpoints.is_empty() || self.checkpoints.iter().any(|c| !c.intact) {
+            return None;
+        }
+        self.checkpoints.iter().map(|c| c.cursor).min()
     }
 
     /// After a successful apply/advance: auto-checkpoint if enough
@@ -740,7 +910,7 @@ mod tests {
         h.apply(&ingest(2, 3, 22)).unwrap(); // auto-checkpoint at epoch 2
         assert_eq!(h.stored_checkpoints().len(), 2);
         // Flip one byte inside the newest checkpoint's body.
-        let newest = h.checkpoints.last_mut().unwrap();
+        let newest = &mut h.checkpoints.last_mut().unwrap().bytes;
         let mid = newest.len() / 2;
         newest[mid] ^= 0x01;
         h.crash(SimTime::from_secs(23));
@@ -825,6 +995,49 @@ mod tests {
         assert_eq!(report.fallbacks, 1);
         assert!(report.from_scratch);
         assert_eq!(h.service().unwrap().stats().ingested, 2);
+    }
+
+    #[test]
+    fn journal_gc_keeps_disk_bounded_and_recovery_opens_only_the_suffix() {
+        let mut h = ServiceHost::new(HostConfig {
+            service: ServiceConfig {
+                nodes: 4,
+                epoch: SimDuration::from_secs(10),
+                ..ServiceConfig::default()
+            },
+            journal_segment_bytes: 256, // tiny: force frequent seals
+            ..HostConfig::default()
+        })
+        .unwrap();
+        for e in 0..30u64 {
+            for i in 0..6u64 {
+                h.apply(&ingest((i % 4) as u32, ((i + 1) % 4) as u32, e * 10 + i))
+                    .unwrap();
+            }
+            h.finish_epoch().unwrap();
+        }
+        assert!(h.stats().journal_segments_gced > 0, "GC must have fired");
+        assert_eq!(h.journal().gc_segments(), h.stats().journal_segments_gced);
+        // The live footprint stays far below what was ever written.
+        assert!(
+            h.journal().byte_len() < h.journal().bytes_written() as usize / 2,
+            "live {} vs written {}",
+            h.journal().byte_len(),
+            h.journal().bytes_written()
+        );
+        h.crash(SimTime::from_secs(301));
+        let report = h.restart(SimTime::from_secs(302)).unwrap().clone();
+        assert!(!report.from_scratch);
+        // Bounded recovery: the replay opened only the couple of
+        // segments past the newest checkpoint's cursor, not the
+        // 30-epoch history.
+        assert!(
+            (report.segments_opened as u64) < h.journal().segments_created() / 2,
+            "opened {} of {} segments ever created",
+            report.segments_opened,
+            h.journal().segments_created()
+        );
+        assert_eq!(h.service().unwrap().stats().ingested, 180);
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub enum FaultTarget {
     Service,
     /// One protocol node.
     Node(NodeId),
+    /// One member of a replicated service, by replica index (a replica
+    /// set scopes each member's crash schedule to its own target out of
+    /// one shared plan).
+    Replica(u32),
 }
 
 /// A scheduled crash: the target loses all volatile state at `at` and
@@ -254,6 +258,20 @@ impl FaultPlan {
         FaultPlan {
             process: vec![ProcessFault {
                 target: FaultTarget::Service,
+                at,
+                restart_after: downtime,
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Preset: replica `index` of a replicated service crashes at `at`
+    /// and restarts `downtime` later — the kill-primary building block
+    /// of failover tests (a fresh replica set's primary is replica 0).
+    pub fn replica_crash(index: u32, at: SimTime, downtime: SimDuration) -> Self {
+        FaultPlan {
+            process: vec![ProcessFault {
+                target: FaultTarget::Replica(index),
                 at,
                 restart_after: downtime,
             }],

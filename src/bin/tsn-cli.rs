@@ -12,8 +12,11 @@
 //!                  [--mechanism M] [--disclosure 0..4] [--malicious F]
 //!                  [--arrivals F] [--queries F] [--checkpoint FILE]
 //!                  [--journal] [--crash-at SECS] [--down-secs SECS]
-//!                  [--grace SECS] [--json]
+//!                  [--grace SECS] [--replicas N] [--kill-primary-at SECS]
+//!                  [--journal-dir DIR] [--json]
 //! tsn-cli replay   --checkpoint FILE [--fallback FILE] [--epochs E]
+//!                  [--verify] [--json]
+//! tsn-cli replay   --from-checkpoint --journal-dir DIR [--epochs E]
 //!                  [--verify] [--json]
 //! ```
 
@@ -26,8 +29,8 @@ use tsn::core::runner::{
 use tsn::core::{FacetScores, PolicyProfile};
 use tsn::reputation::MechanismKind;
 use tsn::service::{
-    checkpoint_sections, DriverConfig, HostConfig, RetryPolicy, ServiceConfig, ServiceDriver,
-    ServiceHost, TrustService,
+    checkpoint_sections, DriverConfig, EventJournal, HostConfig, ReplicaConfig, ReplicaSet,
+    RetryPolicy, ServiceConfig, ServiceDriver, ServiceHost, TrustService,
 };
 use tsn::simnet::{FaultInjector, FaultPlan, SimDuration, SimTime};
 
@@ -95,14 +98,24 @@ serve flags:
                     --journal); clients retry with backoff
   --down-secs S     downtime before the scheduled restart (default 5)
   --grace S         degraded-query window after recovery (default 2)
+  --replicas N      run N replicated hosts behind the deterministic
+                    sequencer (implies --journal; failover on crash)
+  --kill-primary-at S  crash replica 0 (the initial primary) at
+                    sim-second S; the healthiest follower is promoted
+  --journal-dir D   persist the (primary's) segmented journal +
+                    checkpoint ring to directory D at the end
 replay flags:
   --checkpoint F    checkpoint file to restore (required)
   --fallback F      previous checkpoint to fall back to when the newest
                     one fails its section CRCs
+  --from-checkpoint restore through the real recovery path instead:
+                    newest valid checkpoint from --journal-dir +
+                    segment-suffix journal replay
+  --journal-dir D   storage directory written by serve --journal-dir
   --epochs E        extra epochs to continue after restoring (default 0)
   --verify          rerun from scratch and check the restored-and-
                     continued run is bit-identical (works for fallback
-                    restores too)"
+                    and --from-checkpoint restores too)"
     );
 }
 
@@ -386,7 +399,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.disclosure_level = parse_disclosure(raw)?.index();
     }
     let driver = ServiceDriver::new(driver_config(&flags, nodes)?)?;
-    let hosted = flags.has("--journal") || flags.get("--crash-at").is_some();
+    let replicas: usize = flags.parse("--replicas", 1usize)?;
+    if replicas > 1 || flags.get("--kill-primary-at").is_some() {
+        return serve_replicated(&flags, config, &driver, epochs, replicas.max(2));
+    }
+    let hosted = flags.has("--journal")
+        || flags.get("--crash-at").is_some()
+        || flags.get("--journal-dir").is_some();
     if hosted {
         return serve_hosted(&flags, config, &driver, epochs);
     }
@@ -408,10 +427,8 @@ fn serve_hosted(
 ) -> Result<(), String> {
     let host_config = HostConfig {
         service: config,
-        journal: true,
-        checkpoint_every_epochs: 1,
-        retain_checkpoints: 2,
         recovery_grace: SimDuration::from_secs(flags.parse("--grace", 2u64)?),
+        ..HostConfig::default()
     };
     let mut host = ServiceHost::new(host_config)?;
     if let Some(raw) = flags.get("--crash-at") {
@@ -427,12 +444,15 @@ fn serve_hosted(
     let report = driver.drive_host(&mut host, epochs, &RetryPolicy::default())?;
     let stats = host.stats();
     eprintln!(
-        "host: {} crashes, {} recoveries, {} checkpoints written, {} journal records ({} bytes)",
+        "host: {} crashes, {} recoveries, {} checkpoints written, {} journal records \
+         ({} live bytes in {} segments, {} segments GC'd)",
         stats.crashes,
         stats.recoveries,
         stats.checkpoints_written,
         host.journal().records(),
         host.journal().byte_len(),
+        host.journal().segments().len(),
+        stats.journal_segments_gced,
     );
     eprintln!(
         "client: {} ops applied, {} retried, {} degraded answers, {} abandoned",
@@ -440,22 +460,113 @@ fn serve_hosted(
     );
     if let Some(recovery) = host.last_recovery() {
         eprintln!(
-            "last recovery: {} journal records replayed on {} (fallbacks: {}, torn tail: {})",
+            "last recovery: {} journal records replayed on {} \
+             ({} segments opened, {} skipped, fallbacks: {}, torn tail: {})",
             recovery.replayed,
             if recovery.from_scratch {
                 "a fresh service"
             } else {
                 "a restored checkpoint"
             },
+            recovery.segments_opened,
+            recovery.segments_skipped,
             recovery.fallbacks,
             recovery.torn_tail,
         );
     }
+    persist_storage_flag(flags, &host)?;
     let service = host
         .service()
         .ok_or("the hosted service ended the run down")?;
     service_summary(service, flags.has("--json"));
     write_checkpoint_flag(flags, service)?;
+    Ok(())
+}
+
+/// `serve --replicas N [--kill-primary-at S]`: N replicated hosts
+/// behind the deterministic sequencer, with scripted primary kills and
+/// automatic failover.
+fn serve_replicated(
+    flags: &Flags,
+    config: ServiceConfig,
+    driver: &ServiceDriver,
+    epochs: u64,
+    replicas: usize,
+) -> Result<(), String> {
+    if flags.get("--grace").is_some() {
+        eprintln!("note: --grace is ignored with --replicas (members recover with zero grace)");
+    }
+    let host = HostConfig {
+        service: config,
+        recovery_grace: SimDuration::ZERO,
+        ..HostConfig::default()
+    };
+    let mut set = ReplicaSet::new(ReplicaConfig { host, replicas })?;
+    if let Some(raw) = flags.get("--kill-primary-at") {
+        let kill_at: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value '{raw}' for --kill-primary-at"))?;
+        let down: u64 = flags.parse("--down-secs", 5u64)?;
+        let plan =
+            FaultPlan::replica_crash(0, SimTime::from_secs(kill_at), SimDuration::from_secs(down));
+        set.attach_faults(FaultInjector::new(plan, driver.config().seed)?);
+        eprintln!("fault plan: kill primary (replica 0) at {kill_at}s, restart after {down}s");
+    }
+    let report = driver.drive_replicas(&mut set, epochs, &RetryPolicy::default())?;
+    for f in set.failovers() {
+        eprintln!(
+            "failover: replica {} -> {} at {:.0}s (epoch {}, {} log entries caught up)",
+            f.from,
+            f.to,
+            f.at.as_micros() as f64 / 1e6,
+            f.epoch,
+            f.caught_up,
+        );
+    }
+    eprintln!(
+        "replica set: {} members, primary {}, {} entries sequenced, applied per member: {:?}",
+        set.hosts().len(),
+        set.primary(),
+        set.sequenced(),
+        set.applied(),
+    );
+    eprintln!(
+        "client: {} ops applied, {} retried, {} degraded answers, {} abandoned",
+        report.applied, report.retries, report.degraded_answers, report.abandoned
+    );
+    persist_storage_flag(flags, &set.hosts()[set.primary()])?;
+    let service = set
+        .primary_service()
+        .ok_or("the replica set ended the run with no member up")?;
+    service_summary(service, flags.has("--json"));
+    write_checkpoint_flag(flags, service)?;
+    Ok(())
+}
+
+/// Honors `--journal-dir DIR` after a hosted serve run: writes the
+/// journal manifest, every live segment, and the checkpoint ring —
+/// the storage `replay --from-checkpoint` re-hosts.
+fn persist_storage_flag(flags: &Flags, host: &ServiceHost) -> Result<(), String> {
+    let Some(dir) = flags.get("--journal-dir") else {
+        return Ok(());
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let write = |name: String, bytes: &[u8]| -> Result<(), String> {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, bytes).map_err(|e| format!("cannot write {path}: {e}"))
+    };
+    write("manifest.tsnm".into(), &host.journal().manifest_bytes())?;
+    for segment in host.journal().segments() {
+        write(format!("seg-{:08}.tsnj", segment.index()), segment.bytes())?;
+    }
+    for (k, stored) in host.stored_checkpoints().iter().enumerate() {
+        write(format!("ckpt-{k}.tsnc"), &stored.bytes)?;
+    }
+    eprintln!(
+        "storage: manifest + {} segments + {} checkpoints -> {dir}",
+        host.journal().segments().len(),
+        host.stored_checkpoints().len(),
+    );
     Ok(())
 }
 
@@ -472,9 +583,12 @@ fn write_checkpoint_flag(flags: &Flags, service: &TrustService) -> Result<(), St
 
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let flags = Flags { args };
+    if flags.has("--from-checkpoint") {
+        return replay_from_storage(&flags);
+    }
     let path = flags
         .get("--checkpoint")
-        .ok_or("replay needs --checkpoint FILE")?;
+        .ok_or("replay needs --checkpoint FILE (or --from-checkpoint --journal-dir DIR)")?;
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read checkpoint {path}: {e}"))?;
     let (mut service, restored_path, restored_len) = match TrustService::restore(&bytes) {
         Ok(service) => (service, path, bytes.len()),
@@ -547,6 +661,120 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         );
     }
     service_summary(&service, flags.has("--json"));
+    Ok(())
+}
+
+/// `replay --from-checkpoint --journal-dir DIR`: restore through the
+/// **real recovery path** — newest CRC-valid checkpoint from the ring
+/// plus segment-suffix journal replay — instead of recomputing from
+/// scratch, then (with `--verify`) compare bits against a full replay.
+fn replay_from_storage(flags: &Flags) -> Result<(), String> {
+    let dir = flags
+        .get("--journal-dir")
+        .ok_or("replay --from-checkpoint needs --journal-dir DIR")?;
+    let manifest_path = format!("{dir}/manifest.tsnm");
+    let manifest = std::fs::read(&manifest_path)
+        .map_err(|e| format!("cannot read journal manifest {manifest_path}: {e}"))?;
+    let journal = EventJournal::from_storage(&manifest, |index| {
+        let path = format!("{dir}/seg-{index:08}.tsnj");
+        std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))
+    })?;
+    let mut checkpoints = Vec::new();
+    loop {
+        let path = format!("{dir}/ckpt-{}.tsnc", checkpoints.len());
+        match std::fs::read(&path) {
+            Ok(bytes) => checkpoints.push(bytes),
+            Err(_) => break,
+        }
+    }
+    if checkpoints.is_empty() {
+        eprintln!("no stored checkpoints in {dir}: recovery will replay the whole journal");
+    }
+    // The storage carries no service config; rebuild it from the same
+    // flags the serve run used.
+    let nodes: usize = flags.parse("--nodes", 100)?;
+    let mut config = ServiceConfig {
+        nodes,
+        epoch: SimDuration::from_secs(flags.parse("--epoch-secs", 60u64)?),
+        ..ServiceConfig::default()
+    };
+    if let Some(raw) = flags.get("--mechanism") {
+        config.mechanism = parse_mechanism(raw)?;
+    }
+    if let Some(raw) = flags.get("--disclosure") {
+        config.disclosure_level = parse_disclosure(raw)?.index();
+    }
+    let host_config = HostConfig {
+        service: config,
+        recovery_grace: SimDuration::ZERO,
+        ..HostConfig::default()
+    };
+    let mut host = ServiceHost::from_storage(host_config, checkpoints, journal)?;
+    let report = host.restart(SimTime::ZERO)?.clone();
+    eprintln!(
+        "recovered from {} ({} records replayed, {} segments opened, {} skipped, \
+         fallbacks: {}, torn tail: {})",
+        if report.from_scratch {
+            "scratch (no usable checkpoint)"
+        } else {
+            "the newest valid checkpoint"
+        },
+        report.replayed,
+        report.segments_opened,
+        report.segments_skipped,
+        report.fallbacks,
+        report.torn_tail,
+    );
+    for error in &report.corrupt {
+        eprintln!("  skipped checkpoint: {error}");
+    }
+    let restored_epochs = host
+        .service()
+        .ok_or("recovery left no running service")?
+        .epoch_index();
+    eprintln!(
+        "restored {} nodes at epoch {restored_epochs} from {dir}",
+        host.config().service.nodes
+    );
+    let extra: u64 = flags.parse("--epochs", 0)?;
+    let driver = ServiceDriver::new(driver_config(flags, host.config().service.nodes)?)?;
+    if extra > 0 {
+        driver.drive_host(&mut host, extra, &RetryPolicy::default())?;
+    }
+    let service = host.service().ok_or("the service ended the run down")?;
+    if flags.has("--verify") {
+        // The recovery contract, exercised end to end: checkpoint +
+        // segment-suffix replay + continue must equal recomputing the
+        // whole history from scratch, bit for bit.
+        let mut fresh = TrustService::new(service.config().clone())?;
+        driver.drive(&mut fresh, restored_epochs + extra)?;
+        let a = service.scores();
+        let b = fresh.scores();
+        let scores_identical =
+            a.len() == b.len() && a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits());
+        if !scores_identical {
+            return Err("verify FAILED: recovered run's scores diverged from full replay".into());
+        }
+        if service.samples() != fresh.samples() {
+            return Err(
+                "verify FAILED: recovered run's epoch samples diverged from full replay".into(),
+            );
+        }
+        if service.stats() != fresh.stats() {
+            return Err(format!(
+                "verify FAILED: recovered run's counters diverged: {:?} vs {:?}",
+                service.stats(),
+                fresh.stats()
+            ));
+        }
+        eprintln!(
+            "verify: recovery path ({} records replayed on a checkpoint) is bit-identical \
+             to a full {}-epoch replay",
+            report.replayed,
+            restored_epochs + extra
+        );
+    }
+    service_summary(service, flags.has("--json"));
     Ok(())
 }
 

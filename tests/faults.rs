@@ -102,6 +102,7 @@ fn torture_setup() -> (ServiceDriver, HostConfig, Vec<Action>) {
         checkpoint_every_epochs: 1,
         retain_checkpoints: 2,
         recovery_grace: SimDuration::ZERO,
+        ..HostConfig::default()
     };
     let probe = TrustService::new(service).expect("valid service");
     let mut actions = Vec::new();
@@ -466,21 +467,24 @@ fn journal_round_trips_random_batches_and_catches_single_bit_rot() {
             };
             records.push(record);
         }
-        let mut journal = EventJournal::new();
+        // Small segments so every trial crosses seal boundaries; the
+        // flattened record stream must be segmentation-invariant.
+        let mut journal = EventJournal::with_segment_bytes(256);
         for record in &records {
             journal.append(record);
         }
-        let scan = EventJournal::scan(journal.as_bytes());
+        let body = journal.flattened_body();
+        let scan = EventJournal::scan(&body);
         assert!(!scan.torn, "trial {trial}: clean bytes scan clean");
         assert_eq!(scan.records, records, "trial {trial}: round trip");
-        if journal.byte_len() == 0 {
+        if body.is_empty() {
             continue;
         }
         // Single-bit rot at a random position: the valid prefix is
         // exactly the records before the damaged one.
-        let byte: usize = rng.gen_range(0..journal.byte_len());
+        let byte: usize = rng.gen_range(0..body.len());
         let bit = 1u8 << rng.gen_range(0..8u8);
-        let mut rotted = journal.as_bytes().to_vec();
+        let mut rotted = body.clone();
         rotted[byte] ^= bit;
         let damaged = EventJournal::scan(&rotted);
         assert!(
@@ -491,6 +495,80 @@ fn journal_round_trips_random_batches_and_catches_single_bit_rot() {
             damaged.records[..],
             records[..damaged.records.len()],
             "trial {trial}: everything before the damage survives intact"
+        );
+    }
+}
+
+/// Satellite: a crash **during the checkpoint write itself**. The
+/// newest ring generation is left truncated at every section boundary
+/// of the format (and mid-payload), table-driven; recovery must grade
+/// the torn generation, blame the damaged section by name, fall back
+/// to the previous generation, and still converge bit-identically.
+#[test]
+fn torn_checkpoint_write_is_skipped_at_every_section_boundary() {
+    let (_, config, actions) = torture_setup();
+    let reference = reference_run(&config, &actions);
+    // Crash at 150 s: the ring then holds the 60 s and 120 s
+    // generations, so a torn newest write still has a clean fallback.
+    let crash_at = SimTime::from_secs(150);
+    // Discover the section layout of the generation actually written at
+    // the 120 s boundary.
+    let mut probe = ServiceHost::new(config.clone()).expect("valid host");
+    for action in &actions {
+        if action.at() >= crash_at {
+            break;
+        }
+        action.run(&mut probe);
+    }
+    let newest = probe
+        .stored_checkpoints()
+        .last()
+        .expect("the ring holds two generations by 150 s")
+        .clone();
+    assert!(newest.intact, "the untouched generation grades clean");
+    let sections = checkpoint_sections(&newest.bytes).expect("well-formed checkpoint");
+    assert_eq!(sections.len(), CHECKPOINT_SECTIONS.len());
+
+    // The write can die right at a section's start or partway through
+    // its payload; both must be skipped the same way.
+    let mut cuts = Vec::new();
+    for section in &sections {
+        cuts.push((section.name, section.offset));
+        cuts.push((section.name, section.offset + section.len / 2));
+    }
+    for (name, cut) in cuts {
+        let mut host = ServiceHost::new(config.clone()).expect("valid host");
+        let mut crashed = false;
+        for action in &actions {
+            if !crashed && action.at() >= crash_at {
+                assert!(
+                    host.tear_newest_checkpoint(cut),
+                    "the ring is non-empty at the crash"
+                );
+                host.crash(crash_at);
+                host.restart(crash_at).expect("fallback recovery succeeds");
+                crashed = true;
+            }
+            action.run(&mut host);
+        }
+        let report = host.last_recovery().expect("recovery ran").clone();
+        assert_eq!(
+            report.fallbacks, 1,
+            "exactly the torn generation is skipped (cut at byte {cut})"
+        );
+        assert!(
+            !report.from_scratch,
+            "the previous generation must restore (cut at byte {cut})"
+        );
+        assert!(
+            report.corrupt[0].contains(&format!("'{name}'")),
+            "the torn write at byte {cut} must blame section '{name}', got: {}",
+            report.corrupt[0]
+        );
+        assert_eq!(
+            fingerprint(host.service().expect("host ends up")),
+            reference,
+            "fallback recovery diverged for a checkpoint torn at byte {cut}"
         );
     }
 }

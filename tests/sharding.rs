@@ -238,3 +238,55 @@ fn mega_preset_is_valid_and_auto_sharded() {
     let probe = Scenario::new(config).expect("valid");
     drop(probe);
 }
+
+/// The online service's epoch-commit sharding obeys the same contract
+/// as the batch engine: `commit_shards` is an execution knob, never an
+/// outcome knob. 1, 2 and 8 shards produce bit-identical scores,
+/// samples and stats for the same driven workload — partition windows
+/// and disclosure dynamics included.
+#[test]
+fn service_epoch_commits_are_shard_count_invariant() {
+    use tsn::prelude::*;
+
+    let driver = ServiceDriver::new(DriverConfig {
+        nodes: 60,
+        arrival_rate: 2.0,
+        disclosure_rate: 0.25,
+        query_rate: 0.4,
+        malicious_fraction: 0.2,
+        seed: 7105,
+    })
+    .expect("valid driver");
+    let run = |shards: usize| {
+        let mut service = TrustService::new(ServiceConfig {
+            nodes: 60,
+            epoch: SimDuration::from_secs(60),
+            partitions: vec![PartitionWindow::full_split(
+                SimTime::from_secs(70),
+                SimTime::from_secs(110),
+                2,
+            )],
+            commit_shards: shards,
+            ..ServiceConfig::default()
+        })
+        .expect("valid service");
+        driver.drive(&mut service, 3).expect("clean run");
+        (
+            service
+                .scores()
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<u64>>(),
+            service.samples().to_vec(),
+            service.stats(),
+        )
+    };
+    let reference = run(1);
+    for shards in [2usize, 8] {
+        assert_eq!(
+            reference,
+            run(shards),
+            "{shards} commit shards diverged from the serial commit"
+        );
+    }
+}
