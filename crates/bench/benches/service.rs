@@ -172,11 +172,13 @@ fn main() {
     let mut stamps: Vec<Instant> = Vec::with_capacity(ops.len());
     for op in &ops {
         if let ServiceOp::Ingest(event) = op {
+            // tsn-lint: allow(wall-clock, "bench-only: stamps real ingest latency for BENCH_service.json; never inside a replayed run")
             stamps.push(Instant::now());
             service.ingest(*event).expect("clean ingest");
         }
     }
     service.finish_epoch().expect("clean finish");
+    // tsn-lint: allow(wall-clock, "bench-only: measures real ingest-to-visible latency; never inside a replayed run")
     let visible_at = Instant::now();
     let mut latencies: Vec<Duration> = stamps.iter().map(|s| visible_at - *s).collect();
     latencies.sort_unstable();

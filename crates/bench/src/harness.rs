@@ -79,6 +79,7 @@ impl Bench {
         }
         let mut samples: Vec<Duration> = (0..self.sample_count)
             .map(|_| {
+                // tsn-lint: allow(wall-clock, "the bench harness times real execution; results feed BENCH_*.json, not replayed state")
                 let start = Instant::now();
                 std_black_box(f());
                 start.elapsed()

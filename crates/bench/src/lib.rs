@@ -3,6 +3,8 @@
 //! EXPERIMENTS.md for recorded paper-vs-measured outcomes), plus the
 //! dependency-free micro-benchmark harness used by `benches/`.
 
+#![forbid(unsafe_code)]
+
 use tsn_core::report::ExperimentTable;
 use tsn_core::runner::ScenarioBuilder;
 

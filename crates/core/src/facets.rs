@@ -67,7 +67,8 @@ impl FacetScores {
     /// complementary aggregation.
     pub fn weakest(&self) -> (&'static str, f64) {
         self.iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("facets are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            // tsn-lint: allow(no-unwrap, "iter() yields exactly the three facets, so min_by is Some")
             .expect("three facets exist")
     }
 
@@ -149,6 +150,7 @@ impl FacetWeights {
     /// Panics if the weights are invalid.
     pub fn normalized(&self) -> FacetWeights {
         if let Err(e) = self.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on weights that validate() rejects; fallible callers validate first")
             panic!("invalid facet weights: {e}");
         }
         let t = self.total();

@@ -124,6 +124,7 @@ impl Optimizer {
             .seeds(seeds.iter().copied());
         let report = SweepRunner::parallel()
             .run(&grid)
+            // tsn-lint: allow(no-unwrap, "the base config was validated in Optimizer::new; deriving a builder from it cannot fail")
             .expect("base validated in Optimizer::new");
         // Seeds are the innermost grid dimension: consecutive chunks of
         // `seeds.len()` cells are the Monte-Carlo repetitions of one
@@ -169,6 +170,7 @@ impl Optimizer {
             config.policy_profile = policy_profile;
             config.selection = selection;
             config.seed = *seed;
+            // tsn-lint: allow(no-unwrap, "sweep cells derive from the base validated in Optimizer::new; run_scenario cannot reject them")
             let outcome = run_scenario(config).expect("sweep configs derive from a valid base");
             acc.0 += outcome.facets.privacy;
             acc.1 += outcome.facets.reputation;
@@ -226,9 +228,7 @@ impl Optimizer {
     /// Panics if the sweep is empty.
     pub fn best(&self, sweep: &SweepOutcome, thresholds: Option<FacetScores>) -> OptimizerResult {
         assert!(!sweep.points.is_empty(), "sweep must not be empty");
-        let by_trust = |a: &&ConfigPoint, b: &&ConfigPoint| {
-            a.trust.partial_cmp(&b.trust).expect("trust is finite")
-        };
+        let by_trust = |a: &&ConfigPoint, b: &&ConfigPoint| a.trust.total_cmp(&b.trust);
         if let Some(t) = thresholds {
             if let Some(best) = sweep
                 .points
@@ -242,6 +242,7 @@ impl Optimizer {
                 };
             }
         }
+        // tsn-lint: allow(no-unwrap, "non-emptiness is asserted at function entry (documented panic)")
         let best = sweep.points.iter().max_by(by_trust).expect("non-empty");
         OptimizerResult {
             best: best.clone(),
@@ -258,6 +259,7 @@ impl Optimizer {
             profiles
                 .iter()
                 .position(|&q| q == p)
+                // tsn-lint: allow(no-unwrap, "p is drawn from PolicyProfile::ALL, the slice being searched")
                 .expect("known profile")
         };
         let mut current = start.clone();

@@ -156,6 +156,7 @@ impl ExperimentTable {
     pub fn column(&self, name: &str) -> Vec<f64> {
         let i = self
             .column_index(name)
+            // tsn-lint: allow(no-unwrap, "documented panic: column() is a programmer-facing lookup and the message names the missing column")
             .unwrap_or_else(|| panic!("no column {name}"));
         self.rows.iter().map(|r| r.values[i]).collect()
     }

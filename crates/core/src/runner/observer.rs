@@ -71,11 +71,8 @@ impl SeriesRecorder {
 impl Observer for SeriesRecorder {
     fn on_round(&mut self, sample: &RoundSample) {
         for name in &self.names {
-            if let Some(value) = sample.field(name) {
-                self.series
-                    .get_mut(name)
-                    .expect("subscribed name")
-                    .push(value);
+            if let (Some(value), Some(values)) = (sample.field(name), self.series.get_mut(name)) {
+                values.push(value);
             }
         }
     }

@@ -181,6 +181,7 @@ impl ScenarioOutcome {
         Some(
             self.samples
                 .iter()
+                // tsn-lint: allow(no-unwrap, "name membership in SERIES_NAMES is checked at function entry; every sample carries every series")
                 .map(|s| s.field(name).expect("name checked against SERIES_NAMES"))
                 .collect(),
         )
@@ -618,6 +619,7 @@ impl Scenario {
             let concern =
                 (config.privacy_concern_mean + user_rng.gen_normal(0.0, 0.2)).clamp(0.0, 1.0);
             let intentions = ConsumerIntentions::new(preferred, 0.6, concern)
+                // tsn-lint: allow(no-unwrap, "interest share and concern are clamped into range on the lines above")
                 .expect("intention parameters are in range");
             let strict = strict_flags[i];
             policies.push(if strict {
@@ -637,6 +639,7 @@ impl Scenario {
             users.push(UserState {
                 intentions,
                 provider_intentions: ProviderIntentions::new([], capacity)
+                    // tsn-lint: allow(no-unwrap, "capacity is drawn from gen_range(3..9), always positive")
                     .expect("capacity is positive"),
                 satisfaction: SatisfactionTracker::default(),
                 provider_satisfaction: SatisfactionTracker::default(),
@@ -1201,6 +1204,7 @@ impl Scenario {
             })
             .collect();
         let satisfaction =
+            // tsn-lint: allow(no-unwrap, "the population is non-empty (config validation rejects n == 0), so the aggregate exists")
             GlobalSatisfaction::from_values(&satisfaction_values).expect("population is non-empty");
 
         let privacy_inputs = PrivacyFacetInputs {
@@ -1403,6 +1407,7 @@ impl Scenario {
                 if workers == 1 {
                     for unit in &units {
                         let (users, state) =
+                            // tsn-lint: allow(no-unwrap, "poisoning implies a prior shard-worker panic, and the cursor hands each unit out exactly once")
                             unit.lock().expect("unpoisoned").take().expect("unclaimed");
                         run_shard(&ctx, users, state);
                     }
@@ -1417,8 +1422,10 @@ impl Scenario {
                                 }
                                 let (users, state) = units[i]
                                     .lock()
+                                    // tsn-lint: allow(no-unwrap, "lock poisoning implies a prior shard-worker panic; crashing here re-surfaces it")
                                     .expect("unpoisoned")
                                     .take()
+                                    // tsn-lint: allow(no-unwrap, "the atomic cursor hands each shard to exactly one worker, so every slot is filled")
                                     .expect("each shard is claimed exactly once");
                                 run_shard(&ctx, users, state);
                             });

@@ -101,6 +101,7 @@ impl TrustMetric {
     /// via [`TrustMetric::new`] and [`FacetScores::new`] to avoid this).
     pub fn trust(&self, facets: &FacetScores) -> f64 {
         if let Err(e) = facets.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on facets that validate() rejects; fallible callers validate first")
             panic!("invalid facets: {e}");
         }
         let w = self.weights.normalized();

@@ -75,6 +75,7 @@ impl Graph {
                 self.adj[a.index()].remove(pos_a);
                 let pos_b = self.adj[b.index()]
                     .binary_search(&a)
+                    // tsn-lint: allow(no-unwrap, "adjacency is symmetric by construction: add_edge/remove_edge maintain both directions together")
                     .expect("edge must be symmetric-present");
                 self.adj[b.index()].remove(pos_b);
                 self.edge_count -= 1;
@@ -124,13 +125,12 @@ impl Graph {
         let mut dist = vec![None; self.adj.len()];
         let mut queue = std::collections::VecDeque::new();
         dist[source.index()] = Some(0);
-        queue.push_back(source);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()].expect("visited nodes have a distance");
+        queue.push_back((source, 0u32));
+        while let Some((u, du)) = queue.pop_front() {
             for &v in &self.adj[u.index()] {
                 if dist[v.index()].is_none() {
                     dist[v.index()] = Some(du + 1);
-                    queue.push_back(v);
+                    queue.push_back((v, du + 1));
                 }
             }
         }

@@ -1,0 +1,88 @@
+//! The `tsn-lint` CLI.
+//!
+//! ```text
+//! tsn-lint [--json] [--root <dir>]
+//! ```
+//!
+//! With no `--root`, the workspace is located by walking up from the
+//! current directory to the first `Cargo.toml` that declares
+//! `[workspace]` — so `cargo run -p tsn-lint` works from anywhere in
+//! the tree. Exit codes: `0` clean, `1` findings, `2` usage/I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tsn_lint::{lint_workspace, render_json, render_text};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("tsn-lint: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: tsn-lint [--json] [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tsn-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "tsn-lint: no workspace root found walking up from the current directory; \
+                 pass --root <dir>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", render_json(&report));
+            } else {
+                print!("{}", render_text(&report));
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("tsn-lint: failed to lint {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-line suppression pragmas.
+//!
+//! Grammar (inside any comment):
+//!
+//! ```text
+//! pragma        := "tsn-lint:" ws "allow" "(" rule-name "," ws string ")"
+//! rule-name     := kebab-case identifier of a shipped rule
+//! string        := '"' justification '"'        (must be non-empty)
+//! ```
+//!
+//! A pragma suppresses findings of `rule` on the line it shares with
+//! code; a pragma on a comment-only line suppresses the *next* line
+//! that contains code. A pragma without a justification string, with an
+//! empty justification, or naming an unknown rule is itself a violation
+//! (`pragma-hygiene`) — suppressions must say *why* or they rot into
+//! cargo-culted noise.
+
+use crate::rules::RuleId;
+
+/// A successfully parsed `allow` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// The rule being suppressed.
+    pub rule: RuleId,
+    /// The mandatory human-written justification.
+    pub justification: String,
+    /// 1-based line the pragma comment appears on.
+    pub line: usize,
+}
+
+/// A malformed pragma (reported as a `pragma-hygiene` finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    /// What is wrong with it.
+    pub message: String,
+    /// 1-based line the pragma comment appears on.
+    pub line: usize,
+}
+
+/// Scans one line's comment text for pragmas.
+///
+/// Several pragmas may share a comment; each is parsed independently.
+pub fn parse_line(comment: &str, line: usize) -> (Vec<Pragma>, Vec<PragmaError>) {
+    const MARKER: &str = "tsn-lint:";
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        rest = &rest[pos + MARKER.len()..];
+        // Only `allow(...)` after the marker is a pragma attempt;
+        // prose that merely *mentions* `tsn-lint:` (docs, this file)
+        // is not parsed, so it cannot self-flag.
+        if !rest.trim_start().starts_with("allow") {
+            continue;
+        }
+        match parse_one(rest) {
+            Ok((pragma_rule, justification, consumed)) => {
+                match justification {
+                    Some(j) if !j.trim().is_empty() => match RuleId::from_name(&pragma_rule) {
+                        Some(rule) => pragmas.push(Pragma {
+                            rule,
+                            justification: j,
+                            line,
+                        }),
+                        None => errors.push(PragmaError {
+                            message: format!(
+                                "pragma names unknown rule `{pragma_rule}` (known rules: {})",
+                                RuleId::names().join(", ")
+                            ),
+                            line,
+                        }),
+                    },
+                    Some(_) => errors.push(PragmaError {
+                        message: format!(
+                            "pragma for `{pragma_rule}` has an empty justification — say why \
+                             the pattern is benign"
+                        ),
+                        line,
+                    }),
+                    None => errors.push(PragmaError {
+                        message: format!(
+                            "pragma for `{pragma_rule}` is missing its justification string: \
+                             write tsn-lint: allow({pragma_rule}, \"why this is sound\")"
+                        ),
+                        line,
+                    }),
+                }
+                rest = &rest[consumed..];
+            }
+            Err(message) => {
+                errors.push(PragmaError { message, line });
+                break;
+            }
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parses one `allow(rule[, "justification"])` after the marker.
+/// Returns `(rule_name, justification, chars_consumed)`.
+fn parse_one(input: &str) -> Result<(String, Option<String>, usize), String> {
+    let trimmed = input.trim_start();
+    let body = trimmed.strip_prefix("allow").ok_or_else(|| {
+        "malformed pragma: expected `allow(<rule>, \"<justification>\")` after `tsn-lint:`"
+            .to_string()
+    })?;
+    let body = body.trim_start();
+    let body = body
+        .strip_prefix('(')
+        .ok_or_else(|| "malformed pragma: expected `(` after `allow`".to_string())?;
+
+    // Rule name: up to `,` or `)`.
+    let end = body
+        .find([',', ')'])
+        .ok_or_else(|| "malformed pragma: unterminated `allow(` — missing `)`".to_string())?;
+    let rule = body[..end].trim().to_string();
+    if rule.is_empty() {
+        return Err("malformed pragma: empty rule name in `allow()`".to_string());
+    }
+    let after_rule = &body[end..];
+    if let Some(rest) = after_rule.strip_prefix(')') {
+        let consumed = input.len() - rest.len();
+        return Ok((rule, None, consumed));
+    }
+    // Comma path: expect a quoted justification.
+    let rest = after_rule.trim_start_matches(',').trim_start();
+    let rest = rest.strip_prefix('"').ok_or_else(|| {
+        format!("malformed pragma: justification for `{rule}` must be a quoted string")
+    })?;
+    let close = rest
+        .find('"')
+        .ok_or_else(|| format!("malformed pragma: unterminated justification for `{rule}`"))?;
+    let justification = rest[..close].to_string();
+    let tail = rest[close + 1..].trim_start();
+    let tail = tail
+        .strip_prefix(')')
+        .ok_or_else(|| format!("malformed pragma: missing `)` after justification for `{rule}`"))?;
+    let consumed = input.len() - tail.len();
+    Ok((rule, Some(justification), consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (p, e) = parse_line(" tsn-lint: allow(no-unwrap, \"checked above\")", 7);
+        assert!(e.is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rule, RuleId::NoUnwrap);
+        assert_eq!(p[0].justification, "checked above");
+        assert_eq!(p[0].line, 7);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let (p, e) = parse_line("tsn-lint: allow(no-unwrap)", 1);
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].message.contains("missing its justification"));
+    }
+
+    #[test]
+    fn empty_justification_is_an_error() {
+        let (p, e) = parse_line("tsn-lint: allow(wall-clock, \"  \")", 1);
+        assert!(p.is_empty());
+        assert!(e[0].message.contains("empty justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (p, e) = parse_line("tsn-lint: allow(no-such-rule, \"x\")", 1);
+        assert!(p.is_empty());
+        assert!(e[0].message.contains("unknown rule"));
+        assert!(e[0].message.contains("no-unwrap"));
+    }
+
+    #[test]
+    fn malformed_pragma_is_an_error() {
+        let (p, e) = parse_line("tsn-lint: allow no-unwrap", 1);
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let (p, e) = parse_line(" just a note about tsn internals", 1);
+        assert!(p.is_empty());
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn two_pragmas_on_one_line() {
+        let (p, e) = parse_line(
+            "tsn-lint: allow(no-unwrap, \"a\") tsn-lint: allow(wall-clock, \"b\")",
+            3,
+        );
+        assert!(e.is_empty());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].rule, RuleId::NoUnwrap);
+        assert_eq!(p[1].rule, RuleId::WallClock);
+    }
+}

@@ -1,0 +1,194 @@
+//! Diagnostic rendering: compiler-style text and machine-readable JSON.
+//!
+//! The JSON form reuses [`tsn_core::json`] (the workspace's hand-rolled
+//! emitter) and includes the full resolved `Cargo.lock` package list,
+//! so dependency audits can diff the workspace's resolution PR-over-PR
+//! straight from CI artifacts.
+
+use std::fmt::Write as _;
+
+use tsn_core::json::{escape_str, JsonValue};
+
+use crate::engine::LintReport;
+use crate::rules::RuleId;
+
+/// Renders findings as `path:line: rule: message` diagnostics plus a
+/// summary line, the shape terminals and CI annotations understand.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: {}: {}",
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.message
+        );
+        if !f.snippet.is_empty() {
+            let _ = writeln!(out, "    | {}", f.snippet);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "tsn-lint: {} files scanned, {} finding{}, {} suppressed by justified pragmas, \
+         {} workspace packages resolved",
+        report.files_scanned,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.suppressed.len(),
+        report.packages.len(),
+    );
+    out
+}
+
+/// Renders the full report as a JSON document.
+pub fn render_json(report: &LintReport) -> String {
+    let findings = JsonValue::array(report.findings.iter().map(|f| {
+        JsonValue::object([
+            ("rule", JsonValue::str(f.rule.name())),
+            ("path", JsonValue::str(&f.path)),
+            ("line", JsonValue::from(f.line)),
+            ("message", JsonValue::str(&f.message)),
+            ("snippet", JsonValue::str(&f.snippet)),
+        ])
+    }));
+    let suppressed = JsonValue::array(report.suppressed.iter().map(|s| {
+        JsonValue::object([
+            ("rule", JsonValue::str(s.finding.rule.name())),
+            ("path", JsonValue::str(&s.finding.path)),
+            ("line", JsonValue::from(s.finding.line)),
+            ("justification", JsonValue::str(&s.justification)),
+        ])
+    }));
+    let pragmas = JsonValue::array(report.pragmas.iter().map(|p| {
+        JsonValue::object([
+            ("path", JsonValue::str(&p.path)),
+            ("line", JsonValue::from(p.line)),
+            ("rule", JsonValue::str(p.rule.name())),
+            ("justification", JsonValue::str(&p.justification)),
+            ("used", JsonValue::Bool(p.used)),
+        ])
+    }));
+    // The dependency-audit surface: every resolved package with its
+    // resolved dependency names, in lockfile order.
+    let packages = JsonValue::array(report.packages.iter().map(|p| {
+        JsonValue::object([
+            ("name", JsonValue::str(&p.name)),
+            ("version", JsonValue::str(&p.version)),
+            (
+                "source",
+                match &p.source {
+                    Some(s) => JsonValue::str(s.as_str()),
+                    None => JsonValue::str("workspace"),
+                },
+            ),
+            (
+                "dependencies",
+                JsonValue::array(p.dependencies.iter().map(|d| JsonValue::str(d.as_str()))),
+            ),
+        ])
+    }));
+    let doc = JsonValue::object([
+        ("schema", JsonValue::str("tsn-lint/1")),
+        ("clean", JsonValue::Bool(report.is_clean())),
+        ("files_scanned", JsonValue::from(report.files_scanned)),
+        (
+            "rules",
+            JsonValue::array(RuleId::ALL.into_iter().map(|r| JsonValue::str(r.name()))),
+        ),
+        ("findings", findings),
+        ("suppressed", suppressed),
+        ("pragmas", pragmas),
+        (
+            "workspace",
+            JsonValue::object([
+                (
+                    "members",
+                    JsonValue::array(report.members.iter().map(|m| JsonValue::str(m.as_str()))),
+                ),
+                ("resolved_packages", packages),
+            ]),
+        ),
+    ]);
+    let mut out = String::new();
+    render_pretty(&doc, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+/// Pretty-prints a [`JsonValue`] with two-space indentation — the
+/// compact `Display` form is fine for piping, but the CI artifact is
+/// meant to be diffed PR-over-PR, where one-entry-per-line matters.
+fn render_pretty(value: &JsonValue, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        JsonValue::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                render_pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        JsonValue::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                out.push_str(&pad);
+                out.push_str("  ");
+                out.push_str(&escape_str(key));
+                out.push_str(": ");
+                render_pretty(item, indent + 1, out);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        // Scalars and empty containers use the compact form.
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn empty_report() -> LintReport {
+        LintReport {
+            root: PathBuf::from("."),
+            files_scanned: 3,
+            findings: Vec::new(),
+            suppressed: Vec::new(),
+            pragmas: Vec::new(),
+            members: vec!["tsn".to_string()],
+            packages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn text_summary_mentions_counts() {
+        let text = render_text(&empty_report());
+        assert!(text.contains("3 files scanned"));
+        assert!(text.contains("0 findings"));
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_clean() {
+        let json = render_json(&empty_report());
+        assert!(json.contains("\"schema\": \"tsn-lint/1\""));
+        assert!(json.contains("\"clean\": true"));
+        assert!(json.contains("\"members\""));
+    }
+}

@@ -77,6 +77,7 @@ impl PrivacyFacetInputs {
     /// Panics if inputs are invalid or weights are all zero.
     pub fn facet_with(&self, weights: &ExposureWeights) -> ExposureReport {
         if let Err(e) = self.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on inputs that validate() rejects; fallible callers validate first")
             panic!("invalid privacy facet inputs: {e}");
         }
         let total = weights.non_disclosure + weights.respect + weights.audit;

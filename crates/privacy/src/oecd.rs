@@ -116,6 +116,7 @@ impl OecdAudit {
     /// [`SystemPrivacyProfile::validate`] first to handle errors.
     pub fn evaluate(profile: &SystemPrivacyProfile) -> Self {
         if let Err(e) = profile.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a profile that validate() rejects; fallible callers validate first")
             panic!("invalid privacy profile: {e}");
         }
         let b = |x: bool| if x { 1.0 } else { 0.0 };
@@ -153,6 +154,7 @@ impl OecdAudit {
             .iter()
             .find(|(p, _)| *p == principle)
             .map(|(_, s)| *s)
+            // tsn-lint: allow(no-unwrap, "the constructor scores all eight principles in order; the audit table is total")
             .expect("all principles are scored")
     }
 

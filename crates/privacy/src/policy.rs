@@ -196,6 +196,7 @@ impl PrivacyPolicy {
             ])
             .retention(SimDuration::from_secs(30 * 24 * 3600))
             .build()
+            // tsn-lint: allow(no-unwrap, "preset literal is valid by inspection and pinned by the policy unit tests")
             .expect("permissive policy is valid")
     }
 
@@ -214,6 +215,7 @@ impl PrivacyPolicy {
             ])
             .min_trust_level(0.7)
             .build()
+            // tsn-lint: allow(no-unwrap, "preset literal is valid by inspection and pinned by the policy unit tests")
             .expect("strict policy is valid")
     }
 

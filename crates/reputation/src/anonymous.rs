@@ -84,6 +84,7 @@ impl<M: ReputationMechanism> Anonymized<M> {
     /// Panics if the configuration is invalid.
     pub fn new(inner: M, config: AnonymizationConfig, rng: SimRng) -> Self {
         if let Err(e) = config.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a config that validate() rejects; fallible callers validate first")
             panic!("invalid anonymization config: {e}");
         }
         Anonymized {

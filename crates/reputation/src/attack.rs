@@ -221,6 +221,7 @@ impl Population {
     /// Panics if the configuration is invalid.
     pub fn new(n: usize, config: PopulationConfig, rng: &mut SimRng) -> Self {
         if let Err(e) = config.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a config that validate() rejects; fallible callers validate first")
             panic!("invalid population config: {e}");
         }
         let count = |f: f64| (f * n as f64).round() as usize;

@@ -124,6 +124,7 @@ impl EigenTrust {
     /// Panics if the configuration is invalid.
     pub fn new(n: usize, config: EigenTrustConfig) -> Self {
         if let Err(e) = config.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a config that validate() rejects; fallible callers validate first")
             panic!("invalid EigenTrust config: {e}");
         }
         let prior = Self::compute_prior(&config.pretrusted, n);

@@ -130,6 +130,7 @@ impl PowerTrust {
     /// Panics if the configuration is invalid.
     pub fn new(n: usize, config: PowerTrustConfig) -> Self {
         if let Err(e) = config.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a config that validate() rejects; fallible callers validate first")
             panic!("invalid PowerTrust config: {e}");
         }
         PowerTrust {

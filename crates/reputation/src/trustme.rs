@@ -80,6 +80,7 @@ impl TrustMe {
     /// Panics if the configuration is invalid.
     pub fn new(n: usize, config: TrustMeConfig) -> Self {
         if let Err(e) = config.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a config that validate() rejects; fallible callers validate first")
             panic!("invalid TrustMe config: {e}");
         }
         let holders = config.holders;

@@ -82,6 +82,7 @@ impl AdequacyModel {
     /// first to handle errors.
     pub fn adequacy(&self, intentions: &ConsumerIntentions, aspects: &InteractionAspects) -> f64 {
         if let Err(e) = self.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a model that validate() rejects; fallible callers validate first")
             panic!("invalid adequacy model: {e}");
         }
         let outcome_term = if intentions.quality_expectation <= 0.0 {

@@ -85,7 +85,7 @@ pub fn gini_coefficient(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     // Gini = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n, with i starting at 1.
     let weighted: f64 = sorted
         .iter()

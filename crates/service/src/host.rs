@@ -500,6 +500,7 @@ impl ServiceHost {
             return Err("restart: the host is not down".into());
         }
         self.recover(at)?;
+        // tsn-lint: allow(no-unwrap, "recover() stores last_recovery before returning on every path, including full replay")
         Ok(self.last_recovery.as_ref().expect("recover just ran"))
     }
 
@@ -582,6 +583,7 @@ impl ServiceHost {
         if self.state != HostState::Up {
             return Err("checkpoint: the service is not up".into());
         }
+        // tsn-lint: allow(no-unwrap, "state-machine invariant: Up is only entered with a resident service (boot/recover set both)")
         let service = self.service.as_ref().expect("up implies a service");
         let mut bytes = service.checkpoint_with_cursor(self.journal.records())?;
         if let Some(injector) = &self.injector {
@@ -609,6 +611,7 @@ impl ServiceHost {
         self.last_checkpoint_epoch = self
             .service
             .as_ref()
+            // tsn-lint: allow(no-unwrap, "state-machine invariant: Up is only entered with a resident service (boot/recover set both)")
             .expect("up implies a service")
             .epoch_index();
         Ok(())
@@ -632,6 +635,7 @@ impl ServiceHost {
         if every == 0 || self.state != HostState::Up {
             return Ok(());
         }
+        // tsn-lint: allow(no-unwrap, "state-machine invariant: Up is only entered with a resident service (boot/recover set both)")
         let epoch = self.service.as_ref().expect("up").epoch_index();
         if epoch >= self.last_checkpoint_epoch + every {
             self.checkpoint_now(at)?;
@@ -689,6 +693,7 @@ impl ServiceHost {
             }
             HostState::Recovering => match *op {
                 ServiceOp::QueryTrust { node, .. } => {
+                    // tsn-lint: allow(no-unwrap, "state-machine invariant: Recovering carries the service the recovery path just restored")
                     let service = self.service.as_ref().expect("recovering has a service");
                     let answer = service
                         .degraded_trust(node, at)
@@ -697,6 +702,7 @@ impl ServiceHost {
                     Ok(ApplyOutcome::Trust(answer))
                 }
                 ServiceOp::QueryExposure { node, .. } => {
+                    // tsn-lint: allow(no-unwrap, "state-machine invariant: Recovering carries the service the recovery path just restored")
                     let service = self.service.as_ref().expect("recovering has a service");
                     let answer = service
                         .degraded_exposure(node, at)
@@ -714,6 +720,7 @@ impl ServiceHost {
             },
             HostState::Up => {
                 self.validate_op(op)?;
+                // tsn-lint: allow(no-unwrap, "state-machine invariant: Up is only entered with a resident service (boot/recover set both)")
                 let service = self.service.as_mut().expect("up implies a service");
                 let outcome = match *op {
                     ServiceOp::Ingest(event) => {
@@ -751,6 +758,7 @@ impl ServiceHost {
         if self.state != HostState::Up {
             return Ok(());
         }
+        // tsn-lint: allow(no-unwrap, "state-machine invariant: Up is only entered with a resident service (boot/recover set both)")
         let service = self.service.as_mut().expect("up implies a service");
         if at <= service.now() {
             return Ok(());

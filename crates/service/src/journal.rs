@@ -304,8 +304,11 @@ impl JournalSegment {
         if &bytes[..8] != SEGMENT_MAGIC {
             return Err("not a journal segment (bad magic)".into());
         }
+        // tsn-lint: allow(no-unwrap, "the header slice length is checked at function entry; fixed offsets cannot misconvert")
         let index = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        // tsn-lint: allow(no-unwrap, "the header slice length is checked at function entry; fixed offsets cannot misconvert")
         let base = u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte slice"));
+        // tsn-lint: allow(no-unwrap, "the header slice length is checked at function entry; fixed offsets cannot misconvert")
         let stored = u32::from_le_bytes(bytes[24..28].try_into().expect("4-byte slice"));
         let computed = crc32(&bytes[..24]);
         if stored != computed {
@@ -406,12 +409,14 @@ impl EventJournal {
     fn open_segment(&self) -> &JournalSegment {
         self.segments
             .last()
+            // tsn-lint: allow(no-unwrap, "segments is never empty: new() seeds an open segment and sealing immediately opens the next")
             .expect("a journal always has an open segment")
     }
 
     fn open_segment_mut(&mut self) -> &mut JournalSegment {
         self.segments
             .last_mut()
+            // tsn-lint: allow(no-unwrap, "segments is never empty: new() seeds an open segment and sealing immediately opens the next")
             .expect("a journal always has an open segment")
     }
 
@@ -730,8 +735,10 @@ impl EventJournal {
                 break true;
             }
             let len =
+                // tsn-lint: allow(no-unwrap, "frame bounds were checked against the buffer length before slicing")
                 u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
             let stored =
+                // tsn-lint: allow(no-unwrap, "frame bounds were checked against the buffer length before slicing")
                 u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4-byte slice"));
             let Some(end) = (pos + 8).checked_add(len) else {
                 break true;

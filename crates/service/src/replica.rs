@@ -461,6 +461,7 @@ impl ReplicaSet {
 
     /// Replica `i`'s bit-exact state fingerprint (`i` must be up).
     fn fingerprint(&self, i: usize) -> Fingerprint {
+        // tsn-lint: allow(no-unwrap, "the sequencer only marks a member in-sync after it served an all-up epoch, which requires Up")
         let service = self.hosts[i].service().expect("in-sync member is up");
         Fingerprint {
             scores: service.scores().iter().map(|s| s.to_bits()).collect(),

@@ -173,6 +173,7 @@ impl ChurnProcess {
     /// [`ChurnConfig::validate`] to handle errors gracefully.
     pub fn new(config: ChurnConfig, rng: SimRng) -> Self {
         if let Err(e) = config.validate() {
+            // tsn-lint: allow(no-unwrap, "documented contract: new() panics on a config that validate() rejects; fallible callers validate first")
             panic!("invalid churn config: {e}");
         }
         ChurnProcess { config, rng }

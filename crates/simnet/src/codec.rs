@@ -200,12 +200,14 @@ impl<'a> ByteReader<'a> {
     /// Reads a little-endian `u32`.
     pub fn take_u32(&mut self) -> Result<u32, String> {
         let b = self.take(4, "u32")?;
+        // tsn-lint: allow(no-unwrap, "need(4) verified the remaining length; the slice is exactly four bytes")
         Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
     /// Reads a little-endian `u64`.
     pub fn take_u64(&mut self) -> Result<u64, String> {
         let b = self.take(8, "u64")?;
+        // tsn-lint: allow(no-unwrap, "need(8) verified the remaining length; the slice is exactly eight bytes")
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 

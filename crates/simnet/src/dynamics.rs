@@ -318,6 +318,7 @@ impl DynamicsRuntime {
         let mut pending: Vec<Option<ChurnEvent>> = vec![None; n];
         let mut schedule = BinaryHeap::new();
         let mut schedule_seq = 0u64;
+        // tsn-lint: allow(no-unwrap, "plan validation bounds the population well below u32::MAX before a runtime exists")
         let mut next_identity = u32::try_from(n).expect("population fits u32");
         for slot in 0..n {
             let id = NodeId::from_index(slot);
@@ -396,6 +397,7 @@ impl DynamicsRuntime {
             let map = self
                 .active_map
                 .clone()
+                // tsn-lint: allow(no-unwrap, "window activation builds the map before in_window is ever set; they change together")
                 .expect("an active window always has a map");
             self.displaced_loss = Some(network.set_loss(Box::new(PartitionedLoss::new(
                 map,
@@ -518,6 +520,7 @@ impl DynamicsRuntime {
         };
         let event = self.pending[slot]
             .take()
+            // tsn-lint: allow(no-unwrap, "heap entries and pending events are inserted together; the popped slot still holds its event")
             .expect("scheduled slot has a pending event");
         self.lifecycle.apply(event);
         let slot_id = NodeId::from_index(slot);
@@ -552,6 +555,7 @@ impl DynamicsRuntime {
         let churn = self
             .churn
             .as_mut()
+            // tsn-lint: allow(no-unwrap, "transition times are only scheduled when a churn model is configured")
             .expect("transitions only exist with churn");
         let next_identity = &mut self.next_identity;
         let (delay, next_event) =

@@ -105,6 +105,7 @@ impl NodeId {
     /// Panics if `index` exceeds `u32::MAX`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // tsn-lint: allow(no-unwrap, "documented contract: from_index panics past u32::MAX nodes, far beyond any supported scale")
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
 }

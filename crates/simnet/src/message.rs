@@ -34,6 +34,7 @@ impl Tag {
         use std::sync::{Mutex, OnceLock};
         static REGISTRY: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
         let registry = REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+        // tsn-lint: allow(no-unwrap, "registry poisoning implies a prior panic while interning; propagating the panic is the design")
         let mut registry = registry.lock().expect("tag registry poisoned");
         if let Some(existing) = registry.iter().find(|s| **s == name) {
             return Tag(existing);

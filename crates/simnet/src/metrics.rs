@@ -115,8 +115,7 @@ impl Histogram {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());

@@ -337,6 +337,7 @@ impl Network {
             if top.deliver_at > now {
                 break;
             }
+            // tsn-lint: allow(no-unwrap, "pop directly follows a successful peek on the same queue within one &mut borrow")
             let msg = self.in_flight.pop().expect("peeked entry exists").envelope;
             if self.alive[msg.to.index()] {
                 self.mailboxes[msg.to.index()].push(msg);

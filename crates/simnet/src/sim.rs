@@ -180,6 +180,7 @@ impl Simulation {
             if t > self.now {
                 break;
             }
+            // tsn-lint: allow(no-unwrap, "pop directly follows a successful peek on the same queue within one &mut borrow")
             let ev = self.queue.pop().expect("peeked event exists");
             (ev.action)(self);
         }

@@ -34,6 +34,7 @@ fn main() {
     let rounds = env_usize("MEGA_ROUNDS", 5);
     println!("mega-scale scenario: {nodes} nodes × {rounds} rounds (sharded engine)");
 
+    // tsn-lint: allow(wall-clock, "demo prints wall-clock throughput; the simulation itself runs on the sim clock")
     let start = Instant::now();
     let outcome = ScenarioBuilder::mega(nodes)
         .rounds(rounds)
