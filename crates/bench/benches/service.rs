@@ -46,6 +46,7 @@ fn driver() -> ServiceDriver {
         query_rate: 0.0, // reads are benched separately
         malicious_fraction: 0.1,
         seed: 4242,
+        membership: None,
     })
     .expect("valid workload")
 }

@@ -73,6 +73,7 @@ fn main() {
         query_rate: 0.2,
         malicious_fraction: 0.1,
         seed: 77,
+        membership: None,
     })
     .expect("valid workload");
     // The epoch the timed lanes will serve (the one right past warm-up).

@@ -48,6 +48,7 @@ fn main() {
         query_rate: 0.2,
         malicious_fraction: 0.1,
         seed: 77,
+        membership: None,
     })
     .expect("valid workload");
 

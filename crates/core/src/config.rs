@@ -9,7 +9,7 @@ use crate::runner::ValidationError;
 use tsn_reputation::{
     AnonymizationConfig, DisclosurePolicy, MechanismKind, PopulationConfig, SelectionPolicy,
 };
-use tsn_simnet::DynamicsPlan;
+use tsn_simnet::{DynamicsPlan, MembershipConfig};
 
 /// How strict the users' privacy policies are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +105,15 @@ pub struct ScenarioConfig {
     /// driver executes it for real). `None` leaves the legacy behaviour
     /// bit-identical.
     pub dynamics: Option<DynamicsPlan>,
+    /// Peer-sampling membership overlay (the paper's view-shuffling
+    /// model): each node keeps a bounded [`PartialView`] refreshed by
+    /// deterministic push-pull shuffles and bootstrapped through relay
+    /// nodes, and partner candidates come from the local view instead
+    /// of the global graph neighborhood. `None` (the default) keeps
+    /// global, graph-based selection bit-identical to the goldens.
+    ///
+    /// [`PartialView`]: tsn_simnet::PartialView
+    pub membership: Option<MembershipConfig>,
     /// Weight of the *consumer-role* satisfaction in a user's overall
     /// satisfaction; the rest is the provider-role satisfaction (ref \[17\]
     /// models participants in both roles). Must be in `[0, 1]`.
@@ -162,6 +171,7 @@ impl Default for ScenarioConfig {
             leak_probability: 0.3,
             churn_offline: 0.0,
             dynamics: None,
+            membership: None,
             consumer_role_weight: 0.75,
             ballot_stuffing_factor: 4,
             shards: 1,
@@ -230,6 +240,16 @@ impl ScenarioConfig {
                     "dynamics",
                     "churn_offline and a dynamics plan are mutually exclusive; \
                      pick one churn model",
+                ));
+            }
+        }
+        if let Some(m) = &self.membership {
+            m.validate()
+                .map_err(|msg| ValidationError::new("membership", msg))?;
+            if m.relays >= self.nodes {
+                return Err(ValidationError::new(
+                    "membership",
+                    "need more nodes than relays",
                 ));
             }
         }

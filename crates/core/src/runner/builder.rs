@@ -6,7 +6,7 @@ use crate::scenario::{Scenario, ScenarioOutcome, ROUND_DURATION};
 use tsn_reputation::{
     AnonymizationConfig, DisclosurePolicy, MechanismKind, PopulationConfig, SelectionPolicy,
 };
-use tsn_simnet::{DynamicsPlan, SimDuration, SimTime};
+use tsn_simnet::{DynamicsPlan, MembershipConfig, SimDuration, SimTime};
 
 /// The five rungs of the paper's disclosure ladder, as a type.
 ///
@@ -241,6 +241,23 @@ impl ScenarioBuilder {
     pub fn dynamics(mut self, plan: DynamicsPlan) -> Self {
         self.config.dynamics = Some(plan);
         self
+    }
+
+    /// Attaches the peer-sampling membership overlay: bounded partial
+    /// views refreshed by one deterministic push-pull shuffle per
+    /// round, bootstrapped through the first `relays` nodes. Partner
+    /// candidates then come from each consumer's local view instead of
+    /// the global graph neighborhood. Leaving it off keeps the legacy
+    /// global selection bit-identical.
+    pub fn membership(mut self, config: MembershipConfig) -> Self {
+        self.config.membership = Some(config);
+        self
+    }
+
+    /// Preset: the membership overlay with its default parameters
+    /// (view size 16, shuffle length 8, 3 relays).
+    pub fn with_peer_sampling(self) -> Self {
+        self.membership(MembershipConfig::default())
     }
 
     /// Preset: a flash crowd — 75 % of users start offline and flood in

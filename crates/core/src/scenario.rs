@@ -47,7 +47,10 @@ use tsn_satisfaction::{
     AdequacyModel, AllocationTracker, ConsumerIntentions, GlobalSatisfaction, InteractionAspects,
     ProviderIntentions, SatisfactionTracker,
 };
-use tsn_simnet::{DynamicsEvent, DynamicsRuntime, GroupMap, NodeId, SimDuration, SimRng, SimTime};
+use tsn_simnet::{
+    DynamicsEvent, DynamicsRuntime, GroupMap, MembershipRuntime, NodeId, PartialView, SimDuration,
+    SimRng, SimTime, StreamDomain, MEMBERSHIP_SEED_SALT,
+};
 
 /// Virtual time one scenario round spans (the interaction loop models
 /// hourly activity waves).
@@ -61,15 +64,17 @@ pub const SHARD_AUTO_NODES: usize = 10_000;
 
 /// Stream-domain tag of the per-round offline coin flips, keeping them
 /// disjoint from the `(round << 32) | node` interaction streams.
-const OFFLINE_STREAM_DOMAIN: u64 = 1 << 62;
+/// Registered as [`StreamDomain::ScenarioOffline`].
+const OFFLINE_STREAM_DOMAIN: u64 = StreamDomain::ScenarioOffline.tag();
 
 /// The RNG stream a consumer's interactions draw from in the sharded
 /// engine: one independent stream per `(round, node)`, derived
-/// statelessly from the config seed. This is what makes the draw
-/// sequence — and therefore the whole outcome — independent of the
-/// shard count and of shard execution order.
+/// statelessly from the config seed ([`StreamDomain::Interaction`]).
+/// This is what makes the draw sequence — and therefore the whole
+/// outcome — independent of the shard count and of shard execution
+/// order.
 fn interaction_stream(seed: u64, round: usize, node: usize) -> SimRng {
-    SimRng::stream(seed, ((round as u64) << 32) | node as u64)
+    StreamDomain::Interaction.stream(seed, ((round as u64) << 32) | node as u64)
 }
 
 /// Per-round measurements (the time series behind Figure 1).
@@ -97,6 +102,11 @@ pub struct RoundSample {
     /// Partition health this round: the probability a random user pair
     /// shares a group — 1.0 outside any partition window.
     pub partition_health: f64,
+    /// Consumers skipped this round because no eligible partner
+    /// existed (dead/partitioned graph neighborhood, or — with the
+    /// membership overlay — an empty/dead partial view). Always 0 in
+    /// a healthy static run.
+    pub isolated: u64,
 }
 
 /// Everything a scenario run produces.
@@ -141,7 +151,7 @@ pub struct ScenarioOutcome {
 
 impl RoundSample {
     /// The recognized series names, in the order of the struct fields.
-    pub const SERIES_NAMES: [&'static str; 9] = [
+    pub const SERIES_NAMES: [&'static str; 10] = [
         "satisfaction",
         "trust",
         "respect",
@@ -151,6 +161,7 @@ impl RoundSample {
         "reports",
         "availability",
         "partition_health",
+        "isolated",
     ];
 
     /// Extracts one named measurement, or `None` for an unknown name.
@@ -165,6 +176,7 @@ impl RoundSample {
             "reports" => Some(self.reports_filed as f64),
             "availability" => Some(self.availability),
             "partition_health" => Some(self.partition_health),
+            "isolated" => Some(self.isolated as f64),
             _ => None,
         }
     }
@@ -237,6 +249,7 @@ struct ShardCounters {
     round_ok: u64,
     round_tried: u64,
     round_reports: u64,
+    round_isolated: u64,
 }
 
 /// A deferred disclosure-ledger entry. Shards cannot touch the shared
@@ -325,6 +338,10 @@ struct ShardCtx<'a> {
     /// Slot → current-identity map under whitewashing, `None` without a
     /// dynamics plan.
     identities: Option<&'a [NodeId]>,
+    /// Slot-indexed partial views of the membership overlay — the
+    /// round's frozen snapshot (shuffled in the serial control path
+    /// before the phase starts), `None` when the overlay is off.
+    views: Option<&'a [PartialView]>,
     system_policy: DisclosurePolicy,
     system_exposure: f64,
     round: usize,
@@ -369,16 +386,35 @@ fn run_shard(ctx: &ShardCtx<'_>, users: &mut [UserState], state: &mut ShardState
         let mut rng = interaction_stream(ctx.config.seed, ctx.round, consumer_idx);
         for _ in 0..ctx.config.interactions_per_node {
             candidates.clear();
-            candidates.extend(ctx.graph.neighbors(consumer).iter().copied().filter(|p| {
+            let eligible = |p: &NodeId| {
                 !ctx.offline[p.index()] && ctx.partition.is_none_or(|m| m.same_group(consumer, *p))
-            }));
+            };
+            match ctx.views {
+                // Peer sampling on: partners come from the consumer's
+                // frozen partial view, mirroring the serial loop.
+                Some(views) => {
+                    candidates.extend(views[consumer_idx].peers().filter(|p| eligible(p)))
+                }
+                None => candidates.extend(
+                    ctx.graph
+                        .neighbors(consumer)
+                        .iter()
+                        .copied()
+                        .filter(eligible),
+                ),
+            }
             let Some(provider) = ctx.config.selection.select_with(
                 candidates,
                 |c| ctx.mechanism.score(ctx.identity(c)),
                 &mut rng,
                 selection,
             ) else {
-                continue;
+                // No eligible partner: the candidate set is fixed for
+                // the round, so count the consumer isolated once and
+                // skip its remaining attempts (exactly the serial
+                // loop's behaviour — no randomness consumed).
+                outbox.counters.round_isolated += 1;
+                break;
             };
             outbox.counters.requests += 1;
             outbox.counters.messages += 1; // content request
@@ -525,6 +561,11 @@ pub struct Scenario {
     /// present iff `config.dynamics` is. Runs detached — the abstract
     /// scenario has no transport.
     net_dynamics: Option<DynamicsRuntime>,
+    /// Peer-sampling overlay (bounded partial views + shuffling),
+    /// present iff `config.membership` is. When on, partner candidates
+    /// come from each consumer's local view instead of the global
+    /// graph neighborhood.
+    membership: Option<MembershipRuntime>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -675,6 +716,17 @@ impl Scenario {
             None => None,
         };
 
+        // Same seeding idiom as dynamics: derived straight from the
+        // config seed (never forked), so attaching the overlay leaves
+        // the main stream — and every membership-off golden — intact.
+        let membership = match &config.membership {
+            Some(cfg) => Some(
+                MembershipRuntime::new(config.nodes, *cfg, config.seed ^ MEMBERSHIP_SEED_SALT)
+                    .map_err(|m| ValidationError::new("membership", m))?,
+            ),
+            None => None,
+        };
+
         Ok(Scenario {
             ledger: DisclosureLedger::with_raw_record_cap(config.ledger_raw_record_cap),
             config,
@@ -692,6 +744,7 @@ impl Scenario {
             policies,
             shard_state: Vec::new(),
             net_dynamics,
+            membership,
         })
     }
 
@@ -871,9 +924,11 @@ impl Scenario {
                 .net_dynamics
                 .as_ref()
                 .map_or(1.0, |d| d.partition_health());
+            self.membership_pre_round();
             let mut round_ok = 0u64;
             let mut round_tried = 0u64;
             let mut round_reports = 0u64;
+            let mut round_isolated = 0u64;
 
             for consumer_idx in 0..n {
                 if self.scratch.offline[consumer_idx] {
@@ -890,12 +945,26 @@ impl Scenario {
                             .net_dynamics
                             .as_ref()
                             .and_then(|d| d.active_group_map());
-                        self.scratch.candidates.extend(
-                            self.graph.neighbors(consumer).iter().copied().filter(|p| {
-                                !offline[p.index()]
-                                    && partition.is_none_or(|m| m.same_group(consumer, *p))
-                            }),
-                        );
+                        let eligible = |p: &NodeId| {
+                            !offline[p.index()]
+                                && partition.is_none_or(|m| m.same_group(consumer, *p))
+                        };
+                        match self.membership.as_ref() {
+                            // Peer sampling on: partners come from the
+                            // consumer's bounded partial view, not the
+                            // global graph neighborhood.
+                            Some(m) => self
+                                .scratch
+                                .candidates
+                                .extend(m.view(consumer).peers().filter(|p| eligible(p))),
+                            None => self.scratch.candidates.extend(
+                                self.graph
+                                    .neighbors(consumer)
+                                    .iter()
+                                    .copied()
+                                    .filter(eligible),
+                            ),
+                        }
                     }
                     let mech = &self.mechanism;
                     let dynamics = self.net_dynamics.as_ref();
@@ -905,7 +974,14 @@ impl Scenario {
                         &mut self.rng,
                         &mut self.scratch.selection,
                     ) else {
-                        continue;
+                        // No eligible partner. The candidate set is fixed
+                        // for the round (offline flags, partition and view
+                        // all are), so count the consumer isolated once
+                        // and skip its remaining attempts. Consumes no
+                        // randomness, so membership-off runs stay
+                        // bit-identical to the goldens.
+                        round_isolated += 1;
+                        break;
                     };
                     requests += 1;
                     messages += 1; // content request
@@ -1055,6 +1131,7 @@ impl Scenario {
                 reports: round_reports,
                 availability: round_availability,
                 partition_health: round_partition_health,
+                isolated: round_isolated,
             };
             self.finish_round(
                 round,
@@ -1108,6 +1185,26 @@ impl Scenario {
         // allocated (whitewashed ones score at the prior).
         self.mechanism.resize(dynamics.identity_count());
         true
+    }
+
+    /// Membership pre-round step shared by both engines: one view
+    /// shuffle against this round's offline flags and any active
+    /// partition. Runs in the serial control path even under sharding,
+    /// so the per-round view snapshot is identical for any shard
+    /// count. No-op when the overlay is off.
+    fn membership_pre_round(&mut self) {
+        let Some(membership) = self.membership.as_mut() else {
+            return;
+        };
+        let offline = &self.scratch.offline;
+        let partition = self
+            .net_dynamics
+            .as_ref()
+            .and_then(|d| d.active_group_map());
+        membership.shuffle_round(
+            |node| !offline[node.index()],
+            |a, b| partition.is_none_or(|m| m.same_group(a, b)),
+        );
     }
 
     /// The shared round tail: provider-role adequacy, a possible
@@ -1174,6 +1271,7 @@ impl Scenario {
             reports_filed: tally.reports,
             availability: tally.availability,
             partition_health: tally.partition_health,
+            isolated: tally.isolated,
         };
         for observer in observers.iter_mut() {
             observer.on_round(&sample);
@@ -1264,6 +1362,7 @@ struct RoundTally {
     reports: u64,
     availability: f64,
     partition_health: f64,
+    isolated: u64,
 }
 
 /// Whole-run accumulators both engines hand to
@@ -1373,6 +1472,10 @@ impl Scenario {
                 .net_dynamics
                 .as_ref()
                 .map_or(1.0, |d| d.partition_health());
+            // View shuffle in the serial control path, before the
+            // phase snapshot freezes — shards then read identical
+            // views for any shard count.
+            self.membership_pre_round();
 
             // --- Interaction phase: workers steal shards off a cursor.
             {
@@ -1391,6 +1494,7 @@ impl Scenario {
                         .as_ref()
                         .and_then(|d| d.active_group_map()),
                     identities: self.net_dynamics.as_ref().map(|d| d.identities()),
+                    views: self.membership.as_ref().map(|m| m.views()),
                     system_policy,
                     system_exposure,
                     round,
@@ -1475,6 +1579,7 @@ impl Scenario {
         let mut ok = 0u64;
         let mut tried = 0u64;
         let mut reports_filed = 0u64;
+        let mut isolated = 0u64;
         for state in shard_state.iter_mut() {
             let outbox = &mut state.outbox;
             let c = outbox.counters;
@@ -1485,6 +1590,7 @@ impl Scenario {
             ok += c.round_ok;
             tried += c.round_tried;
             reports_filed += c.round_reports;
+            isolated += c.round_isolated;
 
             for event in outbox.ledger.drain(..) {
                 match event {
@@ -1524,6 +1630,7 @@ impl Scenario {
             reports: reports_filed,
             availability: 1.0,
             partition_health: 1.0,
+            isolated,
         }
     }
 }

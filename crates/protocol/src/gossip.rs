@@ -24,8 +24,8 @@
 use crate::host::{ProtocolCosts, RoundDriver};
 use tsn_graph::Graph;
 use tsn_simnet::{
-    DynamicsEvent, DynamicsPlan, DynamicsRuntime, Envelope, Network, NodeId, Payload, SimDuration,
-    SimRng, Tag,
+    DynamicsEvent, DynamicsPlan, DynamicsRuntime, Envelope, MembershipConfig, MembershipRuntime,
+    Network, NodeId, Payload, SimDuration, SimRng, Tag,
 };
 
 /// The push-sum message tag.
@@ -88,6 +88,10 @@ pub struct GossipNetwork {
     /// Scratch for the alive-neighbour filter (only used when
     /// `skip_dead_neighbors` is on).
     alive_scratch: Vec<NodeId>,
+    /// Peer-sampling overlay; when attached, push targets come from
+    /// each node's bounded partial view instead of the graph
+    /// neighborhood.
+    membership: Option<MembershipRuntime>,
 }
 
 impl GossipNetwork {
@@ -112,6 +116,7 @@ impl GossipNetwork {
             state: vec![0.0; n * 2 * config.subjects],
             truth: vec![(0.0, 0.0); config.subjects],
             alive_scratch: Vec::new(),
+            membership: None,
             config,
         }
     }
@@ -157,6 +162,31 @@ impl GossipNetwork {
         self.driver.dynamics()
     }
 
+    /// Attaches the peer-sampling membership overlay: each node keeps
+    /// a bounded partial view refreshed by one shuffle per gossip
+    /// round, and push targets are drawn from the view instead of the
+    /// full graph neighborhood. The overlay runs on its own RNG
+    /// stream (derived from `seed`), so attaching it never shifts the
+    /// push-target draw sequence of membership-off runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the config's validation error, or an error when the
+    /// population is too small for the relay count.
+    pub fn attach_membership(&mut self, config: MembershipConfig, seed: u64) -> Result<(), String> {
+        self.membership = Some(MembershipRuntime::new(
+            self.graph.node_count(),
+            config,
+            seed,
+        )?);
+        Ok(())
+    }
+
+    /// The attached membership overlay, if any.
+    pub fn membership(&self) -> Option<&MembershipRuntime> {
+        self.membership.as_ref()
+    }
+
     /// Executes one push-sum round.
     pub fn round(&mut self) {
         let GossipNetwork {
@@ -167,11 +197,20 @@ impl GossipNetwork {
             state,
             config,
             alive_scratch,
+            membership,
             ..
         } = self;
         let subjects = config.subjects;
         let stride = 2 * subjects;
         let skip_dead = config.skip_dead_neighbors;
+        // One view shuffle per gossip round, against current liveness
+        // (no partition model at this layer — the network's loss model
+        // handles partitions in transit).
+        if let Some(m) = membership.as_mut() {
+            let network = driver.network();
+            m.shuffle_round(|p| network.is_alive(p), |_, _| true);
+        }
+        let membership = membership.as_ref();
         driver.round(|node, inbox, network, out| {
             let i = node.index();
             let row = &mut state[i * stride..(i + 1) * stride];
@@ -190,13 +229,30 @@ impl GossipNetwork {
             }
             // Halve and push to one random neighbour (all of them by
             // default — dead targets dead-letter; see `GossipConfig`).
-            let neighbors = graph.neighbors(node);
-            let target = if skip_dead {
-                alive_scratch.clear();
-                alive_scratch.extend(neighbors.iter().copied().filter(|&p| network.is_alive(p)));
-                rng.choose(alive_scratch).copied()
-            } else {
-                rng.choose(neighbors).copied()
+            // With the membership overlay attached the draw covers the
+            // node's bounded partial view instead of the graph.
+            let target = match membership {
+                Some(m) => {
+                    let view = m.view(node);
+                    if skip_dead {
+                        alive_scratch.clear();
+                        alive_scratch.extend(view.peers().filter(|&p| network.is_alive(p)));
+                        rng.choose(alive_scratch).copied()
+                    } else {
+                        view.sample(rng)
+                    }
+                }
+                None => {
+                    let neighbors = graph.neighbors(node);
+                    if skip_dead {
+                        alive_scratch.clear();
+                        alive_scratch
+                            .extend(neighbors.iter().copied().filter(|&p| network.is_alive(p)));
+                        rng.choose(alive_scratch).copied()
+                    } else {
+                        rng.choose(neighbors).copied()
+                    }
+                }
             };
             let Some(target) = target else {
                 return;
@@ -348,6 +404,40 @@ mod tests {
             let value = if subject.is_multiple_of(2) { 0.9 } else { 0.2 };
             g.observe(observer, subject, value);
         }
+    }
+
+    #[test]
+    fn membership_overlay_still_converges() {
+        let n = 30;
+        let mut g = build(n, 0.0, 9);
+        g.attach_membership(MembershipConfig::default(), 0xFACE)
+            .expect("valid overlay");
+        seed_observations(&mut g, n, 2);
+        let before = g.report();
+        g.run(40);
+        let after = g.report();
+        // View-constrained targets reach the whole population through
+        // shuffling, so push-sum still converges.
+        assert!(
+            after.mean_error < before.mean_error / 3.0,
+            "{before:?} -> {after:?}"
+        );
+        assert!(g.membership().expect("attached").rounds() >= 40);
+    }
+
+    #[test]
+    fn membership_overlay_is_deterministic() {
+        let run = || {
+            let n = 20;
+            let mut g = build(n, 0.0, 11);
+            g.attach_membership(MembershipConfig::default(), 13)
+                .expect("valid overlay");
+            seed_observations(&mut g, n, 3);
+            g.run(15);
+            let report = g.report();
+            (report.mean_error, report.max_error, report.costs.messages)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -16,16 +16,21 @@ use crate::host::{ApplyOutcome, HostError, ServiceHost};
 use crate::replica::ReplicaSet;
 use crate::service::{Staleness, TrustService};
 use tsn_reputation::InteractionOutcome;
-use tsn_simnet::{NodeId, SimDuration, SimRng, SimTime};
+use tsn_simnet::{
+    MembershipConfig, MembershipRuntime, NodeId, SimDuration, SimRng, SimTime, StreamDomain,
+    MEMBERSHIP_SEED_SALT,
+};
 
 /// Stream-label domain for per-node provider quality, disjoint from the
 /// per-`(epoch, node)` op streams (those use `epoch << 32 | node`, which
-/// stays far below this bit).
-const QUALITY_STREAM_DOMAIN: u64 = 1 << 61;
+/// stays far below this bit). Registered as
+/// [`StreamDomain::ServiceQuality`].
+const QUALITY_STREAM_DOMAIN: u64 = StreamDomain::ServiceQuality.tag();
 
 /// Stream-label domain for retry jitter, disjoint from both the op
-/// streams and the quality stream.
-const RETRY_STREAM_DOMAIN: u64 = 1 << 62;
+/// streams and the quality stream. Registered as
+/// [`StreamDomain::ServiceRetry`].
+const RETRY_STREAM_DOMAIN: u64 = StreamDomain::ServiceRetry.tag();
 
 /// Configuration of a [`ServiceDriver`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +51,13 @@ pub struct DriverConfig {
     pub malicious_fraction: f64,
     /// Root seed; the whole timeline is a pure function of it.
     pub seed: u64,
+    /// Peer-sampling membership overlay: when set, each node's
+    /// interaction partner is sampled from its bounded partial view
+    /// (evolved one shuffle per epoch) instead of the global
+    /// population. A node whose view is empty that epoch initiates
+    /// nothing — the deterministic-skip semantics. `None` keeps the
+    /// legacy global draw bit-identical.
+    pub membership: Option<MembershipConfig>,
 }
 
 impl Default for DriverConfig {
@@ -57,6 +69,7 @@ impl Default for DriverConfig {
             query_rate: 0.5,
             malicious_fraction: 0.1,
             seed: 42,
+            membership: None,
         }
     }
 }
@@ -98,6 +111,12 @@ impl DriverConfig {
         ] {
             if !(0.0..=1.0).contains(&v) {
                 return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        if let Some(m) = &self.membership {
+            m.validate()?;
+            if m.relays >= self.nodes {
+                return Err("membership needs more nodes than relays".into());
             }
         }
         Ok(())
@@ -311,6 +330,26 @@ impl ServiceDriver {
         (base + 0.1 * (rng.gen_f64() - 0.5)).clamp(0.0, 1.0)
     }
 
+    /// The overlay's view state as of `epoch`, or `None` without an
+    /// overlay: a fresh runtime advanced `epoch + 1` shuffle rounds
+    /// (everyone alive, everyone reachable — workload generation
+    /// models the healthy overlay; faults live at the host layer).
+    /// Pure in `(config, epoch)`, like every other timeline input.
+    fn membership_at(&self, epoch: u64) -> Option<MembershipRuntime> {
+        let config = self.config.membership?;
+        let mut runtime = MembershipRuntime::new(
+            self.config.nodes,
+            config,
+            self.config.seed ^ MEMBERSHIP_SEED_SALT,
+        )
+        // tsn-lint: allow(no-unwrap, "DriverConfig::validate checked the overlay config and the relay/population ratio at construction")
+        .expect("membership config validated at driver construction");
+        for _ in 0..=epoch {
+            runtime.shuffle_round(|_| true, |_, _| true);
+        }
+        Some(runtime)
+    }
+
     /// Generates epoch `epoch` of the timeline for a service whose
     /// epoch boundaries are given by `epoch_end`. Ops come back sorted
     /// by `(time, node, seq)` — the fixed merge order that makes the
@@ -329,6 +368,13 @@ impl ServiceDriver {
         let Some(start_us) = epoch_us.checked_mul(epoch) else {
             return Vec::new(); // at the horizon: nothing left to schedule
         };
+        // The overlay's per-epoch view snapshot, re-derived from
+        // scratch: `epoch + 1` shuffles over a fully-live population is
+        // a pure function of `(seed, epoch)`, which keeps the whole
+        // timeline one too — checkpoint/restore and re-generation
+        // cannot drift. (Relay *faults* live at the host layer: ops
+        // addressed at a downed node bounce and retry there.)
+        let membership = self.membership_at(epoch);
         // Keyed ops: (at_us, node, seq) is the merge key.
         let mut keyed: Vec<(u64, u32, u32, ServiceOp)> = Vec::new();
         for node_idx in 0..self.config.nodes {
@@ -343,10 +389,27 @@ impl ServiceDriver {
                 let offset = ((t * epoch_us as f64) as u64).min(epoch_us - 1);
                 let at_us = start_us.saturating_add(offset);
                 let at = SimTime::from_micros(at_us);
-                // Pick a partner, skipping self.
-                let other = rng.gen_range(0..self.config.nodes - 1);
-                let partner = if other >= node_idx { other + 1 } else { other };
-                let partner = NodeId::from_index(partner);
+                // Pick a partner: from the node's partial view under
+                // the overlay (views never contain self), else
+                // uniformly from the population, skipping self.
+                let partner = match membership.as_ref() {
+                    Some(m) => match m.view(node).sample(&mut rng) {
+                        Some(p) => p,
+                        None => {
+                            // Empty view: this node is isolated this
+                            // epoch — deterministic skip (no draws
+                            // consumed, so later arrivals of other
+                            // nodes are unaffected).
+                            t += rng.gen_exp(self.config.arrival_rate);
+                            continue;
+                        }
+                    },
+                    None => {
+                        let other = rng.gen_range(0..self.config.nodes - 1);
+                        let idx = if other >= node_idx { other + 1 } else { other };
+                        NodeId::from_index(idx)
+                    }
+                };
                 let quality = self.provider_quality(partner);
                 let outcome = if rng.gen_bool(quality) {
                     InteractionOutcome::Success {
@@ -679,6 +742,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn membership_timeline_is_pure_and_view_constrained() {
+        let config = DriverConfig {
+            nodes: 30,
+            arrival_rate: 3.0,
+            membership: Some(MembershipConfig::default()),
+            ..DriverConfig::default()
+        };
+        let driver = ServiceDriver::new(config).unwrap();
+        let svc = service(30);
+        let a = driver.ops_for_epoch(&svc, 2);
+        let b = driver.ops_for_epoch(&svc, 2);
+        assert!(!a.is_empty(), "healthy overlay generates work");
+        assert_eq!(a, b, "overlay timeline is a pure function of (seed, epoch)");
+        // Every interaction's partner must sit in the rater's view of
+        // that epoch (the sampled snapshot is re-derivable).
+        let views = driver.membership_at(2).expect("overlay attached");
+        for op in &a {
+            if let ServiceOp::Ingest(ServiceEvent::Interaction { rater, ratee, .. }) = op {
+                assert_ne!(rater, ratee, "views never contain self");
+                assert!(
+                    views.view(*rater).contains(*ratee),
+                    "partner {ratee} must be in {rater}'s view"
+                );
+            }
+        }
+        // And the overlay changes the timeline vs the global draw.
+        let global = ServiceDriver::new(DriverConfig {
+            membership: None,
+            ..config
+        })
+        .unwrap()
+        .ops_for_epoch(&svc, 2);
+        assert_ne!(a, global);
+    }
+
+    #[test]
+    fn membership_driver_still_drives_the_service() {
+        let driver = ServiceDriver::new(DriverConfig {
+            nodes: 30,
+            arrival_rate: 3.0,
+            membership: Some(MembershipConfig::default()),
+            ..DriverConfig::default()
+        })
+        .unwrap();
+        let mut svc = service(30);
+        driver.drive(&mut svc, 4).unwrap();
+        assert_eq!(svc.epoch_index(), 4);
+        assert!(svc.stats().ingested > 0, "view-sampled work still lands");
     }
 
     #[test]

@@ -50,15 +50,16 @@ use tsn_reputation::{
     build_mechanism, DisclosurePolicy, FeedbackReport, MechanismKind, ReputationMechanism,
 };
 use tsn_simnet::codec::{crc32, ByteReader, ByteWriter};
-use tsn_simnet::{GroupMap, NodeId, PartitionWindow, SimDuration, SimTime};
+use tsn_simnet::{GroupMap, MembershipConfig, NodeId, PartitionWindow, SimDuration, SimTime};
 
 /// Magic bytes opening every checkpoint.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"TSNSVCKP";
 
 /// Version of the checkpoint layout. Bumped on any layout change;
 /// restore refuses other versions rather than guessing. Version 2
-/// introduced per-section CRCs and the journal cursor.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// introduced per-section CRCs and the journal cursor; version 3
+/// added the membership-overlay configuration to the config section.
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// Names of the checkpoint's checksummed sections, in layout order.
 pub const CHECKPOINT_SECTIONS: [&str; 7] = [
@@ -188,6 +189,15 @@ pub struct ServiceConfig {
     /// [`TrustService::set_commit_shards`] is called (the host does
     /// this on recovery).
     pub commit_shards: usize,
+    /// Peer-sampling membership overlay of the deployment, if any.
+    /// The service core ingests whatever reaches it unchanged — the
+    /// overlay constrains *workload generation*: a
+    /// [`ServiceDriver`](crate::ServiceDriver) configured from a
+    /// service with an overlay samples interaction partners from each
+    /// node's bounded partial view instead of the global population.
+    /// Carried in checkpoints so a restored deployment keeps its
+    /// overlay shape.
+    pub membership: Option<MembershipConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -199,6 +209,7 @@ impl Default for ServiceConfig {
             disclosure_level: 4,
             partitions: Vec::new(),
             commit_shards: 1,
+            membership: None,
         }
     }
 }
@@ -236,6 +247,12 @@ impl ServiceConfig {
                 ));
             }
             last_end = w.end;
+        }
+        if let Some(m) = &self.membership {
+            m.validate()?;
+            if m.relays >= self.nodes {
+                return Err("membership needs more nodes than relays".into());
+            }
         }
         Ok(())
     }
@@ -896,6 +913,18 @@ impl TrustService {
             config.put_f64(window.cross_loss);
             config.put_f64(window.intra_loss);
         }
+        match &self.config.membership {
+            Some(m) => {
+                config.put_u8(1);
+                config.put_u64(m.view_size as u64);
+                config.put_u64(m.shuffle_len as u64);
+                config.put_u64(m.healing as u64);
+                config.put_u64(m.swap as u64);
+                config.put_u64(m.relays as u64);
+                config.put_u64(m.relay_fanout as u64);
+            }
+            None => config.put_u8(0),
+        }
 
         let mut clock = ByteWriter::new();
         clock.put_u64(self.now.as_micros());
@@ -1017,6 +1046,23 @@ impl TrustService {
                 intra_loss: c.take_f64()?,
             });
         }
+        let membership = match c.take_u8()? {
+            0 => None,
+            1 => Some(MembershipConfig {
+                view_size: c.take_u64()? as usize,
+                shuffle_len: c.take_u64()? as usize,
+                healing: c.take_u64()? as usize,
+                swap: c.take_u64()? as usize,
+                relays: c.take_u64()? as usize,
+                relay_fanout: c.take_u64()? as usize,
+            }),
+            other => {
+                return Err(format!(
+                    "checkpoint section 'config' is corrupt \
+                     (membership flag must be 0 or 1, got {other})"
+                ))
+            }
+        };
         section_drained(&c, "config")?;
         let config = ServiceConfig {
             nodes,
@@ -1027,6 +1073,7 @@ impl TrustService {
             // Execution knob, deliberately not serialized: the restoring
             // host re-applies its own configured value.
             commit_shards: 1,
+            membership,
         };
         let mut service = TrustService::new(config)?;
 
@@ -1323,6 +1370,32 @@ mod tests {
         assert!(TrustService::restore(&wrong_version)
             .unwrap_err()
             .contains("version"),);
+    }
+
+    #[test]
+    fn checkpoint_carries_the_membership_overlay() {
+        let overlay = MembershipConfig {
+            view_size: 12,
+            shuffle_len: 6,
+            healing: 2,
+            swap: 4,
+            relays: 2,
+            relay_fanout: 5,
+        };
+        let mut service = TrustService::new(ServiceConfig {
+            nodes: 8,
+            epoch: SimDuration::from_secs(10),
+            membership: Some(overlay),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        service.ingest(interaction(0, 1, true, 1)).unwrap();
+        let restored = TrustService::restore(&service.checkpoint().unwrap()).unwrap();
+        assert_eq!(restored.config().membership, Some(overlay));
+        // And a membership-free service restores membership-free.
+        let plain = small_service();
+        let restored = TrustService::restore(&plain.checkpoint().unwrap()).unwrap();
+        assert_eq!(restored.config().membership, None);
     }
 
     #[test]

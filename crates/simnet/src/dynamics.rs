@@ -79,6 +79,31 @@ impl PartitionWindow {
     }
 }
 
+/// A scheduled, targeted downtime window: `node` crashes at `start`
+/// and rejoins at `end` ([`SimTime::MAX`] = never), regardless of its
+/// churn state. The primitive behind maintenance windows and the
+/// [`DynamicsPlan::relay_outage`] preset — unlike churn, it names its
+/// victim, so experiments can kill *specific* infrastructure (relay /
+/// bootstrap slots) instead of a random sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageWindow {
+    /// The slot forced offline.
+    pub node: NodeId,
+    /// When the outage begins.
+    pub start: SimTime,
+    /// When the node rejoins ([`SimTime::MAX`] = never).
+    pub end: SimTime,
+}
+
+impl OutageWindow {
+    fn validate(&self) -> Result<(), String> {
+        if self.end <= self.start {
+            return Err("outage window must end after it starts".into());
+        }
+        Ok(())
+    }
+}
+
 /// A static regional topology: `groups` contiguous regions with
 /// constant intra/inter-region one-way delay, installed once when the
 /// runtime attaches to a network.
@@ -119,6 +144,8 @@ pub struct DynamicsPlan {
     pub partitions: Vec<PartitionWindow>,
     /// Static regional latency, if any.
     pub regions: Option<RegionPlan>,
+    /// Targeted downtime windows (non-overlapping per node).
+    pub outages: Vec<OutageWindow>,
 }
 
 impl DynamicsPlan {
@@ -128,6 +155,7 @@ impl DynamicsPlan {
             && self.initial_offline == 0.0
             && self.partitions.is_empty()
             && self.regions.is_none()
+            && self.outages.is_empty()
     }
 
     /// Validates the plan.
@@ -157,6 +185,15 @@ impl DynamicsPlan {
         }
         if let Some(regions) = &self.regions {
             regions.validate()?;
+        }
+        for (i, outage) in self.outages.iter().enumerate() {
+            outage.validate().map_err(|e| format!("outage {i}: {e}"))?;
+            for (j, other) in self.outages.iter().enumerate().take(i) {
+                if other.node == outage.node && outage.start < other.end && other.start < outage.end
+                {
+                    return Err(format!("outage {i} overlaps outage {j} on {}", outage.node));
+                }
+            }
         }
         Ok(())
     }
@@ -195,6 +232,43 @@ impl DynamicsPlan {
                 intra,
                 inter,
             }),
+            ..Default::default()
+        }
+    }
+
+    /// Preset: a relay outage — the first `relays` slots (the
+    /// membership overlay's bootstrap/relay nodes, see
+    /// [`membership`](crate::membership)) all crash over `[start, end)`
+    /// and rejoin at the heal. While they are down, nodes whose views
+    /// decay cannot re-bootstrap and go *isolated* — the failure mode
+    /// this preset exists to measure.
+    pub fn relay_outage(relays: u32, start: SimTime, end: SimTime) -> Self {
+        DynamicsPlan {
+            outages: (0..relays)
+                .map(|i| OutageWindow {
+                    node: NodeId(i),
+                    start,
+                    end,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Preset: a bootstrap storm — 95 % of the population starts
+    /// offline and floods back in as the (short) downtimes elapse, so
+    /// nearly everyone hits the bootstrap relays at once. Harsher than
+    /// [`DynamicsPlan::flash_crowd`] and aimed squarely at the
+    /// membership overlay's join path.
+    pub fn bootstrap_storm(mean_session: SimDuration, mean_downtime: SimDuration) -> Self {
+        DynamicsPlan {
+            churn: Some(ChurnConfig {
+                mean_session,
+                mean_downtime,
+                whitewash_probability: 0.0,
+                crash_fraction: 0.3,
+            }),
+            initial_offline: 0.95,
             ..Default::default()
         }
     }
@@ -285,6 +359,10 @@ pub struct DynamicsRuntime {
     window_cursor: usize,
     /// Whether `partitions[window_cursor]` is currently active.
     in_window: bool,
+    /// Flattened outage boundaries `(time, slot, goes_down)`, sorted
+    /// by time (stable on ties), consumed through `outage_cursor`.
+    outage_steps: Vec<(SimTime, usize, bool)>,
+    outage_cursor: usize,
     /// Group map of the active window (kept for detached consumers).
     active_map: Option<GroupMap>,
     /// Loss model displaced by the active window (network mode only).
@@ -338,6 +416,17 @@ impl DynamicsRuntime {
                 }
             }
         }
+        let mut outage_steps: Vec<(SimTime, usize, bool)> = Vec::new();
+        for outage in &plan.outages {
+            if outage.node.index() >= n {
+                continue; // beyond this population: inert by design
+            }
+            outage_steps.push((outage.start, outage.node.index(), true));
+            if outage.end < SimTime::MAX {
+                outage_steps.push((outage.end, outage.node.index(), false));
+            }
+        }
+        outage_steps.sort_by_key(|&(at, _, _)| at);
         Ok(DynamicsRuntime {
             plan,
             n,
@@ -353,6 +442,8 @@ impl DynamicsRuntime {
             online_count,
             window_cursor: 0,
             in_window: false,
+            outage_steps,
+            outage_cursor: 0,
             active_map: None,
             displaced_loss: None,
             events: Vec::new(),
@@ -428,20 +519,26 @@ impl DynamicsRuntime {
     fn advance_inner(&mut self, mut network: Option<&mut Network>, to: SimTime) {
         loop {
             let boundary = self.next_boundary().map(|(t, _)| t);
+            let outage = self
+                .outage_steps
+                .get(self.outage_cursor)
+                .map(|&(t, _, _)| t);
             let transition = self.schedule.peek().map(|Reverse((t, _, _))| *t);
-            // Pick the earliest due step; boundaries win ties so a heal
-            // at time t frees traffic before a node revives at t.
-            let (at, is_boundary) = match (boundary, transition) {
-                (Some(b), Some(t)) => {
-                    if b <= t {
-                        (b, true)
-                    } else {
-                        (t, false)
+            // Pick the earliest due step. Tie order: partition
+            // boundary, then outage, then churn transition — so a heal
+            // at time t frees traffic before anything revives at t,
+            // and a targeted outage overrides a same-instant churn
+            // event.
+            let mut best: Option<(SimTime, u8)> = None;
+            for (candidate, kind) in [(boundary, 0u8), (outage, 1), (transition, 2)] {
+                if let Some(t) = candidate {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, kind));
                     }
                 }
-                (Some(b), None) => (b, true),
-                (None, Some(t)) => (t, false),
-                (None, None) => break,
+            }
+            let Some((at, kind)) = best else {
+                break;
             };
             // `SimTime::MAX` is the unreachable "infinite horizon":
             // steps saturated onto it never fire (this also guarantees
@@ -452,12 +549,48 @@ impl DynamicsRuntime {
             if let Some(network) = network.as_deref_mut() {
                 network.advance_to(at);
             }
-            if is_boundary {
-                self.apply_boundary(network.as_deref_mut(), at);
-            } else {
-                self.apply_transition(network.as_deref_mut(), at);
+            match kind {
+                0 => self.apply_boundary(network.as_deref_mut(), at),
+                1 => self.apply_outage(network.as_deref_mut(), at),
+                _ => self.apply_transition(network.as_deref_mut(), at),
             }
         }
+    }
+
+    /// Applies the next outage boundary: a targeted crash at a window
+    /// start, a rejoin at its end. When churn already put the slot in
+    /// the target state the step is a silent no-op (the last transition
+    /// wins, matching how the network mirrors per-slot state).
+    fn apply_outage(&mut self, network: Option<&mut Network>, at: SimTime) {
+        let (_, slot, goes_down) = self.outage_steps[self.outage_cursor];
+        self.outage_cursor += 1;
+        let now_online = !goes_down;
+        if self.online[slot] == now_online {
+            return;
+        }
+        let identity = self.identity[slot];
+        let event = if goes_down {
+            ChurnEvent::Crash(identity)
+        } else {
+            ChurnEvent::Rejoin(identity)
+        };
+        self.lifecycle.apply(event);
+        self.online[slot] = now_online;
+        if now_online {
+            self.online_count += 1;
+        } else {
+            self.online_count -= 1;
+        }
+        let slot_id = NodeId::from_index(slot);
+        if let Some(network) = network {
+            network.set_alive(slot_id, now_online);
+        }
+        let public = if goes_down {
+            DynamicsEvent::Crash { slot: slot_id }
+        } else {
+            DynamicsEvent::Rejoin { slot: slot_id }
+        };
+        self.events.push((at, public));
     }
 
     /// The next partition start/heal time, if any. The bool is `true`
@@ -963,6 +1096,96 @@ mod tests {
             runtime.take_events()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn relay_outage_kills_and_revives_exactly_the_relays() {
+        let n = 12;
+        let plan = DynamicsPlan::relay_outage(3, SimTime::from_secs(1), SimTime::from_secs(2));
+        assert!(plan.validate().is_ok());
+        let mut runtime = DynamicsRuntime::new(plan, n, SimRng::seed_from_u64(21)).unwrap();
+        let mut net = network(n);
+        runtime.install(&mut net);
+
+        runtime.advance(&mut net, SimTime::from_millis(500));
+        assert_eq!(runtime.availability(), 1.0);
+
+        runtime.advance(&mut net, SimTime::from_millis(1500));
+        for slot in 0..n {
+            let id = NodeId::from_index(slot);
+            assert_eq!(runtime.online(id), slot >= 3, "slot {slot} mid-outage");
+            assert_eq!(net.is_alive(id), slot >= 3);
+        }
+
+        runtime.advance(&mut net, SimTime::from_millis(2500));
+        assert_eq!(runtime.availability(), 1.0);
+        let events = runtime.take_events();
+        let crashes = events
+            .iter()
+            .filter(|(_, e)| matches!(e, DynamicsEvent::Crash { .. }))
+            .count();
+        let rejoins = events
+            .iter()
+            .filter(|(_, e)| matches!(e, DynamicsEvent::Rejoin { .. }))
+            .count();
+        assert_eq!((crashes, rejoins), (3, 3));
+    }
+
+    #[test]
+    fn outage_validation_rejects_overlap_and_empty_windows() {
+        let plan = DynamicsPlan {
+            outages: vec![OutageWindow {
+                node: NodeId(0),
+                start: SimTime::from_secs(2),
+                end: SimTime::from_secs(2),
+            }],
+            ..Default::default()
+        };
+        assert!(plan.validate().is_err(), "empty outage window");
+        let plan = DynamicsPlan {
+            outages: vec![
+                OutageWindow {
+                    node: NodeId(0),
+                    start: SimTime::from_secs(1),
+                    end: SimTime::from_secs(3),
+                },
+                OutageWindow {
+                    node: NodeId(0),
+                    start: SimTime::from_secs(2),
+                    end: SimTime::from_secs(4),
+                },
+            ],
+            ..Default::default()
+        };
+        assert!(plan.validate().is_err(), "same-node overlap");
+        let plan = DynamicsPlan {
+            outages: vec![
+                OutageWindow {
+                    node: NodeId(0),
+                    start: SimTime::from_secs(1),
+                    end: SimTime::from_secs(3),
+                },
+                OutageWindow {
+                    node: NodeId(1),
+                    start: SimTime::from_secs(2),
+                    end: SimTime::from_secs(4),
+                },
+            ],
+            ..Default::default()
+        };
+        assert!(plan.validate().is_ok(), "different nodes may overlap");
+    }
+
+    #[test]
+    fn bootstrap_storm_floods_in_through_short_downtimes() {
+        let plan =
+            DynamicsPlan::bootstrap_storm(SimDuration::from_secs(3600), SimDuration::from_secs(1));
+        assert!(plan.validate().is_ok());
+        assert!(!plan.is_static());
+        let mut runtime = DynamicsRuntime::new(plan, 200, SimRng::seed_from_u64(22)).unwrap();
+        assert!(runtime.availability() < 0.2, "95% start offline");
+        runtime.advance_detached(SimTime::from_secs(10));
+        assert!(runtime.availability() > 0.9, "the storm joined in seconds");
     }
 
     #[test]

@@ -35,10 +35,12 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::NodeId;
 
-/// Stream-label domain for per-message wire-fault draws.
-const MESSAGE_DOMAIN: u64 = 0x7A00_0000_0000_0000;
-/// Stream-label domain for storage-fault draws.
-const STORAGE_DOMAIN: u64 = 0x7B00_0000_0000_0000;
+/// Stream-label domain for per-message wire-fault draws (registered
+/// as [`StreamDomain::FaultMessage`](crate::StreamDomain)).
+const MESSAGE_DOMAIN: u64 = crate::StreamDomain::FaultMessage.tag();
+/// Stream-label domain for storage-fault draws (registered as
+/// [`StreamDomain::FaultStorage`](crate::StreamDomain)).
+const STORAGE_DOMAIN: u64 = crate::StreamDomain::FaultStorage.tag();
 
 /// A wire fault active over `[start, end)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,6 +252,35 @@ impl FaultPlan {
             ],
             ..FaultPlan::default()
         }
+    }
+
+    /// Preset: a relay outage for the online path — the first `relays`
+    /// node slots (the membership overlay's bootstrap/relay nodes, see
+    /// [`membership`](crate::membership)) crash at `start` and restart
+    /// at `end`. The service-side twin of
+    /// [`DynamicsPlan::relay_outage`](crate::DynamicsPlan::relay_outage):
+    /// while the relays are down, driver nodes whose views decay
+    /// cannot re-bootstrap and skip their ops as isolated.
+    pub fn relay_outage(relays: u32, start: SimTime, end: SimTime) -> Self {
+        FaultPlan {
+            process: (0..relays)
+                .map(|i| ProcessFault {
+                    target: FaultTarget::Node(NodeId(i)),
+                    at: start,
+                    restart_after: end.duration_since(start),
+                })
+                .collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether a [`FaultTarget::Node`] crash window covers `at` for
+    /// this node — the membership overlay's liveness probe for relays
+    /// and shuffle partners on the online path.
+    pub fn node_down(&self, node: NodeId, at: SimTime) -> bool {
+        self.process
+            .iter()
+            .any(|f| f.target == FaultTarget::Node(node) && at >= f.at && at < f.restart_at())
     }
 
     /// Preset: the service crashes at `at` and restarts `downtime`
@@ -680,6 +711,24 @@ mod tests {
         injector.corrupt_payload(MessageId(11), &mut text);
         let Payload::Text(t) = &text else { panic!() };
         assert!(t.contains('?') && t.len() == 5, "{t}");
+    }
+
+    #[test]
+    fn relay_outage_preset_downs_exactly_the_relay_window() {
+        let plan = FaultPlan::relay_outage(2, secs(10), secs(20));
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.process.len(), 2);
+        for relay in 0..2u32 {
+            let id = NodeId(relay);
+            assert!(!plan.node_down(id, secs(9)));
+            assert!(plan.node_down(id, secs(10)));
+            assert!(plan.node_down(id, secs(19)));
+            assert!(!plan.node_down(id, secs(20)));
+        }
+        assert!(!plan.node_down(NodeId(2), secs(15)), "only relays crash");
+        // A MAX end never restarts.
+        let forever = FaultPlan::relay_outage(1, secs(5), SimTime::MAX);
+        assert!(forever.node_down(NodeId(0), SimTime::from_secs(1_000_000)));
     }
 
     #[test]

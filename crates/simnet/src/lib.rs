@@ -26,7 +26,13 @@
 //! * **fault-injectable** — a [`FaultPlan`] schedules message, process
 //!   and storage faults deterministically from the seed, executed by a
 //!   [`FaultInjector`] attached to the network and to the service's
-//!   storage layer (see the [`faults`] module).
+//!   storage layer (see the [`faults`] module);
+//! * **partially visible** — the [`membership`] module provides the
+//!   peer-sampling overlay of the source paper: bounded
+//!   [`PartialView`]s per node, refreshed by deterministic view
+//!   shuffling and bootstrapped through killable relay nodes, so
+//!   higher layers can select partners from local views instead of the
+//!   global population.
 //!
 //! ## Quick example
 //!
@@ -52,6 +58,7 @@ pub mod dynamics;
 pub mod event;
 pub mod faults;
 pub mod latency;
+pub mod membership;
 pub mod message;
 pub mod metrics;
 pub mod network;
@@ -59,6 +66,7 @@ pub mod partition;
 pub mod pool;
 pub mod rng;
 pub mod sim;
+pub mod streams;
 pub mod time;
 pub mod trace;
 
@@ -73,6 +81,9 @@ pub use faults::{
 pub use latency::{
     BernoulliLoss, ConstantLatency, LatencyModel, LossModel, NoLoss, UniformLatency, WanLatency,
 };
+pub use membership::{
+    MembershipConfig, MembershipRuntime, PartialView, ShuffleStats, ViewEntry, MEMBERSHIP_SEED_SALT,
+};
 pub use message::{Envelope, MessageId, Payload, Tag};
 pub use metrics::{Counter, Histogram, MetricSet};
 pub use network::{DeliveryOutcome, Network, NetworkConfig, NetworkStats};
@@ -80,6 +91,7 @@ pub use partition::{GroupMap, PartitionedLoss, RegionalLatency};
 pub use pool::BufferPool;
 pub use rng::SimRng;
 pub use sim::{RunReport, Simulation, StopCondition};
+pub use streams::{StreamDomain, StreamFamily};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceKind, TraceLog};
 

@@ -32,7 +32,7 @@ use tsn::service::{
     checkpoint_sections, DriverConfig, EventJournal, HostConfig, ReplicaConfig, ReplicaSet,
     RetryPolicy, ServiceConfig, ServiceDriver, ServiceHost, TrustService,
 };
-use tsn::simnet::{FaultInjector, FaultPlan, SimDuration, SimTime};
+use tsn::simnet::{FaultInjector, FaultPlan, MembershipConfig, SimDuration, SimTime};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +80,11 @@ scenario flags:
   --disclosure 0..4   --malicious 0.0..1.0
   --policies permissive|mixed|strict   --churn 0.0..1.0   --adaptive
   --progress K   print a progress line every K rounds
+peer-sampling flags (scenario + serve):
+  --peer-sampling   draw partners from bounded partial views kept fresh
+                    by view shuffling instead of the global population
+  --view-size N     entries per partial view (default 16)
+  --relays N        bootstrap relay nodes (default 3); implies the overlay
 sweep flags:
   --seeds K    Monte-Carlo seeds per grid point (default 1)
   --threads T  worker threads (default: all cores)
@@ -185,7 +190,36 @@ fn scenario_builder(flags: &Flags) -> Result<ScenarioBuilder, String> {
     if let Some(raw) = flags.get("--policies") {
         builder = builder.policy_profile(parse_policies(raw)?);
     }
+    if let Some(overlay) = membership_flags(flags)? {
+        builder = builder.membership(overlay);
+    }
     Ok(builder)
+}
+
+/// Parse the peer-sampling overlay flags shared by `scenario` and `serve`.
+///
+/// `--peer-sampling` switches partner selection from the global population
+/// to bounded partial views refreshed by view shuffling; `--view-size` and
+/// `--relays` tune the overlay (and imply `--peer-sampling`).
+fn membership_flags(flags: &Flags) -> Result<Option<MembershipConfig>, String> {
+    let requested = flags.has("--peer-sampling")
+        || flags.get("--view-size").is_some()
+        || flags.get("--relays").is_some();
+    if !requested {
+        return Ok(None);
+    }
+    let defaults = MembershipConfig::default();
+    let view_size = flags.parse("--view-size", defaults.view_size)?;
+    let mut overlay = MembershipConfig {
+        view_size,
+        shuffle_len: (view_size / 2).max(1),
+        relays: flags.parse("--relays", defaults.relays)?,
+        relay_fanout: defaults.relay_fanout.min(view_size),
+        ..defaults
+    };
+    overlay.swap = overlay.shuffle_len.saturating_sub(overlay.healing);
+    overlay.validate()?;
+    Ok(Some(overlay))
 }
 
 fn cmd_scenario(args: &[String]) -> Result<(), String> {
@@ -339,6 +373,7 @@ fn driver_config(flags: &Flags, nodes: usize) -> Result<DriverConfig, String> {
         query_rate: flags.parse("--queries", defaults.query_rate)?,
         malicious_fraction: flags.parse("--malicious", defaults.malicious_fraction)?,
         seed: flags.parse("--seed", defaults.seed)?,
+        membership: membership_flags(flags)?,
     };
     config.validate()?;
     Ok(config)
@@ -398,6 +433,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(raw) = flags.get("--disclosure") {
         config.disclosure_level = parse_disclosure(raw)?.index();
     }
+    // The overlay rides in the service config too, so checkpoints
+    // written by this run carry it (checkpoint config section v3).
+    config.membership = membership_flags(&flags)?;
     let driver = ServiceDriver::new(driver_config(&flags, nodes)?)?;
     let replicas: usize = flags.parse("--replicas", 1usize)?;
     if replicas > 1 || flags.get("--kill-primary-at").is_some() {

@@ -84,6 +84,7 @@ fn torture_setup() -> (ServiceDriver, HostConfig, Vec<Action>) {
         query_rate: 0.4,
         malicious_fraction: 0.2,
         seed: 11,
+        membership: None,
     })
     .expect("valid driver");
     let service = ServiceConfig {

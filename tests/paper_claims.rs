@@ -245,3 +245,74 @@ fn dynamics_global_convergence() {
         );
     }
 }
+
+/// The peer-sampling substrate: the paper's gossip model assumes each
+/// user can interact with a partner drawn *uniformly* from the live
+/// population, yet real deployments only ever hold bounded partial
+/// views. The membership overlay closes that gap — this test pins the
+/// claim that partner draws from shuffled partial views are
+/// statistically indistinguishable from uniform sampling (chi-square
+/// over the population, generous threshold to absorb the view's
+/// round-to-round correlation).
+#[test]
+fn peer_sampling_from_shuffled_views_is_uniform() {
+    use tsn::simnet::{MembershipConfig, MembershipRuntime, NodeId, SimRng};
+
+    let n = 32usize;
+    let config = MembershipConfig {
+        view_size: 8,
+        shuffle_len: 4,
+        healing: 1,
+        swap: 3,
+        relays: 3,
+        relay_fanout: 8,
+    };
+    let mut runtime = MembershipRuntime::new(n, config, 0x9E37).expect("valid overlay");
+    let mut draw_rng = SimRng::seed_from_u64(0x517C_C1B7);
+    let mut counts = vec![0u64; n];
+    let burn_in = 64;
+    let rounds = 64 + 500;
+    let mut draws = 0u64;
+    for round in 0..rounds {
+        runtime.shuffle_round(|_| true, |_, _| true);
+        if round < burn_in {
+            continue; // let the relay-seeded initial views mix first
+        }
+        for observer in 0..n {
+            if let Some(peer) = runtime
+                .view(NodeId::from_index(observer))
+                .sample(&mut draw_rng)
+            {
+                counts[peer.index()] += 1;
+                draws += 1;
+            }
+        }
+    }
+    // Every ordered pair is equally likely under uniformity, so every
+    // target should collect draws/n of the mass (each node is a valid
+    // target for the n-1 others; the slight self-exclusion asymmetry
+    // is identical across targets).
+    let expected = draws as f64 / n as f64;
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // df = n-1 = 31: mean 31, std ~7.9 for i.i.d. draws. Views are
+    // correlated across rounds, which inflates the statistic; 3x the
+    // df still rejects gross bias (a dead cell alone adds ~expected
+    // ≈ 500 to the statistic).
+    assert!(
+        chi2 < 3.0 * (n as f64 - 1.0),
+        "partner draws deviate from uniform: chi2 = {chi2:.1} over {draws} draws, counts {counts:?}"
+    );
+    // And no peer is starved or hoarded outright.
+    let min = *counts.iter().min().expect("nonempty");
+    let max = *counts.iter().max().expect("nonempty");
+    assert!(
+        (min as f64) > 0.5 * expected && (max as f64) < 1.5 * expected,
+        "peer draw counts outside [0.5, 1.5]x expected: min {min}, max {max}, expected {expected:.0}"
+    );
+}

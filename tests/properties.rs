@@ -484,3 +484,69 @@ fn detection_accuracy_matches_naive_rescan_with_nan_and_ties() {
         0.5
     );
 }
+
+/// Membership view invariants survive arbitrary churn and partitions:
+/// no view ever holds its owner or a duplicate peer, never exceeds its
+/// capacity, and entry ages stay bounded by the worst-case travel chain
+/// (one aging step at the holder plus one per exchange hop, of which a
+/// round has at most n).
+#[test]
+fn membership_views_keep_invariants_under_random_churn() {
+    use tsn::simnet::{GroupMap, MembershipConfig, MembershipRuntime, NodeId};
+
+    let mut rng = rng_for(23);
+    for case in 0..24 {
+        let n = 8 + rng.gen_range(0..56u32) as usize;
+        let view_size = 2 + rng.gen_range(0..10u32) as usize;
+        let shuffle_len = 1 + rng.gen_range(0..view_size as u32) as usize;
+        let healing = rng.gen_range(0..(shuffle_len + 1) as u32) as usize;
+        let config = MembershipConfig {
+            view_size,
+            shuffle_len,
+            healing,
+            swap: shuffle_len - healing,
+            relays: 1 + rng.gen_range(0..(n.min(4)) as u32) as usize,
+            relay_fanout: 1 + rng.gen_range(0..view_size as u32) as usize,
+        };
+        config.validate().expect("generated config in-range");
+        let mut runtime =
+            MembershipRuntime::new(n, config, 0xC0FFEE ^ case).expect("valid runtime");
+        let rounds = 1 + rng.gen_range(0..40u32) as u64;
+        for round in 0..rounds {
+            // Random liveness each round; a coin-flip two-group
+            // partition half the time.
+            let alive: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.8)).collect();
+            let partitioned = rng.gen_bool(0.5);
+            let groups: Vec<u16> = (0..n).map(|_| rng.gen_range(0..2u32) as u16).collect();
+            let map = GroupMap::new(groups);
+            runtime.shuffle_round(
+                |p| alive[p.index()],
+                |a, b| !partitioned || map.same_group(a, b),
+            );
+            for owner in 0..n {
+                let view = runtime.view(NodeId::from_index(owner));
+                assert!(view.len() <= view_size, "case {case}: over capacity");
+                let mut seen = vec![false; n];
+                for entry in view.entries() {
+                    assert_ne!(
+                        entry.peer.index(),
+                        owner,
+                        "case {case}: view holds its owner"
+                    );
+                    assert!(
+                        !seen[entry.peer.index()],
+                        "case {case}: duplicate peer in view"
+                    );
+                    seen[entry.peer.index()] = true;
+                    assert!(
+                        u64::from(entry.age) <= (round + 1) * (n as u64 + 1),
+                        "case {case}: age {} after {} rounds of {} exchanges",
+                        entry.age,
+                        round + 1,
+                        n
+                    );
+                }
+            }
+        }
+    }
+}

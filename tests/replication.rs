@@ -91,6 +91,7 @@ fn torture_setup() -> (ReplicaConfig, Vec<Action>) {
         query_rate: 0.4,
         malicious_fraction: 0.2,
         seed: 11,
+        membership: None,
     })
     .expect("valid driver");
     let service = ServiceConfig {
@@ -269,6 +270,7 @@ fn recovery_opens_a_bounded_segment_suffix_regardless_of_age() {
         query_rate: 0.4,
         malicious_fraction: 0.2,
         seed: 11,
+        membership: None,
     })
     .expect("valid driver");
     let config = HostConfig {

@@ -27,6 +27,7 @@ fn workload(nodes: usize, seed: u64) -> (ServiceDriver, TrustService) {
         query_rate: 0.4,
         malicious_fraction: 0.2,
         seed,
+        membership: None,
     })
     .expect("valid workload");
     let service = TrustService::new(ServiceConfig {

@@ -28,6 +28,7 @@ fn service_soaks_past_ten_thousand_events() {
         query_rate: 0.3,
         malicious_fraction: 0.15,
         seed: 99,
+        membership: None,
     })
     .expect("valid workload");
     let mut service = TrustService::new(ServiceConfig {
@@ -150,6 +151,7 @@ fn journaled_host_disk_high_water_plateaus_under_soak() {
         query_rate: 0.3,
         malicious_fraction: 0.15,
         seed: 99,
+        membership: None,
     })
     .expect("valid workload");
     let mut host = ServiceHost::new(HostConfig {

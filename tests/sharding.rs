@@ -255,6 +255,7 @@ fn service_epoch_commits_are_shard_count_invariant() {
         query_rate: 0.4,
         malicious_fraction: 0.2,
         seed: 7105,
+        membership: None,
     })
     .expect("valid driver");
     let run = |shards: usize| {
